@@ -1,0 +1,252 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Bechamel microbenchmarks — one Test.make per table/figure-level
+      artifact plus the hot primitives underneath them (view statistics,
+      predicate evaluation, the broadcast layers, full consensus instances,
+      the replicated log).
+   2. The experiment tables (E1–E7, see EXPERIMENTS.md) regenerated via
+      Dex_experiments.Harness — the rows and series that correspond to the
+      paper's Table 1 and its step-complexity claims.
+
+     dune exec bench/main.exe               # everything
+     dune exec bench/main.exe -- quick      # microbenches only
+*)
+
+open Bechamel
+open Toolkit
+open Dex_stdext
+open Dex_vector
+open Dex_condition
+open Dex_net
+open Dex_broadcast
+open Dex_underlying
+open Dex_workload
+
+(* ----------------------- benchmark subjects ----------------------- *)
+
+let bench_prng =
+  Test.make ~name:"prng/bits64-x1000" (Staged.stage (fun () ->
+      let g = Prng.create ~seed:1 in
+      for _ = 1 to 1000 do
+        ignore (Prng.bits64 g)
+      done))
+
+let bench_pqueue =
+  Test.make ~name:"pqueue/push-pop-1k" (Staged.stage (fun () ->
+      let q = Pqueue.create () in
+      for i = 0 to 999 do
+        Pqueue.push q ~time:(float_of_int (i * 7919 mod 1000)) ~seq:i i
+      done;
+      while not (Pqueue.is_empty q) do
+        ignore (Pqueue.pop q)
+      done))
+
+let big_view =
+  let rng = Prng.create ~seed:3 in
+  View.init 100 (fun _ -> if Prng.bool rng then Some (Prng.int rng 5) else None)
+
+let bench_view_margin =
+  Test.make ~name:"view/freq_margin-n100"
+    (Staged.stage (fun () -> ignore (View.freq_margin big_view)))
+
+let pair7 = Pair.freq ~n:7 ~t:1
+
+let view7 = Input_vector.to_view (Input_vector.of_list [ 5; 5; 5; 5; 5; 1; 1 ])
+
+let bench_p1 =
+  Test.make ~name:"pair/P1-eval" (Staged.stage (fun () -> ignore (pair7.Pair.p1 view7)))
+
+let bench_p2 =
+  Test.make ~name:"pair/P2-eval" (Staged.stage (fun () -> ignore (pair7.Pair.p2 view7)))
+
+let bench_f =
+  Test.make ~name:"pair/F-eval" (Staged.stage (fun () -> ignore (pair7.Pair.f view7)))
+
+let bench_legality =
+  Test.make ~name:"legality/P_prv-n6-t1" (Staged.stage (fun () ->
+      ignore (Legality.is_legal ~universe:[ 0; 1 ] (Pair.privileged ~n:6 ~t:1 ~m:1))))
+
+(* Full broadcast rounds in the simulator (n senders, all-to-all). *)
+let idb_round n =
+  let t = (n - 1) / 4 in
+  let make p =
+    let idb = Idb.create ~n ~t in
+    {
+      Protocol.start = (fun () -> Protocol.broadcast ~n (Idb.id_send p));
+      on_message =
+        (fun ~now:_ ~from m ->
+          let emit = Idb.handle idb ~from m in
+          List.concat_map (fun b -> Protocol.broadcast ~n b) emit.Idb.broadcasts);
+    }
+  in
+  ignore (Runner.run (Runner.config ~n make))
+
+let bracha_round n =
+  let t = (n - 1) / 4 in
+  let make p =
+    let rb = Bracha.create ~n ~t in
+    {
+      Protocol.start = (fun () -> Protocol.broadcast ~n (Bracha.rb_send p));
+      on_message =
+        (fun ~now:_ ~from m ->
+          let emit = Bracha.handle rb ~from m in
+          List.concat_map (fun b -> Protocol.broadcast ~n b) emit.Bracha.broadcasts);
+    }
+  in
+  ignore (Runner.run (Runner.config ~n make))
+
+let bench_idb = Test.make ~name:"broadcast/idb-round-n9" (Staged.stage (fun () -> idb_round 9))
+
+let bench_bracha =
+  Test.make ~name:"broadcast/bracha-round-n9" (Staged.stage (fun () -> bracha_round 9))
+
+(* Full consensus instances — one per Table-1 row (E1) and per step-shape
+   point (E3/E6). *)
+let consensus ?(uc = Scenario.Oracle) ~algo ~n ~t proposals =
+  ignore (Scenario.run (Scenario.spec ~uc ~algo ~n ~t ~proposals ()))
+
+let unanimous n = Input_gen.unanimous ~n 5
+
+let margin m =
+  let rng = Prng.create ~seed:(m * 17) in
+  Input_gen.with_freq_margin ~rng ~n:7 ~margin:m
+
+let bench_table1 =
+  [
+    Test.make ~name:"table1/brasileiro-n4" (Staged.stage (fun () ->
+        consensus ~algo:Scenario.Brasileiro ~n:4 ~t:1 (unanimous 4)));
+    Test.make ~name:"table1/bosco-weak-n6" (Staged.stage (fun () ->
+        consensus ~algo:Scenario.Bosco ~n:6 ~t:1 (unanimous 6)));
+    Test.make ~name:"table1/bosco-strong-n8" (Staged.stage (fun () ->
+        consensus ~algo:Scenario.Bosco ~n:8 ~t:1 (unanimous 8)));
+    Test.make ~name:"table1/dex-freq-n7" (Staged.stage (fun () ->
+        consensus ~algo:Scenario.Dex_freq ~n:7 ~t:1 (unanimous 7)));
+    Test.make ~name:"table1/dex-prv-n6" (Staged.stage (fun () ->
+        consensus ~algo:(Scenario.Dex_prv 5) ~n:6 ~t:1 (unanimous 6)));
+    Test.make ~name:"table1/plain-n4" (Staged.stage (fun () ->
+        consensus ~algo:Scenario.Plain ~n:4 ~t:1 (unanimous 4)));
+  ]
+
+let bench_steps =
+  [
+    Test.make ~name:"steps/dex-one-step-m7" (Staged.stage (fun () ->
+        consensus ~algo:Scenario.Dex_freq ~n:7 ~t:1 (margin 7)));
+    Test.make ~name:"steps/dex-two-step-m3" (Staged.stage (fun () ->
+        consensus ~algo:Scenario.Dex_freq ~n:7 ~t:1 (margin 3)));
+    Test.make ~name:"steps/dex-fallback-m1" (Staged.stage (fun () ->
+        consensus ~algo:Scenario.Dex_freq ~n:7 ~t:1 (margin 1)));
+    Test.make ~name:"steps/bosco-fallback-m1" (Staged.stage (fun () ->
+        consensus ~algo:Scenario.Bosco ~n:7 ~t:1 (margin 1)));
+  ]
+
+let bench_uc =
+  [
+    Test.make ~name:"uc/oracle-fallback" (Staged.stage (fun () ->
+        consensus ~uc:Scenario.Oracle ~algo:Scenario.Plain ~n:7 ~t:1 (margin 1)));
+    Test.make ~name:"uc/real-bracha-mmr" (Staged.stage (fun () ->
+        consensus ~uc:Scenario.Real ~algo:Scenario.Plain ~n:7 ~t:1 (margin 1)));
+    Test.make ~name:"uc/leader-based" (Staged.stage (fun () ->
+        consensus ~uc:Scenario.Leader ~algo:Scenario.Plain ~n:7 ~t:1 (margin 1)));
+  ]
+
+module Doracle = Dex_core.Dex.Make (Uc_oracle)
+
+let dex_msg_sample = Doracle.Idb (Idb.Echo { origin = 3; payload = 42 })
+
+let bench_codec =
+  [
+    Test.make ~name:"codec/dex-msg-encode" (Staged.stage (fun () ->
+        ignore (Dex_codec.Codec.encode Doracle.codec dex_msg_sample)));
+    (let encoded = Dex_codec.Codec.encode Doracle.codec dex_msg_sample in
+     Test.make ~name:"codec/dex-msg-decode" (Staged.stage (fun () ->
+         ignore (Dex_codec.Codec.decode_exn Doracle.codec encoded))));
+  ]
+
+let bench_stubborn =
+  Test.make ~name:"link/dex-over-30pct-loss" (Staged.stage (fun () ->
+      let pair = Pair.freq ~n:7 ~t:1 in
+      let cfg = Doracle.config ~pair () in
+      let extra =
+        List.map (fun (pid, i) -> (pid, Dex_link.Stubborn.wrap i)) (Doracle.extra cfg)
+      in
+      let make p = Dex_link.Stubborn.wrap (Doracle.instance cfg ~me:p ~proposal:5) in
+      ignore
+        (Runner.run
+           (Runner.config
+              ~discipline:(Discipline.lossy ~p:0.3 Discipline.asynchronous)
+              ~seed:3 ~extra ~n:7 make))))
+
+let bench_analysis =
+  Test.make ~name:"analysis/p-one-step-n7" (Staged.stage (fun () ->
+      ignore
+        (Dex_analysis.Feasibility.p_dex_one_step ~n:7 ~t:1
+           { Dex_analysis.Feasibility.bias = 0.8; alternatives = 2 })))
+
+module Log = Dex_smr.Replicated_log.Make (Uc_oracle)
+
+let bench_smr =
+  Test.make ~name:"smr/log-5-slots-n7" (Staged.stage (fun () ->
+      let pair = Pair.freq ~n:7 ~t:1 in
+      let cfg = Log.config ~pair:(fun _ -> pair) ~slots:5 ~n:7 ~t:1 () in
+      let make p =
+        Log.replica cfg ~me:p
+          ~propose:(fun ~slot -> 100 + slot)
+          ~on_commit:(fun ~slot:_ _ -> ())
+      in
+      ignore (Runner.run (Runner.config ~extra:(Log.extra cfg) ~n:7 make))))
+
+let all_tests =
+  Test.make_grouped ~name:"dex"
+    ([
+       bench_prng;
+       bench_pqueue;
+       bench_view_margin;
+       bench_p1;
+       bench_p2;
+       bench_f;
+       bench_legality;
+       bench_idb;
+       bench_bracha;
+       bench_smr;
+     ]
+    @ bench_table1 @ bench_steps @ bench_uc @ bench_codec @ [ bench_stubborn; bench_analysis ])
+
+(* ----------------------- bechamel driver ----------------------- *)
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw_results = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let print_results results =
+  Printf.printf "%-36s %16s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 54 '-');
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> rows := (name, est) :: !rows
+          | _ -> ())
+        tbl)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-36s %16.1f\n" name est)
+    (List.sort compare !rows)
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  print_endline "== Bechamel microbenchmarks ==";
+  print_results (benchmark ());
+  if not quick then begin
+    print_endline "\n== Experiment tables (paper reproduction; see EXPERIMENTS.md) ==";
+    Dex_experiments.Harness.trials := 20;
+    List.iter (fun (_, f) -> f ()) Dex_experiments.Harness.all
+  end

@@ -1,0 +1,1 @@
+bin/dex_run.mli:

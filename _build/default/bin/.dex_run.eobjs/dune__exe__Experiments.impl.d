@@ -1,0 +1,1 @@
+bin/experiments.ml: Array Dex_experiments Harness List Printf String Sys

@@ -1,0 +1,317 @@
+(* dex_run: command-line driver for the DEX reproduction.
+
+   Subcommands:
+     run       one consensus instance, printed per-process
+     sweep     many seeds of one configuration, aggregated
+     legality  exhaustive legality check of a condition-sequence pair
+     log       a replicated-log (SMR) run
+
+   Examples:
+     dune exec bin/dex_run.exe -- run --algo dex-freq --n 7 --t 1 --input unanimous:5
+     dune exec bin/dex_run.exe -- run --algo bosco --n 6 --t 1 --input margin:3 --sched async
+     dune exec bin/dex_run.exe -- sweep --algo dex-freq --n 7 --t 1 --input skew:80 --trials 100
+     dune exec bin/dex_run.exe -- legality --pair freq --n 7 --t 1
+     dune exec bin/dex_run.exe -- log --slots 10 --contention 25
+*)
+
+open Cmdliner
+open Dex_stdext
+open Dex_vector
+open Dex_condition
+open Dex_net
+open Dex_metrics
+open Dex_workload
+
+(* ----------------------------- parsers ----------------------------- *)
+
+let algo_of_string = function
+  | "dex-freq" -> Ok Scenario.Dex_freq
+  | "dex-freq-snapshot" -> Ok Scenario.Dex_freq_snapshot
+  | "bosco" -> Ok Scenario.Bosco
+  | "friedman" -> Ok Scenario.Friedman
+  | "brasileiro" -> Ok Scenario.Brasileiro
+  | "izumi" -> Ok Scenario.Izumi
+  | "sync-flood" -> Ok Scenario.Sync_flood
+  | "plain" -> Ok Scenario.Plain
+  | s when String.length s > 8 && String.sub s 0 8 = "dex-prv:" ->
+    (try Ok (Scenario.Dex_prv (int_of_string (String.sub s 8 (String.length s - 8))))
+     with Failure _ -> Error (`Msg "dex-prv:<m> expects an integer"))
+  | "dex-prv" -> Ok (Scenario.Dex_prv 1)
+  | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+
+let algo_conv =
+  let pp ppf a = Format.pp_print_string ppf (Scenario.algo_name a) in
+  Arg.conv (algo_of_string, pp)
+
+let split_on_char_nonempty c s = List.filter (fun x -> x <> "") (String.split_on_char c s)
+
+let input_of_string ~rng ~n s =
+  match String.split_on_char ':' s with
+  | [ "unanimous"; v ] -> Ok (Input_gen.unanimous ~n (int_of_string v))
+  | [ "margin"; m ] -> Ok (Input_gen.with_freq_margin ~rng ~n ~margin:(int_of_string m))
+  | [ "priv"; count ] ->
+    Ok (Input_gen.with_privileged_count ~rng ~n ~m:1 ~count:(int_of_string count) ~others:[ 0 ])
+  | [ "skew"; bias ] ->
+    Ok
+      (Input_gen.skewed ~rng ~n ~favorite:5 ~others:[ 1; 2 ]
+         ~bias:(float_of_string bias /. 100.0))
+  | [ "uniform" ] -> Ok (Input_gen.uniform ~rng ~n ~values:[ 0; 1; 2 ])
+  | [ "csv"; vals ] ->
+    let vs = List.map int_of_string (split_on_char_nonempty ',' vals) in
+    if List.length vs <> n then Error (`Msg "csv input must list exactly n values")
+    else Ok (Input_vector.of_list vs)
+  | _ ->
+    Error
+      (`Msg
+        "input must be unanimous:V | margin:M | priv:COUNT | skew:PCT | uniform | csv:v1,v2,…")
+
+let sched_of_string = function
+  | "lockstep" -> Ok Discipline.lockstep
+  | "async" -> Ok Discipline.asynchronous
+  | s -> (
+    match String.split_on_char ':' s with
+    | [ "exp"; mean ] -> Ok (Discipline.exponential ~mean:(float_of_string mean))
+    | [ "uniform"; lo; hi ] ->
+      Ok (Discipline.uniform ~lo:(float_of_string lo) ~hi:(float_of_string hi))
+    | _ -> Error (`Msg "sched must be lockstep | async | exp:MEAN | uniform:LO:HI"))
+
+let sched_conv =
+  Arg.conv (sched_of_string, fun ppf d -> Format.pp_print_string ppf d.Discipline.name)
+
+let faults_of ~n ~f = function
+  | "silent" -> Ok (Fault_spec.last_k ~n ~k:f Fault_spec.Silent)
+  | "crash-mid" -> Ok (Fault_spec.last_k ~n ~k:f Fault_spec.Crash_mid)
+  | "equivocate" ->
+    Ok (Fault_spec.equivocate_split (List.init f (fun i -> n - 1 - i)) ~n ~low:1 ~high:2)
+  | "noisy" -> Ok (Fault_spec.last_k ~n ~k:f Fault_spec.Noisy)
+  | s -> Error (`Msg (Printf.sprintf "unknown fault kind %S" s))
+
+(* ----------------------------- flags ----------------------------- *)
+
+let algo_t =
+  Arg.(
+    value
+    & opt algo_conv Scenario.Dex_freq
+    & info [ "algo" ]
+        ~doc:
+          "Algorithm: dex-freq, dex-freq-snapshot, dex-prv[:M], bosco, friedman, brasileiro, \
+           izumi, sync-flood, plain.")
+
+let n_t = Arg.(value & opt int 7 & info [ "n"; "procs" ] ~doc:"Number of processes.")
+
+let t_t = Arg.(value & opt int 1 & info [ "t"; "faults-bound" ] ~doc:"Failure bound.")
+
+let f_t = Arg.(value & opt int 0 & info [ "f" ] ~doc:"Actual number of faulty processes.")
+
+let fault_kind_t =
+  Arg.(
+    value & opt string "silent"
+    & info [ "byz" ] ~doc:"Fault behaviour: silent, crash-mid, equivocate, noisy.")
+
+let input_t =
+  Arg.(
+    value & opt string "unanimous:5"
+    & info [ "input" ] ~doc:"Input vector spec (see run --help).")
+
+let sched_t =
+  Arg.(
+    value
+    & opt sched_conv Discipline.lockstep
+    & info [ "sched" ] ~doc:"Delivery schedule: lockstep, async, exp:MEAN, uniform:LO:HI.")
+
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let uc_t =
+  Arg.(
+    value & opt string "oracle"
+    & info [ "uc" ] ~doc:"Underlying consensus: oracle, real (Bracha+MMR) or leader.")
+
+let trials_t = Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Number of seeds for sweep.")
+
+let uc_of_string = function
+  | "oracle" -> Ok Scenario.Oracle
+  | "real" -> Ok Scenario.Real
+  | "leader" -> Ok Scenario.Leader
+  | s -> Error (`Msg (Printf.sprintf "unknown uc %S" s))
+
+let build_spec ~algo ~n ~t ~f ~fault_kind ~input ~sched ~seed ~uc =
+  let rng = Prng.create ~seed:(seed * 7919) in
+  let ( let* ) = Result.bind in
+  let* proposals = input_of_string ~rng ~n input in
+  let* faults = faults_of ~n ~f fault_kind in
+  let* uc = uc_of_string uc in
+  Ok (Scenario.spec ~uc ~seed ~discipline:sched ~faults ~algo ~n ~t ~proposals ())
+
+(* ----------------------------- run ----------------------------- *)
+
+let run_cmd =
+  let action algo n t f fault_kind input sched seed uc =
+    match build_spec ~algo ~n ~t ~f ~fault_kind ~input ~sched ~seed ~uc with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok spec -> (
+      match Scenario.run spec with
+      | exception Invalid_argument m -> `Error (false, m)
+      | exception Pair.Assumption_violated m -> `Error (false, m)
+      | out ->
+        Printf.printf "algorithm: %s   n=%d t=%d f=%d   input: %s   schedule: %s\n\n"
+          (Scenario.algo_name algo) n t f input spec.Scenario.discipline.Discipline.name;
+        List.iter
+          (fun (p, d) ->
+            Printf.printf "p%-2d decided %-6d via %-10s at step %d (t=%.2f)\n" p
+              d.Runner.value d.Runner.tag d.Runner.depth d.Runner.time)
+          out.Scenario.decisions;
+        List.iter
+          (fun p ->
+            if not (List.mem_assoc p out.Scenario.decisions) then
+              Printf.printf "p%-2d UNDECIDED\n" p)
+          out.Scenario.correct;
+        Printf.printf "\nagreement: %b   messages: %d (%s)\n" out.Scenario.agreement
+          out.Scenario.sent
+          (String.concat ", "
+             (List.map (fun (c, k) -> Printf.sprintf "%s:%d" c k) out.Scenario.sent_by_class));
+        `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ algo_t $ n_t $ t_t $ f_t $ fault_kind_t $ input_t $ sched_t $ seed_t
+       $ uc_t))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one consensus instance and print decisions.") term
+
+(* ----------------------------- sweep ----------------------------- *)
+
+let sweep_cmd =
+  let action algo n t f fault_kind input sched seed uc trials =
+    let outs = ref [] in
+    let failed = ref None in
+    for i = 0 to trials - 1 do
+      if !failed = None then
+        match build_spec ~algo ~n ~t ~f ~fault_kind ~input ~sched ~seed:(seed + i) ~uc with
+        | Error (`Msg m) -> failed := Some m
+        | Ok spec -> (
+          match Scenario.run spec with
+          | exception Invalid_argument m -> failed := Some m
+          | exception Pair.Assumption_violated m -> failed := Some m
+          | out -> outs := out :: !outs)
+    done;
+    match !failed with
+    | Some m -> `Error (false, m)
+    | None ->
+      let outs = !outs in
+      let steps =
+        List.concat_map
+          (fun o -> List.map (fun (_, d) -> float_of_int d.Runner.depth) o.Scenario.decisions)
+          outs
+      in
+      let agree = List.for_all (fun o -> o.Scenario.agreement) outs in
+      let decided = List.for_all (fun o -> o.Scenario.all_decided) outs in
+      Printf.printf "algorithm: %s  n=%d t=%d f=%d  input: %s  trials: %d\n"
+        (Scenario.algo_name algo) n t f input trials;
+      Printf.printf "agreement in all runs: %b; all correct decided: %b\n" agree decided;
+      if steps <> [] then begin
+        Printf.printf "decision steps: %s\n"
+          (Format.asprintf "%a" Stats.pp_summary (Stats.summarize steps));
+        let hist = Histogram.create () in
+        List.iter (fun s -> Histogram.add hist (int_of_float s)) steps;
+        Printf.printf "step histogram: %s\n" (Format.asprintf "%a" Histogram.pp hist)
+      end;
+      let one = Stats.mean (List.map (fun o -> Scenario.fraction_fast o ~max_steps:1) outs) in
+      let two = Stats.mean (List.map (fun o -> Scenario.fraction_fast o ~max_steps:2) outs) in
+      Printf.printf "fast coverage: %.1f%% one-step, %.1f%% within two steps\n" (100. *. one)
+        (100. *. two);
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ algo_t $ n_t $ t_t $ f_t $ fault_kind_t $ input_t $ sched_t $ seed_t
+       $ uc_t $ trials_t))
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Run many seeds of one configuration and aggregate.") term
+
+(* ----------------------------- legality ----------------------------- *)
+
+let legality_cmd =
+  let pair_t =
+    Arg.(value & opt string "freq" & info [ "pair" ] ~doc:"Condition pair: freq or prv[:M].")
+  in
+  let universe_t =
+    Arg.(value & opt string "0,1" & info [ "universe" ] ~doc:"Comma-separated value universe.")
+  in
+  let action pair_name n t universe =
+    let universe = List.map int_of_string (split_on_char_nonempty ',' universe) in
+    let pair =
+      match String.split_on_char ':' pair_name with
+      | [ "freq" ] -> Ok (Pair.freq ~n ~t)
+      | [ "prv" ] -> Ok (Pair.privileged ~n ~t ~m:1)
+      | [ "prv"; m ] -> Ok (Pair.privileged ~n ~t ~m:(int_of_string m))
+      | _ -> Error (Printf.sprintf "unknown pair %S" pair_name)
+    in
+    match pair with
+    | exception Pair.Assumption_violated m -> `Error (false, m)
+    | Error m -> `Error (false, m)
+    | Ok pair -> (
+      match Legality.check ~universe pair with
+      | [] ->
+        Printf.printf "%s with n=%d t=%d is LEGAL over {%s} (LT1 LT2 LA3 LA4 LU5 + monotone)\n"
+          pair.Pair.name n t
+          (String.concat "," (List.map string_of_int universe));
+        `Ok ()
+      | violations ->
+        List.iter (fun v -> Format.printf "%a@." Legality.pp_violation v) violations;
+        `Error (false, "pair is NOT legal"))
+  in
+  let term = Term.(ret (const action $ pair_t $ n_t $ t_t $ universe_t)) in
+  Cmd.v
+    (Cmd.info "legality" ~doc:"Exhaustively verify the legality criteria of a pair (small n).")
+    term
+
+(* ----------------------------- log ----------------------------- *)
+
+let log_cmd =
+  let slots_t = Arg.(value & opt int 10 & info [ "slots" ] ~doc:"Log length.") in
+  let contention_t =
+    Arg.(value & opt int 25 & info [ "contention" ] ~doc:"Percent of contended slots.")
+  in
+  let action n t slots contention seed =
+    let module L = Dex_smr.Replicated_log.Make (Dex_underlying.Uc_oracle) in
+    match Pair.freq ~n ~t with
+    | exception Pair.Assumption_violated m -> `Error (false, m)
+    | pair ->
+      let cfg = L.config ~seed ~pair:(fun _ -> pair) ~slots ~n ~t () in
+      let rng = Prng.create ~seed in
+      let contended = Array.init slots (fun _ -> Prng.int rng 100 < contention) in
+      let commits = Array.make n [] in
+      let make replica =
+        L.replica cfg ~me:replica
+          ~propose:(fun ~slot ->
+            if contended.(slot) then 100 + ((replica + slot) mod 2) else 100 + slot)
+          ~on_commit:(fun ~slot value ->
+            commits.(replica) <- (slot, value) :: commits.(replica))
+      in
+      let result =
+        Runner.run
+          (Runner.config ~discipline:Discipline.asynchronous ~seed ~extra:(L.extra cfg) ~n make)
+      in
+      Printf.printf "replicated log: n=%d t=%d slots=%d (%d%% contended), %d messages\n" n t
+        slots contention result.Runner.sent;
+      let reference = List.rev commits.(0) in
+      List.iter
+        (fun (slot, v) ->
+          Printf.printf "  slot %2d -> %d%s\n" slot v
+            (if contended.(slot) then "  (contended)" else ""))
+        reference;
+      let all_equal = Array.for_all (fun l -> List.rev l = reference) commits in
+      Printf.printf "logs identical on all %d replicas: %b\n" n all_equal;
+      `Ok ()
+  in
+  let term = Term.(ret (const action $ n_t $ t_t $ slots_t $ contention_t $ seed_t)) in
+  Cmd.v (Cmd.info "log" ~doc:"Order a stream of commands with a DEX replicated log.") term
+
+let () =
+  let info =
+    Cmd.info "dex_run" ~version:"1.0.0"
+      ~doc:"Doubly-Expedited One-Step Byzantine Consensus (DSN 2010) — reproduction driver"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; legality_cmd; log_cmd ]))

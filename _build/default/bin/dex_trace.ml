@@ -1,0 +1,139 @@
+(* dex_trace: render one consensus run as a per-process timeline.
+
+   Replays a seeded scenario with tracing on and prints, per virtual-time
+   bucket, what each process received and when it decided — a quick way to
+   *see* the one-step / two-step / underlying lanes of Figure 1 racing each
+   other, and to debug schedules.
+
+   Usage:
+     dune exec bin/dex_trace.exe                          # defaults
+     dune exec bin/dex_trace.exe -- --algo bosco --seed 3 --input margin:3
+     dune exec bin/dex_trace.exe -- --sched async --input margin:5 --max-lines 60
+*)
+
+open Dex_stdext
+open Dex_vector
+open Dex_condition
+open Dex_net
+open Dex_underlying
+
+module D = Dex_core.Dex.Make (Uc_oracle)
+module B = Dex_baselines.Bosco.Make (Uc_oracle)
+
+type options = {
+  mutable algo : string;
+  mutable seed : int;
+  mutable input : string;
+  mutable sched : string;
+  mutable n : int;
+  mutable t : int;
+  mutable max_lines : int;
+}
+
+let options = { algo = "dex-freq"; seed = 1; input = "margin:3"; sched = "lockstep"; n = 7; t = 1; max_lines = 80 }
+
+let parse_args () =
+  let rec go = function
+    | "--algo" :: v :: rest ->
+      options.algo <- v;
+      go rest
+    | "--seed" :: v :: rest ->
+      options.seed <- int_of_string v;
+      go rest
+    | "--input" :: v :: rest ->
+      options.input <- v;
+      go rest
+    | "--sched" :: v :: rest ->
+      options.sched <- v;
+      go rest
+    | "-n" :: v :: rest ->
+      options.n <- int_of_string v;
+      go rest
+    | "-t" :: v :: rest ->
+      options.t <- int_of_string v;
+      go rest
+    | "--max-lines" :: v :: rest ->
+      options.max_lines <- int_of_string v;
+      go rest
+    | [] -> ()
+    | x :: _ -> failwith (Printf.sprintf "unknown argument %s" x)
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let proposals_of_spec ~rng ~n = function
+  | s when String.length s > 10 && String.sub s 0 10 = "unanimous:" ->
+    Dex_workload.Input_gen.unanimous ~n (int_of_string (String.sub s 10 (String.length s - 10)))
+  | s when String.length s > 7 && String.sub s 0 7 = "margin:" ->
+    Dex_workload.Input_gen.with_freq_margin ~rng ~n
+      ~margin:(int_of_string (String.sub s 7 (String.length s - 7)))
+  | _ -> failwith "input must be unanimous:V or margin:M"
+
+let discipline_of = function
+  | "lockstep" -> Discipline.lockstep
+  | "async" -> Discipline.asynchronous
+  | s -> failwith (Printf.sprintf "unknown schedule %s" s)
+
+let () =
+  parse_args ();
+  let n = options.n and t = options.t in
+  let rng = Prng.create ~seed:(options.seed * 31) in
+  let proposals = proposals_of_spec ~rng ~n options.input in
+  let discipline = discipline_of options.sched in
+  let run_traced () =
+    match options.algo with
+    | "dex-freq" ->
+      let cfg = D.config ~seed:options.seed ~pair:(Pair.freq ~n ~t) () in
+      Runner.run
+        (Runner.config ~discipline ~seed:options.seed ~extra:(D.extra cfg) ~trace:true
+           ~pp_msg:D.pp_msg ~n (fun p ->
+             D.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)))
+    | "bosco" ->
+      let cfg = B.config ~seed:options.seed ~n ~t () in
+      Runner.run
+        (Runner.config ~discipline ~seed:options.seed ~extra:(B.extra cfg) ~trace:true
+           ~pp_msg:B.pp_msg ~n (fun p ->
+             B.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)))
+    | other -> failwith (Printf.sprintf "unknown algorithm %s (dex-freq | bosco)" other)
+  in
+  let result = run_traced () in
+  Printf.printf "algo=%s n=%d t=%d seed=%d input=%s sched=%s\n" options.algo n t options.seed
+    options.input options.sched;
+  Printf.printf "proposals: %s\n\n" (Format.asprintf "%a" Input_vector.pp proposals);
+
+  (* Timeline: bucket trace entries by integer time; show decisions inline. *)
+  let entries = Dex_sim.Trace.to_list result.Runner.trace in
+  let shown = ref 0 in
+  let last_bucket = ref (-1) in
+  List.iter
+    (fun e ->
+      if !shown < options.max_lines then begin
+        let bucket = int_of_float e.Dex_sim.Trace.time in
+        if bucket <> !last_bucket then begin
+          last_bucket := bucket;
+          Printf.printf "---- t in [%d, %d) ----\n" bucket (bucket + 1)
+        end;
+        let label = e.Dex_sim.Trace.label in
+        let interesting =
+          String.length label >= 6 && (String.sub label 0 6 = "decide" || String.sub label 0 5 = "start")
+        in
+        if interesting || !shown < options.max_lines then begin
+          Printf.printf "  [%6.2f] %s\n" e.Dex_sim.Trace.time label;
+          incr shown
+        end
+      end)
+    entries;
+  if List.length entries > !shown then
+    Printf.printf "  … %d further events (raise --max-lines to see more)\n"
+      (List.length entries - !shown);
+
+  Printf.printf "\ndecisions:\n";
+  Array.iteri
+    (fun p d ->
+      match d with
+      | Some d ->
+        Printf.printf "  p%d -> %d via %-10s depth=%d t=%.2f\n" p d.Runner.value d.Runner.tag
+          d.Runner.depth d.Runner.time
+      | None -> Printf.printf "  p%d -> undecided\n" p)
+    result.Runner.decisions;
+  Printf.printf "messages: %d sent, %d delivered, %d dropped\n" result.Runner.sent
+    result.Runner.delivered result.Runner.dropped

@@ -1,0 +1,30 @@
+(* Thin CLI over Dex_experiments.Harness: regenerates every experiment table
+   (see DESIGN.md §5 and EXPERIMENTS.md).
+
+   Usage:
+     dune exec bin/experiments.exe                      # all experiments
+     dune exec bin/experiments.exe -- e1 e3             # a subset
+     dune exec bin/experiments.exe -- --trials 100 all
+*)
+
+open Dex_experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse = function
+    | "--trials" :: v :: rest ->
+      Harness.trials := int_of_string v;
+      parse rest
+    | x :: rest -> x :: parse rest
+    | [] -> []
+  in
+  let selected = parse args in
+  let selected =
+    if selected = [] || List.mem "all" selected then List.map fst Harness.all else selected
+  in
+  List.iter
+    (fun name ->
+      if not (Harness.run_by_name name) then
+        Printf.eprintf "unknown experiment %s (known: %s)\n" name
+          (String.concat ", " (List.map fst Harness.all)))
+    selected

@@ -1,0 +1,1 @@
+examples/adaptive_demo.ml: Dex_condition Dex_stdext Dex_workload Fault_spec Input_gen List Pair Printf Scenario String

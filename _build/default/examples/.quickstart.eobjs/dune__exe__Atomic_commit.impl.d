@@ -1,0 +1,1 @@
+examples/atomic_commit.ml: Adversary Array Dex_condition Dex_core Dex_net Dex_underlying Discipline List Pair Printf Runner String Uc_oracle

@@ -1,0 +1,1 @@
+examples/atomic_commit.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dex_condition Dex_core Dex_net Dex_underlying Discipline Pair Printf Runner Uc_oracle

@@ -1,0 +1,1 @@
+examples/state_machine.ml: Array Dex_condition Dex_net Dex_smr Dex_underlying Discipline Hashtbl List Pair Printf Replicated_log Runner Uc_oracle

@@ -1,0 +1,1 @@
+examples/state_machine.mli:

@@ -1,0 +1,1 @@
+lib/analysis/multinomial.ml: Array Fun List

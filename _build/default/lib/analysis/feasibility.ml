@@ -1,0 +1,28 @@
+type workload = { bias : float; alternatives : int }
+
+let probs w =
+  if w.bias < 0.0 || w.bias > 1.0 then invalid_arg "Feasibility: bias outside [0,1]";
+  if w.alternatives < 1 then invalid_arg "Feasibility: need at least one alternative";
+  Array.append [| w.bias |]
+    (Array.make w.alternatives ((1.0 -. w.bias) /. float_of_int w.alternatives))
+
+(* Frequency margin of a count vector: top count minus second-top (0 when a
+   single value exists). Ties don't matter for the margin itself. *)
+let margin counts =
+  let sorted = Array.copy counts in
+  Array.sort (fun a b -> compare b a) sorted;
+  if Array.length sorted < 2 then sorted.(0) else sorted.(0) - sorted.(1)
+
+let p_freq_margin_gt ~n w ~d =
+  Multinomial.probability ~n ~probs:(probs w) (fun counts -> margin counts > d)
+
+let p_privileged_gt ~n w ~d =
+  Multinomial.probability ~n ~probs:(probs w) (fun counts -> counts.(0) > d)
+
+let p_dex_one_step ~n ~t w = p_freq_margin_gt ~n w ~d:(4 * t)
+
+let p_dex_two_step ~n ~t w = p_freq_margin_gt ~n w ~d:(2 * t)
+
+let p_unanimous ~n w =
+  Multinomial.probability ~n ~probs:(probs w) (fun counts ->
+      Array.exists (fun c -> c = n) counts)

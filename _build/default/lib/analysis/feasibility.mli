@@ -1,0 +1,31 @@
+(** Closed-form feasibility probabilities for the paper's conditions.
+
+    For i.i.d. categorical proposals these express "how often is a random
+    input inside a condition" exactly, giving the analytic counterpart of
+    the measured coverage tables (experiment E10): if the simulator and the
+    algorithm are right, measured fast-decision coverage must dominate the
+    condition probability (the conditions are sufficient, not necessary)
+    and converge to it at the boundaries. *)
+
+type workload = {
+  bias : float;  (** probability of the favorite value *)
+  alternatives : int;  (** the rest spreads uniformly over this many values *)
+}
+(** The [Input_gen.skewed] workload: favorite with probability [bias], else
+    uniform over [alternatives] other values. *)
+
+val p_freq_margin_gt : n:int -> workload -> d:int -> float
+(** P[#1st(I) − #2nd(I) > d] for a random input. *)
+
+val p_privileged_gt : n:int -> workload -> d:int -> float
+(** P[#favorite(I) > d] — the favorite plays the privileged value. *)
+
+val p_dex_one_step : n:int -> t:int -> workload -> float
+(** P[I ∈ C¹_0] = [p_freq_margin_gt ~d:(4t)]: the inputs with a
+    {e guaranteed} one-step DEX decision at [f = 0]. *)
+
+val p_dex_two_step : n:int -> t:int -> workload -> float
+(** P[I ∈ C²_0] = [p_freq_margin_gt ~d:(2t)]. *)
+
+val p_unanimous : n:int -> workload -> float
+(** P[all proposals equal] — the classic weakly-one-step sweet spot. *)

@@ -1,0 +1,51 @@
+let table = ref [| 0.0 |] (* log_factorial.(i) = ln i! *)
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Multinomial.log_factorial: negative";
+  let current = Array.length !table in
+  if n >= current then begin
+    let fresh = Array.make (n + 64) 0.0 in
+    Array.blit !table 0 fresh 0 current;
+    for i = max 1 current to Array.length fresh - 1 do
+      fresh.(i) <- fresh.(i - 1) +. log (float_of_int i)
+    done;
+    table := fresh
+  end;
+  !table.(n)
+
+let pmf ~probs ~counts =
+  if Array.length probs <> Array.length counts then
+    invalid_arg "Multinomial.pmf: length mismatch";
+  let n = Array.fold_left ( + ) 0 counts in
+  if Array.exists (fun c -> c < 0) counts then invalid_arg "Multinomial.pmf: negative count";
+  let log_p = ref (log_factorial n) in
+  let impossible = ref false in
+  Array.iteri
+    (fun i c ->
+      log_p := !log_p -. log_factorial c;
+      if c > 0 then begin
+        if probs.(i) <= 0.0 then impossible := true
+        else log_p := !log_p +. (float_of_int c *. log probs.(i))
+      end)
+    counts;
+  if !impossible then 0.0 else exp !log_p
+
+let compositions ~n ~k =
+  if k <= 0 then invalid_arg "Multinomial.compositions: k must be positive";
+  let rec build k n =
+    if k = 1 then [ [ n ] ]
+    else
+      List.concat_map
+        (fun first -> List.map (fun rest -> first :: rest) (build (k - 1) (n - first)))
+        (List.init (n + 1) Fun.id)
+  in
+  build k n
+
+let probability ~n ~probs pred =
+  let k = Array.length probs in
+  List.fold_left
+    (fun acc counts_list ->
+      let counts = Array.of_list counts_list in
+      if pred counts then acc +. pmf ~probs ~counts else acc)
+    0.0
+    (compositions ~n ~k)

@@ -1,0 +1,24 @@
+(** Exact multinomial probability computations.
+
+    The skewed workloads of the coverage experiments draw each proposal
+    i.i.d. from a small categorical distribution, so the probability that a
+    random input satisfies a condition is a sum of multinomial point masses
+    over count vectors — exactly computable for experiment-scale [n] and a
+    handful of categories. Used by {!Feasibility} to put analytic curves
+    next to the measured ones (experiment E10). *)
+
+val log_factorial : int -> float
+(** [ln n!], memoized. @raise Invalid_argument on negatives. *)
+
+val pmf : probs:float array -> counts:int array -> float
+(** Multinomial point mass of [counts] under category probabilities
+    [probs] (which must have equal length and [probs] summing to ~1).
+    @raise Invalid_argument on mismatched lengths or negative counts. *)
+
+val compositions : n:int -> k:int -> int list list
+(** All ways to write [n] as an ordered sum of [k] non-negative parts
+    ([binom(n+k-1, k-1)] of them — intended for small [k]). *)
+
+val probability : n:int -> probs:float array -> (int array -> bool) -> float
+(** [probability ~n ~probs pred]: P[pred counts] for counts ~
+    Multinomial(n, probs). Exact enumeration over {!compositions}. *)

@@ -1,0 +1,1 @@
+lib/baselines/bosco.ml: Dex_codec Dex_net Dex_underlying Dex_vector Format List Pid Protocol Uc_intf Value View

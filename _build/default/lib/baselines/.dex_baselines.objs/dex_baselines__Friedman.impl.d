@@ -1,0 +1,1 @@
+lib/baselines/friedman.ml: Dex_codec Dex_net Dex_underlying Dex_vector Format List Protocol Uc_intf Value View

@@ -1,0 +1,1 @@
+lib/baselines/friedman.mli: Dex_codec Dex_net Dex_underlying Dex_vector Format Pid Protocol Uc_intf Value

@@ -1,0 +1,1 @@
+lib/baselines/plain.ml: Dex_codec Dex_net Dex_underlying Dex_vector List Protocol Uc_intf Value

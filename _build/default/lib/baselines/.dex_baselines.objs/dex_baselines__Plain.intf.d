@@ -1,0 +1,1 @@
+lib/baselines/plain.mli: Dex_codec Dex_net Dex_underlying Dex_vector Pid Protocol Uc_intf Value

@@ -1,0 +1,1 @@
+lib/baselines/sync_flood.ml: Dex_codec Dex_net Dex_vector Format List Pid Protocol Value View

@@ -1,0 +1,1 @@
+lib/baselines/sync_flood.mli: Dex_codec Dex_net Dex_vector Format Pid Protocol Value

@@ -1,0 +1,108 @@
+open Dex_vector
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) = struct
+  type msg = Vote of Value.t | Uc of Uc.msg
+
+  let pp_msg ppf = function
+    | Vote v -> Format.fprintf ppf "VOTE(%a)" Value.pp v
+    | Uc _ -> Format.pp_print_string ppf "UC(..)"
+
+  let classify = function Vote _ -> "VOTE" | Uc _ -> "UC"
+
+  let codec =
+    let open Dex_codec.Codec in
+    variant ~name:"Bosco.msg"
+      (function
+        | Vote v -> (0, fun buf -> int.write buf v)
+        | Uc m -> (1, fun buf -> Uc.codec.write buf m))
+      (fun tag r ->
+        match tag with
+        | 0 -> Vote (int.read r)
+        | 1 -> Uc (Uc.codec.read r)
+        | other -> bad_tag ~name:"Bosco.msg" other)
+
+  type config = { n : int; t : int; seed : int }
+
+  let config ?(seed = 0) ~n ~t () =
+    if t < 0 || n <= 5 * t then invalid_arg "Bosco.config: requires n > 5t and t >= 0";
+    { n; t; seed }
+
+  let instance cfg ~me ~proposal =
+    let votes = View.bottom cfg.n in
+    let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
+    let acted = ref false in
+    let decided = ref false in
+    let uc_actions emit =
+      let sends =
+        List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
+        @ List.map
+            (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
+            emit.Uc_intf.timers
+      in
+      match emit.Uc_intf.decision with
+      | Some v when not !decided ->
+        decided := true;
+        sends @ [ Protocol.decide ~tag:"underlying" v ]
+      | _ -> sends
+    in
+    (* The single evaluation point: fires when the (n-t)-th vote lands. *)
+    let evaluate () =
+      acted := true;
+      let decide_threshold_doubled = cfg.n + (3 * cfg.t) in
+      let adopt_threshold_doubled = cfg.n - cfg.t in
+      let decides =
+        match View.first_most_frequent votes with
+        | Some v
+          when 2 * View.occurrences votes v > decide_threshold_doubled && not !decided ->
+          decided := true;
+          [ Protocol.decide ~tag:"one-step" v ]
+        | _ -> []
+      in
+      (* "if there exists a unique v with more than (n-t)/2 votes": strict
+         majority of n-t can hold for at most one value, so uniqueness is
+         automatic; comparisons are done at double scale to stay in
+         integers. *)
+      let adopted =
+        match View.first_most_frequent votes with
+        | Some v when 2 * View.occurrences votes v > adopt_threshold_doubled -> v
+        | _ -> proposal
+      in
+      decides @ uc_actions (Uc.propose uc adopted)
+    in
+    let start () =
+      View.set votes me proposal;
+      Protocol.broadcast ~n:cfg.n (Vote proposal)
+    in
+    let on_message ~now:_ ~from msg =
+      match msg with
+      | Vote v ->
+        (* First vote per sender counts; Bosco reads one vote per process. *)
+        if from >= 0 && from < cfg.n && View.get votes from = None then begin
+          View.set votes from v;
+          if (not !acted) && View.filled votes >= cfg.n - cfg.t then evaluate ()
+          else []
+        end
+        else []
+      | Uc m -> uc_actions (Uc.on_message uc ~from m)
+    in
+    { Protocol.start; on_message }
+
+  let extra cfg =
+    List.map
+      (fun (pid, inst) ->
+        ( pid,
+          Protocol.embed
+            ~inject:(fun m -> Uc m)
+            ~project:(function Uc m -> Some m | Vote _ -> None)
+            inst ))
+      (Uc.extra_nodes ~n:cfg.n ~t:cfg.t ~seed:cfg.seed)
+
+  let equivocator cfg ~me:_ ~split =
+    {
+      Protocol.start =
+        (fun () -> List.map (fun dst -> Protocol.send dst (Vote (split dst))) (Pid.all ~n:cfg.n));
+      on_message = (fun ~now:_ ~from:_ _ -> []);
+    }
+end

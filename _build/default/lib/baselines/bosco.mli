@@ -1,0 +1,50 @@
+(** Bosco — the one-step Byzantine consensus of Song & van Renesse
+    (DISC 2008), the paper's main comparison point (Table 1, row "Yee
+    et.al. [12] (Bosco)").
+
+    One round of votes, evaluated {e once} when the first [n − t] votes have
+    arrived:
+
+    + broadcast [VOTE(v)];
+    + wait for [n − t] votes;
+    + if more than [(n + 3t) / 2] of them carry one value [v]: decide [v];
+    + if there is a unique value [v] carried by more than [(n − t) / 2]
+      votes: adopt [v] as the proposal;
+    + run the underlying consensus on the (possibly adopted) proposal and
+      decide its outcome if not decided.
+
+    With [n > 5t] this is weakly one-step (one-step whenever all processes
+    propose the same value and no process is faulty); with [n > 7t] it is
+    strongly one-step (one-step whenever all {e correct} processes agree,
+    regardless of failures). The snapshot-at-[n − t] evaluation — versus
+    DEX's re-evaluation on every arrival — is exactly the structural
+    difference the DEX paper exploits for adaptiveness.
+
+    Decision tags: ["one-step"], ["underlying"]. *)
+
+open Dex_vector
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) : sig
+  type msg = Vote of Value.t | Uc of Uc.msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val classify : msg -> string
+
+  val codec : msg Dex_codec.Codec.t
+
+  type config = { n : int; t : int; seed : int }
+
+  val config : ?seed:int -> n:int -> t:int -> unit -> config
+  (** @raise Invalid_argument unless [n > 5t] (the weakly-one-step bound —
+      Bosco is meaningless below it). *)
+
+  val instance : config -> me:Pid.t -> proposal:Value.t -> msg Protocol.instance
+
+  val extra : config -> (Pid.t * msg Protocol.instance) list
+
+  val equivocator : config -> me:Pid.t -> split:(Pid.t -> Value.t) -> msg Protocol.instance
+  (** Sends vote [split dst] to each [dst]; silent otherwise. *)
+end

@@ -1,0 +1,92 @@
+open Dex_vector
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) = struct
+  type msg = Val of Value.t | Uc of Uc.msg
+
+  let pp_msg ppf = function
+    | Val v -> Format.fprintf ppf "VAL(%a)" Value.pp v
+    | Uc _ -> Format.pp_print_string ppf "UC(..)"
+
+  let classify = function Val _ -> "VAL" | Uc _ -> "UC"
+
+  let codec =
+    let open Dex_codec.Codec in
+    variant ~name:"Brasileiro.msg"
+      (function
+        | Val v -> (0, fun buf -> int.write buf v)
+        | Uc m -> (1, fun buf -> Uc.codec.write buf m))
+      (fun tag r ->
+        match tag with
+        | 0 -> Val (int.read r)
+        | 1 -> Uc (Uc.codec.read r)
+        | other -> bad_tag ~name:"Brasileiro.msg" other)
+
+  type config = { n : int; t : int; seed : int }
+
+  let config ?(seed = 0) ~n ~t () =
+    if t < 0 || n <= 3 * t then invalid_arg "Brasileiro.config: requires n > 3t and t >= 0";
+    { n; t; seed }
+
+  let instance cfg ~me ~proposal =
+    let values = View.bottom cfg.n in
+    let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
+    let acted = ref false in
+    let decided = ref false in
+    let uc_actions emit =
+      let sends =
+        List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
+        @ List.map
+            (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
+            emit.Uc_intf.timers
+      in
+      match emit.Uc_intf.decision with
+      | Some v when not !decided ->
+        decided := true;
+        sends @ [ Protocol.decide ~tag:"underlying" v ]
+      | _ -> sends
+    in
+    let evaluate () =
+      acted := true;
+      let received = View.filled values in
+      let decides =
+        match View.first_most_frequent values with
+        | Some v when View.occurrences values v = received && not !decided ->
+          decided := true;
+          [ Protocol.decide ~tag:"one-step" v ]
+        | _ -> []
+      in
+      let adopted =
+        match View.first_most_frequent values with
+        | Some v when View.occurrences values v >= cfg.n - (2 * cfg.t) -> v
+        | _ -> proposal
+      in
+      decides @ uc_actions (Uc.propose uc adopted)
+    in
+    let start () =
+      View.set values me proposal;
+      Protocol.broadcast ~n:cfg.n (Val proposal)
+    in
+    let on_message ~now:_ ~from msg =
+      match msg with
+      | Val v ->
+        if from >= 0 && from < cfg.n && View.get values from = None then begin
+          View.set values from v;
+          if (not !acted) && View.filled values >= cfg.n - cfg.t then evaluate () else []
+        end
+        else []
+      | Uc m -> uc_actions (Uc.on_message uc ~from m)
+    in
+    { Protocol.start; on_message }
+
+  let extra cfg =
+    List.map
+      (fun (pid, inst) ->
+        ( pid,
+          Protocol.embed
+            ~inject:(fun m -> Uc m)
+            ~project:(function Uc m -> Some m | Val _ -> None)
+            inst ))
+      (Uc.extra_nodes ~n:cfg.n ~t:cfg.t ~seed:cfg.seed)
+end

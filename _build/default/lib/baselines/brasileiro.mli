@@ -1,0 +1,39 @@
+(** Brasileiro et al.'s one-step consensus for the {e crash} failure model
+    (Table 1, row "Brasileiro et.al. [2]").
+
+    + broadcast the proposal;
+    + wait for [n − t] values;
+    + if all [n − t] carry the same value [v]: decide [v] (one step);
+    + if at least [n − 2t] carry [v]: adopt [v] as the proposal;
+    + run the underlying consensus.
+
+    Requires [n > 3t]. Correct under crash faults only — a Byzantine
+    equivocator can violate agreement, which the test suite demonstrates
+    ({!test/test_baselines.ml}): this baseline exists to reproduce the
+    crash-model rows of Table 1 and to show {e why} the Byzantine setting
+    forces the larger [5t]/[6t]/[7t] thresholds.
+
+    Decision tags: ["one-step"], ["underlying"]. *)
+
+open Dex_vector
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) : sig
+  type msg = Val of Value.t | Uc of Uc.msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val classify : msg -> string
+
+  val codec : msg Dex_codec.Codec.t
+
+  type config = { n : int; t : int; seed : int }
+
+  val config : ?seed:int -> n:int -> t:int -> unit -> config
+  (** @raise Invalid_argument unless [n > 3t]. *)
+
+  val instance : config -> me:Pid.t -> proposal:Value.t -> msg Protocol.instance
+
+  val extra : config -> (Pid.t * msg Protocol.instance) list
+end

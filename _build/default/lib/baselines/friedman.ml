@@ -1,0 +1,93 @@
+open Dex_vector
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) = struct
+  type msg = Vote of Value.t | Uc of Uc.msg
+
+  let pp_msg ppf = function
+    | Vote v -> Format.fprintf ppf "VOTE(%a)" Value.pp v
+    | Uc _ -> Format.pp_print_string ppf "UC(..)"
+
+  let classify = function Vote _ -> "VOTE" | Uc _ -> "UC"
+
+  let codec =
+    let open Dex_codec.Codec in
+    variant ~name:"Friedman.msg"
+      (function
+        | Vote v -> (0, fun buf -> int.write buf v)
+        | Uc m -> (1, fun buf -> Uc.codec.write buf m))
+      (fun tag r ->
+        match tag with
+        | 0 -> Vote (int.read r)
+        | 1 -> Uc (Uc.codec.read r)
+        | other -> bad_tag ~name:"Friedman.msg" other)
+
+  type config = { n : int; t : int; seed : int }
+
+  let config ?(seed = 0) ~n ~t () =
+    if t < 0 || n <= 5 * t then invalid_arg "Friedman.config: requires n > 5t and t >= 0";
+    { n; t; seed }
+
+  let instance cfg ~me ~proposal =
+    let votes = View.bottom cfg.n in
+    let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
+    let acted = ref false in
+    let decided = ref false in
+    let uc_actions emit =
+      let sends =
+        List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
+        @ List.map
+            (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
+            emit.Uc_intf.timers
+      in
+      match emit.Uc_intf.decision with
+      | Some v when not !decided ->
+        decided := true;
+        sends @ [ Protocol.decide ~tag:"underlying" v ]
+      | _ -> sends
+    in
+    let evaluate () =
+      acted := true;
+      let received = View.filled votes in
+      let decides =
+        match View.first_most_frequent votes with
+        | Some v when View.occurrences votes v = received && not !decided ->
+          decided := true;
+          [ Protocol.decide ~tag:"one-step" v ]
+        | _ -> []
+      in
+      (* Adopt a value seen in a strict majority of the snapshot. *)
+      let adopted =
+        match View.first_most_frequent votes with
+        | Some v when 2 * View.occurrences votes v > received -> v
+        | _ -> proposal
+      in
+      decides @ uc_actions (Uc.propose uc adopted)
+    in
+    let start () =
+      View.set votes me proposal;
+      Protocol.broadcast ~n:cfg.n (Vote proposal)
+    in
+    let on_message ~now:_ ~from msg =
+      match msg with
+      | Vote v ->
+        if from >= 0 && from < cfg.n && View.get votes from = None then begin
+          View.set votes from v;
+          if (not !acted) && View.filled votes >= cfg.n - cfg.t then evaluate () else []
+        end
+        else []
+      | Uc m -> uc_actions (Uc.on_message uc ~from m)
+    in
+    { Protocol.start; on_message }
+
+  let extra cfg =
+    List.map
+      (fun (pid, inst) ->
+        ( pid,
+          Protocol.embed
+            ~inject:(fun m -> Uc m)
+            ~project:(function Uc m -> Some m | Vote _ -> None)
+            inst ))
+      (Uc.extra_nodes ~n:cfg.n ~t:cfg.t ~seed:cfg.seed)
+end

@@ -1,0 +1,51 @@
+(** Friedman et al.-style weakly one-step Byzantine consensus
+    (Table 1, row "Friedman et.al. [5]": Asyn. / Byzan. / 5t+1 / Weak /
+    agreed proposals).
+
+    A reconstruction of the weak one-step family at [n > 5t] (the cited
+    paper is oracle-based; only its fast-path structure matters for the
+    comparison): one vote wave, evaluated once at the first [n − t]
+    arrivals:
+
+    + broadcast [VOTE(v)];
+    + wait for [n − t] votes;
+    + if {e all} [n − t] carry the same value [v]: decide [v] (one step);
+    + adopt the value carried by more than [(n − t)/2] votes if one exists;
+    + run the underlying consensus on the (possibly adopted) proposal.
+
+    Weakly one-step: with all proposals equal and [f = 0], every snapshot is
+    unanimous. Safety at [n > 5t]: a one-step decision on [v] means
+    [n − 2t ≥ 3t + 1] correct processes voted [v]; any other correct
+    process's [n − t] snapshot then contains more than [(n − t)/2] votes for
+    [v] (since at most [t + t] of its entries are not from that correct
+    majority... the arithmetic needs [n > 5t]), so everyone adopts [v] and
+    the underlying consensus unanimously confirms it.
+
+    Compared to {!Bosco} (same resilience, weak flavour): the decide rule is
+    stricter (unanimous snapshot vs [> (n+3t)/2]), so its one-step coverage
+    is a strict subset — visible in experiment E1.
+
+    Decision tags: ["one-step"], ["underlying"]. *)
+
+open Dex_vector
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) : sig
+  type msg = Vote of Value.t | Uc of Uc.msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val classify : msg -> string
+
+  val codec : msg Dex_codec.Codec.t
+
+  type config = { n : int; t : int; seed : int }
+
+  val config : ?seed:int -> n:int -> t:int -> unit -> config
+  (** @raise Invalid_argument unless [n > 5t]. *)
+
+  val instance : config -> me:Pid.t -> proposal:Value.t -> msg Protocol.instance
+
+  val extra : config -> (Pid.t * msg Protocol.instance) list
+end

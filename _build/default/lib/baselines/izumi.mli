@@ -1,0 +1,50 @@
+(** Izumi & Masuzawa-style adaptive condition-based one-step consensus for
+    the {e crash} model (Table 1, row "Izumi et.al. [8]": Asyn. / Crash /
+    3t+1 / condition-based).
+
+    A reconstruction of the adaptive crash-model scheme DEX generalizes:
+    one view lane, predicates re-evaluated on every arrival (the
+    adaptiveness DEX imports), frequency condition thresholds halved
+    relative to DEX's Byzantine ones because crashed processes never lie:
+
+    + broadcast the proposal and accumulate view [J];
+    + whenever [|J| ≥ n − t] and [#1st(J) − #2nd(J) > 2t]: decide [1st(J)]
+      — a one-step decision, guaranteed for inputs with margin [> 2t + 2k]
+      when at most [k] processes crash;
+    + on the first [n − t] arrivals, propose [1st(J)] (or own value when
+      [J] is tied) to the underlying consensus and decide its outcome
+      otherwise.
+
+    Why the margin-[2t] threshold is safe under crashes: two correct views
+    [J], [J'] of the same input differ only by omissions — at most [t]
+    entries each. If [#1st(J) − #2nd(J) > 2t] then even removing [t]
+    supporters of [1st(J)] and adding back [t] entries of any other value
+    cannot reorder the top two in any [J'] extension, and every process's
+    UC proposal is forced to [1st(J)]. A Byzantine process breaks this by
+    double-voting — the test suite demonstrates the violation, mirroring
+    the Brasileiro one.
+
+    Requires [n > 3t]. Decision tags: ["one-step"], ["underlying"]. *)
+
+open Dex_vector
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) : sig
+  type msg = Val of Value.t | Uc of Uc.msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val classify : msg -> string
+
+  val codec : msg Dex_codec.Codec.t
+
+  type config = { n : int; t : int; seed : int }
+
+  val config : ?seed:int -> n:int -> t:int -> unit -> config
+  (** @raise Invalid_argument unless [n > 3t]. *)
+
+  val instance : config -> me:Pid.t -> proposal:Value.t -> msg Protocol.instance
+
+  val extra : config -> (Pid.t * msg Protocol.instance) list
+end

@@ -1,0 +1,44 @@
+open Dex_net
+open Dex_vector
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) = struct
+  type msg = Uc of Uc.msg
+
+  let classify (Uc _) = "UC"
+
+  let codec = Dex_codec.Codec.conv (fun (Uc m) -> m) (fun m -> Uc m) Uc.codec
+
+  type config = { n : int; t : int; seed : int }
+
+  let config ?(seed = 0) ~n ~t () =
+    if t < 0 || n <= 3 * t then invalid_arg "Plain.config: requires n > 3t and t >= 0";
+    { n; t; seed }
+
+  let instance cfg ~me ~(proposal : Value.t) =
+    let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
+    let decided = ref false in
+    let uc_actions emit =
+      let sends =
+        List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
+        @ List.map
+            (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
+            emit.Uc_intf.timers
+      in
+      match emit.Uc_intf.decision with
+      | Some v when not !decided ->
+        decided := true;
+        sends @ [ Protocol.decide ~tag:"underlying" v ]
+      | _ -> sends
+    in
+    {
+      Protocol.start = (fun () -> uc_actions (Uc.propose uc proposal));
+      on_message = (fun ~now:_ ~from msg -> match msg with Uc m -> uc_actions (Uc.on_message uc ~from m));
+    }
+
+  let extra cfg =
+    List.map
+      (fun (pid, inst) ->
+        (pid, Protocol.embed ~inject:(fun m -> Uc m) ~project:(fun (Uc m) -> Some m) inst))
+      (Uc.extra_nodes ~n:cfg.n ~t:cfg.t ~seed:cfg.seed)
+end

@@ -1,0 +1,28 @@
+(** The no-expedition baseline: feed the proposal straight to the underlying
+    consensus and decide its outcome.
+
+    With the two-step oracle this is the theoretical floor of [9]'s
+    two-step lower bound; against it, the benchmarks show what the one- and
+    two-step fast paths of DEX and Bosco actually buy (and what DEX's extra
+    IDB traffic costs). Decision tag: ["underlying"]. *)
+
+open Dex_net
+open Dex_vector
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) : sig
+  type msg = Uc of Uc.msg
+
+  val classify : msg -> string
+
+  val codec : msg Dex_codec.Codec.t
+
+  type config = { n : int; t : int; seed : int }
+
+  val config : ?seed:int -> n:int -> t:int -> unit -> config
+  (** @raise Invalid_argument unless [n > 3t]. *)
+
+  val instance : config -> me:Pid.t -> proposal:Value.t -> msg Protocol.instance
+
+  val extra : config -> (Pid.t * msg Protocol.instance) list
+end

@@ -1,0 +1,95 @@
+open Dex_vector
+open Dex_net
+
+type msg =
+  | Flood of { round : int; entries : (Pid.t * Value.t) list }
+  | Barrier of int  (** round-end timer; never crosses the network *)
+
+let pp_msg ppf = function
+  | Flood { round; entries } ->
+    Format.fprintf ppf "FLOOD(r=%d,%d entries)" round (List.length entries)
+  | Barrier r -> Format.fprintf ppf "BARRIER(r=%d)" r
+
+let classify = function Flood _ -> "FLOOD" | Barrier _ -> "BARRIER"
+
+let codec =
+  let open Dex_codec.Codec in
+  let entries = list (pair int int) in
+  variant ~name:"Sync_flood.msg"
+    (function
+      | Flood { round; entries = es } ->
+        ( 0,
+          fun buf ->
+            int.write buf round;
+            entries.write buf es )
+      | Barrier r -> (1, fun buf -> int.write buf r))
+    (fun tag r ->
+      match tag with
+      | 0 ->
+        let round = int.read r in
+        let es = entries.read r in
+        Flood { round; entries = es }
+      | 1 -> Barrier (int.read r)
+      | other -> bad_tag ~name:"Sync_flood.msg" other)
+
+type config = { n : int; t : int }
+
+let config ~n ~t () =
+  if t < 0 || t >= n then invalid_arg "Sync_flood.config: requires 0 <= t < n";
+  { n; t }
+
+(* The synchronous bound: under lockstep every hop takes 1.0; barriers at
+   r + 0.5 fall strictly between rounds. *)
+let round_length = 1.0
+
+let barrier_slack = 0.5
+
+let instance cfg ~me ~proposal =
+  let view = View.bottom cfg.n in
+  let fresh = ref [] in (* entries learned since the last broadcast *)
+  let decided = ref false in
+  let learn (p, v) =
+    if p >= 0 && p < cfg.n && View.get view p = None then begin
+      View.set view p v;
+      fresh := (p, v) :: !fresh
+    end
+  in
+  let flood_round round =
+    let entries = !fresh in
+    fresh := [];
+    (* Flooding an empty delta still serves as an "alive" beacon; skip it
+       only to keep message counts tight — correctness rests on the t+1
+       round structure, not on beacons. *)
+    if entries = [] then [] else Protocol.broadcast ~n:cfg.n (Flood { round; entries })
+  in
+  let decide tag =
+    match View.first_most_frequent view with
+    | Some v when not !decided ->
+      decided := true;
+      [ Protocol.decide ~tag v ]
+    | _ -> []
+  in
+  let start () =
+    learn (me, proposal);
+    flood_round 1
+    @ [ Protocol.Set_timer { delay = round_length +. barrier_slack; msg = Barrier 1 } ]
+  in
+  let on_message ~now:_ ~from msg =
+    match msg with
+    | Flood { round; entries } ->
+      (* Synchrony makes round tags redundant for correctness (everything
+         arrives in its round); they are kept for trace readability and to
+         reject nonsense rounds from crash-model-violating senders. *)
+      if round >= 1 && round <= cfg.t + 1 then List.iter learn entries;
+      []
+    | Barrier r when from = me ->
+      let decisions =
+        if r = 1 && View.freq_margin view > 2 * cfg.t then decide "one-round" else []
+      in
+      if r >= cfg.t + 1 then decisions @ decide "flood"
+      else
+        decisions @ flood_round (r + 1)
+        @ [ Protocol.Set_timer { delay = round_length; msg = Barrier (r + 1) } ]
+    | Barrier _ -> []
+  in
+  { Protocol.start; on_message }

@@ -1,0 +1,47 @@
+(** Synchronous condition-based one-step consensus, crash model
+    (Table 1, row "Mostefaoui et.al. [11]": Syn. / Crash / t+1 /
+    condition-based).
+
+    A reconstruction of the synchronous lane: FloodSet consensus with a
+    condition-based first-round decision. Rounds are realized with round
+    timers — legitimate here because the synchronous model guarantees every
+    round-[r] message arrives before the round barrier (run it under the
+    [lockstep] discipline, where every hop takes exactly one time unit):
+
+    + round 1: broadcast the proposal; at the barrier, with view [J] of all
+      values received, decide [1st(J)] immediately if
+      [#1st(J) − #2nd(J) > 2t] — the condition-based {b one-round} decision
+      (two correct round-1 views differ only in senders that crashed
+      mid-broadcast, at most [t] of them, so a [2t] margin pins [1st]);
+    + rounds 2 … t+1: flood newly learned (sender, value) pairs; after the
+      round-[t+1] barrier every correct process holds the same view
+      (classic FloodSet: some round is crash-free and synchronizes them)
+      and decides [1st] of it.
+
+    Correct under crash faults and synchronous delivery only — both
+    assumptions of that Table 1 row. Unlike the asynchronous algorithms it
+    needs no underlying consensus at all, which is exactly what synchrony
+    buys. Solvable for any [n > t]; the fast path is non-vacuous once
+    [n > 2t].
+
+    Decision tags: ["one-round"], ["flood"]. *)
+
+open Dex_vector
+open Dex_net
+
+type msg
+(** Round-tagged value announcements plus the internal round-barrier
+    timer. *)
+
+val pp_msg : Format.formatter -> msg -> unit
+
+val classify : msg -> string
+
+val codec : msg Dex_codec.Codec.t
+
+type config = { n : int; t : int }
+
+val config : n:int -> t:int -> unit -> config
+(** @raise Invalid_argument unless [0 <= t < n]. *)
+
+val instance : config -> me:Pid.t -> proposal:Value.t -> msg Protocol.instance

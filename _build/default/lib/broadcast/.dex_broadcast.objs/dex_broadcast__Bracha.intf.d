@@ -1,0 +1,1 @@
+lib/broadcast/bracha.mli: Dex_codec Dex_net Pid

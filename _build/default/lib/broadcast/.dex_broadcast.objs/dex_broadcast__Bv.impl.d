@@ -1,0 +1,1 @@
+lib/broadcast/bv.ml: Dex_codec Dex_net Format List Pid

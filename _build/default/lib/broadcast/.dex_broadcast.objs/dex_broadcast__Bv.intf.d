@@ -1,0 +1,1 @@
+lib/broadcast/bv.mli: Dex_codec Dex_net Format Pid

@@ -1,0 +1,1 @@
+lib/broadcast/idb.ml: Dex_codec Dex_net Hashtbl Option Pid

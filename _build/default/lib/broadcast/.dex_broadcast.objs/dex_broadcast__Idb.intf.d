@@ -1,0 +1,1 @@
+lib/broadcast/idb.mli: Dex_codec Dex_net Pid

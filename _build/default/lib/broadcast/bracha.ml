@@ -1,0 +1,139 @@
+open Dex_net
+
+type 'a msg =
+  | Initial of 'a
+  | Echo of { origin : Pid.t; payload : 'a }
+  | Ready of { origin : Pid.t; payload : 'a }
+
+type 'a origin_state = {
+  mutable echo_sent : bool;
+  mutable ready_sent : bool;
+  mutable accepted : 'a option;
+  echo_witnesses : (Pid.t * 'a, unit) Hashtbl.t;
+  echo_counts : ('a, int) Hashtbl.t;
+  ready_witnesses : (Pid.t * 'a, unit) Hashtbl.t;
+  ready_counts : ('a, int) Hashtbl.t;
+}
+
+type 'a t = {
+  echo_threshold : int;  (* > (n+t)/2 matching echoes promote to ready *)
+  ready_support : int;  (* t+1 readys suffice to join the ready wave *)
+  deliver_threshold : int;  (* 2t+1 readys deliver *)
+  origins : (Pid.t, 'a origin_state) Hashtbl.t;
+}
+
+let create ~n ~t =
+  if t < 0 || n <= 3 * t then invalid_arg "Bracha.create: requires n > 3t and t >= 0";
+  {
+    echo_threshold = ((n + t) / 2) + 1;
+    ready_support = t + 1;
+    deliver_threshold = (2 * t) + 1;
+    origins = Hashtbl.create 16;
+  }
+
+let rb_send payload = Initial payload
+
+type 'a emit = { broadcasts : 'a msg list; deliveries : (Pid.t * 'a) list }
+
+let nothing = { broadcasts = []; deliveries = [] }
+
+let state t origin =
+  match Hashtbl.find_opt t.origins origin with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        echo_sent = false;
+        ready_sent = false;
+        accepted = None;
+        echo_witnesses = Hashtbl.create 8;
+        echo_counts = Hashtbl.create 4;
+        ready_witnesses = Hashtbl.create 8;
+        ready_counts = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.add t.origins origin s;
+    s
+
+(* Count a witness for [payload] in the given tables; returns the updated
+   distinct-witness count, or None on a duplicate. *)
+let count witnesses counts ~from payload =
+  if Hashtbl.mem witnesses (from, payload) then None
+  else begin
+    Hashtbl.replace witnesses (from, payload) ();
+    let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts payload) in
+    Hashtbl.replace counts payload c;
+    Some c
+  end
+
+let promote_ready s ~origin ~payload =
+  if s.ready_sent then []
+  else begin
+    s.ready_sent <- true;
+    [ Ready { origin; payload } ]
+  end
+
+let try_deliver t s ~origin ~payload readys =
+  if readys >= t.deliver_threshold && s.accepted = None then begin
+    s.accepted <- Some payload;
+    [ (origin, payload) ]
+  end
+  else []
+
+let handle t ~from msg =
+  match msg with
+  | Initial payload ->
+    let s = state t from in
+    if s.echo_sent then nothing
+    else begin
+      s.echo_sent <- true;
+      { broadcasts = [ Echo { origin = from; payload } ]; deliveries = [] }
+    end
+  | Echo { origin; payload } -> (
+    let s = state t origin in
+    match count s.echo_witnesses s.echo_counts ~from payload with
+    | None -> nothing
+    | Some echoes ->
+      if echoes >= t.echo_threshold then
+        { broadcasts = promote_ready s ~origin ~payload; deliveries = [] }
+      else nothing)
+  | Ready { origin; payload } -> (
+    let s = state t origin in
+    match count s.ready_witnesses s.ready_counts ~from payload with
+    | None -> nothing
+    | Some readys ->
+      let broadcasts =
+        if readys >= t.ready_support then promote_ready s ~origin ~payload else []
+      in
+      { broadcasts; deliveries = try_deliver t s ~origin ~payload readys })
+
+let delivered t ~origin =
+  match Hashtbl.find_opt t.origins origin with None -> None | Some s -> s.accepted
+
+let codec payload =
+  let open Dex_codec.Codec in
+  variant ~name:"Bracha.msg"
+    (function
+      | Initial v -> (0, fun buf -> payload.write buf v)
+      | Echo { origin; payload = v } ->
+        ( 1,
+          fun buf ->
+            int.write buf origin;
+            payload.write buf v )
+      | Ready { origin; payload = v } ->
+        ( 2,
+          fun buf ->
+            int.write buf origin;
+            payload.write buf v ))
+    (fun tag r ->
+      match tag with
+      | 0 -> Initial (payload.read r)
+      | 1 ->
+        let origin = int.read r in
+        let v = payload.read r in
+        Echo { origin; payload = v }
+      | 2 ->
+        let origin = int.read r in
+        let v = payload.read r in
+        Ready { origin; payload = v }
+      | other -> bad_tag ~name:"Bracha.msg" other)

@@ -1,0 +1,42 @@
+open Dex_net
+
+(** Bracha reliable broadcast (n > 3t).
+
+    The classic three-phase echo broadcast [Bracha 1987], used here as the
+    dissemination layer of the concrete underlying-consensus stack
+    ([Dex_underlying.Multivalued]). Guarantees, for [n > 3t]:
+
+    - {b Validity}: if a correct sender RB-sends [m], all correct processes
+      RB-deliver [m] from it;
+    - {b Agreement}: no two correct processes RB-deliver different messages
+      for the same sender;
+    - {b Totality}: if any correct process RB-delivers for a sender, every
+      correct process eventually does.
+
+    Totality is what IDB (Figure 3) does not provide — and the reason IDB is
+    cheaper (two message steps instead of three). The repository includes
+    both so the cost/guarantee trade is measurable (bench [idb_vs_bracha]).
+
+    Embeddable state machine, same conventions as {!Idb}. *)
+
+type 'a msg =
+  | Initial of 'a
+  | Echo of { origin : Pid.t; payload : 'a }
+  | Ready of { origin : Pid.t; payload : 'a }
+
+type 'a t
+
+val create : n:int -> t:int -> 'a t
+(** @raise Invalid_argument unless [0 <= 3t < n]. *)
+
+val rb_send : 'a -> 'a msg
+(** The initial message to broadcast to all [n] processes. *)
+
+type 'a emit = { broadcasts : 'a msg list; deliveries : (Pid.t * 'a) list }
+
+val handle : 'a t -> from:Pid.t -> 'a msg -> 'a emit
+
+val delivered : 'a t -> origin:Pid.t -> 'a option
+
+val codec : 'a Dex_codec.Codec.t -> 'a msg Dex_codec.Codec.t
+(** Wire codec, given one for the payload. *)

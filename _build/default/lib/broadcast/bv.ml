@@ -1,0 +1,79 @@
+open Dex_net
+
+type bit = Zero | One
+
+let bit_of_bool b = if b then One else Zero
+
+let bool_of_bit = function One -> true | Zero -> false
+
+let pp_bit ppf = function
+  | Zero -> Format.pp_print_string ppf "0"
+  | One -> Format.pp_print_string ppf "1"
+
+type msg = Bval of bit
+
+type slot = {
+  mutable senders : Pid.t list;  (* distinct senders seen for this bit *)
+  mutable echoed : bool;  (* have we broadcast this bit ourselves *)
+  mutable in_bin : bool;
+}
+
+type t = {
+  support : int;  (* t+1 distinct senders trigger re-broadcast *)
+  accept : int;  (* 2t+1 distinct senders add to bin_values *)
+  zero : slot;
+  one : slot;
+}
+
+let fresh_slot () = { senders = []; echoed = false; in_bin = false }
+
+let create ~n ~t =
+  if t < 0 || n <= 3 * t then invalid_arg "Bv.create: requires n > 3t and t >= 0";
+  { support = t + 1; accept = (2 * t) + 1; zero = fresh_slot (); one = fresh_slot () }
+
+type emit = { broadcasts : msg list; added : bit list }
+
+let nothing = { broadcasts = []; added = [] }
+
+let slot t = function Zero -> t.zero | One -> t.one
+
+let bv_broadcast t bit =
+  let s = slot t bit in
+  if s.echoed then nothing
+  else begin
+    s.echoed <- true;
+    { broadcasts = [ Bval bit ]; added = [] }
+  end
+
+let handle t ~from (Bval bit) =
+  let s = slot t bit in
+  if List.mem from s.senders then nothing
+  else begin
+    s.senders <- from :: s.senders;
+    let count = List.length s.senders in
+    let broadcasts =
+      if count >= t.support && not s.echoed then begin
+        s.echoed <- true;
+        [ Bval bit ]
+      end
+      else []
+    in
+    let added =
+      if count >= t.accept && not s.in_bin then begin
+        s.in_bin <- true;
+        [ bit ]
+      end
+      else []
+    in
+    { broadcasts; added }
+  end
+
+let bin_values t =
+  (if t.zero.in_bin then [ Zero ] else []) @ if t.one.in_bin then [ One ] else []
+
+let mem t bit = (slot t bit).in_bin
+
+let bit_codec = Dex_codec.Codec.conv bool_of_bit bit_of_bool Dex_codec.Codec.bool
+
+let codec =
+  Dex_codec.Codec.conv (fun (Bval b) -> b) (fun b -> Bval b) bit_codec

@@ -1,0 +1,48 @@
+open Dex_net
+
+(** BV-broadcast: binary-value broadcast (Mostéfaoui–Moumen–Raynal).
+
+    The building block of the randomized binary consensus used by the
+    concrete underlying-consensus stack. For [n > 3t], if all correct
+    processes BV-broadcast values from [{0,1}]:
+
+    - {b Justification}: every value that enters [bin_values] was
+      BV-broadcast by a correct process;
+    - {b Uniformity}: if a value enters [bin_values] at a correct process,
+      it eventually enters [bin_values] at every correct process;
+    - {b Obligation}: a value BV-broadcast by [t+1] correct processes
+      eventually enters [bin_values] everywhere;
+    - {b Termination}: [bin_values] is eventually non-empty everywhere.
+
+    One instance serves a single (consensus round, phase) slot; the binary
+    consensus allocates instances per round. *)
+
+type bit = Zero | One
+
+val bit_of_bool : bool -> bit
+val bool_of_bit : bit -> bool
+val pp_bit : Format.formatter -> bit -> unit
+
+type msg = Bval of bit
+
+type t
+
+val create : n:int -> t:int -> t
+(** @raise Invalid_argument unless [0 <= 3t < n]. *)
+
+type emit = { broadcasts : msg list; added : bit list }
+(** [added]: bits that just entered [bin_values]. *)
+
+val bv_broadcast : t -> bit -> emit
+(** Start broadcasting one's own estimate. Idempotent per bit. *)
+
+val handle : t -> from:Pid.t -> msg -> emit
+
+val bin_values : t -> bit list
+(** Current contents of the local [bin_values] set (size 0–2). *)
+
+val mem : t -> bit -> bool
+
+val bit_codec : bit Dex_codec.Codec.t
+
+val codec : msg Dex_codec.Codec.t

@@ -1,0 +1,96 @@
+open Dex_net
+
+type 'a msg = Init of 'a | Echo of { origin : Pid.t; payload : 'a }
+
+type 'a origin_state = {
+  mutable echoed : bool;  (* first-echo(j) = not echoed *)
+  mutable accepted : 'a option;  (* first-accept(j) = accepted is None *)
+  witnesses : (Pid.t * 'a, unit) Hashtbl.t;
+      (* distinct witnesses seen per payload; keyed by (witness, payload) *)
+  counts : ('a, int) Hashtbl.t;  (* #distinct witnesses per payload *)
+}
+
+type 'a t = { n : int; thresh_amplify : int; thresh_accept : int; origins : (Pid.t, 'a origin_state) Hashtbl.t }
+
+let create ~n ~t =
+  if t < 0 || n <= 4 * t then invalid_arg "Idb.create: requires n > 4t and t >= 0";
+  { n; thresh_amplify = n - (2 * t); thresh_accept = n - t; origins = Hashtbl.create 16 }
+
+let id_send payload = Init payload
+
+type 'a emit = { broadcasts : 'a msg list; deliveries : (Pid.t * 'a) list }
+
+let nothing = { broadcasts = []; deliveries = [] }
+
+let state t origin =
+  match Hashtbl.find_opt t.origins origin with
+  | Some s -> s
+  | None ->
+    let s =
+      { echoed = false; accepted = None; witnesses = Hashtbl.create 8; counts = Hashtbl.create 4 }
+    in
+    Hashtbl.add t.origins origin s;
+    s
+
+let handle t ~from msg =
+  match msg with
+  | Init payload ->
+    (* Upon P-Receive (init, m') from p_j: echo once per origin. *)
+    let s = state t from in
+    if s.echoed then nothing
+    else begin
+      s.echoed <- true;
+      { broadcasts = [ Echo { origin = from; payload } ]; deliveries = [] }
+    end
+  | Echo { origin; payload } ->
+    let s = state t origin in
+    if Hashtbl.mem s.witnesses (from, payload) then nothing
+    else begin
+      Hashtbl.replace s.witnesses (from, payload) ();
+      let num = 1 + Option.value ~default:0 (Hashtbl.find_opt s.counts payload) in
+      Hashtbl.replace s.counts payload num;
+      let broadcasts =
+        (* Echo amplification: become a witness after n-2t matching echoes,
+           even without having seen the init. *)
+        if num >= t.thresh_amplify && not s.echoed then begin
+          s.echoed <- true;
+          [ Echo { origin; payload } ]
+        end
+        else []
+      in
+      let deliveries =
+        if num >= t.thresh_accept && s.accepted = None then begin
+          s.accepted <- Some payload;
+          [ (origin, payload) ]
+        end
+        else []
+      in
+      { broadcasts; deliveries }
+    end
+
+let delivered t ~origin =
+  match Hashtbl.find_opt t.origins origin with
+  | None -> None
+  | Some s -> s.accepted
+
+let echo_sent t ~origin =
+  match Hashtbl.find_opt t.origins origin with None -> false | Some s -> s.echoed
+
+let codec payload =
+  let open Dex_codec.Codec in
+  variant ~name:"Idb.msg"
+    (function
+      | Init v -> (0, fun buf -> payload.write buf v)
+      | Echo { origin; payload = v } ->
+        ( 1,
+          fun buf ->
+            int.write buf origin;
+            payload.write buf v ))
+    (fun tag r ->
+      match tag with
+      | 0 -> Init (payload.read r)
+      | 1 ->
+        let origin = int.read r in
+        let v = payload.read r in
+        Echo { origin; payload = v }
+      | other -> bad_tag ~name:"Idb.msg" other)

@@ -1,0 +1,55 @@
+open Dex_net
+
+(** Identical Broadcast — algorithm IDB, Figure 3 of the paper.
+
+    Guarantees (for [n > 4t], Theorem 4):
+    - {b Termination}: if a correct process Id-Sends [m], every correct
+      process Id-Receives [m] from it;
+    - {b Agreement}: no two correct processes Id-Receive different messages
+      for the same sender — even a Byzantine sender cannot make two correct
+      processes accept different values;
+    - {b Validity}: each correct process Id-Receives at most one message per
+      sender, and only if that sender Id-Sent it (when the sender is
+      correct).
+
+    One IDB communication step costs two standard message steps
+    (init followed by an echo wave).
+
+    This module is an embeddable state machine: the enclosing protocol owns
+    the network interaction, feeds incoming IDB messages to {!handle} and
+    broadcasts whatever {!handle} emits. One instance handles the receiver
+    role for {e all} senders. *)
+
+type 'a msg =
+  | Init of 'a  (** the sender's own broadcast, [(init, m)] *)
+  | Echo of { origin : Pid.t; payload : 'a }  (** witness message [(echo, m, j)] *)
+
+type 'a t
+
+val create : n:int -> t:int -> 'a t
+(** [create ~n ~t] — [n] processes, at most [t] Byzantine.
+    @raise Invalid_argument unless [0 <= 4t < n]. *)
+
+val id_send : 'a -> 'a msg
+(** The message a process broadcasts (to all [n], itself included) to
+    Id-Send a payload. *)
+
+type 'a emit = {
+  broadcasts : 'a msg list;  (** messages to broadcast to all [n] processes *)
+  deliveries : (Pid.t * 'a) list;  (** Id-Receive events: (origin, payload) *)
+}
+
+val handle : 'a t -> from:Pid.t -> 'a msg -> 'a emit
+(** Process one incoming IDB message. Duplicate echoes from the same witness
+    are ignored; at most one delivery per origin ever occurs
+    ([first-accept]); at most one echo per origin is ever sent
+    ([first-echo]). *)
+
+val delivered : 'a t -> origin:Pid.t -> 'a option
+(** The payload Id-Received for [origin], if any. *)
+
+val echo_sent : 'a t -> origin:Pid.t -> bool
+(** Has this process already echoed for [origin]? (Exposed for tests.) *)
+
+val codec : 'a Dex_codec.Codec.t -> 'a msg Dex_codec.Codec.t
+(** Wire codec, given one for the payload. *)

@@ -1,0 +1,1 @@
+lib/codec/codec.ml: Buffer Char Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/codec/codec.mli: Buffer

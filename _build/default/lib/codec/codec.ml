@@ -1,0 +1,207 @@
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Decode_error m)) fmt
+
+type reader = { data : string; mutable pos : int }
+
+type 'a t = { write : Buffer.t -> 'a -> unit; read : reader -> 'a }
+
+let max_string_len = 16 * 1024 * 1024
+
+let max_list_len = 1_000_000
+
+let byte r =
+  if r.pos >= String.length r.data then fail "unexpected end of input at %d" r.pos;
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let take r len =
+  if len < 0 || r.pos + len > String.length r.data then
+    fail "truncated input: need %d bytes at %d" len r.pos;
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+(* Unsigned LEB128. *)
+let write_uvarint buf n =
+  let rec go n =
+    let low = Int64.to_int (Int64.logand n 0x7FL) in
+    let rest = Int64.shift_right_logical n 7 in
+    if rest = 0L then Buffer.add_char buf (Char.chr low)
+    else begin
+      Buffer.add_char buf (Char.chr (low lor 0x80));
+      go rest
+    end
+  in
+  go n
+
+let read_uvarint r =
+  let rec go shift acc =
+    if shift > 63 then fail "varint too long";
+    let b = byte r in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7F)) shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0L
+
+(* Zigzag mapping makes small negative ints compact too. *)
+let zigzag n = Int64.logxor (Int64.shift_left n 1) (Int64.shift_right n 63)
+
+let unzigzag n =
+  Int64.logxor (Int64.shift_right_logical n 1) (Int64.neg (Int64.logand n 1L))
+
+let int =
+  {
+    write = (fun buf n -> write_uvarint buf (zigzag (Int64.of_int n)));
+    read = (fun r -> Int64.to_int (unzigzag (read_uvarint r)));
+  }
+
+let bool =
+  {
+    write = (fun buf b -> Buffer.add_char buf (if b then '\001' else '\000'));
+    read =
+      (fun r ->
+        match byte r with 0 -> false | 1 -> true | b -> fail "bad bool byte %d" b);
+  }
+
+let float =
+  {
+    write = (fun buf x -> Buffer.add_int64_be buf (Int64.bits_of_float x));
+    read =
+      (fun r ->
+        let s = take r 8 in
+        Int64.float_of_bits (String.get_int64_be s 0));
+  }
+
+let string =
+  {
+    write =
+      (fun buf s ->
+        write_uvarint buf (Int64.of_int (String.length s));
+        Buffer.add_string buf s);
+    read =
+      (fun r ->
+        let len = Int64.to_int (read_uvarint r) in
+        if len > max_string_len then fail "string too long: %d" len;
+        take r len);
+  }
+
+let unit = { write = (fun _ () -> ()); read = (fun _ -> ()) }
+
+let option inner =
+  {
+    write =
+      (fun buf -> function
+        | None -> Buffer.add_char buf '\000'
+        | Some v ->
+          Buffer.add_char buf '\001';
+          inner.write buf v);
+    read =
+      (fun r ->
+        match byte r with
+        | 0 -> None
+        | 1 -> Some (inner.read r)
+        | b -> fail "bad option tag %d" b);
+  }
+
+let list inner =
+  {
+    write =
+      (fun buf items ->
+        write_uvarint buf (Int64.of_int (List.length items));
+        List.iter (inner.write buf) items);
+    read =
+      (fun r ->
+        let count = Int64.to_int (read_uvarint r) in
+        if count < 0 || count > max_list_len then fail "list too long: %d" count;
+        List.init count (fun _ -> inner.read r));
+  }
+
+let pair ca cb =
+  {
+    write =
+      (fun buf (a, b) ->
+        ca.write buf a;
+        cb.write buf b);
+    read =
+      (fun r ->
+        let a = ca.read r in
+        let b = cb.read r in
+        (a, b));
+  }
+
+let triple ca cb cc =
+  {
+    write =
+      (fun buf (a, b, c) ->
+        ca.write buf a;
+        cb.write buf b;
+        cc.write buf c);
+    read =
+      (fun r ->
+        let a = ca.read r in
+        let b = cb.read r in
+        let c = cc.read r in
+        (a, b, c));
+  }
+
+let conv to_wire of_wire wire =
+  {
+    write = (fun buf v -> wire.write buf (to_wire v));
+    read = (fun r -> of_wire (wire.read r));
+  }
+
+let bad_tag ~name tag = fail "unknown tag %d for %s" tag name
+
+let variant ~name:_ tag_of read_case =
+  {
+    write =
+      (fun buf v ->
+        let tag, write_payload = tag_of v in
+        int.write buf tag;
+        write_payload buf);
+    read =
+      (fun r ->
+        let tag = int.read r in
+        read_case tag r);
+  }
+
+let encode codec v =
+  let buf = Buffer.create 64 in
+  codec.write buf v;
+  Buffer.contents buf
+
+let decode_exn codec s =
+  let r = { data = s; pos = 0 } in
+  let v = codec.read r in
+  if r.pos <> String.length s then fail "trailing bytes: %d unread" (String.length s - r.pos);
+  v
+
+let decode codec s =
+  match decode_exn codec s with
+  | v -> Ok v
+  | exception Decode_error m -> Error m
+
+module Frame = struct
+  let max_frame = 64 * 1024 * 1024
+
+  let write buf codec v =
+    let payload = encode codec v in
+    let len = String.length payload in
+    Buffer.add_int32_be buf (Int32.of_int len);
+    Buffer.add_string buf payload
+
+  let to_channel oc codec v =
+    let buf = Buffer.create 128 in
+    write buf codec v;
+    output_string oc (Buffer.contents buf);
+    flush oc
+
+  let from_channel ic codec =
+    let header = really_input_string ic 4 in
+    let len = Int32.to_int (String.get_int32_be header 0) in
+    if len < 0 || len > max_frame then fail "bad frame length %d" len;
+    let payload = really_input_string ic len in
+    decode_exn codec payload
+end

@@ -1,0 +1,82 @@
+(** Typed binary codecs for wire transport.
+
+    Self-describing enough to be robust (length-checked, tag-checked) but
+    deliberately minimal: varint integers, tag-byte variants, length-prefixed
+    sequences. Every protocol message type in the repository has a codec
+    built from these combinators, giving the TCP transport a real wire
+    format instead of [Marshal] (see [Transport.Tcp_codec]).
+
+    Decoding never trusts input: malformed bytes raise {!Decode_error},
+    which transports catch and treat as a Byzantine peer. *)
+
+exception Decode_error of string
+
+type reader
+(** Mutable cursor over an input string. *)
+
+type 'a t = { write : Buffer.t -> 'a -> unit; read : reader -> 'a }
+
+(** {2 Running codecs} *)
+
+val encode : 'a t -> 'a -> string
+
+val decode : 'a t -> string -> ('a, string) result
+(** Decodes and checks the input is fully consumed. *)
+
+val decode_exn : 'a t -> string -> 'a
+(** @raise Decode_error on malformed or trailing input. *)
+
+(** {2 Primitives} *)
+
+val int : int t
+(** Zigzag varint; any OCaml int, compact for small magnitudes. *)
+
+val bool : bool t
+
+val float : float t
+(** IEEE-754 bits, 8 bytes. *)
+
+val string : string t
+(** Varint length + bytes. Length capped at 16 MiB to bound allocation from
+    hostile input. *)
+
+val unit : unit t
+
+(** {2 Combinators} *)
+
+val option : 'a t -> 'a option t
+
+val list : 'a t -> 'a list t
+(** Varint count + items; count capped at 1M. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val conv : ('a -> 'b) -> ('b -> 'a) -> 'b t -> 'a t
+(** [conv to_wire of_wire wire_codec]: encode through [to_wire], decode
+    through [of_wire]. *)
+
+val variant : name:string -> ('a -> int * (Buffer.t -> unit)) -> (int -> reader -> 'a) -> 'a t
+(** [variant ~name tag_of read_case]: [tag_of v] gives the case tag and a
+    payload writer; [read_case tag r] rebuilds the value.
+    [read_case] should raise {!Decode_error} (via {!bad_tag}) on unknown
+    tags. *)
+
+val bad_tag : name:string -> int -> 'a
+(** @raise Decode_error reporting an unknown variant tag. *)
+
+(** {2 Framing} *)
+
+module Frame : sig
+  val write : Buffer.t -> 'a t -> 'a -> unit
+  (** 4-byte big-endian length prefix + payload. *)
+
+  val to_channel : out_channel -> 'a t -> 'a -> unit
+  (** Write one frame and flush. *)
+
+  val from_channel : in_channel -> 'a t -> 'a
+  (** Blocking read of one frame.
+      @raise End_of_file on a closed channel.
+      @raise Decode_error on a malformed frame (incl. frames over 64 MiB). *)
+end

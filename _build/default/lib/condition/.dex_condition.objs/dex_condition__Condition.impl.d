@@ -1,0 +1,1 @@
+lib/condition/condition.ml: Dex_vector Format Input_vector List Printf Value

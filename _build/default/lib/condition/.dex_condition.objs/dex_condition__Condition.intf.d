@@ -1,0 +1,1 @@
+lib/condition/condition.mli: Dex_vector Format Input_vector Value

@@ -1,0 +1,1 @@
+lib/condition/d_legal.ml: Array Condition Dex_vector Fun Hashtbl Input_vector List Value

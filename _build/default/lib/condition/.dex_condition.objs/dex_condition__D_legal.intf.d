@@ -1,0 +1,1 @@
+lib/condition/d_legal.mli: Condition Dex_vector Input_vector Value

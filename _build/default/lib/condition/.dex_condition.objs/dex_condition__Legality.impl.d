@@ -1,0 +1,1 @@
+lib/condition/legality.ml: Condition Dex_vector Format Hashtbl Input_vector List Pair Sequence Value View

@@ -1,0 +1,1 @@
+lib/condition/legality.mli: Dex_vector Format Input_vector Pair Value View

@@ -1,0 +1,1 @@
+lib/condition/pair.ml: Condition Dex_vector Format Printf Sequence Value View

@@ -1,0 +1,1 @@
+lib/condition/pair.mli: Dex_vector Format Input_vector Sequence Value View

@@ -1,0 +1,1 @@
+lib/condition/sequence.ml: Array Condition

@@ -1,0 +1,1 @@
+lib/condition/sequence.mli: Condition Dex_vector Input_vector Value

@@ -1,0 +1,34 @@
+open Dex_vector
+
+type t = { name : string; mem : Input_vector.t -> bool }
+
+let make ~name mem = { name; mem }
+
+let name c = c.name
+
+let mem i c = c.mem i
+
+let freq ~d =
+  make ~name:(Printf.sprintf "C^freq_%d" d) (fun i -> Input_vector.freq_margin i > d)
+
+let privileged ~m ~d =
+  make
+    ~name:(Printf.sprintf "C^prv(%s)_%d" (Value.to_string m) d)
+    (fun i -> Input_vector.occurrences i m > d)
+
+let trivial = make ~name:"V^n" (fun _ -> true)
+
+let empty = make ~name:"∅" (fun _ -> false)
+
+let inter c1 c2 =
+  make ~name:(Printf.sprintf "(%s ∩ %s)" c1.name c2.name) (fun i -> c1.mem i && c2.mem i)
+
+let union c1 c2 =
+  make ~name:(Printf.sprintf "(%s ∪ %s)" c1.name c2.name) (fun i -> c1.mem i || c2.mem i)
+
+let subset ~universe ~n c1 c2 =
+  List.for_all
+    (fun i -> (not (c1.mem i)) || c2.mem i)
+    (Input_vector.enumerate ~n ~values:universe)
+
+let pp ppf c = Format.pp_print_string ppf c.name

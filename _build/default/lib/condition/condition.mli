@@ -1,0 +1,42 @@
+(** Conditions: subsets of the input-vector space [V^n] (§2.3).
+
+    A condition is the set of inputs for which a condition-based algorithm
+    guarantees a given property. The paper builds its two examples from
+    [d]-legal conditions: the frequency-based family [C^freq_d] and the
+    privileged-value family [C^prv(m)_d]. *)
+
+open Dex_vector
+
+type t
+(** A condition: a named predicate over input vectors. *)
+
+val make : name:string -> (Input_vector.t -> bool) -> t
+
+val name : t -> string
+
+val mem : Input_vector.t -> t -> bool
+(** [mem i c] — does input [i] belong to condition [c]? *)
+
+val freq : d:int -> t
+(** [C^freq_d = { I | #1st(I) − #2nd(I) > d }] — the most frequent value wins
+    by a margin greater than [d] (§3.3). *)
+
+val privileged : m:Value.t -> d:int -> t
+(** [C^prv(m)_d = { I | #m(I) > d }] — the privileged value [m] appears more
+    than [d] times (§3.4). *)
+
+val trivial : t
+(** The full space [V^n] (every input accepted). *)
+
+val empty : t
+(** The empty condition (no input accepted). *)
+
+val inter : t -> t -> t
+
+val union : t -> t -> t
+
+val subset : universe:Value.t list -> n:int -> t -> t -> bool
+(** [subset ~universe ~n c1 c2] checks [c1 ⊆ c2] exhaustively over the finite
+    universe — exponential in [n]; intended for the legality test suite. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+open Dex_vector
+
+type verdict = {
+  legal : bool;
+  components : int;
+  witness : (Input_vector.t * Value.t) list;
+}
+
+(* Union-find over array indices. *)
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  (* Path compression. *)
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let union parent i j =
+  let ri = find parent i and rj = find parent j in
+  if ri <> rj then parent.(ri) <- rj
+
+let check ~universe ~n ~d cond =
+  let members =
+    List.filter (fun i -> Condition.mem i cond) (Input_vector.enumerate ~n ~values:universe)
+    |> Array.of_list
+  in
+  let size = Array.length members in
+  let parent = Array.init size Fun.id in
+  for i = 0 to size - 1 do
+    for j = i + 1 to size - 1 do
+      if Input_vector.distance members.(i) members.(j) <= d then union parent i j
+    done
+  done;
+  (* Per component, intersect the sets of values occurring > d times. *)
+  let acceptable input =
+    List.filter
+      (fun v -> Input_vector.occurrences input v > d)
+      (List.sort_uniq Value.compare (Input_vector.to_list input))
+  in
+  let component_values : (int, Value.t list option) Hashtbl.t = Hashtbl.create 16 in
+  for i = 0 to size - 1 do
+    let root = find parent i in
+    let vals = acceptable members.(i) in
+    let updated =
+      match Hashtbl.find_opt component_values root with
+      | None -> Some vals
+      | Some None -> None
+      | Some (Some existing) -> Some (List.filter (fun v -> List.mem v vals) existing)
+    in
+    let updated = match updated with Some [] -> None | other -> other in
+    Hashtbl.replace component_values root updated
+  done;
+  let components = Hashtbl.length component_values in
+  let legal = Hashtbl.fold (fun _ vals acc -> acc && vals <> None) component_values true in
+  let witness =
+    if not legal then []
+    else
+      Hashtbl.fold
+        (fun root vals acc ->
+          match vals with
+          | Some (v :: _) -> (members.(root), v) :: acc
+          | Some [] | None -> acc)
+        component_values []
+  in
+  { legal; components; witness }
+
+let is_d_legal ~universe ~n ~d cond = (check ~universe ~n ~d cond).legal

@@ -1,0 +1,31 @@
+(** d-legality of single conditions.
+
+    §3.3/§3.4 justify the building blocks with: "[C^freq_d / C^prv(m)_d]
+    belongs to d-legal conditions [10], which are necessary and sufficient
+    to solve the consensus in failure-prone asynchronous systems where at
+    most d processes can crash."
+
+    A condition [C] is d-legal when a decision function [F : C → V] exists
+    with:
+    - {b Acceptability}: [F(I)] occurs more than [d] times in [I];
+    - {b Locality}: inputs at Hamming distance [≤ d] get the same [F].
+
+    Equivalently: in the graph over [C] whose edges join inputs at distance
+    [≤ d], every connected component must share a value occurring more than
+    [d] times in {e each} of its members. This module checks exactly that,
+    by union-find over an enumerated universe — exponential in [n], meant
+    for test-suite dimensions. *)
+
+open Dex_vector
+
+type verdict = {
+  legal : bool;
+  components : int;  (** connected components of the distance-≤d graph *)
+  witness : (Input_vector.t * Value.t) list;
+      (** one representative input per component with its shared value
+          (components are listed only when [legal]) *)
+}
+
+val check : universe:Value.t list -> n:int -> d:int -> Condition.t -> verdict
+
+val is_d_legal : universe:Value.t list -> n:int -> d:int -> Condition.t -> bool

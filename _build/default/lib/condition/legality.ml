@@ -1,0 +1,205 @@
+open Dex_vector
+
+type violation =
+  | Lt1 of { k : int; input : Input_vector.t; view : View.t }
+  | Lt2 of { k : int; input : Input_vector.t; view : View.t }
+  | La3 of { j : View.t; j' : View.t }
+  | La4 of { j : View.t; j' : View.t }
+  | Lu5 of { j : View.t; expected : Value.t; got : Value.t }
+  | Not_monotone of { sequence : [ `S1 | `S2 ]; k : int }
+
+let pp_violation ppf = function
+  | Lt1 { k; input; view } ->
+    Format.fprintf ppf "LT1 violated at k=%d: I=%a J=%a" k Input_vector.pp input View.pp view
+  | Lt2 { k; input; view } ->
+    Format.fprintf ppf "LT2 violated at k=%d: I=%a J=%a" k Input_vector.pp input View.pp view
+  | La3 { j; j' } -> Format.fprintf ppf "LA3 violated: J=%a J'=%a" View.pp j View.pp j'
+  | La4 { j; j' } -> Format.fprintf ppf "LA4 violated: J=%a J'=%a" View.pp j View.pp j'
+  | Lu5 { j; expected; got } ->
+    Format.fprintf ppf "LU5 violated: J=%a expected F=%a got %a" View.pp j Value.pp expected
+      Value.pp got
+  | Not_monotone { sequence; k } ->
+    Format.fprintf ppf "sequence %s not monotone at k=%d"
+      (match sequence with `S1 -> "S1" | `S2 -> "S2")
+      k
+
+let views ~universe ~n ~max_bottoms =
+  let choices = None :: List.map (fun v -> Some v) universe in
+  let rec build k bottoms acc =
+    if k = n then [ View.of_list (List.rev acc) ]
+    else
+      List.concat_map
+        (fun c ->
+          let bottoms' = if c = None then bottoms + 1 else bottoms in
+          if bottoms' > max_bottoms then [] else build (k + 1) bottoms' (c :: acc))
+        choices
+  in
+  build 0 0 []
+
+(* All ways to corrupt at most [k] entries of [I]: each corrupted entry
+   becomes ⊥ or a different universe value. Models the views a correct
+   process can hold when the actual number of failures is [k] and all
+   correct proposals have arrived. *)
+let corruptions ~universe input ~k =
+  let n = Input_vector.dim input in
+  let base = Input_vector.to_view input in
+  let results = ref [] in
+  (* Choose positions to corrupt, then assignments; generated recursively. *)
+  let rec choose_positions start chosen remaining =
+    assign chosen;
+    if remaining > 0 then
+      for pos = start to n - 1 do
+        choose_positions (pos + 1) (pos :: chosen) (remaining - 1)
+      done
+  and assign positions =
+    let rec fill acc = function
+      | [] ->
+        let view = View.copy base in
+        List.iter
+          (fun (pos, repl) ->
+            match repl with
+            | None -> View.clear_entry view pos
+            | Some v -> View.set view pos v)
+          acc;
+        results := view :: !results
+      | pos :: rest ->
+        let original = Input_vector.get input pos in
+        let options =
+          None
+          :: List.filter_map
+               (fun v -> if Value.equal v original then None else Some (Some v))
+               universe
+        in
+        List.iter (fun repl -> fill ((pos, repl) :: acc) rest) options
+    in
+    match positions with
+    | [] -> () (* the unmodified view is produced once, below *)
+    | _ -> fill [] positions
+  in
+  choose_positions 0 [] k;
+  base :: !results
+
+(* Extensions of a view: fill every ⊥ with a universe value. *)
+let extensions ~universe view =
+  let n = View.dim view in
+  let rec build k acc =
+    if k = n then [ Input_vector.of_list (List.rev acc) ]
+    else
+      match View.get view k with
+      | Some v -> build (k + 1) (v :: acc)
+      | None -> List.concat_map (fun v -> build (k + 1) (v :: acc)) universe
+  in
+  build 0 []
+
+let check ?(max_violations = 10) ~universe (pair : Pair.t) =
+  let n = pair.Pair.n and t = pair.Pair.t in
+  let violations = ref [] in
+  let count = ref 0 in
+  let add v =
+    if !count < max_violations then begin
+      violations := v :: !violations;
+      incr count
+    end
+  in
+  let inputs = Input_vector.enumerate ~n ~values:universe in
+  let all_views = views ~universe ~n ~max_bottoms:t in
+
+  (* Monotonicity of both sequences. *)
+  let check_monotone tag seq =
+    for k = 0 to t - 1 do
+      let ck = Sequence.condition seq ~k in
+      let ck1 = Sequence.condition seq ~k:(k + 1) in
+      let ok = List.for_all (fun i -> (not (Condition.mem i ck1)) || Condition.mem i ck) inputs in
+      if not ok then add (Not_monotone { sequence = tag; k })
+    done
+  in
+  check_monotone `S1 pair.Pair.s1;
+  check_monotone `S2 pair.Pair.s2;
+
+  (* LT1 / LT2: corrupt members of C_k in at most k entries and check the
+     decision predicate fires. *)
+  let check_lt tag seq pred =
+    for k = 0 to t do
+      let ck = Sequence.condition seq ~k in
+      List.iter
+        (fun input ->
+          if Condition.mem input ck then
+            List.iter
+              (fun view ->
+                if not (pred view) then
+                  add
+                    (match tag with
+                    | `Lt1 -> Lt1 { k; input; view }
+                    | `Lt2 -> Lt2 { k; input; view }))
+              (corruptions ~universe input ~k))
+        inputs
+    done
+  in
+  check_lt `Lt1 pair.Pair.s1 pair.Pair.p1;
+  check_lt `Lt2 pair.Pair.s2 pair.Pair.p2;
+
+  (* Precompute extensions for LA3. *)
+  let non_empty_views = List.filter (fun j -> View.filled j > 0) all_views in
+  let p1_views = List.filter pair.Pair.p1 non_empty_views in
+  let p2_views = List.filter pair.Pair.p2 non_empty_views in
+  let ext_tbl = Hashtbl.create 1024 in
+  let exts j =
+    match Hashtbl.find_opt ext_tbl (View.to_list j) with
+    | Some e -> e
+    | None ->
+      let e = extensions ~universe j in
+      Hashtbl.add ext_tbl (View.to_list j) e;
+      e
+  in
+
+  (* LA3: a P1-decider must agree with anyone whose view could come from an
+     input within Hamming distance t. *)
+  List.iter
+    (fun j ->
+      let fj = pair.Pair.f j in
+      List.iter
+        (fun j' ->
+          let close =
+            List.exists
+              (fun i -> List.exists (fun i' -> Input_vector.distance i i' <= t) (exts j'))
+              (exts j)
+          in
+          if close && not (Value.equal fj (pair.Pair.f j')) then add (La3 { j; j' }))
+        non_empty_views)
+    p1_views;
+
+  (* LA4: a P2-decider must agree with anyone sharing a common extension,
+     i.e. any compatible view. *)
+  List.iter
+    (fun j ->
+      let fj = pair.Pair.f j in
+      List.iter
+        (fun j' ->
+          if View.compatible j j' && not (Value.equal fj (pair.Pair.f j')) then
+            add (La4 { j; j' }))
+        non_empty_views)
+    p2_views;
+
+  (* LU5: when one value dominates (> t occurrences, everything else ≤ t),
+     F must pick it. *)
+  List.iter
+    (fun j ->
+      match
+        List.filter (fun v -> View.occurrences j v > t) (View.values j)
+      with
+      | [ a ] ->
+        let others_small =
+          List.for_all
+            (fun v -> Value.equal v a || View.occurrences j v <= t)
+            (View.values j)
+        in
+        if others_small then begin
+          let got = pair.Pair.f j in
+          if not (Value.equal got a) then add (Lu5 { j; expected = a; got })
+        end
+      | _ -> ())
+    non_empty_views;
+
+  List.rev !violations
+
+let is_legal ~universe pair = check ~max_violations:1 ~universe pair = []

@@ -1,0 +1,45 @@
+(** Exhaustive verification of the legality criteria (§3.2).
+
+    A condition-sequence pair is legal when predicates [P1], [P2] and the
+    extraction function [F] satisfy LT1, LT2, LA3, LA4 and LU5. The paper
+    proves legality of [P_freq] and [P_prv] analytically (Theorems 1, 2);
+    this module re-verifies the properties mechanically by enumerating every
+    input vector and view over a small finite universe. It is exponential in
+    [n] and meant for test-suite dimensions (n ≤ 8, |universe| ≤ 3).
+
+    Property statements, with [V^n_t] = views with at most [t] default
+    entries:
+
+    - LT1: ∀k ≤ t, ∀I ∈ C¹_k, ∀J ∈ V^n_t with dist(J, I) ≤ k ⇒ P1(J).
+    - LT2: same with C²_k and P2.
+    - LA3: ∀J, J' ∈ V^n_t, P1(J) ∧ (∃I ⊇ J, I' ⊇ J' with dist(I, I') ≤ t)
+      ⇒ F(J) = F(J').
+    - LA4: ∀J, J' ∈ V^n_t, P2(J) ∧ (∃I ⊇ J with I ⊇ J') ⇒ F(J) = F(J').
+    - LU5: ∀J ∈ V^n_t, if a value [a] occurs more than [t] times in [J] and
+      every other value occurs at most [t] times, then F(J) = a. (This is the
+      form used in the unanimity proof, Lemma 3.)
+
+    Monotonicity of both sequences ([C_k ⊇ C_{k+1}]) is checked as well. *)
+
+open Dex_vector
+
+type violation =
+  | Lt1 of { k : int; input : Input_vector.t; view : View.t }
+  | Lt2 of { k : int; input : Input_vector.t; view : View.t }
+  | La3 of { j : View.t; j' : View.t }
+  | La4 of { j : View.t; j' : View.t }
+  | Lu5 of { j : View.t; expected : Value.t; got : Value.t }
+  | Not_monotone of { sequence : [ `S1 | `S2 ]; k : int }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val views : universe:Value.t list -> n:int -> max_bottoms:int -> View.t list
+(** All views of dimension [n] over the universe with at most [max_bottoms]
+    default entries (the set [V^n_{max_bottoms}]). Exposed for tests. *)
+
+val check : ?max_violations:int -> universe:Value.t list -> Pair.t -> violation list
+(** Run all six checks; returns up to [max_violations] (default 10)
+    violations, or [] when the pair is legal over the given universe. *)
+
+val is_legal : universe:Value.t list -> Pair.t -> bool
+(** [check] returns no violation. *)

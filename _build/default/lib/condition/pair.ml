@@ -1,0 +1,57 @@
+open Dex_vector
+
+type t = {
+  name : string;
+  n : int;
+  t : int;
+  s1 : Sequence.t;
+  s2 : Sequence.t;
+  p1 : View.t -> bool;
+  p2 : View.t -> bool;
+  f : View.t -> Value.t;
+}
+
+exception Assumption_violated of string
+
+let require cond fmt =
+  Printf.ksprintf (fun msg -> if not cond then raise (Assumption_violated msg)) fmt
+
+let most_frequent_exn j =
+  match View.first_most_frequent j with
+  | Some v -> v
+  | None -> invalid_arg "Pair: F applied to an all-default view"
+
+let freq ~n ~t:fb =
+  require (fb >= 0) "P_freq: t must be non-negative (t = %d)" fb;
+  require (n > 6 * fb) "P_freq requires n > 6t (n = %d, t = %d)" n fb;
+  {
+    name = "P_freq";
+    n;
+    t = fb;
+    s1 = Sequence.make ~t:fb (fun k -> Condition.freq ~d:((4 * fb) + (2 * k)));
+    s2 = Sequence.make ~t:fb (fun k -> Condition.freq ~d:((2 * fb) + (2 * k)));
+    p1 = (fun j -> View.freq_margin j > 4 * fb);
+    p2 = (fun j -> View.freq_margin j > 2 * fb);
+    f = most_frequent_exn;
+  }
+
+let privileged ~n ~t:fb ~m =
+  require (fb >= 0) "P_prv: t must be non-negative (t = %d)" fb;
+  require (n > 5 * fb) "P_prv requires n > 5t (n = %d, t = %d)" n fb;
+  {
+    name = Printf.sprintf "P_prv(%s)" (Value.to_string m);
+    n;
+    t = fb;
+    s1 = Sequence.make ~t:fb (fun k -> Condition.privileged ~m ~d:((3 * fb) + k));
+    s2 = Sequence.make ~t:fb (fun k -> Condition.privileged ~m ~d:((2 * fb) + k));
+    p1 = (fun j -> View.occurrences j m > 3 * fb);
+    p2 = (fun j -> View.occurrences j m > 2 * fb);
+    f = (fun j -> if View.occurrences j m > fb then m else most_frequent_exn j);
+  }
+
+let one_step_level pair i = Sequence.level pair.s1 i
+
+let two_step_level pair i = Sequence.level pair.s2 i
+
+let pp ppf pair =
+  Format.fprintf ppf "%s(n=%d, t=%d)" pair.name pair.n pair.t

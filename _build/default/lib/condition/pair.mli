@@ -1,0 +1,50 @@
+(** Condition-sequence pairs [(S¹, S²)] with their decision parameters.
+
+    A pair couples the sequence [S¹] that characterizes one-step decisions
+    with the sequence [S²] for two-step decisions (§2.4). A *legal* pair
+    additionally carries predicates [P1], [P2] over views — "does my current
+    view suffice to decide in one/two step(s)?" — and a deterministic value
+    extraction function [F] (§3.2). DEX is instantiated with any legal pair.
+
+    The two pairs of the paper are provided: {!freq} (Theorem 1, needs
+    [n > 6t]) and {!privileged} (Theorem 2, needs [n > 5t]). *)
+
+open Dex_vector
+
+type t = {
+  name : string;
+  n : int;  (** number of processes *)
+  t : int;  (** failure bound *)
+  s1 : Sequence.t;  (** one-step condition sequence [C¹_0 … C¹_t] *)
+  s2 : Sequence.t;  (** two-step condition sequence [C²_0 … C²_t] *)
+  p1 : View.t -> bool;  (** one-step decision predicate *)
+  p2 : View.t -> bool;  (** two-step decision predicate *)
+  f : View.t -> Value.t;  (** decision-value extraction; total on views with
+                              at least one non-⊥ entry *)
+}
+
+exception Assumption_violated of string
+(** Raised by constructors when [n], [t] do not satisfy the pair's resilience
+    assumption. *)
+
+val freq : n:int -> t:int -> t
+(** Frequency-based pair [P_freq] (§3.3):
+    [C¹_k = C^freq_{4t+2k}], [C²_k = C^freq_{2t+2k}],
+    [P1(J) ≡ #1st(J) − #2nd(J) > 4t], [P2(J) ≡ … > 2t], [F(J) = 1st(J)].
+    @raise Assumption_violated unless [n > 6t] and [t >= 0]. *)
+
+val privileged : n:int -> t:int -> m:Value.t -> t
+(** Privileged-value pair [P_prv] (§3.4) for privileged value [m]:
+    [C¹_k = C^prv(m)_{3t+k}], [C²_k = C^prv(m)_{2t+k}],
+    [P1(J) ≡ #m(J) > 3t], [P2(J) ≡ #m(J) > 2t],
+    [F(J) = m] if [#m(J) > t], else the most frequent non-default value.
+    @raise Assumption_violated unless [n > 5t] and [t >= 0]. *)
+
+val one_step_level : t -> Input_vector.t -> int option
+(** Largest [k] such that the input is in [C¹_k] — one-step decision is
+    guaranteed whenever at most [k] processes actually fail (Lemma 4). *)
+
+val two_step_level : t -> Input_vector.t -> int option
+(** Largest [k] such that the input is in [C²_k] (Lemma 5). *)
+
+val pp : Format.formatter -> t -> unit

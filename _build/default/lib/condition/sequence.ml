@@ -1,0 +1,29 @@
+type t = Condition.t array
+
+let make ~t f =
+  if t < 0 then invalid_arg "Sequence.make: negative failure bound";
+  Array.init (t + 1) f
+
+let bound s = Array.length s - 1
+
+let condition s ~k =
+  if k < 0 || k >= Array.length s then invalid_arg "Sequence.condition: k out of range";
+  s.(k)
+
+let mem s ~k i = Condition.mem i (condition s ~k)
+
+let level s i =
+  let rec search best k =
+    if k >= Array.length s then best
+    else if Condition.mem i s.(k) then search (Some k) (k + 1)
+    else best
+  in
+  search None 0
+
+let is_monotone ~universe ~n s =
+  let rec check k =
+    if k + 1 >= Array.length s then true
+    else
+      Condition.subset ~universe ~n s.(k + 1) s.(k) && check (k + 1)
+  in
+  check 0

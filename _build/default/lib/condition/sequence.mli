@@ -1,0 +1,35 @@
+(** Adaptive condition sequences (§2.3).
+
+    A condition sequence [(C_0, C_1, …, C_t)] satisfies [C_k ⊇ C_{k+1}]: the
+    [k]-th condition is the set of inputs for which the guaranteed property
+    holds when the actual number of failures is [k]. Fewer failures ⇒ a
+    larger condition ⇒ fast decision for more inputs — the adaptiveness the
+    paper contrasts with pessimistic (worst-case-[t]) designs. *)
+
+open Dex_vector
+
+type t
+(** A sequence of [t + 1] conditions, indexed by the actual failure count
+    [k ∈ 0..t]. *)
+
+val make : t:int -> (int -> Condition.t) -> t
+(** [make ~t f] builds [(f 0, …, f t)].
+    @raise Invalid_argument if [t < 0]. *)
+
+val bound : t -> int
+(** The failure bound [t] (the sequence has [t + 1] entries). *)
+
+val condition : t -> k:int -> Condition.t
+(** [condition s ~k] is [C_k]. @raise Invalid_argument if [k ∉ 0..t]. *)
+
+val mem : t -> k:int -> Input_vector.t -> bool
+(** [mem s ~k i] — is [i ∈ C_k]? *)
+
+val level : t -> Input_vector.t -> int option
+(** [level s i] is the largest [k] with [i ∈ C_k], or [None] when [i ∉ C_0].
+    Because the sequence is decreasing, [i ∈ C_j] for every [j ≤ k]: the fast
+    decision is guaranteed whenever at most [k] processes actually fail. *)
+
+val is_monotone : universe:Value.t list -> n:int -> t -> bool
+(** Exhaustive check of [C_k ⊇ C_{k+1}] for all [k] over a finite universe
+    (test-suite helper, exponential in [n]). *)

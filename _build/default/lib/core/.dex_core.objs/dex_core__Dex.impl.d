@@ -1,0 +1,1 @@
+lib/core/dex.ml: Dex_broadcast Dex_codec Dex_condition Dex_net Dex_stdext Dex_underlying Dex_vector Format Idb List Pair Pid Prng Protocol Uc_intf Value View

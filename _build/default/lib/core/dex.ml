@@ -1,0 +1,246 @@
+open Dex_vector
+open Dex_condition
+open Dex_net
+open Dex_broadcast
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) = struct
+  type msg = Prop of Value.t | Idb of Value.t Idb.msg | Uc of Uc.msg
+
+  let pp_msg ppf = function
+    | Prop v -> Format.fprintf ppf "PROP(%a)" Value.pp v
+    | Idb (Idb.Init v) -> Format.fprintf ppf "ID-INIT(%a)" Value.pp v
+    | Idb (Idb.Echo { origin; payload }) ->
+      Format.fprintf ppf "ID-ECHO(%a,%a)" Pid.pp origin Value.pp payload
+    | Uc _ -> Format.fprintf ppf "UC(..)"
+
+  let classify = function Prop _ -> "P" | Idb _ -> "IDB" | Uc _ -> "UC"
+
+  let codec =
+    let open Dex_codec.Codec in
+    let idb_codec = Idb.codec int in
+    variant ~name:"Dex.msg"
+      (function
+        | Prop v -> (0, fun buf -> int.write buf v)
+        | Idb m -> (1, fun buf -> idb_codec.write buf m)
+        | Uc m -> (2, fun buf -> Uc.codec.write buf m))
+      (fun tag r ->
+        match tag with
+        | 0 -> Prop (int.read r)
+        | 1 -> Idb (idb_codec.read r)
+        | 2 -> Uc (Uc.codec.read r)
+        | other -> bad_tag ~name:"Dex.msg" other)
+
+let uc_emission_actions emit =
+  List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
+  @ List.map
+      (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
+      emit.Uc_intf.timers
+
+
+  type config = { n : int; t : int; seed : int; pair : Pair.t }
+
+  let config ?(seed = 0) ~pair () = { n = pair.Pair.n; t = pair.Pair.t; seed; pair }
+
+  (* Evaluation mode, for the ablation of §4's remark that "DEX allows the
+     processes to collect messages from all correct processes":
+     - [`Reevaluate] is Figure 1 — predicates re-checked on every update;
+     - [`Snapshot] evaluates each predicate exactly once, when its view
+       first holds n - t entries (the structure of prior one-step
+       algorithms such as Bosco). Safety is unaffected; coverage shrinks
+       (experiment E8). *)
+  type mode = [ `Reevaluate | `Snapshot ]
+
+  type state = {
+    cfg : config;
+    mode : mode;
+    j1 : View.t;
+    j2 : View.t;
+    idb : Value.t Idb.t;
+    uc : Uc.t;
+    mutable decided : bool;
+    mutable proposed : bool;
+    mutable one_evaluated : bool;  (* snapshot mode: P1 already judged *)
+    mutable two_evaluated : bool;  (* snapshot mode: P2 already judged *)
+  }
+
+  let check_config cfg =
+    if cfg.pair.Pair.n <> cfg.n || cfg.pair.Pair.t <> cfg.t then
+      invalid_arg "Dex.instance: pair dimensions disagree with config"
+
+  (* Figure 1, lines 7-9: the one-step decision attempt. *)
+  let try_one_step st =
+    if
+      (not st.decided)
+      && View.filled st.j1 >= st.cfg.n - st.cfg.t
+      && (st.mode = `Reevaluate || not st.one_evaluated)
+    then begin
+      st.one_evaluated <- true;
+      if st.cfg.pair.Pair.p1 st.j1 then begin
+        st.decided <- true;
+        [ Protocol.decide ~tag:"one-step" (st.cfg.pair.Pair.f st.j1) ]
+      end
+      else []
+    end
+    else []
+
+  (* Figure 1, lines 12-18: UC activation, then the two-step attempt. The
+     proposal to the underlying consensus happens regardless of whether the
+     two-step decision fires (every correct process must feed the UC for
+     Cases 4-5 of the agreement proof). *)
+  let try_two_step st =
+    if View.filled st.j2 >= st.cfg.n - st.cfg.t then begin
+      let propose_actions =
+        if not st.proposed then begin
+          st.proposed <- true;
+          let emit = Uc.propose st.uc (st.cfg.pair.Pair.f st.j2) in
+          (* A UC implementation cannot decide at proposal time in any
+             meaningful run; if it does, the decide path below handles it. *)
+          uc_emission_actions emit
+          @
+          match emit.Uc_intf.decision with
+          | Some v when not st.decided ->
+            st.decided <- true;
+            [ Protocol.decide ~tag:"underlying" v ]
+          | _ -> []
+        end
+        else []
+      in
+      let decide_actions =
+        if
+          (not st.decided)
+          && (st.mode = `Reevaluate || not st.two_evaluated)
+          && begin
+               st.two_evaluated <- true;
+               st.cfg.pair.Pair.p2 st.j2
+             end
+        then begin
+          st.decided <- true;
+          [ Protocol.decide ~tag:"two-step" (st.cfg.pair.Pair.f st.j2) ]
+        end
+        else []
+      in
+      propose_actions @ decide_actions
+    end
+    else []
+
+  let instance ?(mode = `Reevaluate) cfg ~me ~proposal =
+    check_config cfg;
+    let st =
+      {
+        cfg;
+        mode;
+        j1 = View.bottom cfg.n;
+        j2 = View.bottom cfg.n;
+        idb = Idb.create ~n:cfg.n ~t:cfg.t;
+        uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed;
+        decided = false;
+        proposed = false;
+        one_evaluated = false;
+        two_evaluated = false;
+      }
+    in
+    let start () =
+      (* Lines 1-4: record own proposal in both views, P-send and Id-send
+         it to all processes. *)
+      View.set st.j1 me proposal;
+      View.set st.j2 me proposal;
+      Protocol.broadcast ~n:cfg.n (Prop proposal)
+      @ Protocol.broadcast ~n:cfg.n (Idb (Idb.id_send proposal))
+      @ try_one_step st @ try_two_step st
+    in
+    let on_message ~now:_ ~from msg =
+      match msg with
+      | Prop v ->
+        (* Lines 5-9. A Byzantine sender may equivocate; the view keeps the
+           latest value, matching "the entries correspond to Byzantine
+           processes are regarded to contain meaningless values". *)
+        if from >= 0 && from < cfg.n then begin
+          View.set st.j1 from v;
+          try_one_step st
+        end
+        else []
+      | Idb m ->
+        (* Lines 10-18, with the IDB engine from Figure 3 underneath. *)
+        let emit = Idb.handle st.idb ~from m in
+        let echoes =
+          List.concat_map (fun e -> Protocol.broadcast ~n:cfg.n (Idb e)) emit.Idb.broadcasts
+        in
+        List.iter
+          (fun (origin, v) ->
+            if origin >= 0 && origin < cfg.n then View.set st.j2 origin v)
+          emit.Idb.deliveries;
+        echoes @ if emit.Idb.deliveries <> [] then try_two_step st else []
+      | Uc m ->
+        (* Lines 19-22. *)
+        let emit = Uc.on_message st.uc ~from m in
+        let sends = uc_emission_actions emit in
+        let decides =
+          match emit.Uc_intf.decision with
+          | Some v when not st.decided ->
+            st.decided <- true;
+            [ Protocol.decide ~tag:"underlying" v ]
+          | _ -> []
+        in
+        sends @ decides
+    in
+    { Protocol.start; on_message }
+
+  let extra cfg =
+    List.map
+      (fun (pid, inst) ->
+        ( pid,
+          Protocol.embed
+            ~inject:(fun m -> Uc m)
+            ~project:(function Uc m -> Some m | Prop _ | Idb _ -> None)
+            inst ))
+      (Uc.extra_nodes ~n:cfg.n ~t:cfg.t ~seed:cfg.seed)
+
+  (* Byzantine behaviours. *)
+
+  let equivocator cfg ~me:_ ~split =
+    let idb = Idb.create ~n:cfg.n ~t:cfg.t in
+    let start () =
+      List.concat_map
+        (fun dst -> [ Protocol.send dst (Prop (split dst)); Protocol.send dst (Idb (Idb.Init (split dst))) ])
+        (Pid.all ~n:cfg.n)
+    in
+    let on_message ~now:_ ~from msg =
+      match msg with
+      | Idb m ->
+        (* Echo honestly: an equivocator that stops echoing merely weakens
+           itself to a crash fault. *)
+        let emit = Idb.handle idb ~from m in
+        List.concat_map (fun e -> Protocol.broadcast ~n:cfg.n (Idb e)) emit.Idb.broadcasts
+      | Prop _ | Uc _ -> []
+    in
+    { Protocol.start; on_message }
+
+  let noisy cfg ~me:_ ~rng ~values =
+    let open Dex_stdext in
+    let random_value () = Prng.choose_list rng values in
+    let random_target () = Prng.int rng cfg.n in
+    (* Bounded chaff budget: noise feeding on noise (e.g. two noisy nodes
+       answering each other) must not generate infinite traffic. *)
+    let budget = ref (10 * cfg.n) in
+    let burst () =
+      if !budget <= 0 then []
+      else begin
+        let k = min !budget (1 + Prng.int rng 3) in
+        budget := !budget - k;
+        List.init k (fun _ ->
+            let dst = random_target () in
+            if Prng.bool rng then Protocol.send dst (Prop (random_value ()))
+            else
+              Protocol.send dst
+                (Idb (Idb.Echo { origin = random_target (); payload = random_value () })))
+      end
+    in
+    let start () =
+      Protocol.broadcast ~n:cfg.n (Prop (random_value ()))
+      @ Protocol.broadcast ~n:cfg.n (Idb (Idb.id_send (random_value ())))
+      @ burst ()
+    in
+    let on_message ~now:_ ~from:_ _ = burst () in
+    { Protocol.start; on_message }
+end

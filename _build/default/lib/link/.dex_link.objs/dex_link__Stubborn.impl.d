@@ -1,0 +1,1 @@
+lib/link/stubborn.ml: Dex_codec Dex_net Format Hashtbl List Pid Protocol

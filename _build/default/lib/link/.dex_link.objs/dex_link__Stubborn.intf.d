@@ -1,0 +1,1 @@
+lib/link/stubborn.mli: Dex_codec Dex_net Format Protocol

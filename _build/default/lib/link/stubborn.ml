@@ -1,0 +1,101 @@
+open Dex_net
+
+type 'msg msg = Data of { seq : int; payload : 'msg } | Ack of int | Retry of int
+
+let pp_msg pp_inner ppf = function
+  | Data { seq; payload } -> Format.fprintf ppf "DATA(#%d,%a)" seq pp_inner payload
+  | Ack seq -> Format.fprintf ppf "ACK(#%d)" seq
+  | Retry seq -> Format.fprintf ppf "RETRY(#%d)" seq
+
+let classify inner = function
+  | Data { payload; _ } -> inner payload
+  | Ack _ -> "ACK"
+  | Retry _ -> "RETRY"
+
+let codec inner =
+  let open Dex_codec.Codec in
+  variant ~name:"Stubborn.msg"
+    (function
+      | Data { seq; payload } ->
+        ( 0,
+          fun buf ->
+            int.write buf seq;
+            inner.write buf payload )
+      | Ack seq -> (1, fun buf -> int.write buf seq)
+      | Retry seq -> (2, fun buf -> int.write buf seq))
+    (fun tag r ->
+      match tag with
+      | 0 ->
+        let seq = int.read r in
+        let payload = inner.read r in
+        Data { seq; payload }
+      | 1 -> Ack (int.read r)
+      | 2 -> Retry (int.read r)
+      | other -> bad_tag ~name:"Stubborn.msg" other)
+
+type 'msg pending = { dst : Pid.t; payload : 'msg; mutable retries : int }
+
+let wrap ?(retry_period = 4.0) ?max_retries inner =
+  (* Sender side: outbox of unacknowledged sends, one retry timer per send
+     (armed in the same action batch, so the retransmission chain keeps the
+     original message's causal depth — a shared tick would flatten the step
+     accounting of everything it resends). Receiver side: per-(peer, seq)
+     dedup. Sequence numbers are unique per sender, so acks need no
+     destination tag. *)
+  let outbox : (int, 'msg pending) Hashtbl.t = Hashtbl.create 16 in
+  let next_seq = ref 0 in
+  let delivered_from : (Pid.t * int, unit) Hashtbl.t = Hashtbl.create 64 in
+
+  (* Translate the inner protocol's emissions to the wire. *)
+  let outgoing actions =
+    List.concat_map
+      (function
+        | Protocol.Send (dst, payload) ->
+          let seq = !next_seq in
+          incr next_seq;
+          Hashtbl.replace outbox seq { dst; payload; retries = 0 };
+          [
+            Protocol.Send (dst, Data { seq; payload });
+            Protocol.Set_timer { delay = retry_period; msg = Retry seq };
+          ]
+        | Protocol.Decide d -> [ Protocol.Decide d ]
+        | Protocol.Set_timer { delay; msg } ->
+          (* Inner timers ride the wrapper unchanged (tagged as fresh Data
+             would collide with dedup; they never cross the network, so a
+             direct wrap is safe). *)
+          [ Protocol.Set_timer { delay; msg = Data { seq = -1; payload = msg } } ])
+      actions
+  in
+
+  let start () = outgoing (inner.Protocol.start ()) in
+  let on_message ~now ~from msg =
+    match msg with
+    | Data { seq = -1; payload } ->
+      (* An inner timer reflected back to ourselves. *)
+      if from >= 0 then outgoing (inner.Protocol.on_message ~now ~from payload) else []
+    | Data { seq; payload } ->
+      let ack = Protocol.Send (from, Ack seq) in
+      if Hashtbl.mem delivered_from (from, seq) then [ ack ]
+      else begin
+        Hashtbl.add delivered_from (from, seq) ();
+        ack :: outgoing (inner.Protocol.on_message ~now ~from payload)
+      end
+    | Ack seq ->
+      Hashtbl.remove outbox seq;
+      []
+    | Retry seq -> (
+      match Hashtbl.find_opt outbox seq with
+      | None -> [] (* acknowledged meanwhile *)
+      | Some pending -> (
+        match max_retries with
+        | Some cap when pending.retries >= cap ->
+          Hashtbl.remove outbox seq;
+          []
+        | _ ->
+          pending.retries <- pending.retries + 1;
+          [
+            Protocol.Send (pending.dst, Data { seq; payload = pending.payload });
+            Protocol.Set_timer { delay = retry_period; msg = Retry seq };
+          ]))
+  in
+  { Protocol.start; on_message }

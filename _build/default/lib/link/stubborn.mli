@@ -1,0 +1,47 @@
+(** Reliable links over a fair-lossy network.
+
+    §2.1 assumes "a reliable link where neither message loss, duplication
+    nor corruption occurs". This module implements that assumption the way
+    deployed systems do, as a stubborn-link layer: every point-to-point send
+    is sequence-numbered, retransmitted on a timer until acknowledged, and
+    deduplicated at the receiver. Wrapping any [Protocol.instance] with
+    {!wrap} yields an instance that tolerates a [Discipline.lossy] network
+    while presenting exactly-once delivery to the inner protocol — so the
+    whole algorithm stack runs unchanged over loss.
+
+    Guarantees over a fair-lossy network (each transmission dropped
+    independently with probability [p < 1]):
+    - {b Reliability}: every send between correct processes is eventually
+      delivered (retransmission until acknowledged);
+    - {b No duplication}: each send is delivered to the inner protocol at
+      most once (per-sender sequence dedup);
+    - {b No creation}: only sent messages are delivered (the network does
+      not corrupt; a Byzantine sender can of course inject its own).
+
+    Timer messages ([Retry]) never cross the network and decisions pass
+    through untouched. Each send gets its own retry timer so a
+    retransmission carries the original message's causal depth — step
+    accounting of the inner protocol is preserved exactly (a retransmitted
+    hop is still one communication step). *)
+
+open Dex_net
+
+type 'msg msg =
+  | Data of { seq : int; payload : 'msg }
+  | Ack of int
+  | Retry of int  (** per-message self-timer; never sent over the network *)
+
+val pp_msg : (Format.formatter -> 'msg -> unit) -> Format.formatter -> 'msg msg -> unit
+
+val classify : ('msg -> string) -> 'msg msg -> string
+(** Inner classifier on [Data]; ["ACK"] / ["RETRY"] otherwise. *)
+
+val codec : 'msg Dex_codec.Codec.t -> 'msg msg Dex_codec.Codec.t
+
+val wrap :
+  ?retry_period:float -> ?max_retries:int -> 'msg Protocol.instance ->
+  'msg msg Protocol.instance
+(** [wrap inner] speaks [('msg msg)] on the wire and [('msg)] to [inner].
+    [retry_period] (default 4.0 time units) is the retransmission interval;
+    [max_retries] (default unbounded) caps retransmissions per message —
+    set it only in tests that need quiescence under permanent partitions. *)

@@ -1,0 +1,1 @@
+lib/metrics/histogram.ml: Format Hashtbl List Option

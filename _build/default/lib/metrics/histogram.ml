@@ -1,0 +1,37 @@
+type t = { counts : (int, int) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 16; total = 0 }
+
+let add_many h key k =
+  if k < 0 then invalid_arg "Histogram.add_many: negative count";
+  Hashtbl.replace h.counts key (k + Option.value ~default:0 (Hashtbl.find_opt h.counts key));
+  h.total <- h.total + k
+
+let add h key = add_many h key 1
+
+let count h key = Option.value ~default:0 (Hashtbl.find_opt h.counts key)
+
+let total h = h.total
+
+let to_list h =
+  Hashtbl.fold (fun k c acc -> if c > 0 then (k, c) :: acc else acc) h.counts []
+  |> List.sort compare
+
+let keys h = List.map fst (to_list h)
+
+let merge h1 h2 =
+  let m = create () in
+  List.iter (fun (k, c) -> add_many m k c) (to_list h1);
+  List.iter (fun (k, c) -> add_many m k c) (to_list h2);
+  m
+
+let fraction h key = if h.total = 0 then 0.0 else float_of_int (count h key) /. float_of_int h.total
+
+let pp ppf h =
+  Format.fprintf ppf "{";
+  List.iteri
+    (fun i (k, c) ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d:%d" k c)
+    (to_list h);
+  Format.fprintf ppf "}"

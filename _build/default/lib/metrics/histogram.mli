@@ -1,0 +1,31 @@
+(** Integer-keyed frequency counts — e.g. decisions per step count, or per
+    decision path. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Increment the count of one key. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many h key k] increments by [k]. @raise Invalid_argument if
+    [k < 0]. *)
+
+val count : t -> int -> int
+
+val total : t -> int
+
+val keys : t -> int list
+(** Keys with non-zero counts, ascending. *)
+
+val to_list : t -> (int * int) list
+(** (key, count) pairs, ascending by key. *)
+
+val merge : t -> t -> t
+(** Pointwise sum; inputs unchanged. *)
+
+val fraction : t -> int -> float
+(** [fraction h key] = count/total; 0 when the histogram is empty. *)
+
+val pp : Format.formatter -> t -> unit

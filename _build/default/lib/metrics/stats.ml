@@ -1,0 +1,51 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs))
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  (* Nearest-rank: smallest index k with k/n >= p/100. *)
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let rank = max 1 (min n rank) in
+  List.nth sorted (rank - 1)
+
+let summarize xs =
+  if xs = [] then invalid_arg "Stats.summarize: empty sample";
+  {
+    count = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = List.fold_left min infinity xs;
+    max = List.fold_left max neg_infinity xs;
+    p50 = percentile 50.0 xs;
+    p90 = percentile 90.0 xs;
+    p99 = percentile 99.0 xs;
+  }
+
+let of_ints = List.map float_of_int
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max

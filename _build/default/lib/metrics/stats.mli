@@ -1,0 +1,29 @@
+(** Descriptive statistics over float samples, for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val mean : float list -> float
+(** 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p ∈ [0,100]], nearest-rank on the sorted sample.
+    @raise Invalid_argument on an empty list or [p] outside [0, 100]. *)
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val of_ints : int list -> float list
+
+val pp_summary : Format.formatter -> summary -> unit

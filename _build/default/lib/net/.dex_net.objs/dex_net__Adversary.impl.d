@@ -1,0 +1,1 @@
+lib/net/adversary.ml: Dex_stdext List Prng Protocol

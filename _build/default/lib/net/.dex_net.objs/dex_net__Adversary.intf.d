@@ -1,0 +1,1 @@
+lib/net/adversary.mli: Dex_stdext Pid Prng Protocol

@@ -1,0 +1,1 @@
+lib/net/discipline.ml: Dex_stdext List Pid Printf Prng

@@ -1,0 +1,1 @@
+lib/net/discipline.mli: Dex_stdext Pid Prng

@@ -1,0 +1,1 @@
+lib/net/pid.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/net/protocol.ml: Dex_vector List Pid Value

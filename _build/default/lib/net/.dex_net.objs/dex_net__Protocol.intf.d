@@ -1,0 +1,1 @@
+lib/net/protocol.mli: Dex_vector Pid Value

@@ -1,0 +1,1 @@
+lib/net/runner.ml: Array Dex_sim Dex_stdext Dex_vector Discipline Engine Format Fun Hashtbl List Option Pid Prng Protocol String Trace Value

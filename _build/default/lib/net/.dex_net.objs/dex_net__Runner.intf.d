@@ -1,0 +1,1 @@
+lib/net/runner.mli: Dex_sim Dex_vector Discipline Engine Format Pid Protocol Trace Value

@@ -1,0 +1,64 @@
+open Dex_stdext
+
+let silent () =
+  {
+    Protocol.start = (fun () -> []);
+    on_message = (fun ~now:_ ~from:_ _ -> []);
+  }
+
+let crash_after_actions budget inner =
+  let remaining = ref budget in
+  let take actions =
+    let kept = ref [] in
+    List.iter
+      (fun a ->
+        if !remaining > 0 then begin
+          decr remaining;
+          kept := a :: !kept
+        end)
+      actions;
+    List.rev !kept
+  in
+  {
+    Protocol.start = (fun () -> take (inner.Protocol.start ()));
+    on_message = (fun ~now ~from m -> take (inner.Protocol.on_message ~now ~from m));
+  }
+
+let crash_at_time deadline inner =
+  {
+    Protocol.start = (fun () -> inner.Protocol.start ());
+    on_message =
+      (fun ~now ~from m ->
+        if now >= deadline then [] else inner.Protocol.on_message ~now ~from m);
+  }
+
+let mute_towards victims inner =
+  let keep = function
+    | Protocol.Send (dst, _) -> not (List.mem dst victims)
+    | Protocol.Decide _ | Protocol.Set_timer _ -> true
+  in
+  {
+    Protocol.start = (fun () -> List.filter keep (inner.Protocol.start ()));
+    on_message =
+      (fun ~now ~from m -> List.filter keep (inner.Protocol.on_message ~now ~from m));
+  }
+
+let replayer ~copies inner =
+  let dup actions =
+    List.concat_map
+      (function
+        | Protocol.Send _ as s -> List.init copies (fun _ -> s)
+        | (Protocol.Decide _ | Protocol.Set_timer _) as other -> [ other ])
+      actions
+  in
+  {
+    Protocol.start = (fun () -> dup (inner.Protocol.start ()));
+    on_message = (fun ~now ~from m -> dup (inner.Protocol.on_message ~now ~from m));
+  }
+
+let reorderer rng inner =
+  let shuffle actions = Prng.shuffle_list rng actions in
+  {
+    Protocol.start = (fun () -> shuffle (inner.Protocol.start ()));
+    on_message = (fun ~now ~from m -> shuffle (inner.Protocol.on_message ~now ~from m));
+  }

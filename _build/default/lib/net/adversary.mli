@@ -1,0 +1,35 @@
+(** Generic Byzantine behaviours.
+
+    A faulty process is just another implementation of the protocol's message
+    interface, so behaviours compose as instance transformers. Protocol-
+    specific forgeries (e.g. equivocating proposal values inside DEX
+    messages) are built next to each protocol; the combinators here are
+    protocol-agnostic. *)
+
+open Dex_stdext
+
+val silent : unit -> 'msg Protocol.instance
+(** Sends nothing, ever — indistinguishable from an initially crashed
+    process. *)
+
+val crash_after_actions : int -> 'msg Protocol.instance -> 'msg Protocol.instance
+(** Behaves like the wrapped instance but stops (emits nothing further) once
+    it has emitted the given number of actions. Models mid-protocol
+    crashes, including crashing between the sends of one broadcast —
+    the partial-broadcast scenario that makes one-step consensus delicate. *)
+
+val crash_at_time : float -> 'msg Protocol.instance -> 'msg Protocol.instance
+(** Stops emitting at the given virtual time. *)
+
+val mute_towards : Pid.t list -> 'msg Protocol.instance -> 'msg Protocol.instance
+(** Drops every send addressed to the listed processes; otherwise correct.
+    Models a process behind an asymmetric partition. *)
+
+val replayer : copies:int -> 'msg Protocol.instance -> 'msg Protocol.instance
+(** Sends every outgoing message [copies] times — duplication attack;
+    correct protocols must be idempotent per (sender, logical message). *)
+
+val reorderer : Prng.t -> 'msg Protocol.instance -> 'msg Protocol.instance
+(** Shuffles the action list emitted at each step (sends commute in an
+    asynchronous network, so this is a sanity adversary: behaviour must not
+    depend on emission order). *)

@@ -1,0 +1,65 @@
+open Dex_stdext
+
+type t = {
+  name : string;
+  latency : Prng.t -> src:Pid.t -> dst:Pid.t -> float;
+  drop : Prng.t -> src:Pid.t -> dst:Pid.t -> bool;
+}
+
+let never_drop _ ~src:_ ~dst:_ = false
+
+let lockstep = { name = "lockstep"; latency = (fun _ ~src:_ ~dst:_ -> 1.0); drop = never_drop }
+
+let uniform ~lo ~hi =
+  {
+    name = Printf.sprintf "uniform[%g,%g)" lo hi;
+    latency = (fun rng ~src:_ ~dst:_ -> lo +. Prng.float rng (hi -. lo));
+    drop = never_drop;
+  }
+
+let asynchronous = { (uniform ~lo:0.0 ~hi:1.0) with name = "async" }
+
+let exponential ~mean =
+  {
+    name = Printf.sprintf "exp(mean=%g)" mean;
+    latency = (fun rng ~src:_ ~dst:_ -> Prng.exponential rng ~mean);
+    drop = never_drop;
+  }
+
+let skew ~slow ~factor base =
+  {
+    base with
+    name = Printf.sprintf "%s+skew(x%g)" base.name factor;
+    latency =
+      (fun rng ~src ~dst ->
+        let d = base.latency rng ~src ~dst in
+        if List.mem src slow then d *. factor else d);
+  }
+
+let delay_into ~dst ~extra base =
+  {
+    base with
+    name = Printf.sprintf "%s+delay_into(+%g)" base.name extra;
+    latency =
+      (fun rng ~src ~dst:target ->
+        let d = base.latency rng ~src ~dst:target in
+        if List.mem target dst then d +. extra else d);
+  }
+
+let lossy ~p base =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Discipline.lossy: p must be in [0, 1)";
+  {
+    base with
+    name = Printf.sprintf "%s+loss(%g)" base.name p;
+    drop =
+      (fun rng ~src ~dst -> base.drop rng ~src ~dst || Prng.float rng 1.0 < p);
+  }
+
+let cut ~from ~to_ base =
+  {
+    base with
+    name = Printf.sprintf "%s+cut" base.name;
+    drop =
+      (fun rng ~src ~dst ->
+        base.drop rng ~src ~dst || (List.mem src from && List.mem dst to_));
+  }

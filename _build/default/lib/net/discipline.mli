@@ -1,0 +1,50 @@
+(** Message-delivery disciplines: how the (adversarial) network chooses
+    delivery delays.
+
+    The model has reliable links and no timing assumptions (§2.1), so any
+    finite per-message delay is a legal schedule. A discipline is a named
+    delay sampler; determinism comes from the seeded PRNG threaded by the
+    runner. *)
+
+open Dex_stdext
+
+type t = {
+  name : string;
+  latency : Prng.t -> src:Pid.t -> dst:Pid.t -> float;
+  drop : Prng.t -> src:Pid.t -> dst:Pid.t -> bool;
+      (** message-loss oracle; constant [false] for the reliable-link
+          disciplines. The paper's model has reliable links (§2.1) — loss
+          exists here so the {!Dex_link.Stubborn} layer can demonstrate how
+          that assumption is implemented over a fair-lossy network. *)
+}
+
+val lockstep : t
+(** Every message takes exactly one time unit: virtual time equals the
+    communication-step index, the measure used throughout the paper. *)
+
+val uniform : lo:float -> hi:float -> t
+(** Uniform delay in [\[lo, hi)]. [uniform ~lo:0. ~hi:1.] delivers messages
+    in a uniformly random order — a standard way to exercise asynchrony. *)
+
+val asynchronous : t
+(** [uniform ~lo:0. ~hi:1.] under the name ["async"]. *)
+
+val exponential : mean:float -> t
+(** Exponential delays; a common WAN latency model. *)
+
+val skew : slow:Pid.t list -> factor:float -> t -> t
+(** Multiply the delay of every message sent *by* a process in [slow] by
+    [factor] — models slow or partitioned-away processes, the situation
+    where adaptiveness pays off. *)
+
+val delay_into : dst:Pid.t list -> extra:float -> t -> t
+(** Add [extra] delay to every message *received by* a process in [dst]. *)
+
+val lossy : p:float -> t -> t
+(** Drop each message independently with probability [p] (on top of [t]'s
+    own drop rule). Fair-lossy for [p < 1]: infinite retransmission
+    eventually succeeds. @raise Invalid_argument unless [0 <= p < 1]. *)
+
+val cut : from:Pid.t list -> to_:Pid.t list -> t -> t
+(** Drop every message from a pid in [from] to a pid in [to_] — a
+    unidirectional partition. *)

@@ -1,0 +1,9 @@
+type t = int
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let pp ppf p = Format.fprintf ppf "p%d" p
+
+let all ~n = List.init n (fun i -> i)

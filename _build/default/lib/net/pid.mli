@@ -1,0 +1,15 @@
+(** Process identifiers.
+
+    Processes are numbered [0 .. n-1]. Auxiliary simulation-only nodes (such
+    as the underlying-consensus oracle) live at ids [>= n]. *)
+
+type t = int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val all : n:int -> t list
+(** [all ~n] is [\[0; …; n-1\]]. *)

@@ -1,0 +1,35 @@
+open Dex_vector
+
+type 'msg action =
+  | Send of Pid.t * 'msg
+  | Decide of { value : Value.t; tag : string }
+  | Set_timer of { delay : float; msg : 'msg }
+
+type 'msg instance = {
+  start : unit -> 'msg action list;
+  on_message : now:float -> from:Pid.t -> 'msg -> 'msg action list;
+}
+
+let broadcast ~n m = List.init n (fun p -> Send (p, m))
+
+let send p m = Send (p, m)
+
+let decide ?(tag = "") value = Decide { value; tag }
+
+let map_actions f actions =
+  List.map
+    (function
+      | Send (p, m) -> Send (p, f m)
+      | Decide d -> Decide d
+      | Set_timer { delay; msg } -> Set_timer { delay; msg = f msg })
+    actions
+
+let embed ~inject ~project inner =
+  {
+    start = (fun () -> map_actions inject (inner.start ()));
+    on_message =
+      (fun ~now ~from m ->
+        match project m with
+        | None -> []
+        | Some m' -> map_actions inject (inner.on_message ~now ~from m'));
+  }

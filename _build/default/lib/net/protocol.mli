@@ -1,0 +1,54 @@
+(** The protocol interface every algorithm in this repository implements.
+
+    A protocol instance is a mutable state machine driven by two entry
+    points: {!field-start} (the process begins, e.g. [Propose(v_i)] in
+    Figure 1) and {!field-on_message}. Both return the list of actions the
+    process takes in response. The same instances run unchanged under the
+    discrete-event simulator ({!Runner}) and the thread runtime
+    ([Dex_runtime]).
+
+    Byzantine behaviours implement this same interface: a faulty process is,
+    by definition, an arbitrary state machine over the same message type
+    (§2.1). Generic fault wrappers live in {!Adversary}. *)
+
+open Dex_vector
+
+type 'msg action =
+  | Send of Pid.t * 'msg  (** point-to-point send over a reliable link *)
+  | Decide of { value : Value.t; tag : string }
+      (** irrevocable decision; [tag] names the decision path (e.g.
+          ["one-step"], ["two-step"], ["underlying"]) for step accounting *)
+  | Set_timer of { delay : float; msg : 'msg }
+      (** deliver [msg] back to this process after [delay] time units.
+          Timers model local waiting, not communication: the timer message
+          carries the causal depth current when it was set, so timeouts do
+          not inflate step counts. Only partially-synchronous components
+          (the leader-based underlying consensus) use timers; the
+          asynchronous algorithms never do. *)
+
+type 'msg instance = {
+  start : unit -> 'msg action list;
+      (** invoked once at the process's activation time *)
+  on_message : now:float -> from:Pid.t -> 'msg -> 'msg action list;
+      (** invoked at each message reception; [now] is the virtual (or wall)
+          time — protocols must not base decisions on it (asynchrony), but
+          adversaries and loggers may *)
+}
+
+val broadcast : n:int -> 'msg -> 'msg action list
+(** [broadcast ~n m] sends [m] to all of [0 .. n-1] — including the sender
+    itself, as in Figure 1 where each process records its own proposal and
+    sends to all. *)
+
+val send : Pid.t -> 'msg -> 'msg action
+val decide : ?tag:string -> Value.t -> 'msg action
+
+val map_actions : ('a -> 'b) -> 'a action list -> 'b action list
+(** Embed a sub-protocol's emissions into an enclosing message type. *)
+
+val embed :
+  inject:('a -> 'b) -> project:('b -> 'a option) -> 'a instance -> 'b instance
+(** Lift a whole instance into an enclosing message type: incoming messages
+    that [project] to [None] are ignored; emissions are [inject]ed. Used to
+    mount auxiliary nodes (e.g. the UC oracle) into a composite protocol's
+    message space. *)

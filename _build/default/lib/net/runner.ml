@@ -1,0 +1,168 @@
+open Dex_stdext
+open Dex_vector
+open Dex_sim
+
+type decision = { value : Value.t; time : float; depth : int; tag : string }
+
+type 'msg config = {
+  n : int;
+  discipline : Discipline.t;
+  seed : int;
+  make_instance : Pid.t -> 'msg Protocol.instance;
+  extra : (Pid.t * 'msg Protocol.instance) list;
+  classify : ('msg -> string) option;
+  pp_msg : (Format.formatter -> 'msg -> unit) option;
+  trace : bool;
+  max_events : int;
+}
+
+let config ?(discipline = Discipline.lockstep) ?(seed = 0) ?(extra = []) ?classify ?pp_msg
+    ?(trace = false) ?(max_events = 10_000_000) ~n make_instance =
+  { n; discipline; seed; make_instance; extra; classify; pp_msg; trace; max_events }
+
+type result = {
+  decisions : decision option array;
+  late_decides : (Pid.t * decision) list;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  sent_by_class : (string * int) list;
+  stop : Engine.stop_reason;
+  final_time : float;
+  trace : Trace.t;
+}
+
+type 'msg envelope = { src : Pid.t; dst : Pid.t; payload : 'msg; depth : int }
+
+let run cfg =
+  let engine = Engine.create () in
+  let rng = Prng.create ~seed:cfg.seed in
+  let trace = Trace.create () in
+  let record fmt =
+    if cfg.trace then Trace.recordf trace ~time:(Engine.now engine) fmt
+    else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  in
+  let pp_payload ppf m =
+    match cfg.pp_msg with Some pp -> pp ppf m | None -> Format.pp_print_string ppf "<msg>"
+  in
+  let decisions = Array.make cfg.n None in
+  let late = ref [] in
+  let sent = ref 0 in
+  let delivered = ref 0 in
+  let dropped = ref 0 in
+  let by_class : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let instances = Hashtbl.create (cfg.n + List.length cfg.extra) in
+  List.iter
+    (fun p -> Hashtbl.replace instances p (cfg.make_instance p))
+    (Pid.all ~n:cfg.n);
+  List.iter (fun (p, inst) -> Hashtbl.replace instances p inst) cfg.extra;
+
+  (* Mutual recursion: executing actions schedules deliveries, whose
+     handlers execute more actions. *)
+  let rec execute ~src ~depth actions =
+    List.iter
+      (function
+        | Protocol.Send (dst, payload) -> post { src; dst; payload; depth }
+        | Protocol.Decide { value; tag } -> note_decision ~pid:src ~value ~tag ~depth
+        | Protocol.Set_timer { delay; msg } ->
+          (* A timer is local waiting: it re-enters the process at the
+             causal depth it was set at (depth here is "next emission
+             depth", so the handler resumes one lower, like a received
+             message of depth [depth - 1]). *)
+          Engine.schedule engine ~delay (fun () ->
+              record "timer %a depth=%d %a" Pid.pp src (depth - 1) pp_payload msg;
+              match Hashtbl.find_opt instances src with
+              | None -> ()
+              | Some inst ->
+                let actions' =
+                  inst.Protocol.on_message ~now:(Engine.now engine) ~from:src msg
+                in
+                execute ~src ~depth actions'))
+      actions
+  and post env =
+    if Hashtbl.mem instances env.dst then begin
+      incr sent;
+      (match cfg.classify with
+      | None -> ()
+      | Some classify ->
+        let key = classify env.payload in
+        Hashtbl.replace by_class key (1 + Option.value ~default:0 (Hashtbl.find_opt by_class key)));
+      if cfg.discipline.Discipline.drop rng ~src:env.src ~dst:env.dst then begin
+        incr dropped;
+        record "drop %a->%a %a" Pid.pp env.src Pid.pp env.dst pp_payload env.payload
+      end
+      else begin
+        let delay = cfg.discipline.Discipline.latency rng ~src:env.src ~dst:env.dst in
+        Engine.schedule engine ~delay (fun () -> deliver env)
+      end
+    end
+    (* Sends to unknown pids are dropped silently: a Byzantine node may
+       address non-existent processes; the network discards them. *)
+  and deliver env =
+    incr delivered;
+    record "deliver %a->%a depth=%d %a" Pid.pp env.src Pid.pp env.dst env.depth pp_payload
+      env.payload;
+    match Hashtbl.find_opt instances env.dst with
+    | None -> ()
+    | Some inst ->
+      let actions =
+        inst.Protocol.on_message ~now:(Engine.now engine) ~from:env.src env.payload
+      in
+      execute ~src:env.dst ~depth:(env.depth + 1) actions
+  and note_decision ~pid ~value ~tag ~depth =
+    (* [depth] here is the depth outgoing messages would carry; the decision
+       consumed a message of depth [depth - 1]. *)
+    let d = { value; time = Engine.now engine; depth = depth - 1; tag } in
+    record "decide %a value=%a depth=%d tag=%s" Pid.pp pid Value.pp value d.depth tag;
+    if pid >= 0 && pid < cfg.n then begin
+      match decisions.(pid) with
+      | None -> decisions.(pid) <- Some d
+      | Some _ -> late := (pid, d) :: !late
+    end
+  in
+
+  (* Activate every instance at time 0; start-emitted messages have causal
+     depth 1 (hence the [~depth:1] = 0 consumed + 1). *)
+  Hashtbl.iter
+    (fun pid inst ->
+      Engine.schedule engine ~delay:0.0 (fun () ->
+          record "start %a" Pid.pp pid;
+          execute ~src:pid ~depth:1 (inst.Protocol.start ())))
+    instances;
+
+  let stop = Engine.run ~max_events:cfg.max_events engine in
+  {
+    decisions;
+    late_decides = List.rev !late;
+    sent = !sent;
+    delivered = !delivered;
+    dropped = !dropped;
+    sent_by_class =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_class []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    stop;
+    final_time = Engine.now engine;
+    trace;
+  }
+
+let all_decided r = Array.for_all Option.is_some r.decisions
+
+let decided_values r =
+  Array.to_list r.decisions
+  |> List.filter_map (Option.map (fun d -> d.value))
+  |> List.sort_uniq Value.compare
+
+let agreement ?among r =
+  let pids =
+    match among with Some l -> l | None -> List.init (Array.length r.decisions) Fun.id
+  in
+  let vals =
+    List.filter_map
+      (fun p ->
+        if p >= 0 && p < Array.length r.decisions then
+          Option.map (fun d -> d.value) r.decisions.(p)
+        else None)
+      pids
+    |> List.sort_uniq Value.compare
+  in
+  List.length vals <= 1

@@ -1,0 +1,80 @@
+(** Simulation harness: wires [n] protocol instances (plus optional auxiliary
+    nodes) to the discrete-event engine through a reliable asynchronous
+    network and runs the execution to quiescence.
+
+    {2 Step accounting}
+
+    Every message carries a causal depth: messages emitted from [start] have
+    depth 1; messages emitted while handling a depth-[d] message have depth
+    [d + 1]. A decision made while handling a depth-[d] message is a
+    [d]-step decision — exactly the paper's communication-step count (one
+    IDB step spans two depths, matching "one identical-broadcast step = two
+    standard steps"). A decision made in [start] (possible only for trivial
+    protocols) has depth 0. *)
+
+open Dex_vector
+open Dex_sim
+
+type decision = {
+  value : Value.t;
+  time : float;  (** virtual time of the decision *)
+  depth : int;  (** causal communication-step count *)
+  tag : string;  (** decision path, e.g. ["one-step"] *)
+}
+
+type 'msg config = {
+  n : int;  (** number of protocol processes, pids [0 .. n-1] *)
+  discipline : Discipline.t;
+  seed : int;
+  make_instance : Pid.t -> 'msg Protocol.instance;
+  extra : (Pid.t * 'msg Protocol.instance) list;
+      (** auxiliary nodes (e.g. the UC oracle at pid [n]); they may send and
+          receive but their decisions are only traced *)
+  classify : ('msg -> string) option;
+      (** optional message classifier for per-kind send counts *)
+  pp_msg : (Format.formatter -> 'msg -> unit) option;  (** for traces *)
+  trace : bool;
+  max_events : int;
+}
+
+val config :
+  ?discipline:Discipline.t ->
+  ?seed:int ->
+  ?extra:(Pid.t * 'msg Protocol.instance) list ->
+  ?classify:('msg -> string) ->
+  ?pp_msg:(Format.formatter -> 'msg -> unit) ->
+  ?trace:bool ->
+  ?max_events:int ->
+  n:int ->
+  (Pid.t -> 'msg Protocol.instance) ->
+  'msg config
+(** Defaults: lockstep discipline, seed 0, no extras, no classifier, traces
+    off, [max_events = 10_000_000]. *)
+
+type result = {
+  decisions : decision option array;  (** index = pid, length [n] *)
+  late_decides : (Pid.t * decision) list;
+      (** Decide actions emitted after a process had already decided — a
+          protocol bug unless the values agree; exposed for tests *)
+  sent : int;
+  delivered : int;
+  dropped : int;  (** messages lost by a lossy discipline (0 otherwise) *)
+  sent_by_class : (string * int) list;  (** populated when [classify] given *)
+  stop : Engine.stop_reason;
+  final_time : float;
+  trace : Trace.t;
+}
+
+val run : 'msg config -> result
+
+val all_decided : result -> bool
+(** Every pid in [0 .. n-1] holds a decision. *)
+
+val decided_values : result -> Value.t list
+(** Distinct decided values (agreement holds iff the list has ≤ 1 element —
+    over *correct* processes; filter before calling when faulty pids decide
+    too). *)
+
+val agreement : ?among:Pid.t list -> result -> bool
+(** All processes in [among] (default: all pids) that decided, decided the
+    same value. *)

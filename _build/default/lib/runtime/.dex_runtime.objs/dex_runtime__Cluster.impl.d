@@ -1,0 +1,1 @@
+lib/runtime/cluster.ml: Array Dex_net Dex_vector List Mutex Pid Protocol Thread Transport Unix Value

@@ -1,0 +1,1 @@
+lib/runtime/cluster.mli: Dex_net Dex_vector Pid Protocol Transport Value

@@ -1,0 +1,1 @@
+lib/runtime/mailbox.ml: Condition Float Mutex Queue Thread Unix

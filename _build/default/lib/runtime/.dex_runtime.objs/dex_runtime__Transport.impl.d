@@ -1,0 +1,1 @@
+lib/runtime/transport.ml: Dex_codec Dex_net Dex_stdext Hashtbl List Mailbox Marshal Mutex Pid Prng Thread Unix

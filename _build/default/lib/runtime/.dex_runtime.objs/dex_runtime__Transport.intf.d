@@ -1,0 +1,1 @@
+lib/runtime/transport.mli: Dex_codec Dex_net Pid

@@ -1,0 +1,106 @@
+open Dex_vector
+open Dex_net
+
+type decision = { value : Value.t; tag : string; wall : float }
+
+type 'msg node = { pid : Pid.t; instance : 'msg Protocol.instance }
+
+type 'msg t = {
+  transport : 'msg Transport.t;
+  n : int;
+  nodes : 'msg node list;
+  decisions : decision option array;
+  decisions_mutex : Mutex.t;
+  mutable threads : Thread.t list;
+  mutable running : bool;
+  mutable started : bool;
+  mutable epoch : float;
+}
+
+let create ~transport ~n ?(extra = []) make_instance =
+  let nodes =
+    List.map (fun p -> { pid = p; instance = make_instance p }) (Pid.all ~n)
+    @ List.map (fun (pid, instance) -> { pid; instance }) extra
+  in
+  {
+    transport;
+    n;
+    nodes;
+    decisions = Array.make n None;
+    decisions_mutex = Mutex.create ();
+    threads = [];
+    running = false;
+    started = false;
+    epoch = 0.0;
+  }
+
+let execute t ~self actions =
+  List.iter
+    (function
+      | Protocol.Send (dst, msg) -> t.transport.Transport.send ~src:self ~dst msg
+      | Protocol.Decide { value; tag } ->
+        if self >= 0 && self < t.n then begin
+          Mutex.lock t.decisions_mutex;
+          if t.decisions.(self) = None then
+            t.decisions.(self) <-
+              Some { value; tag; wall = Unix.gettimeofday () -. t.epoch };
+          Mutex.unlock t.decisions_mutex
+        end
+      | Protocol.Set_timer { delay; msg } ->
+        (* A detached thread delivers the timer message back through the
+           node's own endpoint (as a self-send), so the node loop processes
+           it like any other message. *)
+        let send = t.transport.Transport.send in
+        ignore
+          (Thread.create
+             (fun () ->
+               Thread.delay delay;
+               send ~src:self ~dst:self msg)
+             ()))
+    actions
+
+let node_loop t node () =
+  execute t ~self:node.pid (node.instance.Protocol.start ());
+  while t.running do
+    match t.transport.Transport.recv ~me:node.pid ~timeout:0.05 with
+    | None -> ()
+    | Some (from, msg) ->
+      let now = Unix.gettimeofday () -. t.epoch in
+      execute t ~self:node.pid (node.instance.Protocol.on_message ~now ~from msg)
+  done
+
+let start t =
+  if t.started then invalid_arg "Cluster.start: already started";
+  t.started <- true;
+  t.running <- true;
+  t.epoch <- Unix.gettimeofday ();
+  t.threads <- List.map (fun node -> Thread.create (node_loop t node) ()) t.nodes
+
+let decisions t =
+  Mutex.lock t.decisions_mutex;
+  let snapshot = Array.copy t.decisions in
+  Mutex.unlock t.decisions_mutex;
+  snapshot
+
+let await ?(timeout = 10.0) ?among t =
+  let pids = match among with Some l -> l | None -> Pid.all ~n:t.n in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec poll () =
+    let snap = decisions t in
+    let all = List.for_all (fun p -> p >= 0 && p < t.n && snap.(p) <> None) pids in
+    if all then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.002;
+      poll ()
+    end
+  in
+  poll ()
+
+let shutdown t =
+  if t.running then begin
+    t.running <- false;
+    t.transport.Transport.close ();
+    List.iter Thread.join t.threads;
+    t.threads <- []
+  end

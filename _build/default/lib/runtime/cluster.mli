@@ -1,0 +1,38 @@
+(** Thread-per-process execution of protocol instances.
+
+    Runs the {e same} [Protocol.instance] values as the discrete-event
+    simulator, but on OS threads over a real transport: every process is a
+    thread looping on its endpoint; decisions are collected centrally. This
+    is the "deployment-shaped" lane of the reproduction — the simulator
+    answers step-count questions deterministically, the cluster demonstrates
+    the stack running under true concurrency (and feeds the wall-clock
+    benches). *)
+
+open Dex_vector
+open Dex_net
+
+type decision = { value : Value.t; tag : string; wall : float (** seconds since start *) }
+
+type 'msg t
+
+val create :
+  transport:'msg Transport.t ->
+  n:int ->
+  ?extra:(Pid.t * 'msg Protocol.instance) list ->
+  (Pid.t -> 'msg Protocol.instance) ->
+  'msg t
+(** Build a cluster of [n] protocol processes (pids [0 .. n-1]) plus
+    auxiliary nodes. Nothing runs until {!start}. *)
+
+val start : 'msg t -> unit
+(** Launch one thread per node and invoke every instance's [start]. *)
+
+val await : ?timeout:float -> ?among:Pid.t list -> 'msg t -> bool
+(** Block until every pid in [among] (default: all [n]) has decided, or the
+    timeout (default 10 s) elapses; returns whether they all decided. *)
+
+val decisions : 'msg t -> decision option array
+(** Snapshot of decisions by pid (length [n]). *)
+
+val shutdown : 'msg t -> unit
+(** Close the transport and join all node threads. Idempotent. *)

@@ -1,0 +1,53 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create () =
+  { mutex = Mutex.create (); nonempty = Condition.create (); queue = Queue.create (); closed = false }
+
+let push t x =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    Queue.push x t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mutex
+
+let pop ~timeout t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.closed then None
+    else begin
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then None
+      else begin
+        (* No timed wait in the stdlib Condition: poll with a short sleep
+           while the lock is released. Granularity 1 ms is plenty for a
+           loopback cluster. *)
+        Mutex.unlock t.mutex;
+        Thread.delay (Float.min 0.001 remaining);
+        Mutex.lock t.mutex;
+        wait ()
+      end
+    end
+  in
+  let result = wait () in
+  Mutex.unlock t.mutex;
+  result
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,19 @@
+(** Thread-safe blocking FIFO queues — the delivery channel of the in-memory
+    transport and the receive buffer of the TCP transport. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Never blocks (unbounded queue). Pushing to a closed mailbox is a no-op:
+    shutdown races lose messages by design, like a dead network peer. *)
+
+val pop : timeout:float -> 'a t -> 'a option
+(** Block up to [timeout] seconds for an element. [None] on timeout or when
+    the mailbox is closed and drained. *)
+
+val close : 'a t -> unit
+(** Wake all blocked readers; subsequent pushes are dropped. *)
+
+val length : 'a t -> int

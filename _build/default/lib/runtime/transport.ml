@@ -1,0 +1,177 @@
+open Dex_net
+
+open Dex_stdext
+
+type 'msg t = {
+  send : src:Pid.t -> dst:Pid.t -> 'msg -> unit;
+  recv : me:Pid.t -> timeout:float -> (Pid.t * 'msg) option;
+  close : unit -> unit;
+}
+
+module Mem = struct
+  let create ?(jitter = 0.0) ?(seed = 0) ~pids () =
+    let boxes = Hashtbl.create 16 in
+    List.iter (fun p -> Hashtbl.replace boxes p (Mailbox.create ())) pids;
+    let rng = Prng.create ~seed in
+    let rng_mutex = Mutex.create () in
+    let draw_delay () =
+      Mutex.lock rng_mutex;
+      let d = Prng.float rng jitter in
+      Mutex.unlock rng_mutex;
+      d
+    in
+    let send ~src ~dst msg =
+      match Hashtbl.find_opt boxes dst with
+      | None -> ()
+      | Some box ->
+        if jitter > 0.0 then
+          (* A detached thread per delayed delivery: simple and adequate for
+             loopback-scale experiments. *)
+          ignore
+            (Thread.create
+               (fun () ->
+                 Thread.delay (draw_delay ());
+                 Mailbox.push box (src, msg))
+               ())
+        else Mailbox.push box (src, msg)
+    in
+    let recv ~me ~timeout =
+      match Hashtbl.find_opt boxes me with
+      | None -> None
+      | Some box -> Mailbox.pop ~timeout box
+    in
+    let close () = Hashtbl.iter (fun _ box -> Mailbox.close box) boxes in
+    { send; recv; close }
+end
+
+(* Shared TCP machinery, parameterized by the frame format. *)
+module Tcp_generic = struct
+  let create ~write_frame ~read_frame ~pids () =
+    let boxes = Hashtbl.create 16 in
+    List.iter (fun p -> Hashtbl.replace boxes p (Mailbox.create ())) pids;
+    let listeners = Hashtbl.create 16 in
+    let ports = Hashtbl.create 16 in
+    let conns : (Pid.t * Pid.t, out_channel * Mutex.t) Hashtbl.t = Hashtbl.create 16 in
+    let conns_mutex = Mutex.create () in
+    let closed = ref false in
+
+    (* Reader: one thread per accepted connection; frames carry the claimed
+       source pid. A malformed frame kills only this connection — the peer
+       is treated as Byzantine. *)
+    let reader ~dst sock =
+      let ic = Unix.in_channel_of_descr sock in
+      let rec loop () =
+        let src, msg = read_frame ic in
+        (match Hashtbl.find_opt boxes dst with
+        | Some box -> Mailbox.push box (src, msg)
+        | None -> ());
+        loop ()
+      in
+      (try loop () with
+      | End_of_file | Sys_error _ | Unix.Unix_error _ | Dex_codec.Codec.Decode_error _ -> ());
+      try Unix.close sock with Unix.Unix_error _ -> ()
+    in
+
+    (* One listener per pid on an ephemeral loopback port. *)
+    List.iter
+      (fun pid ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.listen sock 64;
+        let port =
+          match Unix.getsockname sock with
+          | Unix.ADDR_INET (_, port) -> port
+          | _ -> assert false
+        in
+        Hashtbl.replace ports pid port;
+        Hashtbl.replace listeners pid sock;
+        let accept_loop () =
+          try
+            while not !closed do
+              let conn, _ = Unix.accept sock in
+              ignore (Thread.create (fun () -> reader ~dst:pid conn) ())
+            done
+          with Unix.Unix_error _ | Sys_error _ -> ()
+        in
+        ignore (Thread.create accept_loop ()))
+      pids;
+
+    let connect ~src ~dst =
+      Mutex.lock conns_mutex;
+      let result =
+        match Hashtbl.find_opt conns (src, dst) with
+        | Some c -> Some c
+        | None -> (
+          match Hashtbl.find_opt ports dst with
+          | None -> None
+          | Some port ->
+            let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            (try
+               Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+               let oc = Unix.out_channel_of_descr sock in
+               let entry = (oc, Mutex.create ()) in
+               Hashtbl.replace conns (src, dst) entry;
+               Some entry
+             with Unix.Unix_error _ ->
+               (try Unix.close sock with Unix.Unix_error _ -> ());
+               None))
+      in
+      Mutex.unlock conns_mutex;
+      result
+    in
+
+    let send ~src ~dst msg =
+      if not !closed then
+        match connect ~src ~dst with
+        | None -> ()
+        | Some (oc, oc_mutex) -> (
+          Mutex.lock oc_mutex;
+          (try write_frame oc (src, msg)
+           with Sys_error _ | Unix.Unix_error _ -> ());
+          Mutex.unlock oc_mutex)
+    in
+    let recv ~me ~timeout =
+      match Hashtbl.find_opt boxes me with
+      | None -> None
+      | Some box -> Mailbox.pop ~timeout box
+    in
+    let close () =
+      if not !closed then begin
+        closed := true;
+        Hashtbl.iter
+          (fun _ sock -> try Unix.close sock with Unix.Unix_error _ -> ())
+          listeners;
+        Mutex.lock conns_mutex;
+        Hashtbl.iter
+          (fun _ (oc, _) -> try close_out oc with Sys_error _ -> ())
+          conns;
+        Mutex.unlock conns_mutex;
+        Hashtbl.iter (fun _ box -> Mailbox.close box) boxes
+      end
+    in
+    { send; recv; close }
+end
+
+module Tcp = struct
+  (* Frames are [Marshal]ed (src, msg) pairs over persistent loopback
+     connections — only type-safe between identical binaries; see the
+     interface. *)
+  let create ~pids () =
+    let write_frame oc (src, msg) =
+      Marshal.to_channel oc (src, msg) [];
+      flush oc
+    in
+    let read_frame ic = (Marshal.from_channel ic : Pid.t * _) in
+    Tcp_generic.create ~write_frame ~read_frame ~pids ()
+end
+
+module Tcp_codec = struct
+  let create ~codec ~pids () =
+    let frame_codec = Dex_codec.Codec.pair Dex_codec.Codec.int codec in
+    let write_frame oc (src, msg) =
+      Dex_codec.Codec.Frame.to_channel oc frame_codec (src, msg)
+    in
+    let read_frame ic = Dex_codec.Codec.Frame.from_channel ic frame_codec in
+    Tcp_generic.create ~write_frame ~read_frame ~pids ()
+end

@@ -1,0 +1,46 @@
+open Dex_net
+
+(** Transport abstraction of the thread runtime.
+
+    A transport routes [(src, msg)] envelopes between node endpoints. Two
+    implementations:
+
+    - {!Mem}: in-process mailboxes with optional random delivery jitter —
+      the default for examples and tests;
+    - {!Tcp}: loopback TCP sockets with [Marshal]-encoded frames — every
+      message crosses a real kernel socket. Marshalling is only safe because
+      both ends run the same binary (documented trade-off; a production
+      deployment would swap in a real codec at this interface).
+
+    The runtime drives the same [Protocol.instance] values as the simulator:
+    code under test is identical, only the scheduler differs. *)
+
+type 'msg t = {
+  send : src:Pid.t -> dst:Pid.t -> 'msg -> unit;
+      (** asynchronous, best-effort once endpoints are up; sends to unknown
+          destinations are dropped *)
+  recv : me:Pid.t -> timeout:float -> (Pid.t * 'msg) option;
+      (** blocking receive on [me]'s endpoint *)
+  close : unit -> unit;  (** tear everything down; idempotent *)
+}
+
+module Mem : sig
+  val create : ?jitter:float -> ?seed:int -> pids:Pid.t list -> unit -> 'msg t
+  (** [jitter] (seconds, default 0) delays each delivery by a uniform random
+      amount in [\[0, jitter)] — a cheap stand-in for network variance. *)
+end
+
+module Tcp : sig
+  val create : pids:Pid.t list -> unit -> 'msg t
+  (** Binds one loopback listener per pid on ephemeral ports and connects a
+      full mesh lazily. @raise Unix.Unix_error when sockets are unavailable. *)
+end
+
+module Tcp_codec : sig
+  val create : codec:'msg Dex_codec.Codec.t -> pids:Pid.t list -> unit -> 'msg t
+  (** Like {!Tcp} but frames every message with the given typed codec
+      instead of [Marshal]: a real wire format, safe across binaries, and
+      malformed frames from a peer tear down only that connection (the peer
+      is treated as Byzantine). Every protocol module exports its codec
+      ([Dex.codec], [Bosco.codec], …). *)
+end

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Dex_stdext Float Pqueue

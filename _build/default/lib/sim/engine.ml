@@ -1,0 +1,53 @@
+open Dex_stdext
+
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable clock : float;
+  mutable seq : int;
+  mutable processed : int;
+}
+
+type stop_reason = Quiescent | Deadline | Event_limit
+
+let create () = { queue = Pqueue.create (); clock = 0.0; seq = 0; processed = 0 }
+
+let now e = e.clock
+
+let schedule_at e ~time f =
+  if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
+  if time < e.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Pqueue.push e.queue ~time ~seq:e.seq f;
+  e.seq <- e.seq + 1
+
+let schedule e ~delay f =
+  if (not (Float.is_finite delay)) || delay < 0.0 then
+    invalid_arg "Engine.schedule: negative or non-finite delay";
+  schedule_at e ~time:(e.clock +. delay) f
+
+let pending e = Pqueue.length e.queue
+
+let events_processed e = e.processed
+
+let step e =
+  match Pqueue.pop e.queue with
+  | None -> false
+  | Some (time, _, f) ->
+    e.clock <- time;
+    e.processed <- e.processed + 1;
+    f ();
+    true
+
+let run ?(until = infinity) ?(max_events = 10_000_000) e =
+  let rec loop () =
+    if e.processed >= max_events then Event_limit
+    else
+      match Pqueue.peek e.queue with
+      | None -> Quiescent
+      | Some (time, _, _) ->
+        if time > until then Deadline
+        else begin
+          ignore (step e);
+          loop ()
+        end
+  in
+  loop ()

@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    A virtual clock plus a priority queue of thunks. Events scheduled for the
+    same instant fire in scheduling order, so a run is a deterministic
+    function of the initial schedule and the seeds threaded through the
+    protocol stack. The asynchronous-system semantics of the paper (arbitrary
+    but finite message delays, no global clock available to processes) is
+    obtained by scheduling message deliveries at adversary- or
+    distribution-chosen virtual times; processes never read the clock. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule e ~delay f] runs [f] at [now e +. delay].
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant. @raise Invalid_argument if [time] is in the
+    past. *)
+
+val pending : t -> int
+(** Number of not-yet-fired events. *)
+
+val events_processed : t -> int
+
+type stop_reason =
+  | Quiescent  (** no pending events remain *)
+  | Deadline  (** virtual-time bound reached *)
+  | Event_limit  (** processed-event bound reached *)
+
+val run : ?until:float -> ?max_events:int -> t -> stop_reason
+(** Fire events in timestamp order until one of the stopping criteria holds.
+    [max_events] defaults to 10_000_000 — a safety net against protocol bugs
+    that generate infinite message chatter. *)
+
+val step : t -> bool
+(** Fire the single next event; [false] when none remain. *)

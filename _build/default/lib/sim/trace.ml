@@ -1,0 +1,45 @@
+type entry = { time : float; label : string }
+
+type t = {
+  capacity : int;
+  mutable entries : entry list; (* newest first *)
+  mutable length : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 100_000) () = { capacity; entries = []; length = 0; dropped = 0 }
+
+let record t ~time label =
+  t.entries <- { time; label } :: t.entries;
+  t.length <- t.length + 1;
+  if t.length > t.capacity then begin
+    (* Drop the oldest half in one pass to amortize the list surgery. *)
+    let keep = t.capacity / 2 in
+    let rec take k acc = function
+      | [] -> (List.rev acc, 0)
+      | rest when k = 0 -> (List.rev acc, List.length rest)
+      | e :: rest -> take (k - 1) (e :: acc) rest
+    in
+    let kept, dropped = take keep [] t.entries in
+    t.entries <- kept;
+    t.dropped <- t.dropped + dropped;
+    t.length <- keep
+  end
+
+let recordf t ~time fmt = Format.kasprintf (fun label -> record t ~time label) fmt
+
+let length t = t.length
+
+let dropped t = t.dropped
+
+let to_list t = List.rev t.entries
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  m = 0 || scan 0
+
+let find t ~sub = List.filter (fun e -> contains_sub e.label sub) (to_list t)
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "[%8.3f] %s@." e.time e.label) (to_list t)

@@ -1,0 +1,31 @@
+(** Bounded execution traces.
+
+    Protocol harnesses record delivery and decision events here; tests assert
+    over traces and failed runs dump them for debugging. The buffer keeps the
+    most recent [capacity] entries. *)
+
+type entry = { time : float; label : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 100_000 entries. *)
+
+val record : t -> time:float -> string -> unit
+
+val recordf : t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant of {!record}. *)
+
+val length : t -> int
+(** Number of retained entries. *)
+
+val dropped : t -> int
+(** Number of entries evicted due to the capacity bound. *)
+
+val to_list : t -> entry list
+(** Retained entries, oldest first. *)
+
+val find : t -> sub:string -> entry list
+(** Retained entries whose label contains [sub]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/smr/replicated_log.ml: Dex_condition Dex_core Dex_net Dex_underlying Dex_vector Format Hashtbl List Pair Pid Protocol Uc_intf Value

@@ -1,0 +1,1 @@
+lib/smr/replicated_log.mli: Dex_condition Dex_net Dex_underlying Dex_vector Format Pair Pid Protocol Uc_intf Value

@@ -1,0 +1,140 @@
+open Dex_vector
+open Dex_condition
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) = struct
+  module D = Dex_core.Dex.Make (Uc)
+
+  type msg = { slot : int; payload : D.msg }
+
+  let pp_msg ppf m = Format.fprintf ppf "[slot %d] %a" m.slot D.pp_msg m.payload
+
+  type config = {
+    pair : int -> Pair.t;
+    n : int;
+    t : int;
+    seed : int;
+    slots : int;
+    window : int;
+  }
+
+  let config ?(seed = 0) ?(window = 4) ~pair ~slots ~n ~t () =
+    if slots < 0 then invalid_arg "Replicated_log.config: negative slots";
+    if window < 1 then invalid_arg "Replicated_log.config: window must be >= 1";
+    { pair; n; t; seed; slots; window }
+
+  (* Per-slot seeds keep the per-instance coins independent. *)
+  let slot_seed cfg slot = cfg.seed + (1_000_003 * slot)
+
+  let slot_cfg cfg slot =
+    { D.n = cfg.n; t = cfg.t; seed = slot_seed cfg slot; pair = cfg.pair slot }
+
+  let replica cfg ~me ~propose ~on_commit =
+    let instances : (int, D.msg Protocol.instance) Hashtbl.t = Hashtbl.create 16 in
+    let started : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let decided : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+    let commits = ref 0 in
+
+    let instance_of slot =
+      match Hashtbl.find_opt instances slot with
+      | Some inst -> inst
+      | None ->
+        let inst = D.instance (slot_cfg cfg slot) ~me ~proposal:(propose ~slot) in
+        Hashtbl.add instances slot inst;
+        inst
+    in
+
+    (* Wrapping a slot's actions may commit, which may activate further
+       slots, whose start actions are folded into the same result. *)
+    let rec wrap slot actions =
+      List.concat_map
+        (function
+          | Protocol.Send (p, m) -> [ Protocol.Send (p, { slot; payload = m }) ]
+          | Protocol.Set_timer { delay; msg } ->
+            [ Protocol.Set_timer { delay; msg = { slot; payload = msg } } ]
+          | Protocol.Decide { value; _ } -> on_decide slot value)
+        actions
+    and on_decide slot value =
+      if Hashtbl.mem decided slot then []
+      else begin
+        Hashtbl.add decided slot value;
+        flush_commits ()
+      end
+    and flush_commits () =
+      match Hashtbl.find_opt decided !commits with
+      | Some value ->
+        let slot = !commits in
+        incr commits;
+        on_commit ~slot value;
+        let opened = activate () in
+        opened @ flush_commits ()
+      | None -> activate ()
+    and activate () =
+      (* Keep [window] slots in flight beyond the committed prefix. *)
+      let upper = min cfg.slots (!commits + cfg.window) in
+      let acc = ref [] in
+      for slot = 0 to upper - 1 do
+        if not (Hashtbl.mem started slot) then begin
+          Hashtbl.add started slot ();
+          acc := !acc @ wrap slot ((instance_of slot).Protocol.start ())
+        end
+      done;
+      !acc
+    in
+
+    let start () = activate () in
+    let on_message ~now ~from m =
+      if m.slot < 0 || m.slot >= cfg.slots then []
+      else wrap m.slot ((instance_of m.slot).Protocol.on_message ~now ~from m.payload)
+    in
+    { Protocol.start; on_message }
+
+  let extra cfg =
+    (* The UC may need auxiliary nodes per slot; nodes for different slots
+       can share a pid, so mount one dispatcher per pid that routes by slot
+       tag. *)
+    let by_pid : (Pid.t, (int, D.msg Protocol.instance) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    for slot = 0 to cfg.slots - 1 do
+      List.iter
+        (fun (pid, inst) ->
+          let tbl =
+            match Hashtbl.find_opt by_pid pid with
+            | Some tbl -> tbl
+            | None ->
+              let tbl = Hashtbl.create 16 in
+              Hashtbl.add by_pid pid tbl;
+              tbl
+          in
+          (* D.extra wraps UC nodes into D.msg; tag them with the slot. *)
+          Hashtbl.replace tbl slot inst)
+        (D.extra (slot_cfg cfg slot))
+    done;
+    Hashtbl.fold
+      (fun pid tbl acc ->
+        let dispatcher =
+          {
+            Protocol.start =
+              (fun () ->
+                Hashtbl.fold
+                  (fun slot inst acc' ->
+                    Protocol.map_actions
+                      (fun payload -> { slot; payload })
+                      (inst.Protocol.start ())
+                    @ acc')
+                  tbl []);
+            on_message =
+              (fun ~now ~from m ->
+                match Hashtbl.find_opt tbl m.slot with
+                | None -> []
+                | Some inst ->
+                  Protocol.map_actions
+                    (fun payload -> { slot = m.slot; payload })
+                    (inst.Protocol.on_message ~now ~from m.payload));
+          }
+        in
+        (pid, dispatcher) :: acc)
+      by_pid []
+end

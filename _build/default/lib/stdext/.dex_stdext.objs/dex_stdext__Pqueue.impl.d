@@ -1,0 +1,1 @@
+lib/stdext/pqueue.ml: Array List

@@ -1,0 +1,1 @@
+lib/stdext/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/stdext/tablefmt.ml: Array Buffer List String

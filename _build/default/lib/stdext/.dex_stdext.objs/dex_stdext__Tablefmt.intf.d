@@ -1,0 +1,1 @@
+lib/stdext/tablefmt.mli:

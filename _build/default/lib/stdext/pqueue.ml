@@ -1,0 +1,83 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let initial_capacity = 16
+
+let create () = { data = [||]; size = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let key_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* Ensure room for one more element. [filler] seeds fresh slots; slots past
+   [size] are never read. *)
+let grow q filler =
+  let cap = Array.length q.data in
+  if q.size >= cap then begin
+    let ncap = if cap = 0 then initial_capacity else 2 * cap in
+    let fresh = Array.make ncap filler in
+    Array.blit q.data 0 fresh 0 q.size;
+    q.data <- fresh
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if key_lt q.data.(i) q.data.(parent) then begin
+      let tmp = q.data.(i) in
+      q.data.(i) <- q.data.(parent);
+      q.data.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && key_lt q.data.(l) q.data.(!smallest) then smallest := l;
+  if r < q.size && key_lt q.data.(r) q.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.data.(i) in
+    q.data.(i) <- q.data.(!smallest);
+    q.data.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q ~time ~seq value =
+  let entry = { time; seq; value } in
+  grow q entry;
+  q.data.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let e = q.data.(0) in
+    Some (e.time, e.seq, e.value)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let e = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (e.time, e.seq, e.value)
+  end
+
+let clear q = q.size <- 0
+
+let to_list q =
+  let snapshot = { data = Array.copy q.data; size = q.size } in
+  let rec drain acc =
+    match pop snapshot with
+    | None -> List.rev acc
+    | Some item -> drain (item :: acc)
+  in
+  drain []

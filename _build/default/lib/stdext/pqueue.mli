@@ -1,0 +1,29 @@
+(** Minimum priority queue keyed by [(float, int)] pairs.
+
+    The discrete-event engine orders events by virtual timestamp, breaking
+    ties by a monotone sequence number so that simultaneous events are
+    processed in insertion order and runs are deterministic. *)
+
+type 'a t
+(** Mutable min-heap of ['a] elements keyed by (time, sequence). *)
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+(** Insert an element with the given key. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val peek : 'a t -> (float * int * 'a) option
+(** Return the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (float * int * 'a) list
+(** Snapshot of the contents in key order; O(n log n), intended for tests and
+    trace dumps. The queue is unchanged. *)

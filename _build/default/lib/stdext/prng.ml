@@ -1,0 +1,79 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 finalizer: xor-shift multiply mix of the advanced counter. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix s }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Mask to 62 bits so the conversion to int is non-negative on 64-bit
+     platforms, then reduce modulo the bound. The modulo bias is at most
+     bound / 2^62, which is negligible for simulation purposes. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+  raw mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (raw /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let choose g arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int g (Array.length arr))
+
+let choose_list g l =
+  match l with
+  | [] -> invalid_arg "Prng.choose_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle_in_place g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle_list g l =
+  let arr = Array.of_list l in
+  shuffle_in_place g arr;
+  Array.to_list arr
+
+let sample_without_replacement g ~k ~n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  let arr = Array.init n (fun i -> i) in
+  (* Partial Fisher–Yates: only the first k positions need to be drawn. *)
+  for i = 0 to k - 1 do
+    let j = i + int g (n - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list (Array.sub arr 0 k)
+
+let exponential g ~mean =
+  let u = float g 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u

@@ -1,0 +1,106 @@
+type align = Left | Right | Center
+
+type row = Cells of string array | Separator
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?(aligns = []) headers =
+  let headers = Array.of_list headers in
+  let n = Array.length headers in
+  let aligns_arr = Array.make n Left in
+  List.iteri (fun i a -> if i < n then aligns_arr.(i) <- a) aligns;
+  { headers; aligns = aligns_arr; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  let given = List.length cells in
+  if given > n then invalid_arg "Tablefmt.add_row: too many cells";
+  let arr = Array.make n "" in
+  List.iteri (fun i c -> arr.(i) <- c) cells;
+  t.rows <- Cells arr :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let column_widths t =
+  let n = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  let widen = function
+    | Separator -> ()
+    | Cells arr ->
+      for i = 0 to n - 1 do
+        if String.length arr.(i) > widths.(i) then widths.(i) <- String.length arr.(i)
+      done
+  in
+  List.iter widen t.rows;
+  widths
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let gap = width - len in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+    | Center ->
+      let left = gap / 2 in
+      String.make left ' ' ^ s ^ String.make (gap - left) ' '
+
+let rule widths =
+  let parts = Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths) in
+  "+" ^ String.concat "+" parts ^ "+\n"
+
+let render_cells aligns widths arr =
+  let n = Array.length widths in
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '|';
+  for i = 0 to n - 1 do
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (pad aligns.(i) widths.(i) arr.(i));
+    Buffer.add_string buf " |"
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render t =
+  let widths = column_widths t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (rule widths);
+  Buffer.add_string buf (render_cells t.aligns widths t.headers);
+  Buffer.add_string buf (rule widths);
+  let emit = function
+    | Separator -> Buffer.add_string buf (rule widths)
+    | Cells arr -> Buffer.add_string buf (render_cells t.aligns widths arr)
+  in
+  List.iter emit (List.rev t.rows);
+  Buffer.add_string buf (rule widths);
+  Buffer.contents buf
+
+let render_markdown t =
+  let widths = column_widths t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (render_cells t.aligns widths t.headers);
+  let dashes =
+    Array.to_list
+      (Array.mapi
+         (fun i w ->
+           let bar = String.make (max 3 w) '-' in
+           match t.aligns.(i) with
+           | Left -> bar
+           | Right -> bar ^ ":"
+           | Center -> ":" ^ bar ^ ":")
+         widths)
+  in
+  Buffer.add_string buf ("| " ^ String.concat " | " dashes ^ " |\n");
+  let emit = function
+    | Separator -> ()
+    | Cells arr -> Buffer.add_string buf (render_cells t.aligns widths arr)
+  in
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)

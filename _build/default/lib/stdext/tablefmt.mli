@@ -1,0 +1,30 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints the reproduced paper tables with this
+    renderer so that EXPERIMENTS.md and terminal output share one format. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table. [aligns] defaults to left alignment for
+    every column; a shorter list is padded with [Left]. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row. Rows shorter than the header are padded with empty
+    cells; longer rows raise.
+    @raise Invalid_argument if the row has more cells than the header. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between data rows. *)
+
+val render : t -> string
+(** Render with box-drawing ASCII ([+-|]). Includes a trailing newline. *)
+
+val render_markdown : t -> string
+(** Render as a GitHub-flavored markdown table. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

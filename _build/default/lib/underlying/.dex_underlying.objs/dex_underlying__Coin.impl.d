@@ -1,0 +1,1 @@
+lib/underlying/coin.ml: Dex_stdext Prng

@@ -1,0 +1,1 @@
+lib/underlying/coin.mli:

@@ -1,0 +1,1 @@
+lib/underlying/mmr.ml: Bv Coin Dex_broadcast Dex_codec Dex_net Format Hashtbl List Pid

@@ -1,0 +1,1 @@
+lib/underlying/mmr.mli: Bv Dex_broadcast Dex_codec Dex_net Format Pid

@@ -1,0 +1,1 @@
+lib/underlying/multivalued.ml: Bracha Bv Dex_broadcast Dex_codec Dex_vector Format List Mmr Uc_intf Value View

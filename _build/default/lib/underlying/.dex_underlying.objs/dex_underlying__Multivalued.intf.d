@@ -1,0 +1,1 @@
+lib/underlying/multivalued.mli: Bracha Dex_broadcast Dex_vector Format Mmr Uc_intf Value

@@ -1,0 +1,1 @@
+lib/underlying/uc_intf.ml: Dex_codec Dex_net Dex_vector Pid Protocol Value

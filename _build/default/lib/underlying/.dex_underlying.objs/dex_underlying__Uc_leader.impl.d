@@ -1,0 +1,1 @@
+lib/underlying/uc_leader.ml: Bracha Dex_broadcast Dex_codec Dex_net Dex_vector Format Hashtbl List Pid Uc_intf Value View

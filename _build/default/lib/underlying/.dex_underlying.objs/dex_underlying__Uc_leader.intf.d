@@ -1,0 +1,1 @@
+lib/underlying/uc_leader.mli: Bracha Dex_broadcast Dex_vector Format Uc_intf Value

@@ -1,0 +1,1 @@
+lib/underlying/uc_oracle.ml: Dex_codec Dex_net Dex_vector Format Pid Protocol Uc_intf Value View

@@ -1,0 +1,1 @@
+lib/underlying/uc_oracle.mli: Dex_net Dex_vector Format Uc_intf Value

@@ -1,0 +1,9 @@
+open Dex_stdext
+
+let flip ~seed ~round =
+  (* Derive an independent stream per (seed, round); one draw decides. *)
+  let g = Prng.create ~seed:((seed * 1_000_003) + round) in
+  (* Burn a few outputs so nearby seeds decorrelate through the mixer. *)
+  ignore (Prng.bits64 g);
+  ignore (Prng.bits64 g);
+  Prng.bool g

@@ -1,0 +1,14 @@
+(** Common-coin abstraction for the randomized binary consensus.
+
+    {!Mmr} needs a per-round random bit that all correct processes observe
+    identically and the adversary cannot predict before the round starts. In
+    deployed systems this is a threshold-signature coin; reproducing
+    threshold cryptography is out of the paper's scope, so we model the coin
+    as a pseudo-random function of [(instance seed, round)] — identical at
+    every process, independent of the message schedule. This is the standard
+    simulation treatment; the scheduler in our experiments is chosen before
+    seeds, so coin values are effectively unpredictable to it. *)
+
+val flip : seed:int -> round:int -> bool
+(** The shared coin for [round] of the instance identified by [seed].
+    Deterministic in both arguments. *)

@@ -1,0 +1,211 @@
+open Dex_net
+open Dex_broadcast
+
+type msg = Est of int * Bv.msg | Aux of int * Bv.bit | Done of Bv.bit
+
+let pp_msg ppf = function
+  | Est (r, Bv.Bval b) -> Format.fprintf ppf "EST(r=%d,%a)" r Bv.pp_bit b
+  | Aux (r, b) -> Format.fprintf ppf "AUX(r=%d,%a)" r Bv.pp_bit b
+  | Done b -> Format.fprintf ppf "DONE(%a)" Bv.pp_bit b
+
+(* Byzantine processes may announce absurd round numbers; rounds further
+   than this ahead of the local round are ignored rather than allocated. *)
+let round_window = 64
+
+type round_state = {
+  bv : Bv.t;
+  mutable aux_sent : bool;
+  mutable aux_from : (Pid.t * Bv.bit) list;  (* first AUX per sender *)
+  mutable completed : bool;
+}
+
+type t = {
+  n : int;
+  t : int;
+  seed : int;
+  rounds : (int, round_state) Hashtbl.t;
+  mutable round : int;
+  mutable est : Bv.bit;
+  mutable decided : Bv.bit option;
+  mutable done_sent : bool;
+  mutable done_from : (Pid.t * Bv.bit) list;
+  mutable halted : bool;
+  mutable started : bool;
+}
+
+let create ~n ~t:fb ~me:_ ~seed =
+  if fb < 0 || n <= 3 * fb then invalid_arg "Mmr.create: requires n > 3t and t >= 0";
+  {
+    n;
+    t = fb;
+    seed;
+    rounds = Hashtbl.create 8;
+    round = 0;
+    est = Bv.Zero;
+    decided = None;
+    done_sent = false;
+    done_from = [];
+    halted = false;
+    started = false;
+  }
+
+type emit = { broadcasts : msg list; decision : Bv.bit option }
+
+let round_state t r =
+  match Hashtbl.find_opt t.rounds r with
+  | Some rs -> rs
+  | None ->
+    let rs =
+      { bv = Bv.create ~n:t.n ~t:t.t; aux_sent = false; aux_from = []; completed = false }
+    in
+    Hashtbl.add t.rounds r rs;
+    rs
+
+(* Decide [b]: record the decision and gossip DONE once. *)
+let decide t b =
+  match t.decided with
+  | Some _ -> ([], None)
+  | None ->
+    t.decided <- Some b;
+    if t.done_sent then ([], Some b)
+    else begin
+      t.done_sent <- true;
+      ([ Done b ], Some b)
+    end
+
+(* Attempt to finish the current round; returns messages for the next
+   round(s) plus a possible decision. Loops because pre-received messages can
+   let several rounds complete back to back. *)
+let rec try_progress t =
+  if t.halted || t.round = 0 then { broadcasts = []; decision = None }
+  else begin
+    let r = t.round in
+    let rs = round_state t r in
+    let bin = Bv.bin_values rs.bv in
+    if (not rs.aux_sent) && bin <> [] then begin
+      rs.aux_sent <- true;
+      let w = List.hd bin in
+      let rest = try_progress t in
+      { rest with broadcasts = Aux (r, w) :: rest.broadcasts }
+    end
+    else if rs.aux_sent && not rs.completed then begin
+      let valid = List.filter (fun (_, b) -> Bv.mem rs.bv b) rs.aux_from in
+      if List.length valid >= t.n - t.t then begin
+        rs.completed <- true;
+        let values = List.sort_uniq compare (List.map snd valid) in
+        let coin = Bv.bit_of_bool (Coin.flip ~seed:t.seed ~round:r) in
+        let decision_msgs, decision =
+          match values with
+          | [ b ] ->
+            t.est <- b;
+            if b = coin then decide t b else ([], None)
+          | _ ->
+            t.est <- coin;
+            ([], None)
+        in
+        (* Enter the next round (deciders keep participating until they can
+           halt; their continued EST/AUX traffic lets slower processes
+           finish). *)
+        t.round <- r + 1;
+        let nrs = round_state t (r + 1) in
+        let bv_emit = Bv.bv_broadcast nrs.bv t.est in
+        let next = List.map (fun m -> Est (r + 1, m)) bv_emit.Bv.broadcasts in
+        let rest = try_progress t in
+        {
+          broadcasts = decision_msgs @ next @ rest.broadcasts;
+          decision =
+            (match decision with Some _ -> decision | None -> rest.decision);
+        }
+      end
+      else { broadcasts = []; decision = None }
+    end
+    else { broadcasts = []; decision = None }
+  end
+
+let propose t b =
+  if t.started then invalid_arg "Mmr.propose: called twice";
+  t.started <- true;
+  t.est <- b;
+  t.round <- 1;
+  let rs = round_state t 1 in
+  let bv_emit = Bv.bv_broadcast rs.bv t.est in
+  let first = List.map (fun m -> Est (1, m)) bv_emit.Bv.broadcasts in
+  let rest = try_progress t in
+  { broadcasts = first @ rest.broadcasts; decision = rest.decision }
+
+(* Halting: n-t DONEs from distinct senders mean at least n-2t >= t+1
+   correct processes have decided and will seed everyone else's t+1-DONE
+   shortcut; our participation is no longer needed. *)
+let check_halt t =
+  if (not t.halted) && List.length t.done_from >= t.n - t.t then t.halted <- true
+
+let on_message t ~from msg =
+  if t.halted then { broadcasts = []; decision = None }
+  else
+    match msg with
+    | Done b ->
+      if List.mem_assoc from t.done_from then { broadcasts = []; decision = None }
+      else begin
+        t.done_from <- (from, b) :: t.done_from;
+        let support =
+          List.length (List.filter (fun (_, b') -> b' = b) t.done_from)
+        in
+        let msgs, decision =
+          if support >= t.t + 1 && t.decided = None then decide t b else ([], None)
+        in
+        check_halt t;
+        { broadcasts = msgs; decision }
+      end
+    | Est (r, bvmsg) ->
+      if r < 1 || r > t.round + round_window then { broadcasts = []; decision = None }
+      else begin
+        let rs = round_state t r in
+        let bv_emit = Bv.handle rs.bv ~from bvmsg in
+        let echoes = List.map (fun m -> Est (r, m)) bv_emit.Bv.broadcasts in
+        let rest = try_progress t in
+        { broadcasts = echoes @ rest.broadcasts; decision = rest.decision }
+      end
+    | Aux (r, b) ->
+      if r < 1 || r > t.round + round_window then { broadcasts = []; decision = None }
+      else begin
+        let rs = round_state t r in
+        if List.mem_assoc from rs.aux_from then { broadcasts = []; decision = None }
+        else begin
+          rs.aux_from <- (from, b) :: rs.aux_from;
+          try_progress t
+        end
+      end
+
+let decided t = t.decided
+
+let halted t = t.halted
+
+let round t = t.round
+
+let codec =
+  let open Dex_codec.Codec in
+  variant ~name:"Mmr.msg"
+    (function
+      | Est (r, m) ->
+        ( 0,
+          fun buf ->
+            int.write buf r;
+            Bv.codec.write buf m )
+      | Aux (r, b) ->
+        ( 1,
+          fun buf ->
+            int.write buf r;
+            Bv.bit_codec.write buf b )
+      | Done b -> (2, fun buf -> Bv.bit_codec.write buf b))
+    (fun tag r ->
+      match tag with
+      | 0 ->
+        let round = int.read r in
+        let m = Bv.codec.read r in
+        Est (round, m)
+      | 1 ->
+        let round = int.read r in
+        let b = Bv.bit_codec.read r in
+        Aux (round, b)
+      | 2 -> Done (Bv.bit_codec.read r)
+      | other -> bad_tag ~name:"Mmr.msg" other)

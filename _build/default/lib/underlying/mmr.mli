@@ -1,0 +1,57 @@
+(** Signature-free randomized binary Byzantine consensus
+    (Mostéfaoui–Moumen–Raynal style), [n > 3t].
+
+    Round structure, for local estimate [est]:
+
+    + BV-broadcast [EST(r, est)]; wait until the round's [bin_values] is
+      non-empty.
+    + Broadcast [AUX(r, w)] for some [w ∈ bin_values]; wait for [AUX(r, ·)]
+      from [n − t] distinct processes whose bits all lie in [bin_values];
+      let [values] be the set of those bits.
+    + Draw the common coin [s = coin(r)]. If [values = {b}]: decide [b] when
+      [b = s], else [est ← b]. If [values = {0,1}]: [est ← s].
+
+    Properties (for [n > 3t], against an adversary that cannot predict the
+    coin): Validity (a decided bit was proposed by a correct process),
+    Agreement, and Termination in expected O(1) rounds.
+
+    Termination/quiescence plumbing: a decider broadcasts [DONE(b)];
+    [t + 1] matching [DONE]s let a process decide directly; [n − t] [DONE]s
+    from distinct senders let it halt (everyone else is then guaranteed to
+    decide without its help).
+
+    Embeddable state machine; all broadcasts go to all [n] processes
+    (including the sender). *)
+
+open Dex_net
+open Dex_broadcast
+
+type msg =
+  | Est of int * Bv.msg  (** BV layer of round [r] *)
+  | Aux of int * Bv.bit
+  | Done of Bv.bit
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type t
+
+val create : n:int -> t:int -> me:Pid.t -> seed:int -> t
+(** [seed] identifies the instance for the common coin; equal across
+    processes. @raise Invalid_argument unless [0 <= 3t < n]. *)
+
+type emit = { broadcasts : msg list; decision : Bv.bit option }
+
+val propose : t -> Bv.bit -> emit
+(** Start the protocol with the given estimate. At most once.
+    @raise Invalid_argument on a second call. *)
+
+val on_message : t -> from:Pid.t -> msg -> emit
+
+val decided : t -> Bv.bit option
+
+val halted : t -> bool
+
+val round : t -> int
+(** Current round (1-based); 0 before {!propose}. Exposed for tests. *)
+
+val codec : msg Dex_codec.Codec.t

@@ -1,0 +1,109 @@
+open Dex_vector
+open Dex_broadcast
+
+type msg = Val of Value.t Bracha.msg | Bin of Mmr.msg
+
+let pp_msg ppf = function
+  | Val _ -> Format.pp_print_string ppf "VAL(rb)"
+  | Bin m -> Mmr.pp_msg ppf m
+
+let fallback = 0
+
+let name = "uc-multivalued"
+
+type t = {
+  n : int;
+  t : int;
+  rb : Value.t Bracha.t;
+  bin : Mmr.t;
+  delivered : View.t;  (* RB-delivered proposal per sender *)
+  mutable bin_proposed : bool;
+  mutable bin_decided : Bv.bit option;
+  mutable decided : bool;
+}
+
+let create ~n ~t:fb ~me ~seed =
+  if fb < 0 || n <= 4 * fb then invalid_arg "Multivalued.create: requires n > 4t and t >= 0";
+  {
+    n;
+    t = fb;
+    rb = Bracha.create ~n ~t:fb;
+    bin = Mmr.create ~n ~t:fb ~me ~seed;
+    delivered = View.bottom n;
+    bin_proposed = false;
+    bin_decided = None;
+    decided = false;
+  }
+
+let to_all t msgs = List.concat_map (fun m -> List.init t.n (fun p -> (p, m))) msgs
+
+(* The unique value with RB-delivered support >= n-2t, if present yet. *)
+let supported t =
+  let threshold = t.n - (2 * t.t) in
+  List.find_opt (fun v -> View.occurrences t.delivered v >= threshold) (View.values t.delivered)
+
+(* A decision is reached once the binary outcome and (for the 1-branch) the
+   supported value are both known. *)
+let try_decide t =
+  if t.decided then None
+  else
+    match t.bin_decided with
+    | None -> None
+    | Some Bv.Zero ->
+      t.decided <- true;
+      Some fallback
+    | Some Bv.One -> (
+      match supported t with
+      | None -> None (* RB totality will deliver the support eventually *)
+      | Some w ->
+        t.decided <- true;
+        Some w)
+
+let handle_bin_emit t (emit : Mmr.emit) =
+  (match emit.Mmr.decision with
+  | Some b when t.bin_decided = None -> t.bin_decided <- Some b
+  | _ -> ());
+  let sends = to_all t (List.map (fun m -> Bin m) emit.Mmr.broadcasts) in
+  { Uc_intf.sends; timers = []; decision = try_decide t }
+
+let after_delivery t =
+  (* First time n-t proposals are RB-delivered: feed the binary stage. *)
+  if (not t.bin_proposed) && View.filled t.delivered >= t.n - t.t then begin
+    t.bin_proposed <- true;
+    let b =
+      match supported t with Some _ -> Bv.One | None -> Bv.Zero
+    in
+    handle_bin_emit t (Mmr.propose t.bin b)
+  end
+  else { Uc_intf.sends = []; timers = []; decision = try_decide t }
+
+let propose t v =
+  let sends = to_all t [ Val (Bracha.rb_send v) ] in
+  { Uc_intf.sends; timers = []; decision = None }
+
+let on_message t ~from msg =
+  match msg with
+  | Val rb_msg ->
+    let emit = Bracha.handle t.rb ~from rb_msg in
+    List.iter
+      (fun (origin, v) -> if origin >= 0 && origin < t.n then View.set t.delivered origin v)
+      emit.Bracha.deliveries;
+    let echo_sends = to_all t (List.map (fun m -> Val m) emit.Bracha.broadcasts) in
+    let progress = after_delivery t in
+    { progress with Uc_intf.sends = echo_sends @ progress.Uc_intf.sends }
+  | Bin bin_msg -> handle_bin_emit t (Mmr.on_message t.bin ~from bin_msg)
+
+let extra_nodes ~n:_ ~t:_ ~seed:_ = []
+
+let codec =
+  let open Dex_codec.Codec in
+  let rb_codec = Bracha.codec int in
+  variant ~name:"Multivalued.msg"
+    (function
+      | Val m -> (0, fun buf -> rb_codec.write buf m)
+      | Bin m -> (1, fun buf -> Mmr.codec.write buf m))
+    (fun tag r ->
+      match tag with
+      | 0 -> Val (rb_codec.read r)
+      | 1 -> Bin (Mmr.codec.read r)
+      | other -> bad_tag ~name:"Multivalued.msg" other)

@@ -1,0 +1,42 @@
+(** Concrete multivalued underlying consensus ([n > 4t]).
+
+    A signature-free reduction from multivalued to binary consensus:
+
+    + [UC_propose(v)]: reliably broadcast [VAL(v)] (Bracha).
+    + On RB-delivering [VAL]s from [n − t] distinct senders (first time):
+      if some value [w] has support [≥ n − 2t] among the delivered values,
+      propose 1 to the binary consensus ({!Mmr}), else propose 0.
+    + If the binary consensus decides 1: wait until some value [w] reaches
+      support [n − 2t] among RB-delivered values and decide [w]. Since RB
+      fixes one value per sender and [2(n − 2t) > n] for [n > 4t], at most
+      one value can ever reach that support — all deciders pick the same
+      [w]. Termination: some correct process saw the support (it proposed
+      1), and RB totality propagates those deliveries everywhere.
+    + If it decides 0: decide the fixed fallback value.
+
+    Guarantees — exactly the three the paper's §2.2 requires of the
+    underlying consensus:
+    - {b Termination} (probabilistic, inherited from the binary stage);
+    - {b Agreement};
+    - {b Unanimity}: if all correct propose [v], every correct process sees
+      [≥ n − 2t] support for [v] in any [n − t] deliveries, so all propose 1
+      and the binary stage's validity forces the 1-branch, which decides
+      [v].
+
+    When the binary stage decides 0 the decision may be the fallback value
+    rather than some process's proposal — permitted by §2.2, which demands
+    only the three properties above (this is the standard weak-validity
+    formulation of Byzantine consensus). DEX only reaches the 0-branch on
+    inputs outside both condition sequences. *)
+
+open Dex_vector
+open Dex_broadcast
+
+type msg = Val of Value.t Bracha.msg | Bin of Mmr.msg
+
+val pp_msg : Format.formatter -> msg -> unit
+
+val fallback : Value.t
+(** The 0-branch decision value (0). *)
+
+include Uc_intf.S with type msg := msg

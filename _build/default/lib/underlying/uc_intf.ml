@@ -1,0 +1,67 @@
+(** The underlying-consensus abstraction (§2.2).
+
+    The paper assumes "the system is equipped with the underlying consensus
+    primitive that ensures agreement, termination and unanimity, but provides
+    no guarantees about its running time". DEX invokes it through
+    [UC_propose] / [UC_decide].
+
+    Implementations are embeddable state machines so the enclosing protocol
+    (DEX, Bosco, …) can mount them inside its own message type:
+
+    - {!Uc_oracle} — the abstraction taken literally: a trusted simulation
+      node collects proposals and broadcasts a decision after a configurable
+      number of steps. Zero protocol logic; useful for step-accounting
+      experiments because its cost is exactly the paper's "two extra steps".
+    - {!Multivalued} — a concrete signature-free stack (Bracha reliable
+      broadcast + {!Mmr} randomized binary consensus), so the whole system
+      also runs with no oracle at all. *)
+
+open Dex_vector
+open Dex_net
+
+type 'msg emit = {
+  sends : (Pid.t * 'msg) list;
+  timers : (float * 'msg) list;
+      (** (delay, message-to-self) timer requests; empty for the purely
+          asynchronous implementations, used by {!Uc_leader}. The enclosing
+          protocol maps these onto [Protocol.Set_timer]. *)
+  decision : Value.t option;
+}
+(** Result of feeding an event to a UC component: point-to-point sends and
+    timer requests to perform, plus [UC_decide] if it fired. A component
+    reports at most one decision over its lifetime. *)
+
+let nothing = { sends = []; timers = []; decision = None }
+
+let merge e1 e2 =
+  {
+    sends = e1.sends @ e2.sends;
+    timers = e1.timers @ e2.timers;
+    decision = (match e1.decision with Some _ -> e1.decision | None -> e2.decision);
+  }
+
+module type S = sig
+  type msg
+
+  type t
+
+  val name : string
+
+  val create : n:int -> t:int -> me:Pid.t -> seed:int -> t
+  (** Per-process component. [seed] must be equal at all processes of one
+      consensus instance (it seeds the shared-coin abstraction); it does not
+      weaken the adversary, which controls scheduling and faulty processes
+      but not the coin. *)
+
+  val propose : t -> Value.t -> msg emit
+  (** [UC_propose]. Must be called at most once. *)
+
+  val on_message : t -> from:Pid.t -> msg -> msg emit
+
+  val extra_nodes : n:int -> t:int -> seed:int -> (Pid.t * msg Protocol.instance) list
+  (** Auxiliary simulation nodes this implementation needs (the oracle); [[]]
+      for real protocols. Nodes are shared per run, not per process. *)
+
+  val codec : msg Dex_codec.Codec.t
+  (** Wire codec for this implementation's messages. *)
+end

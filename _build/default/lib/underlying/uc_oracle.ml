@@ -1,0 +1,64 @@
+open Dex_vector
+open Dex_net
+
+type msg = Propose of Value.t | Decision of Value.t
+
+let pp_msg ppf = function
+  | Propose v -> Format.fprintf ppf "UC-propose(%a)" Value.pp v
+  | Decision v -> Format.fprintf ppf "UC-decision(%a)" Value.pp v
+
+let name = "uc-oracle"
+
+type t = { oracle_pid : Pid.t; mutable proposed : bool; mutable decided : bool }
+
+let create ~n ~t:_ ~me:_ ~seed:_ = { oracle_pid = n; proposed = false; decided = false }
+
+let propose t v =
+  if t.proposed then invalid_arg "Uc_oracle.propose: called twice";
+  t.proposed <- true;
+  { Uc_intf.sends = [ (t.oracle_pid, Propose v) ]; timers = []; decision = None }
+
+let on_message t ~from msg =
+  match msg with
+  | Decision v when from = t.oracle_pid && not t.decided ->
+    t.decided <- true;
+    { Uc_intf.sends = []; timers = []; decision = Some v }
+  | Decision _ | Propose _ ->
+    (* Proposals reaching a regular process, forged "decisions" from anyone
+       but the oracle, and duplicate decisions are all ignored. *)
+    Uc_intf.nothing
+
+(* The oracle node itself. It never decides in the consensus sense; it only
+   relays the fixed value. *)
+let node ~n ~t =
+  let proposals = View.bottom n in
+  let fixed = ref None in
+  let on_message ~now:_ ~from msg =
+    match (msg, !fixed) with
+    | Propose _, Some _ | Decision _, _ -> []
+    | Propose v, None ->
+      if from >= 0 && from < n then View.set proposals from v;
+      if View.filled proposals >= n - t then begin
+        match View.first_most_frequent proposals with
+        | None -> []
+        | Some decision ->
+          fixed := Some decision;
+          Protocol.broadcast ~n (Decision decision)
+      end
+      else []
+  in
+  { Protocol.start = (fun () -> []); on_message }
+
+let extra_nodes ~n ~t ~seed:_ = [ (n, node ~n ~t) ]
+
+let codec =
+  let open Dex_codec.Codec in
+  variant ~name:"Uc_oracle.msg"
+    (function
+      | Propose v -> (0, fun buf -> int.write buf v)
+      | Decision v -> (1, fun buf -> int.write buf v))
+    (fun tag r ->
+      match tag with
+      | 0 -> Propose (int.read r)
+      | 1 -> Decision (int.read r)
+      | other -> bad_tag ~name:"Uc_oracle.msg" other)

@@ -1,0 +1,29 @@
+(** The underlying consensus as a literal abstraction (§2.2).
+
+    A trusted auxiliary node at pid [n] collects [UC_propose] values; once
+    [n − t] proposals have arrived it fixes the decision — the most frequent
+    proposed value, ties to the largest (mirroring the paper's 1st(·)
+    rule) — and sends it to every process. The round trip through the oracle
+    costs exactly two causal steps, matching the idealized "underlying
+    consensus adds two steps" accounting used when the paper counts DEX's
+    worst case as four steps versus three for existing one-step algorithms.
+
+    Guarantees: Termination, Agreement (a single decider), and Unanimity —
+    if all correct processes propose [v], at least [n − 2t] of the first
+    [n − t] proposals carry [v] while at most [t] (Byzantine ones) differ,
+    and [n > 3t] makes [v] the strict plurality.
+
+    This is a simulation device, not a protocol; use {!Multivalued} for a
+    real implementation. *)
+
+open Dex_vector
+
+type msg = Propose of Value.t | Decision of Value.t
+
+val pp_msg : Format.formatter -> msg -> unit
+
+val node : n:int -> t:int -> msg Dex_net.Protocol.instance
+(** The oracle node itself (exposed for tests; [extra_nodes] mounts it at
+    pid [n]). *)
+
+include Uc_intf.S with type msg := msg

@@ -1,0 +1,1 @@
+lib/vector/input_vector.ml: Array Format List Value View

@@ -1,0 +1,1 @@
+lib/vector/input_vector.mli: Format Value View

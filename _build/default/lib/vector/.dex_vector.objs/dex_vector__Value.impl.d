@@ -1,0 +1,1 @@
+lib/vector/value.ml: Format Int

@@ -1,0 +1,1 @@
+lib/vector/value.mli: Format

@@ -1,0 +1,1 @@
+lib/vector/view.ml: Array Format Hashtbl List Value

@@ -1,0 +1,1 @@
+lib/vector/view.mli: Format Value

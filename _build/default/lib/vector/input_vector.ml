@@ -1,0 +1,79 @@
+type t = Value.t array
+
+let make n v =
+  if n <= 0 then invalid_arg "Input_vector.make: dimension must be positive";
+  Array.make n v
+
+let of_array arr =
+  if Array.length arr = 0 then invalid_arg "Input_vector.of_array: empty";
+  Array.copy arr
+
+let of_list l = of_array (Array.of_list l)
+
+let init n f =
+  if n <= 0 then invalid_arg "Input_vector.init: dimension must be positive";
+  Array.init n f
+
+let dim = Array.length
+
+let get i k =
+  if k < 0 || k >= Array.length i then invalid_arg "Input_vector.get: out of bounds";
+  i.(k)
+
+let set i k v =
+  if k < 0 || k >= Array.length i then invalid_arg "Input_vector.set: out of bounds";
+  let fresh = Array.copy i in
+  fresh.(k) <- v;
+  fresh
+
+let to_view i = View.init (Array.length i) (fun k -> Some i.(k))
+
+let mask i ks =
+  let view = to_view i in
+  List.iter (fun k -> View.clear_entry view k) ks;
+  view
+
+let occurrences i v =
+  Array.fold_left (fun acc x -> if Value.equal x v then acc + 1 else acc) 0 i
+
+let first_most_frequent i =
+  match View.first_most_frequent (to_view i) with
+  | Some v -> v
+  | None -> assert false (* input vectors are non-empty and complete *)
+
+let second_most_frequent i = View.second_most_frequent (to_view i)
+
+let freq_margin i = View.freq_margin (to_view i)
+
+let distance i1 i2 =
+  if Array.length i1 <> Array.length i2 then
+    invalid_arg "Input_vector.distance: dimension mismatch";
+  let d = ref 0 in
+  for k = 0 to Array.length i1 - 1 do
+    if not (Value.equal i1.(k) i2.(k)) then incr d
+  done;
+  !d
+
+let to_list = Array.to_list
+
+let to_array = Array.copy
+
+let equal i1 i2 = i1 = i2
+
+let pp ppf i =
+  Format.fprintf ppf "⟨";
+  Array.iteri
+    (fun k v ->
+      if k > 0 then Format.fprintf ppf " ";
+      Value.pp ppf v)
+    i;
+  Format.fprintf ppf "⟩"
+
+let enumerate ~n ~values =
+  if n <= 0 then invalid_arg "Input_vector.enumerate: dimension must be positive";
+  if values = [] then invalid_arg "Input_vector.enumerate: empty universe";
+  let rec build k acc =
+    if k = n then [ of_list (List.rev acc) ]
+    else List.concat_map (fun v -> build (k + 1) (v :: acc)) values
+  in
+  build 0 []

@@ -1,0 +1,60 @@
+(** Complete input vectors in [V^n].
+
+    An input vector assigns one proposal value per process (§2.3). Entries of
+    Byzantine processes are formally meaningless — the adversary may present
+    different values to different observers — but the conditions are stated
+    over full vectors, so workload generation and the legality checker
+    manipulate them directly. *)
+
+type t
+(** Immutable vector of dimension [n ≥ 1]. *)
+
+val make : int -> Value.t -> t
+(** [make n v] is the unanimous vector [v^n]. *)
+
+val of_array : Value.t array -> t
+(** Copy of the array. @raise Invalid_argument on the empty array. *)
+
+val of_list : Value.t list -> t
+
+val init : int -> (int -> Value.t) -> t
+
+val dim : t -> int
+
+val get : t -> int -> Value.t
+
+val set : t -> int -> Value.t -> t
+(** Functional update: a fresh vector with entry [k] replaced. *)
+
+val to_view : t -> View.t
+(** The full view: no ⊥ entries. *)
+
+val mask : t -> int list -> View.t
+(** [mask i ks] is the view of [i] with the entries listed in [ks] replaced
+    by ⊥ — "a view J of I obtained by replacing at most t entries by ⊥". *)
+
+val occurrences : t -> Value.t -> int
+
+val first_most_frequent : t -> Value.t
+(** 1st(I); total because input vectors are non-empty and complete. *)
+
+val second_most_frequent : t -> Value.t option
+
+val freq_margin : t -> int
+(** #1st(I) − #2nd(I) (with #2nd = 0 when [I] is unanimous). *)
+
+val distance : t -> t -> int
+(** Hamming distance. @raise Invalid_argument on dimension mismatch. *)
+
+val to_list : t -> Value.t list
+
+val to_array : t -> Value.t array
+(** Fresh array copy. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val enumerate : n:int -> values:Value.t list -> t list
+(** All [|values|^n] input vectors over the given universe, for the
+    exhaustive legality checker. Intended for small [n] only. *)

@@ -1,0 +1,9 @@
+type t = int
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let pp = Format.pp_print_int
+
+let to_string = string_of_int

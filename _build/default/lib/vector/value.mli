@@ -1,0 +1,17 @@
+(** Proposal values.
+
+    The paper takes [V] to be an ordered set of proposal values and breaks
+    frequency ties by "the largest one". We fix [V = int] with its natural
+    order; consensus over richer payloads is obtained by proposing an index
+    or hash into an application-level table (see [examples/state_machine.ml]).
+*)
+
+type t = int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

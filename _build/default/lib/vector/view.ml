@@ -1,0 +1,149 @@
+type t = { entries : Value.t option array; mutable filled : int }
+
+let count_filled entries =
+  Array.fold_left (fun acc e -> if e = None then acc else acc + 1) 0 entries
+
+let bottom n =
+  if n <= 0 then invalid_arg "View.bottom: dimension must be positive";
+  { entries = Array.make n None; filled = 0 }
+
+let of_array arr =
+  let entries = Array.copy arr in
+  { entries; filled = count_filled entries }
+
+let of_list l = of_array (Array.of_list l)
+
+let init n f =
+  let entries = Array.init n f in
+  { entries; filled = count_filled entries }
+
+let copy j = { entries = Array.copy j.entries; filled = j.filled }
+
+let dim j = Array.length j.entries
+
+let get j k =
+  if k < 0 || k >= dim j then invalid_arg "View.get: index out of bounds";
+  j.entries.(k)
+
+let set j k v =
+  if k < 0 || k >= dim j then invalid_arg "View.set: index out of bounds";
+  if j.entries.(k) = None then j.filled <- j.filled + 1;
+  j.entries.(k) <- Some v
+
+let clear_entry j k =
+  if k < 0 || k >= dim j then invalid_arg "View.clear_entry: index out of bounds";
+  if j.entries.(k) <> None then j.filled <- j.filled - 1;
+  j.entries.(k) <- None
+
+let filled j = j.filled
+
+let occurrences j v =
+  Array.fold_left (fun acc e -> if e = Some v then acc + 1 else acc) 0 j.entries
+
+(* One counting pass shared by the frequency queries. Returns (value, count)
+   pairs for all distinct non-default values. *)
+let counts j =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some v ->
+        let c = try Hashtbl.find tbl v with Not_found -> 0 in
+        Hashtbl.replace tbl v (c + 1))
+    j.entries;
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl []
+
+(* Rank order of the paper: higher count wins, ties broken by larger value. *)
+let better (v1, c1) (v2, c2) = c1 > c2 || (c1 = c2 && Value.compare v1 v2 > 0)
+
+let best_of = function
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun acc x -> if better x acc then x else acc) first rest)
+
+let first_most_frequent j =
+  match best_of (counts j) with
+  | None -> None
+  | Some (v, _) -> Some v
+
+let second_most_frequent j =
+  match best_of (counts j) with
+  | None -> None
+  | Some (v1, _) -> (
+    match best_of (List.filter (fun (v, _) -> not (Value.equal v v1)) (counts j)) with
+    | None -> None
+    | Some (v2, _) -> Some v2)
+
+let top_two_counts j =
+  let cs = counts j in
+  match best_of cs with
+  | None -> invalid_arg "View.top_two_counts: all-default view"
+  | Some ((v1, _) as top) ->
+    let rest = List.filter (fun (v, _) -> not (Value.equal v v1)) cs in
+    (top, best_of rest)
+
+let freq_margin j =
+  if j.filled = 0 then 0
+  else
+    match top_two_counts j with
+    | (_, c1), None -> c1
+    | (_, c1), Some (_, c2) -> c1 - c2
+
+let check_dim name j1 j2 =
+  if dim j1 <> dim j2 then invalid_arg ("View." ^ name ^ ": dimension mismatch")
+
+let contains j1 j2 =
+  check_dim "contains" j1 j2;
+  let ok = ref true in
+  for k = 0 to dim j1 - 1 do
+    match j1.entries.(k) with
+    | None -> ()
+    | Some v -> if j2.entries.(k) <> Some v then ok := false
+  done;
+  !ok
+
+let distance j1 j2 =
+  check_dim "distance" j1 j2;
+  let d = ref 0 in
+  for k = 0 to dim j1 - 1 do
+    if j1.entries.(k) <> j2.entries.(k) then incr d
+  done;
+  !d
+
+let compatible j1 j2 =
+  check_dim "compatible" j1 j2;
+  let ok = ref true in
+  for k = 0 to dim j1 - 1 do
+    match (j1.entries.(k), j2.entries.(k)) with
+    | Some a, Some b when not (Value.equal a b) -> ok := false
+    | _ -> ()
+  done;
+  !ok
+
+let merge j1 j2 =
+  if not (compatible j1 j2) then invalid_arg "View.merge: incompatible views";
+  init (dim j1) (fun k ->
+      match j1.entries.(k) with
+      | Some _ as v -> v
+      | None -> j2.entries.(k))
+
+let values j =
+  List.sort_uniq Value.compare
+    (Array.fold_left
+       (fun acc e -> match e with None -> acc | Some v -> v :: acc)
+       [] j.entries)
+
+let to_list j = Array.to_list j.entries
+
+let equal j1 j2 = dim j1 = dim j2 && j1.entries = j2.entries
+
+let pp ppf j =
+  Format.fprintf ppf "⟨";
+  Array.iteri
+    (fun k e ->
+      if k > 0 then Format.fprintf ppf " ";
+      match e with
+      | None -> Format.fprintf ppf "⊥"
+      | Some v -> Value.pp ppf v)
+    j.entries;
+  Format.fprintf ppf "⟩"

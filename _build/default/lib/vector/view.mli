@@ -1,0 +1,97 @@
+(** Views: partial input vectors in [(V ∪ {⊥})^n].
+
+    A view [J] of an input vector [I] replaces some entries of [I] by the
+    default value ⊥ (entries not yet received) — §3.1 of the paper. Views are
+    the state a process accumulates while collecting proposals, and all the
+    paper's predicates ([P1], [P2], [F], legality) are stated over views.
+
+    ⊥ is represented by [None]. Views are mutable arrays because the
+    algorithm updates them incrementally on each message reception
+    (Figure 1, lines 6 and 11). *)
+
+type t
+(** A view of fixed dimension [n]. *)
+
+val bottom : int -> t
+(** [bottom n] is ⊥^n: the all-default view of dimension [n].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val of_array : Value.t option array -> t
+(** Wrap a copy of the given array. *)
+
+val of_list : Value.t option list -> t
+
+val init : int -> (int -> Value.t option) -> t
+
+val copy : t -> t
+
+val dim : t -> int
+(** The dimension [n]. *)
+
+val get : t -> int -> Value.t option
+(** [get j k] is [J\[k\]], 0-indexed.
+    @raise Invalid_argument if out of bounds. *)
+
+val set : t -> int -> Value.t -> unit
+(** [set j k v] writes a non-default value into entry [k]. Overwriting a
+    previously set entry is allowed (a Byzantine sender may be recorded
+    twice); the last write wins. *)
+
+val clear_entry : t -> int -> unit
+(** Reset entry [k] to ⊥. *)
+
+val filled : t -> int
+(** [filled j] is |J|: the number of non-default entries. O(1). *)
+
+val occurrences : t -> Value.t -> int
+(** [occurrences j v] is #_v(J): how many entries equal [v]. *)
+
+val first_most_frequent : t -> Value.t option
+(** [first_most_frequent j] is 1st(J): the non-⊥ value appearing most often,
+    ties broken by the largest value; [None] iff the view is all-⊥. *)
+
+val second_most_frequent : t -> Value.t option
+(** [second_most_frequent j] is 2nd(J) = 1st(Ĵ) where Ĵ removes all
+    occurrences of 1st(J); [None] when fewer than two distinct values
+    occur. *)
+
+val top_two_counts : t -> (Value.t * int) * (Value.t * int) option
+(** [(1st(J), #1st), Some (2nd(J), #2nd)] in one scan; the second component is
+    [None] when no second value exists. Useful for evaluating the
+    frequency-based predicates without two passes.
+    @raise Invalid_argument on an all-⊥ view. *)
+
+val freq_margin : t -> int
+(** [freq_margin j] is [#1st(J) − #2nd(J)], with [#2nd = 0] when no second
+    value exists, and [0] for an all-⊥ view. This is the quantity the
+    frequency-based conditions compare against thresholds. *)
+
+val contains : t -> t -> bool
+(** [contains j1 j2] is the containment relation J1 ≤ J2: every non-⊥ entry
+    of [j1] equals the corresponding entry of [j2].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val distance : t -> t -> int
+(** Hamming distance: number of positions where the two views differ
+    (⊥ differs from any value).
+    @raise Invalid_argument on dimension mismatch. *)
+
+val compatible : t -> t -> bool
+(** Two views are compatible when no position holds two distinct non-⊥
+    values — exactly when a common extension [I'] with [j1 ≤ I'] and
+    [j2 ≤ I'] exists (used in the proof of Case 3, Lemma 2). *)
+
+val merge : t -> t -> t
+(** Least common extension of two compatible views: position-wise union.
+    @raise Invalid_argument if the views are incompatible or of different
+    dimensions. *)
+
+val values : t -> Value.t list
+(** Distinct non-⊥ values present, sorted increasing. *)
+
+val to_list : t -> Value.t option list
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Renders like [⟨3 3 ⊥ 1⟩]. *)

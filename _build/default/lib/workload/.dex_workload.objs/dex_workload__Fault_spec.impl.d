@@ -1,0 +1,1 @@
+lib/workload/fault_spec.ml: Dex_net Dex_stdext Dex_vector List Pid Prng Value

@@ -1,0 +1,1 @@
+lib/workload/fault_spec.mli: Dex_net Dex_stdext Dex_vector Pid Prng Value

@@ -1,0 +1,1 @@
+lib/workload/input_gen.ml: Array Dex_stdext Dex_vector Input_vector List Prng Value

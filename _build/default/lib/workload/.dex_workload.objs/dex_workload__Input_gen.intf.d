@@ -1,0 +1,1 @@
+lib/workload/input_gen.mli: Dex_stdext Dex_vector Input_vector Prng Value

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Dex_metrics Dex_net Dex_vector Discipline Fault_spec Histogram Input_vector Pid Runner Value

@@ -1,0 +1,47 @@
+open Dex_stdext
+open Dex_vector
+open Dex_net
+
+type behaviour =
+  | Correct
+  | Silent
+  | Crash_mid
+  | Equivocate of (Pid.t -> Value.t)
+  | Noisy
+
+type t = Pid.t -> behaviour
+
+let none _ = Correct
+
+let silent_set pids p = if List.mem p pids then Silent else Correct
+
+let crash_mid_set pids p = if List.mem p pids then Crash_mid else Correct
+
+let equivocate_split pids ~n ~low ~high p =
+  if List.mem p pids then Equivocate (fun dst -> if 2 * dst < n then low else high)
+  else Correct
+
+let noisy_set pids p = if List.mem p pids then Noisy else Correct
+
+let last_k ~n ~k behaviour p = if p >= n - k then behaviour else Correct
+
+let random ~rng ~n ~f ~behaviours =
+  (* Materialize the assignment up front; the returned closure is pure. *)
+  let chosen = Prng.sample_without_replacement rng ~k:f ~n in
+  let assignment =
+    List.map
+      (fun p ->
+        let b =
+          match behaviours with [] -> Silent | _ -> Prng.choose_list rng behaviours
+        in
+        (p, b))
+      chosen
+  in
+  fun p_query ->
+    match List.assoc_opt p_query assignment with Some b -> b | None -> Correct
+
+let faulty_pids ~n spec = List.filter (fun p -> spec p <> Correct) (Pid.all ~n)
+
+let correct_pids ~n spec = List.filter (fun p -> spec p = Correct) (Pid.all ~n)
+
+let count_faulty ~n spec = List.length (faulty_pids ~n spec)

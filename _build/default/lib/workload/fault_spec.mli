@@ -1,0 +1,45 @@
+(** Algorithm-agnostic fault patterns.
+
+    A pattern assigns a behaviour to each process id; the {!Scenario} module
+    maps behaviours onto concrete instances of whichever algorithm is under
+    test (each protocol supplies its own equivocator over its own message
+    type). *)
+
+open Dex_stdext
+open Dex_vector
+open Dex_net
+
+type behaviour =
+  | Correct
+  | Silent  (** crash before sending anything *)
+  | Crash_mid  (** crash after a prefix of its first broadcast: some peers
+                   receive the proposal, others do not *)
+  | Equivocate of (Pid.t -> Value.t)
+      (** per-destination proposal values (Byzantine only) *)
+  | Noisy  (** random well-typed chaff (Byzantine only) *)
+
+type t = Pid.t -> behaviour
+
+val none : t
+
+val silent_set : Pid.t list -> t
+
+val crash_mid_set : Pid.t list -> t
+
+val equivocate_split : Pid.t list -> n:int -> low:Value.t -> high:Value.t -> t
+(** Listed pids send [low] to the lower half of the pid space and [high] to
+    the upper half. *)
+
+val noisy_set : Pid.t list -> t
+
+val last_k : n:int -> k:int -> behaviour -> t
+(** The highest [k] pids get the given behaviour. *)
+
+val random : rng:Prng.t -> n:int -> f:int -> behaviours:behaviour list -> t
+(** [f] distinct random pids, each with a behaviour drawn from the list. *)
+
+val faulty_pids : n:int -> t -> Pid.t list
+
+val correct_pids : n:int -> t -> Pid.t list
+
+val count_faulty : n:int -> t -> int

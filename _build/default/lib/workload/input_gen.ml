@@ -1,0 +1,54 @@
+open Dex_stdext
+open Dex_vector
+
+let unanimous ~n v = Input_vector.make n v
+
+let shuffled_of_counts ~rng pairs =
+  let entries =
+    List.concat_map (fun (v, c) -> List.init c (fun _ -> v)) pairs |> Array.of_list
+  in
+  Prng.shuffle_in_place rng entries;
+  Input_vector.of_array entries
+
+let two_valued ~rng ~n ~majority ~minority ~majority_count =
+  if majority_count < 0 || majority_count > n then
+    invalid_arg "Input_gen.two_valued: bad majority_count";
+  if Value.equal majority minority then invalid_arg "Input_gen.two_valued: equal values";
+  shuffled_of_counts ~rng [ (majority, majority_count); (minority, n - majority_count) ]
+
+let with_freq_margin ~rng ~n ~margin =
+  if margin < 0 || margin > n then invalid_arg "Input_gen.with_freq_margin: bad margin";
+  if margin = n then unanimous ~n 5
+  else if (n - margin) mod 2 = 0 then
+    (* Two values split (n+margin)/2 vs (n-margin)/2. *)
+    shuffled_of_counts ~rng [ (5, (n + margin) / 2); (3, (n - margin) / 2) ]
+  else if margin > n - 3 then
+    (* Odd residue needs a third value with one slot and a second value with
+       at least one; margin n-1 (and n-2 when n-margin is odd… excluded by
+       the parity branch) is unconstructible. *)
+    invalid_arg "Input_gen.with_freq_margin: margin unachievable for this n"
+  else
+    shuffled_of_counts ~rng
+      [ (5, (n - 1 + margin) / 2); (3, (n - 1 - margin) / 2); (1, 1) ]
+
+let with_privileged_count ~rng ~n ~m ~count ~others =
+  if count < 0 || count > n then invalid_arg "Input_gen.with_privileged_count: bad count";
+  if List.exists (Value.equal m) others then
+    invalid_arg "Input_gen.with_privileged_count: others contains m";
+  if others = [] && count < n then
+    invalid_arg "Input_gen.with_privileged_count: empty others";
+  let entries =
+    Array.init n (fun i -> if i < count then m else Prng.choose_list rng others)
+  in
+  Prng.shuffle_in_place rng entries;
+  Input_vector.of_array entries
+
+let uniform ~rng ~n ~values =
+  if values = [] then invalid_arg "Input_gen.uniform: empty universe";
+  Input_vector.init n (fun _ -> Prng.choose_list rng values)
+
+let skewed ~rng ~n ~favorite ~others ~bias =
+  if bias < 0.0 || bias > 1.0 then invalid_arg "Input_gen.skewed: bias outside [0,1]";
+  if others = [] then invalid_arg "Input_gen.skewed: empty others";
+  Input_vector.init n (fun _ ->
+      if Prng.float rng 1.0 < bias then favorite else Prng.choose_list rng others)

@@ -1,0 +1,44 @@
+(** Input-vector generators for experiments.
+
+    The paper's conditions are parameterized by frequency margins and
+    privileged-value counts, so the generators construct inputs with exact
+    values of those statistics (positions shuffled), plus random families
+    for coverage experiments. All randomness is drawn from the caller's
+    PRNG. *)
+
+open Dex_stdext
+open Dex_vector
+
+val unanimous : n:int -> Value.t -> Input_vector.t
+
+val two_valued : rng:Prng.t -> n:int -> majority:Value.t -> minority:Value.t ->
+  majority_count:int -> Input_vector.t
+(** Exactly [majority_count] entries hold [majority], the rest [minority],
+    at random positions.
+    @raise Invalid_argument unless [0 <= majority_count <= n] and the two
+    values differ. *)
+
+val with_freq_margin : rng:Prng.t -> n:int -> margin:int -> Input_vector.t
+(** An input whose frequency margin [#1st − #2nd] is exactly [margin], built
+    from two values with the tie-break taken into account.
+    @raise Invalid_argument unless [0 <= margin <= n] and a two-valued
+    construction exists (margin ≡ n (mod 2) handling is internal: the
+    construction pads with a third value when needed). *)
+
+val with_privileged_count : rng:Prng.t -> n:int -> m:Value.t -> count:int ->
+  others:Value.t list -> Input_vector.t
+(** Exactly [count] entries hold the privileged value [m]; remaining entries
+    are drawn uniformly from [others] (which must not contain [m]).
+    @raise Invalid_argument on bad counts or if [others] is empty (unless
+    [count = n]) or contains [m]. *)
+
+val uniform : rng:Prng.t -> n:int -> values:Value.t list -> Input_vector.t
+(** Every entry uniform over [values]. *)
+
+val skewed : rng:Prng.t -> n:int -> favorite:Value.t -> others:Value.t list ->
+  bias:float -> Input_vector.t
+(** Each entry is [favorite] with probability [bias], else uniform over
+    [others] — the "one client's request usually wins" workload from the
+    introduction's replicated-state-machine motivation.
+    @raise Invalid_argument unless [0 <= bias <= 1] and [others] is
+    non-empty. *)

@@ -1,0 +1,323 @@
+open Dex_stdext
+open Dex_vector
+open Dex_condition
+open Dex_net
+open Dex_underlying
+open Dex_metrics
+
+type algo =
+  | Dex_freq
+  | Dex_freq_snapshot
+  | Dex_prv of Value.t
+  | Bosco
+  | Friedman
+  | Brasileiro
+  | Izumi
+  | Sync_flood
+  | Plain
+
+let algo_name = function
+  | Dex_freq -> "DEX-freq"
+  | Dex_freq_snapshot -> "DEX-freq-snapshot"
+  | Dex_prv m -> Printf.sprintf "DEX-prv(%s)" (Value.to_string m)
+  | Bosco -> "Bosco"
+  | Friedman -> "Friedman"
+  | Brasileiro -> "Brasileiro"
+  | Izumi -> "Izumi"
+  | Sync_flood -> "SyncFlood"
+  | Plain -> "Plain-UC"
+
+let all_algos ~m = [ Dex_freq; Dex_prv m; Bosco; Friedman; Brasileiro; Izumi; Plain ]
+
+type uc_kind = Oracle | Real | Leader
+
+type spec = {
+  algo : algo;
+  uc : uc_kind;
+  n : int;
+  t : int;
+  seed : int;
+  discipline : Discipline.t;
+  proposals : Input_vector.t;
+  faults : Fault_spec.t;
+}
+
+let spec ?(uc = Oracle) ?(seed = 0) ?(discipline = Discipline.lockstep)
+    ?(faults = Fault_spec.none) ~algo ~n ~t ~proposals () =
+  { algo; uc; n; t; seed; discipline; proposals; faults }
+
+type outcome = {
+  correct : Pid.t list;
+  decisions : (Pid.t * Runner.decision) list;
+  all_decided : bool;
+  agreement : bool;
+  value : Value.t option;
+  steps : Histogram.t;
+  tags : (string * int) list;
+  sent : int;
+  sent_by_class : (string * int) list;
+  final_time : float;
+  quiescent : bool;
+}
+
+let summarize_result spec (r : Runner.result) =
+  let correct = Fault_spec.correct_pids ~n:spec.n spec.faults in
+  let decisions =
+    List.filter_map (fun p -> Option.map (fun d -> (p, d)) r.Runner.decisions.(p)) correct
+  in
+  let steps = Histogram.create () in
+  List.iter (fun (_, d) -> Histogram.add steps d.Runner.depth) decisions;
+  let tags =
+    List.fold_left
+      (fun acc (_, d) ->
+        let tag = d.Runner.tag in
+        let c = Option.value ~default:0 (List.assoc_opt tag acc) in
+        (tag, c + 1) :: List.remove_assoc tag acc)
+      [] decisions
+    |> List.sort compare
+  in
+  let agreement = Runner.agreement ~among:correct r in
+  {
+    correct;
+    decisions;
+    all_decided = List.length decisions = List.length correct;
+    agreement;
+    value =
+      (match decisions with
+      | (_, d) :: _ when agreement -> Some d.Runner.value
+      | _ -> None);
+    steps;
+    tags;
+    sent = r.Runner.sent;
+    sent_by_class = r.Runner.sent_by_class;
+    final_time = r.Runner.final_time;
+    quiescent = r.Runner.stop = Dex_sim.Engine.Quiescent;
+  }
+
+(* One generic driver per protocol family; each maps Fault_spec behaviours
+   onto instances over that protocol's message type. Behaviours that a
+   protocol has no forger for degrade to Silent (still a legal Byzantine
+   behaviour, just a weaker adversary — noted in DESIGN.md). *)
+
+module Run_dex (U : Uc_intf.S) = struct
+  module D = Dex_core.Dex.Make (U)
+
+  let go ?(mode = `Reevaluate) spec pair =
+    let cfg = { D.n = spec.n; t = spec.t; seed = spec.seed; pair } in
+    let rng = Prng.create ~seed:(spec.seed + 104729) in
+    let make p =
+      match spec.faults p with
+      | Fault_spec.Correct ->
+        D.instance ~mode cfg ~me:p ~proposal:(Input_vector.get spec.proposals p)
+      | Fault_spec.Silent -> Adversary.silent ()
+      | Fault_spec.Crash_mid ->
+        Adversary.crash_after_actions (spec.n / 2)
+          (D.instance ~mode cfg ~me:p ~proposal:(Input_vector.get spec.proposals p))
+      | Fault_spec.Equivocate split -> D.equivocator cfg ~me:p ~split
+      | Fault_spec.Noisy -> D.noisy cfg ~me:p ~rng ~values:[ 0; 1; 2; 5 ]
+    in
+    Runner.run
+      (Runner.config ~discipline:spec.discipline ~seed:spec.seed ~extra:(D.extra cfg)
+         ~classify:D.classify ~n:spec.n make)
+end
+
+module Run_bosco (U : Uc_intf.S) = struct
+  module B = Dex_baselines.Bosco.Make (U)
+
+  let go spec =
+    let cfg = B.config ~seed:spec.seed ~n:spec.n ~t:spec.t () in
+    let make p =
+      match spec.faults p with
+      | Fault_spec.Correct ->
+        B.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p)
+      | Fault_spec.Silent | Fault_spec.Noisy -> Adversary.silent ()
+      | Fault_spec.Crash_mid ->
+        Adversary.crash_after_actions (spec.n / 2)
+          (B.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p))
+      | Fault_spec.Equivocate split -> B.equivocator cfg ~me:p ~split
+    in
+    Runner.run
+      (Runner.config ~discipline:spec.discipline ~seed:spec.seed ~extra:(B.extra cfg)
+         ~classify:B.classify ~n:spec.n make)
+end
+
+module Run_friedman (U : Uc_intf.S) = struct
+  module F = Dex_baselines.Friedman.Make (U)
+
+  let go spec =
+    let cfg = F.config ~seed:spec.seed ~n:spec.n ~t:spec.t () in
+    let make p =
+      match spec.faults p with
+      | Fault_spec.Correct ->
+        F.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p)
+      | Fault_spec.Crash_mid ->
+        Adversary.crash_after_actions (spec.n / 2)
+          (F.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p))
+      | Fault_spec.Equivocate split ->
+        (* Equivocating votes over the same message type. *)
+        {
+          Protocol.start =
+            (fun () ->
+              List.map (fun dst -> Protocol.send dst (F.Vote (split dst))) (Pid.all ~n:spec.n));
+          on_message = (fun ~now:_ ~from:_ _ -> []);
+        }
+      | Fault_spec.Silent | Fault_spec.Noisy -> Adversary.silent ()
+    in
+    Runner.run
+      (Runner.config ~discipline:spec.discipline ~seed:spec.seed ~extra:(F.extra cfg)
+         ~classify:F.classify ~n:spec.n make)
+end
+
+module Run_izumi (U : Uc_intf.S) = struct
+  module I = Dex_baselines.Izumi.Make (U)
+
+  let go spec =
+    let cfg = I.config ~seed:spec.seed ~n:spec.n ~t:spec.t () in
+    let make p =
+      match spec.faults p with
+      | Fault_spec.Correct ->
+        I.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p)
+      | Fault_spec.Crash_mid ->
+        Adversary.crash_after_actions (spec.n / 2)
+          (I.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p))
+      | Fault_spec.Silent | Fault_spec.Equivocate _ | Fault_spec.Noisy ->
+        (* Crash-model algorithm: Byzantine behaviours degrade to crashes. *)
+        Adversary.silent ()
+    in
+    Runner.run
+      (Runner.config ~discipline:spec.discipline ~seed:spec.seed ~extra:(I.extra cfg)
+         ~classify:I.classify ~n:spec.n make)
+end
+
+(* The synchronous lane needs no underlying consensus; the uc field of the
+   spec is ignored. Run it under lockstep (its synchrony assumption). *)
+module Run_sync = struct
+  let go spec =
+    let cfg = Dex_baselines.Sync_flood.config ~n:spec.n ~t:spec.t () in
+    let make p =
+      match spec.faults p with
+      | Fault_spec.Correct ->
+        Dex_baselines.Sync_flood.instance cfg ~me:p
+          ~proposal:(Input_vector.get spec.proposals p)
+      | Fault_spec.Crash_mid ->
+        Adversary.crash_after_actions (spec.n / 2)
+          (Dex_baselines.Sync_flood.instance cfg ~me:p
+             ~proposal:(Input_vector.get spec.proposals p))
+      | Fault_spec.Silent | Fault_spec.Equivocate _ | Fault_spec.Noisy ->
+        Adversary.silent ()
+    in
+    Runner.run
+      (Runner.config ~discipline:spec.discipline ~seed:spec.seed
+         ~classify:Dex_baselines.Sync_flood.classify ~n:spec.n make)
+end
+
+module Run_brasileiro (U : Uc_intf.S) = struct
+  module Br = Dex_baselines.Brasileiro.Make (U)
+
+  let go spec =
+    let cfg = Br.config ~seed:spec.seed ~n:spec.n ~t:spec.t () in
+    let make p =
+      match spec.faults p with
+      | Fault_spec.Correct ->
+        Br.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p)
+      | Fault_spec.Crash_mid ->
+        Adversary.crash_after_actions (spec.n / 2)
+          (Br.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p))
+      | Fault_spec.Silent | Fault_spec.Equivocate _ | Fault_spec.Noisy ->
+        (* Crash-model algorithm: Byzantine behaviours degrade to crashes. *)
+        Adversary.silent ()
+    in
+    Runner.run
+      (Runner.config ~discipline:spec.discipline ~seed:spec.seed ~extra:(Br.extra cfg)
+         ~classify:Br.classify ~n:spec.n make)
+end
+
+module Run_plain (U : Uc_intf.S) = struct
+  module P = Dex_baselines.Plain.Make (U)
+
+  let go spec =
+    let cfg = P.config ~seed:spec.seed ~n:spec.n ~t:spec.t () in
+    let make p =
+      match spec.faults p with
+      | Fault_spec.Correct ->
+        P.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p)
+      | Fault_spec.Crash_mid ->
+        Adversary.crash_after_actions (spec.n / 2)
+          (P.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p))
+      | Fault_spec.Silent | Fault_spec.Equivocate _ | Fault_spec.Noisy ->
+        Adversary.silent ()
+    in
+    Runner.run
+      (Runner.config ~discipline:spec.discipline ~seed:spec.seed ~extra:(P.extra cfg)
+         ~classify:P.classify ~n:spec.n make)
+end
+
+module Dex_oracle = Run_dex (Uc_oracle)
+module Dex_real = Run_dex (Multivalued)
+module Dex_leader = Run_dex (Uc_leader)
+module Bosco_oracle = Run_bosco (Uc_oracle)
+module Bosco_real = Run_bosco (Multivalued)
+module Bosco_leader = Run_bosco (Uc_leader)
+module Brasileiro_oracle = Run_brasileiro (Uc_oracle)
+module Brasileiro_real = Run_brasileiro (Multivalued)
+module Plain_oracle = Run_plain (Uc_oracle)
+module Plain_real = Run_plain (Multivalued)
+module Plain_leader = Run_plain (Uc_leader)
+module Brasileiro_leader = Run_brasileiro (Uc_leader)
+module Friedman_oracle = Run_friedman (Uc_oracle)
+module Friedman_real = Run_friedman (Multivalued)
+module Friedman_leader = Run_friedman (Uc_leader)
+module Izumi_oracle = Run_izumi (Uc_oracle)
+module Izumi_real = Run_izumi (Multivalued)
+module Izumi_leader = Run_izumi (Uc_leader)
+
+let run spec =
+  if Input_vector.dim spec.proposals <> spec.n then
+    invalid_arg "Scenario.run: proposals dimension disagrees with n";
+  let result =
+    match (spec.algo, spec.uc) with
+    | Dex_freq, Oracle -> Dex_oracle.go spec (Pair.freq ~n:spec.n ~t:spec.t)
+    | Dex_freq, Real -> Dex_real.go spec (Pair.freq ~n:spec.n ~t:spec.t)
+    | Dex_freq, Leader -> Dex_leader.go spec (Pair.freq ~n:spec.n ~t:spec.t)
+    | Dex_freq_snapshot, Leader ->
+      Dex_leader.go ~mode:`Snapshot spec (Pair.freq ~n:spec.n ~t:spec.t)
+    | Dex_prv m, Leader -> Dex_leader.go spec (Pair.privileged ~n:spec.n ~t:spec.t ~m)
+    | Bosco, Leader -> Bosco_leader.go spec
+    | Brasileiro, Leader -> Brasileiro_leader.go spec
+    | Plain, Leader -> Plain_leader.go spec
+    | Dex_freq_snapshot, Oracle ->
+      Dex_oracle.go ~mode:`Snapshot spec (Pair.freq ~n:spec.n ~t:spec.t)
+    | Dex_freq_snapshot, Real ->
+      Dex_real.go ~mode:`Snapshot spec (Pair.freq ~n:spec.n ~t:spec.t)
+    | Dex_prv m, Oracle -> Dex_oracle.go spec (Pair.privileged ~n:spec.n ~t:spec.t ~m)
+    | Dex_prv m, Real -> Dex_real.go spec (Pair.privileged ~n:spec.n ~t:spec.t ~m)
+    | Friedman, Oracle -> Friedman_oracle.go spec
+    | Friedman, Real -> Friedman_real.go spec
+    | Friedman, Leader -> Friedman_leader.go spec
+    | Izumi, Oracle -> Izumi_oracle.go spec
+    | Izumi, Real -> Izumi_real.go spec
+    | Izumi, Leader -> Izumi_leader.go spec
+    | Sync_flood, (Oracle | Real | Leader) -> Run_sync.go spec
+    | Bosco, Oracle -> Bosco_oracle.go spec
+    | Bosco, Real -> Bosco_real.go spec
+    | Brasileiro, Oracle -> Brasileiro_oracle.go spec
+    | Brasileiro, Real -> Brasileiro_real.go spec
+    | Plain, Oracle -> Plain_oracle.go spec
+    | Plain, Real -> Plain_real.go spec
+  in
+  summarize_result spec result
+
+let fraction_fast outcome ~max_steps =
+  match outcome.correct with
+  | [] -> 0.0
+  | correct ->
+    let fast =
+      List.length (List.filter (fun (_, d) -> d.Runner.depth <= max_steps) outcome.decisions)
+    in
+    float_of_int fast /. float_of_int (List.length correct)
+
+let mean_steps outcome =
+  match outcome.decisions with
+  | [] -> nan
+  | ds ->
+    Stats.mean (List.map (fun (_, d) -> float_of_int d.Runner.depth) ds)

@@ -1,0 +1,87 @@
+(** Uniform experiment runner: one entry point that runs any algorithm of
+    the comparison matrix (Table 1) on a given input vector, fault pattern,
+    network discipline and seed, and returns aggregate run statistics.
+
+    The CLI ([bin/dex_run.ml]), the experiment generator
+    ([bin/experiments.ml]) and the benchmark harness ([bench/main.ml]) are
+    all thin layers over this module. *)
+
+open Dex_vector
+open Dex_net
+open Dex_metrics
+
+type algo =
+  | Dex_freq  (** DEX with the frequency-based pair; requires [n > 6t] *)
+  | Dex_freq_snapshot
+      (** ablation: DEX-freq with single-shot predicate evaluation at the
+          first [n − t] messages (see [Dex_core.Dex.mode]); experiment E8 *)
+  | Dex_prv of Value.t  (** DEX with the privileged-value pair; [n > 5t] *)
+  | Bosco  (** weakly one-step at [n > 5t], strongly at [n > 7t] *)
+  | Friedman  (** weak one-step reconstruction, unanimous-snapshot rule; [n > 5t] *)
+  | Brasileiro  (** crash-model baseline; [n > 3t] *)
+  | Izumi  (** crash-model adaptive condition-based one-step; [n > 3t] *)
+  | Sync_flood
+      (** synchronous crash-model floodset with condition-based one-round
+          decision; any [n > t]; run under [lockstep] (its synchrony
+          assumption); the [uc] field is ignored *)
+  | Plain  (** underlying consensus only; [n > 3t] *)
+
+val algo_name : algo -> string
+
+val all_algos : m:Value.t -> algo list
+
+type uc_kind =
+  | Oracle  (** simulation oracle: exactly two steps (§2.2 taken literally) *)
+  | Real  (** Bracha + MMR multivalued stack; requires [n > 4t] *)
+  | Leader  (** leader-based eventually-synchronous stack; requires [n > 4t] *)
+
+type spec = {
+  algo : algo;
+  uc : uc_kind;
+  n : int;
+  t : int;
+  seed : int;
+  discipline : Discipline.t;
+  proposals : Input_vector.t;
+  faults : Fault_spec.t;
+}
+
+val spec :
+  ?uc:uc_kind ->
+  ?seed:int ->
+  ?discipline:Discipline.t ->
+  ?faults:Fault_spec.t ->
+  algo:algo ->
+  n:int ->
+  t:int ->
+  proposals:Input_vector.t ->
+  unit ->
+  spec
+(** Defaults: oracle UC, seed 0, lockstep, no faults. *)
+
+type outcome = {
+  correct : Pid.t list;  (** the correct processes of this run *)
+  decisions : (Pid.t * Runner.decision) list;  (** per correct process *)
+  all_decided : bool;
+  agreement : bool;
+  value : Value.t option;  (** the agreed value, when agreement holds and
+                               someone decided *)
+  steps : Histogram.t;  (** decisions per causal depth (correct only) *)
+  tags : (string * int) list;  (** decisions per path, e.g. ("one-step", 5) *)
+  sent : int;
+  sent_by_class : (string * int) list;
+  final_time : float;
+  quiescent : bool;
+}
+
+val run : spec -> outcome
+(** Execute one consensus instance.
+    @raise Invalid_argument when [n], [t] violate the algorithm's or the UC
+    implementation's resilience bound. *)
+
+val fraction_fast : outcome -> max_steps:int -> float
+(** Fraction of correct processes that decided within [max_steps] causal
+    steps (0 when nobody decided). *)
+
+val mean_steps : outcome -> float
+(** Mean decision depth over correct deciders; [nan] if none. *)

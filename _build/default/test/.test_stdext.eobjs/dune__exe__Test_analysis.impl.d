@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Dex_analysis Dex_stdext Dex_vector Dex_workload Feasibility Float Input_vector List Multinomial Printf Prng

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Adversary Alcotest Array Dex_baselines Dex_net Dex_underlying Dex_vector Discipline Input_vector List Pid Printf Protocol Runner Uc_oracle Value

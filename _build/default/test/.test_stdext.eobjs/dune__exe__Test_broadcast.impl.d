@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Adversary Alcotest Array Bracha Bv Dex_broadcast Dex_net Dex_sim Discipline Idb List Pid Printf Protocol Runner

@@ -1,0 +1,1 @@
+test/test_condition.ml: Alcotest Condition D_legal Dex_condition Dex_vector Format Input_vector Legality List Pair Printf Sequence View

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Dex_broadcast Dex_experiments Dex_net Dex_stdext Dex_vector Dex_workload Discipline Harness Idb Input_gen Input_vector List Printexc Printf Protocol Runner Scenario

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Dex_metrics Histogram Stats

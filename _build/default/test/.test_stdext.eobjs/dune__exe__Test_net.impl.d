@@ -1,0 +1,1 @@
+test/test_net.ml: Adversary Alcotest Array Dex_net Dex_sim Dex_stdext Discipline Format List Option Protocol Runner

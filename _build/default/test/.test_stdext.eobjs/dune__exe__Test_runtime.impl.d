@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Cluster Dex_condition Dex_core Dex_net Dex_runtime Dex_underlying Fun List Mailbox Option Pair Pid Protocol Thread Transport Uc_leader Uc_oracle Unix

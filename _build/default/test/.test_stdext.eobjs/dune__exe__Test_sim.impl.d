@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dex_sim Engine Fun List Trace

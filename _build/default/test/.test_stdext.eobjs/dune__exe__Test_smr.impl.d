@@ -1,0 +1,1 @@
+test/test_smr.ml: Adversary Alcotest Array Dex_condition Dex_net Dex_sim Dex_smr Dex_underlying Discipline Fun List Pair Printf Replicated_log Runner Uc_oracle

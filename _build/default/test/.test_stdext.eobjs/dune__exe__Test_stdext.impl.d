@@ -1,0 +1,1 @@
+test/test_stdext.ml: Alcotest Array Dex_stdext Fun List Pqueue Prng QCheck QCheck_alcotest String Tablefmt

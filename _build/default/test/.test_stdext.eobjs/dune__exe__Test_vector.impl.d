@@ -1,0 +1,1 @@
+test/test_vector.ml: Alcotest Array Dex_vector Format Fun Input_vector List QCheck QCheck_alcotest Value View

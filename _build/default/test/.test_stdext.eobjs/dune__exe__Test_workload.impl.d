@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dex_metrics Dex_net Dex_stdext Dex_vector Dex_workload Fault_spec Input_gen Input_vector List Printf Prng QCheck QCheck_alcotest Scenario Stats

@@ -1,0 +1,109 @@
+(* Tests for dex_analysis: multinomial machinery against hand computations
+   and Monte-Carlo cross-checks against the workload generator. *)
+
+open Dex_stdext
+open Dex_vector
+open Dex_analysis
+
+let feq tol = Alcotest.(check (float tol))
+
+let test_log_factorial () =
+  feq 1e-9 "0!" 0.0 (Multinomial.log_factorial 0);
+  feq 1e-9 "1!" 0.0 (Multinomial.log_factorial 1);
+  feq 1e-9 "5!" (log 120.0) (Multinomial.log_factorial 5);
+  feq 1e-6 "10!" (log 3628800.0) (Multinomial.log_factorial 10)
+
+let test_pmf_binomial () =
+  (* Multinomial with k=2 is binomial: P[X=3] for Bin(5, 0.5) = 10/32. *)
+  feq 1e-12 "bin(5,0.5) at 3" (10.0 /. 32.0)
+    (Multinomial.pmf ~probs:[| 0.5; 0.5 |] ~counts:[| 3; 2 |])
+
+let test_pmf_impossible () =
+  feq 1e-12 "zero prob category" 0.0
+    (Multinomial.pmf ~probs:[| 1.0; 0.0 |] ~counts:[| 1; 1 |])
+
+let test_pmf_sums_to_one () =
+  let probs = [| 0.5; 0.3; 0.2 |] in
+  let total =
+    List.fold_left
+      (fun acc counts -> acc +. Multinomial.pmf ~probs ~counts:(Array.of_list counts))
+      0.0
+      (Multinomial.compositions ~n:8 ~k:3)
+  in
+  feq 1e-9 "total mass" 1.0 total
+
+let test_compositions_count () =
+  (* binom(n+k-1, k-1): n=4, k=3 -> C(6,2) = 15. *)
+  Alcotest.(check int) "count" 15 (List.length (Multinomial.compositions ~n:4 ~k:3));
+  List.iter
+    (fun c -> Alcotest.(check int) "sums to n" 4 (List.fold_left ( + ) 0 c))
+    (Multinomial.compositions ~n:4 ~k:3)
+
+let test_probability_trivial () =
+  feq 1e-12 "always" 1.0 (Multinomial.probability ~n:5 ~probs:[| 0.7; 0.3 |] (fun _ -> true));
+  feq 1e-12 "never" 0.0 (Multinomial.probability ~n:5 ~probs:[| 0.7; 0.3 |] (fun _ -> false))
+
+let test_unanimity_probability () =
+  (* P[all favorite] with bias b is b^n; unanimity also counts all-same
+     alternatives. b=0.9, 2 alts, n=4: 0.9^4 + 2*(0.05)^4. *)
+  let w = { Feasibility.bias = 0.9; alternatives = 2 } in
+  feq 1e-9 "unanimous" ((0.9 ** 4.0) +. (2.0 *. (0.05 ** 4.0))) (Feasibility.p_unanimous ~n:4 w)
+
+let test_privileged_probability () =
+  (* P[#fav > 3] for Bin(4, 0.9) = 0.9^4. *)
+  let w = { Feasibility.bias = 0.9; alternatives = 1 } in
+  feq 1e-9 "all four" (0.9 ** 4.0) (Feasibility.p_privileged_gt ~n:4 w ~d:3)
+
+let test_monotone_in_bias () =
+  let p bias =
+    Feasibility.p_dex_one_step ~n:7 ~t:1 { Feasibility.bias; alternatives = 2 }
+  in
+  Alcotest.(check bool) "increasing" true (p 0.5 < p 0.7 && p 0.7 < p 0.9 && p 0.9 < p 1.0);
+  feq 1e-9 "certain at bias 1" 1.0 (p 1.0)
+
+let test_monte_carlo_agreement () =
+  (* The analytic P[margin > 4t] must match the empirical frequency from
+     Input_gen.skewed (same distribution) within Monte-Carlo noise. *)
+  let n = 7 and t = 1 in
+  let bias = 0.8 in
+  let w = { Feasibility.bias; alternatives = 2 } in
+  let analytic = Feasibility.p_dex_one_step ~n ~t w in
+  let rng = Prng.create ~seed:97 in
+  let trials = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let i = Dex_workload.Input_gen.skewed ~rng ~n ~favorite:9 ~others:[ 1; 2 ] ~bias in
+    if Input_vector.freq_margin i > 4 * t then incr hits
+  done;
+  let empirical = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "analytic %.4f vs empirical %.4f" analytic empirical)
+    true
+    (Float.abs (analytic -. empirical) < 0.02)
+
+let test_two_step_dominates_one_step () =
+  let w = { Feasibility.bias = 0.8; alternatives = 2 } in
+  Alcotest.(check bool) "C2 superset of C1" true
+    (Feasibility.p_dex_two_step ~n:7 ~t:1 w >= Feasibility.p_dex_one_step ~n:7 ~t:1 w)
+
+let () =
+  Alcotest.run "dex_analysis"
+    [
+      ( "multinomial",
+        [
+          Alcotest.test_case "log factorial" `Quick test_log_factorial;
+          Alcotest.test_case "binomial pmf" `Quick test_pmf_binomial;
+          Alcotest.test_case "impossible outcome" `Quick test_pmf_impossible;
+          Alcotest.test_case "mass sums to one" `Quick test_pmf_sums_to_one;
+          Alcotest.test_case "compositions" `Quick test_compositions_count;
+          Alcotest.test_case "probability bounds" `Quick test_probability_trivial;
+        ] );
+      ( "feasibility",
+        [
+          Alcotest.test_case "unanimity closed form" `Quick test_unanimity_probability;
+          Alcotest.test_case "privileged closed form" `Quick test_privileged_probability;
+          Alcotest.test_case "monotone in bias" `Quick test_monotone_in_bias;
+          Alcotest.test_case "Monte-Carlo agreement" `Quick test_monte_carlo_agreement;
+          Alcotest.test_case "C2 ⊇ C1" `Quick test_two_step_dominates_one_step;
+        ] );
+    ]

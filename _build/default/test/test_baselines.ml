@@ -1,0 +1,493 @@
+(* Tests for dex_baselines: Bosco (weak/strong one-step), the Brasileiro
+   crash-model one-step algorithm, and the plain-UC floor. These pin down
+   the comparison targets of Table 1 and of the step-count experiments. *)
+
+open Dex_vector
+open Dex_net
+open Dex_underlying
+
+module B = Dex_baselines.Bosco.Make (Uc_oracle)
+module Br = Dex_baselines.Brasileiro.Make (Uc_oracle)
+module P = Dex_baselines.Plain.Make (Uc_oracle)
+
+type fault = Correct | Silent | Equivocate of (Pid.t -> Value.t)
+
+let correct_pids ~n faults = List.filter (fun p -> faults p = Correct) (Pid.all ~n)
+
+let no_faults _ = Correct
+
+let decision_exn r p =
+  match r.Runner.decisions.(p) with Some d -> d | None -> Alcotest.failf "p%d undecided" p
+
+let check_correct_consensus ~n ~faults r =
+  List.iter
+    (fun p -> Alcotest.(check bool) (Printf.sprintf "p%d decided" p) true (r.Runner.decisions.(p) <> None))
+    (correct_pids ~n faults);
+  Alcotest.(check bool) "agreement" true (Runner.agreement ~among:(correct_pids ~n faults) r)
+
+(* ------------------------------ Bosco ------------------------------ *)
+
+let run_bosco ?(discipline = Discipline.lockstep) ?(seed = 1) ~n ~t ~proposals ~faults () =
+  let cfg = B.config ~seed ~n ~t () in
+  let make p =
+    match faults p with
+    | Correct -> B.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)
+    | Silent -> Adversary.silent ()
+    | Equivocate split -> B.equivocator cfg ~me:p ~split
+  in
+  Runner.run (Runner.config ~discipline ~seed ~extra:(B.extra cfg) ~classify:B.classify ~n make)
+
+let test_bosco_one_step_unanimous () =
+  (* Weakly one-step: all propose the same, nobody faulty ⇒ decide in one
+     step. n = 6, t = 1 (n > 5t). *)
+  let n = 6 and t = 1 in
+  let r = run_bosco ~n ~t ~proposals:(Input_vector.make n 5) ~faults:no_faults () in
+  check_correct_consensus ~n ~faults:no_faults r;
+  for p = 0 to n - 1 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "tag" "one-step" d.Runner.tag;
+    Alcotest.(check int) "one step" 1 d.Runner.depth;
+    Alcotest.(check int) "value" 5 d.Runner.value
+  done
+
+let test_bosco_fallback_three_steps () =
+  (* Mixed input: the vote snapshot misses the > (n+3t)/2 bar, so the
+     decision comes from the underlying consensus: 1 + 2 = 3 causal steps —
+     the "existing one-step algorithms take only three" part of the paper's
+     trade-off. *)
+  let n = 6 and t = 1 in
+  let proposals = Input_vector.of_list [ 5; 5; 5; 1; 1; 1 ] in
+  let r = run_bosco ~n ~t ~proposals ~faults:no_faults () in
+  check_correct_consensus ~n ~faults:no_faults r;
+  for p = 0 to n - 1 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "tag" "underlying" d.Runner.tag;
+    Alcotest.(check int) "three steps" 3 d.Runner.depth
+  done
+
+let test_bosco_weakly_not_one_step_under_failure () =
+  (* Weakly one-step only: with n = 6, t = 1 and one silent failure, the
+     unanimous input is NOT guaranteed a one-step decision — each process
+     sees only n - t = 5 votes, and 5 is not > (n+3t)/2 = 4.5... it is!
+     5 > 4.5 holds, so with a silent fault Bosco still one-steps here.
+     The interesting case is an equivocator: votes 5,5,5,5,x where x≠5
+     gives only 4 matching votes, and 4 < 4.5 blocks the one-step path. *)
+  let n = 6 and t = 1 in
+  let proposals = Input_vector.make n 5 in
+  let faults p = if p = 5 then Equivocate (fun _ -> 1) else Correct in
+  let r = run_bosco ~n ~t ~proposals ~faults () in
+  check_correct_consensus ~n ~faults r;
+  (* Unanimity must hold regardless of the path taken. *)
+  List.iter
+    (fun p -> Alcotest.(check int) "unanimity" 5 (decision_exn r p).Runner.value)
+    (correct_pids ~n faults)
+
+let test_bosco_strongly_one_step_at_8t () =
+  (* n = 8, t = 1 (n > 7t): strongly one-step. All correct processes agree
+     on 5; one Byzantine equivocates. Each correct process receives at
+     least n - t = 7 votes of which >= 6 say 5; 2·6 = 12 > n + 3t = 11 ⇒
+     decide in one step despite the fault. *)
+  let n = 8 and t = 1 in
+  let proposals = Input_vector.make n 5 in
+  let faults p = if p = 7 then Equivocate (fun dst -> dst mod 2) else Correct in
+  for seed = 1 to 20 do
+    let r = run_bosco ~discipline:Discipline.lockstep ~seed ~n ~t ~proposals ~faults () in
+    check_correct_consensus ~n ~faults r;
+    List.iter
+      (fun p ->
+        let d = decision_exn r p in
+        Alcotest.(check int) "value" 5 d.Runner.value;
+        Alcotest.(check string) "one-step despite fault" "one-step" d.Runner.tag)
+      (correct_pids ~n faults)
+  done
+
+let test_bosco_agreement_random_schedules () =
+  let n = 6 and t = 1 in
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 1; 0 ] in
+  let faults p = if p = 5 then Equivocate (fun dst -> if dst < 3 then 5 else 1) else Correct in
+  for seed = 1 to 50 do
+    let r = run_bosco ~discipline:Discipline.asynchronous ~seed ~n ~t ~proposals ~faults () in
+    check_correct_consensus ~n ~faults r
+  done
+
+let test_bosco_config_validation () =
+  Alcotest.check_raises "n <= 5t" (Invalid_argument "Bosco.config: requires n > 5t and t >= 0")
+    (fun () -> ignore (B.config ~n:5 ~t:1 ()))
+
+(* ------------------------------ Brasileiro ------------------------------ *)
+
+let run_br ?(discipline = Discipline.lockstep) ?(seed = 1) ~n ~t ~proposals ~faults () =
+  let cfg = Br.config ~seed ~n ~t () in
+  let make p =
+    match faults p with
+    | Correct -> Br.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)
+    | Silent -> Adversary.silent ()
+    | Equivocate _ -> Adversary.silent ()
+  in
+  Runner.run (Runner.config ~discipline ~seed ~extra:(Br.extra cfg) ~n make)
+
+let test_brasileiro_one_step_unanimous () =
+  let n = 4 and t = 1 in
+  let r = run_br ~n ~t ~proposals:(Input_vector.make n 9) ~faults:no_faults () in
+  check_correct_consensus ~n ~faults:no_faults r;
+  for p = 0 to n - 1 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "tag" "one-step" d.Runner.tag;
+    Alcotest.(check int) "one step" 1 d.Runner.depth
+  done
+
+let test_brasileiro_crash_tolerant () =
+  (* One crash, unanimous input: every correct process still sees n - t
+     unanimous values and decides in one step — the crash-model guarantee. *)
+  let n = 4 and t = 1 in
+  let faults p = if p = 3 then Silent else Correct in
+  let r = run_br ~n ~t ~proposals:(Input_vector.make n 9) ~faults () in
+  check_correct_consensus ~n ~faults r;
+  List.iter
+    (fun p -> Alcotest.(check string) "one-step" "one-step" (decision_exn r p).Runner.tag)
+    (correct_pids ~n faults)
+
+let test_brasileiro_mixed_falls_back () =
+  let n = 4 and t = 1 in
+  let proposals = Input_vector.of_list [ 9; 9; 9; 1 ] in
+  let r = run_br ~n ~t ~proposals ~faults:no_faults () in
+  check_correct_consensus ~n ~faults:no_faults r;
+  (* With lockstep, all 4 values arrive simultaneously before evaluation
+     never happens — evaluation triggers at the (n-t)-th = 3rd arrival,
+     which may or may not be unanimous depending on order; under lockstep
+     with insertion order, p3's value 1 arrives within the first three for
+     some processes. All must agree either way. *)
+  Alcotest.(check bool) "agreement" true (Runner.agreement r)
+
+let test_brasileiro_byzantine_unsafe () =
+  (* The crash-model algorithm is NOT Byzantine-safe: an equivocator that
+     shows value a to half the processes and b to the other half makes
+     one-step deciders disagree. This demonstrates why Table 1's Byzantine
+     rows need n > 5t. We hunt across seeds for a violating schedule and
+     assert that at least one exists. *)
+  let n = 4 and t = 1 in
+  let cfg = Br.config ~n ~t () in
+  let violation = ref false in
+  for seed = 1 to 100 do
+    if not !violation then begin
+      (* p0, p1 propose 9; p2 proposes 1. The equivocator shows 9 to p0
+         (letting it one-step on {9,9,9}) and 1 to p1, p2 (tilting their
+         adopted estimate — and hence the underlying consensus — to 1 on
+         schedules where p1 hears p2 and p3 before p0). *)
+      let make p =
+        if p = 3 then
+          {
+            Protocol.start =
+              (fun () ->
+                List.map
+                  (fun dst -> Protocol.send dst (Br.Val (if dst = 0 then 9 else 1)))
+                  (Pid.all ~n));
+            on_message = (fun ~now:_ ~from:_ _ -> []);
+          }
+        else Br.instance cfg ~me:p ~proposal:(if p <= 1 then 9 else 1)
+      in
+      let r =
+        Runner.run
+          (Runner.config ~discipline:Discipline.asynchronous ~seed ~extra:(Br.extra cfg) ~n make)
+      in
+      if not (Runner.agreement ~among:[ 0; 1; 2 ] r) then violation := true
+    end
+  done;
+  Alcotest.(check bool) "agreement violated under Byzantine equivocation" true !violation
+
+(* ------------------------------ Friedman ------------------------------ *)
+
+module F = Dex_baselines.Friedman.Make (Uc_oracle)
+
+let run_friedman ?(discipline = Discipline.lockstep) ?(seed = 1) ~n ~t ~proposals ~faults () =
+  let cfg = F.config ~seed ~n ~t () in
+  let make p =
+    match faults p with
+    | Correct -> F.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)
+    | Silent -> Adversary.silent ()
+    | Equivocate split ->
+      {
+        Protocol.start =
+          (fun () -> List.map (fun dst -> Protocol.send dst (F.Vote (split dst))) (Pid.all ~n));
+        on_message = (fun ~now:_ ~from:_ _ -> []);
+      }
+  in
+  Runner.run (Runner.config ~discipline ~seed ~extra:(F.extra cfg) ~n make)
+
+let test_friedman_one_step_unanimous () =
+  let n = 6 and t = 1 in
+  let r = run_friedman ~n ~t ~proposals:(Input_vector.make n 5) ~faults:no_faults () in
+  check_correct_consensus ~n ~faults:no_faults r;
+  for p = 0 to n - 1 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "one-step" "one-step" d.Runner.tag;
+    Alcotest.(check int) "depth 1" 1 d.Runner.depth
+  done
+
+let test_friedman_stricter_than_bosco () =
+  (* With an equivocator, Friedman's all-equal snapshot rule fires strictly
+     less often than Bosco's majority rule; both stay safe and unanimous. *)
+  let n = 6 and t = 1 in
+  let proposals = Input_vector.make n 5 in
+  let faults p = if p = 5 then Equivocate (fun dst -> dst mod 2) else Correct in
+  let one_steps run =
+    List.length
+      (List.concat_map
+         (fun seed ->
+           let r = run ~seed in
+           List.filter
+             (fun p ->
+               match r.Runner.decisions.(p) with
+               | Some d -> d.Runner.tag = "one-step"
+               | None -> false)
+             (correct_pids ~n faults))
+         (List.init 40 (fun i -> i + 1)))
+  in
+  let f_count =
+    one_steps (fun ~seed ->
+        run_friedman ~discipline:Discipline.asynchronous ~seed ~n ~t ~proposals ~faults ())
+  in
+  let b_count =
+    one_steps (fun ~seed ->
+        run_bosco ~discipline:Discipline.asynchronous ~seed ~n ~t ~proposals ~faults ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "Friedman (%d) <= Bosco (%d)" f_count b_count)
+    true (f_count <= b_count)
+
+let test_friedman_safety_under_equivocation () =
+  let n = 6 and t = 1 in
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 1; 0 ] in
+  let faults p = if p = 5 then Equivocate (fun dst -> if dst < 3 then 5 else 1) else Correct in
+  for seed = 1 to 40 do
+    let r = run_friedman ~discipline:Discipline.asynchronous ~seed ~n ~t ~proposals ~faults () in
+    check_correct_consensus ~n ~faults r
+  done
+
+let test_friedman_validation () =
+  Alcotest.check_raises "n <= 5t" (Invalid_argument "Friedman.config: requires n > 5t and t >= 0")
+    (fun () -> ignore (F.config ~n:5 ~t:1 ()))
+
+(* ------------------------------ Izumi ------------------------------ *)
+
+module I = Dex_baselines.Izumi.Make (Uc_oracle)
+
+let run_izumi ?(discipline = Discipline.lockstep) ?(seed = 1) ~n ~t ~proposals ~faults () =
+  let cfg = I.config ~seed ~n ~t () in
+  let make p =
+    match faults p with
+    | Correct -> I.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)
+    | Silent | Equivocate _ -> Adversary.silent ()
+  in
+  Runner.run (Runner.config ~discipline ~seed ~extra:(I.extra cfg) ~n make)
+
+let test_izumi_one_step_margin () =
+  (* n = 7, t = 2 (crash): margin 5 > 2t + 2k for k = 0; one-step. *)
+  let n = 7 and t = 2 in
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 5; 1 ] in
+  let r = run_izumi ~n ~t ~proposals ~faults:no_faults () in
+  check_correct_consensus ~n ~faults:no_faults r;
+  for p = 0 to n - 1 do
+    Alcotest.(check string) "one-step" "one-step" (decision_exn r p).Runner.tag
+  done
+
+let test_izumi_adaptive_under_crash () =
+  (* margin 7 (unanimous) > 2t + 2k for k = t = 2: one-step survives two
+     crashes — the crash-model adaptiveness DEX generalizes. *)
+  let n = 7 and t = 2 in
+  let faults p = if p >= 5 then Silent else Correct in
+  let r = run_izumi ~n ~t ~proposals:(Input_vector.make n 9) ~faults () in
+  check_correct_consensus ~n ~faults r;
+  List.iter
+    (fun p -> Alcotest.(check string) "one-step" "one-step" (decision_exn r p).Runner.tag)
+    (correct_pids ~n faults)
+
+let test_izumi_reevaluation_beats_brasileiro () =
+  (* The adaptive trait: Izumi re-evaluates as more values arrive, so on a
+     margin input it one-steps where Brasileiro's unanimous-snapshot rule
+     cannot. n = 4, t = 1, input 5,5,5,1: Brasileiro needs an all-5 snapshot
+     (~ luck); Izumi needs margin > 2 which the full view (3 vs 1 = 2) never
+     reaches... use n = 5: 4 fives vs 1 one, margin 3 > 2 at the full view. *)
+  let n = 5 and t = 1 in
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 1 ] in
+  let izumi_one_steps = ref 0 and br_one_steps = ref 0 in
+  for seed = 1 to 30 do
+    let ri = run_izumi ~discipline:Discipline.asynchronous ~seed ~n ~t ~proposals ~faults:no_faults () in
+    let rb = run_br ~discipline:Discipline.asynchronous ~seed ~n ~t ~proposals ~faults:no_faults () in
+    Array.iter
+      (function Some d when d.Runner.tag = "one-step" -> incr izumi_one_steps | _ -> ())
+      ri.Runner.decisions;
+    Array.iter
+      (function Some d when d.Runner.tag = "one-step" -> incr br_one_steps | _ -> ())
+      rb.Runner.decisions
+  done;
+  Alcotest.(check int) "Izumi one-steps always" (30 * n) !izumi_one_steps;
+  Alcotest.(check bool)
+    (Printf.sprintf "Brasileiro strictly fewer (%d)" !br_one_steps)
+    true (!br_one_steps < !izumi_one_steps)
+
+let test_izumi_validation () =
+  Alcotest.check_raises "n <= 3t" (Invalid_argument "Izumi.config: requires n > 3t and t >= 0")
+    (fun () -> ignore (I.config ~n:3 ~t:1 ()))
+
+(* ------------------------------ Sync_flood ------------------------------ *)
+
+module Sf = Dex_baselines.Sync_flood
+
+let run_sync ?(seed = 1) ~n ~t ~proposals ~faults () =
+  let cfg = Sf.config ~n ~t () in
+  let make p =
+    match faults p with
+    | Correct -> Sf.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)
+    | Silent -> Adversary.silent ()
+    | Equivocate _ -> Adversary.silent ()
+  in
+  (* The synchronous model: run under lockstep. *)
+  Runner.run (Runner.config ~discipline:Discipline.lockstep ~seed ~n make)
+
+let sync_decision_round (d : Runner.decision) = int_of_float d.Runner.time
+
+let test_sync_one_round_on_margin () =
+  (* n = 5, t = 1: margin 3 > 2t at the first barrier -> one-round
+     decision (time just past round 1). *)
+  let n = 5 and t = 1 in
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 1 ] in
+  let r = run_sync ~n ~t ~proposals ~faults:no_faults () in
+  check_correct_consensus ~n ~faults:no_faults r;
+  for p = 0 to n - 1 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "tag" "one-round" d.Runner.tag;
+    Alcotest.(check int) "round 1" 1 (sync_decision_round d);
+    Alcotest.(check int) "value" 5 d.Runner.value
+  done
+
+let test_sync_flood_fallback () =
+  (* Tied input: no one-round decision; FloodSet decides after t+1 = 2
+     rounds, everyone on the same value. *)
+  let n = 4 and t = 1 in
+  let proposals = Input_vector.of_list [ 5; 5; 1; 1 ] in
+  let r = run_sync ~n ~t ~proposals ~faults:no_faults () in
+  check_correct_consensus ~n ~faults:no_faults r;
+  for p = 0 to n - 1 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "tag" "flood" d.Runner.tag;
+    Alcotest.(check int) "round t+1" 2 (sync_decision_round d)
+  done
+
+let test_sync_minimal_processes () =
+  (* The row's headline: solvable with only t + 1 processes. n = 2, t = 1,
+     one crash. *)
+  let n = 2 and t = 1 in
+  let proposals = Input_vector.of_list [ 7; 3 ] in
+  let faults p = if p = 1 then Silent else Correct in
+  let r = run_sync ~n ~t ~proposals ~faults () in
+  check_correct_consensus ~n ~faults r;
+  Alcotest.(check int) "survivor decides own value" 7 (decision_exn r 0).Runner.value
+
+let test_sync_crash_mid_broadcast_agreement () =
+  (* The classic FloodSet hazard: a sender crashes after reaching only some
+     processes in round 1; the extra rounds must reconcile the views. *)
+  let n = 5 and t = 2 in
+  let proposals = Input_vector.of_list [ 5; 5; 1; 1; 9 (* crasher *) ] in
+  for keep = 1 to 4 do
+    let cfg = Sf.config ~n ~t () in
+    let make p =
+      if p = 4 then
+        Adversary.crash_after_actions keep (Sf.instance cfg ~me:4 ~proposal:9)
+      else Sf.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)
+    in
+    let r = Runner.run (Runner.config ~discipline:Discipline.lockstep ~n make) in
+    let correct = [ 0; 1; 2; 3 ] in
+    List.iter
+      (fun p ->
+        Alcotest.(check bool)
+          (Printf.sprintf "keep=%d p%d decided" keep p)
+          true
+          (r.Runner.decisions.(p) <> None))
+      correct;
+    Alcotest.(check bool) "agreement" true (Runner.agreement ~among:correct r)
+  done
+
+let test_sync_validation () =
+  Alcotest.check_raises "t >= n" (Invalid_argument "Sync_flood.config: requires 0 <= t < n")
+    (fun () -> ignore (Sf.config ~n:2 ~t:2 ()))
+
+(* ------------------------------ Plain ------------------------------ *)
+
+let test_plain_two_steps () =
+  let n = 4 and t = 1 in
+  let cfg = P.config ~n ~t () in
+  let make p = P.instance cfg ~me:p ~proposal:7 in
+  let r = Runner.run (Runner.config ~extra:(P.extra cfg) ~n make) in
+  check_correct_consensus ~n ~faults:no_faults r;
+  for p = 0 to n - 1 do
+    let d = decision_exn r p in
+    Alcotest.(check int) "two steps" 2 d.Runner.depth;
+    Alcotest.(check string) "tag" "underlying" d.Runner.tag
+  done
+
+let test_plain_agreement_mixed () =
+  let n = 4 and t = 1 in
+  let cfg = P.config ~n ~t () in
+  for seed = 1 to 10 do
+    let make p = P.instance cfg ~me:p ~proposal:(p mod 2) in
+    let r =
+      Runner.run
+        (Runner.config ~discipline:Discipline.asynchronous ~seed ~extra:(P.extra cfg) ~n make)
+    in
+    check_correct_consensus ~n ~faults:no_faults r
+  done
+
+let () =
+  Alcotest.run "dex_baselines"
+    [
+      ( "bosco",
+        [
+          Alcotest.test_case "one-step unanimous" `Quick test_bosco_one_step_unanimous;
+          Alcotest.test_case "fallback three steps" `Quick test_bosco_fallback_three_steps;
+          Alcotest.test_case "weak: unanimity under equivocation" `Quick
+            test_bosco_weakly_not_one_step_under_failure;
+          Alcotest.test_case "strong: one-step despite fault (n>7t)" `Quick
+            test_bosco_strongly_one_step_at_8t;
+          Alcotest.test_case "agreement random schedules" `Quick
+            test_bosco_agreement_random_schedules;
+          Alcotest.test_case "config validation" `Quick test_bosco_config_validation;
+        ] );
+      ( "brasileiro",
+        [
+          Alcotest.test_case "one-step unanimous" `Quick test_brasileiro_one_step_unanimous;
+          Alcotest.test_case "crash tolerant" `Quick test_brasileiro_crash_tolerant;
+          Alcotest.test_case "mixed input agrees" `Quick test_brasileiro_mixed_falls_back;
+          Alcotest.test_case "Byzantine-unsafe (by design)" `Quick test_brasileiro_byzantine_unsafe;
+        ] );
+      ( "friedman",
+        [
+          Alcotest.test_case "one-step unanimous" `Quick test_friedman_one_step_unanimous;
+          Alcotest.test_case "stricter than Bosco" `Quick test_friedman_stricter_than_bosco;
+          Alcotest.test_case "safety under equivocation" `Quick
+            test_friedman_safety_under_equivocation;
+          Alcotest.test_case "config validation" `Quick test_friedman_validation;
+        ] );
+      ( "izumi",
+        [
+          Alcotest.test_case "one-step margin" `Quick test_izumi_one_step_margin;
+          Alcotest.test_case "adaptive under crash" `Quick test_izumi_adaptive_under_crash;
+          Alcotest.test_case "re-evaluation beats Brasileiro" `Quick
+            test_izumi_reevaluation_beats_brasileiro;
+          Alcotest.test_case "config validation" `Quick test_izumi_validation;
+        ] );
+      ( "sync_flood",
+        [
+          Alcotest.test_case "one-round on margin" `Quick test_sync_one_round_on_margin;
+          Alcotest.test_case "flood fallback" `Quick test_sync_flood_fallback;
+          Alcotest.test_case "t+1 processes suffice" `Quick test_sync_minimal_processes;
+          Alcotest.test_case "crash mid-broadcast reconciled" `Quick
+            test_sync_crash_mid_broadcast_agreement;
+          Alcotest.test_case "config validation" `Quick test_sync_validation;
+        ] );
+      ( "plain",
+        [
+          Alcotest.test_case "two-step floor" `Quick test_plain_two_steps;
+          Alcotest.test_case "agreement mixed" `Quick test_plain_agreement_mixed;
+        ] );
+    ]

@@ -1,0 +1,431 @@
+(* Tests for dex_broadcast: IDB (Figure 3 / Theorem 4), Bracha reliable
+   broadcast, BV-broadcast. Protocols are run end-to-end in the simulator;
+   Byzantine senders equivocate at the network level exactly as in the
+   paper's Figure 2 scenario. *)
+
+open Dex_net
+open Dex_broadcast
+
+(* ------------------------------------------------------------------ *)
+(* IDB harness: every process Id-sends its value and records deliveries.
+   Delivery records live outside the instances so tests can inspect them. *)
+
+type idb_record = { deliveries : (Pid.t * (Pid.t * int)) list ref }
+
+let idb_correct ~n ~t ~me ~value ~record =
+  let idb = Idb.create ~n ~t in
+  let handle ~from m =
+    let emit = Idb.handle idb ~from m in
+    List.iter (fun d -> record.deliveries := (me, d) :: !(record.deliveries)) emit.Idb.deliveries;
+    List.concat_map (fun b -> Protocol.broadcast ~n b) emit.Idb.broadcasts
+  in
+  {
+    Protocol.start = (fun () -> Protocol.broadcast ~n (Idb.id_send value));
+    on_message = (fun ~now:_ ~from m -> handle ~from m);
+  }
+
+(* A Byzantine IDB sender: sends Init(split dst) to each process — the
+   Figure 2 attack — then echoes honestly. *)
+let idb_equivocator ~n ~t ~split =
+  let idb = Idb.create ~n ~t in
+  {
+    Protocol.start =
+      (fun () -> List.map (fun dst -> Protocol.send dst (Idb.Init (split dst))) (Pid.all ~n));
+    on_message =
+      (fun ~now:_ ~from m ->
+        let emit = Idb.handle idb ~from m in
+        List.concat_map (fun b -> Protocol.broadcast ~n b) emit.Idb.broadcasts);
+  }
+
+let run_idb ?(n = 9) ?(discipline = Discipline.asynchronous) ?(seed = 1) ~make () =
+  let record = { deliveries = ref [] } in
+  let r = Runner.run (Runner.config ~discipline ~seed ~n (make record)) in
+  (record, r)
+
+let deliveries_at record ~receiver =
+  List.filter_map
+    (fun (rcv, d) -> if rcv = receiver then Some d else None)
+    !(record.deliveries)
+
+let test_idb_all_correct_delivery () =
+  let n = 9 and t = 2 in
+  let record, r =
+    run_idb ~n ~make:(fun record p -> idb_correct ~n ~t ~me:p ~value:(100 + p) ~record) ()
+  in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  (* Termination: every process Id-Receives from every sender. *)
+  for receiver = 0 to n - 1 do
+    let ds = deliveries_at record ~receiver in
+    Alcotest.(check int) (Printf.sprintf "receiver %d gets n deliveries" receiver) n
+      (List.length ds);
+    (* Validity: delivered value is what the sender Id-Sent. *)
+    List.iter
+      (fun (origin, v) -> Alcotest.(check int) "validity" (100 + origin) v)
+      ds
+  done
+
+let test_idb_at_most_one_delivery_per_origin () =
+  let n = 9 and t = 2 in
+  let record, _ =
+    run_idb ~n ~make:(fun record p -> idb_correct ~n ~t ~me:p ~value:p ~record) ()
+  in
+  for receiver = 0 to n - 1 do
+    let origins = List.map fst (deliveries_at record ~receiver) in
+    Alcotest.(check int) "no duplicate origins" (List.length origins)
+      (List.length (List.sort_uniq compare origins))
+  done
+
+(* The central IDB property: agreement for a Byzantine sender (Figure 2). *)
+let test_idb_agreement_under_equivocation () =
+  let n = 9 and t = 2 in
+  (* Try many schedules: agreement must hold in all of them. *)
+  for seed = 1 to 25 do
+    let record, _ =
+      run_idb ~n ~seed
+        ~make:(fun record p ->
+          if p = 0 then idb_equivocator ~n ~t ~split:(fun dst -> if dst < n / 2 then 111 else 222)
+          else idb_correct ~n ~t ~me:p ~value:p ~record)
+        ()
+    in
+    (* Collect what each correct process delivered for origin 0. *)
+    let for_origin_0 =
+      List.filter_map
+        (fun (rcv, (origin, v)) -> if origin = 0 && rcv <> 0 then Some v else None)
+        !(record.deliveries)
+    in
+    let distinct = List.sort_uniq compare for_origin_0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: all deliveries for the equivocator agree" seed)
+      true
+      (List.length distinct <= 1)
+  done
+
+let test_idb_silent_sender_no_delivery () =
+  let n = 9 and t = 2 in
+  let record, r =
+    run_idb ~n
+      ~make:(fun record p ->
+        if p = 0 then Adversary.silent ()
+        else idb_correct ~n ~t ~me:p ~value:p ~record)
+      ()
+  in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  let for_origin_0 = List.filter (fun (_, (origin, _)) -> origin = 0) !(record.deliveries) in
+  Alcotest.(check int) "nobody delivers for silent sender" 0 (List.length for_origin_0);
+  (* But correct senders still go through. *)
+  let for_origin_1 =
+    List.filter (fun (rcv, (origin, _)) -> origin = 1 && rcv <> 0) !(record.deliveries)
+  in
+  Alcotest.(check int) "correct senders delivered" (n - 1) (List.length for_origin_1)
+
+let test_idb_cost_two_steps () =
+  (* Under lockstep, an IDB delivery happens at depth 2 (init then echo):
+     "a single communication step of the identical broadcast is realized by
+     two communication steps" (§4). We measure via a decide-on-delivery
+     protocol. *)
+  let n = 9 and t = 2 in
+  let make _record p =
+    let idb = Idb.create ~n ~t in
+    let decided = ref false in
+    {
+      Protocol.start = (fun () -> Protocol.broadcast ~n (Idb.id_send (100 + p)));
+      on_message =
+        (fun ~now:_ ~from m ->
+          let emit = Idb.handle idb ~from m in
+          let echoes = List.concat_map (fun b -> Protocol.broadcast ~n b) emit.Idb.broadcasts in
+          match emit.Idb.deliveries with
+          | (_, v) :: _ when not !decided ->
+            decided := true;
+            echoes @ [ Protocol.decide ~tag:"first-idb-delivery" v ]
+          | _ -> echoes);
+    }
+  in
+  let record = { deliveries = ref [] } in
+  let r = Runner.run (Runner.config ~discipline:Discipline.lockstep ~n (make record)) in
+  Array.iter
+    (function
+      | Some d -> Alcotest.(check int) "IDB delivery at depth 2" 2 d.Runner.depth
+      | None -> Alcotest.fail "no delivery")
+    r.Runner.decisions
+
+let test_idb_no_totality () =
+  (* IDB does NOT guarantee totality for Byzantine senders — the property
+     Bracha pays its third wave for. Crafted schedule, n = 5, t = 1:
+     the Byzantine p0 inits value 111 at p1..p3 but 222 at p4 (so p4's
+     first-echo slot for origin 0 is burnt on 222), then sends its own echo
+     of 111 to p1 only. p1 reaches n - t = 4 echoes and delivers; p2..p4
+     top out at 3 and never can — amplification is blocked because every
+     correct process has already echoed something for origin 0. This is why
+     DEX's J2 waits for n - t per-sender deliveries rather than relying on
+     any totality of the broadcast layer. *)
+  let n = 5 and t = 1 in
+  let record = { deliveries = ref [] } in
+  let byz =
+    {
+      Protocol.start =
+        (fun () ->
+          [
+            Protocol.send 1 (Idb.Init 111);
+            Protocol.send 2 (Idb.Init 111);
+            Protocol.send 3 (Idb.Init 111);
+            Protocol.send 4 (Idb.Init 222);
+            Protocol.send 1 (Idb.Echo { origin = 0; payload = 111 });
+          ]);
+      on_message = (fun ~now:_ ~from:_ _ -> []);
+    }
+  in
+  let make p = if p = 0 then byz else idb_correct ~n ~t ~me:p ~value:p ~record in
+  let r = Runner.run (Runner.config ~discipline:Discipline.lockstep ~n make) in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  let receivers_for_0 =
+    List.filter_map
+      (fun (rcv, (origin, v)) -> if origin = 0 then Some (rcv, v) else None)
+      !(record.deliveries)
+  in
+  Alcotest.(check (list (pair int int))) "only the victim delivers" [ (1, 111) ]
+    receivers_for_0;
+  (* Agreement still holds vacuously (a single delivery), and all correct
+     senders' broadcasts went through everywhere. *)
+  List.iter
+    (fun origin ->
+      let count =
+        List.length (List.filter (fun (_, (o, _)) -> o = origin) !(record.deliveries))
+      in
+      Alcotest.(check int) (Printf.sprintf "origin %d delivered at all correct" origin) 4 count)
+    [ 1; 2; 3; 4 ]
+
+let test_idb_create_validation () =
+  Alcotest.check_raises "n <= 4t" (Invalid_argument "Idb.create: requires n > 4t and t >= 0")
+    (fun () -> ignore (Idb.create ~n:8 ~t:2))
+
+let test_idb_state_queries () =
+  let idb = Idb.create ~n:5 ~t:1 in
+  Alcotest.(check bool) "no echo yet" false (Idb.echo_sent idb ~origin:3);
+  let emit = Idb.handle idb ~from:3 (Idb.Init 42) in
+  Alcotest.(check int) "one echo emitted" 1 (List.length emit.Idb.broadcasts);
+  Alcotest.(check bool) "echo recorded" true (Idb.echo_sent idb ~origin:3);
+  Alcotest.(check bool) "nothing delivered yet" true (Idb.delivered idb ~origin:3 = None);
+  (* Second init from the same origin: no second echo (first-echo). *)
+  let emit2 = Idb.handle idb ~from:3 (Idb.Init 43) in
+  Alcotest.(check int) "no second echo" 0 (List.length emit2.Idb.broadcasts)
+
+let test_idb_delivery_threshold () =
+  (* n = 5, t = 1: delivery needs n - t = 4 echoes; amplification at
+     n - 2t = 3. *)
+  let idb = Idb.create ~n:5 ~t:1 in
+  let feed from = Idb.handle idb ~from (Idb.Echo { origin = 4; payload = 9 }) in
+  ignore (feed 0);
+  ignore (feed 1);
+  (* Third echo triggers amplification (this process joins the witnesses). *)
+  let e3 = feed 2 in
+  Alcotest.(check int) "amplified echo" 1 (List.length e3.Idb.broadcasts);
+  Alcotest.(check bool) "not yet delivered" true (Idb.delivered idb ~origin:4 = None);
+  let e4 = feed 3 in
+  Alcotest.(check (list (pair int int))) "delivered at 4 echoes" [ (4, 9) ] e4.Idb.deliveries
+
+let test_idb_duplicate_echo_ignored () =
+  let idb = Idb.create ~n:5 ~t:1 in
+  let feed () = Idb.handle idb ~from:0 (Idb.Echo { origin = 4; payload = 9 }) in
+  ignore (feed ());
+  ignore (feed ());
+  ignore (feed ());
+  ignore (feed ());
+  Alcotest.(check bool) "duplicates don't deliver" true (Idb.delivered idb ~origin:4 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Bracha RB *)
+
+let bracha_correct ~n ~t ~me ~value ~record =
+  let rb = Bracha.create ~n ~t in
+  {
+    Protocol.start = (fun () -> Protocol.broadcast ~n (Bracha.rb_send value));
+    on_message =
+      (fun ~now:_ ~from m ->
+        let emit = Bracha.handle rb ~from m in
+        List.iter
+          (fun d -> record.deliveries := (me, d) :: !(record.deliveries))
+          emit.Bracha.deliveries;
+        List.concat_map (fun b -> Protocol.broadcast ~n b) emit.Bracha.broadcasts);
+  }
+
+let test_bracha_all_correct () =
+  let n = 7 and t = 2 in
+  let record = { deliveries = ref [] } in
+  let r =
+    Runner.run
+      (Runner.config ~discipline:Discipline.asynchronous ~seed:3 ~n (fun p ->
+           bracha_correct ~n ~t ~me:p ~value:(200 + p) ~record))
+  in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  for receiver = 0 to n - 1 do
+    let ds = deliveries_at record ~receiver in
+    Alcotest.(check int) "n deliveries" n (List.length ds);
+    List.iter (fun (origin, v) -> Alcotest.(check int) "validity" (200 + origin) v) ds
+  done
+
+let test_bracha_agreement_under_equivocation () =
+  let n = 7 and t = 2 in
+  for seed = 1 to 25 do
+    let record = { deliveries = ref [] } in
+    let make p =
+      if p = 0 then
+        {
+          Protocol.start =
+            (fun () ->
+              List.map
+                (fun dst -> Protocol.send dst (Bracha.Initial (if dst mod 2 = 0 then 5 else 6)))
+                (Pid.all ~n));
+          on_message = (fun ~now:_ ~from:_ _ -> []);
+        }
+      else bracha_correct ~n ~t ~me:p ~value:p ~record
+    in
+    let _ = Runner.run (Runner.config ~discipline:Discipline.asynchronous ~seed ~n make) in
+    let for_0 =
+      List.filter_map
+        (fun (rcv, (origin, v)) -> if origin = 0 && rcv <> 0 then Some v else None)
+        !(record.deliveries)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d agreement" seed)
+      true
+      (List.length (List.sort_uniq compare for_0) <= 1)
+  done
+
+let test_bracha_totality () =
+  (* If one correct process delivers for a (faulty) origin, all do.
+     The equivocator sends Initial only to a strict subset; whether delivery
+     happens at all depends on thresholds, but totality must hold. *)
+  let n = 7 and t = 2 in
+  for seed = 1 to 25 do
+    let record = { deliveries = ref [] } in
+    let make p =
+      if p = 0 then
+        {
+          Protocol.start =
+            (fun () ->
+              List.filter_map
+                (fun dst -> if dst <= 4 then Some (Protocol.send dst (Bracha.Initial 77)) else None)
+                (Pid.all ~n));
+          on_message = (fun ~now:_ ~from:_ _ -> []);
+        }
+      else bracha_correct ~n ~t ~me:p ~value:p ~record
+    in
+    let _ = Runner.run (Runner.config ~discipline:Discipline.asynchronous ~seed ~n make) in
+    let receivers_for_0 =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (rcv, (origin, _)) -> if origin = 0 && rcv <> 0 then Some rcv else None)
+           !(record.deliveries))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d totality" seed)
+      true
+      (receivers_for_0 = [] || List.length receivers_for_0 = n - 1)
+  done
+
+let test_bracha_create_validation () =
+  Alcotest.check_raises "n <= 3t" (Invalid_argument "Bracha.create: requires n > 3t and t >= 0")
+    (fun () -> ignore (Bracha.create ~n:6 ~t:2))
+
+(* ------------------------------------------------------------------ *)
+(* BV-broadcast *)
+
+let test_bv_validation () =
+  Alcotest.check_raises "n <= 3t" (Invalid_argument "Bv.create: requires n > 3t and t >= 0")
+    (fun () -> ignore (Bv.create ~n:3 ~t:1))
+
+let test_bv_bit_conversions () =
+  Alcotest.(check bool) "one" true (Bv.bool_of_bit (Bv.bit_of_bool true));
+  Alcotest.(check bool) "zero" false (Bv.bool_of_bit (Bv.bit_of_bool false))
+
+let test_bv_thresholds () =
+  (* n = 4, t = 1: support t+1 = 2 re-broadcasts, accept 2t+1 = 3 adds. *)
+  let bv = Bv.create ~n:4 ~t:1 in
+  let e0 = Bv.handle bv ~from:0 (Bv.Bval Bv.One) in
+  Alcotest.(check int) "no echo at 1 sender" 0 (List.length e0.Bv.broadcasts);
+  let e1 = Bv.handle bv ~from:1 (Bv.Bval Bv.One) in
+  Alcotest.(check int) "echo at t+1 senders" 1 (List.length e1.Bv.broadcasts);
+  Alcotest.(check (list bool)) "not in bin yet" [] (List.map Bv.bool_of_bit (Bv.bin_values bv));
+  let e2 = Bv.handle bv ~from:2 (Bv.Bval Bv.One) in
+  Alcotest.(check (list bool)) "added at 2t+1" [ true ] (List.map Bv.bool_of_bit e2.Bv.added);
+  Alcotest.(check bool) "mem" true (Bv.mem bv Bv.One)
+
+let test_bv_duplicate_senders_ignored () =
+  let bv = Bv.create ~n:4 ~t:1 in
+  ignore (Bv.handle bv ~from:0 (Bv.Bval Bv.One));
+  ignore (Bv.handle bv ~from:0 (Bv.Bval Bv.One));
+  ignore (Bv.handle bv ~from:0 (Bv.Bval Bv.One));
+  Alcotest.(check bool) "one sender can't force bin_values" false (Bv.mem bv Bv.One)
+
+let test_bv_own_broadcast_idempotent () =
+  let bv = Bv.create ~n:4 ~t:1 in
+  let e1 = Bv.bv_broadcast bv Bv.One in
+  let e2 = Bv.bv_broadcast bv Bv.One in
+  Alcotest.(check int) "first broadcasts" 1 (List.length e1.Bv.broadcasts);
+  Alcotest.(check int) "second is no-op" 0 (List.length e2.Bv.broadcasts)
+
+let test_bv_uniformity_in_sim () =
+  (* All correct processes BV-broadcast bits; bin_values converge to the
+     same set everywhere. *)
+  let n = 7 and t = 2 in
+  for seed = 1 to 10 do
+    let states = Array.init n (fun _ -> Bv.create ~n ~t) in
+    let make p =
+      let bv = states.(p) in
+      let bit = if p mod 2 = 0 then Bv.Zero else Bv.One in
+      {
+        Protocol.start =
+          (fun () ->
+            let e = Bv.bv_broadcast bv bit in
+            List.concat_map (fun m -> Protocol.broadcast ~n m) e.Bv.broadcasts);
+        on_message =
+          (fun ~now:_ ~from m ->
+            let e = Bv.handle bv ~from m in
+            List.concat_map (fun m' -> Protocol.broadcast ~n m') e.Bv.broadcasts);
+      }
+    in
+    let r = Runner.run (Runner.config ~discipline:Discipline.asynchronous ~seed ~n make) in
+    Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+    let sets =
+      Array.to_list (Array.map (fun bv -> List.sort compare (Bv.bin_values bv)) states)
+      |> List.sort_uniq compare
+    in
+    Alcotest.(check int) (Printf.sprintf "seed %d uniform bin_values" seed) 1 (List.length sets)
+  done
+
+let () =
+  Alcotest.run "dex_broadcast"
+    [
+      ( "idb",
+        [
+          Alcotest.test_case "all-correct delivery" `Quick test_idb_all_correct_delivery;
+          Alcotest.test_case "at most one delivery/origin" `Quick
+            test_idb_at_most_one_delivery_per_origin;
+          Alcotest.test_case "agreement under equivocation" `Quick
+            test_idb_agreement_under_equivocation;
+          Alcotest.test_case "silent sender" `Quick test_idb_silent_sender_no_delivery;
+          Alcotest.test_case "costs two steps" `Quick test_idb_cost_two_steps;
+          Alcotest.test_case "no totality (by design)" `Quick test_idb_no_totality;
+          Alcotest.test_case "create validation" `Quick test_idb_create_validation;
+          Alcotest.test_case "state queries" `Quick test_idb_state_queries;
+          Alcotest.test_case "delivery threshold" `Quick test_idb_delivery_threshold;
+          Alcotest.test_case "duplicate echo ignored" `Quick test_idb_duplicate_echo_ignored;
+        ] );
+      ( "bracha",
+        [
+          Alcotest.test_case "all-correct delivery" `Quick test_bracha_all_correct;
+          Alcotest.test_case "agreement under equivocation" `Quick
+            test_bracha_agreement_under_equivocation;
+          Alcotest.test_case "totality" `Quick test_bracha_totality;
+          Alcotest.test_case "create validation" `Quick test_bracha_create_validation;
+        ] );
+      ( "bv",
+        [
+          Alcotest.test_case "create validation" `Quick test_bv_validation;
+          Alcotest.test_case "bit conversions" `Quick test_bv_bit_conversions;
+          Alcotest.test_case "thresholds" `Quick test_bv_thresholds;
+          Alcotest.test_case "duplicate senders ignored" `Quick test_bv_duplicate_senders_ignored;
+          Alcotest.test_case "own broadcast idempotent" `Quick test_bv_own_broadcast_idempotent;
+          Alcotest.test_case "uniformity" `Quick test_bv_uniformity_in_sim;
+        ] );
+    ]

@@ -1,0 +1,300 @@
+(* Tests for dex_codec and the per-protocol wire codecs: roundtrip unit
+   tests, qcheck roundtrip properties, hostile-input rejection, frame
+   behaviour, and a full DEX cluster over the codec-framed TCP transport. *)
+
+open Dex_codec
+open Dex_broadcast
+open Dex_underlying
+
+let roundtrip codec v = Codec.decode_exn codec (Codec.encode codec v)
+
+let check_rt name codec pp v =
+  Alcotest.check (Alcotest.testable pp ( = )) name v (roundtrip codec v)
+
+(* ------------------------- primitives ------------------------- *)
+
+let test_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (roundtrip Codec.int n))
+    [ 0; 1; -1; 63; 64; -64; -65; 1000; -1000; max_int; min_int; 0x7FFFFFFF ]
+
+let test_int_compact () =
+  Alcotest.(check int) "small ints are 1 byte" 1 (String.length (Codec.encode Codec.int 5));
+  Alcotest.(check int) "small negatives too" 1 (String.length (Codec.encode Codec.int (-5)))
+
+let test_bool_roundtrip () =
+  Alcotest.(check bool) "true" true (roundtrip Codec.bool true);
+  Alcotest.(check bool) "false" false (roundtrip Codec.bool false)
+
+let test_float_roundtrip () =
+  List.iter
+    (fun x -> Alcotest.(check (float 0.0)) (string_of_float x) x (roundtrip Codec.float x))
+    [ 0.0; 1.5; -3.25; 1e300; -1e-300; infinity; neg_infinity ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) "roundtrip" s (roundtrip Codec.string s))
+    [ ""; "x"; "hello world"; String.make 10_000 'z'; "\x00\xff\x80 binary" ]
+
+let test_option_list_pair () =
+  let c = Codec.(list (pair (option int) string)) in
+  let v = [ (Some 5, "a"); (None, ""); (Some (-9), "bc") ] in
+  Alcotest.(check (list (pair (option int) string))) "nested" v (roundtrip c v)
+
+let test_triple () =
+  let c = Codec.(triple int bool string) in
+  let v = (42, true, "x") in
+  let got = roundtrip c v in
+  Alcotest.(check bool) "triple" true (v = got)
+
+(* ------------------------- hostile input ------------------------- *)
+
+let decodes_err codec s =
+  match Codec.decode codec s with Ok _ -> false | Error _ -> true
+
+let test_truncated_rejected () =
+  let encoded = Codec.encode Codec.string "hello" in
+  let truncated = String.sub encoded 0 (String.length encoded - 1) in
+  Alcotest.(check bool) "truncated string" true (decodes_err Codec.string truncated)
+
+let test_trailing_rejected () =
+  let encoded = Codec.encode Codec.int 5 ^ "extra" in
+  Alcotest.(check bool) "trailing bytes" true (decodes_err Codec.int encoded)
+
+let test_bad_bool_rejected () =
+  Alcotest.(check bool) "bool byte 7" true (decodes_err Codec.bool "\x07")
+
+let test_bad_option_tag_rejected () =
+  Alcotest.(check bool) "option tag 9" true (decodes_err Codec.(option int) "\x09")
+
+let test_huge_length_rejected () =
+  (* A string claiming a 2^40 length must be rejected, not allocated. *)
+  let buf = Buffer.create 16 in
+  Codec.int.Codec.write buf (1 lsl 40);
+  Alcotest.(check bool) "huge string length" true
+    (decodes_err Codec.string (Buffer.contents buf))
+
+let test_unknown_variant_tag_rejected () =
+  let bad = Codec.encode Codec.int 99 in
+  Alcotest.(check bool) "tag 99" true (decodes_err (Idb.codec Codec.int) bad)
+
+let test_empty_input_rejected () =
+  Alcotest.(check bool) "empty" true (decodes_err Codec.int "")
+
+(* ------------------------- protocol codecs ------------------------- *)
+
+module D = Dex_core.Dex.Make (Uc_oracle)
+module Dl = Dex_core.Dex.Make (Uc_leader)
+module Dmv = Dex_core.Dex.Make (Multivalued)
+module B = Dex_baselines.Bosco.Make (Uc_oracle)
+
+let test_idb_codec () =
+  let c = Idb.codec Codec.int in
+  check_rt "init" c
+    (fun ppf _ -> Format.fprintf ppf "msg")
+    (Idb.Init 42);
+  check_rt "echo" c (fun ppf _ -> Format.fprintf ppf "msg") (Idb.Echo { origin = 3; payload = -7 })
+
+let test_bracha_codec () =
+  let c = Bracha.codec Codec.int in
+  List.iter
+    (check_rt "bracha" c (fun ppf _ -> Format.fprintf ppf "msg"))
+    [ Bracha.Initial 5; Bracha.Echo { origin = 0; payload = 1 }; Bracha.Ready { origin = 6; payload = -2 } ]
+
+let test_mmr_codec () =
+  List.iter
+    (check_rt "mmr" Mmr.codec (fun ppf m -> Mmr.pp_msg ppf m))
+    [ Mmr.Est (3, Bv.Bval Bv.One); Mmr.Aux (1, Bv.Zero); Mmr.Done Bv.One ]
+
+let test_uc_leader_codec () =
+  List.iter
+    (check_rt "leader" Uc_leader.codec Uc_leader.pp_msg)
+    [
+      Uc_leader.Est 9;
+      Uc_leader.Proposal (4, 7);
+      Uc_leader.Prevote (2, Some 5);
+      Uc_leader.Prevote (2, None);
+      Uc_leader.Precommit (0, Some 1);
+      Uc_leader.Wake (3, `Prevote);
+      Uc_leader.Val (Bracha.rb_send 11);
+    ]
+
+let test_dex_codec () =
+  List.iter
+    (check_rt "dex" D.codec D.pp_msg)
+    [
+      D.Prop 5;
+      D.Idb (Idb.Init 9);
+      D.Idb (Idb.Echo { origin = 2; payload = 3 });
+      D.Uc (Uc_oracle.Propose 4);
+      D.Uc (Uc_oracle.Decision 8);
+    ]
+
+let test_dex_mv_codec () =
+  List.iter
+    (check_rt "dex-mv" Dmv.codec Dmv.pp_msg)
+    [
+      Dmv.Prop 5;
+      Dmv.Uc (Multivalued.Val (Bracha.rb_send 3));
+      Dmv.Uc (Multivalued.Bin (Mmr.Done Bv.Zero));
+    ]
+
+let test_bosco_codec () =
+  List.iter
+    (check_rt "bosco" B.codec B.pp_msg)
+    [ B.Vote 5; B.Uc (Uc_oracle.Propose 1) ]
+
+(* Property: random DEX-leader messages roundtrip. *)
+let gen_leader_msg =
+  QCheck.Gen.(
+    let value = int_range (-100) 100 in
+    let vote = opt value in
+    oneof
+      [
+        map (fun v -> Uc_leader.Est v) value;
+        map2 (fun r v -> Uc_leader.Proposal (r, v)) (int_bound 50) value;
+        map2 (fun r v -> Uc_leader.Prevote (r, v)) (int_bound 50) vote;
+        map2 (fun r v -> Uc_leader.Precommit (r, v)) (int_bound 50) vote;
+        map
+          (fun v -> Uc_leader.Val (Bracha.Initial v))
+          value;
+        map2
+          (fun o v -> Uc_leader.Val (Bracha.Echo { origin = o; payload = v }))
+          (int_bound 20) value;
+      ])
+
+let prop_leader_roundtrip =
+  QCheck.Test.make ~name:"Uc_leader codec roundtrip" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Uc_leader.pp_msg) gen_leader_msg)
+    (fun m -> roundtrip Uc_leader.codec m = m)
+
+let prop_int_roundtrip =
+  QCheck.Test.make ~name:"int codec roundtrip" ~count:1000 QCheck.int (fun n ->
+      roundtrip Codec.int n = n)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string codec roundtrip" ~count:500 QCheck.string (fun s ->
+      roundtrip Codec.string s = s)
+
+(* ------------------------- frames ------------------------- *)
+
+let test_frame_roundtrip_via_pipe () =
+  let read_fd, write_fd = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr write_fd in
+  let ic = Unix.in_channel_of_descr read_fd in
+  let c = Codec.(pair int string) in
+  Codec.Frame.to_channel oc c (7, "payload");
+  Codec.Frame.to_channel oc c (-3, "");
+  Alcotest.(check (pair int string)) "first frame" (7, "payload") (Codec.Frame.from_channel ic c);
+  Alcotest.(check (pair int string)) "second frame" (-3, "") (Codec.Frame.from_channel ic c);
+  close_out oc;
+  (match Codec.Frame.from_channel ic c with
+  | exception End_of_file -> ()
+  | _ -> Alcotest.fail "expected EOF");
+  close_in ic
+
+(* ------------------------- codec TCP cluster ------------------------- *)
+
+let test_dex_over_codec_tcp () =
+  let open Dex_condition in
+  let open Dex_net in
+  let open Dex_runtime in
+  let pair = Pair.freq ~n:7 ~t:1 in
+  let cfg = D.config ~pair () in
+  let extra = D.extra cfg in
+  let pids = Pid.all ~n:7 @ List.map fst extra in
+  let transport = Transport.Tcp_codec.create ~codec:D.codec ~pids () in
+  let cluster =
+    Cluster.create ~transport ~n:7 ~extra (fun p -> D.instance cfg ~me:p ~proposal:6)
+  in
+  Cluster.start cluster;
+  let ok = Cluster.await ~timeout:20.0 cluster in
+  let decisions = Cluster.decisions cluster in
+  Cluster.shutdown cluster;
+  Alcotest.(check bool) "all decided" true ok;
+  Array.iter
+    (function
+      | Some d ->
+        Alcotest.(check int) "value" 6 d.Cluster.value;
+        Alcotest.(check string) "one-step" "one-step" d.Cluster.tag
+      | None -> Alcotest.fail "missing decision")
+    decisions
+
+(* Fuzz: decoding arbitrary bytes must never raise anything other than
+   Decode_error (wrapped as Error by [decode]) — no crashes, no unbounded
+   allocation. *)
+let prop_decode_never_crashes =
+  QCheck.Test.make ~name:"random bytes never crash the decoder" ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+    (fun bytes ->
+      let try_codec : type a. a Codec.t -> bool =
+       fun c -> match Codec.decode c bytes with Ok _ | Error _ -> true
+      in
+      try_codec Codec.int && try_codec Codec.string
+      && try_codec Codec.(list (pair int bool))
+      && try_codec (Idb.codec Codec.int)
+      && try_codec Uc_leader.codec
+      && try_codec D.codec)
+
+(* Mutation fuzz: flip one byte of a valid encoding; decode must yield
+   either an error or some well-formed value — never an exception escape. *)
+let prop_mutated_encoding_safe =
+  QCheck.Test.make ~name:"mutated encodings decode safely" ~count:1000
+    QCheck.(pair (QCheck.make gen_leader_msg) (pair small_nat (int_bound 255)))
+    (fun (m, (pos, byte)) ->
+      let encoded = Bytes.of_string (Codec.encode Uc_leader.codec m) in
+      if Bytes.length encoded = 0 then true
+      else begin
+        Bytes.set encoded (pos mod Bytes.length encoded) (Char.chr byte);
+        match Codec.decode Uc_leader.codec (Bytes.to_string encoded) with
+        | Ok _ | Error _ -> true
+      end)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_int_roundtrip;
+      prop_string_roundtrip;
+      prop_leader_roundtrip;
+      prop_decode_never_crashes;
+      prop_mutated_encoding_safe;
+    ]
+
+let () =
+  Alcotest.run "dex_codec"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+          Alcotest.test_case "int compactness" `Quick test_int_compact;
+          Alcotest.test_case "bool roundtrip" `Quick test_bool_roundtrip;
+          Alcotest.test_case "float roundtrip" `Quick test_float_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "option/list/pair" `Quick test_option_list_pair;
+          Alcotest.test_case "triple" `Quick test_triple;
+        ] );
+      ( "hostile-input",
+        [
+          Alcotest.test_case "truncated" `Quick test_truncated_rejected;
+          Alcotest.test_case "trailing" `Quick test_trailing_rejected;
+          Alcotest.test_case "bad bool" `Quick test_bad_bool_rejected;
+          Alcotest.test_case "bad option tag" `Quick test_bad_option_tag_rejected;
+          Alcotest.test_case "huge length" `Quick test_huge_length_rejected;
+          Alcotest.test_case "unknown variant tag" `Quick test_unknown_variant_tag_rejected;
+          Alcotest.test_case "empty input" `Quick test_empty_input_rejected;
+        ] );
+      ( "protocol-codecs",
+        [
+          Alcotest.test_case "idb" `Quick test_idb_codec;
+          Alcotest.test_case "bracha" `Quick test_bracha_codec;
+          Alcotest.test_case "mmr" `Quick test_mmr_codec;
+          Alcotest.test_case "uc-leader" `Quick test_uc_leader_codec;
+          Alcotest.test_case "dex(oracle)" `Quick test_dex_codec;
+          Alcotest.test_case "dex(multivalued)" `Quick test_dex_mv_codec;
+          Alcotest.test_case "bosco" `Quick test_bosco_codec;
+        ] );
+      ("frames", [ Alcotest.test_case "pipe roundtrip" `Quick test_frame_roundtrip_via_pipe ]);
+      ( "cluster",
+        [ Alcotest.test_case "DEX over codec TCP" `Quick test_dex_over_codec_tcp ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,269 @@
+(* Tests for dex_condition: conditions, sequences, pairs, and mechanical
+   verification of the paper's Theorems 1 and 2 (legality of P_freq and
+   P_prv) over small universes. *)
+
+open Dex_vector
+open Dex_condition
+
+let iv = Input_vector.of_list
+
+let test_freq_condition () =
+  let c = Condition.freq ~d:2 in
+  Alcotest.(check bool) "margin 3 > 2" true (Condition.mem (iv [ 1; 1; 1; 1; 2 ]) c);
+  Alcotest.(check bool) "margin 2 not > 2" false (Condition.mem (iv [ 1; 1; 1; 2 ]) c);
+  Alcotest.(check bool) "unanimous margin n" true (Condition.mem (iv [ 5; 5; 5 ]) c)
+
+let test_privileged_condition () =
+  let c = Condition.privileged ~m:7 ~d:2 in
+  Alcotest.(check bool) "three m's" true (Condition.mem (iv [ 7; 7; 7; 0 ]) c);
+  Alcotest.(check bool) "two m's" false (Condition.mem (iv [ 7; 7; 0; 0 ]) c);
+  Alcotest.(check bool) "m absent" false (Condition.mem (iv [ 1; 2; 3; 4 ]) c)
+
+let test_set_operations () =
+  let a = Condition.freq ~d:1 and b = Condition.privileged ~m:1 ~d:1 in
+  let i = iv [ 1; 1; 1; 2 ] in
+  Alcotest.(check bool) "inter" true (Condition.mem i (Condition.inter a b));
+  Alcotest.(check bool) "union" true (Condition.mem i (Condition.union a Condition.empty));
+  Alcotest.(check bool) "empty" false (Condition.mem i Condition.empty);
+  Alcotest.(check bool) "trivial" true (Condition.mem i Condition.trivial)
+
+let test_subset () =
+  let narrow = Condition.freq ~d:3 and wide = Condition.freq ~d:1 in
+  Alcotest.(check bool) "freq_3 ⊆ freq_1" true
+    (Condition.subset ~universe:[ 0; 1 ] ~n:5 narrow wide);
+  Alcotest.(check bool) "freq_1 ⊄ freq_3" false
+    (Condition.subset ~universe:[ 0; 1 ] ~n:5 wide narrow)
+
+let test_sequence_level () =
+  (* Frequency sequence with t = 2: C_k = C^freq_{2k} for this test. *)
+  let s = Sequence.make ~t:2 (fun k -> Condition.freq ~d:(2 * k)) in
+  Alcotest.(check int) "bound" 2 (Sequence.bound s);
+  (* margin 5 input: in C_0 (d=0), C_1 (d=2), C_2 (d=4). *)
+  Alcotest.(check (option int)) "level margin 5" (Some 2) (Sequence.level s (iv [ 1; 1; 1; 1; 1 ]));
+  (* margin 3: in C_0, C_1, not C_2. *)
+  Alcotest.(check (option int)) "level margin 3" (Some 1)
+    (Sequence.level s (iv [ 1; 1; 1; 1; 2 ]));
+  (* margin 1: in C_0 only. *)
+  Alcotest.(check (option int)) "level margin 1" (Some 0)
+    (Sequence.level s (iv [ 1; 1; 1; 2; 2 ]));
+  (* margin 0 (tie): not even in C_0. *)
+  Alcotest.(check (option int)) "tie not in C_0" None
+    (Sequence.level s (iv [ 1; 1; 2; 2 ]))
+
+let test_sequence_monotone () =
+  let s = Sequence.make ~t:2 (fun k -> Condition.freq ~d:(2 * k)) in
+  Alcotest.(check bool) "decreasing" true (Sequence.is_monotone ~universe:[ 0; 1 ] ~n:4 s)
+
+let test_sequence_invalid () =
+  Alcotest.check_raises "negative t" (Invalid_argument "Sequence.make: negative failure bound")
+    (fun () -> ignore (Sequence.make ~t:(-1) (fun _ -> Condition.trivial)))
+
+let test_freq_pair_construction () =
+  let pair = Pair.freq ~n:7 ~t:1 in
+  Alcotest.(check string) "name" "P_freq" pair.Pair.name;
+  Alcotest.(check int) "n" 7 pair.Pair.n;
+  Alcotest.(check int) "t" 1 pair.Pair.t
+
+let test_freq_pair_assumption () =
+  (* n > 6t required: n = 6, t = 1 must be rejected. *)
+  (match Pair.freq ~n:6 ~t:1 with
+  | exception Pair.Assumption_violated _ -> ()
+  | _ -> Alcotest.fail "expected Assumption_violated");
+  (* n = 7, t = 1 accepted. *)
+  ignore (Pair.freq ~n:7 ~t:1)
+
+let test_prv_pair_assumption () =
+  (match Pair.privileged ~n:5 ~t:1 ~m:1 with
+  | exception Pair.Assumption_violated _ -> ()
+  | _ -> Alcotest.fail "expected Assumption_violated");
+  ignore (Pair.privileged ~n:6 ~t:1 ~m:1)
+
+let test_freq_predicates () =
+  let pair = Pair.freq ~n:7 ~t:1 in
+  (* P1: margin > 4t = 4. Unanimous view of 7 entries: margin 7. *)
+  let unanimous = Input_vector.to_view (Input_vector.make 7 3) in
+  Alcotest.(check bool) "P1 unanimous" true (pair.Pair.p1 unanimous);
+  Alcotest.(check bool) "P2 unanimous" true (pair.Pair.p2 unanimous);
+  Alcotest.(check int) "F unanimous" 3 (pair.Pair.f unanimous);
+  (* margin 6-1 = 5 > 4 : P1 holds. *)
+  let j5 = Input_vector.to_view (iv [ 3; 3; 3; 3; 3; 3; 0 ]) in
+  Alcotest.(check bool) "P1 margin 5" true (pair.Pair.p1 j5);
+  (* margin 5-2 = 3: P1 fails, P2 (> 2) holds. *)
+  let j3 = Input_vector.to_view (iv [ 3; 3; 3; 3; 3; 0; 0 ]) in
+  Alcotest.(check bool) "P1 margin 3" false (pair.Pair.p1 j3);
+  Alcotest.(check bool) "P2 margin 3" true (pair.Pair.p2 j3);
+  (* margin 4-3 = 1: both fail. *)
+  let j1 = Input_vector.to_view (iv [ 3; 3; 3; 3; 0; 0; 0 ]) in
+  Alcotest.(check bool) "P1 margin 1" false (pair.Pair.p1 j1);
+  Alcotest.(check bool) "P2 margin 1" false (pair.Pair.p2 j1);
+  Alcotest.(check int) "F picks 1st" 3 (pair.Pair.f j1)
+
+let test_prv_predicates () =
+  let m = 9 in
+  let pair = Pair.privileged ~n:6 ~t:1 ~m in
+  (* P1: #m > 3t = 3. *)
+  let j4 = Input_vector.to_view (iv [ 9; 9; 9; 9; 0; 1 ]) in
+  Alcotest.(check bool) "P1 with 4 m's" true (pair.Pair.p1 j4);
+  let j3 = Input_vector.to_view (iv [ 9; 9; 9; 0; 0; 1 ]) in
+  Alcotest.(check bool) "P1 with 3 m's" false (pair.Pair.p1 j3);
+  Alcotest.(check bool) "P2 with 3 m's" true (pair.Pair.p2 j3);
+  (* F: m when #m > t, else most frequent. *)
+  Alcotest.(check int) "F = m with 3 m's" m (pair.Pair.f j3);
+  let j_no_m = Input_vector.to_view (iv [ 0; 0; 0; 1; 1; 2 ]) in
+  Alcotest.(check int) "F falls back to 1st" 0 (pair.Pair.f j_no_m);
+  (* #m = 1 = t: not privileged enough, fall back. *)
+  let j1m = Input_vector.to_view (iv [ 9; 0; 0; 0; 1; 1 ]) in
+  Alcotest.(check int) "F ignores weak m" 0 (pair.Pair.f j1m)
+
+let test_one_step_level_freq () =
+  let pair = Pair.freq ~n:7 ~t:1 in
+  (* C¹_k = C^freq_{4+2k}: unanimous (margin 7) is in C¹_1 (d=6) and C¹_0. *)
+  Alcotest.(check (option int)) "unanimous level 1" (Some 1)
+    (Pair.one_step_level pair (Input_vector.make 7 1));
+  (* margin 5 input (6 vs 1): in C¹_0 (d=4) but not C¹_1 (d=6). *)
+  Alcotest.(check (option int)) "margin 5 level 0" (Some 0)
+    (Pair.one_step_level pair (iv [ 1; 1; 1; 1; 1; 1; 0 ]));
+  (* margin 3: not in C¹_0. *)
+  Alcotest.(check (option int)) "margin 3 none" None
+    (Pair.one_step_level pair (iv [ 1; 1; 1; 1; 1; 0; 0 ]));
+  (* ... but margin 3 is in C²_0 (d=2). *)
+  Alcotest.(check (option int)) "margin 3 two-step level 0" (Some 0)
+    (Pair.two_step_level pair (iv [ 1; 1; 1; 1; 1; 0; 0 ]))
+
+let test_views_enumeration () =
+  (* V^3_1 over {0,1}: views with <= 1 bottom. 2^3 + 3·2^2 = 20. *)
+  let vs = Legality.views ~universe:[ 0; 1 ] ~n:3 ~max_bottoms:1 in
+  Alcotest.(check int) "count" 20 (List.length vs);
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "≤1 bottom" true (View.dim j - View.filled j <= 1))
+    vs
+
+(* d-legality of the building-block conditions ("[C^freq_d / C^prv_d]
+   belongs to d-legal conditions [10]"). *)
+
+let test_freq_is_d_legal () =
+  List.iter
+    (fun (n, d) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "C^freq_%d d-legal at n=%d" d n)
+        true
+        (D_legal.is_d_legal ~universe:[ 0; 1 ] ~n ~d (Condition.freq ~d)))
+    [ (4, 1); (5, 1); (5, 2); (6, 2) ]
+
+let test_prv_is_d_legal () =
+  List.iter
+    (fun (n, d) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "C^prv_%d d-legal at n=%d" d n)
+        true
+        (D_legal.is_d_legal ~universe:[ 0; 1 ] ~n ~d (Condition.privileged ~m:1 ~d)))
+    [ (4, 1); (5, 1); (5, 2); (6, 2) ]
+
+let test_trivial_not_d_legal () =
+  (* The full space is famously not 1-legal: ⟨0,0,1⟩ and ⟨0,1,1⟩ are at
+     distance 1 but share no value occurring twice in both... they do share
+     0 and 1 patterns; the checker works out the whole component. *)
+  let verdict = D_legal.check ~universe:[ 0; 1 ] ~n:3 ~d:1 Condition.trivial in
+  Alcotest.(check int) "one component" 1 verdict.D_legal.components;
+  Alcotest.(check bool) "not 1-legal" false verdict.D_legal.legal
+
+let test_d0_always_legal () =
+  Alcotest.(check bool) "0-legal" true
+    (D_legal.is_d_legal ~universe:[ 0; 1 ] ~n:3 ~d:0 Condition.trivial)
+
+let test_empty_condition_vacuously_legal () =
+  Alcotest.(check bool) "empty legal" true
+    (D_legal.is_d_legal ~universe:[ 0; 1 ] ~n:3 ~d:1 Condition.empty)
+
+let test_witness_values_acceptable () =
+  let verdict = D_legal.check ~universe:[ 0; 1 ] ~n:5 ~d:1 (Condition.freq ~d:1) in
+  Alcotest.(check bool) "legal" true verdict.D_legal.legal;
+  List.iter
+    (fun (input, v) ->
+      Alcotest.(check bool) "witness occurs > d times" true
+        (Input_vector.occurrences input v > 1))
+    verdict.D_legal.witness
+
+(* The centerpiece: mechanical verification of Theorems 1 and 2. *)
+
+let test_theorem1_freq_legal () =
+  let pair = Pair.freq ~n:7 ~t:1 in
+  let violations = Legality.check ~universe:[ 0; 1 ] pair in
+  List.iter (fun v -> Format.printf "%a@." Legality.pp_violation v) violations;
+  Alcotest.(check int) "P_freq legal over {0,1}^7, t=1" 0 (List.length violations)
+
+let test_theorem2_prv_legal () =
+  let pair = Pair.privileged ~n:6 ~t:1 ~m:1 in
+  let violations = Legality.check ~universe:[ 0; 1 ] pair in
+  List.iter (fun v -> Format.printf "%a@." Legality.pp_violation v) violations;
+  Alcotest.(check int) "P_prv legal over {0,1}^6, t=1" 0 (List.length violations)
+
+let test_theorem2_prv_legal_three_values () =
+  let pair = Pair.privileged ~n:6 ~t:1 ~m:2 in
+  Alcotest.(check bool) "P_prv legal over {0,1,2}^6, t=1" true
+    (Legality.is_legal ~universe:[ 0; 1; 2 ] pair)
+
+let test_illegal_pair_detected () =
+  (* Sabotage P_freq by weakening P1 to the P2 threshold: LA3 must break
+     because two one-step deciders can now disagree. *)
+  let good = Pair.freq ~n:7 ~t:1 in
+  let bad = { good with Pair.p1 = good.Pair.p2; name = "P_freq_broken" } in
+  let violations = Legality.check ~max_violations:5 ~universe:[ 0; 1 ] bad in
+  Alcotest.(check bool) "violations found" true (violations <> []);
+  Alcotest.(check bool) "an LA3 violation is reported" true
+    (List.exists (function Legality.La3 _ -> true | _ -> false) violations)
+
+let test_illegal_f_detected () =
+  (* An F that ignores the view breaks LU5. *)
+  let good = Pair.privileged ~n:6 ~t:1 ~m:1 in
+  let bad = { good with Pair.f = (fun _ -> 1); name = "P_prv_constF" } in
+  let violations = Legality.check ~max_violations:5 ~universe:[ 0; 1 ] bad in
+  Alcotest.(check bool) "LU5 violation reported" true
+    (List.exists (function Legality.Lu5 _ -> true | _ -> false) violations)
+
+let () =
+  Alcotest.run "dex_condition"
+    [
+      ( "condition",
+        [
+          Alcotest.test_case "frequency-based" `Quick test_freq_condition;
+          Alcotest.test_case "privileged-value" `Quick test_privileged_condition;
+          Alcotest.test_case "set operations" `Quick test_set_operations;
+          Alcotest.test_case "subset" `Quick test_subset;
+        ] );
+      ( "sequence",
+        [
+          Alcotest.test_case "level lookup" `Quick test_sequence_level;
+          Alcotest.test_case "monotone" `Quick test_sequence_monotone;
+          Alcotest.test_case "invalid bound" `Quick test_sequence_invalid;
+        ] );
+      ( "pair",
+        [
+          Alcotest.test_case "freq construction" `Quick test_freq_pair_construction;
+          Alcotest.test_case "freq assumption n>6t" `Quick test_freq_pair_assumption;
+          Alcotest.test_case "prv assumption n>5t" `Quick test_prv_pair_assumption;
+          Alcotest.test_case "freq predicates" `Quick test_freq_predicates;
+          Alcotest.test_case "prv predicates" `Quick test_prv_predicates;
+          Alcotest.test_case "adaptive levels" `Quick test_one_step_level_freq;
+        ] );
+      ( "d-legal",
+        [
+          Alcotest.test_case "C^freq_d is d-legal" `Quick test_freq_is_d_legal;
+          Alcotest.test_case "C^prv_d is d-legal" `Quick test_prv_is_d_legal;
+          Alcotest.test_case "trivial not 1-legal" `Quick test_trivial_not_d_legal;
+          Alcotest.test_case "d=0 always legal" `Quick test_d0_always_legal;
+          Alcotest.test_case "empty vacuously legal" `Quick test_empty_condition_vacuously_legal;
+          Alcotest.test_case "witness acceptability" `Quick test_witness_values_acceptable;
+        ] );
+      ( "legality",
+        [
+          Alcotest.test_case "view enumeration" `Quick test_views_enumeration;
+          Alcotest.test_case "Theorem 1: P_freq legal" `Slow test_theorem1_freq_legal;
+          Alcotest.test_case "Theorem 2: P_prv legal" `Slow test_theorem2_prv_legal;
+          Alcotest.test_case "Theorem 2: P_prv legal, 3 values" `Slow
+            test_theorem2_prv_legal_three_values;
+          Alcotest.test_case "broken P1 detected" `Slow test_illegal_pair_detected;
+          Alcotest.test_case "broken F detected" `Slow test_illegal_f_detected;
+        ] );
+    ]

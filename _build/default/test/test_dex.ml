@@ -1,0 +1,722 @@
+(* End-to-end tests for algorithm DEX (Figure 1).
+
+   Validates the paper's lemmas empirically:
+   - Lemma 1 (Termination), Lemma 2 (Agreement), Lemma 3 (Unanimity) across
+     schedules and Byzantine behaviours;
+   - Lemma 4 (one-step decision for I ∈ C¹_k with ≤ k failures) and
+     Lemma 5 (two-step decision for I ∈ C²_k) including the exact causal
+     step counts: 1 for one-step, 2 for two-step, 4 for the underlying
+     fallback with the two-step oracle. *)
+
+open Dex_vector
+open Dex_condition
+open Dex_net
+open Dex_underlying
+
+module D = Dex_core.Dex.Make (Uc_oracle)
+module Dmv = Dex_core.Dex.Make (Multivalued)
+
+type fault =
+  | Correct
+  | Silent
+  | Equivocate of (Pid.t -> Value.t)
+  | Noisy
+
+let run_dex ?(discipline = Discipline.lockstep) ?(seed = 1) ~pair ~proposals ~faults () =
+  let cfg = D.config ~seed ~pair () in
+  let n = cfg.D.n in
+  let rng = Dex_stdext.Prng.create ~seed:(seed + 7919) in
+  let make p =
+    match faults p with
+    | Correct -> D.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)
+    | Silent -> Adversary.silent ()
+    | Equivocate split -> D.equivocator cfg ~me:p ~split
+    | Noisy -> D.noisy cfg ~me:p ~rng ~values:[ 0; 1; 2 ]
+  in
+  Runner.run
+    (Runner.config ~discipline ~seed ~extra:(D.extra cfg) ~classify:D.classify ~n make)
+
+let no_faults _ = Correct
+
+let correct_pids ~n faults = List.filter (fun p -> faults p = Correct) (Pid.all ~n)
+
+let check_correct_consensus ~pair ~faults r =
+  let n = pair.Pair.n in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%d decided" p)
+        true
+        (r.Runner.decisions.(p) <> None))
+    (correct_pids ~n faults);
+  Alcotest.(check bool) "agreement among correct" true
+    (Runner.agreement ~among:(correct_pids ~n faults) r);
+  Alcotest.(check (list (pair int (pair int string)))) "no conflicting late decides" []
+    (List.filter_map
+       (fun (p, (d : Runner.decision)) ->
+         match r.Runner.decisions.(p) with
+         | Some first when first.Runner.value <> d.Runner.value ->
+           Some (p, (d.Runner.value, d.Runner.tag))
+         | _ -> None)
+       r.Runner.late_decides)
+
+let decision_exn r p =
+  match r.Runner.decisions.(p) with Some d -> d | None -> Alcotest.failf "p%d undecided" p
+
+let freq7 = Pair.freq ~n:7 ~t:1
+
+(* --------------------- step-count reproduction --------------------- *)
+
+let test_one_step_unanimous () =
+  let r = run_dex ~pair:freq7 ~proposals:(Input_vector.make 7 5) ~faults:no_faults () in
+  check_correct_consensus ~pair:freq7 ~faults:no_faults r;
+  for p = 0 to 6 do
+    let d = decision_exn r p in
+    Alcotest.(check int) "value" 5 d.Runner.value;
+    Alcotest.(check string) "tag" "one-step" d.Runner.tag;
+    Alcotest.(check int) "one step" 1 d.Runner.depth
+  done
+
+let test_one_step_margin_above_4t () =
+  (* margin 5 (6 vs 1) > 4t = 4: in C¹_0; f = 0 ⇒ one-step (Lemma 4, k=0). *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 5; 1 ] in
+  Alcotest.(check (option int)) "level" (Some 0) (Pair.one_step_level freq7 proposals);
+  let r = run_dex ~pair:freq7 ~proposals ~faults:no_faults () in
+  check_correct_consensus ~pair:freq7 ~faults:no_faults r;
+  for p = 0 to 6 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "tag" "one-step" d.Runner.tag;
+    Alcotest.(check int) "value" 5 d.Runner.value
+  done
+
+let test_two_step_margin_3 () =
+  (* margin 3 (5 vs 2): not in C¹_0 (needs > 4) but in C²_0 (needs > 2).
+     f = 0 ⇒ two-step decision at causal depth 2 (Lemma 5). *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 1; 1 ] in
+  Alcotest.(check (option int)) "not one-step" None (Pair.one_step_level freq7 proposals);
+  Alcotest.(check (option int)) "two-step level" (Some 0) (Pair.two_step_level freq7 proposals);
+  let r = run_dex ~pair:freq7 ~proposals ~faults:no_faults () in
+  check_correct_consensus ~pair:freq7 ~faults:no_faults r;
+  for p = 0 to 6 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "tag" "two-step" d.Runner.tag;
+    Alcotest.(check int) "two steps" 2 d.Runner.depth;
+    Alcotest.(check int) "value" 5 d.Runner.value
+  done
+
+let test_fallback_four_steps () =
+  (* margin 1 (4 vs 3): outside both condition sequences ⇒ every process
+     falls through to the underlying consensus: 2 (IDB) + 2 (oracle) = 4
+     causal steps — the paper's worst case in well-behaved runs. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 1; 1; 1 ] in
+  Alcotest.(check (option int)) "outside S2" None (Pair.two_step_level freq7 proposals);
+  let r = run_dex ~pair:freq7 ~proposals ~faults:no_faults () in
+  check_correct_consensus ~pair:freq7 ~faults:no_faults r;
+  for p = 0 to 6 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "tag" "underlying" d.Runner.tag;
+    Alcotest.(check int) "four steps" 4 d.Runner.depth
+  done
+
+(* --------------------- adaptiveness (Lemma 4/5) --------------------- *)
+
+let test_adaptive_one_step_with_failures () =
+  (* n = 13, t = 2 (n > 6t). Unanimous input has margin 13 > 4t + 2k for
+     k = 2, i.e. it sits in C¹_2: one-step decision must survive f = 2
+     silent failures. *)
+  let pair = Pair.freq ~n:13 ~t:2 in
+  let proposals = Input_vector.make 13 9 in
+  Alcotest.(check (option int)) "level 2" (Some 2) (Pair.one_step_level pair proposals);
+  let faults p = if p = 11 || p = 12 then Silent else Correct in
+  let r = run_dex ~pair ~proposals ~faults () in
+  check_correct_consensus ~pair ~faults r;
+  List.iter
+    (fun p ->
+      let d = decision_exn r p in
+      Alcotest.(check string) "tag" "one-step" d.Runner.tag;
+      Alcotest.(check int) "one step" 1 d.Runner.depth)
+    (correct_pids ~n:13 faults)
+
+let test_adaptive_boundary () =
+  (* Input at one-step level exactly k = 1 (margin 11 on n = 13, t = 2:
+     11 > 8 + 2·1 = 10 but not > 12). With f = 1 the one-step guarantee
+     holds; with f = 2 only the two-step one does (margin 11 > 4 + 2·2 = 8,
+     level-2 of S²). *)
+  let pair = Pair.freq ~n:13 ~t:2 in
+  let proposals = Input_vector.of_list [ 9; 9; 9; 9; 9; 9; 9; 9; 9; 9; 9; 9; 1 ] in
+  Alcotest.(check (option int)) "S1 level 1" (Some 1) (Pair.one_step_level pair proposals);
+  Alcotest.(check (option int)) "S2 level 2" (Some 2) (Pair.two_step_level pair proposals);
+  (* f = 1: all correct decide in one step. *)
+  let faults1 p = if p = 5 then Silent else Correct in
+  let r1 = run_dex ~pair ~proposals ~faults:faults1 () in
+  check_correct_consensus ~pair ~faults:faults1 r1;
+  List.iter
+    (fun p -> Alcotest.(check string) "f=1 one-step" "one-step" (decision_exn r1 p).Runner.tag)
+    (correct_pids ~n:13 faults1);
+  (* f = 2: the guarantee degrades to two-step — and must not be worse. *)
+  let faults2 p = if p = 5 || p = 6 then Silent else Correct in
+  let r2 = run_dex ~pair ~proposals ~faults:faults2 () in
+  check_correct_consensus ~pair ~faults:faults2 r2;
+  List.iter
+    (fun p ->
+      let d = decision_exn r2 p in
+      Alcotest.(check bool) "f=2 fast decision" true
+        (d.Runner.tag = "one-step" || d.Runner.tag = "two-step");
+      Alcotest.(check bool) "within two steps" true (d.Runner.depth <= 2))
+    (correct_pids ~n:13 faults2)
+
+(* --------------------- privileged-value pair --------------------- *)
+
+let prv6 m = Pair.privileged ~n:6 ~t:1 ~m
+
+let test_prv_one_step () =
+  (* #m = 5 > 3t + k for k = 1: one-step survives one failure. *)
+  let m = 7 in
+  let pair = prv6 m in
+  let proposals = Input_vector.of_list [ 7; 7; 7; 7; 7; 0 ] in
+  Alcotest.(check (option int)) "level" (Some 1) (Pair.one_step_level pair proposals);
+  let faults p = if p = 5 then Silent else Correct in
+  let r = run_dex ~pair ~proposals ~faults () in
+  check_correct_consensus ~pair ~faults r;
+  List.iter
+    (fun p ->
+      let d = decision_exn r p in
+      Alcotest.(check int) "privileged value" m d.Runner.value;
+      Alcotest.(check string) "tag" "one-step" d.Runner.tag)
+    (correct_pids ~n:6 faults)
+
+let test_prv_two_step () =
+  (* #m = 3 > 2t = 2 but not > 3t = 3: two-step decision. *)
+  let m = 7 in
+  let pair = prv6 m in
+  let proposals = Input_vector.of_list [ 7; 7; 7; 1; 2; 3 ] in
+  Alcotest.(check (option int)) "no one-step" None (Pair.one_step_level pair proposals);
+  Alcotest.(check (option int)) "two-step level 0" (Some 0) (Pair.two_step_level pair proposals);
+  let r = run_dex ~pair ~proposals ~faults:no_faults () in
+  check_correct_consensus ~pair ~faults:no_faults r;
+  for p = 0 to 5 do
+    let d = decision_exn r p in
+    Alcotest.(check int) "decides m" m d.Runner.value;
+    Alcotest.(check string) "tag" "two-step" d.Runner.tag
+  done
+
+let test_prv_fallback_without_m () =
+  (* The privileged value is scarce: fall back to the underlying consensus.
+     Termination and agreement must still hold. *)
+  let pair = prv6 7 in
+  let proposals = Input_vector.of_list [ 1; 1; 2; 2; 3; 3 ] in
+  let r = run_dex ~pair ~proposals ~faults:no_faults () in
+  check_correct_consensus ~pair ~faults:no_faults r;
+  for p = 0 to 5 do
+    Alcotest.(check string) "tag" "underlying" (decision_exn r p).Runner.tag
+  done
+
+(* --------------------- safety under Byzantine faults --------------------- *)
+
+let test_unanimity_with_equivocator () =
+  (* Lemma 3: all correct propose 5; the Byzantine p6 equivocates wildly.
+     No correct process may decide anything but 5. Exercised across 30
+     random schedules. *)
+  let proposals = Input_vector.make 7 5 in
+  let faults p = if p = 6 then Equivocate (fun dst -> if dst mod 2 = 0 then 1 else 2) else Correct in
+  for seed = 1 to 30 do
+    let r = run_dex ~discipline:Discipline.asynchronous ~seed ~pair:freq7 ~proposals ~faults () in
+    check_correct_consensus ~pair:freq7 ~faults r;
+    List.iter
+      (fun p -> Alcotest.(check int) "unanimity" 5 (decision_exn r p).Runner.value)
+      (correct_pids ~n:7 faults)
+  done
+
+let test_agreement_mixed_input_equivocator () =
+  (* Hard case: input straddles the one-step threshold and the Byzantine
+     process pushes each side differently. Agreement must hold on every
+     schedule. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 1; 0 (* p6 byz *) ] in
+  let faults p = if p = 6 then Equivocate (fun dst -> if dst < 3 then 5 else 1) else Correct in
+  for seed = 1 to 50 do
+    let r = run_dex ~discipline:Discipline.asynchronous ~seed ~pair:freq7 ~proposals ~faults () in
+    check_correct_consensus ~pair:freq7 ~faults r
+  done
+
+let test_agreement_noisy_byzantine () =
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 1; 1; 0 ] in
+  let faults p = if p = 6 then Noisy else Correct in
+  for seed = 1 to 30 do
+    let r = run_dex ~discipline:Discipline.asynchronous ~seed ~pair:freq7 ~proposals ~faults () in
+    check_correct_consensus ~pair:freq7 ~faults r
+  done
+
+let test_agreement_silent_plus_skewed_network () =
+  (* One crash plus a network that starves two processes: late processes
+     must still decide (via whatever path) and agree. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 1; 0 ] in
+  let faults p = if p = 6 then Silent else Correct in
+  let discipline =
+    Discipline.delay_into ~dst:[ 0; 1 ] ~extra:50.0 Discipline.asynchronous
+  in
+  for seed = 1 to 20 do
+    let r = run_dex ~discipline ~seed ~pair:freq7 ~proposals ~faults () in
+    check_correct_consensus ~pair:freq7 ~faults r
+  done
+
+let test_one_step_and_two_step_coexist () =
+  (* Equivocator sends 5 to some processes: those can reach P1 while others
+     decide via P2 or UC; Case 2/4 of Lemma 2's proof. Decisions agree. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 5; 0 ] in
+  let faults p = if p = 6 then Equivocate (fun dst -> if dst <= 2 then 5 else 1) else Correct in
+  for seed = 1 to 50 do
+    let r = run_dex ~discipline:Discipline.asynchronous ~seed ~pair:freq7 ~proposals ~faults () in
+    check_correct_consensus ~pair:freq7 ~faults r;
+    List.iter
+      (fun p -> Alcotest.(check int) "value 5" 5 (decision_exn r p).Runner.value)
+      (correct_pids ~n:7 faults)
+  done
+
+(* --------------------- full stack without the oracle --------------------- *)
+
+let run_dex_mv ?(discipline = Discipline.asynchronous) ?(seed = 1) ~pair ~proposals ~faults () =
+  let cfg = Dmv.config ~seed ~pair () in
+  let make p =
+    match faults p with
+    | Correct -> Dmv.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)
+    | Silent -> Adversary.silent ()
+    | Equivocate split -> Dmv.equivocator cfg ~me:p ~split
+    | Noisy -> Adversary.silent ()
+  in
+  Runner.run (Runner.config ~discipline ~seed ~extra:(Dmv.extra cfg) ~n:cfg.Dmv.n make)
+
+let test_mv_stack_fast_path () =
+  let proposals = Input_vector.make 7 5 in
+  let r = run_dex_mv ~discipline:Discipline.lockstep ~pair:freq7 ~proposals ~faults:no_faults () in
+  check_correct_consensus ~pair:freq7 ~faults:no_faults r;
+  for p = 0 to 6 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "tag" "one-step" d.Runner.tag;
+    Alcotest.(check int) "depth 1" 1 d.Runner.depth
+  done
+
+let test_mv_stack_pessimistic () =
+  (* Pessimistic input, real UC stack (Bracha + MMR): termination and
+     agreement with zero oracles in the system. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 1; 1; 1 ] in
+  for seed = 1 to 15 do
+    let r = run_dex_mv ~seed ~pair:freq7 ~proposals ~faults:no_faults () in
+    check_correct_consensus ~pair:freq7 ~faults:no_faults r
+  done
+
+let test_mv_stack_with_silent_fault () =
+  let proposals = Input_vector.of_list [ 5; 5; 5; 1; 1; 2; 0 ] in
+  let faults p = if p = 6 then Silent else Correct in
+  for seed = 1 to 15 do
+    let r = run_dex_mv ~seed ~pair:freq7 ~proposals ~faults () in
+    check_correct_consensus ~pair:freq7 ~faults r
+  done
+
+(* --------------------- DEX over the leader-based UC --------------------- *)
+
+let test_leader_stack_fast_path () =
+  (* With the eventually-synchronous UC underneath, the fast paths are
+     untouched: a unanimous input still one-steps before any timer fires. *)
+  let proposals = Input_vector.make 7 5 in
+  let out =
+    Dex_workload.Scenario.run
+      (Dex_workload.Scenario.spec ~uc:Dex_workload.Scenario.Leader
+         ~algo:Dex_workload.Scenario.Dex_freq ~n:7 ~t:1 ~proposals ())
+  in
+  Alcotest.(check bool) "all decided" true out.Dex_workload.Scenario.all_decided;
+  Alcotest.(check (list (pair string int))) "one-step everywhere" [ ("one-step", 7) ]
+    out.Dex_workload.Scenario.tags
+
+let test_leader_stack_pessimistic () =
+  (* Pessimistic input: the decision comes out of the leader rounds. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 1; 1; 1 ] in
+  for seed = 1 to 10 do
+    let out =
+      Dex_workload.Scenario.run
+        (Dex_workload.Scenario.spec ~seed ~discipline:Discipline.asynchronous
+           ~uc:Dex_workload.Scenario.Leader ~algo:Dex_workload.Scenario.Dex_freq ~n:7 ~t:1
+           ~proposals ())
+    in
+    Alcotest.(check bool) "all decided" true out.Dex_workload.Scenario.all_decided;
+    Alcotest.(check bool) "agreement" true out.Dex_workload.Scenario.agreement
+  done
+
+let test_leader_stack_with_fault () =
+  let proposals = Input_vector.of_list [ 5; 5; 5; 1; 1; 2; 0 ] in
+  for seed = 1 to 10 do
+    let out =
+      Dex_workload.Scenario.run
+        (Dex_workload.Scenario.spec ~seed ~discipline:Discipline.asynchronous
+           ~uc:Dex_workload.Scenario.Leader ~algo:Dex_workload.Scenario.Dex_freq ~n:7 ~t:1
+           ~proposals
+           ~faults:(Dex_workload.Fault_spec.silent_set [ 6 ])
+           ())
+    in
+    Alcotest.(check bool) "all decided" true out.Dex_workload.Scenario.all_decided;
+    Alcotest.(check bool) "agreement" true out.Dex_workload.Scenario.agreement
+  done
+
+(* --------------------- snapshot-mode ablation --------------------- *)
+
+let run_dex_mode ~mode ?(discipline = Discipline.lockstep) ?(seed = 1) ~pair ~proposals ()
+    =
+  let cfg = D.config ~seed ~pair () in
+  let make p = D.instance ~mode cfg ~me:p ~proposal:(Input_vector.get proposals p) in
+  Runner.run (Runner.config ~discipline ~seed ~extra:(D.extra cfg) ~n:cfg.D.n make)
+
+let test_snapshot_same_on_unanimous () =
+  let proposals = Input_vector.make 7 5 in
+  let r = run_dex_mode ~mode:`Snapshot ~pair:freq7 ~proposals () in
+  for p = 0 to 6 do
+    let d = decision_exn r p in
+    Alcotest.(check string) "still one-step" "one-step" d.Runner.tag;
+    Alcotest.(check int) "value" 5 d.Runner.value
+  done
+
+let test_snapshot_safe_and_agreeing () =
+  (* The ablation changes coverage, never safety. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 1; 1 ] in
+  for seed = 1 to 30 do
+    let r =
+      run_dex_mode ~mode:`Snapshot ~discipline:Discipline.asynchronous ~seed ~pair:freq7
+        ~proposals ()
+    in
+    Alcotest.(check bool) "all decided" true (Runner.all_decided r);
+    Alcotest.(check bool) "agreement" true (Runner.agreement r)
+  done
+
+let test_snapshot_weaker_than_reevaluate () =
+  (* margin-5 input: re-evaluation always one-steps; the snapshot variant
+     must miss it on at least some schedules. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 5; 1 ] in
+  let count_one_steps mode =
+    List.length
+      (List.concat_map
+         (fun seed ->
+           let r =
+             run_dex_mode ~mode ~discipline:Discipline.asynchronous ~seed ~pair:freq7
+               ~proposals ()
+           in
+           List.filter
+             (fun d -> match d with Some d -> d.Runner.tag = "one-step" | None -> false)
+             (Array.to_list r.Runner.decisions))
+         (List.init 20 (fun i -> i + 1)))
+  in
+  let full = count_one_steps `Reevaluate in
+  let snap = count_one_steps `Snapshot in
+  Alcotest.(check int) "re-evaluation always one-steps" (20 * 7) full;
+  Alcotest.(check bool)
+    (Printf.sprintf "snapshot strictly weaker (%d < %d)" snap full)
+    true (snap < full)
+
+(* --------------------- edge cases --------------------- *)
+
+let test_t_zero () =
+  (* t = 0: no fault tolerance needed; P1 margin > 0 fires as soon as all
+     three proposals (n - t = n) are in and agree. *)
+  let pair = Pair.freq ~n:3 ~t:0 in
+  let r = run_dex ~pair ~proposals:(Input_vector.make 3 8) ~faults:no_faults () in
+  check_correct_consensus ~pair ~faults:no_faults r;
+  for p = 0 to 2 do
+    Alcotest.(check string) "one-step" "one-step" (decision_exn r p).Runner.tag
+  done
+
+let test_t_zero_contended () =
+  (* Margin 1 (2 vs 1) > 4t = 0: still a one-step input at t = 0. *)
+  let pair = Pair.freq ~n:3 ~t:0 in
+  let r = run_dex ~pair ~proposals:(Input_vector.of_list [ 8; 8; 1 ]) ~faults:no_faults () in
+  check_correct_consensus ~pair ~faults:no_faults r;
+  Alcotest.(check (list int)) "majority" [ 8 ] (Runner.decided_values r)
+
+let test_crash_mid_broadcast () =
+  (* A process crashing halfway through its first broadcast: some peers see
+     its proposal, some do not. Safety and termination must hold. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 1; 1 ] in
+  for seed = 1 to 20 do
+    let cfg = D.config ~seed ~pair:freq7 () in
+    let make p =
+      if p = 6 then
+        Adversary.crash_after_actions 3 (D.instance cfg ~me:6 ~proposal:1)
+      else D.instance cfg ~me:p ~proposal:(Input_vector.get proposals p)
+    in
+    let r =
+      Runner.run
+        (Runner.config ~discipline:Discipline.asynchronous ~seed ~extra:(D.extra cfg) ~n:7
+           make)
+    in
+    let correct = [ 0; 1; 2; 3; 4; 5 ] in
+    List.iter
+      (fun p -> Alcotest.(check bool) "decided" true (r.Runner.decisions.(p) <> None))
+      correct;
+    Alcotest.(check bool) "agreement" true (Runner.agreement ~among:correct r)
+  done
+
+let test_large_scale_two_byzantine () =
+  (* n = 13, t = 2: one equivocator plus one noisy process, margin input.
+     30 async schedules. *)
+  let pair = Pair.freq ~n:13 ~t:2 in
+  let proposals = Input_vector.init 13 (fun i -> if i < 10 then 5 else 1) in
+  let faults p =
+    if p = 11 then Equivocate (fun dst -> dst mod 3)
+    else if p = 12 then Noisy
+    else Correct
+  in
+  for seed = 1 to 15 do
+    let r = run_dex ~discipline:Discipline.asynchronous ~seed ~pair ~proposals ~faults () in
+    check_correct_consensus ~pair ~faults r
+  done
+
+let test_very_large_instance () =
+  (* n = 31, t = 5 (n > 6t): sanity at a size an order beyond the paper's
+     running examples. Unanimous input, one-step everywhere. *)
+  let pair = Pair.freq ~n:31 ~t:5 in
+  let r = run_dex ~pair ~proposals:(Input_vector.make 31 4) ~faults:no_faults () in
+  check_correct_consensus ~pair ~faults:no_faults r;
+  for p = 0 to 30 do
+    Alcotest.(check string) "one-step" "one-step" (decision_exn r p).Runner.tag
+  done
+
+(* --------------------- privileged pair, larger scale --------------------- *)
+
+let test_prv_large_with_equivocator () =
+  (* n = 11, t = 2 privileged pair: 9 correct propose m, one silent, one
+     equivocating. #m among correct = 9 > 3t + k for k = 2: the one-step
+     guarantee survives both faults. *)
+  let m = 4 in
+  let pair = Pair.privileged ~n:11 ~t:2 ~m in
+  let proposals = Input_vector.init 11 (fun _ -> m) in
+  let faults p =
+    if p = 9 then Silent
+    else if p = 10 then Equivocate (fun dst -> if dst mod 2 = 0 then 0 else 1)
+    else Correct
+  in
+  for seed = 1 to 15 do
+    let r = run_dex ~discipline:Discipline.asynchronous ~seed ~pair ~proposals ~faults () in
+    check_correct_consensus ~pair ~faults r;
+    List.iter
+      (fun p ->
+        let d = decision_exn r p in
+        Alcotest.(check int) "privileged value" m d.Runner.value;
+        Alcotest.(check string) "one-step" "one-step" d.Runner.tag)
+      (correct_pids ~n:11 faults)
+  done
+
+let test_prv_equivocator_pushes_m () =
+  (* Adversary pushes the privileged value to half the processes while the
+     correct are split — m's privilege must not let the Byzantine process
+     fabricate a fast m decision that conflicts with the UC outcome. *)
+  let m = 4 in
+  let pair = Pair.privileged ~n:6 ~t:1 ~m in
+  let proposals = Input_vector.of_list [ 4; 4; 1; 1; 2; 0 ] in
+  let faults p = if p = 5 then Equivocate (fun dst -> if dst < 3 then m else 1) else Correct in
+  for seed = 1 to 40 do
+    let r = run_dex ~discipline:Discipline.asynchronous ~seed ~pair ~proposals ~faults () in
+    check_correct_consensus ~pair ~faults r
+  done
+
+(* --------------------- timer depth semantics --------------------- *)
+
+type timer_msg = Kick | Note of int
+
+let test_timer_preserves_depth () =
+  (* A protocol that forwards a message through a timer: the post-timer
+     send must carry the same causal depth as an immediate send would. *)
+  let make p =
+    if p = 0 then
+      {
+        Protocol.start = (fun () -> [ Protocol.send 1 (Note 1) ]);
+        on_message = (fun ~now:_ ~from:_ _ -> []);
+      }
+    else if p = 1 then
+      {
+        Protocol.start = (fun () -> []);
+        on_message =
+          (fun ~now:_ ~from:_ msg ->
+            match msg with
+            | Note _ -> [ Protocol.Set_timer { delay = 3.0; msg = Kick } ]
+            | Kick -> [ Protocol.send 2 (Note 2) ]);
+      }
+    else
+      {
+        Protocol.start = (fun () -> []);
+        on_message =
+          (fun ~now:_ ~from:_ msg ->
+            match msg with
+            | Note d -> [ Protocol.decide ~tag:"depth-probe" d ]
+            | Kick -> []);
+      }
+  in
+  let r = Runner.run (Runner.config ~discipline:Discipline.lockstep ~n:3 make) in
+  match r.Runner.decisions.(2) with
+  | Some d ->
+    (* p0 -> p1 is depth 1; the timer pause adds no depth; p1 -> p2 is
+       depth 2; decision consumes depth 2. Time shows the 3-unit pause. *)
+    Alcotest.(check int) "depth 2" 2 d.Runner.depth;
+    Alcotest.(check bool) "time includes pause" true (d.Runner.time >= 4.0)
+  | None -> Alcotest.fail "undecided"
+
+(* --------------------- replay determinism --------------------- *)
+
+let test_replay_identical_trace () =
+  (* The reproducibility contract: the same seed yields a byte-identical
+     event trace, decisions included — what makes every experiment in
+     EXPERIMENTS.md replayable. *)
+  let run () =
+    let cfg = D.config ~seed:17 ~pair:freq7 () in
+    Runner.run
+      (Runner.config ~discipline:Discipline.asynchronous ~seed:17 ~extra:(D.extra cfg)
+         ~trace:true ~pp_msg:D.pp_msg ~n:7 (fun p ->
+           D.instance cfg ~me:p ~proposal:(p mod 2)))
+  in
+  let r1 = run () and r2 = run () in
+  let labels r =
+    List.map
+      (fun e -> (e.Dex_sim.Trace.time, e.Dex_sim.Trace.label))
+      (Dex_sim.Trace.to_list r.Runner.trace)
+  in
+  Alcotest.(check int) "same event count" (List.length (labels r1)) (List.length (labels r2));
+  Alcotest.(check bool) "identical traces" true (labels r1 = labels r2);
+  Alcotest.(check bool) "identical decisions" true (r1.Runner.decisions = r2.Runner.decisions)
+
+(* --------------------- plumbing --------------------- *)
+
+let test_message_classes () =
+  let r = run_dex ~pair:freq7 ~proposals:(Input_vector.make 7 5) ~faults:no_faults () in
+  let classes = List.map fst r.Runner.sent_by_class in
+  Alcotest.(check bool) "P lane" true (List.mem "P" classes);
+  Alcotest.(check bool) "IDB lane" true (List.mem "IDB" classes);
+  Alcotest.(check bool) "UC lane" true (List.mem "UC" classes)
+
+let test_config_mismatch_rejected () =
+  let cfg = D.config ~pair:freq7 () in
+  let bad = { cfg with D.n = 9 } in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Dex.instance: pair dimensions disagree with config") (fun () ->
+      ignore (D.instance bad ~me:0 ~proposal:1))
+
+(* --------------------- property test --------------------- *)
+
+let prop_agreement_random =
+  (* Random proposals, random fault pattern (≤ t silent/equivocating),
+     random schedule: correct processes always terminate and agree. *)
+  QCheck.Test.make ~name:"DEX agreement+termination on random runs" ~count:150
+    QCheck.(triple (int_bound 1_000_000) (array_of_size (QCheck.Gen.return 7) (int_bound 2)) (int_bound 13))
+    (fun (seed, props, fault_choice) ->
+      QCheck.assume (Array.length props = 7);
+      let proposals = Input_vector.of_array props in
+      let faults p =
+        if p = 6 then
+          match fault_choice mod 4 with
+          | 0 -> Correct
+          | 1 -> Silent
+          | 2 -> Equivocate (fun dst -> dst mod 3)
+          | _ -> Noisy
+        else Correct
+      in
+      let r =
+        run_dex ~discipline:Discipline.asynchronous ~seed ~pair:freq7 ~proposals ~faults ()
+      in
+      let correct = correct_pids ~n:7 faults in
+      List.for_all (fun p -> r.Runner.decisions.(p) <> None) correct
+      && Runner.agreement ~among:correct r)
+
+let prop_unanimity_random_schedule =
+  QCheck.Test.make ~name:"DEX unanimity on random schedules" ~count:150
+    QCheck.(pair (int_bound 1_000_000) (int_bound 3))
+    (fun (seed, fault_choice) ->
+      let proposals = Input_vector.make 7 4 in
+      let faults p =
+        if p = 6 then
+          match fault_choice with
+          | 0 -> Correct
+          | 1 -> Silent
+          | 2 -> Equivocate (fun dst -> if dst mod 2 = 0 then 0 else 1)
+          | _ -> Noisy
+        else Correct
+      in
+      let r =
+        run_dex ~discipline:Discipline.asynchronous ~seed ~pair:freq7 ~proposals ~faults ()
+      in
+      List.for_all
+        (fun p ->
+          match r.Runner.decisions.(p) with Some d -> d.Runner.value = 4 | None -> false)
+        (correct_pids ~n:7 faults))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_agreement_random; prop_unanimity_random_schedule ]
+
+let () =
+  Alcotest.run "dex_core"
+    [
+      ( "steps",
+        [
+          Alcotest.test_case "one-step unanimous" `Quick test_one_step_unanimous;
+          Alcotest.test_case "one-step margin > 4t" `Quick test_one_step_margin_above_4t;
+          Alcotest.test_case "two-step margin 3" `Quick test_two_step_margin_3;
+          Alcotest.test_case "fallback four steps" `Quick test_fallback_four_steps;
+        ] );
+      ( "adaptiveness",
+        [
+          Alcotest.test_case "one-step with f=t failures" `Quick
+            test_adaptive_one_step_with_failures;
+          Alcotest.test_case "boundary degradation" `Quick test_adaptive_boundary;
+        ] );
+      ( "privileged",
+        [
+          Alcotest.test_case "one-step" `Quick test_prv_one_step;
+          Alcotest.test_case "two-step" `Quick test_prv_two_step;
+          Alcotest.test_case "fallback" `Quick test_prv_fallback_without_m;
+        ] );
+      ( "byzantine",
+        [
+          Alcotest.test_case "unanimity vs equivocator" `Quick test_unanimity_with_equivocator;
+          Alcotest.test_case "agreement vs equivocator" `Quick
+            test_agreement_mixed_input_equivocator;
+          Alcotest.test_case "agreement vs noise" `Quick test_agreement_noisy_byzantine;
+          Alcotest.test_case "crash + skewed network" `Quick
+            test_agreement_silent_plus_skewed_network;
+          Alcotest.test_case "one/two-step coexistence" `Quick test_one_step_and_two_step_coexist;
+        ] );
+      ( "real-uc-stack",
+        [
+          Alcotest.test_case "fast path" `Quick test_mv_stack_fast_path;
+          Alcotest.test_case "pessimistic input" `Quick test_mv_stack_pessimistic;
+          Alcotest.test_case "with silent fault" `Quick test_mv_stack_with_silent_fault;
+        ] );
+      ( "leader-uc-stack",
+        [
+          Alcotest.test_case "fast path untouched" `Quick test_leader_stack_fast_path;
+          Alcotest.test_case "pessimistic input" `Quick test_leader_stack_pessimistic;
+          Alcotest.test_case "with silent fault" `Quick test_leader_stack_with_fault;
+        ] );
+      ( "snapshot-ablation",
+        [
+          Alcotest.test_case "same on unanimous" `Quick test_snapshot_same_on_unanimous;
+          Alcotest.test_case "safe and agreeing" `Quick test_snapshot_safe_and_agreeing;
+          Alcotest.test_case "strictly weaker coverage" `Quick
+            test_snapshot_weaker_than_reevaluate;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "t = 0 unanimous" `Quick test_t_zero;
+          Alcotest.test_case "t = 0 contended" `Quick test_t_zero_contended;
+          Alcotest.test_case "crash mid-broadcast" `Quick test_crash_mid_broadcast;
+          Alcotest.test_case "n=13 two byzantine" `Quick test_large_scale_two_byzantine;
+          Alcotest.test_case "n=31 t=5" `Quick test_very_large_instance;
+        ] );
+      ( "privileged-extended",
+        [
+          Alcotest.test_case "n=11 t=2 with two byzantine" `Quick test_prv_large_with_equivocator;
+          Alcotest.test_case "equivocator pushes m" `Quick test_prv_equivocator_pushes_m;
+        ] );
+      ( "timers",
+        [ Alcotest.test_case "timer preserves causal depth" `Quick test_timer_preserves_depth ] );
+      ( "replay",
+        [ Alcotest.test_case "identical trace from same seed" `Quick test_replay_identical_trace ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "message classes" `Quick test_message_classes;
+          Alcotest.test_case "config mismatch" `Quick test_config_mismatch_rejected;
+        ] );
+      ("properties", props);
+    ]

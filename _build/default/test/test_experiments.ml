@@ -1,0 +1,129 @@
+(* Regression tests for the experiment harness: every experiment must run
+   to completion (alcotest captures the table output), and the headline
+   shape invariants the paper predicts must hold at small trial counts. *)
+
+open Dex_vector
+open Dex_net
+open Dex_workload
+open Dex_experiments
+
+let test_each_experiment_runs () =
+  Harness.trials := 3;
+  List.iter
+    (fun (name, f) ->
+      try f ()
+      with exn -> Alcotest.failf "experiment %s raised %s" name (Printexc.to_string exn))
+    Harness.all
+
+let test_all_names_resolvable () =
+  List.iter
+    (fun (name, _) ->
+      Harness.trials := 1;
+      Alcotest.(check bool) name true (Harness.run_by_name name))
+    Harness.all;
+  Alcotest.(check bool) "unknown name rejected" false (Harness.run_by_name "e99")
+
+(* Shape invariants, asserted directly through Scenario (deterministic,
+   lockstep): the exact 1/2/4-vs-3-vs-2 ladder of E3/E6. *)
+let test_ladder_shape () =
+  let n = 7 and t = 1 in
+  let steps algo proposals =
+    Scenario.mean_steps (Scenario.run (Scenario.spec ~algo ~n ~t ~proposals ()))
+  in
+  let unanimous = Input_vector.make n 5 in
+  let pessimistic = Input_vector.of_list [ 5; 5; 5; 5; 1; 1; 1 ] in
+  let mid = Input_vector.of_list [ 5; 5; 5; 5; 5; 1; 1 ] in
+  Alcotest.(check (float 1e-9)) "DEX unanimous = 1" 1.0 (steps Scenario.Dex_freq unanimous);
+  Alcotest.(check (float 1e-9)) "DEX mid = 2" 2.0 (steps Scenario.Dex_freq mid);
+  Alcotest.(check (float 1e-9)) "DEX pessimistic = 4" 4.0 (steps Scenario.Dex_freq pessimistic);
+  Alcotest.(check (float 1e-9)) "Bosco pessimistic = 3" 3.0 (steps Scenario.Bosco pessimistic);
+  Alcotest.(check (float 1e-9)) "Plain = 2 everywhere" 2.0 (steps Scenario.Plain pessimistic);
+  Alcotest.(check (float 1e-9)) "Plain unanimous = 2" 2.0 (steps Scenario.Plain unanimous)
+
+(* E4's crossover direction: at 90% bias DEX is faster on average, at 50%
+   Bosco's fallback wins. Seeds fixed; small but non-trivial sample. *)
+let test_crossover_direction () =
+  let n = 7 and t = 1 in
+  let mean_steps algo bias =
+    let samples =
+      List.init 30 (fun i ->
+          let seed = i + 1 in
+          let rng = Dex_stdext.Prng.create ~seed:(seed * 31) in
+          let proposals = Input_gen.skewed ~rng ~n ~favorite:5 ~others:[ 1; 2 ] ~bias in
+          Scenario.mean_steps
+            (Scenario.run
+               (Scenario.spec ~seed ~discipline:Discipline.asynchronous ~algo ~n ~t
+                  ~proposals ())))
+    in
+    List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+  in
+  Alcotest.(check bool) "90%: DEX faster" true
+    (mean_steps Scenario.Dex_freq 0.9 < mean_steps Scenario.Bosco 0.9);
+  Alcotest.(check bool) "50%: Bosco fallback wins" true
+    (mean_steps Scenario.Bosco 0.5 < mean_steps Scenario.Dex_freq 0.5)
+
+(* Message-complexity identities from E5 (exact, deterministic). *)
+let test_idb_message_identity () =
+  let open Dex_broadcast in
+  List.iter
+    (fun n ->
+      let t = (n - 1) / 4 in
+      let make p =
+        let idb = Idb.create ~n ~t in
+        {
+          Protocol.start = (fun () -> Protocol.broadcast ~n (Idb.id_send p));
+          on_message =
+            (fun ~now:_ ~from m ->
+              let emit = Idb.handle idb ~from m in
+              List.concat_map (fun b -> Protocol.broadcast ~n b) emit.Idb.broadcasts);
+        }
+      in
+      let r = Runner.run (Runner.config ~n make) in
+      Alcotest.(check int)
+        (Printf.sprintf "IDB total msgs for n=%d" n)
+        (n * (n + (n * n)))
+        r.Runner.sent)
+    [ 5; 9; 13 ]
+
+(* E10's per-sample implication, exactly: under lockstep with f = 0, every
+   input inside C¹_0 (margin > 4t) one-steps at every process, and every
+   input inside C²_0 decides within two steps — Lemmas 4 and 5 sampled over
+   the skewed workload. *)
+let test_condition_implies_fast_decision () =
+  let n = 7 and t = 1 in
+  let rng = Dex_stdext.Prng.create ~seed:553 in
+  for seed = 1 to 150 do
+    let proposals = Input_gen.skewed ~rng ~n ~favorite:5 ~others:[ 1; 2 ] ~bias:0.8 in
+    let out =
+      Scenario.run (Scenario.spec ~seed ~algo:Scenario.Dex_freq ~n ~t ~proposals ())
+    in
+    let margin = Input_vector.freq_margin proposals in
+    if margin > 4 * t then
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "seed %d: C1 input one-steps" seed)
+        1.0
+        (Scenario.fraction_fast out ~max_steps:1);
+    if margin > 2 * t then
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "seed %d: C2 input within two steps" seed)
+        1.0
+        (Scenario.fraction_fast out ~max_steps:2)
+  done
+
+let () =
+  Alcotest.run "dex_experiments"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "every experiment runs" `Slow test_each_experiment_runs;
+          Alcotest.test_case "names resolvable" `Slow test_all_names_resolvable;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "1/2/4 vs 3 vs 2 ladder" `Quick test_ladder_shape;
+          Alcotest.test_case "crossover direction" `Quick test_crossover_direction;
+          Alcotest.test_case "IDB message identity" `Quick test_idb_message_identity;
+          Alcotest.test_case "condition => fast decision (sampled)" `Quick
+            test_condition_implies_fast_decision;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+(* Tests for dex_link: lossy disciplines and the stubborn reliable-link
+   layer — §2.1's reliable-link assumption implemented over loss. *)
+
+open Dex_vector
+open Dex_condition
+open Dex_net
+open Dex_underlying
+open Dex_link
+
+module D = Dex_core.Dex.Make (Uc_oracle)
+
+(* ------------------------ lossy discipline ------------------------ *)
+
+type m = Ping of int
+
+let test_lossy_drops_messages () =
+  (* Without retransmission, a heavy-loss network visibly loses traffic. *)
+  let n = 2 in
+  let make p =
+    {
+      Protocol.start =
+        (fun () -> List.init 50 (fun i -> Protocol.send ((p + 1) mod n) (Ping i)));
+      on_message = (fun ~now:_ ~from:_ _ -> []);
+    }
+  in
+  let r =
+    Runner.run
+      (Runner.config ~discipline:(Discipline.lossy ~p:0.5 Discipline.lockstep) ~seed:3 ~n make)
+  in
+  Alcotest.(check int) "sent all" 100 r.Runner.sent;
+  Alcotest.(check bool) "some dropped" true (r.Runner.dropped > 20);
+  Alcotest.(check int) "delivered = sent - dropped" (r.Runner.sent - r.Runner.dropped)
+    r.Runner.delivered
+
+let test_lossy_validation () =
+  Alcotest.check_raises "p = 1" (Invalid_argument "Discipline.lossy: p must be in [0, 1)")
+    (fun () -> ignore (Discipline.lossy ~p:1.0 Discipline.lockstep))
+
+let test_cut_is_unidirectional () =
+  let d = Discipline.cut ~from:[ 0 ] ~to_:[ 1 ] Discipline.lockstep in
+  let rng = Dex_stdext.Prng.create ~seed:0 in
+  Alcotest.(check bool) "0->1 cut" true (d.Discipline.drop rng ~src:0 ~dst:1);
+  Alcotest.(check bool) "1->0 open" false (d.Discipline.drop rng ~src:1 ~dst:0)
+
+(* ------------------------ stubborn layer ------------------------ *)
+
+(* Inner protocol: p0 sends one Ping to p1; p1 decides on receipt. Under
+   50% loss the stubborn layer must still deliver exactly once. *)
+let one_shot ~n:_ p =
+  if p = 0 then
+    {
+      Protocol.start = (fun () -> [ Protocol.send 1 (Ping 7) ]);
+      on_message = (fun ~now:_ ~from:_ _ -> []);
+    }
+  else
+    let got = ref 0 in
+    {
+      Protocol.start = (fun () -> []);
+      on_message =
+        (fun ~now:_ ~from:_ (Ping v) ->
+          incr got;
+          if !got = 1 then [ Protocol.decide ~tag:"got" v ]
+          else [ Protocol.decide ~tag:"duplicate!" (-1) ]);
+    }
+
+let test_stubborn_delivers_through_loss () =
+  for seed = 1 to 20 do
+    let make p = Stubborn.wrap (one_shot ~n:2 p) in
+    let r =
+      Runner.run
+        (Runner.config
+           ~discipline:(Discipline.lossy ~p:0.6 Discipline.asynchronous)
+           ~seed ~n:2 make)
+    in
+    match r.Runner.decisions.(1) with
+    | Some d ->
+      Alcotest.(check int) "value" 7 d.Runner.value;
+      Alcotest.(check string) "exactly once" "got" d.Runner.tag;
+      (* No duplicate delivery ever surfaced as a late decide. *)
+      Alcotest.(check (list (pair int int))) "no duplicates" []
+        (List.map (fun (p, (d : Runner.decision)) -> (p, d.Runner.value)) r.Runner.late_decides)
+    | None -> Alcotest.failf "seed %d: not delivered" seed
+  done
+
+let test_stubborn_no_duplicates_without_loss () =
+  (* Even on a lossless network with retransmission timers racing the acks,
+     the receiver sees each message once. *)
+  let make p = Stubborn.wrap ~retry_period:0.1 (one_shot ~n:2 p) in
+  let r =
+    Runner.run (Runner.config ~discipline:(Discipline.uniform ~lo:0.5 ~hi:2.0) ~seed:5 ~n:2 make)
+  in
+  match r.Runner.decisions.(1) with
+  | Some d -> Alcotest.(check string) "once" "got" d.Runner.tag
+  | None -> Alcotest.fail "not delivered"
+
+let test_stubborn_max_retries_gives_up () =
+  (* A permanent partition with bounded retries: the run stays quiescent and
+     undelivered (used to bound tests; production leaves it unbounded). *)
+  let make p = Stubborn.wrap ~retry_period:0.5 ~max_retries:3 (one_shot ~n:2 p) in
+  let r =
+    Runner.run
+      (Runner.config
+         ~discipline:(Discipline.cut ~from:[ 0 ] ~to_:[ 1 ] Discipline.lockstep)
+         ~n:2 make)
+  in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  Alcotest.(check bool) "never delivered" true (r.Runner.decisions.(1) = None)
+
+let test_stubborn_codec_roundtrip () =
+  let open Dex_codec in
+  let c = Stubborn.codec Codec.int in
+  List.iter
+    (fun m ->
+      let rt = Codec.decode_exn c (Codec.encode c m) in
+      Alcotest.(check bool) "roundtrip" true (rt = m))
+    [ Stubborn.Data { seq = 42; payload = -7 }; Stubborn.Ack 3; Stubborn.Retry 3 ]
+
+(* ------------------------ DEX over loss ------------------------ *)
+
+let test_dex_over_lossy_network () =
+  (* The headline integration: the full DEX stack (oracle UC) wrapped in
+     stubborn links, running over a 30%-lossy asynchronous network. All
+     correct processes decide and agree; the inner protocol is unchanged. *)
+  let pair = Pair.freq ~n:7 ~t:1 in
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 1; 1 ] in
+  for seed = 1 to 10 do
+    let cfg = D.config ~seed ~pair () in
+    let extra =
+      List.map (fun (pid, inst) -> (pid, Stubborn.wrap inst)) (D.extra cfg)
+    in
+    let make p =
+      Stubborn.wrap (D.instance cfg ~me:p ~proposal:(Input_vector.get proposals p))
+    in
+    let r =
+      Runner.run
+        (Runner.config
+           ~discipline:(Discipline.lossy ~p:0.3 Discipline.asynchronous)
+           ~seed ~extra ~n:7 make)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: all decided" seed)
+      true (Runner.all_decided r);
+    Alcotest.(check bool) "agreement" true (Runner.agreement r);
+    Alcotest.(check (list int)) "value" [ 5 ] (Runner.decided_values r);
+    Alcotest.(check bool) "loss actually happened" true (r.Runner.dropped > 0)
+  done
+
+let test_dex_fast_path_depth_preserved_without_loss () =
+  (* With loss at 0 the stubborn layer is transparent to step accounting:
+     unanimous input still one-steps at depth 1. *)
+  let pair = Pair.freq ~n:7 ~t:1 in
+  let cfg = D.config ~pair () in
+  let extra = List.map (fun (pid, inst) -> (pid, Stubborn.wrap inst)) (D.extra cfg) in
+  let make p = Stubborn.wrap (D.instance cfg ~me:p ~proposal:5) in
+  let r = Runner.run (Runner.config ~discipline:Discipline.lockstep ~extra ~n:7 make) in
+  Array.iter
+    (function
+      | Some d ->
+        Alcotest.(check string) "one-step" "one-step" d.Runner.tag;
+        Alcotest.(check int) "depth 1" 1 d.Runner.depth
+      | None -> Alcotest.fail "undecided")
+    r.Runner.decisions
+
+let () =
+  Alcotest.run "dex_link"
+    [
+      ( "lossy",
+        [
+          Alcotest.test_case "drops messages" `Quick test_lossy_drops_messages;
+          Alcotest.test_case "validation" `Quick test_lossy_validation;
+          Alcotest.test_case "cut unidirectional" `Quick test_cut_is_unidirectional;
+        ] );
+      ( "stubborn",
+        [
+          Alcotest.test_case "delivers through loss" `Quick test_stubborn_delivers_through_loss;
+          Alcotest.test_case "no duplicates" `Quick test_stubborn_no_duplicates_without_loss;
+          Alcotest.test_case "bounded retries give up" `Quick test_stubborn_max_retries_gives_up;
+          Alcotest.test_case "codec roundtrip" `Quick test_stubborn_codec_roundtrip;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "DEX over 30% loss" `Quick test_dex_over_lossy_network;
+          Alcotest.test_case "fast path preserved" `Quick
+            test_dex_fast_path_depth_preserved_without_loss;
+        ] );
+    ]

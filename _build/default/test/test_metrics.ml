@@ -1,0 +1,87 @@
+(* Tests for dex_metrics: statistics and histograms. *)
+
+open Dex_metrics
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  feq "empty" 0.0 (Stats.mean [])
+
+let test_stddev () =
+  feq "constant" 0.0 (Stats.stddev [ 4.0; 4.0; 4.0 ]);
+  (* Population stddev of {2, 4}: 1. *)
+  feq "pair" 1.0 (Stats.stddev [ 2.0; 4.0 ]);
+  feq "single" 0.0 (Stats.stddev [ 7.0 ])
+
+let test_percentile () =
+  let xs = Stats.of_ints [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  feq "p50" 5.0 (Stats.percentile 50.0 xs);
+  feq "p90" 9.0 (Stats.percentile 90.0 xs);
+  feq "p100" 10.0 (Stats.percentile 100.0 xs);
+  feq "p0 -> min" 1.0 (Stats.percentile 0.0 xs)
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile 50.0 []));
+  Alcotest.check_raises "out of range" (Invalid_argument "Stats.percentile: p outside [0,100]")
+    (fun () -> ignore (Stats.percentile 101.0 [ 1.0 ]))
+
+let test_summary () =
+  let s = Stats.summarize (Stats.of_ints [ 1; 2; 3; 4 ]) in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  feq "mean" 2.5 s.Stats.mean;
+  feq "min" 1.0 s.Stats.min;
+  feq "max" 4.0 s.Stats.max;
+  feq "p50" 2.0 s.Stats.p50
+
+let test_histogram_basic () =
+  let h = Histogram.create () in
+  Histogram.add h 1;
+  Histogram.add h 1;
+  Histogram.add h 4;
+  Alcotest.(check int) "count 1" 2 (Histogram.count h 1);
+  Alcotest.(check int) "count 4" 1 (Histogram.count h 4);
+  Alcotest.(check int) "count missing" 0 (Histogram.count h 2);
+  Alcotest.(check int) "total" 3 (Histogram.total h);
+  Alcotest.(check (list int)) "keys" [ 1; 4 ] (Histogram.keys h);
+  feq "fraction" (2.0 /. 3.0) (Histogram.fraction h 1)
+
+let test_histogram_merge () =
+  let h1 = Histogram.create () and h2 = Histogram.create () in
+  Histogram.add_many h1 1 3;
+  Histogram.add_many h2 1 2;
+  Histogram.add_many h2 2 5;
+  let m = Histogram.merge h1 h2 in
+  Alcotest.(check int) "merged 1" 5 (Histogram.count m 1);
+  Alcotest.(check int) "merged 2" 5 (Histogram.count m 2);
+  Alcotest.(check int) "originals intact" 3 (Histogram.count h1 1)
+
+let test_histogram_negative_rejected () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Histogram.add_many: negative count")
+    (fun () -> Histogram.add_many h 0 (-1))
+
+let test_histogram_empty_fraction () =
+  let h = Histogram.create () in
+  feq "empty fraction" 0.0 (Histogram.fraction h 1)
+
+let () =
+  Alcotest.run "dex_metrics"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+          Alcotest.test_case "summary" `Quick test_summary;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basic;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "negative rejected" `Quick test_histogram_negative_rejected;
+          Alcotest.test_case "empty fraction" `Quick test_histogram_empty_fraction;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* Tests for dex_net: runner semantics (depth accounting, determinism,
+   message counting), disciplines, and the generic adversary wrappers.
+
+   The test protocol is a tiny "flood" consensus: every process broadcasts
+   its value, and upon having received values from all n processes decides
+   the largest one. It exercises broadcast, self-delivery, depth accounting
+   and decision plumbing without any Byzantine subtleties. *)
+
+open Dex_net
+
+type msg = Val of int
+
+let flood ~n ~me ~value =
+  let seen = Array.make n None in
+  let decided = ref false in
+  let try_decide () =
+    if (not !decided) && Array.for_all Option.is_some seen then begin
+      decided := true;
+      let best = Array.fold_left (fun acc v -> max acc (Option.get v)) min_int seen in
+      [ Protocol.decide ~tag:"flood" best ]
+    end
+    else []
+  in
+  {
+    Protocol.start =
+      (fun () ->
+        seen.(me) <- Some value;
+        Protocol.broadcast ~n (Val value) @ try_decide ());
+    on_message =
+      (fun ~now:_ ~from (Val v) ->
+        if from >= 0 && from < n && seen.(from) = None then begin
+          seen.(from) <- Some v;
+          try_decide ()
+        end
+        else []);
+  }
+
+let run_flood ?(n = 5) ?(discipline = Discipline.lockstep) ?(seed = 1) ?(faulty = []) () =
+  let make_instance p =
+    if List.mem p faulty then Adversary.silent () else flood ~n ~me:p ~value:(p * 10)
+  in
+  Runner.run (Runner.config ~discipline ~seed ~classify:(fun (Val _) -> "VAL") ~n make_instance)
+
+let test_all_decide () =
+  let r = run_flood () in
+  Alcotest.(check bool) "all decided" true (Runner.all_decided r);
+  Alcotest.(check (list int)) "agreed on max" [ 40 ] (Runner.decided_values r);
+  Alcotest.(check bool) "agreement" true (Runner.agreement r)
+
+let test_depth_accounting () =
+  (* Every decision consumes a direct broadcast: depth 1. *)
+  let r = run_flood () in
+  Array.iter
+    (function
+      | Some d ->
+        Alcotest.(check int) "one-step depth" 1 d.Runner.depth;
+        Alcotest.(check string) "tag" "flood" d.Runner.tag
+      | None -> Alcotest.fail "undecided")
+    r.Runner.decisions
+
+let test_lockstep_time_equals_steps () =
+  let r = run_flood () in
+  Array.iter
+    (function
+      | Some d -> Alcotest.(check (float 1e-9)) "time = depth" 1.0 d.Runner.time
+      | None -> Alcotest.fail "undecided")
+    r.Runner.decisions
+
+let test_message_counts () =
+  let n = 5 in
+  let r = run_flood ~n () in
+  (* Each process broadcasts once to n targets. *)
+  Alcotest.(check int) "sent" (n * n) r.Runner.sent;
+  Alcotest.(check int) "delivered" (n * n) r.Runner.delivered;
+  Alcotest.(check (list (pair string int))) "classified" [ ("VAL", n * n) ] r.Runner.sent_by_class
+
+let test_determinism () =
+  let r1 = run_flood ~discipline:Discipline.asynchronous ~seed:7 () in
+  let r2 = run_flood ~discipline:Discipline.asynchronous ~seed:7 () in
+  Alcotest.(check (float 1e-12)) "same final time" r1.Runner.final_time r2.Runner.final_time;
+  Alcotest.(check int) "same sent" r1.Runner.sent r2.Runner.sent
+
+let test_seed_changes_schedule () =
+  let r1 = run_flood ~discipline:Discipline.asynchronous ~seed:7 () in
+  let r2 = run_flood ~discipline:Discipline.asynchronous ~seed:8 () in
+  (* Final decision is schedule-independent for flood; the schedule itself
+     (final time) almost surely differs. *)
+  Alcotest.(check bool) "different times" true
+    (r1.Runner.final_time <> r2.Runner.final_time)
+
+let test_silent_process_blocks_full_flood () =
+  (* flood waits for all n values, so one silent process stalls everyone:
+     the run ends quiescent with nobody decided. *)
+  let r = run_flood ~faulty:[ 2 ] () in
+  Alcotest.(check bool) "not all decided" false (Runner.all_decided r);
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent)
+
+let test_crash_after_actions () =
+  (* A process that crashes after 3 sends reaches only 3 peers. *)
+  let n = 5 in
+  let make p =
+    if p = 0 then Adversary.crash_after_actions 3 (flood ~n ~me:0 ~value:0)
+    else flood ~n ~me:p ~value:(p * 10)
+  in
+  let r = Runner.run (Runner.config ~n make) in
+  (* Processes 3 and 4 never hear p0, so they cannot decide. *)
+  Alcotest.(check bool) "p3 undecided" true (r.Runner.decisions.(3) = None);
+  Alcotest.(check bool) "p4 undecided" true (r.Runner.decisions.(4) = None)
+
+let test_mute_towards () =
+  let n = 5 in
+  let make p =
+    if p = 0 then Adversary.mute_towards [ 4 ] (flood ~n ~me:0 ~value:0)
+    else flood ~n ~me:p ~value:(p * 10)
+  in
+  let r = Runner.run (Runner.config ~n make) in
+  Alcotest.(check bool) "victim undecided" true (r.Runner.decisions.(4) = None);
+  Alcotest.(check bool) "others decided" true
+    (List.for_all (fun p -> r.Runner.decisions.(p) <> None) [ 0; 1; 2; 3 ])
+
+let test_replayer_is_harmless () =
+  let n = 5 in
+  let make p =
+    if p = 0 then Adversary.replayer ~copies:3 (flood ~n ~me:0 ~value:0)
+    else flood ~n ~me:p ~value:(p * 10)
+  in
+  let r = Runner.run (Runner.config ~n make) in
+  Alcotest.(check bool) "all decided" true (Runner.all_decided r);
+  Alcotest.(check bool) "agreement" true (Runner.agreement r)
+
+let test_extra_node_receives () =
+  (* An extra node at pid n echoes the count of messages it saw; protocols
+     can address it explicitly. *)
+  let n = 3 in
+  let hits = ref 0 in
+  let extra_inst =
+    {
+      Protocol.start = (fun () -> []);
+      on_message = (fun ~now:_ ~from:_ (Val _) -> incr hits; []);
+    }
+  in
+  let make p =
+    {
+      Protocol.start = (fun () -> [ Protocol.send n (Val p) ]);
+      on_message = (fun ~now:_ ~from:_ _ -> []);
+    }
+  in
+  let r = Runner.run (Runner.config ~n ~extra:[ (n, extra_inst) ] make) in
+  Alcotest.(check int) "extra node saw all" 3 !hits;
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent)
+
+let test_sends_to_unknown_pid_dropped () =
+  let n = 2 in
+  let make _ =
+    {
+      Protocol.start = (fun () -> [ Protocol.send 99 (Val 1) ]);
+      on_message = (fun ~now:_ ~from:_ _ -> []);
+    }
+  in
+  let r = Runner.run (Runner.config ~n make) in
+  Alcotest.(check int) "nothing sent" 0 r.Runner.sent;
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent)
+
+let test_trace_recording () =
+  let r =
+    Runner.run
+      (Runner.config ~trace:true ~pp_msg:(fun ppf (Val v) -> Format.fprintf ppf "Val %d" v)
+         ~n:3 (fun p -> flood ~n:3 ~me:p ~value:p))
+  in
+  Alcotest.(check bool) "has deliveries" true
+    (Dex_sim.Trace.find r.Runner.trace ~sub:"deliver" <> []);
+  Alcotest.(check bool) "has decisions" true
+    (Dex_sim.Trace.find r.Runner.trace ~sub:"decide" <> [])
+
+let test_skew_discipline () =
+  let d = Discipline.skew ~slow:[ 0 ] ~factor:100.0 Discipline.lockstep in
+  let rng = Dex_stdext.Prng.create ~seed:0 in
+  Alcotest.(check (float 1e-9)) "slow source" 100.0 (d.Discipline.latency rng ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-9)) "normal source" 1.0 (d.Discipline.latency rng ~src:1 ~dst:0)
+
+let test_delay_into_discipline () =
+  let d = Discipline.delay_into ~dst:[ 2 ] ~extra:5.0 Discipline.lockstep in
+  let rng = Dex_stdext.Prng.create ~seed:0 in
+  Alcotest.(check (float 1e-9)) "victim dst" 6.0 (d.Discipline.latency rng ~src:0 ~dst:2);
+  Alcotest.(check (float 1e-9)) "other dst" 1.0 (d.Discipline.latency rng ~src:0 ~dst:1)
+
+let () =
+  Alcotest.run "dex_net"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "all decide" `Quick test_all_decide;
+          Alcotest.test_case "depth accounting" `Quick test_depth_accounting;
+          Alcotest.test_case "lockstep time = steps" `Quick test_lockstep_time_equals_steps;
+          Alcotest.test_case "message counts" `Quick test_message_counts;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed changes schedule" `Quick test_seed_changes_schedule;
+          Alcotest.test_case "extra node" `Quick test_extra_node_receives;
+          Alcotest.test_case "unknown pid dropped" `Quick test_sends_to_unknown_pid_dropped;
+          Alcotest.test_case "trace recording" `Quick test_trace_recording;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "silent blocks flood" `Quick test_silent_process_blocks_full_flood;
+          Alcotest.test_case "crash after actions" `Quick test_crash_after_actions;
+          Alcotest.test_case "mute towards" `Quick test_mute_towards;
+          Alcotest.test_case "replayer harmless" `Quick test_replayer_is_harmless;
+        ] );
+      ( "discipline",
+        [
+          Alcotest.test_case "skew" `Quick test_skew_discipline;
+          Alcotest.test_case "delay into" `Quick test_delay_into_discipline;
+        ] );
+    ]

@@ -1,0 +1,220 @@
+(* Tests for dex_runtime: mailboxes, the in-memory and TCP transports, and
+   full DEX consensus running on real threads — the same Protocol.instance
+   values the simulator drives. *)
+
+open Dex_condition
+open Dex_net
+open Dex_underlying
+open Dex_runtime
+
+module D = Dex_core.Dex.Make (Uc_oracle)
+
+let test_mailbox_fifo () =
+  let box = Mailbox.create () in
+  Mailbox.push box 1;
+  Mailbox.push box 2;
+  Alcotest.(check (option int)) "first" (Some 1) (Mailbox.pop ~timeout:0.1 box);
+  Alcotest.(check (option int)) "second" (Some 2) (Mailbox.pop ~timeout:0.1 box)
+
+let test_mailbox_timeout () =
+  let box : int Mailbox.t = Mailbox.create () in
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check (option int)) "timeout" None (Mailbox.pop ~timeout:0.05 box);
+  Alcotest.(check bool) "waited" true (Unix.gettimeofday () -. t0 >= 0.04)
+
+let test_mailbox_close_wakes () =
+  let box : int Mailbox.t = Mailbox.create () in
+  Mailbox.close box;
+  Alcotest.(check (option int)) "closed" None (Mailbox.pop ~timeout:1.0 box);
+  Mailbox.push box 9;
+  Alcotest.(check int) "push after close dropped" 0 (Mailbox.length box)
+
+let test_mailbox_cross_thread () =
+  let box = Mailbox.create () in
+  let producer =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.01;
+        Mailbox.push box 42)
+      ()
+  in
+  Alcotest.(check (option int)) "received" (Some 42) (Mailbox.pop ~timeout:1.0 box);
+  Thread.join producer
+
+let test_mem_transport_roundtrip () =
+  let tr = Transport.Mem.create ~pids:[ 0; 1 ] () in
+  tr.Transport.send ~src:0 ~dst:1 "hello";
+  (match tr.Transport.recv ~me:1 ~timeout:0.5 with
+  | Some (src, m) ->
+    Alcotest.(check int) "src" 0 src;
+    Alcotest.(check string) "payload" "hello" m
+  | None -> Alcotest.fail "nothing received");
+  tr.Transport.close ()
+
+let test_mem_transport_unknown_dst () =
+  let tr = Transport.Mem.create ~pids:[ 0 ] () in
+  tr.Transport.send ~src:0 ~dst:99 "lost";
+  Alcotest.(check bool) "no delivery" true (tr.Transport.recv ~me:0 ~timeout:0.05 = None);
+  tr.Transport.close ()
+
+let test_tcp_transport_roundtrip () =
+  let tr = Transport.Tcp.create ~pids:[ 0; 1 ] () in
+  tr.Transport.send ~src:0 ~dst:1 (7, "payload");
+  (match tr.Transport.recv ~me:1 ~timeout:2.0 with
+  | Some (src, (k, s)) ->
+    Alcotest.(check int) "src" 0 src;
+    Alcotest.(check int) "fst" 7 k;
+    Alcotest.(check string) "snd" "payload" s
+  | None -> Alcotest.fail "nothing received over TCP");
+  tr.Transport.close ()
+
+let test_tcp_transport_many_messages () =
+  let tr = Transport.Tcp.create ~pids:[ 0; 1 ] () in
+  for i = 0 to 99 do
+    tr.Transport.send ~src:0 ~dst:1 i
+  done;
+  let received = ref [] in
+  let rec drain () =
+    if List.length !received < 100 then
+      match tr.Transport.recv ~me:1 ~timeout:2.0 with
+      | Some (_, i) ->
+        received := i :: !received;
+        drain ()
+      | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all arrived" 100 (List.length !received);
+  (* TCP preserves per-connection order. *)
+  Alcotest.(check (list int)) "in order" (List.init 100 Fun.id) (List.rev !received);
+  tr.Transport.close ()
+
+let run_dex_cluster ~transport_kind ~proposals =
+  let pair = Pair.freq ~n:7 ~t:1 in
+  let cfg = D.config ~pair () in
+  let extra = D.extra cfg in
+  let pids = Pid.all ~n:7 @ List.map fst extra in
+  let transport =
+    match transport_kind with
+    | `Mem -> Transport.Mem.create ~jitter:0.002 ~seed:5 ~pids ()
+    | `Tcp -> Transport.Tcp.create ~pids ()
+  in
+  let cluster =
+    Cluster.create ~transport ~n:7 ~extra (fun p ->
+        D.instance cfg ~me:p ~proposal:proposals.(p))
+  in
+  Cluster.start cluster;
+  let ok = Cluster.await ~timeout:20.0 cluster in
+  let decisions = Cluster.decisions cluster in
+  Cluster.shutdown cluster;
+  (ok, decisions)
+
+let check_cluster_consensus ~expect_value ~expect_tag (ok, decisions) =
+  Alcotest.(check bool) "all decided" true ok;
+  Array.iter
+    (function
+      | Some d ->
+        Alcotest.(check int) "value" expect_value d.Cluster.value;
+        (match expect_tag with
+        | Some tag -> Alcotest.(check string) "tag" tag d.Cluster.tag
+        | None -> ())
+      | None -> Alcotest.fail "missing decision")
+    decisions
+
+let test_cluster_mem_unanimous () =
+  check_cluster_consensus ~expect_value:5 ~expect_tag:(Some "one-step")
+    (run_dex_cluster ~transport_kind:`Mem ~proposals:(Array.make 7 5))
+
+let test_cluster_mem_mixed () =
+  (* margin 3: two-step or slower depending on real interleaving, but always
+     value 5 (it is the only F-candidate among correct processes: the
+     two-step predicates or the oracle majority both pick 5). *)
+  let ok, decisions = run_dex_cluster ~transport_kind:`Mem ~proposals:[| 5; 5; 5; 5; 5; 1; 1 |] in
+  Alcotest.(check bool) "all decided" true ok;
+  let values =
+    Array.to_list decisions |> List.filter_map (Option.map (fun d -> d.Cluster.value))
+  in
+  Alcotest.(check int) "seven decisions" 7 (List.length values);
+  Alcotest.(check (list int)) "agreement" [ 5 ] (List.sort_uniq compare values)
+
+let test_cluster_tcp_unanimous () =
+  check_cluster_consensus ~expect_value:9 ~expect_tag:(Some "one-step")
+    (run_dex_cluster ~transport_kind:`Tcp ~proposals:(Array.make 7 9))
+
+let test_cluster_decision_wall_times () =
+  let ok, decisions = run_dex_cluster ~transport_kind:`Mem ~proposals:(Array.make 7 5) in
+  Alcotest.(check bool) "decided" true ok;
+  Array.iter
+    (function
+      | Some d -> Alcotest.(check bool) "wall time sane" true (d.Cluster.wall >= 0.0 && d.Cluster.wall < 20.0)
+      | None -> ())
+    decisions
+
+module Dleader = Dex_core.Dex.Make (Uc_leader)
+
+let test_cluster_leader_uc_on_threads () =
+  (* The leader-based UC's timers run as real sleeps on the thread runtime;
+     shrink the round timeout so the fallback path completes quickly. A
+     pessimistic input forces the UC rounds to actually run. *)
+  let saved = !Uc_leader.timeout_base in
+  Uc_leader.timeout_base := 0.25;
+  Fun.protect
+    ~finally:(fun () -> Uc_leader.timeout_base := saved)
+    (fun () ->
+      let pair = Pair.freq ~n:7 ~t:1 in
+      let cfg = Dleader.config ~pair () in
+      let proposals = [| 5; 5; 5; 5; 1; 1; 1 |] in
+      let pids = Pid.all ~n:7 in
+      let transport = Transport.Mem.create ~jitter:0.001 ~seed:9 ~pids () in
+      let cluster =
+        Cluster.create ~transport ~n:7 (fun p ->
+            Dleader.instance cfg ~me:p ~proposal:proposals.(p))
+      in
+      Cluster.start cluster;
+      let ok = Cluster.await ~timeout:30.0 cluster in
+      let decisions = Cluster.decisions cluster in
+      Cluster.shutdown cluster;
+      Alcotest.(check bool) "all decided" true ok;
+      let values =
+        Array.to_list decisions |> List.filter_map (Option.map (fun d -> d.Cluster.value))
+      in
+      Alcotest.(check int) "seven decisions" 7 (List.length values);
+      Alcotest.(check int) "agreement" 1 (List.length (List.sort_uniq compare values)))
+
+let test_cluster_double_start_rejected () =
+  let transport = Transport.Mem.create ~pids:[ 0 ] () in
+  let cluster =
+    Cluster.create ~transport ~n:1 (fun _ ->
+        { Protocol.start = (fun () -> []); on_message = (fun ~now:_ ~from:_ () -> []) })
+  in
+  Cluster.start cluster;
+  Alcotest.check_raises "double start" (Invalid_argument "Cluster.start: already started")
+    (fun () -> Cluster.start cluster);
+  Cluster.shutdown cluster
+
+let () =
+  Alcotest.run "dex_runtime"
+    [
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "timeout" `Quick test_mailbox_timeout;
+          Alcotest.test_case "close wakes" `Quick test_mailbox_close_wakes;
+          Alcotest.test_case "cross-thread" `Quick test_mailbox_cross_thread;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "mem roundtrip" `Quick test_mem_transport_roundtrip;
+          Alcotest.test_case "mem unknown dst" `Quick test_mem_transport_unknown_dst;
+          Alcotest.test_case "tcp roundtrip" `Quick test_tcp_transport_roundtrip;
+          Alcotest.test_case "tcp ordering" `Quick test_tcp_transport_many_messages;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "mem unanimous one-step" `Quick test_cluster_mem_unanimous;
+          Alcotest.test_case "mem mixed input" `Quick test_cluster_mem_mixed;
+          Alcotest.test_case "tcp unanimous one-step" `Quick test_cluster_tcp_unanimous;
+          Alcotest.test_case "wall times" `Quick test_cluster_decision_wall_times;
+          Alcotest.test_case "leader UC on threads" `Quick test_cluster_leader_uc_on_threads;
+          Alcotest.test_case "double start rejected" `Quick test_cluster_double_start_rejected;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Tests for dex_sim: engine ordering, determinism, stopping criteria,
+   traces. *)
+
+open Dex_sim
+
+let test_fires_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  (match Engine.run e with
+  | Engine.Quiescent -> ()
+  | _ -> Alcotest.fail "expected quiescence");
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_same_time_insertion_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "insertion order" (List.init 10 Fun.id) (List.rev !log)
+
+let test_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.schedule e ~delay:1.5 (fun () -> seen := Engine.now e :: !seen);
+  Engine.schedule e ~delay:0.5 (fun () -> seen := Engine.now e :: !seen);
+  ignore (Engine.run e);
+  Alcotest.(check (list (float 1e-9))) "timestamps" [ 0.5; 1.5 ] (List.rev !seen)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec chain k () =
+    incr count;
+    if k > 0 then Engine.schedule e ~delay:1.0 (chain (k - 1))
+  in
+  Engine.schedule e ~delay:0.0 (chain 4);
+  ignore (Engine.run e);
+  Alcotest.(check int) "five firings" 5 !count;
+  Alcotest.(check (float 1e-9)) "final time" 4.0 (Engine.now e)
+
+let test_deadline () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay:1.0 (fun () -> incr fired);
+  Engine.schedule e ~delay:10.0 (fun () -> incr fired);
+  (match Engine.run ~until:5.0 e with
+  | Engine.Deadline -> ()
+  | _ -> Alcotest.fail "expected deadline stop");
+  Alcotest.(check int) "only early event" 1 !fired;
+  Alcotest.(check int) "one pending" 1 (Engine.pending e)
+
+let test_event_limit () =
+  let e = Engine.create () in
+  let rec forever () = Engine.schedule e ~delay:1.0 (fun () -> forever ()) in
+  forever ();
+  match Engine.run ~max_events:100 e with
+  | Engine.Event_limit -> Alcotest.(check int) "count" 100 (Engine.events_processed e)
+  | _ -> Alcotest.fail "expected event limit"
+
+let test_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative or non-finite delay") (fun () ->
+      Engine.schedule e ~delay:(-1.0) (fun () -> ()))
+
+let test_schedule_at_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:2.0 (fun () -> ());
+  ignore (Engine.run e);
+  Alcotest.check_raises "past time" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> Engine.schedule_at e ~time:1.0 (fun () -> ()))
+
+let test_step () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:1.0 (fun () -> fired := true);
+  Alcotest.(check bool) "step fires" true (Engine.step e);
+  Alcotest.(check bool) "handler ran" true !fired;
+  Alcotest.(check bool) "no more events" false (Engine.step e)
+
+let test_trace_basic () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1.0 "hello";
+  Trace.recordf tr ~time:2.0 "value=%d" 42;
+  Alcotest.(check int) "length" 2 (Trace.length tr);
+  let labels = List.map (fun e -> e.Trace.label) (Trace.to_list tr) in
+  Alcotest.(check (list string)) "labels" [ "hello"; "value=42" ] labels;
+  Alcotest.(check int) "find" 1 (List.length (Trace.find tr ~sub:"value"))
+
+let test_trace_capacity () =
+  let tr = Trace.create ~capacity:10 () in
+  for i = 1 to 25 do
+    Trace.record tr ~time:(float_of_int i) (string_of_int i)
+  done;
+  Alcotest.(check bool) "bounded" true (Trace.length tr <= 10);
+  Alcotest.(check bool) "dropped some" true (Trace.dropped tr > 0);
+  (* The newest entry must always be retained. *)
+  Alcotest.(check int) "newest kept" 1 (List.length (Trace.find tr ~sub:"25"))
+
+let () =
+  Alcotest.run "dex_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_fires_in_time_order;
+          Alcotest.test_case "ties by insertion" `Quick test_same_time_insertion_order;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "event limit" `Quick test_event_limit;
+          Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+          Alcotest.test_case "schedule_at past rejected" `Quick test_schedule_at_past_rejected;
+          Alcotest.test_case "single step" `Quick test_step;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basics" `Quick test_trace_basic;
+          Alcotest.test_case "capacity bound" `Quick test_trace_capacity;
+        ] );
+    ]

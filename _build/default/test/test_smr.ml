@@ -1,0 +1,108 @@
+(* Tests for dex_smr: a log of DEX instances with pipelined slots. *)
+
+open Dex_condition
+open Dex_net
+open Dex_underlying
+open Dex_smr
+
+module L = Replicated_log.Make (Uc_oracle)
+
+let freq7 = Pair.freq ~n:7 ~t:1
+
+(* Run a log; [workload p ~slot] is replica p's proposal for a slot. *)
+let run_log ?(discipline = Discipline.lockstep) ?(seed = 1) ?(window = 4) ?(slots = 5)
+    ?(faulty = []) ~workload () =
+  let cfg = L.config ~seed ~window ~pair:(fun _ -> freq7) ~slots ~n:7 ~t:1 () in
+  let commits = Array.make 7 [] in
+  let make p =
+    if List.mem p faulty then Adversary.silent ()
+    else
+      L.replica cfg ~me:p
+        ~propose:(fun ~slot -> workload p ~slot)
+        ~on_commit:(fun ~slot value -> commits.(p) <- (slot, value) :: commits.(p))
+  in
+  let r = Runner.run (Runner.config ~discipline ~seed ~extra:(L.extra cfg) ~n:7 make) in
+  (r, Array.map List.rev commits)
+
+let test_uncontended_log () =
+  (* All replicas propose the same command per slot (the no-contention case
+     from the introduction): every slot commits that command. *)
+  let slots = 5 in
+  let r, commits = run_log ~slots ~workload:(fun _p ~slot -> 100 + slot) () in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  Array.iteri
+    (fun p log ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "replica %d log" p)
+        (List.init slots (fun s -> (s, 100 + s)))
+        log)
+    commits
+
+let test_in_order_commits () =
+  let r, commits = run_log ~slots:8 ~window:3 ~workload:(fun _p ~slot -> slot) () in
+  ignore r;
+  Array.iter
+    (fun log ->
+      let slots_order = List.map fst log in
+      Alcotest.(check (list int)) "in order" (List.init 8 Fun.id) slots_order)
+    commits
+
+let test_contended_slots_agree () =
+  (* Replicas disagree on some slots (contention): logs must still be
+     identical across replicas. *)
+  let workload p ~slot = if slot mod 2 = 0 then 7 else p mod 3 in
+  for seed = 1 to 10 do
+    let _, commits =
+      run_log ~discipline:Discipline.asynchronous ~seed ~slots:6 ~workload ()
+    in
+    let reference = commits.(0) in
+    Alcotest.(check int) "full log" 6 (List.length reference);
+    Array.iteri
+      (fun p log ->
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "replica %d matches" p)
+          reference log)
+      commits
+  done
+
+let test_log_with_faulty_replica () =
+  let workload _p ~slot = 50 + slot in
+  let r, commits = run_log ~slots:4 ~faulty:[ 6 ] ~workload () in
+  ignore r;
+  (* Correct replicas all commit the full log. *)
+  for p = 0 to 5 do
+    Alcotest.(check int) (Printf.sprintf "replica %d commits all" p) 4
+      (List.length commits.(p))
+  done;
+  Alcotest.(check int) "faulty commits nothing" 0 (List.length commits.(6))
+
+let test_window_one_is_sequential () =
+  let r, commits = run_log ~slots:4 ~window:1 ~workload:(fun _p ~slot -> slot) () in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  Array.iter (fun log -> Alcotest.(check int) "all slots" 4 (List.length log)) commits
+
+let test_config_validation () =
+  Alcotest.check_raises "bad window" (Invalid_argument "Replicated_log.config: window must be >= 1")
+    (fun () -> ignore (L.config ~window:0 ~pair:(fun _ -> freq7) ~slots:1 ~n:7 ~t:1 ()));
+  Alcotest.check_raises "bad slots" (Invalid_argument "Replicated_log.config: negative slots")
+    (fun () -> ignore (L.config ~pair:(fun _ -> freq7) ~slots:(-1) ~n:7 ~t:1 ()))
+
+let test_empty_log () =
+  let r, commits = run_log ~slots:0 ~workload:(fun _p ~slot -> slot) () in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  Array.iter (fun log -> Alcotest.(check int) "empty" 0 (List.length log)) commits
+
+let () =
+  Alcotest.run "dex_smr"
+    [
+      ( "replicated_log",
+        [
+          Alcotest.test_case "uncontended log" `Quick test_uncontended_log;
+          Alcotest.test_case "in-order commits" `Quick test_in_order_commits;
+          Alcotest.test_case "contended slots agree" `Quick test_contended_slots_agree;
+          Alcotest.test_case "faulty replica" `Quick test_log_with_faulty_replica;
+          Alcotest.test_case "window 1" `Quick test_window_one_is_sequential;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "empty log" `Quick test_empty_log;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* Tests for the dex_stdext substrate: PRNG, priority queue, table renderer. *)
+
+open Dex_stdext
+
+let test_prng_deterministic () =
+  let g1 = Prng.create ~seed:42 and g2 = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 g1) (Prng.bits64 g2)
+  done
+
+let test_prng_seed_sensitivity () =
+  let g1 = Prng.create ~seed:1 and g2 = Prng.create ~seed:2 in
+  let a = List.init 10 (fun _ -> Prng.bits64 g1) in
+  let b = List.init 10 (fun _ -> Prng.bits64 g2) in
+  Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+let test_prng_int_bounds () =
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 13 in
+    Alcotest.(check bool) "in [0,13)" true (x >= 0 && x < 13)
+  done
+
+let test_prng_int_in_bounds () =
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_in g (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_prng_int_invalid () =
+  let g = Prng.create ~seed:7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_prng_float_bounds () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prng.float g 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_prng_int_coverage () =
+  (* With 1000 draws over [0,4), every bucket should be hit. *)
+  let g = Prng.create ~seed:11 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int g 4) <- true
+  done;
+  Alcotest.(check bool) "all buckets hit" true (Array.for_all Fun.id seen)
+
+let test_prng_split_independent () =
+  let g = Prng.create ~seed:9 in
+  let h = Prng.split g in
+  let a = List.init 20 (fun _ -> Prng.bits64 g) in
+  let b = List.init 20 (fun _ -> Prng.bits64 h) in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let test_prng_copy () =
+  let g = Prng.create ~seed:5 in
+  ignore (Prng.bits64 g);
+  let h = Prng.copy g in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 g) (Prng.bits64 h)
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create ~seed:123 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle_in_place g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_sample_without_replacement () =
+  let g = Prng.create ~seed:77 in
+  for _ = 1 to 50 do
+    let s = Prng.sample_without_replacement g ~k:4 ~n:10 in
+    Alcotest.(check int) "k elements" 4 (List.length s);
+    Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare s));
+    List.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 10)) s
+  done
+
+let test_prng_exponential_positive () =
+  let g = Prng.create ~seed:31 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "positive" true (Prng.exponential g ~mean:1.0 > 0.0)
+  done
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:3.0 ~seq:0 "c";
+  Pqueue.push q ~time:1.0 ~seq:1 "a";
+  Pqueue.push q ~time:2.0 ~seq:2 "b";
+  let pop3 () =
+    match Pqueue.pop q with Some (_, _, v) -> v | None -> Alcotest.fail "empty"
+  in
+  Alcotest.(check string) "first" "a" (pop3 ());
+  Alcotest.(check string) "second" "b" (pop3 ());
+  Alcotest.(check string) "third" "c" (pop3 ());
+  Alcotest.(check bool) "now empty" true (Pqueue.is_empty q)
+
+let test_pqueue_tie_break_by_seq () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:1.0 ~seq:5 "later";
+  Pqueue.push q ~time:1.0 ~seq:2 "earlier";
+  (match Pqueue.pop q with
+  | Some (_, seq, v) ->
+    Alcotest.(check int) "lower seq first" 2 seq;
+    Alcotest.(check string) "value" "earlier" v
+  | None -> Alcotest.fail "empty");
+  ()
+
+let test_pqueue_peek_does_not_remove () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:1.0 ~seq:0 "x";
+  (match Pqueue.peek q with
+  | Some (_, _, v) -> Alcotest.(check string) "peek" "x" v
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "still one element" 1 (Pqueue.length q)
+
+let test_pqueue_stress_sorted_drain () =
+  let g = Prng.create ~seed:2024 in
+  let q = Pqueue.create () in
+  for i = 0 to 999 do
+    Pqueue.push q ~time:(Prng.float g 100.0) ~seq:i i
+  done;
+  let rec drain last count =
+    match Pqueue.pop q with
+    | None -> count
+    | Some (t, _, _) ->
+      Alcotest.(check bool) "non-decreasing" true (t >= last);
+      drain t (count + 1)
+  in
+  Alcotest.(check int) "drained all" 1000 (drain neg_infinity 0)
+
+let test_pqueue_to_list_sorted () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:2.0 ~seq:0 "b";
+  Pqueue.push q ~time:1.0 ~seq:1 "a";
+  let l = List.map (fun (_, _, v) -> v) (Pqueue.to_list q) in
+  Alcotest.(check (list string)) "sorted snapshot" [ "a"; "b" ] l;
+  Alcotest.(check int) "queue intact" 2 (Pqueue.length q)
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:1.0 ~seq:0 ();
+  Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q)
+
+(* Naive substring search; fine for short test strings. *)
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  m = 0 || scan 0
+
+let test_table_render () =
+  let t = Tablefmt.create ~aligns:[ Tablefmt.Left; Tablefmt.Right ] [ "name"; "count" ] in
+  Tablefmt.add_row t [ "alpha"; "10" ];
+  Tablefmt.add_row t [ "b"; "2" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "mentions header" true (contains_sub s "name");
+  Alcotest.(check bool) "mentions row" true (contains_sub s "alpha")
+
+let test_table_markdown () =
+  let t = Tablefmt.create [ "a"; "b" ] in
+  Tablefmt.add_row t [ "1"; "2" ];
+  let s = Tablefmt.render_markdown t in
+  Alcotest.(check bool) "pipe table" true (String.length s > 0 && s.[0] = '|')
+
+let test_table_too_many_cells () =
+  let t = Tablefmt.create [ "only" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Tablefmt.add_row: too many cells") (fun () ->
+      Tablefmt.add_row t [ "a"; "b" ])
+
+let test_table_short_row_padded () =
+  let t = Tablefmt.create [ "a"; "b" ] in
+  Tablefmt.add_row t [ "only" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+(* Model-based property: the priority queue drains exactly like a stable
+   sort of its (time, seq) pairs. *)
+let prop_pqueue_matches_sorted_model =
+  QCheck.Test.make ~name:"pqueue drains like a stable sort" ~count:300
+    QCheck.(list (pair (int_bound 50) small_nat))
+    (fun pairs ->
+      let q = Pqueue.create () in
+      List.iteri
+        (fun seq (time10, payload) ->
+          Pqueue.push q ~time:(float_of_int time10 /. 10.0) ~seq payload)
+        pairs;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (time, seq, payload) -> drain ((time, seq, payload) :: acc)
+      in
+      let drained = drain [] in
+      let model =
+        List.mapi
+          (fun seq (time10, payload) -> (float_of_int time10 /. 10.0, seq, payload))
+          pairs
+        |> List.sort (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+      in
+      drained = model)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_pqueue_matches_sorted_model ]
+
+let () =
+  Alcotest.run "dex_stdext"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic streams" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_prng_int_in_bounds;
+          Alcotest.test_case "int invalid bound" `Quick test_prng_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "int coverage" `Quick test_prng_int_coverage;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "sampling without replacement" `Quick
+            test_prng_sample_without_replacement;
+          Alcotest.test_case "exponential positive" `Quick test_prng_exponential_positive;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+          Alcotest.test_case "tie-break by sequence" `Quick test_pqueue_tie_break_by_seq;
+          Alcotest.test_case "peek non-destructive" `Quick test_pqueue_peek_does_not_remove;
+          Alcotest.test_case "stress sorted drain" `Quick test_pqueue_stress_sorted_drain;
+          Alcotest.test_case "to_list sorted" `Quick test_pqueue_to_list_sorted;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "markdown" `Quick test_table_markdown;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+          Alcotest.test_case "short row padded" `Quick test_table_short_row_padded;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,299 @@
+(* Tests for dex_vector: views, input vectors, frequency statistics. *)
+
+open Dex_vector
+
+let view_of l = View.of_list l
+
+let some v = Some v
+
+let test_bottom () =
+  let j = View.bottom 5 in
+  Alcotest.(check int) "dim" 5 (View.dim j);
+  Alcotest.(check int) "filled" 0 (View.filled j);
+  for k = 0 to 4 do
+    Alcotest.(check bool) "all bottom" true (View.get j k = None)
+  done
+
+let test_bottom_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "View.bottom: dimension must be positive")
+    (fun () -> ignore (View.bottom 0))
+
+let test_set_get_filled () =
+  let j = View.bottom 4 in
+  View.set j 1 7;
+  Alcotest.(check int) "filled 1" 1 (View.filled j);
+  View.set j 1 8;
+  Alcotest.(check int) "overwrite keeps filled" 1 (View.filled j);
+  Alcotest.(check bool) "last write wins" true (View.get j 1 = Some 8);
+  View.clear_entry j 1;
+  Alcotest.(check int) "cleared" 0 (View.filled j)
+
+let test_occurrences () =
+  let j = view_of [ some 1; some 1; None; some 2; some 1 ] in
+  Alcotest.(check int) "#1" 3 (View.occurrences j 1);
+  Alcotest.(check int) "#2" 1 (View.occurrences j 2);
+  Alcotest.(check int) "#3" 0 (View.occurrences j 3)
+
+let test_first_most_frequent () =
+  let j = view_of [ some 1; some 1; some 2; None ] in
+  Alcotest.(check (option int)) "1st" (Some 1) (View.first_most_frequent j)
+
+let test_first_tie_breaks_largest () =
+  (* Paper: "If two or more values appear most often, the largest one is
+     selected." *)
+  let j = view_of [ some 1; some 3; some 1; some 3 ] in
+  Alcotest.(check (option int)) "tie -> largest" (Some 3) (View.first_most_frequent j)
+
+let test_first_all_bottom () =
+  Alcotest.(check (option int)) "none" None (View.first_most_frequent (View.bottom 3))
+
+let test_second_most_frequent () =
+  let j = view_of [ some 5; some 5; some 5; some 2; some 2; some 9 ] in
+  Alcotest.(check (option int)) "2nd" (Some 2) (View.second_most_frequent j);
+  let unanimous = view_of [ some 4; some 4 ] in
+  Alcotest.(check (option int)) "no 2nd" None (View.second_most_frequent unanimous)
+
+let test_second_tie_breaks_largest () =
+  let j = view_of [ some 5; some 5; some 5; some 2; some 9 ] in
+  (* 2 and 9 both appear once; 2nd(J) = 1st(Ĵ) picks the largest. *)
+  Alcotest.(check (option int)) "tie -> largest" (Some 9) (View.second_most_frequent j)
+
+let test_freq_margin () =
+  let j = view_of [ some 1; some 1; some 1; some 2; None ] in
+  Alcotest.(check int) "3 - 1" 2 (View.freq_margin j);
+  let unanimous = view_of [ some 1; some 1 ] in
+  Alcotest.(check int) "no second -> count" 2 (View.freq_margin unanimous);
+  Alcotest.(check int) "empty view" 0 (View.freq_margin (View.bottom 4))
+
+let test_top_two_counts () =
+  let j = view_of [ some 1; some 1; some 2 ] in
+  let (v1, c1), second = View.top_two_counts j in
+  Alcotest.(check int) "1st value" 1 v1;
+  Alcotest.(check int) "1st count" 2 c1;
+  (match second with
+  | Some (v2, c2) ->
+    Alcotest.(check int) "2nd value" 2 v2;
+    Alcotest.(check int) "2nd count" 1 c2
+  | None -> Alcotest.fail "expected a second value");
+  Alcotest.check_raises "all-bottom raises"
+    (Invalid_argument "View.top_two_counts: all-default view") (fun () ->
+      ignore (View.top_two_counts (View.bottom 2)))
+
+let test_contains () =
+  let j = view_of [ some 1; None; some 3 ] in
+  let i = view_of [ some 1; some 2; some 3 ] in
+  Alcotest.(check bool) "J <= I" true (View.contains j i);
+  Alcotest.(check bool) "I </= J" false (View.contains i j);
+  let j_bad = view_of [ some 9; None; some 3 ] in
+  Alcotest.(check bool) "mismatching entry" false (View.contains j_bad i)
+
+let test_contains_reflexive () =
+  let j = view_of [ some 1; None ] in
+  Alcotest.(check bool) "J <= J" true (View.contains j j)
+
+let test_distance () =
+  let a = view_of [ some 1; some 2; None; some 4 ] in
+  let b = view_of [ some 1; some 3; some 5; None ] in
+  Alcotest.(check int) "three diffs" 3 (View.distance a b);
+  Alcotest.(check int) "self distance" 0 (View.distance a a)
+
+let test_distance_dim_mismatch () =
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "View.distance: dimension mismatch")
+    (fun () -> ignore (View.distance (View.bottom 2) (View.bottom 3)))
+
+let test_compatible_merge () =
+  let a = view_of [ some 1; None; some 3 ] in
+  let b = view_of [ None; some 2; some 3 ] in
+  Alcotest.(check bool) "compatible" true (View.compatible a b);
+  let m = View.merge a b in
+  Alcotest.(check (list (option int))) "merge union" [ some 1; some 2; some 3 ]
+    (View.to_list m);
+  let c = view_of [ some 9; None; None ] in
+  Alcotest.(check bool) "incompatible" false (View.compatible a c);
+  Alcotest.check_raises "merge incompatible" (Invalid_argument "View.merge: incompatible views")
+    (fun () -> ignore (View.merge a c))
+
+let test_values_sorted_distinct () =
+  let j = view_of [ some 3; some 1; some 3; None; some 2 ] in
+  Alcotest.(check (list int)) "sorted distinct" [ 1; 2; 3 ] (View.values j)
+
+let test_copy_independent () =
+  let j = view_of [ some 1; None ] in
+  let j' = View.copy j in
+  View.set j' 1 5;
+  Alcotest.(check bool) "original untouched" true (View.get j 1 = None)
+
+let test_iv_basic () =
+  let i = Input_vector.of_list [ 1; 2; 2; 2 ] in
+  Alcotest.(check int) "dim" 4 (Input_vector.dim i);
+  Alcotest.(check int) "get" 2 (Input_vector.get i 3);
+  Alcotest.(check int) "occurrences" 3 (Input_vector.occurrences i 2);
+  Alcotest.(check int) "1st" 2 (Input_vector.first_most_frequent i);
+  Alcotest.(check (option int)) "2nd" (Some 1) (Input_vector.second_most_frequent i);
+  Alcotest.(check int) "margin" 2 (Input_vector.freq_margin i)
+
+let test_iv_unanimous () =
+  let i = Input_vector.make 5 9 in
+  Alcotest.(check int) "margin is n" 5 (Input_vector.freq_margin i);
+  Alcotest.(check (option int)) "no second" None (Input_vector.second_most_frequent i)
+
+let test_iv_set_functional () =
+  let i = Input_vector.make 3 0 in
+  let i' = Input_vector.set i 1 7 in
+  Alcotest.(check int) "updated" 7 (Input_vector.get i' 1);
+  Alcotest.(check int) "original intact" 0 (Input_vector.get i 1)
+
+let test_iv_mask () =
+  let i = Input_vector.of_list [ 1; 2; 3; 4 ] in
+  let j = Input_vector.mask i [ 0; 2 ] in
+  Alcotest.(check (list (option int))) "masked" [ None; some 2; None; some 4 ]
+    (View.to_list j);
+  Alcotest.(check bool) "view contained in I" true (View.contains j (Input_vector.to_view i))
+
+let test_iv_distance () =
+  let a = Input_vector.of_list [ 1; 2; 3 ] in
+  let b = Input_vector.of_list [ 1; 9; 3 ] in
+  Alcotest.(check int) "distance 1" 1 (Input_vector.distance a b)
+
+let test_iv_enumerate () =
+  let all = Input_vector.enumerate ~n:3 ~values:[ 0; 1 ] in
+  Alcotest.(check int) "2^3 vectors" 8 (List.length all);
+  let distinct = List.sort_uniq compare (List.map Input_vector.to_list all) in
+  Alcotest.(check int) "all distinct" 8 (List.length distinct)
+
+let test_iv_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Input_vector.of_array: empty") (fun () ->
+      ignore (Input_vector.of_array [||]))
+
+(* Property tests. *)
+
+let gen_view n =
+  QCheck.Gen.(array_size (return n) (opt (int_bound 4)))
+
+let arb_view n =
+  QCheck.make
+    ~print:(fun arr -> Format.asprintf "%a" View.pp (View.of_array arr))
+    (gen_view n)
+
+let prop_distance_symmetric =
+  QCheck.Test.make ~name:"distance symmetric" ~count:500
+    (QCheck.pair (arb_view 6) (arb_view 6))
+    (fun (a, b) ->
+      let ja = View.of_array a and jb = View.of_array b in
+      View.distance ja jb = View.distance jb ja)
+
+let prop_distance_triangle =
+  QCheck.Test.make ~name:"distance triangle inequality" ~count:500
+    (QCheck.triple (arb_view 6) (arb_view 6) (arb_view 6))
+    (fun (a, b, c) ->
+      let ja = View.of_array a and jb = View.of_array b and jc = View.of_array c in
+      View.distance ja jc <= View.distance ja jb + View.distance jb jc)
+
+let prop_merge_extends_both =
+  QCheck.Test.make ~name:"merge extends both operands" ~count:500
+    (QCheck.pair (arb_view 6) (arb_view 6))
+    (fun (a, b) ->
+      let ja = View.of_array a and jb = View.of_array b in
+      QCheck.assume (View.compatible ja jb);
+      let m = View.merge ja jb in
+      View.contains ja m && View.contains jb m)
+
+let prop_contains_implies_zero_conflict =
+  QCheck.Test.make ~name:"containment implies compatibility" ~count:500
+    (QCheck.pair (arb_view 6) (arb_view 6))
+    (fun (a, b) ->
+      let ja = View.of_array a and jb = View.of_array b in
+      QCheck.assume (View.contains ja jb);
+      View.compatible ja jb)
+
+let prop_first_most_frequent_is_max =
+  QCheck.Test.make ~name:"1st(J) has maximal count" ~count:500 (arb_view 8) (fun a ->
+      let j = View.of_array a in
+      match View.first_most_frequent j with
+      | None -> View.filled j = 0
+      | Some v ->
+        List.for_all (fun u -> View.occurrences j u <= View.occurrences j v) (View.values j))
+
+let prop_mask_distance_bound =
+  QCheck.Test.make ~name:"masking k entries gives distance <= k" ~count:500
+    (QCheck.pair (QCheck.array_of_size (QCheck.Gen.return 7) (QCheck.int_bound 4))
+       (QCheck.int_bound 6))
+    (fun (arr, k) ->
+      QCheck.assume (Array.length arr = 7);
+      let i = Input_vector.of_array arr in
+      let ks = List.init (min k 7) (fun x -> x) in
+      let j = Input_vector.mask i ks in
+      View.distance j (Input_vector.to_view i) = List.length ks)
+
+(* Reference-model check: the incremental counting statistics agree with
+   naive recomputation from scratch. *)
+let prop_view_stats_match_reference =
+  QCheck.Test.make ~name:"view stats match naive reference" ~count:500 (arb_view 9)
+    (fun arr ->
+      let j = View.of_array arr in
+      let entries = Array.to_list arr in
+      let values = List.filter_map Fun.id entries in
+      let naive_filled = List.length values in
+      let naive_occ v = List.length (List.filter (Value.equal v) values) in
+      let distinct = List.sort_uniq Value.compare values in
+      let naive_margin =
+        match
+          List.sort (fun a b -> compare b a) (List.map (fun v -> naive_occ v) distinct)
+        with
+        | [] -> 0
+        | [ c ] -> c
+        | c1 :: c2 :: _ -> c1 - c2
+      in
+      View.filled j = naive_filled
+      && List.for_all (fun v -> View.occurrences j v = naive_occ v) distinct
+      && View.freq_margin j = naive_margin
+      && View.values j = distinct)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_view_stats_match_reference;
+      prop_distance_symmetric;
+      prop_distance_triangle;
+      prop_merge_extends_both;
+      prop_contains_implies_zero_conflict;
+      prop_first_most_frequent_is_max;
+      prop_mask_distance_bound;
+    ]
+
+let () =
+  Alcotest.run "dex_vector"
+    [
+      ( "view",
+        [
+          Alcotest.test_case "bottom" `Quick test_bottom;
+          Alcotest.test_case "bottom invalid" `Quick test_bottom_invalid;
+          Alcotest.test_case "set/get/filled" `Quick test_set_get_filled;
+          Alcotest.test_case "occurrences" `Quick test_occurrences;
+          Alcotest.test_case "1st most frequent" `Quick test_first_most_frequent;
+          Alcotest.test_case "1st tie -> largest" `Quick test_first_tie_breaks_largest;
+          Alcotest.test_case "1st of all-bottom" `Quick test_first_all_bottom;
+          Alcotest.test_case "2nd most frequent" `Quick test_second_most_frequent;
+          Alcotest.test_case "2nd tie -> largest" `Quick test_second_tie_breaks_largest;
+          Alcotest.test_case "frequency margin" `Quick test_freq_margin;
+          Alcotest.test_case "top two counts" `Quick test_top_two_counts;
+          Alcotest.test_case "containment" `Quick test_contains;
+          Alcotest.test_case "containment reflexive" `Quick test_contains_reflexive;
+          Alcotest.test_case "distance" `Quick test_distance;
+          Alcotest.test_case "distance dim mismatch" `Quick test_distance_dim_mismatch;
+          Alcotest.test_case "compatible + merge" `Quick test_compatible_merge;
+          Alcotest.test_case "values sorted distinct" `Quick test_values_sorted_distinct;
+          Alcotest.test_case "copy independence" `Quick test_copy_independent;
+        ] );
+      ( "input_vector",
+        [
+          Alcotest.test_case "basics" `Quick test_iv_basic;
+          Alcotest.test_case "unanimous" `Quick test_iv_unanimous;
+          Alcotest.test_case "functional set" `Quick test_iv_set_functional;
+          Alcotest.test_case "mask" `Quick test_iv_mask;
+          Alcotest.test_case "distance" `Quick test_iv_distance;
+          Alcotest.test_case "enumerate" `Quick test_iv_enumerate;
+          Alcotest.test_case "empty rejected" `Quick test_iv_empty_rejected;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,289 @@
+(* Tests for dex_workload: input generators, fault specs, and the uniform
+   scenario runner that drives all Table-1 algorithms. *)
+
+open Dex_stdext
+open Dex_vector
+open Dex_metrics
+open Dex_workload
+
+let rng () = Prng.create ~seed:11
+
+let test_unanimous () =
+  let i = Input_gen.unanimous ~n:5 9 in
+  Alcotest.(check int) "all 9" 5 (Input_vector.occurrences i 9)
+
+let test_two_valued () =
+  let i = Input_gen.two_valued ~rng:(rng ()) ~n:10 ~majority:5 ~minority:3 ~majority_count:7 in
+  Alcotest.(check int) "majority count" 7 (Input_vector.occurrences i 5);
+  Alcotest.(check int) "minority count" 3 (Input_vector.occurrences i 3)
+
+let test_two_valued_invalid () =
+  Alcotest.check_raises "bad count" (Invalid_argument "Input_gen.two_valued: bad majority_count")
+    (fun () ->
+      ignore (Input_gen.two_valued ~rng:(rng ()) ~n:4 ~majority:1 ~minority:0 ~majority_count:5))
+
+let test_with_freq_margin_exact () =
+  let g = rng () in
+  List.iter
+    (fun (n, margin) ->
+      let i = Input_gen.with_freq_margin ~rng:g ~n ~margin in
+      Alcotest.(check int)
+        (Printf.sprintf "margin %d on n=%d" margin n)
+        margin (Input_vector.freq_margin i))
+    [ (7, 7); (7, 5); (7, 3); (7, 1); (7, 0); (7, 2); (7, 4); (13, 9); (13, 8); (12, 0) ]
+
+let test_with_freq_margin_unachievable () =
+  Alcotest.check_raises "n-1 impossible"
+    (Invalid_argument "Input_gen.with_freq_margin: margin unachievable for this n") (fun () ->
+      ignore (Input_gen.with_freq_margin ~rng:(rng ()) ~n:8 ~margin:7))
+
+let test_with_privileged_count () =
+  let i = Input_gen.with_privileged_count ~rng:(rng ()) ~n:9 ~m:7 ~count:5 ~others:[ 0; 1 ] in
+  Alcotest.(check int) "m count" 5 (Input_vector.occurrences i 7);
+  Alcotest.(check int) "others fill" 4
+    (Input_vector.occurrences i 0 + Input_vector.occurrences i 1)
+
+let test_privileged_validation () =
+  Alcotest.check_raises "m in others"
+    (Invalid_argument "Input_gen.with_privileged_count: others contains m") (fun () ->
+      ignore (Input_gen.with_privileged_count ~rng:(rng ()) ~n:4 ~m:7 ~count:2 ~others:[ 7 ]))
+
+let test_skewed_bias_extremes () =
+  let g = rng () in
+  let all_fav = Input_gen.skewed ~rng:g ~n:20 ~favorite:9 ~others:[ 1 ] ~bias:1.0 in
+  Alcotest.(check int) "bias 1" 20 (Input_vector.occurrences all_fav 9);
+  let none_fav = Input_gen.skewed ~rng:g ~n:20 ~favorite:9 ~others:[ 1 ] ~bias:0.0 in
+  Alcotest.(check int) "bias 0" 0 (Input_vector.occurrences none_fav 9)
+
+let test_uniform_in_range () =
+  let i = Input_gen.uniform ~rng:(rng ()) ~n:50 ~values:[ 2; 4; 6 ] in
+  List.iter
+    (fun v -> Alcotest.(check bool) "in universe" true (List.mem v [ 2; 4; 6 ]))
+    (Input_vector.to_list i)
+
+let test_fault_spec_sets () =
+  let spec = Fault_spec.silent_set [ 1; 3 ] in
+  Alcotest.(check bool) "p1 silent" true (spec 1 = Fault_spec.Silent);
+  Alcotest.(check bool) "p0 correct" true (spec 0 = Fault_spec.Correct);
+  Alcotest.(check (list int)) "faulty pids" [ 1; 3 ] (Fault_spec.faulty_pids ~n:5 spec);
+  Alcotest.(check (list int)) "correct pids" [ 0; 2; 4 ] (Fault_spec.correct_pids ~n:5 spec);
+  Alcotest.(check int) "count" 2 (Fault_spec.count_faulty ~n:5 spec)
+
+let test_fault_spec_last_k () =
+  let spec = Fault_spec.last_k ~n:7 ~k:2 Fault_spec.Silent in
+  Alcotest.(check (list int)) "last two" [ 5; 6 ] (Fault_spec.faulty_pids ~n:7 spec)
+
+let test_fault_spec_random_stable () =
+  (* The returned spec must be a pure function: repeated queries agree. *)
+  let spec =
+    Fault_spec.random ~rng:(rng ()) ~n:10 ~f:3 ~behaviours:[ Fault_spec.Silent ]
+  in
+  let a = Fault_spec.faulty_pids ~n:10 spec in
+  let b = Fault_spec.faulty_pids ~n:10 spec in
+  Alcotest.(check (list int)) "stable" a b;
+  Alcotest.(check int) "exactly f" 3 (List.length a)
+
+(* ------------------------- scenario runner ------------------------- *)
+
+let test_scenario_dex_freq_one_step () =
+  let n = 7 and t = 1 in
+  let out =
+    Scenario.run
+      (Scenario.spec ~algo:Scenario.Dex_freq ~n ~t ~proposals:(Input_gen.unanimous ~n 5) ())
+  in
+  Alcotest.(check bool) "all decided" true out.Scenario.all_decided;
+  Alcotest.(check bool) "agreement" true out.Scenario.agreement;
+  Alcotest.(check (option int)) "value" (Some 5) out.Scenario.value;
+  Alcotest.(check (list (pair string int))) "all one-step" [ ("one-step", 7) ] out.Scenario.tags;
+  Alcotest.(check bool) "quiescent" true out.Scenario.quiescent;
+  Alcotest.(check (float 1e-9)) "fraction fast" 1.0 (Scenario.fraction_fast out ~max_steps:1);
+  Alcotest.(check (float 1e-9)) "mean steps" 1.0 (Scenario.mean_steps out)
+
+let test_scenario_all_algorithms_unanimous () =
+  (* Every algorithm of the Table-1 matrix decides a unanimous input and
+     agrees, at its own resilience point. *)
+  List.iter
+    (fun (algo, n, t) ->
+      let out =
+        Scenario.run
+          (Scenario.spec ~algo ~n ~t ~proposals:(Input_gen.unanimous ~n 5) ())
+      in
+      Alcotest.(check bool) (Scenario.algo_name algo ^ " decided") true out.Scenario.all_decided;
+      Alcotest.(check (option int)) (Scenario.algo_name algo ^ " value") (Some 5)
+        out.Scenario.value)
+    [
+      (Scenario.Dex_freq, 7, 1);
+      (Scenario.Dex_prv 5, 6, 1);
+      (Scenario.Bosco, 6, 1);
+      (Scenario.Brasileiro, 4, 1);
+      (Scenario.Plain, 4, 1);
+    ]
+
+let test_scenario_real_uc () =
+  let n = 7 and t = 1 in
+  let out =
+    Scenario.run
+      (Scenario.spec ~uc:Scenario.Real ~algo:Scenario.Dex_freq ~n ~t
+         ~proposals:(Input_vector.of_list [ 5; 5; 5; 5; 1; 1; 1 ]) ())
+  in
+  Alcotest.(check bool) "all decided" true out.Scenario.all_decided;
+  Alcotest.(check bool) "agreement" true out.Scenario.agreement
+
+let test_scenario_with_faults () =
+  let n = 7 and t = 1 in
+  let out =
+    Scenario.run
+      (Scenario.spec ~algo:Scenario.Dex_freq ~n ~t
+         ~proposals:(Input_gen.unanimous ~n 4)
+         ~faults:(Fault_spec.silent_set [ 6 ])
+         ())
+  in
+  Alcotest.(check (list int)) "six correct" [ 0; 1; 2; 3; 4; 5 ] out.Scenario.correct;
+  Alcotest.(check bool) "all correct decided" true out.Scenario.all_decided;
+  Alcotest.(check (option int)) "unanimity" (Some 4) out.Scenario.value
+
+let test_scenario_dimension_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Scenario.run: proposals dimension disagrees with n") (fun () ->
+      ignore
+        (Scenario.run
+           (Scenario.spec ~algo:Scenario.Plain ~n:4 ~t:1
+              ~proposals:(Input_gen.unanimous ~n:5 1) ())))
+
+let test_scenario_step_shape_comparison () =
+  (* The paper's trade-off on a pessimistic input: Bosco falls back in 3
+     steps, DEX in 4, Plain floors at 2. *)
+  let proposals_7 = Input_vector.of_list [ 5; 5; 5; 5; 1; 1; 1 ] in
+  let dex =
+    Scenario.run (Scenario.spec ~algo:Scenario.Dex_freq ~n:7 ~t:1 ~proposals:proposals_7 ())
+  in
+  let bosco =
+    Scenario.run (Scenario.spec ~algo:Scenario.Bosco ~n:7 ~t:1 ~proposals:proposals_7 ())
+  in
+  let plain =
+    Scenario.run (Scenario.spec ~algo:Scenario.Plain ~n:7 ~t:1 ~proposals:proposals_7 ())
+  in
+  Alcotest.(check (float 1e-9)) "DEX worst case 4" 4.0 (Scenario.mean_steps dex);
+  Alcotest.(check (float 1e-9)) "Bosco fallback 3" 3.0 (Scenario.mean_steps bosco);
+  Alcotest.(check (float 1e-9)) "Plain floor 2" 2.0 (Scenario.mean_steps plain)
+
+let test_scenario_dex_beats_bosco_on_margin_inputs () =
+  (* The headline coverage claim: margins in (2t, 4t] give DEX a two-step
+     decision while Bosco (weak, snapshot-based) falls back. margin 3 on
+     n = 7: DEX two-step; Bosco needs > (n+3t)/2 = 5 matching among its
+     n - t = 6 snapshot — 5 matches means... it can one-step on lucky
+     snapshots, so compare mean steps across seeds instead. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 5; 1; 1 ] in
+  let mean algo =
+    Stats.mean
+      (List.init 20 (fun seed ->
+           Scenario.mean_steps
+             (Scenario.run
+                (Scenario.spec ~seed
+                   ~discipline:Dex_net.Discipline.asynchronous ~algo ~n:7 ~t:1 ~proposals ()))))
+  in
+  let dex = mean Scenario.Dex_freq and bosco = mean Scenario.Bosco in
+  Alcotest.(check bool)
+    (Printf.sprintf "DEX (%.2f) faster than Bosco (%.2f)" dex bosco)
+    true (dex < bosco)
+
+(* Swarm fuzz: a random point of the whole configuration space — algorithm,
+   UC implementation, resilience, input, fault pattern, schedule — must
+   always terminate with agreement among correct processes. *)
+let prop_swarm_safety =
+  let gen =
+    QCheck.Gen.(
+      let* algo_ix = int_bound 6 in
+      let* uc_ix = int_bound 2 in
+      let* t = int_range 0 2 in
+      let* seed = int_bound 1_000_000 in
+      let* bias10 = int_range 3 10 in
+      let* fault_ix = int_bound 3 in
+      let* sched_ix = int_bound 1 in
+      return (algo_ix, uc_ix, t, seed, bias10, fault_ix, sched_ix))
+  in
+  QCheck.Test.make ~name:"swarm: any config terminates and agrees" ~count:120
+    (QCheck.make
+       ~print:(fun (a, u, t, s, b, f, d) ->
+         Printf.sprintf "algo=%d uc=%d t=%d seed=%d bias=%d fault=%d sched=%d" a u t s b f d)
+       gen)
+    (fun (algo_ix, uc_ix, t, seed, bias10, fault_ix, sched_ix) ->
+      let algo =
+        List.nth
+          [
+            Scenario.Dex_freq;
+            Scenario.Dex_freq_snapshot;
+            Scenario.Dex_prv 5;
+            Scenario.Bosco;
+            Scenario.Friedman;
+            Scenario.Brasileiro;
+            Scenario.Izumi;
+          ]
+          algo_ix
+      in
+      (* Minimal n for the algorithm's resilience bound (+1 headroom). *)
+      let n =
+        let base =
+          match algo with
+          | Scenario.Dex_freq | Scenario.Dex_freq_snapshot -> (6 * t) + 1
+          | Scenario.Dex_prv _ | Scenario.Bosco | Scenario.Friedman -> (5 * t) + 1
+          | Scenario.Brasileiro | Scenario.Izumi -> (4 * t) + 1 (* > 4t for Real UC *)
+          | Scenario.Sync_flood | Scenario.Plain -> (4 * t) + 1
+        in
+        max 5 (base + 1)
+      in
+      let uc = List.nth [ Scenario.Oracle; Scenario.Real; Scenario.Leader ] uc_ix in
+      let rng = Prng.create ~seed:(seed + 13) in
+      let proposals =
+        Input_gen.skewed ~rng ~n ~favorite:5 ~others:[ 1; 2 ]
+          ~bias:(float_of_int bias10 /. 10.0)
+      in
+      let faults =
+        if t = 0 then Fault_spec.none
+        else
+          match fault_ix with
+          | 0 -> Fault_spec.none
+          | 1 -> Fault_spec.last_k ~n ~k:t Fault_spec.Silent
+          | 2 -> Fault_spec.last_k ~n ~k:t Fault_spec.Crash_mid
+          | _ -> Fault_spec.equivocate_split [ n - 1 ] ~n ~low:1 ~high:5
+      in
+      let discipline =
+        if sched_ix = 0 then Dex_net.Discipline.lockstep else Dex_net.Discipline.asynchronous
+      in
+      let out = Scenario.run (Scenario.spec ~uc ~seed ~discipline ~faults ~algo ~n ~t ~proposals ()) in
+      out.Scenario.all_decided && out.Scenario.agreement)
+
+let () =
+  Alcotest.run "dex_workload"
+    [
+      ( "input_gen",
+        [
+          Alcotest.test_case "unanimous" `Quick test_unanimous;
+          Alcotest.test_case "two-valued" `Quick test_two_valued;
+          Alcotest.test_case "two-valued invalid" `Quick test_two_valued_invalid;
+          Alcotest.test_case "exact frequency margins" `Quick test_with_freq_margin_exact;
+          Alcotest.test_case "unachievable margin" `Quick test_with_freq_margin_unachievable;
+          Alcotest.test_case "privileged count" `Quick test_with_privileged_count;
+          Alcotest.test_case "privileged validation" `Quick test_privileged_validation;
+          Alcotest.test_case "skew extremes" `Quick test_skewed_bias_extremes;
+          Alcotest.test_case "uniform range" `Quick test_uniform_in_range;
+        ] );
+      ( "fault_spec",
+        [
+          Alcotest.test_case "silent sets" `Quick test_fault_spec_sets;
+          Alcotest.test_case "last k" `Quick test_fault_spec_last_k;
+          Alcotest.test_case "random stable" `Quick test_fault_spec_random_stable;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "dex one-step" `Quick test_scenario_dex_freq_one_step;
+          Alcotest.test_case "all algorithms" `Quick test_scenario_all_algorithms_unanimous;
+          Alcotest.test_case "real UC" `Quick test_scenario_real_uc;
+          Alcotest.test_case "with faults" `Quick test_scenario_with_faults;
+          Alcotest.test_case "dimension mismatch" `Quick test_scenario_dimension_mismatch;
+          Alcotest.test_case "step-shape comparison" `Quick test_scenario_step_shape_comparison;
+          Alcotest.test_case "DEX beats Bosco on margin inputs" `Quick
+            test_scenario_dex_beats_bosco_on_margin_inputs;
+          QCheck_alcotest.to_alcotest prop_swarm_safety;
+        ] );
+    ]
