@@ -7,11 +7,10 @@ let probs w =
     (Array.make w.alternatives ((1.0 -. w.bias) /. float_of_int w.alternatives))
 
 (* Frequency margin of a count vector: top count minus second-top (0 when a
-   single value exists). Ties don't matter for the margin itself. *)
-let margin counts =
-  let sorted = Array.copy counts in
-  Array.sort (fun a b -> compare b a) sorted;
-  if Array.length sorted < 2 then sorted.(0) else sorted.(0) - sorted.(1)
+   single value exists). Ties don't matter for the margin itself. The
+   allocation-free one-pass scan matters here: this runs once per composition
+   inside the multinomial enumeration. *)
+let margin = Dex_vector.View_stats.margin_of_counts
 
 let p_freq_margin_gt ~n w ~d =
   Multinomial.probability ~n ~probs:(probs w) (fun counts -> margin counts > d)

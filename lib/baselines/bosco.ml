@@ -34,28 +34,17 @@ module Make (Uc : Uc_intf.S) = struct
     let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
     let acted = ref false in
     let decided = ref false in
-    let uc_actions emit =
-      let sends =
-        List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
-        @ List.map
-            (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
-            emit.Uc_intf.timers
-      in
-      match emit.Uc_intf.decision with
-      | Some v when not !decided ->
-        decided := true;
-        sends @ [ Protocol.decide ~tag:"underlying" v ]
-      | _ -> sends
-    in
-    (* The single evaluation point: fires when the (n-t)-th vote lands. *)
+    let uc_actions = Uc_intf.to_actions ~inject:(fun m -> Uc m) ~decided in
+    (* The single evaluation point: fires when the (n-t)-th vote lands.
+       Frequency queries read the view's incremental statistics. *)
     let evaluate () =
       acted := true;
+      let stats = View.stats votes in
       let decide_threshold_doubled = cfg.n + (3 * cfg.t) in
       let adopt_threshold_doubled = cfg.n - cfg.t in
       let decides =
-        match View.first_most_frequent votes with
-        | Some v
-          when 2 * View.occurrences votes v > decide_threshold_doubled && not !decided ->
+        match View_stats.first stats with
+        | Some (v, c) when 2 * c > decide_threshold_doubled && not !decided ->
           decided := true;
           [ Protocol.decide ~tag:"one-step" v ]
         | _ -> []
@@ -65,8 +54,8 @@ module Make (Uc : Uc_intf.S) = struct
          automatic; comparisons are done at double scale to stay in
          integers. *)
       let adopted =
-        match View.first_most_frequent votes with
-        | Some v when 2 * View.occurrences votes v > adopt_threshold_doubled -> v
+        match View_stats.first stats with
+        | Some (v, c) when 2 * c > adopt_threshold_doubled -> v
         | _ -> proposal
       in
       decides @ uc_actions (Uc.propose uc adopted)

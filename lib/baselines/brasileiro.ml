@@ -34,32 +34,21 @@ module Make (Uc : Uc_intf.S) = struct
     let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
     let acted = ref false in
     let decided = ref false in
-    let uc_actions emit =
-      let sends =
-        List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
-        @ List.map
-            (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
-            emit.Uc_intf.timers
-      in
-      match emit.Uc_intf.decision with
-      | Some v when not !decided ->
-        decided := true;
-        sends @ [ Protocol.decide ~tag:"underlying" v ]
-      | _ -> sends
-    in
+    let uc_actions = Uc_intf.to_actions ~inject:(fun m -> Uc m) ~decided in
     let evaluate () =
       acted := true;
-      let received = View.filled values in
+      let stats = View.stats values in
+      let received = View_stats.filled stats in
       let decides =
-        match View.first_most_frequent values with
-        | Some v when View.occurrences values v = received && not !decided ->
+        match View_stats.first stats with
+        | Some (v, c) when c = received && not !decided ->
           decided := true;
           [ Protocol.decide ~tag:"one-step" v ]
         | _ -> []
       in
       let adopted =
-        match View.first_most_frequent values with
-        | Some v when View.occurrences values v >= cfg.n - (2 * cfg.t) -> v
+        match View_stats.first stats with
+        | Some (v, c) when c >= cfg.n - (2 * cfg.t) -> v
         | _ -> proposal
       in
       decides @ uc_actions (Uc.propose uc adopted)

@@ -34,33 +34,22 @@ module Make (Uc : Uc_intf.S) = struct
     let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
     let acted = ref false in
     let decided = ref false in
-    let uc_actions emit =
-      let sends =
-        List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
-        @ List.map
-            (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
-            emit.Uc_intf.timers
-      in
-      match emit.Uc_intf.decision with
-      | Some v when not !decided ->
-        decided := true;
-        sends @ [ Protocol.decide ~tag:"underlying" v ]
-      | _ -> sends
-    in
+    let uc_actions = Uc_intf.to_actions ~inject:(fun m -> Uc m) ~decided in
     let evaluate () =
       acted := true;
-      let received = View.filled votes in
+      let stats = View.stats votes in
+      let received = View_stats.filled stats in
       let decides =
-        match View.first_most_frequent votes with
-        | Some v when View.occurrences votes v = received && not !decided ->
+        match View_stats.first stats with
+        | Some (v, c) when c = received && not !decided ->
           decided := true;
           [ Protocol.decide ~tag:"one-step" v ]
         | _ -> []
       in
       (* Adopt a value seen in a strict majority of the snapshot. *)
       let adopted =
-        match View.first_most_frequent votes with
-        | Some v when 2 * View.occurrences votes v > received -> v
+        match View_stats.first stats with
+        | Some (v, c) when 2 * c > received -> v
         | _ -> proposal
       in
       decides @ uc_actions (Uc.propose uc adopted)

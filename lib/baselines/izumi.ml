@@ -34,27 +34,18 @@ module Make (Uc : Uc_intf.S) = struct
     let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
     let proposed = ref false in
     let decided = ref false in
-    let uc_actions emit =
-      let sends =
-        List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
-        @ List.map
-            (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
-            emit.Uc_intf.timers
-      in
-      match emit.Uc_intf.decision with
-      | Some v when not !decided ->
-        decided := true;
-        sends @ [ Protocol.decide ~tag:"underlying" v ]
-      | _ -> sends
-    in
-    (* Re-evaluated on every arrival — the adaptive trait DEX generalizes. *)
+    let uc_actions = Uc_intf.to_actions ~inject:(fun m -> Uc m) ~decided in
+    (* Re-evaluated on every arrival — the adaptive trait DEX generalizes.
+       The margin check reads the view's incremental statistics: O(log k)
+       per message, not an O(n) rescan. *)
     let try_one_step () =
+      let stats = View.stats view in
       if
         (not !decided)
-        && View.filled view >= cfg.n - cfg.t
-        && View.freq_margin view > 2 * cfg.t
+        && View_stats.filled stats >= cfg.n - cfg.t
+        && View_stats.margin stats > 2 * cfg.t
       then begin
-        match View.first_most_frequent view with
+        match View_stats.most_frequent_non_default stats with
         | Some v ->
           decided := true;
           [ Protocol.decide ~tag:"one-step" v ]
@@ -66,7 +57,9 @@ module Make (Uc : Uc_intf.S) = struct
       if (not !proposed) && View.filled view >= cfg.n - cfg.t then begin
         proposed := true;
         let adopted =
-          match View.first_most_frequent view with Some v -> v | None -> proposal
+          match View_stats.most_frequent_non_default (View.stats view) with
+          | Some v -> v
+          | None -> proposal
         in
         uc_actions (Uc.propose uc adopted)
       end

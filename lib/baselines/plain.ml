@@ -18,19 +18,7 @@ module Make (Uc : Uc_intf.S) = struct
   let instance cfg ~me ~(proposal : Value.t) =
     let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
     let decided = ref false in
-    let uc_actions emit =
-      let sends =
-        List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
-        @ List.map
-            (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
-            emit.Uc_intf.timers
-      in
-      match emit.Uc_intf.decision with
-      | Some v when not !decided ->
-        decided := true;
-        sends @ [ Protocol.decide ~tag:"underlying" v ]
-      | _ -> sends
-    in
+    let uc_actions = Uc_intf.to_actions ~inject:(fun m -> Uc m) ~decided in
     {
       Protocol.start = (fun () -> uc_actions (Uc.propose uc proposal));
       on_message = (fun ~now:_ ~from msg -> match msg with Uc m -> uc_actions (Uc.on_message uc ~from m));

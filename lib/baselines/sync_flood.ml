@@ -63,7 +63,7 @@ let instance cfg ~me ~proposal =
     if entries = [] then [] else Protocol.broadcast ~n:cfg.n (Flood { round; entries })
   in
   let decide tag =
-    match View.first_most_frequent view with
+    match View_stats.most_frequent_non_default (View.stats view) with
     | Some v when not !decided ->
       decided := true;
       [ Protocol.decide ~tag v ]
@@ -84,7 +84,9 @@ let instance cfg ~me ~proposal =
       []
     | Barrier r when from = me ->
       let decisions =
-        if r = 1 && View.freq_margin view > 2 * cfg.t then decide "one-round" else []
+        if r = 1 && View_stats.margin (View.stats view) > 2 * cfg.t then
+          decide "one-round"
+        else []
       in
       if r >= cfg.t + 1 then decisions @ decide "flood"
       else

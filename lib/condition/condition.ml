@@ -1,34 +1,44 @@
 open Dex_vector
 
-type t = { name : string; mem : Input_vector.t -> bool }
+(* Membership is defined over the frequency statistics of a vector, not the
+   vector itself: all of the paper's conditions (C^freq_d, C^prv_d) are
+   functions of value counts only, and the statistics are what the runtime
+   maintains incrementally. [mem] derives the stats for a complete input
+   vector; callers testing many conditions against one vector should build
+   the stats once and use [mem_stats]. *)
+type t = { name : string; mem : View_stats.t -> bool }
 
 let make ~name mem = { name; mem }
 
 let name c = c.name
 
-let mem i c = c.mem i
+let mem_stats s c = c.mem s
+
+let mem i c = c.mem (Input_vector.stats i)
 
 let freq ~d =
-  make ~name:(Printf.sprintf "C^freq_%d" d) (fun i -> Input_vector.freq_margin i > d)
+  make ~name:(Printf.sprintf "C^freq_%d" d) (fun s -> View_stats.margin s > d)
 
 let privileged ~m ~d =
   make
     ~name:(Printf.sprintf "C^prv(%s)_%d" (Value.to_string m) d)
-    (fun i -> Input_vector.occurrences i m > d)
+    (fun s -> View_stats.count s m > d)
 
 let trivial = make ~name:"V^n" (fun _ -> true)
 
 let empty = make ~name:"∅" (fun _ -> false)
 
 let inter c1 c2 =
-  make ~name:(Printf.sprintf "(%s ∩ %s)" c1.name c2.name) (fun i -> c1.mem i && c2.mem i)
+  make ~name:(Printf.sprintf "(%s ∩ %s)" c1.name c2.name) (fun s -> c1.mem s && c2.mem s)
 
 let union c1 c2 =
-  make ~name:(Printf.sprintf "(%s ∪ %s)" c1.name c2.name) (fun i -> c1.mem i || c2.mem i)
+  make ~name:(Printf.sprintf "(%s ∪ %s)" c1.name c2.name) (fun s -> c1.mem s || c2.mem s)
 
 let subset ~universe ~n c1 c2 =
   List.for_all
-    (fun i -> (not (c1.mem i)) || c2.mem i)
+    (fun i ->
+      let s = Input_vector.stats i in
+      (not (c1.mem s)) || c2.mem s)
     (Input_vector.enumerate ~n ~values:universe)
 
 let pp ppf c = Format.pp_print_string ppf c.name

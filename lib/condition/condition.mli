@@ -8,14 +8,23 @@
 open Dex_vector
 
 type t
-(** A condition: a named predicate over input vectors. *)
+(** A condition: a named predicate over input vectors, evaluated via their
+    frequency statistics (all of the paper's conditions are functions of
+    value counts only). *)
 
-val make : name:string -> (Input_vector.t -> bool) -> t
+val make : name:string -> (View_stats.t -> bool) -> t
+(** [make ~name p] is the condition accepting exactly the vectors whose
+    statistics satisfy [p]. *)
 
 val name : t -> string
 
 val mem : Input_vector.t -> t -> bool
-(** [mem i c] — does input [i] belong to condition [c]? *)
+(** [mem i c] — does input [i] belong to condition [c]? Builds the vector's
+    statistics; when testing many conditions against one vector, build them
+    once with {!Input_vector.stats} and use {!mem_stats}. *)
+
+val mem_stats : View_stats.t -> t -> bool
+(** Membership against precomputed statistics. O(log k). *)
 
 val freq : d:int -> t
 (** [C^freq_d = { I | #1st(I) − #2nd(I) > d }] — the most frequent value wins

@@ -39,9 +39,7 @@ let check ~universe ~n ~d cond =
   done;
   (* Per component, intersect the sets of values occurring > d times. *)
   let acceptable input =
-    List.filter
-      (fun v -> Input_vector.occurrences input v > d)
-      (List.sort_uniq Value.compare (Input_vector.to_list input))
+    View_stats.values_with_count_gt (Input_vector.stats input) d
   in
   let component_values : (int, Value.t list option) Hashtbl.t = Hashtbl.create 16 in
   for i = 0 to size - 1 do

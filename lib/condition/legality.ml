@@ -126,7 +126,7 @@ let check ?(max_violations = 10) ~universe (pair : Pair.t) =
           if Condition.mem input ck then
             List.iter
               (fun view ->
-                if not (pred view) then
+                if not (pred (View.stats view)) then
                   add
                     (match tag with
                     | `Lt1 -> Lt1 { k; input; view }
@@ -140,8 +140,8 @@ let check ?(max_violations = 10) ~universe (pair : Pair.t) =
 
   (* Precompute extensions for LA3. *)
   let non_empty_views = List.filter (fun j -> View.filled j > 0) all_views in
-  let p1_views = List.filter pair.Pair.p1 non_empty_views in
-  let p2_views = List.filter pair.Pair.p2 non_empty_views in
+  let p1_views = List.filter (fun j -> pair.Pair.p1 (View.stats j)) non_empty_views in
+  let p2_views = List.filter (fun j -> pair.Pair.p2 (View.stats j)) non_empty_views in
   let ext_tbl = Hashtbl.create 1024 in
   let exts j =
     match Hashtbl.find_opt ext_tbl (View.to_list j) with
@@ -156,7 +156,7 @@ let check ?(max_violations = 10) ~universe (pair : Pair.t) =
      input within Hamming distance t. *)
   List.iter
     (fun j ->
-      let fj = pair.Pair.f j in
+      let fj = pair.Pair.f (View.stats j) in
       List.iter
         (fun j' ->
           let close =
@@ -164,7 +164,8 @@ let check ?(max_violations = 10) ~universe (pair : Pair.t) =
               (fun i -> List.exists (fun i' -> Input_vector.distance i i' <= t) (exts j'))
               (exts j)
           in
-          if close && not (Value.equal fj (pair.Pair.f j')) then add (La3 { j; j' }))
+          if close && not (Value.equal fj (pair.Pair.f (View.stats j'))) then
+            add (La3 { j; j' }))
         non_empty_views)
     p1_views;
 
@@ -172,10 +173,10 @@ let check ?(max_violations = 10) ~universe (pair : Pair.t) =
      i.e. any compatible view. *)
   List.iter
     (fun j ->
-      let fj = pair.Pair.f j in
+      let fj = pair.Pair.f (View.stats j) in
       List.iter
         (fun j' ->
-          if View.compatible j j' && not (Value.equal fj (pair.Pair.f j')) then
+          if View.compatible j j' && not (Value.equal fj (pair.Pair.f (View.stats j'))) then
             add (La4 { j; j' }))
         non_empty_views)
     p2_views;
@@ -194,7 +195,7 @@ let check ?(max_violations = 10) ~universe (pair : Pair.t) =
             (View.values j)
         in
         if others_small then begin
-          let got = pair.Pair.f j in
+          let got = pair.Pair.f (View.stats j) in
           if not (Value.equal got a) then add (Lu5 { j; expected = a; got })
         end
       | _ -> ())

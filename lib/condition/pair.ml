@@ -1,14 +1,18 @@
 open Dex_vector
 
+(* The predicates and the selector consume View_stats — the incrementally
+   maintained statistics of the caller's view — so a per-message
+   re-evaluation costs O(log k), not an O(n) rescan (the hot path of
+   Figure 1's "every view update" discipline). *)
 type t = {
   name : string;
   n : int;
   t : int;
   s1 : Sequence.t;
   s2 : Sequence.t;
-  p1 : View.t -> bool;
-  p2 : View.t -> bool;
-  f : View.t -> Value.t;
+  p1 : View_stats.t -> bool;
+  p2 : View_stats.t -> bool;
+  f : View_stats.t -> Value.t;
 }
 
 exception Assumption_violated of string
@@ -16,8 +20,8 @@ exception Assumption_violated of string
 let require cond fmt =
   Printf.ksprintf (fun msg -> if not cond then raise (Assumption_violated msg)) fmt
 
-let most_frequent_exn j =
-  match View.first_most_frequent j with
+let most_frequent_exn s =
+  match View_stats.most_frequent_non_default s with
   | Some v -> v
   | None -> invalid_arg "Pair: F applied to an all-default view"
 
@@ -30,8 +34,8 @@ let freq ~n ~t:fb =
     t = fb;
     s1 = Sequence.make ~t:fb (fun k -> Condition.freq ~d:((4 * fb) + (2 * k)));
     s2 = Sequence.make ~t:fb (fun k -> Condition.freq ~d:((2 * fb) + (2 * k)));
-    p1 = (fun j -> View.freq_margin j > 4 * fb);
-    p2 = (fun j -> View.freq_margin j > 2 * fb);
+    p1 = (fun s -> View_stats.margin s > 4 * fb);
+    p2 = (fun s -> View_stats.margin s > 2 * fb);
     f = most_frequent_exn;
   }
 
@@ -44,9 +48,9 @@ let privileged ~n ~t:fb ~m =
     t = fb;
     s1 = Sequence.make ~t:fb (fun k -> Condition.privileged ~m ~d:((3 * fb) + k));
     s2 = Sequence.make ~t:fb (fun k -> Condition.privileged ~m ~d:((2 * fb) + k));
-    p1 = (fun j -> View.occurrences j m > 3 * fb);
-    p2 = (fun j -> View.occurrences j m > 2 * fb);
-    f = (fun j -> if View.occurrences j m > fb then m else most_frequent_exn j);
+    p1 = (fun s -> View_stats.count s m > 3 * fb);
+    p2 = (fun s -> View_stats.count s m > 2 * fb);
+    f = (fun s -> if View_stats.count s m > fb then m else most_frequent_exn s);
   }
 
 let one_step_level pair i = Sequence.level pair.s1 i

@@ -17,11 +17,17 @@ type t = {
   t : int;  (** failure bound *)
   s1 : Sequence.t;  (** one-step condition sequence [C¹_0 … C¹_t] *)
   s2 : Sequence.t;  (** two-step condition sequence [C²_0 … C²_t] *)
-  p1 : View.t -> bool;  (** one-step decision predicate *)
-  p2 : View.t -> bool;  (** two-step decision predicate *)
-  f : View.t -> Value.t;  (** decision-value extraction; total on views with
-                              at least one non-⊥ entry *)
+  p1 : View_stats.t -> bool;  (** one-step decision predicate *)
+  p2 : View_stats.t -> bool;  (** two-step decision predicate *)
+  f : View_stats.t -> Value.t;
+      (** decision-value extraction; total on statistics with at least one
+          recorded value *)
 }
+(** [p1]/[p2]/[f] consume the view's incrementally-maintained
+    {!View_stats.t} (obtained via {!View.stats}) rather than the view
+    itself: re-evaluating a predicate after a [View.set] is O(log k), which
+    is what makes Figure 1's evaluate-on-every-update discipline viable at
+    scale. *)
 
 exception Assumption_violated of string
 (** Raised by constructors when [n], [t] do not satisfy the pair's resilience

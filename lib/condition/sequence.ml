@@ -12,10 +12,13 @@ let condition s ~k =
 
 let mem s ~k i = Condition.mem i (condition s ~k)
 
+(* One statistics build for the whole walk: each condition test is then an
+   O(log k) read instead of a fresh O(n) scan of the vector. *)
 let level s i =
+  let stats = Dex_vector.Input_vector.stats i in
   let rec search best k =
     if k >= Array.length s then best
-    else if Condition.mem i s.(k) then search (Some k) (k + 1)
+    else if Condition.mem_stats stats s.(k) then search (Some k) (k + 1)
     else best
   in
   search None 0

@@ -31,13 +31,6 @@ module Make (Uc : Uc_intf.S) = struct
         | 2 -> Uc (Uc.codec.read r)
         | other -> bad_tag ~name:"Dex.msg" other)
 
-let uc_emission_actions emit =
-  List.map (fun (p, m) -> Protocol.send p (Uc m)) emit.Uc_intf.sends
-  @ List.map
-      (fun (delay, m) -> Protocol.Set_timer { delay; msg = Uc m })
-      emit.Uc_intf.timers
-
-
   type config = { n : int; t : int; seed : int; pair : Pair.t }
 
   let config ?(seed = 0) ~pair () = { n = pair.Pair.n; t = pair.Pair.t; seed; pair }
@@ -58,7 +51,7 @@ let uc_emission_actions emit =
     j2 : View.t;
     idb : Value.t Idb.t;
     uc : Uc.t;
-    mutable decided : bool;
+    decided : bool ref;
     mutable proposed : bool;
     mutable one_evaluated : bool;  (* snapshot mode: P1 already judged *)
     mutable two_evaluated : bool;  (* snapshot mode: P2 already judged *)
@@ -68,17 +61,20 @@ let uc_emission_actions emit =
     if cfg.pair.Pair.n <> cfg.n || cfg.pair.Pair.t <> cfg.t then
       invalid_arg "Dex.instance: pair dimensions disagree with config"
 
-  (* Figure 1, lines 7-9: the one-step decision attempt. *)
+  (* Figure 1, lines 7-9: the one-step decision attempt. Predicates read the
+     view's incrementally-maintained statistics: an O(log k) check per
+     received message instead of an O(n) rescan. *)
   let try_one_step st =
     if
-      (not st.decided)
+      (not !(st.decided))
       && View.filled st.j1 >= st.cfg.n - st.cfg.t
       && (st.mode = `Reevaluate || not st.one_evaluated)
     then begin
       st.one_evaluated <- true;
-      if st.cfg.pair.Pair.p1 st.j1 then begin
-        st.decided <- true;
-        [ Protocol.decide ~tag:"one-step" (st.cfg.pair.Pair.f st.j1) ]
+      let stats = View.stats st.j1 in
+      if st.cfg.pair.Pair.p1 stats then begin
+        st.decided := true;
+        [ Protocol.decide ~tag:"one-step" (st.cfg.pair.Pair.f stats) ]
       end
       else []
     end
@@ -88,35 +84,30 @@ let uc_emission_actions emit =
      proposal to the underlying consensus happens regardless of whether the
      two-step decision fires (every correct process must feed the UC for
      Cases 4-5 of the agreement proof). *)
+  let uc_actions st emit = Uc_intf.to_actions ~inject:(fun m -> Uc m) ~decided:st.decided emit
+
   let try_two_step st =
     if View.filled st.j2 >= st.cfg.n - st.cfg.t then begin
       let propose_actions =
         if not st.proposed then begin
           st.proposed <- true;
-          let emit = Uc.propose st.uc (st.cfg.pair.Pair.f st.j2) in
           (* A UC implementation cannot decide at proposal time in any
-             meaningful run; if it does, the decide path below handles it. *)
-          uc_emission_actions emit
-          @
-          match emit.Uc_intf.decision with
-          | Some v when not st.decided ->
-            st.decided <- true;
-            [ Protocol.decide ~tag:"underlying" v ]
-          | _ -> []
+             meaningful run; if it does, [to_actions] handles it. *)
+          uc_actions st (Uc.propose st.uc (st.cfg.pair.Pair.f (View.stats st.j2)))
         end
         else []
       in
       let decide_actions =
         if
-          (not st.decided)
+          (not !(st.decided))
           && (st.mode = `Reevaluate || not st.two_evaluated)
           && begin
                st.two_evaluated <- true;
-               st.cfg.pair.Pair.p2 st.j2
+               st.cfg.pair.Pair.p2 (View.stats st.j2)
              end
         then begin
-          st.decided <- true;
-          [ Protocol.decide ~tag:"two-step" (st.cfg.pair.Pair.f st.j2) ]
+          st.decided := true;
+          [ Protocol.decide ~tag:"two-step" (st.cfg.pair.Pair.f (View.stats st.j2)) ]
         end
         else []
       in
@@ -134,7 +125,7 @@ let uc_emission_actions emit =
         j2 = View.bottom cfg.n;
         idb = Idb.create ~n:cfg.n ~t:cfg.t;
         uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed;
-        decided = false;
+        decided = ref false;
         proposed = false;
         one_evaluated = false;
         two_evaluated = false;
@@ -173,16 +164,7 @@ let uc_emission_actions emit =
         echoes @ if emit.Idb.deliveries <> [] then try_two_step st else []
       | Uc m ->
         (* Lines 19-22. *)
-        let emit = Uc.on_message st.uc ~from m in
-        let sends = uc_emission_actions emit in
-        let decides =
-          match emit.Uc_intf.decision with
-          | Some v when not st.decided ->
-            st.decided <- true;
-            [ Protocol.decide ~tag:"underlying" v ]
-          | _ -> []
-        in
-        sends @ decides
+        uc_actions st (Uc.on_message st.uc ~from m)
     in
     { Protocol.start; on_message }
 

@@ -1,0 +1,15 @@
+open Dex_vector
+
+type 'msg handler = {
+  send : src:Pid.t -> depth:int -> dst:Pid.t -> payload:'msg -> unit;
+  decide : pid:Pid.t -> depth:int -> value:Value.t -> tag:string -> unit;
+  set_timer : src:Pid.t -> depth:int -> delay:float -> msg:'msg -> unit;
+}
+
+let execute h ~self ~depth actions =
+  List.iter
+    (function
+      | Protocol.Send (dst, payload) -> h.send ~src:self ~depth ~dst ~payload
+      | Protocol.Decide { value; tag } -> h.decide ~pid:self ~depth ~value ~tag
+      | Protocol.Set_timer { delay; msg } -> h.set_timer ~src:self ~depth ~delay ~msg)
+    actions

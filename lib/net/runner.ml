@@ -57,14 +57,14 @@ let run cfg =
     (Pid.all ~n:cfg.n);
   List.iter (fun (p, inst) -> Hashtbl.replace instances p inst) cfg.extra;
 
-  (* Mutual recursion: executing actions schedules deliveries, whose
-     handlers execute more actions. *)
-  let rec execute ~src ~depth actions =
-    List.iter
-      (function
-        | Protocol.Send (dst, payload) -> post { src; dst; payload; depth }
-        | Protocol.Decide { value; tag } -> note_decision ~pid:src ~value ~tag ~depth
-        | Protocol.Set_timer { delay; msg } ->
+  (* Mutual recursion: the effect handler schedules deliveries, whose
+     handlers feed more actions back through {!Effects.execute}. *)
+  let rec handler =
+    {
+      Effects.send = (fun ~src ~depth ~dst ~payload -> post { src; dst; payload; depth });
+      decide = (fun ~pid ~depth ~value ~tag -> note_decision ~pid ~value ~tag ~depth);
+      set_timer =
+        (fun ~src ~depth ~delay ~msg ->
           (* A timer is local waiting: it re-enters the process at the
              causal depth it was set at (depth here is "next emission
              depth", so the handler resumes one lower, like a received
@@ -77,8 +77,8 @@ let run cfg =
                 let actions' =
                   inst.Protocol.on_message ~now:(Engine.now engine) ~from:src msg
                 in
-                execute ~src ~depth actions'))
-      actions
+                Effects.execute handler ~self:src ~depth actions'));
+    }
   and post env =
     if Hashtbl.mem instances env.dst then begin
       incr sent;
@@ -108,7 +108,7 @@ let run cfg =
       let actions =
         inst.Protocol.on_message ~now:(Engine.now engine) ~from:env.src env.payload
       in
-      execute ~src:env.dst ~depth:(env.depth + 1) actions
+      Effects.execute handler ~self:env.dst ~depth:(env.depth + 1) actions
   and note_decision ~pid ~value ~tag ~depth =
     (* [depth] here is the depth outgoing messages would carry; the decision
        consumed a message of depth [depth - 1]. *)
@@ -127,7 +127,7 @@ let run cfg =
     (fun pid inst ->
       Engine.schedule engine ~delay:0.0 (fun () ->
           record "start %a" Pid.pp pid;
-          execute ~src:pid ~depth:1 (inst.Protocol.start ())))
+          Effects.execute handler ~self:pid ~depth:1 (inst.Protocol.start ())))
     instances;
 
   let stop = Engine.run ~max_events:cfg.max_events engine in

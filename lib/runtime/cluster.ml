@@ -34,19 +34,23 @@ let create ~transport ~n ?(extra = []) make_instance =
     epoch = 0.0;
   }
 
-let execute t ~self actions =
-  List.iter
-    (function
-      | Protocol.Send (dst, msg) -> t.transport.Transport.send ~src:self ~dst msg
-      | Protocol.Decide { value; tag } ->
-        if self >= 0 && self < t.n then begin
+(* The runtime interprets actions through the same {!Effects} interpreter as
+   the simulator; only the three primitives differ. Causal depth is not
+   tracked against the wall clock, so the handler ignores it. *)
+let handler t =
+  {
+    Effects.send = (fun ~src ~depth:_ ~dst ~payload -> t.transport.Transport.send ~src ~dst payload);
+    decide =
+      (fun ~pid ~depth:_ ~value ~tag ->
+        if pid >= 0 && pid < t.n then begin
           Mutex.lock t.decisions_mutex;
-          if t.decisions.(self) = None then
-            t.decisions.(self) <-
+          if t.decisions.(pid) = None then
+            t.decisions.(pid) <-
               Some { value; tag; wall = Unix.gettimeofday () -. t.epoch };
           Mutex.unlock t.decisions_mutex
-        end
-      | Protocol.Set_timer { delay; msg } ->
+        end);
+    set_timer =
+      (fun ~src ~depth:_ ~delay ~msg ->
         (* A detached thread delivers the timer message back through the
            node's own endpoint (as a self-send), so the node loop processes
            it like any other message. *)
@@ -55,18 +59,20 @@ let execute t ~self actions =
           (Thread.create
              (fun () ->
                Thread.delay delay;
-               send ~src:self ~dst:self msg)
-             ()))
-    actions
+               send ~src ~dst:src msg)
+             ()));
+  }
 
 let node_loop t node () =
-  execute t ~self:node.pid (node.instance.Protocol.start ());
+  let handler = handler t in
+  Effects.execute handler ~self:node.pid ~depth:0 (node.instance.Protocol.start ());
   while t.running do
     match t.transport.Transport.recv ~me:node.pid ~timeout:0.05 with
     | None -> ()
     | Some (from, msg) ->
       let now = Unix.gettimeofday () -. t.epoch in
-      execute t ~self:node.pid (node.instance.Protocol.on_message ~now ~from msg)
+      Effects.execute handler ~self:node.pid ~depth:0
+        (node.instance.Protocol.on_message ~now ~from msg)
   done
 
 let start t =

@@ -33,6 +33,24 @@ type 'msg emit = {
 
 let nothing = { sends = []; timers = []; decision = None }
 
+(* The one translation from UC emissions to protocol actions, shared by every
+   enclosing algorithm (DEX and all baselines): sends and timer requests are
+   injected into the outer message type; a decision is appended as a
+   [Decide] once — [decided] is the enclosing instance's decided-flag, set
+   here so later emissions cannot decide twice. *)
+let to_actions ~inject ?(tag = "underlying") ~decided emit =
+  let base =
+    List.map (fun (p, m) -> Protocol.send p (inject m)) emit.sends
+    @ List.map
+        (fun (delay, m) -> Protocol.Set_timer { delay; msg = inject m })
+        emit.timers
+  in
+  match emit.decision with
+  | Some v when not !decided ->
+    decided := true;
+    base @ [ Protocol.decide ~tag v ]
+  | _ -> base
+
 let merge e1 e2 =
   {
     sends = e1.sends @ e2.sends;

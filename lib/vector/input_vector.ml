@@ -28,6 +28,11 @@ let set i k v =
 
 let to_view i = View.init (Array.length i) (fun k -> Some i.(k))
 
+let stats i =
+  let s = View_stats.create () in
+  Array.iter (fun v -> View_stats.add s v) i;
+  s
+
 let mask i ks =
   let view = to_view i in
   List.iter (fun k -> View.clear_entry view k) ks;
@@ -37,13 +42,13 @@ let occurrences i v =
   Array.fold_left (fun acc x -> if Value.equal x v then acc + 1 else acc) 0 i
 
 let first_most_frequent i =
-  match View.first_most_frequent (to_view i) with
+  match View_stats.most_frequent_non_default (stats i) with
   | Some v -> v
   | None -> assert false (* input vectors are non-empty and complete *)
 
-let second_most_frequent i = View.second_most_frequent (to_view i)
+let second_most_frequent i = View_stats.second_most_frequent (stats i)
 
-let freq_margin i = View.freq_margin (to_view i)
+let freq_margin i = View_stats.margin (stats i)
 
 let distance i1 i2 =
   if Array.length i1 <> Array.length i2 then

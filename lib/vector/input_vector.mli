@@ -29,6 +29,11 @@ val set : t -> int -> Value.t -> t
 val to_view : t -> View.t
 (** The full view: no ⊥ entries. *)
 
+val stats : t -> View_stats.t
+(** Fresh frequency statistics of the complete vector — what the condition
+    layer evaluates membership against. O(n log k) to build; reuse the
+    result when testing several conditions on one vector. *)
+
 val mask : t -> int list -> View.t
 (** [mask i ks] is the view of [i] with the entries listed in [ks] replaced
     by ⊥ — "a view J of I obtained by replacing at most t entries by ⊥". *)

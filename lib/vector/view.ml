@@ -1,25 +1,32 @@
-type t = { entries : Value.t option array; mutable filled : int }
+(* A view is the entry array plus incrementally-maintained frequency
+   statistics: [set]/[clear_entry] apply O(log k) corrections to the stats,
+   so the frequency queries the predicates re-evaluate on every message
+   never rescan the array. *)
 
-let count_filled entries =
-  Array.fold_left (fun acc e -> if e = None then acc else acc + 1) 0 entries
+type t = { entries : Value.t option array; stats : View_stats.t }
+
+let of_entries entries =
+  let stats = View_stats.create () in
+  Array.iter
+    (function None -> () | Some v -> View_stats.add stats v)
+    entries;
+  { entries; stats }
 
 let bottom n =
   if n <= 0 then invalid_arg "View.bottom: dimension must be positive";
-  { entries = Array.make n None; filled = 0 }
+  { entries = Array.make n None; stats = View_stats.create () }
 
-let of_array arr =
-  let entries = Array.copy arr in
-  { entries; filled = count_filled entries }
+let of_array arr = of_entries (Array.copy arr)
 
-let of_list l = of_array (Array.of_list l)
+let of_list l = of_entries (Array.of_list l)
 
-let init n f =
-  let entries = Array.init n f in
-  { entries; filled = count_filled entries }
+let init n f = of_entries (Array.init n f)
 
-let copy j = { entries = Array.copy j.entries; filled = j.filled }
+let copy j = { entries = Array.copy j.entries; stats = View_stats.copy j.stats }
 
 let dim j = Array.length j.entries
+
+let stats j = j.stats
 
 let get j k =
   if k < 0 || k >= dim j then invalid_arg "View.get: index out of bounds";
@@ -27,67 +34,32 @@ let get j k =
 
 let set j k v =
   if k < 0 || k >= dim j then invalid_arg "View.set: index out of bounds";
-  if j.entries.(k) = None then j.filled <- j.filled + 1;
+  (match j.entries.(k) with
+  | None -> View_stats.add j.stats v
+  | Some old -> View_stats.replace j.stats ~old v);
   j.entries.(k) <- Some v
 
 let clear_entry j k =
   if k < 0 || k >= dim j then invalid_arg "View.clear_entry: index out of bounds";
-  if j.entries.(k) <> None then j.filled <- j.filled - 1;
+  (match j.entries.(k) with
+  | None -> ()
+  | Some old -> View_stats.remove j.stats old);
   j.entries.(k) <- None
 
-let filled j = j.filled
+let filled j = View_stats.filled j.stats
 
-let occurrences j v =
-  Array.fold_left (fun acc e -> if e = Some v then acc + 1 else acc) 0 j.entries
+let occurrences j v = View_stats.count j.stats v
 
-(* One counting pass shared by the frequency queries. Returns (value, count)
-   pairs for all distinct non-default values. *)
-let counts j =
-  let tbl = Hashtbl.create 16 in
-  Array.iter
-    (function
-      | None -> ()
-      | Some v ->
-        let c = try Hashtbl.find tbl v with Not_found -> 0 in
-        Hashtbl.replace tbl v (c + 1))
-    j.entries;
-  Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl []
+let first_most_frequent j = View_stats.most_frequent_non_default j.stats
 
-(* Rank order of the paper: higher count wins, ties broken by larger value. *)
-let better (v1, c1) (v2, c2) = c1 > c2 || (c1 = c2 && Value.compare v1 v2 > 0)
-
-let best_of = function
-  | [] -> None
-  | first :: rest ->
-    Some (List.fold_left (fun acc x -> if better x acc then x else acc) first rest)
-
-let first_most_frequent j =
-  match best_of (counts j) with
-  | None -> None
-  | Some (v, _) -> Some v
-
-let second_most_frequent j =
-  match best_of (counts j) with
-  | None -> None
-  | Some (v1, _) -> (
-    match best_of (List.filter (fun (v, _) -> not (Value.equal v v1)) (counts j)) with
-    | None -> None
-    | Some (v2, _) -> Some v2)
+let second_most_frequent j = View_stats.second_most_frequent j.stats
 
 let top_two_counts j =
-  let cs = counts j in
-  match best_of cs with
+  match View_stats.top_two j.stats with
   | None -> invalid_arg "View.top_two_counts: all-default view"
-  | Some ((v1, _) as top) ->
-    let rest = List.filter (fun (v, _) -> not (Value.equal v v1)) cs in
-    (top, best_of rest)
+  | Some tt -> tt
 
-let freq_margin j =
-  if j.filled = 0 then 0
-  else
-    match top_two_counts j with
-    | (_, c1), None -> c1
-    | (_, c1), Some (_, c2) -> c1 - c2
+let freq_margin j = View_stats.margin j.stats
 
 let check_dim name j1 j2 =
   if dim j1 <> dim j2 then invalid_arg ("View." ^ name ^ ": dimension mismatch")
@@ -127,11 +99,7 @@ let merge j1 j2 =
       | Some _ as v -> v
       | None -> j2.entries.(k))
 
-let values j =
-  List.sort_uniq Value.compare
-    (Array.fold_left
-       (fun acc e -> match e with None -> acc | Some v -> v :: acc)
-       [] j.entries)
+let values j = View_stats.values j.stats
 
 let to_list j = Array.to_list j.entries
 

@@ -7,7 +7,10 @@
 
     ⊥ is represented by [None]. Views are mutable arrays because the
     algorithm updates them incrementally on each message reception
-    (Figure 1, lines 6 and 11). *)
+    (Figure 1, lines 6 and 11). Each view also owns a {!View_stats.t}
+    maintained incrementally by {!set}/{!clear_entry}, so all the frequency
+    queries below are O(log k) in the number of distinct values — no O(n)
+    rescans on the per-message path. *)
 
 type t
 (** A view of fixed dimension [n]. *)
@@ -28,6 +31,13 @@ val copy : t -> t
 val dim : t -> int
 (** The dimension [n]. *)
 
+val stats : t -> View_stats.t
+(** The view's live frequency statistics, kept consistent with the entries
+    by {!set}/{!clear_entry}. The returned value aliases the view's internal
+    state: treat it as read-only — mutating it directly desynchronizes it
+    from the entries. This is what the predicate layer ({!Dex_condition})
+    consumes. *)
+
 val get : t -> int -> Value.t option
 (** [get j k] is [J\[k\]], 0-indexed.
     @raise Invalid_argument if out of bounds. *)
@@ -44,7 +54,7 @@ val filled : t -> int
 (** [filled j] is |J|: the number of non-default entries. O(1). *)
 
 val occurrences : t -> Value.t -> int
-(** [occurrences j v] is #_v(J): how many entries equal [v]. *)
+(** [occurrences j v] is #_v(J): how many entries equal [v]. O(1). *)
 
 val first_most_frequent : t -> Value.t option
 (** [first_most_frequent j] is 1st(J): the non-⊥ value appearing most often,

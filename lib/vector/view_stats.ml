@@ -1,0 +1,114 @@
+(* Incremental frequency statistics over the non-default entries of a view.
+
+   The representation pairs a per-value count table with a ranked set of
+   (count, value) pairs ordered by the paper's selection rank (higher count
+   wins, ties broken by the larger value). Every mutation touches one or two
+   set nodes, so updates are O(log k) in the number k of distinct values —
+   never O(n) in the view dimension. All the frequency queries the predicates
+   need (#_v(J), 1st(J), 2nd(J), the margin) read off the same structure. *)
+
+module Ranked = Set.Make (struct
+  type t = int * Value.t
+
+  let compare (c1, v1) (c2, v2) =
+    match Int.compare c1 c2 with 0 -> Value.compare v1 v2 | c -> c
+end)
+
+type t = {
+  counts : (Value.t, int) Hashtbl.t;
+  mutable ranked : Ranked.t;
+  mutable filled : int;
+}
+
+let create () = { counts = Hashtbl.create 8; ranked = Ranked.empty; filled = 0 }
+
+let copy s = { counts = Hashtbl.copy s.counts; ranked = s.ranked; filled = s.filled }
+
+let filled s = s.filled
+
+let count s v = Option.value ~default:0 (Hashtbl.find_opt s.counts v)
+
+let distinct s = Hashtbl.length s.counts
+
+let add_count s v k =
+  if k <> 0 then begin
+    let c = count s v in
+    let c' = c + k in
+    if c' < 0 then invalid_arg "View_stats.add_count: negative resulting count";
+    if c > 0 then s.ranked <- Ranked.remove (c, v) s.ranked;
+    if c' > 0 then begin
+      Hashtbl.replace s.counts v c';
+      s.ranked <- Ranked.add (c', v) s.ranked
+    end
+    else Hashtbl.remove s.counts v;
+    s.filled <- s.filled + k
+  end
+
+let add s v = add_count s v 1
+
+let remove s v =
+  if count s v = 0 then invalid_arg "View_stats.remove: value not present";
+  add_count s v (-1)
+
+let replace s ~old v =
+  if not (Value.equal old v) then begin
+    remove s old;
+    add s v
+  end
+
+let top_two s =
+  match Ranked.max_elt_opt s.ranked with
+  | None -> None
+  | Some ((c1, v1) as top) ->
+    let second =
+      Option.map
+        (fun (c2, v2) -> (v2, c2))
+        (Ranked.max_elt_opt (Ranked.remove top s.ranked))
+    in
+    Some ((v1, c1), second)
+
+let first s = Option.map (fun (c, v) -> (v, c)) (Ranked.max_elt_opt s.ranked)
+
+let second s = match top_two s with None -> None | Some (_, snd_) -> snd_
+
+let most_frequent_non_default s = Option.map fst (first s)
+
+let second_most_frequent s = Option.map fst (second s)
+
+let margin s =
+  match top_two s with
+  | None -> 0
+  | Some ((_, c1), None) -> c1
+  | Some ((_, c1), Some (_, c2)) -> c1 - c2
+
+let values s =
+  List.sort Value.compare (Hashtbl.fold (fun v _ acc -> v :: acc) s.counts [])
+
+let values_with_count_gt s d =
+  List.sort Value.compare
+    (Hashtbl.fold (fun v c acc -> if c > d then v :: acc else acc) s.counts [])
+
+(* Top-two of a dense count array (index = value) in one allocation-free
+   pass; shared with the combinatorial analysis layer, which enumerates
+   multinomial count vectors directly. *)
+let margin_of_counts counts =
+  if Array.length counts = 0 then invalid_arg "View_stats.margin_of_counts: empty";
+  let c1 = ref 0 and c2 = ref 0 in
+  Array.iter
+    (fun c ->
+      if c >= !c1 then begin
+        c2 := !c1;
+        c1 := c
+      end
+      else if c > !c2 then c2 := c)
+    counts;
+  !c1 - !c2
+
+let pp ppf s =
+  Format.fprintf ppf "{";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%a:%d" Value.pp v (count s v))
+    (values s);
+  Format.fprintf ppf "}"

@@ -1,0 +1,78 @@
+(** Incremental frequency statistics of a view's non-default entries.
+
+    The DEX predicates [P1]/[P2] and selector [F] are re-evaluated on {e
+    every} view update (Figure 1), so the quantities they read — #_v(J),
+    1st(J), 2nd(J), |J| — must not cost an O(n) rescan per message. This
+    module maintains them incrementally: a per-value count table plus a
+    ranked multiset of (count, value) pairs, updated in O(log k) per
+    mutation where k is the number of distinct values present.
+
+    Every {!View.t} owns one of these (see {!View.stats}); they can also be
+    used standalone over raw value streams. The ranking is the paper's:
+    higher count wins, ties broken by the larger value. *)
+
+type t
+
+val create : unit -> t
+(** Empty statistics (an all-⊥ view). *)
+
+val copy : t -> t
+
+val add : t -> Value.t -> unit
+(** Record one more occurrence of [v]. O(log k). *)
+
+val remove : t -> Value.t -> unit
+(** Remove one occurrence of [v]. O(log k).
+    @raise Invalid_argument if [v] is not present. *)
+
+val replace : t -> old:Value.t -> Value.t -> unit
+(** [replace s ~old v] substitutes one occurrence of [old] by [v] — the
+    correction applied when an equivocating sender overwrites an entry.
+    No-op when the values are equal. *)
+
+val add_count : t -> Value.t -> int -> unit
+(** Bulk variant: record [k] additional occurrences ([k] may be negative).
+    @raise Invalid_argument if the resulting count would be negative. *)
+
+val filled : t -> int
+(** Total number of recorded occurrences: |J|. O(1). *)
+
+val count : t -> Value.t -> int
+(** [count s v] is #_v(J). O(1). *)
+
+val distinct : t -> int
+(** Number of distinct values present. O(1). *)
+
+val first : t -> (Value.t * int) option
+(** [(1st(J), #1st(J))]; [None] iff empty. O(log k). *)
+
+val second : t -> (Value.t * int) option
+(** [(2nd(J), #2nd(J))]; [None] when fewer than two distinct values. *)
+
+val most_frequent_non_default : t -> Value.t option
+(** 1st(J): the most frequent value, ties broken by the largest. *)
+
+val second_most_frequent : t -> Value.t option
+
+val top_two : t -> ((Value.t * int) * (Value.t * int) option) option
+(** Both ranked extrema in one O(log k) query; [None] iff empty. *)
+
+val margin : t -> int
+(** [#1st(J) − #2nd(J)], with [#2nd = 0] when no second value exists and
+    [0] when empty — the quantity the frequency predicates threshold. *)
+
+val values : t -> Value.t list
+(** Distinct values present, sorted increasing. O(k log k). *)
+
+val values_with_count_gt : t -> int -> Value.t list
+(** Distinct values with count strictly above the bound, sorted
+    increasing — the "acceptable decision values" of the d-legality
+    checker. *)
+
+val margin_of_counts : int array -> int
+(** Frequency margin of a dense count vector (index = value): top count
+    minus second-top, in one allocation-free pass. Shared with the
+    multinomial feasibility analysis.
+    @raise Invalid_argument on the empty array. *)
+
+val pp : Format.formatter -> t -> unit

@@ -80,20 +80,21 @@ let test_prv_pair_assumption () =
 
 let test_freq_predicates () =
   let pair = Pair.freq ~n:7 ~t:1 in
+  let stats_of l = View.stats (Input_vector.to_view (iv l)) in
   (* P1: margin > 4t = 4. Unanimous view of 7 entries: margin 7. *)
-  let unanimous = Input_vector.to_view (Input_vector.make 7 3) in
+  let unanimous = View.stats (Input_vector.to_view (Input_vector.make 7 3)) in
   Alcotest.(check bool) "P1 unanimous" true (pair.Pair.p1 unanimous);
   Alcotest.(check bool) "P2 unanimous" true (pair.Pair.p2 unanimous);
   Alcotest.(check int) "F unanimous" 3 (pair.Pair.f unanimous);
   (* margin 6-1 = 5 > 4 : P1 holds. *)
-  let j5 = Input_vector.to_view (iv [ 3; 3; 3; 3; 3; 3; 0 ]) in
+  let j5 = stats_of [ 3; 3; 3; 3; 3; 3; 0 ] in
   Alcotest.(check bool) "P1 margin 5" true (pair.Pair.p1 j5);
   (* margin 5-2 = 3: P1 fails, P2 (> 2) holds. *)
-  let j3 = Input_vector.to_view (iv [ 3; 3; 3; 3; 3; 0; 0 ]) in
+  let j3 = stats_of [ 3; 3; 3; 3; 3; 0; 0 ] in
   Alcotest.(check bool) "P1 margin 3" false (pair.Pair.p1 j3);
   Alcotest.(check bool) "P2 margin 3" true (pair.Pair.p2 j3);
   (* margin 4-3 = 1: both fail. *)
-  let j1 = Input_vector.to_view (iv [ 3; 3; 3; 3; 0; 0; 0 ]) in
+  let j1 = stats_of [ 3; 3; 3; 3; 0; 0; 0 ] in
   Alcotest.(check bool) "P1 margin 1" false (pair.Pair.p1 j1);
   Alcotest.(check bool) "P2 margin 1" false (pair.Pair.p2 j1);
   Alcotest.(check int) "F picks 1st" 3 (pair.Pair.f j1)
@@ -101,18 +102,19 @@ let test_freq_predicates () =
 let test_prv_predicates () =
   let m = 9 in
   let pair = Pair.privileged ~n:6 ~t:1 ~m in
+  let stats_of l = View.stats (Input_vector.to_view (iv l)) in
   (* P1: #m > 3t = 3. *)
-  let j4 = Input_vector.to_view (iv [ 9; 9; 9; 9; 0; 1 ]) in
+  let j4 = stats_of [ 9; 9; 9; 9; 0; 1 ] in
   Alcotest.(check bool) "P1 with 4 m's" true (pair.Pair.p1 j4);
-  let j3 = Input_vector.to_view (iv [ 9; 9; 9; 0; 0; 1 ]) in
+  let j3 = stats_of [ 9; 9; 9; 0; 0; 1 ] in
   Alcotest.(check bool) "P1 with 3 m's" false (pair.Pair.p1 j3);
   Alcotest.(check bool) "P2 with 3 m's" true (pair.Pair.p2 j3);
   (* F: m when #m > t, else most frequent. *)
   Alcotest.(check int) "F = m with 3 m's" m (pair.Pair.f j3);
-  let j_no_m = Input_vector.to_view (iv [ 0; 0; 0; 1; 1; 2 ]) in
+  let j_no_m = stats_of [ 0; 0; 0; 1; 1; 2 ] in
   Alcotest.(check int) "F falls back to 1st" 0 (pair.Pair.f j_no_m);
   (* #m = 1 = t: not privileged enough, fall back. *)
-  let j1m = Input_vector.to_view (iv [ 9; 0; 0; 0; 1; 1 ]) in
+  let j1m = stats_of [ 9; 0; 0; 0; 1; 1 ] in
   Alcotest.(check int) "F ignores weak m" 0 (pair.Pair.f j1m)
 
 let test_one_step_level_freq () =

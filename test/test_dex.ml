@@ -409,6 +409,69 @@ let test_snapshot_weaker_than_reevaluate () =
     (Printf.sprintf "snapshot strictly weaker (%d < %d)" snap full)
     true (snap < full)
 
+(* Byzantine behaviours under both evaluation modes: the snapshot ablation
+   must not open a safety hole that only re-evaluation closes. *)
+
+let run_dex_mode_faults ~mode ?(discipline = Discipline.asynchronous) ?(seed = 1) ~pair
+    ~proposals ~faults () =
+  let cfg = D.config ~seed ~pair () in
+  let rng = Dex_stdext.Prng.create ~seed:(seed + 7919) in
+  let make p =
+    match faults p with
+    | Correct -> D.instance ~mode cfg ~me:p ~proposal:(Input_vector.get proposals p)
+    | Silent -> Adversary.silent ()
+    | Equivocate split -> D.equivocator cfg ~me:p ~split
+    | Noisy -> D.noisy cfg ~me:p ~rng ~values:[ 0; 1; 2 ]
+  in
+  Runner.run (Runner.config ~discipline ~seed ~extra:(D.extra cfg) ~n:cfg.D.n make)
+
+let both_modes = [ (`Reevaluate, "reevaluate"); (`Snapshot, "snapshot") ]
+
+let adversaries =
+  [
+    ("equivocator", Equivocate (fun dst -> if dst mod 2 = 0 then 1 else 2));
+    ("noisy", Noisy);
+  ]
+
+let test_modes_byzantine_unanimity () =
+  (* All correct processes propose 5 (Lemma 3 setting): under either mode
+     and either adversary, every correct process decides 5. *)
+  let proposals = Input_vector.make 7 5 in
+  List.iter
+    (fun (mode, mode_name) ->
+      List.iter
+        (fun (adv_name, adv) ->
+          let faults p = if p = 6 then adv else Correct in
+          for seed = 1 to 15 do
+            let r = run_dex_mode_faults ~mode ~seed ~pair:freq7 ~proposals ~faults () in
+            check_correct_consensus ~pair:freq7 ~faults r;
+            List.iter
+              (fun p ->
+                Alcotest.(check int)
+                  (Printf.sprintf "%s/%s seed %d validity" mode_name adv_name seed)
+                  5
+                  (decision_exn r p).Runner.value)
+              (correct_pids ~n:7 faults)
+          done)
+        adversaries)
+    both_modes
+
+let test_modes_byzantine_agreement () =
+  (* Contended input straddling the decision thresholds: agreement and
+     termination for every (mode, adversary) combination. *)
+  let proposals = Input_vector.of_list [ 5; 5; 5; 5; 1; 1; 0 ] in
+  List.iter
+    (fun (mode, _) ->
+      List.iter
+        (fun (_, adv) ->
+          let faults p = if p = 6 then adv else Correct in
+          for seed = 1 to 15 do
+            let r = run_dex_mode_faults ~mode ~seed ~pair:freq7 ~proposals ~faults () in
+            check_correct_consensus ~pair:freq7 ~faults r
+          done)
+        adversaries)
+    both_modes
+
 (* --------------------- edge cases --------------------- *)
 
 let test_t_zero () =
@@ -695,6 +758,10 @@ let () =
           Alcotest.test_case "safe and agreeing" `Quick test_snapshot_safe_and_agreeing;
           Alcotest.test_case "strictly weaker coverage" `Quick
             test_snapshot_weaker_than_reevaluate;
+          Alcotest.test_case "byzantine validity, both modes" `Quick
+            test_modes_byzantine_unanimity;
+          Alcotest.test_case "byzantine agreement, both modes" `Quick
+            test_modes_byzantine_agreement;
         ] );
       ( "edge-cases",
         [

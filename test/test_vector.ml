@@ -249,10 +249,38 @@ let prop_view_stats_match_reference =
       && View.freq_margin j = naive_margin
       && View.values j = distinct)
 
+(* Oracle test for the incremental statistics layer: a random sequence of
+   View.set / View.clear_entry operations — overwrites included, modelling
+   equivocators re-sending different values — must leave the statistics
+   identical to rebuilding them from scratch out of the final entries. *)
+let prop_view_stats_oracle =
+  QCheck.Test.make ~name:"incremental stats = from-scratch rebuild" ~count:1000
+    QCheck.(list (pair (int_bound 6) (option (int_bound 4))))
+    (fun ops ->
+      let j = View.bottom 7 in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | Some v -> View.set j k v
+          | None -> if View.get j k <> None then View.clear_entry j k)
+        ops;
+      let s = View.stats j in
+      let s' = View.stats (View.of_list (View.to_list j)) in
+      View_stats.filled s = View_stats.filled s'
+      && View_stats.distinct s = View_stats.distinct s'
+      && View_stats.margin s = View_stats.margin s'
+      && View_stats.first s = View_stats.first s'
+      && View_stats.second s = View_stats.second s'
+      && View_stats.values s = View_stats.values s'
+      && List.for_all
+           (fun v -> View_stats.count s v = View_stats.count s' v)
+           (View_stats.values s'))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_view_stats_match_reference;
+      prop_view_stats_oracle;
       prop_distance_symmetric;
       prop_distance_triangle;
       prop_merge_extends_both;
