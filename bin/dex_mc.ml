@@ -1,0 +1,399 @@
+(* dex_mc: bounded model checking of DEX schedules.
+
+   Drives lib/mc: systematic (delay-bounded DFS) exploration of message
+   delivery orders and adversary choices, with the paper's properties as
+   executable oracles, plus a seeded-mutation mode that plants a broken
+   condition pair, finds a violating schedule, shrinks it, and checks the
+   shrunk counterexample replays deterministically.
+
+   Usage:
+     dune exec bin/dex_mc.exe -- --smoke
+     dune exec bin/dex_mc.exe                               # acceptance sweep
+     dune exec bin/dex_mc.exe -- --pair prv --n 6 -t 1 --budget 1
+     dune exec bin/dex_mc.exe -- --mutate p2-gt-t --pair prv --n 6 -t 1 --cex cex.txt
+     dune exec bin/dex_mc.exe -- --replay cex.txt
+*)
+
+open Dex_vector
+open Dex_mcheck
+
+type options = {
+  mutable smoke : bool;
+  mutable mutate : string option;
+  mutable replay : string option;
+  mutable pair : string;
+  mutable n : int;
+  mutable t : int;
+  mutable m : Value.t;
+  mutable budget : int;
+  mutable width : int;
+  mutable max_schedules : int;
+  mutable max_steps : int;
+  mutable max_scenarios : int;
+  mutable seed : int;
+  mutable samples : int;
+  mutable cex : string option;
+  mutable input : string option;
+  mutable faults : bool;
+}
+
+let options =
+  {
+    smoke = false;
+    mutate = None;
+    replay = None;
+    pair = "";
+    n = 0;
+    t = -1;
+    m = 1;
+    budget = 2;
+    width = 8;
+    max_schedules = 200_000;
+    max_steps = 10_000;
+    max_scenarios = 0;
+    seed = 7;
+    samples = 50_000;
+    cex = None;
+    input = None;
+    faults = true;
+  }
+
+let usage () =
+  prerr_endline
+    "dex_mc [--smoke] [--mutate NAME] [--replay FILE] [--pair freq|prv] [--n N] [-t T]\n\
+    \       [--m V] [--budget D] [--width W] [--max-schedules K] [--max-steps K]\n\
+    \       [--max-scenarios K] [--seed S] [--samples K] [--cex FILE]\n\
+    \       [--input v,v,..] [--no-faults]";
+  exit 2
+
+let parse_args () =
+  let rec go = function
+    | "--smoke" :: rest ->
+      options.smoke <- true;
+      go rest
+    | "--mutate" :: v :: rest ->
+      options.mutate <- Some v;
+      go rest
+    | "--replay" :: v :: rest ->
+      options.replay <- Some v;
+      go rest
+    | "--pair" :: v :: rest ->
+      options.pair <- v;
+      go rest
+    | "--n" :: v :: rest | "-n" :: v :: rest ->
+      options.n <- int_of_string v;
+      go rest
+    | "-t" :: v :: rest ->
+      options.t <- int_of_string v;
+      go rest
+    | "--m" :: v :: rest ->
+      options.m <- int_of_string v;
+      go rest
+    | "--budget" :: v :: rest ->
+      options.budget <- int_of_string v;
+      go rest
+    | "--width" :: v :: rest ->
+      options.width <- int_of_string v;
+      go rest
+    | "--max-schedules" :: v :: rest ->
+      options.max_schedules <- int_of_string v;
+      go rest
+    | "--max-steps" :: v :: rest ->
+      options.max_steps <- int_of_string v;
+      go rest
+    | "--max-scenarios" :: v :: rest ->
+      options.max_scenarios <- int_of_string v;
+      go rest
+    | "--seed" :: v :: rest ->
+      options.seed <- int_of_string v;
+      go rest
+    | "--samples" :: v :: rest ->
+      options.samples <- int_of_string v;
+      go rest
+    | "--cex" :: v :: rest ->
+      options.cex <- Some v;
+      go rest
+    | "--input" :: v :: rest ->
+      options.input <- Some v;
+      go rest
+    | "--no-faults" :: rest ->
+      options.faults <- false;
+      go rest
+    | [] -> ()
+    | x :: _ ->
+      Printf.eprintf "unknown argument %s\n" x;
+      usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let bounds () =
+  {
+    Checker.delay_budget = options.budget;
+    branch_width = options.width;
+    max_schedules = options.max_schedules;
+    max_steps = options.max_steps;
+  }
+
+let kind_of_pair = function
+  | "freq" -> Dex_model.Freq
+  | "prv" -> Dex_model.Prv options.m
+  | other ->
+    Printf.eprintf "unknown pair %s (freq | prv)\n" other;
+    usage ()
+
+let pp_kind ppf = function
+  | Dex_model.Freq -> Format.pp_print_string ppf "P_freq"
+  | Dex_model.Prv m -> Format.fprintf ppf "P_prv(m=%d)" m
+
+let base_scenario kind ~n ~t =
+  {
+    Dex_model.kind;
+    n;
+    t;
+    proposals = List.init n (fun _ -> 0);
+    faults = [];
+    mutation = None;
+  }
+
+(* One faulty slot is placed at pid 0 — processes are symmetric, so this is
+   a sound symmetry reduction over fault placement. *)
+let fault_assignments ~n ~t =
+  if t = 0 || not options.faults then [ [] ]
+  else
+    [
+      [];
+      [ (0, Dex_model.Silent) ];
+      [ (0, Dex_model.Crash_after 1) ];
+      [ (0, Dex_model.Crash_after 3) ];
+      [ (0, Dex_model.Mute_towards [ 1 ]) ];
+      [ (0, Dex_model.Replay 2) ];
+      [ (0, Dex_model.Equivocate { v1 = 0; v2 = 1; cut = n / 2 }) ];
+    ]
+
+(* Processes 1..n-1 run identical code and the faulty slot is pinned at
+   pid 0, so proposal vectors that permute pids 1..n-1 yield isomorphic
+   systems. For t >= 1 we enumerate representatives (v0, #ones among the
+   rest): 2n vectors instead of 2^n. t = 0 keeps the full enumeration —
+   it is cheap and is the exhaustive acceptance target. *)
+let inputs_for base ~n ~t =
+  if t = 0 then Dex_model.enumerate_inputs base [ 0; 1 ]
+  else
+    List.concat_map
+      (fun v0 ->
+        List.init n (fun ones ->
+            {
+              base with
+              Dex_model.proposals =
+                (v0 :: List.init (n - 1) (fun i -> if i < ones then 1 else 0));
+            }))
+      [ 0; 1 ]
+
+let scenarios_for kind ~n ~t =
+  let base = base_scenario kind ~n ~t in
+  let with_inputs = inputs_for base ~n ~t in
+  let all =
+    List.concat_map
+      (fun s ->
+        List.map (fun faults -> { s with Dex_model.faults }) (fault_assignments ~n ~t))
+      with_inputs
+  in
+  match options.max_scenarios with
+  | 0 -> all
+  | cap -> List.filteri (fun i _ -> i < cap) all
+
+(* Returns (ok, all_exhausted). *)
+let sweep ~label scenarios =
+  let bounds = bounds () in
+  let schedules = ref 0 and transitions = ref 0 and exhausted = ref true in
+  let fp_prunes = ref 0 and sleep_prunes = ref 0 in
+  let violation = ref None in
+  List.iter
+    (fun s ->
+      if !violation = None then begin
+        let outcome =
+          Checker.explore ~sys:(Dex_model.system s) ~bounds
+            ~check:(fun sum -> Dex_model.check s sum)
+            ()
+        in
+        schedules := !schedules + outcome.Checker.stats.Checker.schedules;
+        transitions := !transitions + outcome.Checker.stats.Checker.transitions;
+        fp_prunes := !fp_prunes + outcome.Checker.stats.Checker.fp_prunes;
+        sleep_prunes := !sleep_prunes + outcome.Checker.stats.Checker.sleep_prunes;
+        if not outcome.Checker.stats.Checker.exhausted then exhausted := false;
+        match outcome.Checker.violation with
+        | Some (v, sched) -> violation := Some (s, v, sched)
+        | None -> ()
+      end)
+    scenarios;
+  match !violation with
+  | Some (s, v, sched) ->
+    Printf.printf "%-28s FAIL: %s\n" label (Format.asprintf "%a" Oracles.pp_violation v);
+    Printf.printf "  scenario: proposals=[%s] faults=%d mutation=%s\n"
+      (String.concat ";" (List.map string_of_int s.Dex_model.proposals))
+      (List.length s.Dex_model.faults)
+      (Option.value ~default:"none" s.Dex_model.mutation);
+    Printf.printf "  schedule: %s\n"
+      (String.concat " " (List.map Exec.key_to_string sched));
+    (false, false)
+  | None ->
+    Printf.printf
+      "%-28s ok: %d scenarios, %d schedules, %d transitions, %d+%d pruned%s\n" label
+      (List.length scenarios) !schedules !transitions !fp_prunes !sleep_prunes
+      (if !exhausted then ", exhaustive" else ", bounded");
+    (true, !exhausted)
+
+let find_mutant_counterexample ~mutation ~kind ~n ~t ~proposals =
+  let scenario =
+    { (base_scenario kind ~n ~t) with Dex_model.proposals; mutation = Some mutation }
+  in
+  (* A mutated pair must fail the legality checker — the static oracle. *)
+  let universe =
+    match kind with Dex_model.Prv m -> List.sort_uniq compare [ 0; 1; m ] | Freq -> [ 0; 1 ]
+  in
+  (match Oracles.legal_pair ~universe (Dex_model.pair_of_scenario scenario) with
+  | Error reason -> Printf.printf "mutation %-12s breaks legality: %s\n" mutation reason
+  | Ok _ -> Printf.printf "mutation %-12s WARNING: still passes the legality checker\n" mutation);
+  let sys = Dex_model.system scenario in
+  let check sum = Dex_model.check scenario sum in
+  match
+    Checker.sample ~sys ~seed:options.seed ~schedules:options.samples
+      ~max_steps:options.max_steps ~check ()
+  with
+  | None ->
+    Printf.printf "mutation %-12s NOT FOUND in %d sampled schedules (seed %d)\n" mutation
+      options.samples options.seed;
+    None
+  | Some (v, schedule) ->
+    let shrunk = Checker.shrink ~sys ~check schedule in
+    let verdict1 = Checker.replay_check ~sys ~check shrunk in
+    let verdict2 = Checker.replay_check ~sys ~check shrunk in
+    let deterministic =
+      match (verdict1, verdict2) with
+      | Some a, Some b ->
+        Format.asprintf "%a" Oracles.pp_violation a
+        = Format.asprintf "%a" Oracles.pp_violation b
+      | _ -> false
+    in
+    Printf.printf
+      "mutation %-12s violation: %s\n  schedule %d steps, shrunk to %d; deterministic \
+       replay: %s\n"
+      mutation
+      (Format.asprintf "%a" Oracles.pp_violation v)
+      (List.length schedule) (List.length shrunk)
+      (if deterministic then "yes" else "NO");
+    (match options.cex with
+    | Some file ->
+      Dex_model.save_counterexample ~file scenario shrunk v;
+      Printf.printf "  counterexample written to %s (replay with dex_trace --replay)\n" file
+    | None -> ());
+    if deterministic then Some (scenario, shrunk, v) else None
+
+let default_mutation_target () =
+  (* P_prv at n = 5t + 1 with the two-step threshold lowered to > t: a view
+     with t+1 occurrences of m two-step-decides m while the underlying
+     consensus settles on the majority value. *)
+  let n = 6 and t = 1 in
+  let proposals = [ 1; 1; 0; 0; 0; 0 ] in
+  (Dex_model.Prv 1, n, t, proposals)
+
+let run_replay file =
+  let scenario, schedule = Dex_model.load_counterexample ~file in
+  let sys = Dex_model.system scenario in
+  let check sum = Dex_model.check scenario sum in
+  Printf.printf "replaying %s: %s n=%d t=%d mutation=%s, %d schedule entries\n" file
+    (Format.asprintf "%a" pp_kind scenario.Dex_model.kind)
+    scenario.Dex_model.n scenario.Dex_model.t
+    (Option.value ~default:"none" scenario.Dex_model.mutation)
+    (List.length schedule);
+  let trace = Dex_model.trace scenario schedule in
+  List.iter
+    (fun e ->
+      Printf.printf "  [step %4.0f] %s\n" e.Dex_sim.Trace.time e.Dex_sim.Trace.label)
+    (Dex_sim.Trace.to_list trace);
+  match Checker.replay_check ~sys ~check schedule with
+  | Some v ->
+    Printf.printf "violation reproduced: %s\n" (Format.asprintf "%a" Oracles.pp_violation v);
+    0
+  | None ->
+    Printf.printf "no violation on replay\n";
+    1
+
+let run_smoke () =
+  Printf.printf "dex_mc --smoke: exhaustive n=4,t=0 + planted-mutation check\n";
+  let saved_budget = options.budget in
+  options.budget <- min options.budget 1;
+  let ok1, ex1 = sweep ~label:"P_freq n=4 t=0" (scenarios_for Dex_model.Freq ~n:4 ~t:0) in
+  let ok2, ex2 =
+    sweep ~label:"P_prv(m=1) n=4 t=0" (scenarios_for (Dex_model.Prv 1) ~n:4 ~t:0)
+  in
+  options.budget <- saved_budget;
+  let kind, n, t, proposals = default_mutation_target () in
+  let found =
+    find_mutant_counterexample ~mutation:"p2-gt-t" ~kind ~n ~t ~proposals <> None
+  in
+  if ok1 && ok2 && ex1 && ex2 && found then begin
+    Printf.printf "smoke: PASS\n";
+    0
+  end
+  else begin
+    Printf.printf "smoke: FAIL\n";
+    1
+  end
+
+let run_sweep () =
+  (* The acceptance sweep: exhaustive smallest configurations at delay
+     budget 2, delay-bounded (budget 1) larger ones, for both pairs.
+     P_freq needs n > 6t, so its t=1 configuration is n=7 (n=6 is not
+     constructible). Mixed-input t=1 scenarios blow up at budget 2, so
+     the larger configs trade depth for full input/fault coverage. *)
+  let targets =
+    if options.pair <> "" && options.n > 0 then
+      [ (kind_of_pair options.pair, options.n, max options.t 0, options.budget) ]
+    else
+      [
+        (Dex_model.Freq, 4, 0, options.budget);
+        (Dex_model.Prv 1, 4, 0, options.budget);
+        (Dex_model.Prv 1, 6, 1, min options.budget 1);
+        (Dex_model.Freq, 7, 1, min options.budget 1);
+      ]
+  in
+  let saved_budget = options.budget in
+  let all_ok =
+    List.for_all
+      (fun (kind, n, t, budget) ->
+        options.budget <- budget;
+        let label = Format.asprintf "%a n=%d t=%d b=%d" pp_kind kind n t budget in
+        let ok = fst (sweep ~label (scenarios_for kind ~n ~t)) in
+        options.budget <- saved_budget;
+        ok)
+      targets
+  in
+  if all_ok then 0 else 1
+
+let () =
+  parse_args ();
+  let code =
+    match (options.replay, options.mutate, options.smoke) with
+    | Some file, _, _ -> run_replay file
+    | None, Some mutation, _ ->
+      let kind, n, t, proposals =
+        if options.pair <> "" && options.n > 0 then begin
+          let kind = kind_of_pair options.pair in
+          let n = options.n and t = max options.t 0 in
+          let proposals =
+            match options.input with
+            | Some spec ->
+              List.filter_map int_of_string_opt (String.split_on_char ',' spec)
+            | None ->
+              let _, _, _, p = default_mutation_target () in
+              p
+          in
+          (kind, n, t, proposals)
+        end
+        else default_mutation_target ()
+      in
+      if find_mutant_counterexample ~mutation ~kind ~n ~t ~proposals <> None then 0 else 1
+    | None, None, true -> run_smoke ()
+    | None, None, false -> run_sweep ()
+  in
+  exit code

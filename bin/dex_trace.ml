@@ -9,6 +9,7 @@
      dune exec bin/dex_trace.exe                          # defaults
      dune exec bin/dex_trace.exe -- --algo bosco --seed 3 --input margin:3
      dune exec bin/dex_trace.exe -- --sched async --input margin:5 --max-lines 60
+     dune exec bin/dex_trace.exe -- --replay cex.txt      # model-checker counterexample
 *)
 
 open Dex_stdext
@@ -28,14 +29,20 @@ type options = {
   mutable n : int;
   mutable t : int;
   mutable max_lines : int;
+  mutable replay : string option;
 }
 
-let options = { algo = "dex-freq"; seed = 1; input = "margin:3"; sched = "lockstep"; n = 7; t = 1; max_lines = 80 }
+let options =
+  { algo = "dex-freq"; seed = 1; input = "margin:3"; sched = "lockstep"; n = 7; t = 1;
+    max_lines = 80; replay = None }
 
 let parse_args () =
   let rec go = function
     | "--algo" :: v :: rest ->
       options.algo <- v;
+      go rest
+    | "--replay" :: v :: rest ->
+      options.replay <- Some v;
       go rest
     | "--seed" :: v :: rest ->
       options.seed <- int_of_string v;
@@ -73,8 +80,38 @@ let discipline_of = function
   | "async" -> Discipline.asynchronous
   | s -> failwith (Printf.sprintf "unknown schedule %s" s)
 
+(* Replay a model-checker counterexample file (written by
+   dex_mc --mutate --cex FILE) as a step-indexed timeline. *)
+let run_replay file =
+  let module M = Dex_mcheck.Dex_model in
+  let scenario, schedule = M.load_counterexample ~file in
+  Printf.printf "replay %s: %s n=%d t=%d mutation=%s\n" file
+    (match scenario.M.kind with
+    | M.Freq -> "P_freq"
+    | M.Prv m -> Printf.sprintf "P_prv(m=%d)" m)
+    scenario.M.n scenario.M.t
+    (Option.value ~default:"none" scenario.M.mutation);
+  Printf.printf "proposals: [%s], %d scheduled deliveries + FIFO tail\n\n"
+    (String.concat ";" (List.map string_of_int scenario.M.proposals))
+    (List.length schedule);
+  let entries = Dex_sim.Trace.to_list (M.trace scenario schedule) in
+  let shown = ref 0 in
+  List.iter
+    (fun e ->
+      if !shown < options.max_lines then begin
+        Printf.printf "  [step %4.0f] %s\n" e.Dex_sim.Trace.time e.Dex_sim.Trace.label;
+        incr shown
+      end)
+    entries;
+  if List.length entries > !shown then
+    Printf.printf "  … %d further events (raise --max-lines to see more)\n"
+      (List.length entries - !shown)
+
 let () =
   parse_args ();
+  match options.replay with
+  | Some file -> run_replay file
+  | None ->
   let n = options.n and t = options.t in
   let rng = Prng.create ~seed:(options.seed * 31) in
   let proposals = proposals_of_spec ~rng ~n options.input in

@@ -57,5 +57,11 @@ let one_step_level pair i = Sequence.level pair.s1 i
 
 let two_step_level pair i = Sequence.level pair.s2 i
 
+let obligation pair ~f i =
+  if f < 0 || f > pair.t then invalid_arg "Pair.obligation: f outside 0..t";
+  if Sequence.mem pair.s1 ~k:f i then `One_step
+  else if Sequence.mem pair.s2 ~k:f i then `Two_step
+  else `None
+
 let pp ppf pair =
   Format.fprintf ppf "%s(n=%d, t=%d)" pair.name pair.n pair.t

@@ -53,4 +53,13 @@ val one_step_level : t -> Input_vector.t -> int option
 val two_step_level : t -> Input_vector.t -> int option
 (** Largest [k] such that the input is in [C²_k] (Lemma 5). *)
 
+val obligation : t -> f:int -> Input_vector.t -> [ `One_step | `Two_step | `None ]
+(** [obligation pair ~f i] is the strongest timeliness guarantee the paper
+    makes for input [i] when exactly [f] processes actually fail:
+    [`One_step] when [i ∈ C¹_f] (every correct process must decide in one
+    communication step), [`Two_step] when [i ∈ C²_f \ C¹_f] (two steps),
+    [`None] otherwise (termination only). The model-checker oracles turn
+    this into an executable obligation per explored schedule.
+    @raise Invalid_argument when [f ∉ 0..t]. *)
+
 val pp : Format.formatter -> t -> unit

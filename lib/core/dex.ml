@@ -4,6 +4,30 @@ open Dex_net
 open Dex_broadcast
 open Dex_underlying
 
+(* Decision provenance: the three decision paths of Figure 1, recoverable
+   from the tag a [Decide] action carries. Oracles and experiment tables key
+   on these rather than on raw strings. *)
+type provenance = One_step | Two_step | Underlying
+
+let tag_one_step = "one-step"
+
+let tag_two_step = "two-step"
+
+let tag_underlying = "underlying"
+
+let provenance_of_tag tag =
+  if String.equal tag tag_one_step then Some One_step
+  else if String.equal tag tag_two_step then Some Two_step
+  else if String.equal tag tag_underlying then Some Underlying
+  else None
+
+let tag_of_provenance = function
+  | One_step -> tag_one_step
+  | Two_step -> tag_two_step
+  | Underlying -> tag_underlying
+
+let pp_provenance ppf p = Format.pp_print_string ppf (tag_of_provenance p)
+
 module Make (Uc : Uc_intf.S) = struct
   type msg = Prop of Value.t | Idb of Value.t Idb.msg | Uc of Uc.msg
 
@@ -74,7 +98,7 @@ module Make (Uc : Uc_intf.S) = struct
       let stats = View.stats st.j1 in
       if st.cfg.pair.Pair.p1 stats then begin
         st.decided := true;
-        [ Protocol.decide ~tag:"one-step" (st.cfg.pair.Pair.f stats) ]
+        [ Protocol.decide ~tag:tag_one_step (st.cfg.pair.Pair.f stats) ]
       end
       else []
     end
@@ -107,7 +131,7 @@ module Make (Uc : Uc_intf.S) = struct
              end
         then begin
           st.decided := true;
-          [ Protocol.decide ~tag:"two-step" (st.cfg.pair.Pair.f (View.stats st.j2)) ]
+          [ Protocol.decide ~tag:tag_two_step (st.cfg.pair.Pair.f (View.stats st.j2)) ]
         end
         else []
       in

@@ -29,6 +29,28 @@ open Dex_net
 open Dex_broadcast
 open Dex_underlying
 
+(** {2 Decision provenance}
+
+    The decision path is carried as the [tag] of the [Decide] action. These
+    helpers give tooling (experiment tables, model-checker oracles) a typed
+    handle instead of string matching. *)
+
+type provenance =
+  | One_step  (** P1 fired on [J1] — 1 communication step *)
+  | Two_step  (** P2 fired on [J2] — 2 steps (one IDB step) *)
+  | Underlying  (** adopted from the underlying consensus *)
+
+val tag_one_step : string
+val tag_two_step : string
+val tag_underlying : string
+
+val provenance_of_tag : string -> provenance option
+(** [None] on tags no DEX decision path emits. *)
+
+val tag_of_provenance : provenance -> string
+
+val pp_provenance : Format.formatter -> provenance -> unit
+
 module Make (Uc : Uc_intf.S) : sig
   type msg =
     | Prop of Value.t  (** the P-Send lane (one-step scheme) *)

@@ -1,0 +1,213 @@
+open Dex_stdext
+
+type bounds = {
+  delay_budget : int;
+  branch_width : int;
+  max_schedules : int;
+  max_steps : int;
+}
+
+let default_bounds =
+  { delay_budget = 2; branch_width = 8; max_schedules = 200_000; max_steps = 10_000 }
+
+type stats = {
+  schedules : int;
+  transitions : int;
+  fp_prunes : int;
+  sleep_prunes : int;
+  exhausted : bool;
+}
+
+type 'a outcome = {
+  stats : stats;
+  violation : ('a * Exec.key list) option;
+}
+
+module Kset = Set.Make (struct
+  type t = Exec.key
+
+  let compare = Stdlib.compare
+end)
+
+type counters = {
+  mutable c_schedules : int;
+  mutable c_transitions : int;
+  mutable c_fp : int;
+  mutable c_sleep : int;
+  mutable c_capped : bool;
+}
+
+exception Found_violation
+
+let explore (type a) ~sys ~bounds ~check () : a outcome =
+  let c =
+    { c_schedules = 0; c_transitions = 0; c_fp = 0; c_sleep = 0; c_capped = false }
+  in
+  let found : (a * Exec.key list) option ref = ref None in
+  (* fingerprint -> visits (remaining budget, sleep set); a revisit is
+     subsumed when some stored visit had at least as much budget and a sleep
+     set no larger — it already explored a superset of continuations. *)
+  let seen : (string, (int * Kset.t) list ref) Hashtbl.t = Hashtbl.create 4096 in
+  let subsumed fp budget sleep =
+    match Hashtbl.find_opt seen fp with
+    | None -> false
+    | Some visits ->
+      List.exists (fun (b, s) -> b >= budget && Kset.subset s sleep) !visits
+  in
+  let remember fp budget sleep =
+    let visits =
+      match Hashtbl.find_opt seen fp with
+      | Some v -> v
+      | None ->
+        let v = ref [] in
+        Hashtbl.replace seen fp v;
+        v
+    in
+    if List.length !visits < 16 then visits := (budget, sleep) :: !visits
+  in
+  (* [t] is positioned after [prefix]. The first explored child continues
+     with [t] in place; later children replay the prefix from scratch. *)
+  let rec go t prefix budget sleep =
+    if c.c_schedules >= bounds.max_schedules then c.c_capped <- true
+    else if Exec.quiescent t then begin
+      c.c_schedules <- c.c_schedules + 1;
+      match check (Exec.summary t) with
+      | Some v ->
+        found := Some (v, List.rev prefix);
+        raise Found_violation
+      | None -> ()
+    end
+    else if Exec.steps t >= bounds.max_steps then c.c_capped <- true
+    else begin
+      let fp = Exec.fingerprint t in
+      if subsumed fp budget sleep then c.c_fp <- c.c_fp + 1
+      else begin
+        remember fp budget sleep;
+        let events = Array.of_list (Exec.inflight t) in
+        let avail = Array.length events in
+        let width = min avail (min bounds.branch_width (budget + 1)) in
+        if width < min avail (budget + 1) then c.c_capped <- true;
+        let sleep_now = ref sleep in
+        let explored = ref 0 in
+        let branch k ~sleeping =
+          let key = events.(k) in
+          let t' =
+            if !explored = 0 then t
+            else begin
+              let r = Exec.replay sys (List.rev prefix) in
+              c.c_transitions <- c.c_transitions + List.length prefix;
+              r
+            end
+          in
+          incr explored;
+          Exec.deliver_nth t' k;
+          c.c_transitions <- c.c_transitions + 1;
+          (* Executing a delivery to [key.dst] wakes sleeping events with
+             the same receiver — they no longer commute past it. *)
+          let child_sleep =
+            Kset.filter (fun s -> s.Exec.dst <> key.Exec.dst) !sleep_now
+          in
+          go t' (key :: prefix) (budget - k) child_sleep;
+          if not sleeping then sleep_now := Kset.add key !sleep_now
+        in
+        for k = 0 to width - 1 do
+          if Kset.mem events.(k) !sleep_now then c.c_sleep <- c.c_sleep + 1
+          else branch k ~sleeping:false
+        done;
+        (* If the width window contains only sleeping events, the branch
+           would die before quiescence and never be oracle-checked: fall
+           back to the canonical FIFO choice (a duplicate of an execution
+           explored elsewhere up to commutation, but completes the
+           schedule). *)
+        if !explored = 0 && width > 0 then begin
+          c.c_sleep <- c.c_sleep - 1;
+          branch 0 ~sleeping:true
+        end
+      end
+    end
+  in
+  let t0 = Exec.create sys in
+  (try go t0 [] bounds.delay_budget Kset.empty with Found_violation -> ());
+  {
+    stats =
+      {
+        schedules = c.c_schedules;
+        transitions = c.c_transitions;
+        fp_prunes = c.c_fp;
+        sleep_prunes = c.c_sleep;
+        exhausted = (not c.c_capped) && !found = None;
+      };
+    violation = !found;
+  }
+
+let sample ~sys ~seed ~schedules ~max_steps ~check () =
+  let rng = Prng.create ~seed in
+  let rec attempt i =
+    if i >= schedules then None
+    else begin
+      let t = Exec.create sys in
+      let sched = ref [] in
+      let rec walk () =
+        match Exec.inflight t with
+        | [] -> ()
+        | events when Exec.steps t < max_steps ->
+          let k = Prng.int rng (List.length events) in
+          sched := List.nth events k :: !sched;
+          Exec.deliver_nth t k;
+          walk ()
+        | _ -> ()
+      in
+      walk ();
+      if Exec.quiescent t then begin
+        match check (Exec.summary t) with
+        | Some v -> Some (v, List.rev !sched)
+        | None -> attempt (i + 1)
+      end
+      else attempt (i + 1)
+    end
+  in
+  attempt 0
+
+let replay_check ~sys ~check ?(max_steps = 100_000) schedule =
+  let t = Exec.replay ~max_steps ~loose:true sys schedule in
+  if Exec.run_fifo ~max_steps t then check (Exec.summary t) else None
+
+let shrink ~sys ~check ?(max_steps = 100_000) schedule =
+  let violates sched = replay_check ~sys ~check ~max_steps sched <> None in
+  (* Shortest violating prefix: the FIFO tail usually reproduces the bulk of
+     a schedule, so scan prefix lengths upward. *)
+  let arr = Array.of_list schedule in
+  let len = Array.length arr in
+  let prefix =
+    let rec first_violating l =
+      if l > len then schedule
+      else begin
+        let candidate = Array.to_list (Array.sub arr 0 l) in
+        if violates candidate then candidate else first_violating (l + 1)
+      end
+    in
+    first_violating 0
+  in
+  (* Greedy single-entry deletion to fixpoint (bounded passes). *)
+  let delete_pass sched =
+    let changed = ref false in
+    let current = ref sched in
+    let i = ref 0 in
+    while !i < List.length !current do
+      let without = List.filteri (fun j _ -> j <> !i) !current in
+      if violates without then begin
+        current := without;
+        changed := true
+      end
+      else incr i
+    done;
+    (!current, !changed)
+  in
+  let rec fixpoint sched passes =
+    if passes = 0 then sched
+    else begin
+      let sched', changed = delete_pass sched in
+      if changed then fixpoint sched' (passes - 1) else sched'
+    end
+  in
+  fixpoint prefix 3

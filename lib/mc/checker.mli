@@ -1,0 +1,108 @@
+(** Bounded exploration of delivery schedules.
+
+    {2 Delay-bounded DFS}
+
+    The canonical schedule is global FIFO: always deliver the oldest
+    in-flight message. Deviating — delivering the [k]-th oldest instead —
+    costs [k] {e delay units}. {!explore} runs a depth-first search over all
+    schedules whose total delay cost stays within [delay_budget], which
+    gives a completable search space that converges to the canonical run as
+    the budget shrinks and to full delivery-order enumeration as it grows
+    (delay-bounded scheduling in the style of Emmi et al.). A budget of 0
+    is exactly the single FIFO run.
+
+    Two reductions prune the tree, both sound:
+
+    - {b Sleep sets}, keyed on receiver commutativity: two deliveries
+      commute iff their receivers differ, so after fully exploring a branch
+      that delivers event [e], sibling branches need not re-explore
+      schedules that merely postpone [e] past commuting deliveries. A
+      sleeping event is woken by any delivery to the same receiver.
+    - {b Fingerprint subsumption}: the global state is determined by the
+      per-receiver delivered-key sequences ({!Exec.fingerprint}). A state
+      revisited with no more remaining budget and no smaller sleep set than
+      a previous visit cannot reach anything new.
+
+    Backtracking replays prefixes from scratch ({!Exec.replay}) — instances
+    are opaque deterministic closures, so replay is the snapshot. *)
+
+type bounds = {
+  delay_budget : int;  (** total delay units per schedule *)
+  branch_width : int;  (** max alternatives considered per step *)
+  max_schedules : int;  (** cap on completed schedules *)
+  max_steps : int;  (** cap on deliveries per schedule *)
+}
+
+val default_bounds : bounds
+(** [{ delay_budget = 2; branch_width = 8; max_schedules = 200_000;
+      max_steps = 10_000 }] *)
+
+type stats = {
+  schedules : int;
+      (** complete schedules checked — pairwise {e inequivalent} executions.
+          Most in-budget deviations re-merge into an already-visited state
+          after one commuting swap and are counted under [fp_prunes]
+          instead; expect [schedules] to sit well below the number of
+          deviation points and [schedules + fp_prunes] near it. *)
+  transitions : int;  (** deliveries executed, including replays *)
+  fp_prunes : int;
+      (** revisits cut by fingerprint subsumption — states whose
+          continuations a previous visit already covered with at least as
+          much budget *)
+  sleep_prunes : int;  (** branches cut by the sleep set *)
+  exhausted : bool;
+      (** the delay-bounded space was fully explored: no cap (schedules,
+          steps, branch width) truncated the search. When [exhausted] holds
+          and no violation was found, every schedule within the delay
+          budget satisfies the oracle. *)
+}
+
+type 'a outcome = {
+  stats : stats;
+  violation : ('a * Exec.key list) option;
+      (** oracle verdict plus the full violating schedule *)
+}
+
+val explore :
+  sys:'msg Exec.system ->
+  bounds:bounds ->
+  check:(Exec.summary -> 'a option) ->
+  unit ->
+  'a outcome
+(** DFS as described above. [check] runs on each complete (quiescent)
+    schedule; the first violation aborts the search. *)
+
+val sample :
+  sys:'msg Exec.system ->
+  seed:int ->
+  schedules:int ->
+  max_steps:int ->
+  check:(Exec.summary -> 'a option) ->
+  unit ->
+  ('a * Exec.key list) option
+(** Seeded random schedule search: each schedule picks a uniformly random
+    in-flight event at every step. Complements {!explore} for finding
+    planted bugs whose witnesses lie outside a small delay budget; equal
+    seeds find equal counterexamples. *)
+
+val shrink :
+  sys:'msg Exec.system ->
+  check:(Exec.summary -> 'a option) ->
+  ?max_steps:int ->
+  Exec.key list ->
+  Exec.key list
+(** Minimize a violating schedule while preserving {e some} oracle
+    violation: first truncate to the shortest prefix whose FIFO completion
+    still violates, then greedily delete single entries (replaying with
+    skip-if-absent semantics) until a fixpoint. The result replays
+    deterministically: [Exec.replay ~loose:true] followed by
+    {!Exec.run_fifo} reproduces a violation on every run. *)
+
+val replay_check :
+  sys:'msg Exec.system ->
+  check:(Exec.summary -> 'a option) ->
+  ?max_steps:int ->
+  Exec.key list ->
+  'a option
+(** Replay a (possibly shrunk) schedule loosely, complete it FIFO, and
+    return the oracle's verdict. *)

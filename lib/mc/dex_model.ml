@@ -1,0 +1,207 @@
+open Dex_vector
+open Dex_net
+open Dex_condition
+
+module D = Dex_core.Dex.Make (Dex_underlying.Uc_oracle)
+
+type pair_kind = Freq | Prv of Value.t
+
+type fault =
+  | Silent
+  | Crash_after of int
+  | Mute_towards of Pid.t list
+  | Replay of int
+  | Equivocate of { v1 : Value.t; v2 : Value.t; cut : int }
+
+let fault_of_choice = function
+  | Adversary.Choice_correct -> None
+  | Adversary.Choice_silent -> Some Silent
+  | Adversary.Choice_crash_after k -> Some (Crash_after k)
+  | Adversary.Choice_mute_towards victims -> Some (Mute_towards victims)
+  | Adversary.Choice_replayer copies -> Some (Replay copies)
+
+type scenario = {
+  kind : pair_kind;
+  n : int;
+  t : int;
+  proposals : Value.t list;
+  faults : (Pid.t * fault) list;
+  mutation : string option;
+}
+
+let mutations =
+  [
+    ("p2-gt-t", "two-step threshold lowered to > t");
+    ("p1-gt-2t", "one-step threshold lowered to the two-step one");
+    ("swap-p1-p2", "P1 and P2 exchanged");
+  ]
+
+let mutate name (pair : Pair.t) kind =
+  let fb = pair.Pair.t in
+  match (name, kind) with
+  | "p2-gt-t", Prv m -> { pair with Pair.p2 = (fun s -> View_stats.count s m > fb) }
+  | "p2-gt-t", Freq -> { pair with Pair.p2 = (fun s -> View_stats.margin s > fb) }
+  | "p1-gt-2t", Prv m -> { pair with Pair.p1 = (fun s -> View_stats.count s m > 2 * fb) }
+  | "p1-gt-2t", Freq -> { pair with Pair.p1 = (fun s -> View_stats.margin s > 2 * fb) }
+  | "swap-p1-p2", _ -> { pair with Pair.p1 = pair.Pair.p2; Pair.p2 = pair.Pair.p1 }
+  | _ -> invalid_arg (Printf.sprintf "Dex_model: unknown mutation %S" name)
+
+let pair_of_scenario s =
+  if List.length s.proposals <> s.n then
+    invalid_arg "Dex_model: proposals length must equal n";
+  let base =
+    match s.kind with
+    | Freq -> Pair.freq ~n:s.n ~t:s.t
+    | Prv m -> Pair.privileged ~n:s.n ~t:s.t ~m
+  in
+  match s.mutation with None -> base | Some name -> mutate name base s.kind
+
+type msg = D.msg
+
+let pp_msg = D.pp_msg
+
+let fault_at s p = List.assoc_opt p s.faults
+
+let system s =
+  let pair = pair_of_scenario s in
+  let cfg = D.config ~pair () in
+  let make_instance p =
+    let proposal = List.nth s.proposals p in
+    let correct () = D.instance cfg ~me:p ~proposal in
+    match fault_at s p with
+    | None -> correct ()
+    | Some Silent -> Adversary.silent ()
+    | Some (Crash_after budget) -> Adversary.crash_after_actions budget (correct ())
+    | Some (Mute_towards victims) -> Adversary.mute_towards victims (correct ())
+    | Some (Replay copies) -> Adversary.replayer ~copies (correct ())
+    | Some (Equivocate { v1; v2; cut }) ->
+      D.equivocator cfg ~me:p ~split:(fun dst -> if dst < cut then v1 else v2)
+  in
+  { Exec.n = s.n; make_instance; make_extra = (fun () -> D.extra cfg) }
+
+let expectation s =
+  let pair = pair_of_scenario s in
+  let correct =
+    List.filter (fun p -> fault_at s p = None) (Pid.all ~n:s.n)
+  in
+  let value_faithful =
+    List.for_all (function _, Equivocate _ -> false | _ -> true) s.faults
+  in
+  Oracles.expectation ~value_faithful ~pair
+    ~input:(Input_vector.of_list s.proposals)
+    ~correct ()
+
+let check s summary = Oracles.check (expectation s) summary
+
+let trace s schedule = Exec.to_trace ~pp_msg (system s) schedule
+
+(* Counterexample files: a line-oriented text format, one header per line
+   then one schedule key per line. *)
+
+let string_of_fault = function
+  | Silent -> "silent"
+  | Crash_after k -> Printf.sprintf "crash:%d" k
+  | Mute_towards victims ->
+    Printf.sprintf "mute:%s" (String.concat "," (List.map string_of_int victims))
+  | Replay copies -> Printf.sprintf "replay:%d" copies
+  | Equivocate { v1; v2; cut } -> Printf.sprintf "equiv:%d:%d:%d" v1 v2 cut
+
+let fault_of_string str =
+  match String.split_on_char ':' str with
+  | [ "silent" ] -> Silent
+  | [ "crash"; k ] -> Crash_after (int_of_string k)
+  | [ "mute"; victims ] ->
+    Mute_towards
+      (List.filter_map int_of_string_opt (String.split_on_char ',' victims))
+  | [ "replay"; c ] -> Replay (int_of_string c)
+  | [ "equiv"; v1; v2; cut ] ->
+    Equivocate { v1 = int_of_string v1; v2 = int_of_string v2; cut = int_of_string cut }
+  | _ -> failwith (Printf.sprintf "dex-mc counterexample: bad fault %S" str)
+
+let save_counterexample ~file s schedule violation =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "dex-mc counterexample v1\n";
+      (match s.kind with
+      | Freq -> p "pair freq\n"
+      | Prv m -> p "pair prv:%d\n" m);
+      p "n %d\n" s.n;
+      p "t %d\n" s.t;
+      (match s.mutation with None -> () | Some m -> p "mutation %s\n" m);
+      p "proposals %s\n" (String.concat " " (List.map string_of_int s.proposals));
+      List.iter (fun (pid, f) -> p "fault %d %s\n" pid (string_of_fault f)) s.faults;
+      p "violation %s\n" (Format.asprintf "%a" Oracles.pp_violation violation);
+      p "schedule\n";
+      List.iter (fun k -> p "%s\n" (Exec.key_to_string k)) schedule)
+
+let load_counterexample ~file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      let lines = List.rev !lines in
+      let fail fmt = Printf.ksprintf failwith ("dex-mc counterexample: " ^^ fmt) in
+      (match lines with
+      | "dex-mc counterexample v1" :: _ -> ()
+      | _ -> fail "bad header");
+      let kind = ref None
+      and n = ref None
+      and t = ref None
+      and mutation = ref None
+      and proposals = ref []
+      and faults = ref []
+      and schedule = ref []
+      and in_schedule = ref false in
+      List.iteri
+        (fun i line ->
+          if i = 0 || String.trim line = "" then ()
+          else if !in_schedule then begin
+            match Exec.key_of_string line with
+            | Some k -> schedule := k :: !schedule
+            | None -> fail "bad schedule key %S" line
+          end
+          else
+            match String.split_on_char ' ' line with
+            | [ "schedule" ] -> in_schedule := true
+            | [ "pair"; "freq" ] -> kind := Some Freq
+            | [ "pair"; p ] -> begin
+              match String.split_on_char ':' p with
+              | [ "prv"; m ] -> kind := Some (Prv (int_of_string m))
+              | _ -> fail "bad pair %S" p
+            end
+            | [ "n"; v ] -> n := int_of_string_opt v
+            | [ "t"; v ] -> t := int_of_string_opt v
+            | [ "mutation"; m ] -> mutation := Some m
+            | "proposals" :: vs ->
+              proposals := List.filter_map int_of_string_opt vs
+            | [ "fault"; pid; f ] ->
+              faults := (int_of_string pid, fault_of_string f) :: !faults
+            | "violation" :: _ -> ()
+            | _ -> fail "bad line %S" line)
+        lines;
+      match (!kind, !n, !t) with
+      | Some kind, Some n, Some t ->
+        ( {
+            kind;
+            n;
+            t;
+            proposals = !proposals;
+            faults = List.rev !faults;
+            mutation = !mutation;
+          },
+          List.rev !schedule )
+      | _ -> fail "missing pair/n/t header")
+
+let enumerate_inputs s universe =
+  List.map
+    (fun iv -> { s with proposals = Input_vector.to_list iv })
+    (Input_vector.enumerate ~n:s.n ~values:universe)

@@ -1,0 +1,91 @@
+(** DEX instantiated for model checking.
+
+    Builds replayable {!Exec.system}s from declarative scenarios — a
+    condition pair, an input vector, a fault assignment, and optionally a
+    {e mutation} that deliberately breaks the pair so the checker has a
+    planted bug to find. The underlying consensus is {!Dex_underlying.Uc_oracle}
+    (the paper's abstraction taken literally), so explored state spaces stay
+    small and every run terminates.
+
+    Note the dimension constraints: [P_freq] needs [n > 6t] (so n=6, t=1 is
+    {e not} constructible — use n=7), [P_prv] needs [n > 5t]. *)
+
+open Dex_vector
+open Dex_net
+open Dex_condition
+
+type pair_kind = Freq | Prv of Value.t
+
+type fault =
+  | Silent
+  | Crash_after of int  (** stop after emitting this many actions *)
+  | Mute_towards of Pid.t list
+  | Replay of int  (** send every message this many times *)
+  | Equivocate of { v1 : Value.t; v2 : Value.t; cut : int }
+      (** proposal [v1] to pids [< cut], [v2] to the rest, on both lanes *)
+
+val fault_of_choice : Adversary.choice -> fault option
+(** Embed a generic enumerable adversary choice; [None] for
+    [Choice_correct]. *)
+
+type scenario = {
+  kind : pair_kind;
+  n : int;
+  t : int;
+  proposals : Value.t list;  (** length [n]; a faulty slot holds the value
+                                 the process would have proposed *)
+  faults : (Pid.t * fault) list;
+  mutation : string option;  (** a name from {!mutations} *)
+}
+
+val mutations : (string * string) list
+(** [(name, description)] of the supported pair mutations:
+    - ["p2-gt-t"] — the two-step threshold lowered to [> t] (the paper
+      requires [> 2t] for P_prv, margin [> 2t] for P_freq): two-step
+      decisions fire on views where the underlying consensus can settle on
+      a different value — an agreement bug.
+    - ["p1-gt-2t"] — the one-step threshold lowered to the two-step one.
+    - ["swap-p1-p2"] — P1 and P2 exchanged.
+    A mutated pair fails {!Oracles.legal_pair}. *)
+
+val pair_of_scenario : scenario -> Pair.t
+(** The (possibly mutated) pair. @raise Pair.Assumption_violated on
+    dimension mismatch, [Invalid_argument] on an unknown mutation name or a
+    proposals list of the wrong length. *)
+
+type msg
+(** DEX-over-oracle message type (abstract — schedules only name events by
+    {!Exec.key}). *)
+
+val pp_msg : Format.formatter -> msg -> unit
+
+val system : scenario -> msg Exec.system
+(** Fresh-instantiating system: correct slots run [Dex.instance], faulty
+    slots the corresponding adversary, plus the UC-oracle node at pid
+    [n]. *)
+
+val expectation : scenario -> Oracles.expectation
+(** Oracle inputs derived from the scenario ([value_faithful] is false iff
+    an [Equivocate] fault is present). *)
+
+val check : scenario -> Exec.summary -> Oracles.violation option
+(** [Oracles.check (expectation s)]. *)
+
+val trace : scenario -> Exec.key list -> Dex_sim.Trace.t
+(** Replay a schedule (loose + FIFO completion) into a printable trace. *)
+
+(** {2 Counterexample files}
+
+    A violating scenario + shrunk schedule serializes to a small text file
+    that [bin/dex_trace.ml --replay] and tests reload for deterministic
+    re-execution. *)
+
+val save_counterexample :
+  file:string -> scenario -> Exec.key list -> Oracles.violation -> unit
+
+val load_counterexample : file:string -> scenario * Exec.key list
+(** @raise Failure on a malformed file. *)
+
+val enumerate_inputs : scenario -> Value.t list -> scenario list
+(** The scenario with [proposals] replaced by every input vector over the
+    given universe — the outer loop of exhaustive checking. *)

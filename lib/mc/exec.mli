@@ -1,0 +1,120 @@
+(** Schedule-driven protocol execution.
+
+    The model checker's replacement for {!Dex_net.Runner}: instead of a
+    virtual clock and latency distributions, the execution is driven by an
+    explicit {e schedule} — at every step the controller picks which
+    in-flight message to deliver next. Virtual time is irrelevant in the
+    asynchronous model (processes never read it); the set of reachable
+    protocol states is exactly the set of delivery orders, which is what the
+    checker enumerates.
+
+    Executions are replayable: instances are deterministic state machines,
+    so a schedule prefix fully determines the global state. The checker
+    backtracks by replaying prefixes from scratch rather than snapshotting
+    opaque instance closures. *)
+
+open Dex_vector
+open Dex_net
+
+type kind = Message | Timer
+
+type key = { src : Pid.t; dst : Pid.t; kind : kind; chan : int }
+(** Schedule-independent identity of an in-flight event: the [chan]-th
+    message (0-based) sent on the FIFO channel [(src, dst, kind)]. Because
+    instances are deterministic, equivalent schedules produce the same keyed
+    messages even when global emission order differs — keys are what
+    schedules, sleep sets and fingerprints are made of. Timers are modelled
+    as self-addressed events on the [Timer] channel (their delay is just
+    another adversary-chosen delivery time). *)
+
+val pp_key : Format.formatter -> key -> unit
+
+val key_to_string : key -> string
+(** ["src>dst:M|T:chan"] — the counterexample-file syntax. *)
+
+val key_of_string : string -> key option
+
+type decision = {
+  value : Value.t;
+  tag : string;
+  depth : int;  (** causal communication-step count, as in {!Runner} *)
+  step : int;  (** schedule step index at which the decision fired; 0 when
+                   decided in [start] *)
+}
+
+type delivery = { step : int; key : key; depth : int }
+(** One executed schedule step: at step [step] (1-based) the event [key]
+    carrying causal depth [depth] was delivered. *)
+
+type 'msg system = {
+  n : int;  (** protocol processes, pids [0 .. n-1] *)
+  make_instance : Pid.t -> 'msg Protocol.instance;
+  make_extra : unit -> (Pid.t * 'msg Protocol.instance) list;
+      (** auxiliary nodes (e.g. the UC oracle); rebuilt fresh on every
+          replay, like the instances *)
+}
+(** A replayable system description. Both constructors must return {e
+    fresh} state on every call — the executor re-instantiates the whole
+    system for each explored schedule. *)
+
+type 'msg t
+
+val create : 'msg system -> 'msg t
+(** Instantiate every process and run its [start] hook (pids [0 .. n-1] in
+    order, then extras in pid order). Start emissions carry causal depth 1;
+    sends to pids with no instance are discarded. *)
+
+val inflight : 'msg t -> key list
+(** Keys of the deliverable events, oldest emission first. The checker's
+    branch point: delivering index [k] costs [k] delay units under
+    delay-bounded exploration (index 0 is the canonical FIFO choice). *)
+
+val deliver_nth : 'msg t -> int -> unit
+(** Deliver the [k]-th oldest in-flight event and execute the receiver's
+    handler. @raise Invalid_argument when the index is out of range. *)
+
+val deliver_key : 'msg t -> key -> bool
+(** Deliver the event with this key if it is currently in flight; [false]
+    (and no state change) otherwise. Replaying shrunk schedules uses the
+    skip-if-absent semantics. *)
+
+val run_fifo : ?max_steps:int -> 'msg t -> bool
+(** Deliver oldest-first until quiescence; [false] when [max_steps]
+    (default 100_000) was reached first. *)
+
+val quiescent : 'msg t -> bool
+
+val steps : 'msg t -> int
+(** Number of deliveries executed so far. *)
+
+val fingerprint : 'msg t -> string
+(** Canonical digest of the per-receiver delivered-key sequences. Two
+    schedules with equal fingerprints lead to identical global protocol
+    states (deliveries at distinct receivers commute; each receiver's state
+    is a function of its own delivery sequence), so the checker prunes
+    revisits. *)
+
+type summary = {
+  sys_n : int;
+  decisions : decision option array;  (** index = pid, length [sys_n] *)
+  late : (Pid.t * decision) list;  (** decide actions after having decided *)
+  deliveries : delivery list;  (** executed schedule, oldest first *)
+  complete : bool;  (** the run reached quiescence (nothing in flight) *)
+}
+
+val summary : 'msg t -> summary
+(** Oracle-facing view of the execution — plain data, no ['msg]. *)
+
+val replay : ?max_steps:int -> ?loose:bool -> 'msg system -> key list -> 'msg t
+(** Fresh instantiation, then deliver the listed events in order. With
+    [loose = false] (default) a key that is not in flight raises
+    [Invalid_argument]; with [loose = true] it is skipped — shrinking
+    deletes schedule entries and replays the rest. The FIFO tail to
+    quiescence is {e not} run; callers append {!run_fifo} when they want a
+    complete execution. *)
+
+val to_trace : ?pp_msg:(Format.formatter -> 'msg -> unit) -> 'msg system -> key list -> Dex_sim.Trace.t
+(** Replay (loosely, with FIFO completion) and render the execution as a
+    {!Dex_sim.Trace.t} — time = schedule step index, labels in the runner's
+    format — so shrunk counterexamples print with the standard trace
+    tooling. *)

@@ -1,0 +1,154 @@
+open Dex_vector
+open Dex_net
+open Dex_condition
+
+type expectation = {
+  pair : Pair.t;
+  input : Input_vector.t;
+  correct : Pid.t list;
+  value_faithful : bool;
+}
+
+let expectation ?(value_faithful = true) ~pair ~input ~correct () =
+  { pair; input; correct; value_faithful }
+
+type violation =
+  | Termination of { pid : Pid.t }
+  | Agreement of { p : Pid.t; vp : Value.t; q : Pid.t; vq : Value.t }
+  | Unanimity of { pid : Pid.t; expected : Value.t; got : Value.t }
+  | Weak_validity of { pid : Pid.t; got : Value.t }
+  | One_step_obligation of { pid : Pid.t; round_end : int; decided : int option }
+  | Two_step_obligation of { pid : Pid.t; round_end : int; decided : int option }
+  | Double_decide of { pid : Pid.t }
+
+let pp_decided ppf = function
+  | None -> Format.pp_print_string ppf "never"
+  | Some s -> Format.fprintf ppf "at step %d" s
+
+let pp_violation ppf = function
+  | Termination { pid } -> Format.fprintf ppf "termination: %a never decided" Pid.pp pid
+  | Agreement { p; vp; q; vq } ->
+    Format.fprintf ppf "agreement: %a decided %a but %a decided %a" Pid.pp p Value.pp vp
+      Pid.pp q Value.pp vq
+  | Unanimity { pid; expected; got } ->
+    Format.fprintf ppf "unanimity: all correct proposed %a but %a decided %a" Value.pp
+      expected Pid.pp pid Value.pp got
+  | Weak_validity { pid; got } ->
+    Format.fprintf ppf "validity: %a decided %a, which nobody proposed" Pid.pp pid
+      Value.pp got
+  | One_step_obligation { pid; round_end; decided } ->
+    Format.fprintf ppf
+      "one-step obligation: input in C1_f but %a undecided at round-1 end (step %d, \
+       decided %a)"
+      Pid.pp pid round_end pp_decided decided
+  | Two_step_obligation { pid; round_end; decided } ->
+    Format.fprintf ppf
+      "two-step obligation: input in C2_f but %a undecided at round-2 end (step %d, \
+       decided %a)"
+      Pid.pp pid round_end pp_decided decided
+  | Double_decide { pid } -> Format.fprintf ppf "double decide by %a" Pid.pp pid
+
+let decision_of (s : Exec.summary) p =
+  if p >= 0 && p < Array.length s.decisions then s.decisions.(p) else None
+
+(* Schedule step by which [p] has received every message of depth <= [depth]
+   sent by a correct process — the end of asynchronous round [depth] at [p].
+   Computed over the executed log, so partial broadcasts by crashing senders
+   are accounted for exactly: only messages that were actually sent bound the
+   round. *)
+let round_end (e : expectation) (s : Exec.summary) ~depth p =
+  List.fold_left
+    (fun acc (d : Exec.delivery) ->
+      if
+        d.key.Exec.dst = p
+        && d.key.Exec.kind = Exec.Message
+        && d.depth <= depth
+        && List.mem d.key.Exec.src e.correct
+      then max acc d.step
+      else acc)
+    0 s.deliveries
+
+let check_all e (s : Exec.summary) =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let correct = List.filter (fun p -> p >= 0 && p < s.sys_n) e.correct in
+  let f = s.sys_n - List.length correct in
+  (* Nothing is guaranteed beyond the resilience bound: with more than t
+     actual failures the oracles would report phantom violations. *)
+  if f > e.pair.Pair.t then []
+  else begin
+  (* Termination *)
+  if s.complete then
+    List.iter
+      (fun p -> if decision_of s p = None then add (Termination { pid = p }))
+      correct;
+  (* Agreement *)
+  let decided =
+    List.filter_map
+      (fun p -> Option.map (fun (d : Exec.decision) -> (p, d.value)) (decision_of s p))
+      correct
+  in
+  (match decided with
+  | (p, vp) :: rest -> begin
+    match List.find_opt (fun (_, v) -> not (Value.equal v vp)) rest with
+    | Some (q, vq) -> add (Agreement { p; vp; q; vq })
+    | None -> ()
+  end
+  | [] -> ());
+  (* Unanimity: all correct proposals equal *)
+  (match correct with
+  | first :: _ ->
+    let v0 = Input_vector.get e.input first in
+    if List.for_all (fun p -> Value.equal (Input_vector.get e.input p) v0) correct then
+      List.iter
+        (fun p ->
+          match decision_of s p with
+          | Some d when not (Value.equal d.value v0) ->
+            add (Unanimity { pid = p; expected = v0; got = d.value })
+          | _ -> ())
+        correct
+  | [] -> ());
+  (* Weak validity: with no faults, decisions come from the proposals *)
+  if List.length correct = s.sys_n then begin
+    let proposed = Input_vector.to_list e.input in
+    List.iter
+      (fun p ->
+        match decision_of s p with
+        | Some d when not (List.exists (Value.equal d.value) proposed) ->
+          add (Weak_validity { pid = p; got = d.value })
+        | _ -> ())
+      correct
+  end;
+  (* Double decides *)
+  List.iter (fun (p, _) -> if List.mem p correct then add (Double_decide { pid = p })) s.late;
+  (* Decision obligations, in asynchronous-round terms *)
+  if s.complete && e.value_faithful then begin
+    let obligation = Pair.obligation e.pair ~f e.input in
+    let check_round ~depth make =
+      List.iter
+        (fun p ->
+          let round = round_end e s ~depth p in
+          let decided_step = Option.map (fun (d : Exec.decision) -> d.step) (decision_of s p) in
+          match decided_step with
+          | Some step when step <= round -> ()
+          | _ -> add (make p round decided_step))
+        correct
+    in
+    match obligation with
+    | `One_step ->
+      check_round ~depth:1 (fun pid round_end decided ->
+          One_step_obligation { pid; round_end; decided })
+    | `Two_step ->
+      check_round ~depth:2 (fun pid round_end decided ->
+          Two_step_obligation { pid; round_end; decided })
+    | `None -> ()
+  end;
+  List.rev !violations
+  end
+
+let check e s = match check_all e s with [] -> None | v :: _ -> Some v
+
+let legal_pair ?(universe = [ 0; 1 ]) pair =
+  match Legality.check ~max_violations:1 ~universe pair with
+  | [] -> Ok true
+  | v :: _ -> Error (Format.asprintf "%a" Legality.pp_violation v)

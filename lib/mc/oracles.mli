@@ -1,0 +1,75 @@
+(** Executable safety and timeliness oracles.
+
+    The paper's guarantees, phrased as predicates over a completed
+    {!Exec.summary}. Decisions are irrevocable, so checking once at
+    quiescence detects any violation reachable along the schedule.
+
+    {2 Round bounds under adversarial scheduling}
+
+    The one-/two-step obligations ("if the input is in [C¹_f] and at most
+    [f] processes fail, every correct process decides in one communication
+    step") cannot be checked naively against the decision's causal depth: an
+    adversarial schedule may deliver a causally-deep underlying-consensus
+    decision {e before} the first round completes, making the process decide
+    earlier than — but not via — the fast path. The sound reading is in
+    asynchronous rounds: by the time process [p] has received every round-1
+    message from correct senders, [p] must have decided. Concretely, with
+    [r1 p] = the schedule step at which the last depth-1 message from a
+    correct sender reached [p] (and [r2 p] likewise for depth ≤ 2), the
+    obligation is [decision_step p <= r1 p] (resp. [r2 p]). *)
+
+open Dex_vector
+open Dex_net
+open Dex_condition
+
+type expectation = {
+  pair : Pair.t;
+  input : Input_vector.t;
+      (** proposals by slot; faulty slots hold the value the process would
+          have proposed if correct *)
+  correct : Pid.t list;
+  value_faithful : bool;
+      (** every faulty process only omits or duplicates correct messages
+          (silent / crash / mute / replay); [false] as soon as a fault can
+          forge values (equivocation), which disables the obligation
+          oracles — condition membership of [input] then says nothing *)
+}
+
+val expectation :
+  ?value_faithful:bool -> pair:Pair.t -> input:Input_vector.t -> correct:Pid.t list ->
+  unit -> expectation
+(** [value_faithful] defaults to [true]. *)
+
+type violation =
+  | Termination of { pid : Pid.t }
+      (** a correct process never decided although the run is complete *)
+  | Agreement of { p : Pid.t; vp : Value.t; q : Pid.t; vq : Value.t }
+      (** two correct processes decided differently *)
+  | Unanimity of { pid : Pid.t; expected : Value.t; got : Value.t }
+      (** all correct processes proposed [expected]; [pid] decided
+          otherwise *)
+  | Weak_validity of { pid : Pid.t; got : Value.t }
+      (** failure-free run decided a value nobody proposed *)
+  | One_step_obligation of { pid : Pid.t; round_end : int; decided : int option }
+      (** input ∈ [C¹_f] but [pid] had not decided by schedule step
+          [round_end] ([decided] = its actual decision step, if any) *)
+  | Two_step_obligation of { pid : Pid.t; round_end : int; decided : int option }
+  | Double_decide of { pid : Pid.t }
+      (** a correct process emitted a second [Decide] *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_all : expectation -> Exec.summary -> violation list
+(** Every violated property, stable order. Obligation oracles run only when
+    the summary is complete (a truncated run under-approximates rounds) and
+    the expectation is value-faithful. *)
+
+val check : expectation -> Exec.summary -> violation option
+(** First violation of {!check_all}, the checker's oracle hook. *)
+
+val legal_pair : ?universe:Value.t list -> Pair.t -> (bool, string) result
+(** Wrapper over {!Dex_condition.Legality.check}: [Ok true] when the five
+    criteria hold exhaustively over the universe (default [[0; 1]] plus the
+    pair's privileged value when it has one is {e not} inferred — pass the
+    universe explicitly for P_prv), [Error msg] naming the first violated
+    criterion otherwise. *)

@@ -62,3 +62,41 @@ let reorderer rng inner =
     Protocol.start = (fun () -> shuffle (inner.Protocol.start ()));
     on_message = (fun ~now ~from m -> shuffle (inner.Protocol.on_message ~now ~from m));
   }
+
+type choice =
+  | Choice_correct
+  | Choice_silent
+  | Choice_crash_after of int
+  | Choice_mute_towards of Pid.t list
+  | Choice_replayer of int
+
+let apply choice inner =
+  match choice with
+  | Choice_correct -> inner
+  | Choice_silent -> silent ()
+  | Choice_crash_after budget -> crash_after_actions budget inner
+  | Choice_mute_towards victims -> mute_towards victims inner
+  | Choice_replayer copies -> replayer ~copies inner
+
+let choices ~n ~max_crash_budget =
+  (* The enumerable branch set a model checker explores per faulty process:
+     correct, fully silent, every partial-crash point up to the budget, every
+     single-victim asymmetric partition, and one duplication attack. Finite
+     and deterministic — richer time- or randomness-dependent behaviours
+     (crash_at_time, reorderer) are not enumerable and stay out. *)
+  [ Choice_correct; Choice_silent ]
+  @ List.init max_crash_budget (fun k -> Choice_crash_after (k + 1))
+  @ List.map (fun p -> Choice_mute_towards [ p ]) (Pid.all ~n)
+  @ [ Choice_replayer 2 ]
+
+let pp_choice ppf = function
+  | Choice_correct -> Format.pp_print_string ppf "correct"
+  | Choice_silent -> Format.pp_print_string ppf "silent"
+  | Choice_crash_after k -> Format.fprintf ppf "crash-after-%d" k
+  | Choice_mute_towards victims ->
+    Format.fprintf ppf "mute-towards-%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         Pid.pp)
+      victims
+  | Choice_replayer copies -> Format.fprintf ppf "replay-x%d" copies

@@ -33,3 +33,28 @@ val reorderer : Prng.t -> 'msg Protocol.instance -> 'msg Protocol.instance
 (** Shuffles the action list emitted at each step (sends commute in an
     asynchronous network, so this is a sanity adversary: behaviour must not
     depend on emission order). *)
+
+(** {2 Enumerable fault branches}
+
+    The model checker treats the adversary's behaviour for a faulty process
+    as one more branch point. A {!choice} is a finite, deterministic,
+    protocol-agnostic behaviour transformer; {!choices} is the branch set
+    explored for each faulty slot. *)
+
+type choice =
+  | Choice_correct  (** identity — the "faulty" slot behaves correctly *)
+  | Choice_silent
+  | Choice_crash_after of int  (** {!crash_after_actions} with this budget *)
+  | Choice_mute_towards of Pid.t list
+  | Choice_replayer of int  (** {!replayer} with this many copies *)
+
+val apply : choice -> 'msg Protocol.instance -> 'msg Protocol.instance
+
+val choices : n:int -> max_crash_budget:int -> choice list
+(** Branch set for an [n]-process system: correct, silent, partial crashes
+    with budgets [1 .. max_crash_budget], single-victim partitions towards
+    each pid, and a duplicate-everything attack. Time- and
+    randomness-dependent behaviours are deliberately excluded — they are not
+    enumerable branches. *)
+
+val pp_choice : Format.formatter -> choice -> unit

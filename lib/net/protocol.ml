@@ -24,6 +24,29 @@ let map_actions f actions =
       | Set_timer { delay; msg } -> Set_timer { delay; msg = f msg })
     actions
 
+let action_codec msg_codec =
+  let open Dex_codec.Codec in
+  let send_c = pair int msg_codec in
+  let decide_c = pair int string in
+  let timer_c = pair float msg_codec in
+  variant ~name:"Protocol.action"
+    (function
+      | Send (p, m) -> (0, fun buf -> send_c.write buf (p, m))
+      | Decide { value; tag } -> (1, fun buf -> decide_c.write buf (value, tag))
+      | Set_timer { delay; msg } -> (2, fun buf -> timer_c.write buf (delay, msg)))
+    (fun tag r ->
+      match tag with
+      | 0 ->
+        let p, m = send_c.read r in
+        Send (p, m)
+      | 1 ->
+        let value, tag = decide_c.read r in
+        Decide { value; tag }
+      | 2 ->
+        let delay, msg = timer_c.read r in
+        Set_timer { delay; msg }
+      | t -> bad_tag ~name:"Protocol.action" t)
+
 let embed ~inject ~project inner =
   {
     start = (fun () -> map_actions inject (inner.start ()));

@@ -46,6 +46,11 @@ val decide : ?tag:string -> Value.t -> 'msg action
 val map_actions : ('a -> 'b) -> 'a action list -> 'b action list
 (** Embed a sub-protocol's emissions into an enclosing message type. *)
 
+val action_codec : 'msg Dex_codec.Codec.t -> 'msg action Dex_codec.Codec.t
+(** Wire codec for whole actions, given the message codec. Transports only
+    ship messages — this exists for tooling that persists or fuzzes full
+    action streams (replay files, codec round-trip tests). *)
+
 val embed :
   inject:('a -> 'b) -> project:('b -> 'a option) -> 'a instance -> 'b instance
 (** Lift a whole instance into an enclosing message type: incoming messages

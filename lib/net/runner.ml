@@ -4,6 +4,8 @@ open Dex_sim
 
 type decision = { value : Value.t; time : float; depth : int; tag : string }
 
+type policy = Fifo | Random_tiebreak
+
 type 'msg config = {
   n : int;
   discipline : Discipline.t;
@@ -14,11 +16,12 @@ type 'msg config = {
   pp_msg : (Format.formatter -> 'msg -> unit) option;
   trace : bool;
   max_events : int;
+  policy : policy;
 }
 
 let config ?(discipline = Discipline.lockstep) ?(seed = 0) ?(extra = []) ?classify ?pp_msg
-    ?(trace = false) ?(max_events = 10_000_000) ~n make_instance =
-  { n; discipline; seed; make_instance; extra; classify; pp_msg; trace; max_events }
+    ?(trace = false) ?(max_events = 10_000_000) ?(policy = Fifo) ~n make_instance =
+  { n; discipline; seed; make_instance; extra; classify; pp_msg; trace; max_events; policy }
 
 type result = {
   decisions : decision option array;
@@ -130,7 +133,25 @@ let run cfg =
           Effects.execute handler ~self:pid ~depth:1 (inst.Protocol.start ())))
     instances;
 
-  let stop = Engine.run ~max_events:cfg.max_events engine in
+  let stop =
+    match cfg.policy with
+    | Fifo -> Engine.run ~max_events:cfg.max_events engine
+    | Random_tiebreak ->
+      (* Seeded permutation of same-instant deliveries: at every instant the
+         next event is drawn uniformly among all events due then, exposing
+         orderings the deterministic FIFO tiebreak can never produce. *)
+      let sched_rng = Prng.split rng in
+      let rec loop () =
+        if Engine.events_processed engine >= cfg.max_events then Engine.Event_limit
+        else
+          match Engine.due_count engine with
+          | 0 -> Engine.Quiescent
+          | w ->
+            ignore (Engine.step_nth engine (Prng.int sched_rng w));
+            loop ()
+      in
+      loop ()
+  in
   {
     decisions;
     late_decides = List.rev !late;

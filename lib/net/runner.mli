@@ -22,6 +22,13 @@ type decision = {
   tag : string;  (** decision path, e.g. ["one-step"] *)
 }
 
+type policy =
+  | Fifo  (** same-instant events fire in scheduling order (deterministic) *)
+  | Random_tiebreak
+      (** same-instant events fire in a seeded random order drawn from the
+          run's generator — samples interleavings that the FIFO tiebreak
+          collapses, without changing virtual delivery times *)
+
 type 'msg config = {
   n : int;  (** number of protocol processes, pids [0 .. n-1] *)
   discipline : Discipline.t;
@@ -35,6 +42,7 @@ type 'msg config = {
   pp_msg : (Format.formatter -> 'msg -> unit) option;  (** for traces *)
   trace : bool;
   max_events : int;
+  policy : policy;  (** same-instant scheduling policy *)
 }
 
 val config :
@@ -45,11 +53,12 @@ val config :
   ?pp_msg:(Format.formatter -> 'msg -> unit) ->
   ?trace:bool ->
   ?max_events:int ->
+  ?policy:policy ->
   n:int ->
   (Pid.t -> 'msg Protocol.instance) ->
   'msg config
 (** Defaults: lockstep discipline, seed 0, no extras, no classifier, traces
-    off, [max_events = 10_000_000]. *)
+    off, [max_events = 10_000_000], FIFO tiebreak. *)
 
 type result = {
   decisions : decision option array;  (** index = pid, length [n] *)

@@ -37,6 +37,42 @@ let step e =
     f ();
     true
 
+let due_count e =
+  match Pqueue.peek e.queue with
+  | None -> 0
+  | Some (t0, _, _) ->
+    List.length
+      (List.filter (fun (t, _, _) -> t = t0) (Pqueue.to_list e.queue))
+
+let step_nth e k =
+  match Pqueue.peek e.queue with
+  | None -> false
+  | Some (t0, _, _) ->
+    (* Drain every entry due at the minimum instant, fire the k-th (in
+       scheduling order), and push the rest back under their original
+       (time, seq) keys so relative order among survivors is preserved. *)
+    let rec drain acc =
+      match Pqueue.peek e.queue with
+      | Some (t, _, _) when t = t0 ->
+        let time, seq, f = Option.get (Pqueue.pop e.queue) in
+        drain ((time, seq, f) :: acc)
+      | _ -> List.rev acc
+    in
+    let due = drain [] in
+    if k < 0 || k >= List.length due then begin
+      List.iter (fun (time, seq, f) -> Pqueue.push e.queue ~time ~seq f) due;
+      invalid_arg "Engine.step_nth: index out of range"
+    end;
+    List.iteri
+      (fun i (time, seq, f) ->
+        if i <> k then Pqueue.push e.queue ~time ~seq f)
+      due;
+    let time, _, f = List.nth due k in
+    e.clock <- time;
+    e.processed <- e.processed + 1;
+    f ();
+    true
+
 let run ?(until = infinity) ?(max_events = 10_000_000) e =
   let rec loop () =
     if e.processed >= max_events then Event_limit

@@ -40,3 +40,16 @@ val run : ?until:float -> ?max_events:int -> t -> stop_reason
 
 val step : t -> bool
 (** Fire the single next event; [false] when none remain. *)
+
+val due_count : t -> int
+(** Number of events scheduled for the earliest pending instant — the
+    branching width a schedule explorer faces at this point. [0] when the
+    queue is empty. *)
+
+val step_nth : t -> int -> bool
+(** [step_nth e k] fires the [k]-th (0-based, in scheduling order) of the
+    events due at the earliest instant, leaving the others pending with
+    their original order. [step_nth e 0] is [step e]. [false] when the
+    queue is empty. The model checker uses this to enumerate same-instant
+    interleavings that {!step} would resolve in FIFO order.
+    @raise Invalid_argument when [k] is outside [0 .. due_count e - 1]. *)

@@ -37,9 +37,10 @@ let idb_equivocator ~n ~t ~split =
         List.concat_map (fun b -> Protocol.broadcast ~n b) emit.Idb.broadcasts);
   }
 
-let run_idb ?(n = 9) ?(discipline = Discipline.asynchronous) ?(seed = 1) ~make () =
+let run_idb ?(n = 9) ?(discipline = Discipline.asynchronous) ?(seed = 1)
+    ?(policy = Runner.Fifo) ~make () =
   let record = { deliveries = ref [] } in
-  let r = Runner.run (Runner.config ~discipline ~seed ~n (make record)) in
+  let r = Runner.run (Runner.config ~discipline ~seed ~policy ~n (make record)) in
   (record, r)
 
 let deliveries_at record ~receiver =
@@ -393,6 +394,55 @@ let test_bv_uniformity_in_sim () =
     Alcotest.(check int) (Printf.sprintf "seed %d uniform bin_values" seed) 1 (List.length sets)
   done
 
+(* Property: IDB agreement per sender for {e every} enumerable adversary in
+   lib/net/adversary.ml applied to the sending slot, across 200 seeded
+   schedules (async latencies + random same-instant tiebreak). Correct
+   senders must additionally reach every correct receiver with their own
+   value (termination + validity). *)
+let test_idb_agreement_under_every_adversary () =
+  let n = 5 and t = 1 in
+  let choices = Adversary.choices ~n ~max_crash_budget:3 in
+  let seeds_per_choice = (200 + List.length choices - 1) / List.length choices in
+  let runs = ref 0 in
+  List.iter
+    (fun choice ->
+      for seed = 1 to seeds_per_choice do
+        incr runs;
+        let record, _ =
+          run_idb ~n ~discipline:Discipline.asynchronous ~seed
+            ~policy:Runner.Random_tiebreak
+            ~make:(fun record p ->
+              let correct = idb_correct ~n ~t ~me:p ~value:(100 + p) ~record in
+              if p = 0 then Adversary.apply choice correct else correct)
+            ()
+        in
+        let ctx =
+          Format.asprintf "%a seed %d" Adversary.pp_choice choice seed
+        in
+        for origin = 0 to n - 1 do
+          (* Values correct receivers Id-Received for this origin. *)
+          let received =
+            List.filter_map
+              (fun receiver ->
+                List.assoc_opt origin (deliveries_at record ~receiver))
+              [ 1; 2; 3; 4 ]
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: agreement on origin %d" ctx origin)
+            true
+            (List.length (List.sort_uniq compare received) <= 1);
+          if origin <> 0 then
+            (* The sender is correct: all four correct receivers deliver
+               its value. *)
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s: origin %d reaches all" ctx origin)
+              [ 100 + origin; 100 + origin; 100 + origin; 100 + origin ]
+              received
+        done
+      done)
+    choices;
+  Alcotest.(check bool) "at least 200 schedules" true (!runs >= 200)
+
 let () =
   Alcotest.run "dex_broadcast"
     [
@@ -410,6 +460,8 @@ let () =
           Alcotest.test_case "state queries" `Quick test_idb_state_queries;
           Alcotest.test_case "delivery threshold" `Quick test_idb_delivery_threshold;
           Alcotest.test_case "duplicate echo ignored" `Quick test_idb_duplicate_echo_ignored;
+          Alcotest.test_case "agreement under every adversary" `Quick
+            test_idb_agreement_under_every_adversary;
         ] );
       ( "bracha",
         [

@@ -176,6 +176,75 @@ let prop_string_roundtrip =
   QCheck.Test.make ~name:"string codec roundtrip" ~count:500 QCheck.string (fun s ->
       roundtrip Codec.string s = s)
 
+(* ------------------------- actions ------------------------- *)
+
+(* Protocol.action round-trips, over both a real protocol message type and
+   a view-shaped payload ((V ∪ {⊥})^n as a list), hitting the boundary
+   cases transports never produce but replay files may: empty views,
+   all-⊥ views, empty and huge tags, extreme values and delays. *)
+
+open Dex_net
+
+let action_testable pp_msg =
+  let pp ppf = function
+    | Protocol.Send (dst, m) -> Format.fprintf ppf "Send(%d, %a)" dst pp_msg m
+    | Protocol.Decide { value; tag } -> Format.fprintf ppf "Decide(%d, %S)" value tag
+    | Protocol.Set_timer { delay; msg } ->
+      Format.fprintf ppf "Set_timer(%g, %a)" delay pp_msg msg
+  in
+  Alcotest.testable pp ( = )
+
+let test_action_codec_boundaries () =
+  let view_c = Codec.(list (option int)) in
+  let c = Protocol.action_codec view_c in
+  let pp_view ppf v = Format.fprintf ppf "view[%d]" (List.length v) in
+  List.iter
+    (fun a -> Alcotest.check (action_testable pp_view) "action" a (roundtrip c a))
+    [
+      Protocol.Send (0, []);                                   (* empty view *)
+      Protocol.Send (6, [ None; None; None ]);                 (* all-⊥ view *)
+      Protocol.Send (max_int, List.init 1000 (fun i -> Some i));
+      Protocol.Decide { value = min_int; tag = "" };
+      Protocol.Decide { value = max_int; tag = String.make 10_000 't' };
+      Protocol.Set_timer { delay = 0.0; msg = [] };
+      Protocol.Set_timer { delay = infinity; msg = [ Some 0; None ] };
+    ];
+  (* And over the DEX message type used on the wire. *)
+  let cd = Protocol.action_codec D.codec in
+  List.iter
+    (fun a -> Alcotest.check (action_testable D.pp_msg) "dex action" a (roundtrip cd a))
+    [
+      Protocol.Send (3, D.Prop 17);
+      Protocol.Send (0, D.Idb (Idb.Echo { origin = 2; payload = -5 }));
+      Protocol.decide ~tag:"one-step" 4;
+      Protocol.Set_timer { delay = 2.5; msg = D.Uc (Uc_oracle.Propose 1) };
+    ]
+
+let gen_action =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun d m -> Protocol.Send (d, m)) (int_bound 100) gen_leader_msg;
+        map2
+          (fun value tag -> Protocol.Decide { value; tag })
+          (int_range (-1000) 1000) string;
+        map2
+          (fun delay m -> Protocol.Set_timer { delay = abs_float delay; msg = m })
+          pfloat gen_leader_msg;
+      ])
+
+let prop_action_roundtrip =
+  let c = Protocol.action_codec Uc_leader.codec in
+  QCheck.Test.make ~name:"Protocol.action codec roundtrip" ~count:500
+    (QCheck.make gen_action)
+    (fun a -> roundtrip c a = a)
+
+let prop_action_decode_never_crashes =
+  let c = Protocol.action_codec Uc_leader.codec in
+  QCheck.Test.make ~name:"random bytes never crash the action decoder" ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+    (fun bytes -> match Codec.decode c bytes with Ok _ | Error _ -> true)
+
 (* ------------------------- frames ------------------------- *)
 
 let test_frame_roundtrip_via_pipe () =
@@ -258,6 +327,8 @@ let props =
       prop_leader_roundtrip;
       prop_decode_never_crashes;
       prop_mutated_encoding_safe;
+      prop_action_roundtrip;
+      prop_action_decode_never_crashes;
     ]
 
 let () =
@@ -292,6 +363,7 @@ let () =
           Alcotest.test_case "dex(oracle)" `Quick test_dex_codec;
           Alcotest.test_case "dex(multivalued)" `Quick test_dex_mv_codec;
           Alcotest.test_case "bosco" `Quick test_bosco_codec;
+          Alcotest.test_case "actions incl. boundaries" `Quick test_action_codec_boundaries;
         ] );
       ("frames", [ Alcotest.test_case "pipe roundtrip" `Quick test_frame_roundtrip_via_pipe ]);
       ( "cluster",

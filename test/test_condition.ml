@@ -224,6 +224,76 @@ let test_illegal_f_detected () =
   Alcotest.(check bool) "LU5 violation reported" true
     (List.exists (function Legality.Lu5 _ -> true | _ -> false) violations)
 
+(* Each of the five legality criteria, individually falsified by a pair
+   broken for precisely that criterion — the checker must name the right
+   one. Broken pairs are built at the acceptance dimensions (P_freq at
+   n = 6t+1, P_prv at n = 5t+1). *)
+
+let reports ctor pair universe =
+  List.exists ctor (Legality.check ~max_violations:20 ~universe pair)
+
+let test_lt1_breakable () =
+  (* A one-step predicate that never fires, although C¹ is non-empty:
+     inputs in C¹_k no longer force P1 on nearby views. *)
+  let good = Pair.freq ~n:7 ~t:1 in
+  let bad = { good with Pair.p1 = (fun _ -> false); name = "P_freq_noP1" } in
+  Alcotest.(check bool) "LT1 reported" true
+    (reports (function Legality.Lt1 _ -> true | _ -> false) bad [ 0; 1 ])
+
+let test_lt2_breakable () =
+  let good = Pair.privileged ~n:6 ~t:1 ~m:1 in
+  let bad = { good with Pair.p2 = (fun _ -> false); name = "P_prv_noP2" } in
+  Alcotest.(check bool) "LT2 reported" true
+    (reports (function Legality.Lt2 _ -> true | _ -> false) bad [ 0; 1 ])
+
+let test_la3_breakable () =
+  (* P1 lowered to the two-step threshold (margin > 2t): two one-step
+     deciders may extract different values. *)
+  let good = Pair.freq ~n:7 ~t:1 in
+  let bad = { good with Pair.p1 = good.Pair.p2; name = "P_freq_lowP1" } in
+  Alcotest.(check bool) "LA3 reported" true
+    (reports (function Legality.La3 _ -> true | _ -> false) bad [ 0; 1 ])
+
+let test_la4_breakable () =
+  (* The model checker's planted mutation: P_prv's two-step threshold
+     lowered to #m > t. A two-step decider and a plain F-extractor can then
+     disagree — exactly LA4. *)
+  let good = Pair.privileged ~n:6 ~t:1 ~m:1 in
+  let bad =
+    { good with Pair.p2 = (fun s -> View_stats.count s 1 > 1); name = "P_prv_lowP2" }
+  in
+  Alcotest.(check bool) "LA4 reported" true
+    (reports (function Legality.La4 _ -> true | _ -> false) bad [ 0; 1 ])
+
+let test_lu5_breakable () =
+  (* An F that ignores the view cannot respect dominant values. *)
+  let good = Pair.privileged ~n:6 ~t:1 ~m:1 in
+  let bad = { good with Pair.f = (fun _ -> 1); name = "P_prv_constF" } in
+  Alcotest.(check bool) "LU5 reported" true
+    (reports (function Legality.Lu5 _ -> true | _ -> false) bad [ 0; 1 ])
+
+(* Pair.obligation: the typed bridge from condition levels to the
+   model-checker's timeliness oracles. *)
+let test_obligation () =
+  let pair = Pair.privileged ~n:6 ~t:1 ~m:1 in
+  (* C¹_f = C^prv_{3t+f}, C²_f = C^prv_{2t+f}: at f=1 one-step needs
+     #m > 4, two-step #m > 3. *)
+  let one_step = iv [ 1; 1; 1; 1; 1; 0 ] in      (* #m = 5 *)
+  let two_step = iv [ 1; 1; 1; 1; 0; 0 ] in      (* #m = 4 *)
+  let neither = iv [ 1; 1; 1; 0; 0; 0 ] in       (* #m = 3 *)
+  Alcotest.(check bool) "one-step at f=1" true
+    (Pair.obligation pair ~f:1 one_step = `One_step);
+  Alcotest.(check bool) "two-step at f=1" true
+    (Pair.obligation pair ~f:1 two_step = `Two_step);
+  Alcotest.(check bool) "none at f=1" true
+    (Pair.obligation pair ~f:1 neither = `None);
+  (* With no actual failures the guarantees strengthen: #m = 4 > 3t. *)
+  Alcotest.(check bool) "two-step input is one-step at f=0" true
+    (Pair.obligation pair ~f:0 two_step = `One_step);
+  Alcotest.check_raises "f beyond t rejected"
+    (Invalid_argument "Pair.obligation: f outside 0..t") (fun () ->
+      ignore (Pair.obligation pair ~f:2 one_step))
+
 let () =
   Alcotest.run "dex_condition"
     [
@@ -248,6 +318,7 @@ let () =
           Alcotest.test_case "freq predicates" `Quick test_freq_predicates;
           Alcotest.test_case "prv predicates" `Quick test_prv_predicates;
           Alcotest.test_case "adaptive levels" `Quick test_one_step_level_freq;
+          Alcotest.test_case "obligation" `Quick test_obligation;
         ] );
       ( "d-legal",
         [
@@ -267,5 +338,10 @@ let () =
             test_theorem2_prv_legal_three_values;
           Alcotest.test_case "broken P1 detected" `Slow test_illegal_pair_detected;
           Alcotest.test_case "broken F detected" `Slow test_illegal_f_detected;
+          Alcotest.test_case "LT1 breakable" `Slow test_lt1_breakable;
+          Alcotest.test_case "LT2 breakable" `Slow test_lt2_breakable;
+          Alcotest.test_case "LA3 breakable" `Slow test_la3_breakable;
+          Alcotest.test_case "LA4 breakable" `Slow test_la4_breakable;
+          Alcotest.test_case "LU5 breakable" `Slow test_lu5_breakable;
         ] );
     ]

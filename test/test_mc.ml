@@ -1,0 +1,211 @@
+(* Tests for lib/mc: schedule-driven execution, bounded exploration,
+   oracles, and the mutation -> counterexample -> shrink -> replay
+   pipeline. *)
+
+open Dex_mcheck
+
+let scenario ?(mutation = None) ?(faults = []) kind ~n ~t proposals =
+  { Dex_model.kind; n; t; proposals; faults; mutation }
+
+let freq4 proposals = scenario Dex_model.Freq ~n:4 ~t:0 proposals
+
+let decision_values (s : Exec.summary) =
+  Array.to_list (Array.map (Option.map (fun d -> d.Exec.value)) s.Exec.decisions)
+
+(* {2 Exec} *)
+
+let test_fifo_decides () =
+  let sys = Dex_model.system (freq4 [ 1; 1; 1; 1 ]) in
+  let t = Exec.create sys in
+  Alcotest.(check bool) "completes" true (Exec.run_fifo t);
+  Alcotest.(check bool) "quiescent" true (Exec.quiescent t);
+  let s = Exec.summary t in
+  Alcotest.(check (list (option int))) "all decide 1"
+    [ Some 1; Some 1; Some 1; Some 1 ] (decision_values s);
+  Alcotest.(check bool) "no late decides" true (s.Exec.late = [])
+
+let test_replay_deterministic () =
+  let sys = Dex_model.system (freq4 [ 1; 0; 1; 0 ]) in
+  let run () =
+    let t = Exec.create sys in
+    ignore (Exec.run_fifo t);
+    let s = Exec.summary t in
+    (decision_values s, List.map (fun d -> d.Exec.key) s.Exec.deliveries)
+  in
+  let d1, sched1 = run () in
+  let d2, sched2 = run () in
+  Alcotest.(check bool) "same decisions" true (d1 = d2);
+  Alcotest.(check bool) "same schedule" true (sched1 = sched2);
+  (* Replaying the recorded schedule reproduces the run exactly. *)
+  let t = Exec.replay sys sched1 in
+  Alcotest.(check bool) "replay quiescent" true (Exec.quiescent t);
+  Alcotest.(check bool) "replay decisions" true
+    (decision_values (Exec.summary t) = d1)
+
+let test_key_string_roundtrip () =
+  let keys =
+    [
+      { Exec.src = 0; dst = 3; kind = Exec.Message; chan = 0 };
+      { Exec.src = 12; dst = 0; kind = Exec.Timer; chan = 41 };
+      { Exec.src = 5; dst = 5; kind = Exec.Message; chan = 7 };
+    ]
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Exec.key_to_string k) true
+        (Exec.key_of_string (Exec.key_to_string k) = Some k))
+    keys;
+  Alcotest.(check bool) "garbage rejected" true (Exec.key_of_string "p0->p1" = None)
+
+let test_fingerprint_commutation () =
+  let sys = Dex_model.system (freq4 [ 0; 0; 0; 0 ]) in
+  let keys = Exec.inflight (Exec.create sys) in
+  let find pred = List.find pred keys in
+  let fp sched =
+    let t = Exec.replay sys sched in
+    Exec.fingerprint t
+  in
+  (* Deliveries at distinct receivers commute: swapped order, same state. *)
+  let a = find (fun k -> k.Exec.src = 0 && k.Exec.dst = 1) in
+  let b = find (fun k -> k.Exec.src = 0 && k.Exec.dst = 2) in
+  Alcotest.(check bool) "distinct receivers commute" true
+    (fp [ a; b ] = fp [ b; a ]);
+  (* Same receiver: order is observable, states differ. *)
+  let c = find (fun k -> k.Exec.src = 2 && k.Exec.dst = 1) in
+  Alcotest.(check bool) "same receiver does not commute" false
+    (fp [ a; c ] = fp [ c; a ])
+
+(* {2 Checker + oracles} *)
+
+let explore ?(budget = 1) s =
+  Checker.explore ~sys:(Dex_model.system s)
+    ~bounds:
+      {
+        Checker.delay_budget = budget;
+        branch_width = 8;
+        max_schedules = 50_000;
+        max_steps = 10_000;
+      }
+    ~check:(fun sum -> Dex_model.check s sum)
+    ()
+
+let test_explore_exhaustive_clean () =
+  List.iter
+    (fun proposals ->
+      let outcome = explore ~budget:2 (freq4 proposals) in
+      Alcotest.(check bool) "no violation" true (outcome.Checker.violation = None);
+      Alcotest.(check bool) "exhausted" true outcome.Checker.stats.Checker.exhausted;
+      Alcotest.(check bool) "explored schedules" true
+        (outcome.Checker.stats.Checker.schedules >= 1))
+    [ [ 0; 0; 0; 0 ]; [ 1; 0; 1; 0 ]; [ 1; 1; 1; 0 ] ]
+
+let test_explore_prv_with_fault () =
+  let s =
+    scenario ~faults:[ (0, Dex_model.Silent) ] (Dex_model.Prv 1) ~n:6 ~t:1
+      [ 1; 1; 0; 0; 0; 0 ]
+  in
+  let outcome = explore ~budget:1 s in
+  Alcotest.(check bool) "no violation" true (outcome.Checker.violation = None);
+  Alcotest.(check bool) "exhausted" true outcome.Checker.stats.Checker.exhausted
+
+let test_oracle_rejects_disagreement () =
+  (* Hand-build a summary where two correct processes decided differently;
+     the agreement oracle must fire. *)
+  let s = freq4 [ 1; 1; 1; 1 ] in
+  let sys = Dex_model.system s in
+  let t = Exec.create sys in
+  ignore (Exec.run_fifo t);
+  let sum = Exec.summary t in
+  let d0 =
+    match sum.Exec.decisions.(0) with Some d -> d | None -> Alcotest.fail "p0 undecided"
+  in
+  let forged = Array.copy sum.Exec.decisions in
+  forged.(2) <- Some { d0 with Exec.value = 1 - d0.Exec.value };
+  match Dex_model.check s { sum with Exec.decisions = forged } with
+  | Some (Oracles.Agreement _) -> ()
+  | other ->
+    Alcotest.failf "expected agreement violation, got %s"
+      (match other with
+      | None -> "none"
+      | Some v -> Format.asprintf "%a" Oracles.pp_violation v)
+
+let mutant =
+  scenario ~mutation:(Some "p2-gt-t") (Dex_model.Prv 1) ~n:6 ~t:1 [ 1; 1; 0; 0; 0; 0 ]
+
+let find_mutant_violation () =
+  let sys = Dex_model.system mutant in
+  let check sum = Dex_model.check mutant sum in
+  match
+    Checker.sample ~sys ~seed:7 ~schedules:50_000 ~max_steps:10_000 ~check ()
+  with
+  | None -> Alcotest.fail "seeded sampling no longer finds the planted violation"
+  | Some (v, schedule) -> (sys, check, v, schedule)
+
+let test_mutation_legality_and_counterexample () =
+  (match Oracles.legal_pair ~universe:[ 0; 1 ] (Dex_model.pair_of_scenario mutant) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mutated pair should fail the legality checker");
+  let sys, check, _, schedule = find_mutant_violation () in
+  let shrunk = Checker.shrink ~sys ~check schedule in
+  Alcotest.(check bool) "shrunk no longer" true
+    (List.length shrunk <= List.length schedule);
+  (* The shrunk schedule must still violate, twice in a row (determinism). *)
+  let verdict () =
+    match Checker.replay_check ~sys ~check shrunk with
+    | Some v -> Format.asprintf "%a" Oracles.pp_violation v
+    | None -> Alcotest.fail "shrunk schedule lost the violation"
+  in
+  Alcotest.(check string) "deterministic replay" (verdict ()) (verdict ())
+
+let test_counterexample_file_roundtrip () =
+  let _, _, v, schedule = find_mutant_violation () in
+  let file = Filename.temp_file "dex_mc_cex" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Dex_model.save_counterexample ~file mutant schedule v;
+      let loaded, sched' = Dex_model.load_counterexample ~file in
+      Alcotest.(check bool) "scenario" true (loaded = mutant);
+      Alcotest.(check bool) "schedule" true (sched' = schedule);
+      (* The reloaded counterexample still reproduces the violation. *)
+      let sys = Dex_model.system loaded in
+      let check sum = Dex_model.check loaded sum in
+      Alcotest.(check bool) "reproduces" true
+        (Checker.replay_check ~sys ~check sched' <> None))
+
+let test_unknown_mutation_rejected () =
+  let s = scenario ~mutation:(Some "nope") Dex_model.Freq ~n:4 ~t:0 [ 0; 0; 0; 0 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dex_model.pair_of_scenario s);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "dex_mc"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "fifo run decides" `Quick test_fifo_decides;
+          Alcotest.test_case "replay deterministic" `Quick test_replay_deterministic;
+          Alcotest.test_case "key round-trip" `Quick test_key_string_roundtrip;
+          Alcotest.test_case "fingerprint commutation" `Quick test_fingerprint_commutation;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "exhaustive clean configs" `Quick test_explore_exhaustive_clean;
+          Alcotest.test_case "prv with silent fault" `Quick test_explore_prv_with_fault;
+          Alcotest.test_case "oracle rejects disagreement" `Quick
+            test_oracle_rejects_disagreement;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "legality + shrink + replay" `Quick
+            test_mutation_legality_and_counterexample;
+          Alcotest.test_case "counterexample file round-trip" `Quick
+            test_counterexample_file_roundtrip;
+          Alcotest.test_case "unknown mutation rejected" `Quick
+            test_unknown_mutation_rejected;
+        ] );
+    ]

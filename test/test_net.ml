@@ -88,6 +88,31 @@ let test_seed_changes_schedule () =
   Alcotest.(check bool) "different times" true
     (r1.Runner.final_time <> r2.Runner.final_time)
 
+let run_flood_policy ~policy ~seed () =
+  Runner.run
+    (Runner.config ~discipline:Discipline.lockstep ~seed ~policy ~n:5 (fun p ->
+         flood ~n:5 ~me:p ~value:(p * 10)))
+
+let test_random_tiebreak_decides () =
+  (* Random same-instant ordering samples interleavings the FIFO tiebreak
+     collapses, but flood's outcome is schedule-independent: every seed
+     still delivers everything and decides the max. *)
+  List.iter
+    (fun seed ->
+      let r = run_flood_policy ~policy:Runner.Random_tiebreak ~seed () in
+      Alcotest.(check bool) "all decided" true (Runner.all_decided r);
+      Alcotest.(check (list int)) "agreed on max" [ 40 ] (Runner.decided_values r);
+      Alcotest.(check int) "all delivered" r.Runner.sent r.Runner.delivered)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_random_tiebreak_deterministic_per_seed () =
+  let times policy seed =
+    let r = run_flood_policy ~policy ~seed () in
+    Array.map (Option.map (fun d -> d.Runner.time)) r.Runner.decisions
+  in
+  Alcotest.(check bool) "same seed, same schedule" true
+    (times Runner.Random_tiebreak 9 = times Runner.Random_tiebreak 9)
+
 let test_silent_process_blocks_full_flood () =
   (* flood waits for all n values, so one silent process stalls everyone:
      the run ends quiescent with nobody decided. *)
@@ -198,6 +223,9 @@ let () =
           Alcotest.test_case "extra node" `Quick test_extra_node_receives;
           Alcotest.test_case "unknown pid dropped" `Quick test_sends_to_unknown_pid_dropped;
           Alcotest.test_case "trace recording" `Quick test_trace_recording;
+          Alcotest.test_case "random tiebreak decides" `Quick test_random_tiebreak_decides;
+          Alcotest.test_case "random tiebreak deterministic" `Quick
+            test_random_tiebreak_deterministic_per_seed;
         ] );
       ( "adversary",
         [

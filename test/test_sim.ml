@@ -83,6 +83,61 @@ let test_step () =
   Alcotest.(check bool) "handler ran" true !fired;
   Alcotest.(check bool) "no more events" false (Engine.step e)
 
+let test_due_count () =
+  let e = Engine.create () in
+  Alcotest.(check int) "empty" 0 (Engine.due_count e);
+  Engine.schedule e ~delay:1.0 (fun () -> ());
+  Engine.schedule e ~delay:1.0 (fun () -> ());
+  Engine.schedule e ~delay:2.0 (fun () -> ());
+  Alcotest.(check int) "two due at t=1" 2 (Engine.due_count e);
+  ignore (Engine.step e);
+  Alcotest.(check int) "one left at t=1" 1 (Engine.due_count e);
+  ignore (Engine.step e);
+  Alcotest.(check int) "then the t=2 event" 1 (Engine.due_count e)
+
+let test_step_nth_reorders () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 3 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  (* Fire the third event first; the remaining ones keep scheduling order. *)
+  Alcotest.(check bool) "fired" true (Engine.step_nth e 2);
+  while Engine.step e do
+    ()
+  done;
+  Alcotest.(check (list int)) "order" [ 2; 0; 1; 3 ] (List.rev !log)
+
+let test_step_nth_bounds () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty queue" false (Engine.step_nth e 0);
+  Engine.schedule e ~delay:1.0 (fun () -> ());
+  Engine.schedule e ~delay:5.0 (fun () -> ());
+  (* Only one event is due at the earliest instant — index 1 is out of
+     range even though the queue holds two events. *)
+  Alcotest.check_raises "beyond due set"
+    (Invalid_argument "Engine.step_nth: index out of range") (fun () ->
+      ignore (Engine.step_nth e 1));
+  Alcotest.(check int) "queue intact" 2 (Engine.pending e);
+  Alcotest.(check bool) "canonical still fires" true (Engine.step_nth e 0);
+  Alcotest.(check int) "one left" 1 (Engine.pending e)
+
+let test_step_nth_same_as_step_at_zero () =
+  let run stepper =
+    let e = Engine.create () in
+    let log = ref [] in
+    for i = 0 to 5 do
+      Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+    done;
+    while stepper e do
+      ()
+    done;
+    List.rev !log
+  in
+  Alcotest.(check (list int)) "identical"
+    (run Engine.step)
+    (run (fun e -> Engine.step_nth e 0))
+
 let test_trace_basic () =
   let tr = Trace.create () in
   Trace.record tr ~time:1.0 "hello";
@@ -116,6 +171,10 @@ let () =
           Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
           Alcotest.test_case "schedule_at past rejected" `Quick test_schedule_at_past_rejected;
           Alcotest.test_case "single step" `Quick test_step;
+          Alcotest.test_case "due count" `Quick test_due_count;
+          Alcotest.test_case "step_nth reorders" `Quick test_step_nth_reorders;
+          Alcotest.test_case "step_nth bounds" `Quick test_step_nth_bounds;
+          Alcotest.test_case "step_nth 0 = step" `Quick test_step_nth_same_as_step_at_zero;
         ] );
       ( "trace",
         [
