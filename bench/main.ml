@@ -197,9 +197,39 @@ let bench_smr =
       let make p =
         Log.replica cfg ~me:p
           ~propose:(fun ~slot -> 100 + slot)
-          ~on_commit:(fun ~slot:_ _ -> ())
+          ~on_commit:(fun ~slot:_ ~provenance:_ _ -> ())
       in
       ignore (Runner.run (Runner.config ~extra:(Log.extra cfg) ~n:7 make))))
+
+(* ----------------------- service throughput ----------------------- *)
+
+(* Not a bechamel subject: one closed-loop run against a live loopback
+   deployment (real sockets, real threads), reported as ops/s rather than
+   ns/run. The numbers land in their own section of the JSON. *)
+module Svc = Dex_service.Server.Make (Uc_oracle)
+
+let service_throughput () =
+  let n = 4 and t = 0 in
+  let pair = Pair.freq ~n ~t in
+  let cfg = Svc.config ~pair:(fun _ -> pair) ~n ~t () in
+  let d = Svc.launch cfg in
+  let c = Dex_service.Client.connect ~client:1 (List.map snd d.Svc.ports) in
+  let r =
+    Dex_service.Client.Load.run_many ~clients:64 ~duration:2.0 c (fun i ->
+        Dex_service.State_machine.Set (Printf.sprintf "k%d" (i mod 64), i))
+  in
+  Dex_service.Client.close c;
+  Thread.delay 0.2;
+  Svc.shutdown d;
+  let open Dex_service.Client.Load in
+  let committed = float_of_int r.committed in
+  let p50 = match r.latency with Some s -> s.Dex_metrics.Stats.p50 | None -> 0.0 in
+  [
+    ("service/throughput-ops-s", r.throughput);
+    ( "service/one-step-fraction",
+      if r.committed = 0 then 0.0 else float_of_int r.one_step /. committed );
+    ("service/latency-p50-ms", p50);
+  ]
 
 let all_tests =
   Test.make_grouped ~name:"dex"
@@ -247,9 +277,10 @@ let print_results rows =
   Printf.printf "%s\n" (String.make 54 '-');
   List.iter (fun (name, est) -> Printf.printf "%-36s %16.1f\n" name est) rows
 
-(* Machine-readable companion to the human table: subject -> ns/run, stamped
-   with the run date, so successive runs can be diffed by tooling. *)
-let write_json rows =
+(* Machine-readable companion to the human tables: microbench subjects in
+   ns/run plus the service-lane throughput figures, stamped with the run
+   date, so successive runs can be diffed by tooling. *)
+let write_json rows service_rows =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -262,6 +293,11 @@ let write_json rows =
     (fun i (name, est) ->
       Printf.fprintf oc "%s\n    %S: %.1f" (if i = 0 then "" else ",") name est)
     rows;
+  Printf.fprintf oc "\n  },\n  \"service\": {";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "%s\n    %S: %.2f" (if i = 0 then "" else ",") name v)
+    service_rows;
   Printf.fprintf oc "\n  }\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n" file
@@ -271,7 +307,10 @@ let () =
   print_endline "== Bechamel microbenchmarks ==";
   let rows = collect_rows (benchmark ()) in
   print_results rows;
-  write_json rows;
+  print_endline "\n== Service lane (loopback n=4 t=0, 64 closed-loop clients) ==";
+  let service_rows = service_throughput () in
+  List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) service_rows;
+  write_json rows service_rows;
   if not quick then begin
     print_endline "\n== Experiment tables (paper reproduction; see EXPERIMENTS.md) ==";
     Dex_experiments.Harness.trials := 20;

@@ -1,0 +1,93 @@
+(* Load-driving client for the replicated KV service (see bin/dex_server.ml).
+
+     dex_server serve --port-base 7000 &
+     dex_client --ports 7000,7001,7002,7003 --duration 10
+
+   Submits to all replicas (leader-less, first-commit-wins) and reports
+   throughput, latency percentiles, and the fraction of requests whose log
+   slot decided on the paper's one-step path. *)
+
+open Cmdliner
+module Sm = Dex_service.State_machine
+
+let workload_of name client =
+  match name with
+  | "add" -> fun i -> ignore i; Sm.Add ("k", 1)
+  | "set" -> fun i -> Sm.Set (Printf.sprintf "c%d-k%d" client (i mod 16), i)
+  | "mixed" ->
+    fun i ->
+      (match i mod 4 with
+      | 0 -> Sm.Set (Printf.sprintf "k%d" (i mod 8), i)
+      | 1 -> Sm.Add ("total", 1)
+      | 2 -> Sm.Get (Printf.sprintf "k%d" (i mod 8))
+      | _ -> Sm.Nop)
+  | other -> failwith (Printf.sprintf "unknown workload %S (use add, set or mixed)" other)
+
+let action ports_s client clients duration pace timeout attempts workload =
+  match
+    let ports = List.map int_of_string (String.split_on_char ',' ports_s) in
+    let gen = workload_of workload client in
+    let c = Dex_service.Client.connect ~client ports in
+    let report =
+      if clients > 1 then
+        (* Throughput harness: many logical closed loops, one thread. *)
+        Dex_service.Client.Load.run_many ~clients ~timeout ~duration c gen
+      else Dex_service.Client.Load.run ~pace ~timeout ~attempts ~duration c gen
+    in
+    Dex_service.Client.close c;
+    report
+  with
+  | exception Failure m -> `Error (false, m)
+  | exception Invalid_argument m -> `Error (false, m)
+  | report ->
+    Format.printf "%a@." Dex_service.Client.Load.pp_report report;
+    let total = float_of_int (max 1 report.Dex_service.Client.Load.committed) in
+    Format.printf "one-step fraction: %.1f%%@."
+      (100.0 *. float_of_int report.Dex_service.Client.Load.one_step /. total);
+    `Ok ()
+
+let ports_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "ports" ] ~doc:"Comma-separated replica service ports (loopback).")
+
+let client_t = Arg.(value & opt int 1 & info [ "client" ] ~doc:"Client id (unique per deployment).")
+
+let clients_t =
+  Arg.(
+    value & opt int 1
+    & info [ "clients" ]
+        ~doc:
+          "Logical closed-loop clients multiplexed in one thread (ids \
+           client..client+N-1); N > 1 is the throughput harness, 1 the latency \
+           harness.")
+
+let duration_t = Arg.(value & opt float 10.0 & info [ "duration" ] ~doc:"Run time in seconds.")
+
+let pace_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "pace" ] ~doc:"Minimum seconds between submissions (0 = closed loop).")
+
+let timeout_t =
+  Arg.(value & opt float 1.0 & info [ "timeout" ] ~doc:"Per-attempt reply timeout (seconds).")
+
+let attempts_t =
+  Arg.(value & opt int 5 & info [ "attempts" ] ~doc:"Transmissions per request before giving up.")
+
+let workload_t =
+  Arg.(value & opt string "add" & info [ "workload" ] ~doc:"Workload: add, set or mixed.")
+
+let () =
+  let info =
+    Cmd.info "dex_client" ~version:"1.0.0"
+      ~doc:"Closed-loop load generator for the DEX replicated KV service."
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ ports_t $ client_t $ clients_t $ duration_t $ pace_t $ timeout_t
+        $ attempts_t $ workload_t))
+  in
+  exit (Cmd.eval (Cmd.v info term))

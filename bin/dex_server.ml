@@ -1,0 +1,245 @@
+(* Replicated KV service over the DEX log — server side.
+
+   `serve` boots all n replicas of a loopback deployment in one process
+   (real TCP between replicas and to clients) and prints the per-replica
+   client service ports; point bin/dex_client at them.
+
+   `smoke` is the self-contained CI gate: boot a deployment (optionally with
+   mute/equivocating replicas), drive it with an in-process closed-loop
+   client, and fail unless the run committed work with zero agreement
+   violations and no duplicate application. *)
+
+open Cmdliner
+open Dex_condition
+open Dex_underlying
+module Sm = Dex_service.State_machine
+
+type opts = {
+  n : int;
+  t : int;
+  pair_name : string;
+  seed : int;
+  window : int;
+  batch_delay : float;
+  settle : float;
+  batch_cap : int;
+  queue_cap : int;
+  port_base : int;
+  duration : float;
+  mute : int list;
+  equivocate : int list;
+}
+
+let pair_of opts =
+  match String.split_on_char ':' opts.pair_name with
+  | [ "freq" ] -> Pair.freq ~n:opts.n ~t:opts.t
+  | [ "prv" ] -> Pair.privileged ~n:opts.n ~t:opts.t ~m:0
+  | [ "prv"; m ] -> Pair.privileged ~n:opts.n ~t:opts.t ~m:(int_of_string m)
+  | _ -> failwith (Printf.sprintf "unknown pair %S (use freq or prv[:M])" opts.pair_name)
+
+let roles_of opts p =
+  if List.mem p opts.mute then Dex_service.Server.Mute
+  else if List.mem p opts.equivocate then Dex_service.Server.Equivocator
+  else Dex_service.Server.Correct
+
+module Run (Uc : Uc_intf.S) = struct
+  module S = Dex_service.Server.Make (Uc)
+
+  let launch opts =
+    let pair = pair_of opts in
+    let cfg =
+      S.config ~seed:opts.seed ~window:opts.window ~batch_delay:opts.batch_delay
+        ~settle:opts.settle ~batch_cap:opts.batch_cap ~queue_cap:opts.queue_cap
+        ~pair:(fun _ -> pair)
+        ~n:opts.n ~t:opts.t ()
+    in
+    S.launch ~roles:(roles_of opts) ~port_base:opts.port_base cfg
+
+  let print_ports d =
+    List.iter
+      (fun (p, port) -> Printf.printf "replica %d: 127.0.0.1:%d\n%!" p port)
+      d.S.ports
+
+  let print_stats d =
+    List.iter
+      (fun (p, s) -> Format.printf "replica %d: %a@." p S.pp_stats (S.stats s))
+      d.S.servers
+
+  let serve opts =
+    let d = launch opts in
+    Printf.printf "service up: n=%d t=%d uc=%s pair=%s\n" opts.n opts.t Uc.name
+      opts.pair_name;
+    print_ports d;
+    if opts.duration > 0.0 then begin
+      Thread.delay opts.duration;
+      print_stats d;
+      S.shutdown d;
+      `Ok ()
+    end
+    else begin
+      (* Run until killed, with a periodic stats heartbeat. *)
+      while true do
+        Thread.delay 10.0;
+        print_stats d
+      done;
+      `Ok ()
+    end
+
+  let smoke opts =
+    let d = launch opts in
+    Printf.printf "smoke: n=%d t=%d uc=%s pair=%s mute=[%s] equivocate=[%s]\n%!" opts.n
+      opts.t Uc.name opts.pair_name
+      (String.concat "," (List.map string_of_int opts.mute))
+      (String.concat "," (List.map string_of_int opts.equivocate));
+    let client = Dex_service.Client.connect ~client:1 (List.map snd d.S.ports) in
+    let report =
+      Dex_service.Client.Load.run ~duration:opts.duration client (fun _ -> Sm.Add ("k", 1))
+    in
+    Format.printf "%a@." Dex_service.Client.Load.pp_report report;
+    (* Let stragglers apply before inspecting replica state. *)
+    Thread.delay 0.5;
+    Dex_service.Client.close client;
+    List.iter (fun (_, s) -> S.stop s) d.S.servers;
+    print_stats d;
+    let compared, violations = S.agreement_violations d in
+    let counter_of s = match List.assoc_opt "k" (S.state_snapshot s) with Some v -> v | None -> 0 in
+    (* Duplicate application would overshoot the number of issued Adds. *)
+    let overshoot =
+      List.filter (fun (_, s) -> counter_of s > report.Dex_service.Client.Load.issued) d.S.servers
+    in
+    let committed = report.Dex_service.Client.Load.committed in
+    Dex_runtime.Cluster.shutdown d.S.cluster;
+    Printf.printf "agreement: %d multiply-committed slots compared, %d violations\n" compared
+      (List.length violations);
+    if committed = 0 then `Error (false, "smoke failed: no commits")
+    else if violations <> [] then
+      `Error (false, Printf.sprintf "smoke failed: %d agreement violations" (List.length violations))
+    else if overshoot <> [] then
+      `Error
+        ( false,
+          String.concat ", "
+            (List.map
+               (fun (p, s) ->
+                 Printf.sprintf "smoke failed: replica %d applied %d > issued %d (duplicate apply)"
+                   p (counter_of s) report.Dex_service.Client.Load.issued)
+               overshoot) )
+    else begin
+      Printf.printf "smoke OK: %d ops committed, agreement clean, no duplicate applies\n"
+        committed;
+      `Ok ()
+    end
+end
+
+module Run_oracle = Run (Uc_oracle)
+module Run_leader = Run (Uc_leader)
+
+let dispatch f_oracle f_leader uc opts =
+  match uc with
+  | "oracle" -> f_oracle opts
+  | "leader" ->
+    (* Round timeouts in seconds on the thread runtime. *)
+    Uc_leader.timeout_base := 0.25;
+    f_leader opts
+  | other -> `Error (false, Printf.sprintf "unknown uc %S (use oracle or leader)" other)
+
+(* ----------------------------- options ----------------------------- *)
+
+let pid_list_t names doc =
+  let conv_pids =
+    let parse s =
+      if String.trim s = "" then Ok []
+      else
+        try Ok (List.map int_of_string (String.split_on_char ',' s))
+        with Failure _ -> Error (`Msg "expected a comma-separated pid list")
+    in
+    Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (String.concat "," (List.map string_of_int l)))
+  in
+  Arg.(value & opt conv_pids [] & info names ~doc)
+
+let opts_t ~default_n ~default_t ~default_duration ~default_mute =
+  let n_t = Arg.(value & opt int default_n & info [ "n"; "replicas" ] ~doc:"Number of replicas.") in
+  let t_t = Arg.(value & opt int default_t & info [ "t"; "faults-bound" ] ~doc:"Failure bound.") in
+  let pair_t =
+    Arg.(value & opt string "freq" & info [ "pair" ] ~doc:"Condition pair: freq or prv[:M].")
+  in
+  let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let window_t = Arg.(value & opt int 8 & info [ "window" ] ~doc:"Log pipelining window.") in
+  let batch_delay_t =
+    Arg.(value & opt float 0.004 & info [ "batch-delay" ] ~doc:"Batcher tick (seconds).")
+  in
+  let settle_t =
+    Arg.(
+      value & opt float 0.002
+      & info [ "settle" ] ~doc:"Min request age before proposal (seconds).")
+  in
+  let batch_cap_t =
+    Arg.(value & opt int 256 & info [ "batch-cap" ] ~doc:"Max requests per batch.")
+  in
+  let queue_cap_t =
+    Arg.(value & opt int 4096 & info [ "queue-cap" ] ~doc:"Admission queue bound.")
+  in
+  let port_base_t =
+    Arg.(value & opt int 0 & info [ "port-base" ] ~doc:"Service port base (0 = ephemeral).")
+  in
+  let duration_t =
+    Arg.(
+      value
+      & opt float default_duration
+      & info [ "duration" ] ~doc:"Run time in seconds (serve: 0 = forever).")
+  in
+  let mute_t = pid_list_t [ "mute" ] "Comma-separated pids to run mute (crashed)." in
+  let equivocate_t = pid_list_t [ "equivocate" ] "Comma-separated pids to run as equivocators." in
+  let make n t pair_name seed window batch_delay settle batch_cap queue_cap port_base duration
+      mute equivocate =
+    (match default_mute with
+    | Some default when mute = [] && equivocate = [] ->
+      { n; t; pair_name; seed; window; batch_delay; settle; batch_cap; queue_cap; port_base;
+        duration; mute = default; equivocate }
+    | _ ->
+      { n; t; pair_name; seed; window; batch_delay; settle; batch_cap; queue_cap; port_base;
+        duration; mute; equivocate })
+  in
+  Term.(
+    const make $ n_t $ t_t $ pair_t $ seed_t $ window_t $ batch_delay_t $ settle_t
+    $ batch_cap_t $ queue_cap_t $ port_base_t $ duration_t $ mute_t $ equivocate_t)
+
+let uc_t =
+  Arg.(value & opt string "oracle" & info [ "uc" ] ~doc:"Underlying consensus: oracle or leader.")
+
+let guard f opts =
+  try f opts with
+  | Pair.Assumption_violated m -> `Error (false, m)
+  | Failure m -> `Error (false, m)
+  | Invalid_argument m -> `Error (false, m)
+
+let serve_cmd =
+  let action uc opts = dispatch (guard Run_oracle.serve) (guard Run_leader.serve) uc opts in
+  let term =
+    Term.(
+      ret (const action $ uc_t $ opts_t ~default_n:4 ~default_t:0 ~default_duration:0.0 ~default_mute:None))
+  in
+  Cmd.v (Cmd.info "serve" ~doc:"Boot an n-replica loopback KV service and print client ports.") term
+
+let smoke_cmd =
+  let action uc opts = dispatch (guard Run_oracle.smoke) (guard Run_leader.smoke) uc opts in
+  let term =
+    Term.(
+      ret
+        (const action
+        $ uc_t
+        $ opts_t ~default_n:7 ~default_t:1 ~default_duration:5.0 ~default_mute:(Some [ 6 ])))
+  in
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:
+         "CI gate: boot a deployment (default: n=7 t=1, replica 6 mute), drive it with a \
+          closed-loop client, and fail on zero commits, agreement violations, or duplicate \
+          application.")
+    term
+
+let () =
+  let info =
+    Cmd.info "dex_server" ~version:"1.0.0"
+      ~doc:"Replicated key-value service over the DEX log — server and CI smoke."
+  in
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; smoke_cmd ]))

@@ -10,20 +10,24 @@
    (two clients race — the log still converges, through the two-step or
    underlying path). At the end every replica has an identical store.
 
+   The store semantics are the real ones: Dex_service.State_machine, the
+   same apply/snapshot/digest KV machine the networked service
+   (bin/dex_server) replicates. Here the log orders small command ids and a
+   table maps them to commands; the service lane orders batch digests — the
+   state machine underneath is shared.
+
      dune exec examples/state_machine.exe *)
 
 open Dex_condition
 open Dex_net
 open Dex_underlying
 open Dex_smr
+module Sm = Dex_service.State_machine
 
 module Log = Replicated_log.Make (Uc_oracle)
 
-(* Commands are proposal values; a command table maps value <-> operation.
-   Command c = SET key[c mod 3] := 10*c. *)
-let key_of_command c = [| "x"; "y"; "z" |].(c mod 3)
-
-let payload_of_command c = 10 * c
+(* Command id c = SET key[c mod 3] := 10*c, as a real service command. *)
+let command_of_id c = Sm.Set ([| "x"; "y"; "z" |].(c mod 3), 10 * c)
 
 let n = 7
 
@@ -46,15 +50,15 @@ let () =
   let pair = Pair.freq ~n ~t in
   let cfg = Log.config ~window:4 ~pair:(fun _ -> pair) ~slots ~n ~t () in
 
-  (* Each replica applies committed commands to its own store. *)
-  let stores = Array.init n (fun _ -> Hashtbl.create 8) in
+  (* Each replica applies committed commands to its own state machine. *)
+  let machines = Array.init n (fun _ -> Sm.create ()) in
   let logs = Array.make n [] in
   let make replica =
     Log.replica cfg ~me:replica
       ~propose:(fun ~slot -> proposal_for ~replica ~slot)
-      ~on_commit:(fun ~slot command ->
+      ~on_commit:(fun ~slot ~provenance:_ command ->
         logs.(replica) <- (slot, command) :: logs.(replica);
-        Hashtbl.replace stores.(replica) (key_of_command command) (payload_of_command command))
+        ignore (Sm.apply machines.(replica) (command_of_id command)))
   in
   let result =
     Runner.run
@@ -66,20 +70,17 @@ let () =
   print_endline "committed log (replica 0):";
   List.iter
     (fun (slot, command) ->
-      Printf.printf "  slot %2d: SET %s := %d %s\n" slot (key_of_command command)
-        (payload_of_command command)
+      Printf.printf "  slot %2d: %s %s\n" slot
+        (Format.asprintf "%a" Sm.pp_command (command_of_id command))
         (if slot mod 4 = 3 then "(contended)" else ""))
     (List.rev logs.(0));
 
-  (* Verify replica convergence. *)
-  let dump store =
-    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [])
-  in
-  let reference = dump stores.(0) in
-  let all_equal = Array.for_all (fun s -> dump s = reference) stores in
+  (* Verify replica convergence via the state machine's own digest. *)
+  let reference = Sm.digest machines.(0) in
+  let all_equal = Array.for_all (fun m -> Sm.digest m = reference) machines in
   Printf.printf "\nfinal store (all replicas):";
-  List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) reference;
-  Printf.printf "\nreplicas converged: %b\n" all_equal;
+  List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) (Sm.snapshot machines.(0));
+  Printf.printf "\nreplicas converged: %b (state digest %x)\n" all_equal reference;
   let identical_logs =
     Array.for_all (fun l -> List.rev l = List.rev logs.(0)) logs
   in

@@ -192,10 +192,13 @@ module Frame = struct
     Buffer.add_int32_be buf (Int32.of_int len);
     Buffer.add_string buf payload
 
-  let to_channel oc codec v =
+  let to_channel_buffered oc codec v =
     let buf = Buffer.create 128 in
     write buf codec v;
-    output_string oc (Buffer.contents buf);
+    output_string oc (Buffer.contents buf)
+
+  let to_channel oc codec v =
+    to_channel_buffered oc codec v;
     flush oc
 
   let from_channel ic codec =

@@ -75,6 +75,10 @@ module Frame : sig
   val to_channel : out_channel -> 'a t -> 'a -> unit
   (** Write one frame and flush. *)
 
+  val to_channel_buffered : out_channel -> 'a t -> 'a -> unit
+  (** Write one frame without flushing — for senders that coalesce several
+      frames per syscall and flush once per wave. *)
+
   val from_channel : in_channel -> 'a t -> 'a
   (** Blocking read of one frame.
       @raise End_of_file on a closed channel.

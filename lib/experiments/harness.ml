@@ -553,7 +553,7 @@ let e9 () =
             Smr_log.replica cfg ~me:replica
               ~propose:(fun ~slot ->
                 if contended.(slot) then 100 + ((replica + slot) mod 2) else 100 + slot)
-              ~on_commit:(fun ~slot value ->
+              ~on_commit:(fun ~slot ~provenance:_ value ->
                 commits.(replica) <- (slot, value) :: commits.(replica))
           in
           let r =

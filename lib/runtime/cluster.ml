@@ -11,6 +11,8 @@ type 'msg t = {
   nodes : 'msg node list;
   decisions : decision option array;
   decisions_mutex : Mutex.t;
+  decided_cond : Condition.t;  (** signalled under [decisions_mutex] on every new decision *)
+  lifecycle_mutex : Mutex.t;  (** serializes start/shutdown transitions *)
   mutable threads : Thread.t list;
   mutable running : bool;
   mutable started : bool;
@@ -28,6 +30,8 @@ let create ~transport ~n ?(extra = []) make_instance =
     nodes;
     decisions = Array.make n None;
     decisions_mutex = Mutex.create ();
+    decided_cond = Condition.create ();
+    lifecycle_mutex = Mutex.create ();
     threads = [];
     running = false;
     started = false;
@@ -44,9 +48,11 @@ let handler t =
       (fun ~pid ~depth:_ ~value ~tag ->
         if pid >= 0 && pid < t.n then begin
           Mutex.lock t.decisions_mutex;
-          if t.decisions.(pid) = None then
+          if t.decisions.(pid) = None then begin
             t.decisions.(pid) <-
               Some { value; tag; wall = Unix.gettimeofday () -. t.epoch };
+            Condition.broadcast t.decided_cond
+          end;
           Mutex.unlock t.decisions_mutex
         end);
     set_timer =
@@ -88,25 +94,58 @@ let decisions t =
   Mutex.unlock t.decisions_mutex;
   snapshot
 
+(* Block on the decision condition variable instead of polling. The stdlib
+   [Condition] has no timed wait, so a detached watchdog thread broadcasts
+   once at the deadline; between decisions and that single wake-up the
+   waiter is fully asleep. (The watchdog outlives an early success by at
+   most the timeout; its lone broadcast is harmless.) *)
 let await ?(timeout = 10.0) ?among t =
   let pids = match among with Some l -> l | None -> Pid.all ~n:t.n in
   let deadline = Unix.gettimeofday () +. timeout in
-  let rec poll () =
-    let snap = decisions t in
-    let all = List.for_all (fun p -> p >= 0 && p < t.n && snap.(p) <> None) pids in
-    if all then true
+  let all_decided () =
+    List.for_all (fun p -> p >= 0 && p < t.n && t.decisions.(p) <> None) pids
+  in
+  Mutex.lock t.decisions_mutex;
+  if not (all_decided ()) then
+    ignore
+      (Thread.create
+         (fun () ->
+           let rec nap () =
+             let remaining = deadline -. Unix.gettimeofday () in
+             if remaining > 0.0 then begin
+               Thread.delay remaining;
+               nap ()
+             end
+           in
+           nap ();
+           Mutex.lock t.decisions_mutex;
+           Condition.broadcast t.decided_cond;
+           Mutex.unlock t.decisions_mutex)
+         ());
+  let rec wait () =
+    if all_decided () then true
     else if Unix.gettimeofday () >= deadline then false
     else begin
-      Thread.delay 0.002;
-      poll ()
+      Condition.wait t.decided_cond t.decisions_mutex;
+      wait ()
     end
   in
-  poll ()
+  let result = wait () in
+  Mutex.unlock t.decisions_mutex;
+  result
 
 let shutdown t =
-  if t.running then begin
-    t.running <- false;
-    t.transport.Transport.close ();
-    List.iter Thread.join t.threads;
-    t.threads <- []
-  end
+  (* Safe to call concurrently and repeatedly: exactly one caller observes
+     [running = true] under the lifecycle lock and performs the teardown;
+     later and concurrent callers return once it is done (they wait on the
+     same lock, so shutdown has completed when they regain it). *)
+  Mutex.lock t.lifecycle_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lifecycle_mutex)
+    (fun () ->
+      if t.running then begin
+        t.running <- false;
+        t.transport.Transport.close ();
+        List.iter Thread.join t.threads;
+        t.threads <- []
+      end)

@@ -29,10 +29,14 @@ val start : 'msg t -> unit
 
 val await : ?timeout:float -> ?among:Pid.t list -> 'msg t -> bool
 (** Block until every pid in [among] (default: all [n]) has decided, or the
-    timeout (default 10 s) elapses; returns whether they all decided. *)
+    timeout (default 10 s) elapses; returns whether they all decided. The
+    wait sleeps on a condition variable signalled per decision (no
+    polling). *)
 
 val decisions : 'msg t -> decision option array
 (** Snapshot of decisions by pid (length [n]). *)
 
 val shutdown : 'msg t -> unit
-(** Close the transport and join all node threads. Idempotent. *)
+(** Close the transport and join all node threads. Idempotent and safe to
+    call from several threads concurrently: one caller performs the
+    teardown, the rest return once it has completed. *)

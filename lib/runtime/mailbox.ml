@@ -1,12 +1,23 @@
 type 'a t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
+  has_waiters : Condition.t;
   queue : 'a Queue.t;
   mutable closed : bool;
+  mutable waiters : int;
+  mutable watcher : bool;
 }
 
 let create () =
-  { mutex = Mutex.create (); nonempty = Condition.create (); queue = Queue.create (); closed = false }
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    has_waiters = Condition.create ();
+    queue = Queue.create ();
+    closed = false;
+    waiters = 0;
+    watcher = false;
+  }
 
 let push t x =
   Mutex.lock t.mutex;
@@ -16,27 +27,53 @@ let push t x =
   end;
   Mutex.unlock t.mutex
 
+(* The stdlib [Condition] has no timed wait, but only arrival latency needs
+   to be sharp — timeouts fire when nothing is arriving, so their precision
+   is unimportant. Poppers therefore block on [Condition.wait] (a push wakes
+   them immediately), and one lazily-spawned watcher thread per mailbox
+   broadcasts at a coarse tick, solely so blocked poppers re-check their
+   deadlines. The watcher itself sleeps on [has_waiters] while nobody is
+   blocked, so an idle or drained mailbox costs nothing. *)
+let tick = 0.005
+
+let watcher_loop t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while t.waiters = 0 && not t.closed do
+      Condition.wait t.has_waiters t.mutex
+    done;
+    let stop = t.closed in
+    Mutex.unlock t.mutex;
+    if not stop then begin
+      Thread.delay tick;
+      Mutex.lock t.mutex;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
 let pop ~timeout t =
   let deadline = Unix.gettimeofday () +. timeout in
   Mutex.lock t.mutex;
+  if (not t.watcher) && not t.closed then begin
+    t.watcher <- true;
+    ignore (Thread.create (watcher_loop t) ())
+  end;
+  t.waiters <- t.waiters + 1;
+  Condition.signal t.has_waiters;
   let rec wait () =
     if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
     else if t.closed then None
+    else if Unix.gettimeofday () >= deadline then None
     else begin
-      let remaining = deadline -. Unix.gettimeofday () in
-      if remaining <= 0.0 then None
-      else begin
-        (* No timed wait in the stdlib Condition: poll with a short sleep
-           while the lock is released. Granularity 1 ms is plenty for a
-           loopback cluster. *)
-        Mutex.unlock t.mutex;
-        Thread.delay (Float.min 0.001 remaining);
-        Mutex.lock t.mutex;
-        wait ()
-      end
+      Condition.wait t.nonempty t.mutex;
+      wait ()
     end
   in
   let result = wait () in
+  t.waiters <- t.waiters - 1;
   Mutex.unlock t.mutex;
   result
 
@@ -44,6 +81,7 @@ let close t =
   Mutex.lock t.mutex;
   t.closed <- true;
   Condition.broadcast t.nonempty;
+  Condition.broadcast t.has_waiters;
   Mutex.unlock t.mutex
 
 let length t =

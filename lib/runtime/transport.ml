@@ -6,12 +6,32 @@ type 'msg t = {
   send : src:Pid.t -> dst:Pid.t -> 'msg -> unit;
   recv : me:Pid.t -> timeout:float -> (Pid.t * 'msg) option;
   close : unit -> unit;
+  drop_count : dst:Pid.t -> int;
 }
+
+(* Per-destination counters of messages abandoned by [send]. *)
+module Drops = struct
+  type t = { mutex : Mutex.t; counts : (Pid.t, int) Hashtbl.t }
+
+  let create () = { mutex = Mutex.create (); counts = Hashtbl.create 8 }
+
+  let record t dst =
+    Mutex.lock t.mutex;
+    Hashtbl.replace t.counts dst (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts dst));
+    Mutex.unlock t.mutex
+
+  let count t dst =
+    Mutex.lock t.mutex;
+    let n = Option.value ~default:0 (Hashtbl.find_opt t.counts dst) in
+    Mutex.unlock t.mutex;
+    n
+end
 
 module Mem = struct
   let create ?(jitter = 0.0) ?(seed = 0) ~pids () =
     let boxes = Hashtbl.create 16 in
     List.iter (fun p -> Hashtbl.replace boxes p (Mailbox.create ())) pids;
+    let drops = Drops.create () in
     let rng = Prng.create ~seed in
     let rng_mutex = Mutex.create () in
     let draw_delay () =
@@ -22,7 +42,7 @@ module Mem = struct
     in
     let send ~src ~dst msg =
       match Hashtbl.find_opt boxes dst with
-      | None -> ()
+      | None -> Drops.record drops dst
       | Some box ->
         if jitter > 0.0 then
           (* A detached thread per delayed delivery: simple and adequate for
@@ -41,18 +61,29 @@ module Mem = struct
       | Some box -> Mailbox.pop ~timeout box
     in
     let close () = Hashtbl.iter (fun _ box -> Mailbox.close box) boxes in
-    { send; recv; close }
+    { send; recv; close; drop_count = (fun ~dst -> Drops.count drops dst) }
 end
 
 (* Shared TCP machinery, parameterized by the frame format. *)
 module Tcp_generic = struct
-  let create ~write_frame ~read_frame ~pids () =
+  (* Outbound send failures are retried with a fresh connection and a short
+     backoff before a message is abandoned: a peer restarting its listener,
+     or a reader torn down over one malformed frame, costs a reconnect
+     instead of silently severing the link forever. *)
+  let retry_backoffs = [| 0.001; 0.005; 0.02 |]
+
+  let create ~write_frame ~read_frame ?(remotes = []) ?on_bind ~pids () =
+    (* Writing to a peer that vanished must surface as EPIPE, not kill the
+       process. Idempotent; no-op on platforms without SIGPIPE. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let boxes = Hashtbl.create 16 in
     List.iter (fun p -> Hashtbl.replace boxes p (Mailbox.create ())) pids;
     let listeners = Hashtbl.create 16 in
     let ports = Hashtbl.create 16 in
+    List.iter (fun (pid, port) -> Hashtbl.replace ports pid port) remotes;
     let conns : (Pid.t * Pid.t, out_channel * Mutex.t) Hashtbl.t = Hashtbl.create 16 in
     let conns_mutex = Mutex.create () in
+    let drops = Drops.create () in
     let closed = ref false in
 
     (* Reader: one thread per accepted connection; frames carry the claimed
@@ -86,6 +117,7 @@ module Tcp_generic = struct
         in
         Hashtbl.replace ports pid port;
         Hashtbl.replace listeners pid sock;
+        Option.iter (fun f -> f pid port) on_bind;
         let accept_loop () =
           try
             while not !closed do
@@ -97,39 +129,74 @@ module Tcp_generic = struct
         ignore (Thread.create accept_loop ()))
       pids;
 
-    let connect ~src ~dst =
+    let connect ~src ~dst ~port =
       Mutex.lock conns_mutex;
       let result =
         match Hashtbl.find_opt conns (src, dst) with
         | Some c -> Some c
-        | None -> (
-          match Hashtbl.find_opt ports dst with
-          | None -> None
-          | Some port ->
-            let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-            (try
-               Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-               let oc = Unix.out_channel_of_descr sock in
-               let entry = (oc, Mutex.create ()) in
-               Hashtbl.replace conns (src, dst) entry;
-               Some entry
-             with Unix.Unix_error _ ->
-               (try Unix.close sock with Unix.Unix_error _ -> ());
-               None))
+        | None ->
+          let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try
+             Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+             (* Consensus frames are small and latency-bound; Nagle +
+                delayed ACK would add tens of milliseconds per step. *)
+             Unix.setsockopt sock Unix.TCP_NODELAY true;
+             let oc = Unix.out_channel_of_descr sock in
+             let entry = (oc, Mutex.create ()) in
+             Hashtbl.replace conns (src, dst) entry;
+             Some entry
+           with Unix.Unix_error _ ->
+             (try Unix.close sock with Unix.Unix_error _ -> ());
+             None)
       in
       Mutex.unlock conns_mutex;
       result
     in
 
+    (* Forget a connection observed broken — but only if nobody replaced it
+       since (a racing sender may already have reconnected). *)
+    let disconnect ~src ~dst oc =
+      Mutex.lock conns_mutex;
+      (match Hashtbl.find_opt conns (src, dst) with
+      | Some (oc', _) when oc' == oc ->
+        Hashtbl.remove conns (src, dst);
+        (try close_out_noerr oc with Sys_error _ -> ())
+      | _ -> ());
+      Mutex.unlock conns_mutex
+    in
+
     let send ~src ~dst msg =
-      if not !closed then
-        match connect ~src ~dst with
-        | None -> ()
-        | Some (oc, oc_mutex) -> (
-          Mutex.lock oc_mutex;
-          (try write_frame oc (src, msg)
-           with Sys_error _ | Unix.Unix_error _ -> ());
-          Mutex.unlock oc_mutex)
+      match Hashtbl.find_opt ports dst with
+      | None ->
+        (* Destination was never part of the mesh: nothing to retry. *)
+        Drops.record drops dst
+      | Some port ->
+        let rec attempt k =
+          if !closed then ()
+          else
+            let sent =
+              match connect ~src ~dst ~port with
+              | None -> false
+              | Some (oc, oc_mutex) ->
+                Mutex.lock oc_mutex;
+                let ok =
+                  try
+                    write_frame oc (src, msg);
+                    true
+                  with Sys_error _ | Unix.Unix_error _ -> false
+                in
+                Mutex.unlock oc_mutex;
+                if not ok then disconnect ~src ~dst oc;
+                ok
+            in
+            if not sent then
+              if k < Array.length retry_backoffs then begin
+                Thread.delay retry_backoffs.(k);
+                attempt (k + 1)
+              end
+              else Drops.record drops dst
+        in
+        if not !closed then attempt 0
     in
     let recv ~me ~timeout =
       match Hashtbl.find_opt boxes me with
@@ -150,7 +217,7 @@ module Tcp_generic = struct
         Hashtbl.iter (fun _ box -> Mailbox.close box) boxes
       end
     in
-    { send; recv; close }
+    { send; recv; close; drop_count = (fun ~dst -> Drops.count drops dst) }
 end
 
 module Tcp = struct
@@ -167,11 +234,11 @@ module Tcp = struct
 end
 
 module Tcp_codec = struct
-  let create ~codec ~pids () =
+  let create ~codec ?remotes ?on_bind ~pids () =
     let frame_codec = Dex_codec.Codec.pair Dex_codec.Codec.int codec in
     let write_frame oc (src, msg) =
       Dex_codec.Codec.Frame.to_channel oc frame_codec (src, msg)
     in
     let read_frame ic = Dex_codec.Codec.Frame.from_channel ic frame_codec in
-    Tcp_generic.create ~write_frame ~read_frame ~pids ()
+    Tcp_generic.create ~write_frame ~read_frame ?remotes ?on_bind ~pids ()
 end

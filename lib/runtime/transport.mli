@@ -9,19 +9,26 @@ open Dex_net
       the default for examples and tests;
     - {!Tcp}: loopback TCP sockets with [Marshal]-encoded frames — every
       message crosses a real kernel socket. Marshalling is only safe because
-      both ends run the same binary (documented trade-off; a production
-      deployment would swap in a real codec at this interface).
+      both ends run the same binary (documented trade-off; {!Tcp_codec}
+      swaps in a real codec at this interface).
 
     The runtime drives the same [Protocol.instance] values as the simulator:
     code under test is identical, only the scheduler differs. *)
 
 type 'msg t = {
   send : src:Pid.t -> dst:Pid.t -> 'msg -> unit;
-      (** asynchronous, best-effort once endpoints are up; sends to unknown
-          destinations are dropped *)
+      (** asynchronous, best-effort once endpoints are up. TCP sends that
+          hit a dead connection are retried over a fresh connection with a
+          short bounded backoff before the message is abandoned; sends to
+          destinations outside the mesh are abandoned immediately. *)
   recv : me:Pid.t -> timeout:float -> (Pid.t * 'msg) option;
       (** blocking receive on [me]'s endpoint *)
   close : unit -> unit;  (** tear everything down; idempotent *)
+  drop_count : dst:Pid.t -> int;
+      (** how many messages to [dst] this endpoint set has abandoned (after
+          exhausting the retry budget, or immediately for unknown
+          destinations) — exposed so tests and operators can observe silent
+          loss *)
 }
 
 module Mem : sig
@@ -37,10 +44,23 @@ module Tcp : sig
 end
 
 module Tcp_codec : sig
-  val create : codec:'msg Dex_codec.Codec.t -> pids:Pid.t list -> unit -> 'msg t
+  val create :
+    codec:'msg Dex_codec.Codec.t ->
+    ?remotes:(Pid.t * int) list ->
+    ?on_bind:(Pid.t -> int -> unit) ->
+    pids:Pid.t list ->
+    unit ->
+    'msg t
   (** Like {!Tcp} but frames every message with the given typed codec
       instead of [Marshal]: a real wire format, safe across binaries, and
       malformed frames from a peer tear down only that connection (the peer
-      is treated as Byzantine). Every protocol module exports its codec
+      is treated as Byzantine; the {e sender's} next message to it
+      transparently reconnects, see {!field-send}).
+
+      [pids] are the {e local} endpoints: one loopback listener each, on an
+      ephemeral port reported through [on_bind]. [remotes] maps pids served
+      by another process to their listener ports, so a mesh can span
+      processes: each process passes its own pids in [pids] and everyone
+      else's in [remotes]. Every protocol module exports its codec
       ([Dex.codec], [Bosco.codec], …). *)
 end

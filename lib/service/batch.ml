@@ -1,0 +1,34 @@
+type t = Wire.request list
+
+let codec = Dex_codec.Codec.list Wire.request_codec
+
+let compare_requests (a : Wire.request) (b : Wire.request) =
+  compare (a.Wire.client, a.Wire.rid) (b.Wire.client, b.Wire.rid)
+
+let canonical ?(cap = max_int) requests =
+  let sorted = List.sort_uniq compare_requests requests in
+  if cap = max_int then sorted
+  else
+    List.filteri (fun i _ -> i < cap) sorted
+
+let empty_digest = 0
+
+(* FNV-1a over the canonical encoding, masked positive and forced non-zero
+   (zero is the reserved empty digest). Collision resistance is that of a
+   63-bit hash — fine for a deployment ordering batches among replicas it
+   already trusts not to mine collisions; a production service would swap in
+   a cryptographic hash here. *)
+let digest = function
+  | [] -> empty_digest
+  | batch ->
+    let bytes = Dex_codec.Codec.encode codec batch in
+    let h = ref 0x3bf29ce484222325 in
+    String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) bytes;
+    let d = !h land max_int in
+    if d = empty_digest then 1 else d
+
+let pp ppf batch =
+  Format.fprintf ppf "@[<v>batch (%d requests, digest %d):@,%a@]" (List.length batch)
+    (digest batch)
+    (Format.pp_print_list Wire.pp_request)
+    batch

@@ -1,0 +1,36 @@
+(** Request batches: what a log slot actually orders.
+
+    The consensus layer agrees on {!Dex_vector.Value.t} (an int); the
+    service proposes the {e digest} of a canonical batch of client requests
+    and resolves committed digests back to content. Because clients submit
+    to all replicas, replicas build identical canonical batches from
+    identical pending sets — so an uncontended slot carries the same digest
+    at every replica and decides in one step, exactly the regime the paper
+    optimizes. Digests a replica cannot resolve locally (it missed the
+    requests, or lost the slot to another replica's batch) are fetched from
+    peers over the server's fetch lane. *)
+
+type t = Wire.request list
+(** Canonically ordered: sorted by [(client, rid)], duplicates removed. *)
+
+val canonical : ?cap:int -> Wire.request list -> t
+(** Sort, deduplicate, and truncate to the [cap] smallest [(client, rid)]
+    keys (default: no cap). Truncating from the {e smallest} keys is what
+    keeps replicas' proposals equal under load: the oldest admitted
+    requests are the ones every replica has already seen. *)
+
+val digest : t -> int
+(** Positive, non-zero for non-empty batches; {!empty_digest} for [[]].
+    Equal batches have equal digests everywhere (the hash runs over the
+    canonical encoding). Not cryptographic — see the implementation note. *)
+
+val empty_digest : int
+(** The reserved digest (0) of the empty batch: a slot committing it is a
+    no-op. *)
+
+val codec : t Dex_codec.Codec.t
+
+val compare_requests : Wire.request -> Wire.request -> int
+(** The canonical order: by [(client, rid)]. *)
+
+val pp : Format.formatter -> t -> unit

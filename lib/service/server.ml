@@ -1,0 +1,627 @@
+open Dex_condition
+open Dex_net
+open Dex_underlying
+open Dex_runtime
+open Dex_smr
+
+type role = Correct | Mute | Equivocator
+
+module Make (Uc : Uc_intf.S) = struct
+  module Log = Replicated_log.Make (Uc)
+
+  type smsg =
+    | Log_msg of Log.msg
+    | Fetch of int
+    | Batch_payload of int * Batch.t
+
+  let smsg_codec =
+    let open Dex_codec.Codec in
+    variant ~name:"Server.smsg"
+      (function
+        | Log_msg m -> (0, fun buf -> Log.codec.write buf m)
+        | Fetch d -> (1, fun buf -> int.write buf d)
+        | Batch_payload (d, b) ->
+          ( 2,
+            fun buf ->
+              int.write buf d;
+              Batch.codec.write buf b ))
+      (fun tag r ->
+        match tag with
+        | 0 -> Log_msg (Log.codec.read r)
+        | 1 -> Fetch (int.read r)
+        | 2 ->
+          let d = int.read r in
+          Batch_payload (d, Batch.codec.read r)
+        | other -> bad_tag ~name:"Server.smsg" other)
+
+  let pp_smsg ppf = function
+    | Log_msg m -> Log.pp_msg ppf m
+    | Fetch d -> Format.fprintf ppf "fetch %d" d
+    | Batch_payload (d, b) -> Format.fprintf ppf "payload %d (%d reqs)" d (List.length b)
+
+  type config = {
+    n : int;
+    t : int;
+    seed : int;
+    pair : int -> Pair.t;
+    window : int;
+    slots : int;
+    batch_cap : int;
+    batch_delay : float;
+    settle : float;
+    queue_cap : int;
+    fetch_retry : float;
+    retain : int;
+  }
+
+  let config ?(seed = 0) ?(window = 8) ?(slots = 1 lsl 20) ?(batch_cap = 256)
+      ?(batch_delay = 0.004) ?(settle = 0.002) ?(queue_cap = 4096) ?(fetch_retry = 0.05)
+      ?(retain = 256) ~pair ~n ~t () =
+    if batch_cap < 1 then invalid_arg "Server.config: batch_cap must be >= 1";
+    if batch_delay <= 0.0 then invalid_arg "Server.config: batch_delay must be > 0";
+    if settle < 0.0 then invalid_arg "Server.config: settle must be >= 0";
+    if queue_cap < 1 then invalid_arg "Server.config: queue_cap must be >= 1";
+    if retain < 2 * window then invalid_arg "Server.config: retain must be >= 2*window";
+    { n; t; seed; pair; window; slots; batch_cap; batch_delay; settle; queue_cap; fetch_retry;
+      retain }
+
+  let log_config cfg =
+    Log.config ~seed:cfg.seed ~window:cfg.window ~pair:cfg.pair ~slots:cfg.slots ~n:cfg.n
+      ~t:cfg.t ()
+
+  type stats = {
+    committed_slots : int;
+    empty_slots : int;
+    one_step : int;  (** non-empty committed slots decided on the one-step path *)
+    two_step : int;
+    underlying : int;
+    applied : int;
+    suppressed_duplicates : int;
+    busy_rejections : int;
+    fetches : int;
+    backlog : int;
+    apply_lag : int;
+  }
+
+  type t = {
+    cfg : config;
+    me : Pid.t;
+    transport : smsg Transport.t;
+    lock : Mutex.t;
+    (* Admission: requests accepted from clients, not yet applied. Bounded by
+       [queue_cap]; overflow is answered [Busy] (backpressure). *)
+    pending : (int * int, Wire.request * float) Hashtbl.t;  (* keyed request, admission time *)
+    mutable pending_oldest : float;  (* conservative admission time of the oldest pending *)
+    (* Batch content by digest: own proposals, peer payloads, fetch results. *)
+    store : (int, Batch.t) Hashtbl.t;
+    last_use : (int, int) Hashtbl.t;  (* digest -> newest slot that referenced it *)
+    (* Per-client session: last applied rid and its cached outcome, making
+       client retries idempotent. *)
+    sessions : (int, int * Wire.outcome) Hashtbl.t;
+    conns : (int, out_channel) Hashtbl.t;  (* client -> latest reply channel *)
+    dirty : (out_channel, unit) Hashtbl.t;  (* channels with unflushed replies *)
+    commit_buf : (int, int * Dex_core.Dex.provenance) Hashtbl.t;  (* slot -> commit *)
+    unresolved : (int, unit) Hashtbl.t;  (* digests being fetched *)
+    outbox : smsg Protocol.action list ref;  (* actions produced by callbacks *)
+    state : State_machine.t;
+    mutable commit_log : (int * int * Dex_core.Dex.provenance) list;  (* newest first *)
+    mutable apply_next : int;
+    mutable next_slot : int;  (* one past the highest slot this replica has touched *)
+    mutable last_progress : float;  (* wall time of the last commit/apply/release *)
+    mutable committed_slots : int;
+    mutable empty_slots : int;
+    mutable one_step : int;
+    mutable two_step : int;
+    mutable underlying : int;
+    mutable applied : int;
+    mutable suppressed : int;
+    mutable busy : int;
+    mutable fetches : int;
+    mutable running : bool;
+    mutable listener : Unix.file_descr option;
+    mutable service_port : int option;
+    mutable client_socks : Unix.file_descr list;
+    mutable threads : Thread.t list;
+  }
+
+  let push_action t action = t.outbox := action :: !(t.outbox)
+
+  let drain t =
+    let actions = List.rev !(t.outbox) in
+    t.outbox := [];
+    actions
+
+  let lift actions = Protocol.map_actions (fun m -> Log_msg m) actions
+
+  (* ----------------------- consensus-side callbacks ----------------------- *)
+
+  (* The proposal for a slot: the digest of the canonical batch of everything
+     pending. Evaluated when the slot's instance materializes — on our own
+     release, or on first remote traffic (we join with what we have; under
+     submit-to-all the sets coincide and the slot is uncontended). *)
+  let propose t ~slot =
+    Mutex.lock t.lock;
+    if slot >= t.next_slot then t.next_slot <- slot + 1;
+    (* Propose only requests that have settled for a moment: replicas
+       activate a slot at slightly different instants, and a request whose
+       submit-to-all fan-out straddles that skew would make the proposals
+       diverge (costing the one-step path). Closed-loop traffic arrives in
+       waves, so a boundary pushed [settle] into the past falls in the quiet
+       gap between waves and every replica cuts the same batch. *)
+    let cutoff = Unix.gettimeofday () -. t.cfg.settle in
+    let requests, youngest_excluded =
+      Hashtbl.fold
+        (fun _ (r, admitted) (acc, young) ->
+          if admitted <= cutoff then (r :: acc, young) else (acc, Float.min young admitted))
+        t.pending ([], Float.infinity)
+    in
+    t.pending_oldest <- youngest_excluded;
+    let batch = Batch.canonical ~cap:t.cfg.batch_cap requests in
+    let d = Batch.digest batch in
+    if d <> Batch.empty_digest then begin
+      Hashtbl.replace t.store d batch;
+      Hashtbl.replace t.last_use d slot
+    end;
+    Mutex.unlock t.lock;
+    d
+
+  (* All socket replies happen under [t.lock]; [conns] holds the most recent
+     channel a client spoke on. A dead client costs one failed write. *)
+  let reply_locked t ~client ~rid outcome =
+    match Hashtbl.find_opt t.conns client with
+    | None -> ()
+    | Some oc -> (
+      try
+        Wire.write_reply oc { Wire.client; rid; outcome };
+        Hashtbl.replace t.dirty oc ()
+      with Sys_error _ | Unix.Unix_error _ -> Hashtbl.remove t.conns client)
+
+  (* Reply writes are buffered; one flush per wave of replies (an applied
+     batch touches many clients over few channels). *)
+  let flush_dirty_locked t =
+    Hashtbl.iter (fun oc () -> try flush oc with Sys_error _ | Unix.Unix_error _ -> ()) t.dirty;
+    Hashtbl.reset t.dirty
+
+  let request_fetch_locked t digest =
+    if not (Hashtbl.mem t.unresolved digest) then begin
+      Hashtbl.replace t.unresolved digest ();
+      t.fetches <- t.fetches + 1;
+      List.iter
+        (fun peer ->
+          if not (Pid.equal peer t.me) then push_action t (Protocol.Send (peer, Fetch digest)))
+        (Pid.all ~n:t.cfg.n);
+      push_action t (Protocol.Set_timer { delay = t.cfg.fetch_retry; msg = Fetch digest })
+    end
+
+  let apply_batch_locked t ~slot ~provenance batch =
+    List.iter
+      (fun (r : Wire.request) ->
+        Hashtbl.remove t.pending (r.Wire.client, r.Wire.rid);
+        let fresh =
+          match Hashtbl.find_opt t.sessions r.Wire.client with
+          | Some (last, _) -> r.Wire.rid > last
+          | None -> true
+        in
+        if fresh then begin
+          let output = State_machine.apply t.state r.Wire.command in
+          let outcome = Wire.Applied { output; slot; provenance } in
+          Hashtbl.replace t.sessions r.Wire.client (r.Wire.rid, outcome);
+          t.applied <- t.applied + 1;
+          reply_locked t ~client:r.Wire.client ~rid:r.Wire.rid outcome
+        end
+        else begin
+          (* The same request rode two batches (client retry, or concurrent
+             slots proposing overlapping pending sets): apply once, and
+             retransmit the cached outcome if this is the latest rid. *)
+          t.suppressed <- t.suppressed + 1;
+          match Hashtbl.find_opt t.sessions r.Wire.client with
+          | Some (last, cached) when last = r.Wire.rid ->
+            reply_locked t ~client:r.Wire.client ~rid:r.Wire.rid cached
+          | _ -> ()
+        end)
+      batch
+
+  (* Drain the committed prefix in slot order; stop (and fetch) at the first
+     digest whose content we do not hold. *)
+  let rec apply_ready_locked t =
+    match Hashtbl.find_opt t.commit_buf t.apply_next with
+    | None -> ()
+    | Some (digest, provenance) ->
+      if digest = Batch.empty_digest then begin
+        Hashtbl.remove t.commit_buf t.apply_next;
+        t.apply_next <- t.apply_next + 1;
+        apply_ready_locked t
+      end
+      else begin
+        match Hashtbl.find_opt t.store digest with
+        | Some batch ->
+          let slot = t.apply_next in
+          Hashtbl.remove t.commit_buf slot;
+          t.apply_next <- slot + 1;
+          apply_batch_locked t ~slot ~provenance batch;
+          apply_ready_locked t
+        | None -> request_fetch_locked t digest
+      end
+
+  let on_commit t ~slot ~provenance digest =
+    Mutex.lock t.lock;
+    t.last_progress <- Unix.gettimeofday ();
+    t.committed_slots <- t.committed_slots + 1;
+    t.commit_log <- (slot, digest, provenance) :: t.commit_log;
+    if digest = Batch.empty_digest then t.empty_slots <- t.empty_slots + 1
+    else begin
+      Hashtbl.replace t.last_use digest slot;
+      match provenance with
+      | Dex_core.Dex.One_step -> t.one_step <- t.one_step + 1
+      | Dex_core.Dex.Two_step -> t.two_step <- t.two_step + 1
+      | Dex_core.Dex.Underlying -> t.underlying <- t.underlying + 1
+    end;
+    Hashtbl.replace t.commit_buf slot (digest, provenance);
+    apply_ready_locked t;
+    flush_dirty_locked t;
+    Mutex.unlock t.lock
+
+  (* ----------------------------- the replica ----------------------------- *)
+
+  let replica cfg ~me ~transport =
+    let t =
+      {
+        cfg;
+        me;
+        transport;
+        lock = Mutex.create ();
+        pending = Hashtbl.create 256;
+        pending_oldest = Float.infinity;
+        store = Hashtbl.create 256;
+        last_use = Hashtbl.create 256;
+        sessions = Hashtbl.create 64;
+        conns = Hashtbl.create 64;
+        dirty = Hashtbl.create 8;
+        commit_buf = Hashtbl.create 64;
+        unresolved = Hashtbl.create 8;
+        outbox = ref [];
+        state = State_machine.create ();
+        commit_log = [];
+        apply_next = 0;
+        next_slot = 0;
+        last_progress = Unix.gettimeofday ();
+        committed_slots = 0;
+        empty_slots = 0;
+        one_step = 0;
+        two_step = 0;
+        underlying = 0;
+        applied = 0;
+        suppressed = 0;
+        busy = 0;
+        fetches = 0;
+        running = false;
+        listener = None;
+        service_port = None;
+        client_socks = [];
+        threads = [];
+      }
+    in
+    let log_inst =
+      Log.replica ~activation:`On_demand ~retain:cfg.retain (log_config cfg) ~me
+        ~propose:(fun ~slot -> propose t ~slot)
+        ~on_commit:(fun ~slot ~provenance v -> on_commit t ~slot ~provenance v)
+    in
+    let start () = lift (log_inst.Protocol.start ()) @ drain t in
+    let on_message ~now ~from m =
+      match m with
+      | Log_msg lm -> lift (log_inst.Protocol.on_message ~now ~from lm) @ drain t
+      | Fetch digest when Pid.equal from t.me ->
+        (* Our own retry timer: re-broadcast while still unresolved. *)
+        Mutex.lock t.lock;
+        if Hashtbl.mem t.unresolved digest then begin
+          List.iter
+            (fun peer ->
+              if not (Pid.equal peer t.me) then
+                push_action t (Protocol.Send (peer, Fetch digest)))
+            (Pid.all ~n:t.cfg.n);
+          push_action t (Protocol.Set_timer { delay = t.cfg.fetch_retry; msg = Fetch digest })
+        end;
+        Mutex.unlock t.lock;
+        drain t
+      | Fetch digest ->
+        Mutex.lock t.lock;
+        let content = Hashtbl.find_opt t.store digest in
+        Mutex.unlock t.lock;
+        (match content with
+        | Some batch -> [ Protocol.Send (from, Batch_payload (digest, batch)) ]
+        | None -> [])
+      | Batch_payload (digest, body) ->
+        (* Never trust the claimed digest: recanonicalize and rehash. *)
+        let batch = Batch.canonical body in
+        if digest <> Batch.empty_digest && Batch.digest batch = digest then begin
+          Mutex.lock t.lock;
+          if not (Hashtbl.mem t.store digest) then Hashtbl.replace t.store digest batch;
+          Hashtbl.replace t.last_use digest (max t.apply_next (Hashtbl.length t.commit_buf));
+          Hashtbl.remove t.unresolved digest;
+          apply_ready_locked t;
+          flush_dirty_locked t;
+          Mutex.unlock t.lock;
+          drain t
+        end
+        else []
+    in
+    (t, { Protocol.start; on_message })
+
+  (* ----------------------------- service side ----------------------------- *)
+
+  let handle_request t ~oc (r : Wire.request) =
+    Mutex.lock t.lock;
+    Hashtbl.replace t.conns r.Wire.client oc;
+    (match Hashtbl.find_opt t.sessions r.Wire.client with
+    | Some (last, cached) when r.Wire.rid <= last ->
+      (* Idempotent retry: answer from the session cache (stale rids below
+         the cached one get nothing — the client has long moved on). *)
+      if r.Wire.rid = last then reply_locked t ~client:r.Wire.client ~rid:r.Wire.rid cached
+    | _ ->
+      if Hashtbl.mem t.pending (r.Wire.client, r.Wire.rid) then ()
+      else if Hashtbl.length t.pending >= t.cfg.queue_cap then begin
+        t.busy <- t.busy + 1;
+        reply_locked t ~client:r.Wire.client ~rid:r.Wire.rid Wire.Busy
+      end
+      else begin
+        let now = Unix.gettimeofday () in
+        if Hashtbl.length t.pending = 0 then t.pending_oldest <- now;
+        Hashtbl.replace t.pending (r.Wire.client, r.Wire.rid) (r, now)
+      end);
+    flush_dirty_locked t;
+    Mutex.unlock t.lock
+
+  let conn_reader t sock () =
+    let ic = Unix.in_channel_of_descr sock in
+    let oc = Unix.out_channel_of_descr sock in
+    (try
+       while t.running do
+         handle_request t ~oc (Wire.read_request ic)
+       done
+     with
+    | End_of_file | Sys_error _ | Unix.Unix_error _ | Dex_codec.Codec.Decode_error _ -> ());
+    try Unix.close sock with Unix.Unix_error _ -> ()
+
+  let acceptor t sock () =
+    try
+      while t.running do
+        let conn, _ = Unix.accept sock in
+        (try Unix.setsockopt conn Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        Mutex.lock t.lock;
+        t.client_socks <- conn :: t.client_socks;
+        Mutex.unlock t.lock;
+        ignore (Thread.create (conn_reader t conn) ())
+      done
+    with Unix.Unix_error _ | Sys_error _ -> ()
+
+  (* Retire batch content nobody can still ask for: digests whose newest
+     reference trails the apply frontier by more than [retain] slots. *)
+  let gc_store_locked t =
+    let floor = t.apply_next - t.cfg.retain in
+    let stale =
+      Hashtbl.fold
+        (fun digest last acc -> if last < floor then digest :: acc else acc)
+        t.last_use []
+    in
+    List.iter
+      (fun digest ->
+        Hashtbl.remove t.store digest;
+        Hashtbl.remove t.last_use digest)
+      stale
+
+  let batcher t () =
+    while t.running do
+      Thread.delay t.cfg.batch_delay;
+      Mutex.lock t.lock;
+      let now = Unix.gettimeofday () in
+      let want =
+        Hashtbl.length t.pending > 0 && now -. t.pending_oldest >= t.cfg.settle
+      in
+      (* Release a new slot only when the log is locally quiet (everything
+         touched has been applied) — if a slot is already in flight, our
+         pending rides it via propose-on-contact, and releasing more slots
+         here would just commit the same batch several times. The overdue
+         valve breaks stalls (slot gaps opened by a Byzantine initiator,
+         lost releases): after ~10 ticks without progress, release anyway —
+         [release upto] also starts every unstarted slot below [upto]. *)
+      let idle = t.next_slot = t.apply_next in
+      let overdue = now -. t.last_progress > 10.0 *. t.cfg.batch_delay in
+      let fire = want && (idle || overdue) in
+      if fire then t.last_progress <- now;
+      let upto = t.next_slot + 1 in
+      gc_store_locked t;
+      Mutex.unlock t.lock;
+      if fire then t.transport.Transport.send ~src:t.me ~dst:t.me (Log_msg (Log.release upto))
+    done
+
+  let start_service ?(port = 0) t =
+    if t.running then invalid_arg "Server.start_service: already running";
+    t.running <- true;
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen sock 64;
+    let bound =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    t.listener <- Some sock;
+    t.service_port <- Some bound;
+    t.threads <- [ Thread.create (acceptor t sock) (); Thread.create (batcher t) () ];
+    bound
+
+  let service_port t = t.service_port
+
+  let stop t =
+    if t.running then begin
+      t.running <- false;
+      (match t.listener with
+      | Some sock ->
+        (* shutdown, not just close: close alone leaves the acceptor thread
+           parked in [accept] on Linux; shutdown fails it out with EINVAL. *)
+        (try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        (try Unix.close sock with Unix.Unix_error _ -> ())
+      | None -> ());
+      Mutex.lock t.lock;
+      let socks = t.client_socks in
+      t.client_socks <- [];
+      Mutex.unlock t.lock;
+      List.iter (fun s -> try Unix.shutdown s Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()) socks;
+      List.iter Thread.join t.threads;
+      t.threads <- []
+    end
+
+  let stats t =
+    Mutex.lock t.lock;
+    let s =
+      {
+        committed_slots = t.committed_slots;
+        empty_slots = t.empty_slots;
+        one_step = t.one_step;
+        two_step = t.two_step;
+        underlying = t.underlying;
+        applied = t.applied;
+        suppressed_duplicates = t.suppressed;
+        busy_rejections = t.busy;
+        fetches = t.fetches;
+        backlog = Hashtbl.length t.pending;
+        apply_lag = t.committed_slots - (t.apply_next - t.empty_slots) - t.empty_slots;
+      }
+    in
+    Mutex.unlock t.lock;
+    s
+
+  let commit_log t =
+    Mutex.lock t.lock;
+    let log = List.rev t.commit_log in
+    Mutex.unlock t.lock;
+    log
+
+  let state_snapshot t =
+    Mutex.lock t.lock;
+    let snap = State_machine.snapshot t.state in
+    Mutex.unlock t.lock;
+    snap
+
+  let state_digest t =
+    Mutex.lock t.lock;
+    let d = State_machine.digest t.state in
+    Mutex.unlock t.lock;
+    d
+
+  let pp_stats ppf (s : stats) =
+    Format.fprintf ppf
+      "slots %d (empty %d) | 1-step %d 2-step %d uc %d | applied %d dup %d busy %d fetch %d | backlog %d lag %d"
+      s.committed_slots s.empty_slots s.one_step s.two_step s.underlying s.applied
+      s.suppressed_duplicates s.busy_rejections s.fetches s.backlog s.apply_lag
+
+  (* ------------------------- Byzantine behaviours ------------------------- *)
+
+  (* A digest equivocator: for every slot it sees, it sends half the peers
+     the digest of a synthetic (but valid, disclosable) chaff batch and the
+     other half the empty digest, on both decision lanes — the attack IDB is
+     designed to blunt, lifted to the service layer. It answers fetches for
+     its chaff so that a slot it manages to win still resolves everywhere
+     (external validity is assumed, not enforced; see the interface). *)
+  let equivocator cfg ~me =
+    let by_slot : (int, Batch.t) Hashtbl.t = Hashtbl.create 64 in
+    let by_digest : (int, Batch.t) Hashtbl.t = Hashtbl.create 64 in
+    let chaff slot =
+      match Hashtbl.find_opt by_slot slot with
+      | Some b -> b
+      | None ->
+        let b =
+          Batch.canonical
+            [ { Wire.client = 1_000_000 + me; rid = slot; command = State_machine.Nop } ]
+        in
+        Hashtbl.replace by_slot slot b;
+        Hashtbl.replace by_digest (Batch.digest b) b;
+        b
+    in
+    let split ~slot dst = if dst land 1 = 0 then Batch.digest (chaff slot) else Batch.empty_digest in
+    let log_inst = Log.equivocator (log_config cfg) ~me ~split in
+    let start () = lift (log_inst.Protocol.start ()) in
+    let on_message ~now ~from m =
+      match m with
+      | Log_msg lm -> lift (log_inst.Protocol.on_message ~now ~from lm)
+      | Fetch digest -> (
+        match Hashtbl.find_opt by_digest digest with
+        | Some batch -> [ Protocol.Send (from, Batch_payload (digest, batch)) ]
+        | None -> [])
+      | Batch_payload _ -> []
+    in
+    { Protocol.start; on_message }
+
+  (* ------------------------------ deployment ------------------------------ *)
+
+  type deployment = {
+    dcfg : config;
+    cluster : smsg Cluster.t;
+    transport : smsg Transport.t;
+    servers : (Pid.t * t) list;
+    ports : (Pid.t * int) list;
+  }
+
+  let launch ?(roles = fun _ -> Correct) ?(port_base = 0) cfg =
+    let lcfg = log_config cfg in
+    let extra =
+      List.map
+        (fun (pid, inst) ->
+          ( pid,
+            Protocol.embed
+              ~inject:(fun m -> Log_msg m)
+              ~project:(function Log_msg m -> Some m | Fetch _ | Batch_payload _ -> None)
+              inst ))
+        (Log.extra lcfg)
+    in
+    let pids = Pid.all ~n:cfg.n @ List.map fst extra in
+    let transport = Transport.Tcp_codec.create ~codec:smsg_codec ~pids () in
+    let servers = ref [] in
+    let make p =
+      match roles p with
+      | Correct ->
+        let t, inst = replica cfg ~me:p ~transport in
+        servers := (p, t) :: !servers;
+        inst
+      | Mute -> Adversary.silent ()
+      | Equivocator -> equivocator cfg ~me:p
+    in
+    let cluster = Cluster.create ~transport ~n:cfg.n ~extra make in
+    let servers = List.rev !servers in
+    Cluster.start cluster;
+    let ports =
+      List.mapi
+        (fun i (p, s) ->
+          (p, start_service ~port:(if port_base = 0 then 0 else port_base + i) s))
+        servers
+    in
+    { dcfg = cfg; cluster; transport; servers; ports }
+
+  let shutdown d =
+    List.iter (fun (_, s) -> stop s) d.servers;
+    Cluster.shutdown d.cluster
+
+  (* Agreement check across the correct replicas of a deployment: for every
+     slot committed by at least two replicas, the committed digests must be
+     equal. Returns the number of compared slots and the violations. *)
+  let agreement_violations d =
+    let per_slot : (int, (Pid.t * int) list) Hashtbl.t = Hashtbl.create 1024 in
+    List.iter
+      (fun (p, s) ->
+        List.iter
+          (fun (slot, digest, _) ->
+            Hashtbl.replace per_slot slot
+              ((p, digest) :: Option.value ~default:[] (Hashtbl.find_opt per_slot slot)))
+          (commit_log s))
+      d.servers;
+    Hashtbl.fold
+      (fun slot entries (compared, violations) ->
+        match entries with
+        | [] | [ _ ] -> (compared, violations)
+        | (_, d0) :: rest ->
+          ( compared + 1,
+            if List.for_all (fun (_, dx) -> dx = d0) rest then violations
+            else (slot, entries) :: violations ))
+      per_slot (0, [])
+end

@@ -1,0 +1,166 @@
+(** The replicated service: client requests in, state-machine replies out.
+
+    Each replica couples three layers:
+
+    - a {!Dex_smr.Replicated_log} replica (under [`On_demand] activation)
+      ordering {e batch digests} — the consensus side;
+    - a batching core: client requests accepted over TCP accumulate in a
+      bounded pending set; a batcher thread releases a fresh log slot
+      whenever work is pending (so batching latency is capped at roughly
+      [2 * batch_delay]); the slot's proposal is the digest of the canonical
+      batch of everything pending at activation. Because clients submit to
+      all replicas, uncontended slots carry the same digest everywhere and
+      decide on the paper's one-step path;
+    - an apply loop: committed digests are resolved to content (locally, or
+      over a peer fetch lane with retry), applied to the
+      {!State_machine} in slot order exactly once per [(client, rid)]
+      (session-table dedupe), and answered to the originating client with
+      the slot and decision provenance.
+
+    {b External validity caveat:} the log orders digests, and a committed
+    digest no correct replica can resolve stalls the apply loop behind it
+    (the fetch lane retries forever). DEX validity guarantees any committed
+    value was proposed by {e some} replica — for a Byzantine proposer the
+    deployment therefore assumes equivocators disclose batch content on the
+    fetch lane (the bundled {!equivocator} does). Enforcing external
+    validity cryptographically is future work; see ROADMAP. *)
+
+open Dex_condition
+open Dex_net
+open Dex_underlying
+open Dex_smr
+open Dex_runtime
+
+type role = Correct | Mute | Equivocator
+
+module Make (Uc : Uc_intf.S) : sig
+  module Log : module type of Replicated_log.Make (Uc)
+
+  type smsg
+  (** Replica-to-replica traffic: log messages, plus the batch fetch lane
+      ([Fetch digest] / [Batch_payload]). Payload content is rehashed on
+      receipt — a forged payload is dropped, never stored. *)
+
+  val smsg_codec : smsg Dex_codec.Codec.t
+
+  val pp_smsg : Format.formatter -> smsg -> unit
+
+  type config = {
+    n : int;
+    t : int;
+    seed : int;
+    pair : int -> Pair.t;
+    window : int;  (** log pipelining window *)
+    slots : int;  (** log length bound (default: over a million) *)
+    batch_cap : int;  (** max requests per batch *)
+    batch_delay : float;  (** batcher tick — the batching latency cap *)
+    settle : float;
+        (** min age before a pending request is proposed — absorbs
+            replica-to-replica admission skew so proposals stay unanimous
+            (the one-step condition); see the implementation note *)
+    queue_cap : int;  (** pending-set bound; overflow answers [Busy] *)
+    fetch_retry : float;  (** re-broadcast period for unresolved digests *)
+    retain : int;  (** log + batch-store retirement margin, in slots *)
+  }
+
+  val config :
+    ?seed:int ->
+    ?window:int ->
+    ?slots:int ->
+    ?batch_cap:int ->
+    ?batch_delay:float ->
+    ?settle:float ->
+    ?queue_cap:int ->
+    ?fetch_retry:float ->
+    ?retain:int ->
+    pair:(int -> Dex_condition.Pair.t) ->
+    n:int ->
+    t:int ->
+    unit ->
+    config
+  (** Defaults: [window 8], [slots 2^20], [batch_cap 256],
+      [batch_delay 4ms], [settle 2ms], [queue_cap 4096], [fetch_retry 50ms],
+      [retain 256].
+      @raise Invalid_argument on nonsensical values (see the checks). *)
+
+  type t
+  (** One replica's service state. *)
+
+  type stats = {
+    committed_slots : int;
+    empty_slots : int;  (** committed no-op slots (empty digest) *)
+    one_step : int;  (** non-empty committed slots decided in one step *)
+    two_step : int;
+    underlying : int;
+    applied : int;  (** requests executed (after dedupe) *)
+    suppressed_duplicates : int;  (** re-committed requests not re-executed *)
+    busy_rejections : int;
+    fetches : int;  (** distinct digests that needed the fetch lane *)
+    backlog : int;  (** pending requests right now *)
+    apply_lag : int;  (** committed non-empty slots not yet applied *)
+  }
+
+  val replica : config -> me:Pid.t -> transport:smsg Transport.t -> t * smsg Protocol.instance
+  (** The consensus-side node. Mount the instance in a {!Dex_runtime.Cluster}
+      (or drive it by hand in tests); the transport handle is used by the
+      service threads for self-addressed control messages. *)
+
+  val start_service : ?port:int -> t -> int
+  (** Bind the client-facing listener on loopback ([port = 0] picks an
+      ephemeral port — the return value is the bound port) and start the
+      acceptor and batcher threads.
+      @raise Invalid_argument if already running. *)
+
+  val service_port : t -> int option
+
+  val stop : t -> unit
+  (** Stop service threads and close client connections. Idempotent. Does not
+      touch the consensus side — shut the cluster down separately. *)
+
+  val stats : t -> stats
+
+  val commit_log : t -> (int * int * Dex_core.Dex.provenance) list
+  (** [(slot, digest, provenance)] in commit order — the raw material for
+      agreement checks across replicas. *)
+
+  val state_snapshot : t -> (string * int) list
+
+  val state_digest : t -> int
+
+  val pp_stats : Format.formatter -> stats -> unit
+
+  val equivocator : config -> me:Pid.t -> smsg Protocol.instance
+  (** A Byzantine replica lifting {!Log.equivocator} to the service layer:
+      per slot, half the peers see the digest of a synthetic chaff batch,
+      the other half the empty digest, on both decision lanes. It answers
+      fetches for its chaff, so slots it wins still resolve (the external
+      validity assumption above). *)
+
+  (** {2 Loopback deployments}
+
+      All [n] replicas (plus any UC auxiliary nodes) in one process, meshed
+      over {!Transport.Tcp_codec}, each correct replica serving clients on
+      its own loopback port. *)
+
+  type deployment = {
+    dcfg : config;
+    cluster : smsg Cluster.t;
+    transport : smsg Transport.t;
+    servers : (Pid.t * t) list;  (** correct replicas only *)
+    ports : (Pid.t * int) list;  (** their client-facing service ports *)
+  }
+
+  val launch : ?roles:(Pid.t -> role) -> ?port_base:int -> config -> deployment
+  (** Start the full deployment. [roles] (default: everyone [Correct])
+      assigns Byzantine behaviours to replica pids; at most [t] of them,
+      naturally. [port_base > 0] gives the [i]-th correct replica service
+      port [port_base + i]; the default (0) picks ephemeral ports. *)
+
+  val shutdown : deployment -> unit
+
+  val agreement_violations : deployment -> int * (int * (Pid.t * int) list) list
+  (** [(compared, violations)]: for every slot committed by at least two
+      correct replicas, check the committed digests agree. [compared] counts
+      multiply-committed slots; each violation lists the disagreeing
+      [(replica, digest)] entries. Correctness target: [violations = []]. *)
+end

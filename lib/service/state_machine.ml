@@ -1,0 +1,114 @@
+type command =
+  | Nop
+  | Get of string
+  | Set of string * int
+  | Add of string * int
+  | Del of string
+
+type output =
+  | Done
+  | Found of int option
+  | Count of int
+  | Removed of bool
+
+type t = (string, int) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let apply t = function
+  | Nop -> Done
+  | Get k -> Found (Hashtbl.find_opt t k)
+  | Set (k, v) ->
+    Hashtbl.replace t k v;
+    Done
+  | Add (k, d) ->
+    let v = d + Option.value ~default:0 (Hashtbl.find_opt t k) in
+    Hashtbl.replace t k v;
+    Count v
+  | Del k ->
+    let present = Hashtbl.mem t k in
+    if present then Hashtbl.remove t k;
+    Removed present
+
+let snapshot t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+
+let of_snapshot entries =
+  let t = create () in
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) entries;
+  t
+
+(* FNV-1a over the printed snapshot, folded into OCaml's positive int range.
+   Not cryptographic — a convergence check between replicas, not a defence. *)
+let digest t =
+  let h = ref 0x3bf29ce484222325 in
+  let mix byte = h := (!h lxor byte) * 0x100000001b3 in
+  List.iter
+    (fun (k, v) ->
+      String.iter (fun c -> mix (Char.code c)) k;
+      mix 0xff;
+      let rec ints x = if x <> 0 && x <> -1 then (mix (x land 0xff); ints (x asr 8)) in
+      ints v;
+      mix 0xfe)
+    (snapshot t);
+  !h land max_int
+
+let command_codec =
+  let open Dex_codec.Codec in
+  variant ~name:"State_machine.command"
+    (function
+      | Nop -> (0, fun _ -> ())
+      | Get k -> (1, fun buf -> string.write buf k)
+      | Set (k, v) ->
+        ( 2,
+          fun buf ->
+            string.write buf k;
+            int.write buf v )
+      | Add (k, d) ->
+        ( 3,
+          fun buf ->
+            string.write buf k;
+            int.write buf d )
+      | Del k -> (4, fun buf -> string.write buf k))
+    (fun tag r ->
+      match tag with
+      | 0 -> Nop
+      | 1 -> Get (string.read r)
+      | 2 ->
+        let k = string.read r in
+        Set (k, int.read r)
+      | 3 ->
+        let k = string.read r in
+        Add (k, int.read r)
+      | 4 -> Del (string.read r)
+      | other -> bad_tag ~name:"State_machine.command" other)
+
+let output_codec =
+  let open Dex_codec.Codec in
+  variant ~name:"State_machine.output"
+    (function
+      | Done -> (0, fun _ -> ())
+      | Found v -> (1, fun buf -> (option int).write buf v)
+      | Count v -> (2, fun buf -> int.write buf v)
+      | Removed b -> (3, fun buf -> bool.write buf b))
+    (fun tag r ->
+      match tag with
+      | 0 -> Done
+      | 1 -> Found ((option int).read r)
+      | 2 -> Count (int.read r)
+      | 3 -> Removed (bool.read r)
+      | other -> bad_tag ~name:"State_machine.output" other)
+
+let pp_command ppf = function
+  | Nop -> Format.pp_print_string ppf "NOP"
+  | Get k -> Format.fprintf ppf "GET %s" k
+  | Set (k, v) -> Format.fprintf ppf "SET %s := %d" k v
+  | Add (k, d) -> Format.fprintf ppf "ADD %s += %d" k d
+  | Del k -> Format.fprintf ppf "DEL %s" k
+
+let pp_output ppf = function
+  | Done -> Format.pp_print_string ppf "ok"
+  | Found None -> Format.pp_print_string ppf "nil"
+  | Found (Some v) -> Format.fprintf ppf "%d" v
+  | Count v -> Format.fprintf ppf "count %d" v
+  | Removed b -> Format.fprintf ppf "removed %b" b

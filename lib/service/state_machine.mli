@@ -1,0 +1,49 @@
+(** The replicated service's application state machine: a string → int
+    key-value store with read, write, increment and delete commands.
+
+    One implementation shared by the service lane ([Server] applies
+    committed batches through it) and the simulator example
+    ([examples/state_machine.ml]): the apply/snapshot interface is the
+    contract a pluggable state machine must satisfy — deterministic
+    [apply], order-insensitive [snapshot]/[digest] for convergence checks.
+
+    Commands and outputs carry wire codecs so they travel inside the client
+    protocol ([Wire]) unchanged. *)
+
+type command =
+  | Nop  (** no effect; the padding command of Byzantine chaff batches *)
+  | Get of string
+  | Set of string * int
+  | Add of string * int  (** add to the key's value (missing keys read 0) *)
+  | Del of string
+
+type output =
+  | Done  (** [Nop], [Set] *)
+  | Found of int option  (** [Get] *)
+  | Count of int  (** the value after an [Add] *)
+  | Removed of bool  (** whether [Del] found the key *)
+
+type t
+
+val create : unit -> t
+
+val apply : t -> command -> output
+(** Deterministic: replicas applying the same command sequence to equal
+    states produce equal states and outputs. *)
+
+val snapshot : t -> (string * int) list
+(** Sorted by key — directly comparable across replicas. *)
+
+val of_snapshot : (string * int) list -> t
+
+val digest : t -> int
+(** Positive hash of {!snapshot}; equal digests on two replicas mean (up to
+    hash collision) converged states. Not cryptographic. *)
+
+val command_codec : command Dex_codec.Codec.t
+
+val output_codec : output Dex_codec.Codec.t
+
+val pp_command : Format.formatter -> command -> unit
+
+val pp_output : Format.formatter -> output -> unit

@@ -6,9 +6,33 @@ open Dex_underlying
 module Make (Uc : Uc_intf.S) = struct
   module D = Dex_core.Dex.Make (Uc)
 
-  type msg = { slot : int; payload : D.msg }
+  type msg =
+    | Slot of { slot : int; payload : D.msg }
+    | Release of int
 
-  let pp_msg ppf m = Format.fprintf ppf "[slot %d] %a" m.slot D.pp_msg m.payload
+  let release upto = Release upto
+
+  let pp_msg ppf = function
+    | Slot { slot; payload } -> Format.fprintf ppf "[slot %d] %a" slot D.pp_msg payload
+    | Release upto -> Format.fprintf ppf "[release <%d]" upto
+
+  let codec =
+    let open Dex_codec.Codec in
+    variant ~name:"Replicated_log.msg"
+      (function
+        | Slot { slot; payload } ->
+          ( 0,
+            fun buf ->
+              int.write buf slot;
+              D.codec.write buf payload )
+        | Release upto -> (1, fun buf -> int.write buf upto))
+      (fun tag r ->
+        match tag with
+        | 0 ->
+          let slot = int.read r in
+          Slot { slot; payload = D.codec.read r }
+        | 1 -> Release (int.read r)
+        | other -> bad_tag ~name:"Replicated_log.msg" other)
 
   type config = {
     pair : int -> Pair.t;
@@ -30,11 +54,24 @@ module Make (Uc : Uc_intf.S) = struct
   let slot_cfg cfg slot =
     { D.n = cfg.n; t = cfg.t; seed = slot_seed cfg slot; pair = cfg.pair slot }
 
-  let replica cfg ~me ~propose ~on_commit =
+  let wrap_payload slot actions =
+    Protocol.map_actions (fun payload -> Slot { slot; payload }) actions
+
+  let replica ?(activation = `Eager) ?(retain = 64) cfg ~me ~propose ~on_commit =
+    if retain < 1 then invalid_arg "Replicated_log.replica: retain must be >= 1";
     let instances : (int, D.msg Protocol.instance) Hashtbl.t = Hashtbl.create 16 in
     let started : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-    let decided : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+    let decided : (int, Value.t * string) Hashtbl.t = Hashtbl.create 16 in
+    (* Slots touched by remote traffic before they were admitted; admitted on
+       the next activation sweep once the window reaches them. *)
+    let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
     let commits = ref 0 in
+    (* [On_demand]: slots < released may start without remote traffic (the
+       application has proposals for them). [Eager] releases everything. *)
+    let released = ref (match activation with `Eager -> cfg.slots | `On_demand -> 0) in
+    (* All slots < low are started (or committed without a local start);
+       the activation sweep never has to look below it. *)
+    let low = ref 0 in
 
     let instance_of slot =
       match Hashtbl.find_opt instances slot with
@@ -45,38 +82,62 @@ module Make (Uc : Uc_intf.S) = struct
         inst
     in
 
+    let startable slot =
+      match activation with
+      | `Eager -> true
+      | `On_demand -> slot < !released || Hashtbl.mem seen slot
+    in
+
     (* Wrapping a slot's actions may commit, which may activate further
        slots, whose start actions are folded into the same result. *)
     let rec wrap slot actions =
       List.concat_map
         (function
-          | Protocol.Send (p, m) -> [ Protocol.Send (p, { slot; payload = m }) ]
+          | Protocol.Send (p, m) -> [ Protocol.Send (p, Slot { slot; payload = m }) ]
           | Protocol.Set_timer { delay; msg } ->
-            [ Protocol.Set_timer { delay; msg = { slot; payload = msg } } ]
-          | Protocol.Decide { value; _ } -> on_decide slot value)
+            [ Protocol.Set_timer { delay; msg = Slot { slot; payload = msg } } ]
+          | Protocol.Decide { value; tag } -> on_decide slot value tag)
         actions
-    and on_decide slot value =
-      if Hashtbl.mem decided slot then []
+    and on_decide slot value tag =
+      if slot < !commits || Hashtbl.mem decided slot then []
       else begin
-        Hashtbl.add decided slot value;
+        Hashtbl.add decided slot (value, tag);
         flush_commits ()
       end
     and flush_commits () =
       match Hashtbl.find_opt decided !commits with
-      | Some value ->
+      | Some (value, tag) ->
         let slot = !commits in
         incr commits;
-        on_commit ~slot value;
+        Hashtbl.remove decided slot;
+        (* A slot can commit purely from remote traffic, without a local
+           start; record it as started so the [low] watermark stays a
+           contiguous prefix. *)
+        Hashtbl.replace started slot ();
+        Hashtbl.remove seen slot;
+        (* Retire the instance that fell out of the retention band; stragglers
+           for retired slots are dropped at the [on_message] floor. *)
+        Hashtbl.remove instances (slot - retain);
+        let provenance =
+          match Dex_core.Dex.provenance_of_tag tag with
+          | Some p -> p
+          | None -> Dex_core.Dex.Underlying
+        in
+        on_commit ~slot ~provenance value;
         let opened = activate () in
         opened @ flush_commits ()
       | None -> activate ()
     and activate () =
       (* Keep [window] slots in flight beyond the committed prefix. *)
       let upper = min cfg.slots (!commits + cfg.window) in
+      while !low < cfg.slots && Hashtbl.mem started !low do
+        incr low
+      done;
       let acc = ref [] in
-      for slot = 0 to upper - 1 do
-        if not (Hashtbl.mem started slot) then begin
-          Hashtbl.add started slot ();
+      for slot = !low to upper - 1 do
+        if (not (Hashtbl.mem started slot)) && startable slot then begin
+          Hashtbl.replace started slot ();
+          Hashtbl.remove seen slot;
           acc := !acc @ wrap slot ((instance_of slot).Protocol.start ())
         end
       done;
@@ -85,56 +146,100 @@ module Make (Uc : Uc_intf.S) = struct
 
     let start () = activate () in
     let on_message ~now ~from m =
-      if m.slot < 0 || m.slot >= cfg.slots then []
-      else wrap m.slot ((instance_of m.slot).Protocol.on_message ~now ~from m.payload)
+      match m with
+      | Release upto ->
+        (* Local control traffic: the application self-sends [release] when
+           it has material for more slots. Only honoured from ourselves — a
+           remote peer forging it could at worst open empty slots. *)
+        if Pid.equal from me && upto > !released then begin
+          released := min upto cfg.slots;
+          activate ()
+        end
+        else []
+      | Slot { slot; payload } ->
+        if slot < 0 || slot >= cfg.slots || slot < !commits - retain then []
+        else begin
+          let joined =
+            if Hashtbl.mem started slot then []
+            else begin
+              Hashtbl.replace seen slot ();
+              activate ()
+            end
+          in
+          joined @ wrap slot ((instance_of slot).Protocol.on_message ~now ~from payload)
+        end
+    in
+    { Protocol.start; on_message }
+
+  (* How many per-slot auxiliary instances a dispatcher keeps alive. Slots
+     are created in roughly increasing order, so evicting [slot - live_band]
+     on creation bounds memory over unbounded logs. *)
+  let live_band = 1024
+
+  (* Mount one lazily-populating dispatcher per auxiliary pid: per-slot nodes
+     are instantiated (and started) on first traffic for their slot, so a
+     log with a large [slots] bound costs nothing up front. *)
+  let lazy_dispatcher cfg ~node_of =
+    let tbl : (int, D.msg Protocol.instance) Hashtbl.t = Hashtbl.create 16 in
+    let get slot =
+      match Hashtbl.find_opt tbl slot with
+      | Some inst -> (inst, [])
+      | None ->
+        Hashtbl.remove tbl (slot - live_band);
+        let inst = node_of slot in
+        Hashtbl.add tbl slot inst;
+        (inst, wrap_payload slot (inst.Protocol.start ()))
+    in
+    let start () = [] in
+    let on_message ~now ~from m =
+      match m with
+      | Release _ -> []
+      | Slot { slot; payload } ->
+        if slot < 0 || slot >= cfg.slots then []
+        else
+          let inst, start_actions = get slot in
+          start_actions @ wrap_payload slot (inst.Protocol.on_message ~now ~from payload)
     in
     { Protocol.start; on_message }
 
   let extra cfg =
-    (* The UC may need auxiliary nodes per slot; nodes for different slots
-       can share a pid, so mount one dispatcher per pid that routes by slot
-       tag. *)
-    let by_pid : (Pid.t, (int, D.msg Protocol.instance) Hashtbl.t) Hashtbl.t =
-      Hashtbl.create 4
-    in
-    for slot = 0 to cfg.slots - 1 do
-      List.iter
-        (fun (pid, inst) ->
-          let tbl =
-            match Hashtbl.find_opt by_pid pid with
-            | Some tbl -> tbl
-            | None ->
-              let tbl = Hashtbl.create 16 in
-              Hashtbl.add by_pid pid tbl;
-              tbl
+    if cfg.slots = 0 then []
+    else
+      (* The auxiliary pid set is slot-independent (the UC mounts the same
+         nodes for every instance); probe slot 0 for it. *)
+      let pids = List.map fst (D.extra (slot_cfg cfg 0)) in
+      List.map
+        (fun pid ->
+          let node_of slot =
+            match List.assoc_opt pid (D.extra (slot_cfg cfg slot)) with
+            | Some inst -> inst
+            | None -> { Protocol.start = (fun () -> []); on_message = (fun ~now:_ ~from:_ _ -> []) }
           in
-          (* D.extra wraps UC nodes into D.msg; tag them with the slot. *)
-          Hashtbl.replace tbl slot inst)
-        (D.extra (slot_cfg cfg slot))
-    done;
-    Hashtbl.fold
-      (fun pid tbl acc ->
-        let dispatcher =
-          {
-            Protocol.start =
-              (fun () ->
-                Hashtbl.fold
-                  (fun slot inst acc' ->
-                    Protocol.map_actions
-                      (fun payload -> { slot; payload })
-                      (inst.Protocol.start ())
-                    @ acc')
-                  tbl []);
-            on_message =
-              (fun ~now ~from m ->
-                match Hashtbl.find_opt tbl m.slot with
-                | None -> []
-                | Some inst ->
-                  Protocol.map_actions
-                    (fun payload -> { slot = m.slot; payload })
-                    (inst.Protocol.on_message ~now ~from m.payload));
-          }
-        in
-        (pid, dispatcher) :: acc)
-      by_pid []
+          (pid, lazy_dispatcher cfg ~node_of))
+        pids
+
+  let equivocator cfg ~me ~split =
+    let instances : (int, D.msg Protocol.instance) Hashtbl.t = Hashtbl.create 16 in
+    let get slot =
+      match Hashtbl.find_opt instances slot with
+      | Some inst -> (inst, [])
+      | None ->
+        Hashtbl.remove instances (slot - live_band);
+        let inst = D.equivocator (slot_cfg cfg slot) ~me ~split:(split ~slot) in
+        Hashtbl.add instances slot inst;
+        (inst, wrap_payload slot (inst.Protocol.start ()))
+    in
+    (* Purely reactive: it equivocates on every slot it sees traffic for.
+       (Starting eagerly would require enumerating the whole slot space.) *)
+    let start () = [] in
+    let on_message ~now ~from m =
+      match m with
+      | Release _ -> []
+      | Slot { slot; payload } ->
+        if slot < 0 || slot >= cfg.slots then []
+        else
+          let inst, start_actions = get slot in
+          start_actions @ wrap_payload slot (inst.Protocol.on_message ~now ~from payload)
+    in
+    { Protocol.start; on_message }
 end

@@ -12,10 +12,23 @@
     starts once slot [s] commits locally, so a burst of commands keeps
     several instances in flight without unbounded fan-out.
 
+    Two activation disciplines:
+    - [`Eager] (default): every in-window slot starts immediately — right
+      for batch workloads where all proposals are known up front (the
+      simulator experiments).
+    - [`On_demand]: an in-window slot starts only once the application has
+      {e released} it (it has a proposal ready — see {!release}) or remote
+      traffic for it arrives (another replica released it, so this replica
+      must join with whatever proposal it can offer). This is the service
+      discipline: an idle log spends nothing.
+
     Commands are proposal values; the application maps its operations to
-    values (see [examples/state_machine.ml] for a replicated KV store on
-    top). Commits surface through a callback rather than [Protocol.Decide]
-    (which is single-shot per run): the instance emits only sends. *)
+    values ([Dex_service] orders batch digests and resolves them to request
+    batches). Commits surface through a callback rather than
+    [Protocol.Decide] (which is single-shot per run): the instance emits
+    only sends. The callback also carries the decision provenance
+    (one-step / two-step / underlying), so upper layers can account fast-path
+    coverage per slot without string matching. *)
 
 open Dex_vector
 open Dex_condition
@@ -24,9 +37,18 @@ open Dex_underlying
 
 module Make (Uc : Uc_intf.S) : sig
   type msg
-  (** Slot-tagged DEX traffic. *)
+  (** Slot-tagged DEX traffic, plus a local control lane (see {!release}). *)
 
   val pp_msg : Format.formatter -> msg -> unit
+
+  val codec : msg Dex_codec.Codec.t
+  (** Wire codec (for the codec-framed TCP transport). *)
+
+  val release : int -> msg
+  (** [release upto] is a control message a replica sends {e to itself}
+      (through its own transport endpoint) to allow slots [0 .. upto-1] to
+      start under [`On_demand] activation. Monotonic: lower or equal values
+      are no-ops. Ignored unless it arrives from the replica's own pid. *)
 
   type config = {
     pair : int -> Pair.t;  (** condition pair per slot (usually constant) *)
@@ -44,16 +66,42 @@ module Make (Uc : Uc_intf.S) : sig
       @raise Invalid_argument if [slots < 0] or [window < 1]. *)
 
   val replica :
+    ?activation:[ `Eager | `On_demand ] ->
+    ?retain:int ->
     config ->
     me:Pid.t ->
     propose:(slot:int -> Value.t) ->
-    on_commit:(slot:int -> Value.t -> unit) ->
+    on_commit:(slot:int -> provenance:Dex_core.Dex.provenance -> Value.t -> unit) ->
     msg Protocol.instance
   (** A replica proposing [propose ~slot] for each slot and reporting local
       commits in slot order through [on_commit] (called exactly once per
-      slot, in increasing slot order). *)
+      slot, in increasing slot order, with the decision path that produced
+      the commit).
+
+      [propose ~slot] is evaluated once, when the slot's instance is first
+      materialized — on local activation or on first remote traffic for the
+      slot, whichever comes first.
+
+      [retain] (default 64) bounds memory over long logs: the instance of a
+      slot that trails the committed prefix by more than [retain] is
+      retired, and straggler messages for it are dropped. Retired slots are
+      already decided everywhere they can matter on a reliable transport;
+      the margin only needs to cover transport skew, so keep it comfortably
+      above [window].
+      @raise Invalid_argument if [retain < 1]. *)
 
   val extra : config -> (Pid.t * msg Protocol.instance) list
-  (** UC auxiliary nodes for {e all} slots (oracle nodes live at pids
-      [n + slot·0 …]; implementation detail: one shared namespace). *)
+  (** UC auxiliary nodes for {e all} slots, as lazily-populating per-pid
+      dispatchers: the per-slot node is instantiated on first traffic for
+      that slot, so arbitrarily large [slots] bounds cost nothing up front,
+      and nodes trailing the traffic front by more than a fixed band are
+      evicted. *)
+
+  val equivocator :
+    config -> me:Pid.t -> split:(slot:int -> Pid.t -> Value.t) -> msg Protocol.instance
+  (** A Byzantine replica that, for every slot it sees traffic for, runs the
+      core equivocator ([Dex.equivocator]): proposal [split ~slot dst] to
+      each destination on both the P and IDB lanes, honest IDB echoing, no
+      underlying-consensus participation. Purely reactive — it never
+      initiates a slot. *)
 end

@@ -1,0 +1,275 @@
+(* Tests for dex_service: wire/batch codecs, canonical-batch and digest
+   properties, and live loopback deployments (real sockets, real threads) —
+   throughput sanity, session dedupe / idempotent retry, and an equivocating
+   replica that must not break agreement or exactly-once application. *)
+
+open Dex_service
+module Codec = Dex_codec.Codec
+module S = Server.Make (Dex_underlying.Uc_oracle)
+module Sm = State_machine
+
+let roundtrip codec v = Codec.decode_exn codec (Codec.encode codec v)
+
+(* ----------------------------- codecs ----------------------------- *)
+
+let sample_commands =
+  [ Sm.Nop; Sm.Get "k"; Sm.Set ("key", 42); Sm.Add ("", -7); Sm.Del "gone" ]
+
+let test_command_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "command" true (roundtrip Sm.command_codec c = c))
+    sample_commands
+
+let test_request_roundtrip () =
+  List.iteri
+    (fun i c ->
+      let r = { Wire.client = 3 + i; rid = i * 17; command = c } in
+      Alcotest.(check bool) "request" true (roundtrip Wire.request_codec r = r))
+    sample_commands
+
+let test_reply_roundtrip () =
+  let replies =
+    [
+      { Wire.client = 1; rid = 0; outcome = Wire.Busy };
+      {
+        Wire.client = 2;
+        rid = 9;
+        outcome =
+          Wire.Applied
+            { output = Sm.Count 4; slot = 12; provenance = Dex_core.Dex.One_step };
+      };
+      {
+        Wire.client = 2;
+        rid = 10;
+        outcome =
+          Wire.Applied
+            { output = Sm.Found None; slot = 13; provenance = Dex_core.Dex.Underlying };
+      };
+    ]
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) "reply" true (roundtrip Wire.reply_codec r = r))
+    replies
+
+let test_batch_roundtrip () =
+  let batch =
+    Batch.canonical
+      (List.mapi (fun i c -> { Wire.client = i mod 2; rid = i; command = c }) sample_commands)
+  in
+  Alcotest.(check bool) "batch" true (roundtrip Batch.codec batch = batch)
+
+(* ------------------------ batch properties ------------------------ *)
+
+let req client rid = { Wire.client; rid; command = Sm.Set ("k", rid) }
+
+let test_canonical_sorts_and_dedupes () =
+  let messy = [ req 2 1; req 1 5; req 2 1; req 1 3; req 1 5 ] in
+  let b = Batch.canonical messy in
+  Alcotest.(check (list (pair int int)))
+    "sorted by (client, rid), duplicates removed"
+    [ (1, 3); (1, 5); (2, 1) ]
+    (List.map (fun (r : Wire.request) -> (r.Wire.client, r.Wire.rid)) b)
+
+let test_canonical_cap_keeps_smallest () =
+  let b = Batch.canonical ~cap:2 [ req 3 0; req 1 9; req 1 2; req 2 4 ] in
+  Alcotest.(check (list (pair int int)))
+    "cap keeps the smallest keys"
+    [ (1, 2); (1, 9) ]
+    (List.map (fun (r : Wire.request) -> (r.Wire.client, r.Wire.rid)) b)
+
+let test_digest_order_insensitive () =
+  let reqs = [ req 1 1; req 2 2; req 3 3 ] in
+  let d1 = Batch.digest (Batch.canonical reqs) in
+  let d2 = Batch.digest (Batch.canonical (List.rev reqs)) in
+  Alcotest.(check int) "same canonical batch, same digest" d1 d2;
+  Alcotest.(check bool) "non-empty digest is positive nonzero" true (d1 > 0)
+
+let test_digest_distinguishes () =
+  let d1 = Batch.digest (Batch.canonical [ req 1 1 ]) in
+  let d2 = Batch.digest (Batch.canonical [ req 1 2 ]) in
+  Alcotest.(check bool) "different batches, different digests" true (d1 <> d2)
+
+let test_empty_digest_reserved () =
+  Alcotest.(check int) "empty batch digest" Batch.empty_digest
+    (Batch.digest (Batch.canonical []));
+  Alcotest.(check int) "reserved value" 0 Batch.empty_digest
+
+(* ------------------------- state machine ------------------------- *)
+
+let test_state_machine_semantics () =
+  let m = Sm.create () in
+  Alcotest.(check bool) "nop" true (Sm.apply m Sm.Nop = Sm.Done);
+  Alcotest.(check bool) "get missing" true (Sm.apply m (Sm.Get "a") = Sm.Found None);
+  ignore (Sm.apply m (Sm.Set ("a", 5)));
+  Alcotest.(check bool) "get" true (Sm.apply m (Sm.Get "a") = Sm.Found (Some 5));
+  Alcotest.(check bool) "add" true (Sm.apply m (Sm.Add ("a", 2)) = Sm.Count 7);
+  Alcotest.(check bool) "add fresh" true (Sm.apply m (Sm.Add ("b", 1)) = Sm.Count 1);
+  Alcotest.(check bool) "del" true (Sm.apply m (Sm.Del "a") = Sm.Removed true);
+  Alcotest.(check bool) "del again" true (Sm.apply m (Sm.Del "a") = Sm.Removed false);
+  Alcotest.(check (list (pair string int))) "snapshot" [ ("b", 1) ] (Sm.snapshot m)
+
+let test_state_machine_digest_converges () =
+  let a = Sm.create () and b = Sm.create () in
+  ignore (Sm.apply a (Sm.Set ("x", 1)));
+  ignore (Sm.apply a (Sm.Set ("y", 2)));
+  ignore (Sm.apply b (Sm.Set ("y", 2)));
+  ignore (Sm.apply b (Sm.Set ("x", 1)));
+  Alcotest.(check int) "same state, same digest" (Sm.digest a) (Sm.digest b);
+  ignore (Sm.apply b (Sm.Set ("x", 3)));
+  Alcotest.(check bool) "diverged digests differ" true (Sm.digest a <> Sm.digest b)
+
+(* ------------------------ live deployments ------------------------ *)
+
+(* Real sockets and threads below; parameters kept small so the whole suite
+   stays fast. *)
+
+let freq4 = Dex_condition.Pair.freq ~n:4 ~t:0
+
+let counter_of s =
+  match List.assoc_opt "k" (S.state_snapshot s) with Some v -> v | None -> 0
+
+let with_deployment ?roles cfg f =
+  let d = S.launch ?roles cfg in
+  Fun.protect ~finally:(fun () -> S.shutdown d) (fun () -> f d)
+
+let test_deployment_commits_one_step () =
+  let cfg = S.config ~pair:(fun _ -> freq4) ~n:4 ~t:0 () in
+  with_deployment cfg (fun d ->
+      let c = Client.connect ~client:1 (List.map snd d.S.ports) in
+      let r =
+        Client.Load.run_many ~clients:8 ~duration:1.0 c (fun i ->
+            Sm.Set (Printf.sprintf "k%d" (i mod 8), i))
+      in
+      Client.close c;
+      Thread.delay 0.3;
+      Alcotest.(check bool) "committed work" true (r.Client.Load.committed > 100);
+      Alcotest.(check bool) "one-step path dominates" true
+        (r.Client.Load.one_step * 2 > r.Client.Load.committed);
+      let compared, violations = S.agreement_violations d in
+      Alcotest.(check bool) "slots compared" true (compared > 0);
+      Alcotest.(check int) "no agreement violations" 0 (List.length violations);
+      let digests =
+        List.sort_uniq compare (List.map (fun (_, s) -> S.state_digest s) d.S.servers)
+      in
+      Alcotest.(check int) "replica states converged" 1 (List.length digests))
+
+let test_session_dedupe_idempotent_retry () =
+  let cfg = S.config ~pair:(fun _ -> freq4) ~n:4 ~t:0 () in
+  with_deployment cfg (fun d ->
+      (* Raw connections, no Client machinery: submit to all replicas (the
+         liveness contract — the oracle decides by plurality, so a request
+         known to one replica alone never wins a slot), then retransmit the
+         byte-identical request. The retry must answer from the session
+         cache with the original slot, and no replica may re-execute. *)
+      let conns =
+        List.map
+          (fun (_, port) ->
+            let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            (sock, Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock))
+          d.S.ports
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun (sock, _, _) -> try Unix.close sock with Unix.Unix_error _ -> ())
+            conns)
+        (fun () ->
+          let request = { Wire.client = 42; rid = 0; command = Sm.Add ("k", 1) } in
+          let _, first_ic, _ = List.hd conns in
+          let send () =
+            List.iter
+              (fun (_, _, oc) ->
+                Wire.write_request oc request;
+                flush oc)
+              conns;
+            let rec wait () =
+              let reply = Wire.read_reply first_ic in
+              match reply.Wire.outcome with
+              | Wire.Applied { output; slot; _ } when reply.Wire.rid = 0 -> (output, slot)
+              | _ -> wait ()
+            in
+            wait ()
+          in
+          let output1, slot1 = send () in
+          Alcotest.(check bool) "applied once" true (output1 = Sm.Count 1);
+          (* Retransmit of the same (client, rid). *)
+          let output2, slot2 = send () in
+          Alcotest.(check bool) "cached outcome" true (output2 = Sm.Count 1);
+          Alcotest.(check int) "same slot" slot1 slot2;
+          Thread.delay 0.5;
+          List.iter
+            (fun (p, s) ->
+              Alcotest.(check int)
+                (Printf.sprintf "replica %d applied exactly once" p)
+                1 (counter_of s))
+            d.S.servers))
+
+let test_equivocator_deployment () =
+  (* n=6 t=1 under the privileged pair (n > 5t), replica 5 equivocating:
+     the service must keep committing with clean agreement and no duplicate
+     application. *)
+  let pair = Dex_condition.Pair.privileged ~n:6 ~t:1 ~m:0 in
+  let cfg = S.config ~pair:(fun _ -> pair) ~n:6 ~t:1 () in
+  let roles p = if p = 5 then Server.Equivocator else Server.Correct in
+  with_deployment ~roles cfg (fun d ->
+      Alcotest.(check int) "five correct servers" 5 (List.length d.S.servers);
+      let c = Client.connect ~client:1 (List.map snd d.S.ports) in
+      let r = Client.Load.run ~duration:1.5 c (fun _ -> Sm.Add ("k", 1)) in
+      Client.close c;
+      Thread.delay 0.5;
+      Alcotest.(check bool) "committed despite the equivocator" true
+        (r.Client.Load.committed > 0);
+      let compared, violations = S.agreement_violations d in
+      Alcotest.(check bool) "slots compared" true (compared > 0);
+      Alcotest.(check int) "no agreement violations" 0 (List.length violations);
+      List.iter
+        (fun (p, s) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "replica %d no duplicate applies" p)
+            true
+            (counter_of s <= r.Client.Load.issued))
+        d.S.servers)
+
+let test_config_validation () =
+  Alcotest.check_raises "bad batch_cap"
+    (Invalid_argument "Server.config: batch_cap must be >= 1") (fun () ->
+      ignore (S.config ~batch_cap:0 ~pair:(fun _ -> freq4) ~n:4 ~t:0 ()));
+  Alcotest.check_raises "bad settle" (Invalid_argument "Server.config: settle must be >= 0")
+    (fun () -> ignore (S.config ~settle:(-0.1) ~pair:(fun _ -> freq4) ~n:4 ~t:0 ()))
+
+let () =
+  Alcotest.run "dex_service"
+    [
+      ( "codecs",
+        [
+          Alcotest.test_case "command roundtrip" `Quick test_command_roundtrip;
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
+          Alcotest.test_case "batch roundtrip" `Quick test_batch_roundtrip;
+        ] );
+      ( "batches",
+        [
+          Alcotest.test_case "canonical sorts and dedupes" `Quick
+            test_canonical_sorts_and_dedupes;
+          Alcotest.test_case "cap keeps smallest" `Quick test_canonical_cap_keeps_smallest;
+          Alcotest.test_case "digest order-insensitive" `Quick test_digest_order_insensitive;
+          Alcotest.test_case "digest distinguishes" `Quick test_digest_distinguishes;
+          Alcotest.test_case "empty digest reserved" `Quick test_empty_digest_reserved;
+        ] );
+      ( "state_machine",
+        [
+          Alcotest.test_case "semantics" `Quick test_state_machine_semantics;
+          Alcotest.test_case "digest convergence" `Quick test_state_machine_digest_converges;
+        ] );
+      ( "deployment",
+        [
+          Alcotest.test_case "commits, one-step, agreement" `Quick
+            test_deployment_commits_one_step;
+          Alcotest.test_case "session dedupe / idempotent retry" `Quick
+            test_session_dedupe_idempotent_retry;
+          Alcotest.test_case "equivocator tolerated" `Quick test_equivocator_deployment;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+    ]

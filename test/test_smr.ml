@@ -19,7 +19,7 @@ let run_log ?(discipline = Discipline.lockstep) ?(seed = 1) ?(window = 4) ?(slot
     else
       L.replica cfg ~me:p
         ~propose:(fun ~slot -> workload p ~slot)
-        ~on_commit:(fun ~slot value -> commits.(p) <- (slot, value) :: commits.(p))
+        ~on_commit:(fun ~slot ~provenance:_ value -> commits.(p) <- (slot, value) :: commits.(p))
   in
   let r = Runner.run (Runner.config ~discipline ~seed ~extra:(L.extra cfg) ~n:7 make) in
   (r, Array.map List.rev commits)
@@ -92,6 +92,120 @@ let test_empty_log () =
   Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
   Array.iter (fun log -> Alcotest.(check int) "empty" 0 (List.length log)) commits
 
+(* ------------------------- pipelining edges ------------------------- *)
+
+(* Like [run_log] but exposing activation and an instance wrapper, for the
+   on-demand and hostile-delivery edge cases below. *)
+let run_log_wrapped ?(discipline = Discipline.lockstep) ?(seed = 1) ?(window = 4)
+    ?(slots = 5) ?(policy = Runner.Fifo) ?activation ?(wrap = fun _p i -> i) ~workload ()
+    =
+  let cfg = L.config ~seed ~window ~pair:(fun _ -> freq7) ~slots ~n:7 ~t:1 () in
+  let commits = Array.make 7 [] in
+  let make p =
+    wrap p
+      (L.replica ?activation cfg ~me:p
+         ~propose:(fun ~slot -> workload p ~slot)
+         ~on_commit:(fun ~slot ~provenance:_ value ->
+           commits.(p) <- (slot, value) :: commits.(p)))
+  in
+  let r =
+    Runner.run (Runner.config ~discipline ~seed ~policy ~extra:(L.extra cfg) ~n:7 make)
+  in
+  (r, Array.map List.rev commits)
+
+let test_on_demand_idle () =
+  (* Under [`On_demand] with no releases, nothing starts: the run is
+     immediately quiescent with zero traffic and zero commits. *)
+  let r, commits =
+    run_log_wrapped ~activation:`On_demand ~workload:(fun _p ~slot -> slot) ()
+  in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  Alcotest.(check int) "no traffic" 0 r.Runner.sent;
+  Array.iter (fun log -> Alcotest.(check int) "no commits" 0 (List.length log)) commits
+
+let test_on_demand_release_prefix () =
+  (* One replica releases slots [0..1]; every other correct replica joins on
+     the remote traffic. Exactly the released prefix commits, everywhere —
+     the window boundary is the release point, not [slots]. *)
+  let released = 2 in
+  let wrap p (i : _ Dex_net.Protocol.instance) =
+    if p <> 0 then i
+    else
+      {
+        i with
+        Dex_net.Protocol.start =
+          (fun () -> Dex_net.Protocol.Send (0, L.release released) :: i.start ());
+      }
+  in
+  let r, commits =
+    run_log_wrapped ~activation:`On_demand ~slots:5 ~wrap
+      ~workload:(fun _p ~slot -> 100 + slot)
+      ()
+  in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  for p = 0 to 6 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "replica %d commits the released prefix" p)
+      (List.init released (fun s -> (s, 100 + s)))
+      commits.(p)
+  done
+
+let test_duplicate_slot_messages () =
+  (* A network that duplicates every send (legal over at-least-once
+     delivery): slot instances must treat redelivery as a no-op, so logs
+     stay identical and complete, and nobody commits a slot twice. *)
+  let dup acts =
+    List.concat_map
+      (function Dex_net.Protocol.Send _ as a -> [ a; a ] | a -> [ a ])
+      acts
+  in
+  let wrap _p (i : _ Dex_net.Protocol.instance) =
+    {
+      Dex_net.Protocol.start = (fun () -> dup (i.Dex_net.Protocol.start ()));
+      on_message = (fun ~now ~from m -> dup (i.Dex_net.Protocol.on_message ~now ~from m));
+    }
+  in
+  for seed = 1 to 5 do
+    let _, commits =
+      run_log_wrapped ~discipline:Discipline.asynchronous ~seed ~slots:6 ~wrap
+        ~workload:(fun p ~slot -> if slot mod 2 = 0 then 7 else p mod 3)
+        ()
+    in
+    let reference = commits.(0) in
+    Alcotest.(check int) "full log" 6 (List.length reference);
+    Array.iteri
+      (fun p log ->
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "seed %d replica %d matches" seed p)
+          reference log)
+      commits
+  done
+
+let test_jittered_commit_order () =
+  (* Exponential delays and randomized same-instant scheduling reorder slot
+     traffic across the window; commits must still surface in slot order at
+     every replica, with identical logs. *)
+  for seed = 1 to 8 do
+    let _, commits =
+      run_log_wrapped
+        ~discipline:(Discipline.exponential ~mean:1.0)
+        ~policy:Runner.Random_tiebreak ~seed ~slots:8 ~window:3
+        ~workload:(fun p ~slot -> (slot * 3) + (p mod 2))
+        ()
+    in
+    let reference = commits.(0) in
+    Alcotest.(check int) "full log" 8 (List.length reference);
+    Array.iteri
+      (fun p log ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "seed %d replica %d in slot order" seed p)
+          (List.init 8 Fun.id) (List.map fst log);
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "seed %d replica %d agrees" seed p)
+          reference log)
+      commits
+  done
+
 let () =
   Alcotest.run "dex_smr"
     [
@@ -104,5 +218,12 @@ let () =
           Alcotest.test_case "window 1" `Quick test_window_one_is_sequential;
           Alcotest.test_case "config validation" `Quick test_config_validation;
           Alcotest.test_case "empty log" `Quick test_empty_log;
+        ] );
+      ( "pipelining_edges",
+        [
+          Alcotest.test_case "on-demand idle" `Quick test_on_demand_idle;
+          Alcotest.test_case "on-demand release prefix" `Quick test_on_demand_release_prefix;
+          Alcotest.test_case "duplicate deliveries" `Quick test_duplicate_slot_messages;
+          Alcotest.test_case "jittered commit order" `Quick test_jittered_commit_order;
         ] );
     ]
