@@ -212,7 +212,10 @@ module Load = struct
     let one = ref 0 and two = ref 0 and uc = ref 0 in
     let retries = ref 0 and issued = ref 0 in
     let rids = Array.make clients (-1) in
-    let in_flight : (int * int, float * Wire.request) Hashtbl.t =
+    (* Value: (first-sent, last-sent, request). First-sent is the latency
+       origin; last-sent paces retransmits so an overdue request goes out
+       once per [timeout], not once per quiet tick. *)
+    let in_flight : (int * int, float * float * Wire.request) Hashtbl.t =
       Hashtbl.create (2 * clients)
     in
     let write_req req =
@@ -235,7 +238,8 @@ module Load = struct
       let cid = t.client + idx in
       let req = { Wire.client = cid; rid = rids.(idx); command = workload !issued } in
       incr issued;
-      Hashtbl.replace in_flight (cid, rids.(idx)) (Unix.gettimeofday (), req);
+      let now = Unix.gettimeofday () in
+      Hashtbl.replace in_flight (cid, rids.(idx)) (now, now, req);
       write_req req
     in
     let started = Unix.gettimeofday () in
@@ -243,7 +247,7 @@ module Load = struct
     let handle (reply : Wire.reply) =
       match Hashtbl.find_opt in_flight (reply.Wire.client, reply.Wire.rid) with
       | None -> ()
-      | Some (start, _) -> (
+      | Some (start, _, _) -> (
         match reply.Wire.outcome with
         | Wire.Busy -> ()  (* stays outstanding; the retransmit sweep covers it *)
         | Wire.Applied { output = _; slot = _; provenance } ->
@@ -277,16 +281,22 @@ module Load = struct
         in
         drain ()
       | None ->
-        (* Quiet tick: retransmit everything outstanding too long. *)
+        (* Quiet tick: retransmit everything not (re)sent for [timeout].
+           Collect first, mutate after — Hashtbl.iter with concurrent
+           [replace] on the iterated table is unspecified behavior. *)
         let now = Unix.gettimeofday () in
-        Hashtbl.iter
-          (fun key (start, req) ->
-            if now -. start > timeout then begin
-              incr retries;
-              Hashtbl.replace in_flight key (start, req);
-              write_req req
-            end)
-          in_flight);
+        let overdue =
+          Hashtbl.fold
+            (fun key (start, last_sent, req) acc ->
+              if now -. last_sent > timeout then (key, start, req) :: acc else acc)
+            in_flight []
+        in
+        List.iter
+          (fun (key, start, req) ->
+            incr retries;
+            Hashtbl.replace in_flight key (start, now, req);
+            write_req req)
+          overdue);
       flush_all ()
     done;
     let wall = Unix.gettimeofday () -. started in

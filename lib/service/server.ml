@@ -52,18 +52,20 @@ module Make (Uc : Uc_intf.S) = struct
     queue_cap : int;
     fetch_retry : float;
     retain : int;
+    commit_log_cap : int;
   }
 
   let config ?(seed = 0) ?(window = 8) ?(slots = 1 lsl 20) ?(batch_cap = 256)
       ?(batch_delay = 0.004) ?(settle = 0.002) ?(queue_cap = 4096) ?(fetch_retry = 0.05)
-      ?(retain = 256) ~pair ~n ~t () =
+      ?(retain = 256) ?(commit_log_cap = 1 lsl 16) ~pair ~n ~t () =
     if batch_cap < 1 then invalid_arg "Server.config: batch_cap must be >= 1";
     if batch_delay <= 0.0 then invalid_arg "Server.config: batch_delay must be > 0";
     if settle < 0.0 then invalid_arg "Server.config: settle must be >= 0";
     if queue_cap < 1 then invalid_arg "Server.config: queue_cap must be >= 1";
     if retain < 2 * window then invalid_arg "Server.config: retain must be >= 2*window";
+    if commit_log_cap < 1 then invalid_arg "Server.config: commit_log_cap must be >= 1";
     { n; t; seed; pair; window; slots; batch_cap; batch_delay; settle; queue_cap; fetch_retry;
-      retain }
+      retain; commit_log_cap }
 
   let log_config cfg =
     Log.config ~seed:cfg.seed ~window:cfg.window ~pair:cfg.pair ~slots:cfg.slots ~n:cfg.n
@@ -91,7 +93,7 @@ module Make (Uc : Uc_intf.S) = struct
     (* Admission: requests accepted from clients, not yet applied. Bounded by
        [queue_cap]; overflow is answered [Busy] (backpressure). *)
     pending : (int * int, Wire.request * float) Hashtbl.t;  (* keyed request, admission time *)
-    mutable pending_oldest : float;  (* conservative admission time of the oldest pending *)
+    mutable pending_oldest : float;  (* min admission time over [pending]; infinity if empty *)
     (* Batch content by digest: own proposals, peer payloads, fetch results. *)
     store : (int, Batch.t) Hashtbl.t;
     last_use : (int, int) Hashtbl.t;  (* digest -> newest slot that referenced it *)
@@ -104,7 +106,11 @@ module Make (Uc : Uc_intf.S) = struct
     unresolved : (int, unit) Hashtbl.t;  (* digests being fetched *)
     outbox : smsg Protocol.action list ref;  (* actions produced by callbacks *)
     state : State_machine.t;
-    mutable commit_log : (int * int * Dex_core.Dex.provenance) list;  (* newest first *)
+    (* Newest first; bounded by [commit_log_cap] (a long-lived server would
+       otherwise leak one entry per slot forever). Truncated lazily at twice
+       the cap, so the amortized append cost stays O(1). *)
+    mutable commit_log : (int * int * Dex_core.Dex.provenance) list;
+    mutable commit_log_len : int;
     mutable apply_next : int;
     mutable next_slot : int;  (* one past the highest slot this replica has touched *)
     mutable last_progress : float;  (* wall time of the last commit/apply/release *)
@@ -149,13 +155,19 @@ module Make (Uc : Uc_intf.S) = struct
        waves, so a boundary pushed [settle] into the past falls in the quiet
        gap between waves and every replica cuts the same batch. *)
     let cutoff = Unix.gettimeofday () -. t.cfg.settle in
-    let requests, youngest_excluded =
+    (* [pending_oldest] deliberately spans the whole pending set, proposed
+       requests included: a request stays pending until applied, and its
+       proposal can lose the slot (contention, an equivocator's chaff, cap
+       truncation), in which case it must keep the batcher armed for the
+       next slot. The batcher's [idle] gate keeps this from releasing slots
+       while the covering proposal is still in flight. *)
+    let requests, oldest =
       Hashtbl.fold
-        (fun _ (r, admitted) (acc, young) ->
-          if admitted <= cutoff then (r :: acc, young) else (acc, Float.min young admitted))
+        (fun _ (r, admitted) (acc, oldest) ->
+          ((if admitted <= cutoff then r :: acc else acc), Float.min oldest admitted))
         t.pending ([], Float.infinity)
     in
-    t.pending_oldest <- youngest_excluded;
+    t.pending_oldest <- oldest;
     let batch = Batch.canonical ~cap:t.cfg.batch_cap requests in
     let d = Batch.digest batch in
     if d <> Batch.empty_digest then begin
@@ -219,7 +231,14 @@ module Make (Uc : Uc_intf.S) = struct
             reply_locked t ~client:r.Wire.client ~rid:r.Wire.rid cached
           | _ -> ()
         end)
-      batch
+      batch;
+    (* Restore the [pending_oldest] invariant after the removals (resets to
+       infinity when the batch drained everything). Pending is bounded by
+       [queue_cap], so one fold per applied batch is cheap. *)
+    t.pending_oldest <-
+      Hashtbl.fold
+        (fun _ (_, admitted) acc -> Float.min acc admitted)
+        t.pending Float.infinity
 
   (* Drain the committed prefix in slot order; stop (and fetch) at the first
      digest whose content we do not hold. *)
@@ -248,6 +267,11 @@ module Make (Uc : Uc_intf.S) = struct
     t.last_progress <- Unix.gettimeofday ();
     t.committed_slots <- t.committed_slots + 1;
     t.commit_log <- (slot, digest, provenance) :: t.commit_log;
+    t.commit_log_len <- t.commit_log_len + 1;
+    if t.commit_log_len > 2 * t.cfg.commit_log_cap then begin
+      t.commit_log <- List.filteri (fun i _ -> i < t.cfg.commit_log_cap) t.commit_log;
+      t.commit_log_len <- t.cfg.commit_log_cap
+    end;
     if digest = Batch.empty_digest then t.empty_slots <- t.empty_slots + 1
     else begin
       Hashtbl.replace t.last_use digest slot;
@@ -282,6 +306,7 @@ module Make (Uc : Uc_intf.S) = struct
         outbox = ref [];
         state = State_machine.create ();
         commit_log = [];
+        commit_log_len = 0;
         apply_next = 0;
         next_slot = 0;
         last_progress = Unix.gettimeofday ();
@@ -336,7 +361,17 @@ module Make (Uc : Uc_intf.S) = struct
         if digest <> Batch.empty_digest && Batch.digest batch = digest then begin
           Mutex.lock t.lock;
           if not (Hashtbl.mem t.store digest) then Hashtbl.replace t.store digest batch;
-          Hashtbl.replace t.last_use digest (max t.apply_next (Hashtbl.length t.commit_buf));
+          (* Pin the content for as long as a committed-but-unapplied slot
+             still references it: the newest such slot in [commit_buf]
+             (falling back to the apply frontier), never downgrading a newer
+             reference already recorded. *)
+          let newest_ref =
+            Hashtbl.fold
+              (fun slot (d, _) acc -> if d = digest then max acc slot else acc)
+              t.commit_buf t.apply_next
+          in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt t.last_use digest) in
+          Hashtbl.replace t.last_use digest (max prev newest_ref);
           Hashtbl.remove t.unresolved digest;
           apply_ready_locked t;
           flush_dirty_locked t;
@@ -365,7 +400,7 @@ module Make (Uc : Uc_intf.S) = struct
       end
       else begin
         let now = Unix.gettimeofday () in
-        if Hashtbl.length t.pending = 0 then t.pending_oldest <- now;
+        t.pending_oldest <- Float.min t.pending_oldest now;
         Hashtbl.replace t.pending (r.Wire.client, r.Wire.rid) (r, now)
       end);
     flush_dirty_locked t;

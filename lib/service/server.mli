@@ -61,6 +61,10 @@ module Make (Uc : Uc_intf.S) : sig
     queue_cap : int;  (** pending-set bound; overflow answers [Busy] *)
     fetch_retry : float;  (** re-broadcast period for unresolved digests *)
     retain : int;  (** log + batch-store retirement margin, in slots *)
+    commit_log_cap : int;
+        (** newest commit-log entries kept for {!commit_log} / agreement
+            checks; older entries are discarded so a long-lived server does
+            not grow without bound *)
   }
 
   val config :
@@ -73,6 +77,7 @@ module Make (Uc : Uc_intf.S) : sig
     ?queue_cap:int ->
     ?fetch_retry:float ->
     ?retain:int ->
+    ?commit_log_cap:int ->
     pair:(int -> Dex_condition.Pair.t) ->
     n:int ->
     t:int ->
@@ -80,7 +85,7 @@ module Make (Uc : Uc_intf.S) : sig
     config
   (** Defaults: [window 8], [slots 2^20], [batch_cap 256],
       [batch_delay 4ms], [settle 2ms], [queue_cap 4096], [fetch_retry 50ms],
-      [retain 256].
+      [retain 256], [commit_log_cap 2^16].
       @raise Invalid_argument on nonsensical values (see the checks). *)
 
   type t
@@ -121,7 +126,9 @@ module Make (Uc : Uc_intf.S) : sig
 
   val commit_log : t -> (int * int * Dex_core.Dex.provenance) list
   (** [(slot, digest, provenance)] in commit order — the raw material for
-      agreement checks across replicas. *)
+      agreement checks across replicas. Only the newest [commit_log_cap]
+      entries are retained; size the cap to the run when checking agreement
+      post hoc. *)
 
   val state_snapshot : t -> (string * int) list
 

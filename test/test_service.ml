@@ -232,12 +232,44 @@ let test_equivocator_deployment () =
             (counter_of s <= r.Client.Load.issued))
         d.S.servers)
 
+let test_commit_log_bounded () =
+  (* [commit_log_cap] bounds the per-replica commit history (a long-lived
+     server must not leak one entry per slot). Truncation is lazy at twice
+     the cap, so after committing well past that the retained log must sit
+     at or under [2 * cap]. *)
+  let cap = 4 in
+  let cfg = S.config ~commit_log_cap:cap ~pair:(fun _ -> freq4) ~n:4 ~t:0 () in
+  with_deployment cfg (fun d ->
+      let c = Client.connect ~client:1 (List.map snd d.S.ports) in
+      let r =
+        Client.Load.run_many ~clients:8 ~duration:1.0 c (fun i ->
+            Sm.Set (Printf.sprintf "k%d" (i mod 8), i))
+      in
+      Client.close c;
+      Thread.delay 0.3;
+      Alcotest.(check bool) "committed work" true (r.Client.Load.committed > 0);
+      List.iter
+        (fun (p, s) ->
+          let stats = S.stats s in
+          Alcotest.(check bool)
+            (Printf.sprintf "replica %d committed past the truncation point" p)
+            true
+            (stats.S.committed_slots > 2 * cap);
+          Alcotest.(check bool)
+            (Printf.sprintf "replica %d commit log bounded" p)
+            true
+            (List.length (S.commit_log s) <= 2 * cap))
+        d.S.servers)
+
 let test_config_validation () =
   Alcotest.check_raises "bad batch_cap"
     (Invalid_argument "Server.config: batch_cap must be >= 1") (fun () ->
       ignore (S.config ~batch_cap:0 ~pair:(fun _ -> freq4) ~n:4 ~t:0 ()));
   Alcotest.check_raises "bad settle" (Invalid_argument "Server.config: settle must be >= 0")
-    (fun () -> ignore (S.config ~settle:(-0.1) ~pair:(fun _ -> freq4) ~n:4 ~t:0 ()))
+    (fun () -> ignore (S.config ~settle:(-0.1) ~pair:(fun _ -> freq4) ~n:4 ~t:0 ()));
+  Alcotest.check_raises "bad commit_log_cap"
+    (Invalid_argument "Server.config: commit_log_cap must be >= 1") (fun () ->
+      ignore (S.config ~commit_log_cap:0 ~pair:(fun _ -> freq4) ~n:4 ~t:0 ()))
 
 let () =
   Alcotest.run "dex_service"
@@ -270,6 +302,7 @@ let () =
           Alcotest.test_case "session dedupe / idempotent retry" `Quick
             test_session_dedupe_idempotent_retry;
           Alcotest.test_case "equivocator tolerated" `Quick test_equivocator_deployment;
+          Alcotest.test_case "commit log bounded" `Quick test_commit_log_bounded;
           Alcotest.test_case "config validation" `Quick test_config_validation;
         ] );
     ]
