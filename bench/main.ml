@@ -208,10 +208,28 @@ let bench_smr =
    ns/run. The numbers land in their own section of the JSON. *)
 module Svc = Dex_service.Server.Make (Uc_oracle)
 
-let service_throughput () =
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dex-bench-%s-%d" tag (Unix.getpid ()))
+  in
+  rm_rf dir;
+  dir
+
+let service_throughput ?(durable = false) () =
   let n = 4 and t = 0 in
   let pair = Pair.freq ~n ~t in
-  let cfg = Svc.config ~pair:(fun _ -> pair) ~n ~t () in
+  let dir = if durable then Some (fresh_dir "svc") else None in
+  let cfg = Svc.config ?data_dir:dir ~pair:(fun _ -> pair) ~n ~t () in
   let d = Svc.launch cfg in
   let c = Dex_service.Client.connect ~client:1 (List.map snd d.Svc.ports) in
   let r =
@@ -221,14 +239,81 @@ let service_throughput () =
   Dex_service.Client.close c;
   Thread.delay 0.2;
   Svc.shutdown d;
+  Option.iter rm_rf dir;
   let open Dex_service.Client.Load in
   let committed = float_of_int r.committed in
   let p50 = match r.latency with Some s -> s.Dex_metrics.Stats.p50 | None -> 0.0 in
+  let tag name = if durable then "service/durable-" ^ name else "service/" ^ name in
   [
-    ("service/throughput-ops-s", r.throughput);
-    ( "service/one-step-fraction",
+    (tag "throughput-ops-s", r.throughput);
+    ( tag "one-step-fraction",
       if r.committed = 0 then 0.0 else float_of_int r.one_step /. committed );
-    ("service/latency-p50-ms", p50);
+    (tag "latency-p50-ms", p50);
+  ]
+
+(* ----------------------- durability lane ----------------------- *)
+
+(* WAL time-to-durable per record, in microseconds. Without group commit
+   every record pays its own fsync (append + sync inline); with group commit
+   records are appended through the syncer and the latency runs until the
+   covering watermark callback. Closed loop, 2000 records of ~128 bytes. *)
+let wal_latency_rows () =
+  let records = 2000 in
+  let payload = String.make 128 'w' in
+  let summarize samples =
+    let s = Dex_metrics.Stats.summarize samples in
+    (s.Dex_metrics.Stats.p50, s.Dex_metrics.Stats.p99)
+  in
+  (* Inline fsync per record. *)
+  let dir = fresh_dir "wal-sync" in
+  let o = Dex_store.Wal.open_ dir in
+  let inline =
+    List.init records (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Dex_store.Wal.append o.Dex_store.Wal.wal payload);
+        ignore (Dex_store.Wal.sync o.Dex_store.Wal.wal);
+        (Unix.gettimeofday () -. t0) *. 1e6)
+  in
+  Dex_store.Wal.close o.Dex_store.Wal.wal;
+  rm_rf dir;
+  let inline_p50, inline_p99 = summarize inline in
+  (* Group commit: stamp each append, collect latency at the watermark. *)
+  let dir = fresh_dir "wal-group" in
+  let o = Dex_store.Wal.open_ dir in
+  let mu = Mutex.create () in
+  let stamps = Hashtbl.create records in
+  let samples = ref [] in
+  let covered = ref 0 in
+  let on_durable w =
+    let now = Unix.gettimeofday () in
+    Mutex.lock mu;
+    for lsn = !covered + 1 to w do
+      match Hashtbl.find_opt stamps lsn with
+      | Some t0 -> samples := (now -. t0) *. 1e6 :: !samples
+      | None -> ()
+    done;
+    covered := max !covered w;
+    Mutex.unlock mu
+  in
+  let syncer =
+    Dex_store.Wal.syncer ~delay:0.001 ~cap:64 o.Dex_store.Wal.wal ~on_durable
+  in
+  for _ = 1 to records do
+    let t0 = Unix.gettimeofday () in
+    let lsn = Dex_store.Wal.syncer_append syncer payload in
+    Mutex.lock mu;
+    Hashtbl.replace stamps lsn t0;
+    Mutex.unlock mu
+  done;
+  Dex_store.Wal.stop_syncer syncer;
+  Dex_store.Wal.close o.Dex_store.Wal.wal;
+  rm_rf dir;
+  let group_p50, group_p99 = summarize !samples in
+  [
+    ("wal/append-fsync-p50-us", inline_p50);
+    ("wal/append-fsync-p99-us", inline_p99);
+    ("wal/group-commit-p50-us", group_p50);
+    ("wal/group-commit-p99-us", group_p99);
   ]
 
 let all_tests =
@@ -278,9 +363,9 @@ let print_results rows =
   List.iter (fun (name, est) -> Printf.printf "%-36s %16.1f\n" name est) rows
 
 (* Machine-readable companion to the human tables: microbench subjects in
-   ns/run plus the service-lane throughput figures, stamped with the run
-   date, so successive runs can be diffed by tooling. *)
-let write_json rows service_rows =
+   ns/run plus the service-lane throughput and durability figures, stamped
+   with the run date, so successive runs can be diffed by tooling. *)
+let write_json rows service_rows durability_rows =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -298,6 +383,11 @@ let write_json rows service_rows =
     (fun i (name, v) ->
       Printf.fprintf oc "%s\n    %S: %.2f" (if i = 0 then "" else ",") name v)
     service_rows;
+  Printf.fprintf oc "\n  },\n  \"durability\": {";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "%s\n    %S: %.2f" (if i = 0 then "" else ",") name v)
+    durability_rows;
   Printf.fprintf oc "\n  }\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n" file
@@ -310,7 +400,10 @@ let () =
   print_endline "\n== Service lane (loopback n=4 t=0, 64 closed-loop clients) ==";
   let service_rows = service_throughput () in
   List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) service_rows;
-  write_json rows service_rows;
+  print_endline "\n== Durability lane (WAL time-to-durable; durable service run) ==";
+  let durability_rows = wal_latency_rows () @ service_throughput ~durable:true () in
+  List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) durability_rows;
+  write_json rows service_rows durability_rows;
   if not quick then begin
     print_endline "\n== Experiment tables (paper reproduction; see EXPERIMENTS.md) ==";
     Dex_experiments.Harness.trials := 20;

@@ -2,17 +2,27 @@
 
    `serve` boots all n replicas of a loopback deployment in one process
    (real TCP between replicas and to clients) and prints the per-replica
-   client service ports; point bin/dex_client at them.
+   client service ports; point bin/dex_client at them. `--data-dir` turns
+   on the durability lane (WAL + snapshots, persist-before-reply);
+   `--stats S` prints a one-line service/WAL/link counter report every S
+   seconds.
 
    `smoke` is the self-contained CI gate: boot a deployment (optionally with
    mute/equivocating replicas), drive it with an in-process closed-loop
    client, and fail unless the run committed work with zero agreement
-   violations and no duplicate application. *)
+   violations and no duplicate application.
+
+   `restart` is the durability gate: boot a durable n=4 deployment, drive it
+   with a closed-loop client, crash one replica mid-load (WAL abandoned, no
+   final fsync), restart it from its data dir, and fail unless it catches
+   back up to the identical state digest with zero agreement violations,
+   zero lost acknowledged commits and zero duplicate applies. *)
 
 open Cmdliner
 open Dex_condition
 open Dex_underlying
 module Sm = Dex_service.State_machine
+module Transport = Dex_runtime.Transport
 
 type opts = {
   n : int;
@@ -28,6 +38,12 @@ type opts = {
   duration : float;
   mute : int list;
   equivocate : int list;
+  data_dir : string option;
+  stats_every : float;
+  group_commit : bool;
+  snapshot_every : int;
+  kill : int;
+  down : float;
 }
 
 let pair_of opts =
@@ -50,6 +66,8 @@ module Run (Uc : Uc_intf.S) = struct
     let cfg =
       S.config ~seed:opts.seed ~window:opts.window ~batch_delay:opts.batch_delay
         ~settle:opts.settle ~batch_cap:opts.batch_cap ~queue_cap:opts.queue_cap
+        ?data_dir:opts.data_dir ~group_commit:opts.group_commit
+        ~snapshot_every:opts.snapshot_every
         ~pair:(fun _ -> pair)
         ~n:opts.n ~t:opts.t ()
     in
@@ -65,22 +83,78 @@ module Run (Uc : Uc_intf.S) = struct
       (fun (p, s) -> Format.printf "replica %d: %a@." p S.pp_stats (S.stats s))
       d.S.servers
 
+  (* The `--stats` heartbeat: service, WAL and transport-link counters
+     aggregated across the deployment's live replicas, one line per tick. *)
+  let stats_line d =
+    let slots, applied, busy, lag =
+      List.fold_left
+        (fun (sl, ap, bu, lg) (_, s) ->
+          let st = S.stats s in
+          ( sl + st.S.committed_slots,
+            ap + st.S.applied,
+            bu + st.S.busy_rejections,
+            max lg st.S.apply_lag ))
+        (0, 0, 0, 0) d.S.servers
+    in
+    let wal =
+      List.fold_left
+        (fun acc (_, s) ->
+          match (S.wal_stats s, acc) with
+          | None, acc -> acc
+          | Some w, None -> Some w
+          | Some w, Some (a : Dex_store.Wal.stats) ->
+            Some
+              {
+                Dex_store.Wal.appends = a.Dex_store.Wal.appends + w.Dex_store.Wal.appends;
+                fsyncs = a.Dex_store.Wal.fsyncs + w.Dex_store.Wal.fsyncs;
+                synced_records =
+                  a.Dex_store.Wal.synced_records + w.Dex_store.Wal.synced_records;
+                max_group = max a.Dex_store.Wal.max_group w.Dex_store.Wal.max_group;
+                bytes = a.Dex_store.Wal.bytes + w.Dex_store.Wal.bytes;
+                segments = a.Dex_store.Wal.segments + w.Dex_store.Wal.segments;
+              })
+        None d.S.servers
+    in
+    let ls = d.S.transport.Transport.link_stats () in
+    let wal_part =
+      match wal with
+      | None -> "wal off"
+      | Some w ->
+        Printf.sprintf "wal app=%d fsync=%d grp<=%d seg=%d %dKiB" w.Dex_store.Wal.appends
+          w.Dex_store.Wal.fsyncs w.Dex_store.Wal.max_group w.Dex_store.Wal.segments
+          (w.Dex_store.Wal.bytes / 1024)
+    in
+    Printf.printf "[stats] slots=%d applied=%d busy=%d lag=%d | %s | net reconn=%d backoff=%d drop=%d\n%!"
+      slots applied busy lag wal_part ls.Transport.reconnects ls.Transport.backoffs
+      ls.Transport.drops
+
   let serve opts =
     let d = launch opts in
-    Printf.printf "service up: n=%d t=%d uc=%s pair=%s\n" opts.n opts.t Uc.name
-      opts.pair_name;
+    Printf.printf "service up: n=%d t=%d uc=%s pair=%s durability=%s\n" opts.n opts.t Uc.name
+      opts.pair_name
+      (match opts.data_dir with Some dir -> dir | None -> "off");
     print_ports d;
+    let heartbeat = if opts.stats_every > 0.0 then opts.stats_every else 10.0 in
+    let report () = if opts.stats_every > 0.0 then stats_line d else print_stats d in
     if opts.duration > 0.0 then begin
-      Thread.delay opts.duration;
+      let rec wait left =
+        if left > 0.0 then begin
+          let step = Float.min heartbeat left in
+          Thread.delay step;
+          if left -. step > 0.0 then report ();
+          wait (left -. step)
+        end
+      in
+      wait opts.duration;
       print_stats d;
       S.shutdown d;
       `Ok ()
     end
     else begin
-      (* Run until killed, with a periodic stats heartbeat. *)
+      (* Run until killed, with a periodic heartbeat. *)
       while true do
-        Thread.delay 10.0;
-        print_stats d
+        Thread.delay heartbeat;
+        report ()
       done;
       `Ok ()
     end
@@ -126,6 +200,119 @@ module Run (Uc : Uc_intf.S) = struct
     else begin
       Printf.printf "smoke OK: %d ops committed, agreement clean, no duplicate applies\n"
         committed;
+      `Ok ()
+    end
+
+  let restart opts =
+    let data_dir =
+      match opts.data_dir with
+      | Some dir -> dir
+      | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "dex-restart-%d" (Unix.getpid ()))
+    in
+    let opts = { opts with data_dir = Some data_dir } in
+    if opts.kill < 0 || opts.kill >= opts.n then failwith "restart: --kill pid out of range";
+    if List.mem opts.kill opts.mute || List.mem opts.kill opts.equivocate then
+      failwith "restart: --kill must name a correct replica";
+    let d = launch opts in
+    Printf.printf
+      "restart smoke: n=%d t=%d uc=%s pair=%s data-dir=%s kill=%d down=%.1fs duration=%.1fs\n%!"
+      opts.n opts.t Uc.name opts.pair_name data_dir opts.kill opts.down opts.duration;
+    let report = ref None in
+    let loader =
+      Thread.create
+        (fun () ->
+          let client = Dex_service.Client.connect ~client:1 (List.map snd d.S.ports) in
+          report := Some (Dex_service.Client.Load.run ~duration:opts.duration client
+                            (fun _ -> Sm.Add ("k", 1)));
+          Dex_service.Client.close client)
+        ()
+    in
+    (* Crash mid-load, restart after [down] seconds of missed slots. *)
+    Thread.delay (opts.duration /. 3.0);
+    S.kill_replica d opts.kill;
+    Printf.printf "killed replica %d (WAL abandoned mid-flight)\n%!" opts.kill;
+    Thread.delay opts.down;
+    let restarted = S.restart_replica d opts.kill in
+    let at_restart = S.stats restarted in
+    Printf.printf "restarted replica %d: replayed %d slots from disk, catching up from slot %d\n%!"
+      opts.kill at_restart.S.recovered_slots (S.apply_frontier restarted);
+    Thread.join loader;
+    let report =
+      match !report with Some r -> r | None -> failwith "restart: load thread died"
+    in
+    Format.printf "%a@." Dex_service.Client.Load.pp_report report;
+    (* Convergence: every live replica (the restarted one included) must
+       settle on the same state digest. *)
+    let deadline = Unix.gettimeofday () +. 20.0 in
+    let converged () =
+      (not (S.catching_up restarted))
+      &&
+      match List.map (fun (_, s) -> S.state_digest s) d.S.servers with
+      | [] -> false
+      | digest :: rest -> List.for_all (fun dx -> dx = digest) rest
+    in
+    while (not (converged ())) && Unix.gettimeofday () < deadline do
+      Thread.delay 0.1
+    done;
+    let did_converge = converged () in
+    List.iter (fun (_, s) -> S.stop s) d.S.servers;
+    print_stats d;
+    let rstats = S.stats restarted in
+    Printf.printf "recovery: replayed=%d catchup=%d state-transfers=%d snapshots=%d\n%!"
+      rstats.S.recovered_slots rstats.S.catchup_installed rstats.S.state_transfers
+      rstats.S.snapshots;
+    let compared, violations = S.agreement_violations d in
+    Printf.printf "agreement: %d multiply-committed slots compared, %d violations\n%!" compared
+      (List.length violations);
+    let committed = report.Dex_service.Client.Load.committed in
+    let issued = report.Dex_service.Client.Load.issued in
+    let counter_of s =
+      match List.assoc_opt "k" (S.state_snapshot s) with Some v -> v | None -> 0
+    in
+    (* Every acknowledged commit is a distinct rid applied exactly once, so
+       each live replica's counter must cover all acked ops (no lost acks)
+       without exceeding what was issued (no duplicate applies). *)
+    let lost =
+      List.filter (fun (_, s) -> counter_of s < committed) d.S.servers
+    in
+    let overshoot = List.filter (fun (_, s) -> counter_of s > issued) d.S.servers in
+    Dex_runtime.Cluster.shutdown d.S.cluster;
+    if committed = 0 then `Error (false, "restart smoke failed: no commits")
+    else if violations <> [] then
+      `Error
+        (false, Printf.sprintf "restart smoke failed: %d agreement violations" (List.length violations))
+    else if not did_converge then
+      `Error
+        ( false,
+          Printf.sprintf "restart smoke failed: replica %d did not converge within 20s"
+            opts.kill )
+    else if lost <> [] then
+      `Error
+        ( false,
+          String.concat ", "
+            (List.map
+               (fun (p, s) ->
+                 Printf.sprintf
+                   "restart smoke failed: replica %d applied %d < %d acked commits (lost acks)"
+                   p (counter_of s) committed)
+               lost) )
+    else if overshoot <> [] then
+      `Error
+        ( false,
+          String.concat ", "
+            (List.map
+               (fun (p, s) ->
+                 Printf.sprintf
+                   "restart smoke failed: replica %d applied %d > issued %d (duplicate apply)"
+                   p (counter_of s) issued)
+               overshoot) )
+    else begin
+      Printf.printf
+        "restart smoke OK: %d ops committed, replica %d recovered (replay %d + catchup %d + xfer %d), digests converged, no lost acks, no duplicate applies\n"
+        committed opts.kill rstats.S.recovered_slots rstats.S.catchup_installed
+        rstats.S.state_transfers;
       `Ok ()
     end
 end
@@ -189,19 +376,54 @@ let opts_t ~default_n ~default_t ~default_duration ~default_mute =
   in
   let mute_t = pid_list_t [ "mute" ] "Comma-separated pids to run mute (crashed)." in
   let equivocate_t = pid_list_t [ "equivocate" ] "Comma-separated pids to run as equivocators." in
+  let data_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ]
+          ~doc:
+            "Enable the durability lane: per-replica WAL + snapshots under \
+             $(docv)/replica-<pid>, persist-before-reply, recovery on restart.")
+  in
+  let stats_every_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "stats" ]
+          ~doc:"Print a one-line service/WAL/link counter report every $(docv) seconds.")
+  in
+  let no_group_commit_t =
+    Arg.(
+      value & flag
+      & info [ "no-group-commit" ] ~doc:"Fsync the WAL inline on every applied slot.")
+  in
+  let snapshot_every_t =
+    Arg.(
+      value & opt int 4096
+      & info [ "snapshot-every" ] ~doc:"Snapshot cadence in applied slots.")
+  in
+  let kill_t =
+    Arg.(value & opt int 2 & info [ "kill" ] ~doc:"Replica to crash (restart command).")
+  in
+  let down_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "down" ] ~doc:"Seconds the crashed replica stays down (restart command).")
+  in
   let make n t pair_name seed window batch_delay settle batch_cap queue_cap port_base duration
-      mute equivocate =
-    (match default_mute with
-    | Some default when mute = [] && equivocate = [] ->
-      { n; t; pair_name; seed; window; batch_delay; settle; batch_cap; queue_cap; port_base;
-        duration; mute = default; equivocate }
-    | _ ->
-      { n; t; pair_name; seed; window; batch_delay; settle; batch_cap; queue_cap; port_base;
-        duration; mute; equivocate })
+      mute equivocate data_dir stats_every no_group_commit snapshot_every kill down =
+    let mute =
+      match default_mute with
+      | Some default when mute = [] && equivocate = [] -> default
+      | _ -> mute
+    in
+    { n; t; pair_name; seed; window; batch_delay; settle; batch_cap; queue_cap; port_base;
+      duration; mute; equivocate; data_dir; stats_every; group_commit = not no_group_commit;
+      snapshot_every; kill; down }
   in
   Term.(
     const make $ n_t $ t_t $ pair_t $ seed_t $ window_t $ batch_delay_t $ settle_t
-    $ batch_cap_t $ queue_cap_t $ port_base_t $ duration_t $ mute_t $ equivocate_t)
+    $ batch_cap_t $ queue_cap_t $ port_base_t $ duration_t $ mute_t $ equivocate_t
+    $ data_dir_t $ stats_every_t $ no_group_commit_t $ snapshot_every_t $ kill_t $ down_t)
 
 let uc_t =
   Arg.(value & opt string "oracle" & info [ "uc" ] ~doc:"Underlying consensus: oracle or leader.")
@@ -237,9 +459,28 @@ let smoke_cmd =
           application.")
     term
 
+let restart_cmd =
+  let action uc opts = dispatch (guard Run_oracle.restart) (guard Run_leader.restart) uc opts in
+  let term =
+    Term.(
+      ret
+        (const action
+        $ uc_t
+        $ opts_t ~default_n:4 ~default_t:0 ~default_duration:9.0 ~default_mute:None))
+  in
+  Cmd.v
+    (Cmd.info "restart"
+       ~doc:
+         "Durability gate: boot a durable deployment (default n=4 t=0), crash replica \
+          --kill mid-load (WAL abandoned), restart it after --down seconds, and fail \
+          unless it recovers, catches up to identical state, and the run shows zero \
+          agreement violations, zero lost acknowledged commits and zero duplicate \
+          applies.")
+    term
+
 let () =
   let info =
     Cmd.info "dex_server" ~version:"1.0.0"
       ~doc:"Replicated key-value service over the DEX log — server and CI smoke."
   in
-  exit (Cmd.eval (Cmd.group info [ serve_cmd; smoke_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; smoke_cmd; restart_cmd ]))

@@ -3,7 +3,12 @@ open Dex_net
 
 type decision = { value : Value.t; tag : string; wall : float }
 
-type 'msg node = { pid : Pid.t; instance : 'msg Protocol.instance }
+type 'msg node = {
+  pid : Pid.t;
+  mutable instance : 'msg Protocol.instance;
+  mutable alive : bool;  (** the node loop exits when this goes false *)
+  mutable thread : Thread.t option;
+}
 
 type 'msg t = {
   transport : 'msg Transport.t;
@@ -12,17 +17,17 @@ type 'msg t = {
   decisions : decision option array;
   decisions_mutex : Mutex.t;
   decided_cond : Condition.t;  (** signalled under [decisions_mutex] on every new decision *)
-  lifecycle_mutex : Mutex.t;  (** serializes start/shutdown transitions *)
-  mutable threads : Thread.t list;
+  lifecycle_mutex : Mutex.t;  (** serializes start/stop/shutdown transitions *)
   mutable running : bool;
   mutable started : bool;
   mutable epoch : float;
 }
 
 let create ~transport ~n ?(extra = []) make_instance =
+  let node pid instance = { pid; instance; alive = false; thread = None } in
   let nodes =
-    List.map (fun p -> { pid = p; instance = make_instance p }) (Pid.all ~n)
-    @ List.map (fun (pid, instance) -> { pid; instance }) extra
+    List.map (fun p -> node p (make_instance p)) (Pid.all ~n)
+    @ List.map (fun (pid, instance) -> node pid instance) extra
   in
   {
     transport;
@@ -32,7 +37,6 @@ let create ~transport ~n ?(extra = []) make_instance =
     decisions_mutex = Mutex.create ();
     decided_cond = Condition.create ();
     lifecycle_mutex = Mutex.create ();
-    threads = [];
     running = false;
     started = false;
     epoch = 0.0;
@@ -71,22 +75,66 @@ let handler t =
 
 let node_loop t node () =
   let handler = handler t in
-  Effects.execute handler ~self:node.pid ~depth:0 (node.instance.Protocol.start ());
-  while t.running do
+  (* Snapshot the instance: a restart installs a fresh one, and this loop —
+     about to exit on [alive = false] — must not process with it. *)
+  let instance = node.instance in
+  Effects.execute handler ~self:node.pid ~depth:0 (instance.Protocol.start ());
+  while t.running && node.alive do
     match t.transport.Transport.recv ~me:node.pid ~timeout:0.05 with
     | None -> ()
     | Some (from, msg) ->
       let now = Unix.gettimeofday () -. t.epoch in
       Effects.execute handler ~self:node.pid ~depth:0
-        (node.instance.Protocol.on_message ~now ~from msg)
+        (instance.Protocol.on_message ~now ~from msg)
   done
+
+let spawn_node t node =
+  node.alive <- true;
+  node.thread <- Some (Thread.create (node_loop t node) ())
 
 let start t =
   if t.started then invalid_arg "Cluster.start: already started";
   t.started <- true;
   t.running <- true;
   t.epoch <- Unix.gettimeofday ();
-  t.threads <- List.map (fun node -> Thread.create (node_loop t node) ()) t.nodes
+  List.iter (fun node -> spawn_node t node) t.nodes
+
+let find_node t pid =
+  match List.find_opt (fun node -> Pid.equal node.pid pid) t.nodes with
+  | Some node -> node
+  | None -> invalid_arg "Cluster: unknown pid"
+
+let stop_node t pid =
+  Mutex.lock t.lifecycle_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lifecycle_mutex)
+    (fun () ->
+      let node = find_node t pid in
+      if node.alive then begin
+        node.alive <- false;
+        Option.iter Thread.join node.thread;
+        node.thread <- None
+      end)
+
+let start_node t pid instance =
+  Mutex.lock t.lifecycle_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lifecycle_mutex)
+    (fun () ->
+      if not t.running then invalid_arg "Cluster.start_node: cluster not running";
+      let node = find_node t pid in
+      if node.alive then invalid_arg "Cluster.start_node: node is running";
+      (* Drain traffic that piled up at the endpoint while the node was
+         down: the new instance recovers out of band (snapshot + WAL + the
+         catch-up lane), so stale frames would only confuse it. *)
+      let rec drain () =
+        match t.transport.Transport.recv ~me:pid ~timeout:0.0 with
+        | Some _ -> drain ()
+        | None -> ()
+      in
+      drain ();
+      node.instance <- instance;
+      spawn_node t node)
 
 let decisions t =
   Mutex.lock t.decisions_mutex;
@@ -146,6 +194,10 @@ let shutdown t =
       if t.running then begin
         t.running <- false;
         t.transport.Transport.close ();
-        List.iter Thread.join t.threads;
-        t.threads <- []
+        List.iter
+          (fun node ->
+            Option.iter Thread.join node.thread;
+            node.thread <- None;
+            node.alive <- false)
+          t.nodes
       end)

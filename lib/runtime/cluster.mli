@@ -27,6 +27,21 @@ val create :
 val start : 'msg t -> unit
 (** Launch one thread per node and invoke every instance's [start]. *)
 
+val stop_node : 'msg t -> Pid.t -> unit
+(** Kill one node: its loop exits and its thread is joined, while its
+    transport endpoint stays up (peers keep their links; traffic for the
+    dead pid accumulates at the endpoint). The crash half of a single-node
+    restart. No-op if the node is already stopped.
+    @raise Invalid_argument on an unknown pid. *)
+
+val start_node : 'msg t -> Pid.t -> 'msg Protocol.instance -> unit
+(** Restart a stopped node with a {e fresh} instance (typically rebuilt from
+    durable state): drains traffic that accumulated at its endpoint while it
+    was down — the new instance is expected to recover out of band — then
+    spawns a new node loop, invoking the instance's [start].
+    @raise Invalid_argument on an unknown pid, a node that is still running,
+    or a cluster that is not running. *)
+
 val await : ?timeout:float -> ?among:Pid.t list -> 'msg t -> bool
 (** Block until every pid in [among] (default: all [n]) has decided, or the
     timeout (default 10 s) elapses; returns whether they all decided. The

@@ -2,11 +2,14 @@ open Dex_net
 
 open Dex_stdext
 
+type link_stats = { reconnects : int; backoffs : int; drops : int }
+
 type 'msg t = {
   send : src:Pid.t -> dst:Pid.t -> 'msg -> unit;
   recv : me:Pid.t -> timeout:float -> (Pid.t * 'msg) option;
   close : unit -> unit;
   drop_count : dst:Pid.t -> int;
+  link_stats : unit -> link_stats;
 }
 
 (* Per-destination counters of messages abandoned by [send]. *)
@@ -23,6 +26,12 @@ module Drops = struct
   let count t dst =
     Mutex.lock t.mutex;
     let n = Option.value ~default:0 (Hashtbl.find_opt t.counts dst) in
+    Mutex.unlock t.mutex;
+    n
+
+  let total t =
+    Mutex.lock t.mutex;
+    let n = Hashtbl.fold (fun _ c acc -> acc + c) t.counts 0 in
     Mutex.unlock t.mutex;
     n
 end
@@ -61,7 +70,15 @@ module Mem = struct
       | Some box -> Mailbox.pop ~timeout box
     in
     let close () = Hashtbl.iter (fun _ box -> Mailbox.close box) boxes in
-    { send; recv; close; drop_count = (fun ~dst -> Drops.count drops dst) }
+    {
+      send;
+      recv;
+      close;
+      drop_count = (fun ~dst -> Drops.count drops dst);
+      link_stats =
+        (* No connections to lose in-process: only drops are meaningful. *)
+        (fun () -> { reconnects = 0; backoffs = 0; drops = Drops.total drops });
+    }
 end
 
 (* Shared TCP machinery, parameterized by the frame format. *)
@@ -85,6 +102,12 @@ module Tcp_generic = struct
     let conns_mutex = Mutex.create () in
     let drops = Drops.create () in
     let closed = ref false in
+    (* Link-health counters: connects beyond the first per (src, dst) pair
+       are reconnects; every retry sleep in [send] is a backoff. *)
+    let stats_mutex = Mutex.create () in
+    let reconnects = ref 0 in
+    let backoffs = ref 0 in
+    let ever_connected : (Pid.t * Pid.t, unit) Hashtbl.t = Hashtbl.create 16 in
 
     (* Reader: one thread per accepted connection; frames carry the claimed
        source pid. A malformed frame kills only this connection — the peer
@@ -144,6 +167,10 @@ module Tcp_generic = struct
              let oc = Unix.out_channel_of_descr sock in
              let entry = (oc, Mutex.create ()) in
              Hashtbl.replace conns (src, dst) entry;
+             Mutex.lock stats_mutex;
+             if Hashtbl.mem ever_connected (src, dst) then incr reconnects
+             else Hashtbl.replace ever_connected (src, dst) ();
+             Mutex.unlock stats_mutex;
              Some entry
            with Unix.Unix_error _ ->
              (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -191,6 +218,9 @@ module Tcp_generic = struct
             in
             if not sent then
               if k < Array.length retry_backoffs then begin
+                Mutex.lock stats_mutex;
+                incr backoffs;
+                Mutex.unlock stats_mutex;
                 Thread.delay retry_backoffs.(k);
                 attempt (k + 1)
               end
@@ -206,8 +236,14 @@ module Tcp_generic = struct
     let close () =
       if not !closed then begin
         closed := true;
+        (* Shut the listeners down before closing: a thread blocked in
+           [accept] holds the open file description alive past [close], so
+           the port would accept one more connection; [shutdown] wakes it
+           immediately and refuses new connects. *)
         Hashtbl.iter
-          (fun _ sock -> try Unix.close sock with Unix.Unix_error _ -> ())
+          (fun _ sock ->
+            (try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+            try Unix.close sock with Unix.Unix_error _ -> ())
           listeners;
         Mutex.lock conns_mutex;
         Hashtbl.iter
@@ -217,7 +253,13 @@ module Tcp_generic = struct
         Hashtbl.iter (fun _ box -> Mailbox.close box) boxes
       end
     in
-    { send; recv; close; drop_count = (fun ~dst -> Drops.count drops dst) }
+    let link_stats () =
+      Mutex.lock stats_mutex;
+      let r = !reconnects and b = !backoffs in
+      Mutex.unlock stats_mutex;
+      { reconnects = r; backoffs = b; drops = Drops.total drops }
+    in
+    { send; recv; close; drop_count = (fun ~dst -> Drops.count drops dst); link_stats }
 end
 
 module Tcp = struct

@@ -15,6 +15,14 @@ open Dex_net
     The runtime drives the same [Protocol.instance] values as the simulator:
     code under test is identical, only the scheduler differs. *)
 
+type link_stats = {
+  reconnects : int;
+      (** TCP connects beyond the first per (src, dst) pair — each one means
+          an established link was observed broken and rebuilt *)
+  backoffs : int;  (** retry sleeps taken by [send] before re-attempting *)
+  drops : int;  (** total messages abandoned, all destinations *)
+}
+
 type 'msg t = {
   send : src:Pid.t -> dst:Pid.t -> 'msg -> unit;
       (** asynchronous, best-effort once endpoints are up. TCP sends that
@@ -29,6 +37,9 @@ type 'msg t = {
           exhausting the retry budget, or immediately for unknown
           destinations) — exposed so tests and operators can observe silent
           loss *)
+  link_stats : unit -> link_stats;
+      (** link-health counters since creation; {!Mem} reports zero
+          reconnects/backoffs (there are no connections to lose) *)
 }
 
 module Mem : sig

@@ -1,6 +1,6 @@
 (** The replicated service: client requests in, state-machine replies out.
 
-    Each replica couples three layers:
+    Each replica couples four layers:
 
     - a {!Dex_smr.Replicated_log} replica (under [`On_demand] activation)
       ordering {e batch digests} — the consensus side;
@@ -15,7 +15,27 @@
       over a peer fetch lane with retry), applied to the
       {!State_machine} in slot order exactly once per [(client, rid)]
       (session-table dedupe), and answered to the originating client with
-      the slot and decision provenance.
+      the slot and decision provenance;
+    - a durability lane (enabled by [config.data_dir]): every applied slot
+      is logged to a checksummed {!Dex_store.Wal} {e before} its replies are
+      released (persist-before-reply, with group commit batching the
+      fsyncs), the state machine is snapshotted periodically
+      ({!Dex_store.Snapshot}), and a restarted replica recovers
+      snapshot+WAL, catches up missed slots over a peer lane, and only then
+      re-admits client traffic.
+
+    {b Catch-up lane:} a recovering replica broadcasts [Catch_up frontier];
+    peers answer with [Slot_commit] votes (slot, digest, provenance, and the
+    batch content) drawn from their commit logs. A slot installs once [t+1]
+    distinct peers vote for the same digest (and the content rehashes to
+    it), so no coalition of at most [t] Byzantine replicas can feed the
+    recovering replica a forged history. Peers that have retired the
+    requested history ([commit_log_cap] truncation, or batch content GC'd
+    past [retain]) answer [Truncated], steering the requester to snapshot
+    transfer: [Snapshot_fetch] / [Snapshot_payload], installed under the
+    same [t+1] matching-votes rule (snapshot cadence boundaries and payload
+    encoding are deterministic, so correct replicas hold byte-identical
+    snapshots for the same slot).
 
     {b External validity caveat:} the log orders digests, and a committed
     digest no correct replica can resolve stalls the apply loop behind it
@@ -30,6 +50,7 @@ open Dex_net
 open Dex_underlying
 open Dex_smr
 open Dex_runtime
+open Dex_store
 
 type role = Correct | Mute | Equivocator
 
@@ -37,9 +58,11 @@ module Make (Uc : Uc_intf.S) : sig
   module Log : module type of Replicated_log.Make (Uc)
 
   type smsg
-  (** Replica-to-replica traffic: log messages, plus the batch fetch lane
-      ([Fetch digest] / [Batch_payload]). Payload content is rehashed on
-      receipt — a forged payload is dropped, never stored. *)
+  (** Replica-to-replica traffic: log messages, the batch fetch lane
+      ([Fetch] / [Batch_payload] / [Truncated]), and the catch-up lane
+      ([Catch_up] / [Slot_commit] / [Catch_up_done] / [Snapshot_fetch] /
+      [Snapshot_payload]). Payload content is rehashed on receipt — a forged
+      payload is dropped, never stored. *)
 
   val smsg_codec : smsg Dex_codec.Codec.t
 
@@ -63,8 +86,27 @@ module Make (Uc : Uc_intf.S) : sig
     retain : int;  (** log + batch-store retirement margin, in slots *)
     commit_log_cap : int;
         (** newest commit-log entries kept for {!commit_log} / agreement
-            checks; older entries are discarded so a long-lived server does
-            not grow without bound *)
+            checks / the catch-up lane; older entries are discarded so a
+            long-lived server does not grow without bound. A replica asked
+            to serve history below the truncation floor answers [Truncated]
+            and offers snapshot transfer instead. *)
+    data_dir : string option;
+        (** durability switch: [Some base] persists each replica under
+            [base/replica-<pid>] (WAL + snapshots) and enables
+            persist-before-reply and recovery; [None] (the default) runs the
+            service purely in memory, as before *)
+    wal_segment_bytes : int;  (** WAL segment rotation threshold *)
+    group_commit : bool;
+        (** batch WAL fsyncs on a background syncer ([true], the default);
+            [false] fsyncs inline on every applied slot *)
+    sync_delay : float;  (** group-commit latency cap (seconds) *)
+    sync_cap : int;  (** group-commit size cap (records per fsync group) *)
+    snapshot_every : int;  (** snapshot cadence, in applied slots *)
+    catchup_cap : int;  (** max slots served per catch-up round *)
+    catchup_retry : float;  (** catch-up re-broadcast period *)
+    catchup_grace : float;
+        (** catch-up gives up waiting for peer confirmations after this many
+            seconds and rejoins anyway (progress over completeness) *)
   }
 
   val config :
@@ -78,6 +120,15 @@ module Make (Uc : Uc_intf.S) : sig
     ?fetch_retry:float ->
     ?retain:int ->
     ?commit_log_cap:int ->
+    ?data_dir:string ->
+    ?wal_segment_bytes:int ->
+    ?group_commit:bool ->
+    ?sync_delay:float ->
+    ?sync_cap:int ->
+    ?snapshot_every:int ->
+    ?catchup_cap:int ->
+    ?catchup_retry:float ->
+    ?catchup_grace:float ->
     pair:(int -> Dex_condition.Pair.t) ->
     n:int ->
     t:int ->
@@ -85,7 +136,10 @@ module Make (Uc : Uc_intf.S) : sig
     config
   (** Defaults: [window 8], [slots 2^20], [batch_cap 256],
       [batch_delay 4ms], [settle 2ms], [queue_cap 4096], [fetch_retry 50ms],
-      [retain 256], [commit_log_cap 2^16].
+      [retain 256], [commit_log_cap 2^16]; durability off ([data_dir None]),
+      and when on: [wal_segment_bytes 4MiB], [group_commit true],
+      [sync_delay 1ms], [sync_cap 64], [snapshot_every 4096],
+      [catchup_cap 256], [catchup_retry 50ms], [catchup_grace 5s].
       @raise Invalid_argument on nonsensical values (see the checks). *)
 
   type t
@@ -102,13 +156,24 @@ module Make (Uc : Uc_intf.S) : sig
     busy_rejections : int;
     fetches : int;  (** distinct digests that needed the fetch lane *)
     backlog : int;  (** pending requests right now *)
-    apply_lag : int;  (** committed non-empty slots not yet applied *)
+    apply_lag : int;  (** committed slots not yet applied *)
+    recovered_slots : int;  (** slots replayed from snapshot+WAL at startup *)
+    catchup_installed : int;  (** slots installed over the peer catch-up lane *)
+    state_transfers : int;  (** peer snapshots installed *)
+    snapshots : int;  (** local snapshots installed *)
   }
 
-  val replica : config -> me:Pid.t -> transport:smsg Transport.t -> t * smsg Protocol.instance
+  val replica :
+    ?catchup:bool -> config -> me:Pid.t -> transport:smsg Transport.t -> t * smsg Protocol.instance
   (** The consensus-side node. Mount the instance in a {!Dex_runtime.Cluster}
       (or drive it by hand in tests); the transport handle is used by the
-      service threads for self-addressed control messages. *)
+      service threads for self-addressed control messages.
+
+      With [config.data_dir] set, the replica first recovers from its data
+      directory (newest valid snapshot, then WAL replay). [catchup] forces
+      the peer catch-up phase on ([true]) or off ([false]); the default runs
+      it exactly when recovery found prior durable state. While catching up
+      the replica answers clients [Busy] and proposes nothing. *)
 
   val start_service : ?port:int -> t -> int
   (** Bind the client-facing listener on loopback ([port = 0] picks an
@@ -119,10 +184,27 @@ module Make (Uc : Uc_intf.S) : sig
   val service_port : t -> int option
 
   val stop : t -> unit
-  (** Stop service threads and close client connections. Idempotent. Does not
-      touch the consensus side — shut the cluster down separately. *)
+  (** Clean stop: service threads down, client connections closed, then a
+      final WAL sync and close. Idempotent. Does not touch the consensus
+      side — shut the cluster down separately. *)
+
+  val crash : t -> unit
+  (** Crash-stop: like {!stop} but the WAL is {e abandoned} — no final flush
+      or fsync, exactly what a power cut leaves behind. Pair with a
+      subsequent {!replica} over the same data dir to exercise recovery. *)
 
   val stats : t -> stats
+
+  val wal_stats : t -> Wal.stats option
+  (** The durability lane's WAL counters ([None] when durability is off). *)
+
+  val durable_lsn : t -> int
+  (** The WAL durable watermark (0 when durability is off). *)
+
+  val catching_up : t -> bool
+
+  val apply_frontier : t -> int
+  (** First slot not yet applied. *)
 
   val commit_log : t -> (int * int * Dex_core.Dex.provenance) list
   (** [(slot, digest, provenance)] in commit order — the raw material for
@@ -141,7 +223,8 @@ module Make (Uc : Uc_intf.S) : sig
       per slot, half the peers see the digest of a synthetic chaff batch,
       the other half the empty digest, on both decision lanes. It answers
       fetches for its chaff, so slots it wins still resolve (the external
-      validity assumption above). *)
+      validity assumption above). It never answers the catch-up or snapshot
+      lanes — which the [t+1] vote rule absorbs. *)
 
   (** {2 Loopback deployments}
 
@@ -153,8 +236,9 @@ module Make (Uc : Uc_intf.S) : sig
     dcfg : config;
     cluster : smsg Cluster.t;
     transport : smsg Transport.t;
-    servers : (Pid.t * t) list;  (** correct replicas only *)
+    mutable servers : (Pid.t * t) list;  (** live correct replicas *)
     ports : (Pid.t * int) list;  (** their client-facing service ports *)
+    mutable dead : (Pid.t * t) list;  (** replicas taken down by {!kill_replica} *)
   }
 
   val launch : ?roles:(Pid.t -> role) -> ?port_base:int -> config -> deployment
@@ -163,11 +247,26 @@ module Make (Uc : Uc_intf.S) : sig
       naturally. [port_base > 0] gives the [i]-th correct replica service
       port [port_base + i]; the default (0) picks ephemeral ports. *)
 
+  val kill_replica : deployment -> Pid.t -> unit
+  (** Crash one correct replica: its consensus loop stops, its service
+      sockets close, and its WAL is abandoned mid-flight ({!crash}). Its
+      transport endpoint stays up. The pre-crash commit log is retained for
+      {!agreement_violations}.
+      @raise Invalid_argument if [pid] is not a live correct replica. *)
+
+  val restart_replica : deployment -> Pid.t -> t
+  (** Restart a killed replica: a fresh {!replica} recovers from the same
+      data dir, rejoins the cluster on the same endpoint and service port,
+      and runs peer catch-up before re-admitting clients.
+      @raise Invalid_argument if [pid] was not killed, or is running. *)
+
   val shutdown : deployment -> unit
 
   val agreement_violations : deployment -> int * (int * (Pid.t * int) list) list
   (** [(compared, violations)]: for every slot committed by at least two
-      correct replicas, check the committed digests agree. [compared] counts
-      multiply-committed slots; each violation lists the disagreeing
-      [(replica, digest)] entries. Correctness target: [violations = []]. *)
+      correct replicas — killed replicas' logs included, so a slot
+      acknowledged before a crash is held against the survivors — check the
+      committed digests agree. [compared] counts multiply-committed slots;
+      each violation lists the disagreeing [(replica, digest)] entries.
+      Correctness target: [violations = []]. *)
 end

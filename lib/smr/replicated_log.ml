@@ -9,12 +9,16 @@ module Make (Uc : Uc_intf.S) = struct
   type msg =
     | Slot of { slot : int; payload : D.msg }
     | Release of int
+    | Skip of int
 
   let release upto = Release upto
+
+  let skip upto = Skip upto
 
   let pp_msg ppf = function
     | Slot { slot; payload } -> Format.fprintf ppf "[slot %d] %a" slot D.pp_msg payload
     | Release upto -> Format.fprintf ppf "[release <%d]" upto
+    | Skip upto -> Format.fprintf ppf "[skip <%d]" upto
 
   let codec =
     let open Dex_codec.Codec in
@@ -25,13 +29,15 @@ module Make (Uc : Uc_intf.S) = struct
             fun buf ->
               int.write buf slot;
               D.codec.write buf payload )
-        | Release upto -> (1, fun buf -> int.write buf upto))
+        | Release upto -> (1, fun buf -> int.write buf upto)
+        | Skip upto -> (2, fun buf -> int.write buf upto))
       (fun tag r ->
         match tag with
         | 0 ->
           let slot = int.read r in
           Slot { slot; payload = D.codec.read r }
         | 1 -> Release (int.read r)
+        | 2 -> Skip (int.read r)
         | other -> bad_tag ~name:"Replicated_log.msg" other)
 
   type config = {
@@ -57,21 +63,26 @@ module Make (Uc : Uc_intf.S) = struct
   let wrap_payload slot actions =
     Protocol.map_actions (fun payload -> Slot { slot; payload }) actions
 
-  let replica ?(activation = `Eager) ?(retain = 64) cfg ~me ~propose ~on_commit =
+  let replica ?(activation = `Eager) ?(retain = 64) ?(base = 0) cfg ~me ~propose ~on_commit =
     if retain < 1 then invalid_arg "Replicated_log.replica: retain must be >= 1";
+    if base < 0 || base > cfg.slots then
+      invalid_arg "Replicated_log.replica: base out of range";
     let instances : (int, D.msg Protocol.instance) Hashtbl.t = Hashtbl.create 16 in
     let started : (int, unit) Hashtbl.t = Hashtbl.create 16 in
     let decided : (int, Value.t * string) Hashtbl.t = Hashtbl.create 16 in
     (* Slots touched by remote traffic before they were admitted; admitted on
        the next activation sweep once the window reaches them. *)
     let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-    let commits = ref 0 in
+    (* [base] is the first unstable slot of a recovered replica: slots below
+       it were already committed (and persisted) in a previous life, so the
+       log neither runs nor reports them again. *)
+    let commits = ref base in
     (* [On_demand]: slots < released may start without remote traffic (the
        application has proposals for them). [Eager] releases everything. *)
-    let released = ref (match activation with `Eager -> cfg.slots | `On_demand -> 0) in
+    let released = ref (match activation with `Eager -> cfg.slots | `On_demand -> base) in
     (* All slots < low are started (or committed without a local start);
        the activation sweep never has to look below it. *)
-    let low = ref 0 in
+    let low = ref base in
 
     let instance_of slot =
       match Hashtbl.find_opt instances slot with
@@ -156,6 +167,27 @@ module Make (Uc : Uc_intf.S) = struct
           activate ()
         end
         else []
+      | Skip upto ->
+        (* Local control traffic: a recovered replica self-sends [skip] after
+           installing slots through the catch-up lane, fast-forwarding the
+           commit frontier without re-running (or re-reporting) those slots.
+           Only honoured from ourselves — a forged skip from a peer could
+           silence commits. *)
+        if Pid.equal from me && upto > !commits then begin
+          let upto = min upto cfg.slots in
+          while !commits < upto do
+            let slot = !commits in
+            incr commits;
+            Hashtbl.replace started slot ();
+            Hashtbl.remove decided slot;
+            Hashtbl.remove seen slot;
+            Hashtbl.remove instances (slot - retain)
+          done;
+          (* Slots beyond the skip point that decided passively while we
+             lagged can flush now. *)
+          flush_commits ()
+        end
+        else []
       | Slot { slot; payload } ->
         if slot < 0 || slot >= cfg.slots || slot < !commits - retain then []
         else begin
@@ -193,7 +225,7 @@ module Make (Uc : Uc_intf.S) = struct
     let start () = [] in
     let on_message ~now ~from m =
       match m with
-      | Release _ -> []
+      | Release _ | Skip _ -> []
       | Slot { slot; payload } ->
         if slot < 0 || slot >= cfg.slots then []
         else
@@ -234,7 +266,7 @@ module Make (Uc : Uc_intf.S) = struct
     let start () = [] in
     let on_message ~now ~from m =
       match m with
-      | Release _ -> []
+      | Release _ | Skip _ -> []
       | Slot { slot; payload } ->
         if slot < 0 || slot >= cfg.slots then []
         else

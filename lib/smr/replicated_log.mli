@@ -50,6 +50,17 @@ module Make (Uc : Uc_intf.S) : sig
       start under [`On_demand] activation. Monotonic: lower or equal values
       are no-ops. Ignored unless it arrives from the replica's own pid. *)
 
+  val skip : int -> msg
+  (** [skip upto] is a control message a replica sends {e to itself} to
+      fast-forward the commit frontier past slots [0 .. upto-1] without
+      running them and without firing [on_commit] for them — the caller
+      installed their outcomes out of band (crash recovery catches up missed
+      slots through the service-level fetch lane, then skips the log past
+      them). Slots beyond [upto] that decided passively while the replica
+      lagged flush through [on_commit] immediately. Monotonic, and ignored
+      unless it arrives from the replica's own pid — a forged skip from a
+      peer could silence commits. *)
+
   type config = {
     pair : int -> Pair.t;  (** condition pair per slot (usually constant) *)
     n : int;
@@ -68,6 +79,7 @@ module Make (Uc : Uc_intf.S) : sig
   val replica :
     ?activation:[ `Eager | `On_demand ] ->
     ?retain:int ->
+    ?base:int ->
     config ->
     me:Pid.t ->
     propose:(slot:int -> Value.t) ->
@@ -88,7 +100,13 @@ module Make (Uc : Uc_intf.S) : sig
       already decided everywhere they can matter on a reliable transport;
       the margin only needs to cover transport skew, so keep it comfortably
       above [window].
-      @raise Invalid_argument if [retain < 1]. *)
+
+      [base] (default 0) is the first unstable slot of a recovered replica:
+      slots below it were committed and persisted in a previous life, so the
+      log starts its frontier there — it neither runs nor reports them, and
+      straggler traffic for them is dropped at the retention floor.
+      @raise Invalid_argument if [retain < 1] or [base] is outside
+      [0 .. slots]. *)
 
   val extra : config -> (Pid.t * msg Protocol.instance) list
   (** UC auxiliary nodes for {e all} slots, as lazily-populating per-pid

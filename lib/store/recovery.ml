@@ -1,0 +1,19 @@
+type t = {
+  snapshot : (int * string) option;
+  wal : Wal.t;
+  entries : string list;
+  torn : bool;
+  replay_ms : float;
+}
+
+let run ?segment_bytes ~dir () =
+  Wal.mkdir_p dir;
+  let snapshot = Snapshot.load_latest ~dir in
+  let opened = Wal.open_ ?segment_bytes dir in
+  {
+    snapshot;
+    wal = opened.Wal.wal;
+    entries = opened.Wal.entries;
+    torn = opened.Wal.torn;
+    replay_ms = opened.Wal.replay_ms;
+  }

@@ -1,0 +1,21 @@
+(** Restart-time recovery: newest valid snapshot + surviving WAL prefix.
+
+    One call gathers everything a replica needs to rebuild its state after a
+    crash: the newest installed {!Snapshot} (if any) and the valid prefix of
+    the {!Wal}, opened and ready for new appends. Interpreting the payloads
+    (decoding commit records, filtering those the snapshot already covers,
+    re-applying to the state machine) is the caller's business — the store
+    layer never looks inside a payload. *)
+
+type t = {
+  snapshot : (int * string) option;  (** newest valid snapshot: slot, payload *)
+  wal : Wal.t;  (** open for appends, positioned after the valid prefix *)
+  entries : string list;  (** surviving WAL records, lsn order *)
+  torn : bool;  (** the WAL tail was cut (torn/corrupt record) *)
+  replay_ms : float;  (** wall time spent scanning the WAL *)
+}
+
+val run : ?segment_bytes:int -> dir:string -> unit -> t
+(** Load from [dir] (created if missing). Note the WAL [entries] may begin
+    {e before} the snapshot slot — WAL truncation is segment-granular — so
+    callers must skip records the snapshot already covers. *)

@@ -1,0 +1,87 @@
+(* Snapshot file [snap-<slot>.snap]:
+     8-byte magic "DEXSNAP1"
+     8-byte BE slot
+     4-byte BE payload length | 8-byte BE FNV-64 of payload | payload
+   The slot is stored both in the filename (for cheap newest-first listing)
+   and the header (so a renamed file cannot lie about its coverage). *)
+
+let magic = "DEXSNAP1"
+
+let magic_len = String.length magic
+
+let snap_file slot = Printf.sprintf "snap-%012d.snap" slot
+
+let parse_snap name =
+  if String.length name = 22 && String.sub name 0 5 = "snap-" && Filename.check_suffix name ".snap"
+  then int_of_string_opt (String.sub name 5 12)
+  else None
+
+let install ?(keep = 2) ~dir ~slot payload =
+  Wal.mkdir_p dir;
+  let final = Filename.concat dir (snap_file slot) in
+  let tmp = final ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let oc = Unix.out_channel_of_descr fd in
+      let buf = Buffer.create (magic_len + 20 + String.length payload) in
+      Buffer.add_string buf magic;
+      Buffer.add_int64_be buf (Int64.of_int slot);
+      Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+      Buffer.add_int64_be buf (Int64.of_int (Wal.fnv64 payload));
+      Buffer.add_string buf payload;
+      Buffer.output_buffer oc buf;
+      flush oc;
+      Unix.fsync fd);
+  Unix.rename tmp final;
+  Wal.fsync_dir dir;
+  (* Retire all but the [keep] newest snapshots, and any tmp left behind by
+     an interrupted install. *)
+  let names = Array.to_list (Sys.readdir dir) in
+  let snaps = List.filter_map parse_snap names |> List.sort (fun a b -> compare b a) in
+  let stale = List.filteri (fun i _ -> i >= keep) snaps in
+  List.iter
+    (fun s -> try Sys.remove (Filename.concat dir (snap_file s)) with Sys_error _ -> ())
+    stale;
+  List.iter
+    (fun name ->
+      if Filename.check_suffix name ".tmp" then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    names
+
+let load_one path slot =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        let hdr = really_input_string ic magic_len in
+        if hdr <> magic then None
+        else begin
+          let meta = Bytes.create 20 in
+          really_input ic meta 0 20;
+          let stored_slot = Int64.to_int (Bytes.get_int64_be meta 0) in
+          let len = Int32.to_int (Bytes.get_int32_be meta 8) in
+          let sum = Int64.to_int (Bytes.get_int64_be meta 12) in
+          if stored_slot <> slot || len < 0 || len > 256 * 1024 * 1024 then None
+          else begin
+            let payload = really_input_string ic len in
+            if Wal.fnv64 payload = sum then Some payload else None
+          end
+        end
+      with End_of_file | Sys_error _ -> None)
+
+let load_latest ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | names ->
+    let slots =
+      Array.to_list names |> List.filter_map parse_snap |> List.sort (fun a b -> compare b a)
+    in
+    List.find_map
+      (fun slot ->
+        match load_one (Filename.concat dir (snap_file slot)) slot with
+        | Some payload -> Some (slot, payload)
+        | None -> None)
+      slots

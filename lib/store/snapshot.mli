@@ -1,0 +1,24 @@
+(** Atomically-installed, checksummed state snapshots.
+
+    A snapshot is an opaque payload (the caller encodes its state machine,
+    session table, …) bound to the log slot it covers: "this payload is the
+    state after applying every slot below [slot]". Installation is
+    crash-atomic: the payload is written and fsynced to [snap-<slot>.tmp],
+    then renamed to [snap-<slot>.snap] and the directory fsynced — a crash
+    between the two leaves a stray [.tmp] that {!load_latest} ignores, never
+    a half-valid snapshot.
+
+    Snapshots and the {!Wal} share a directory per replica: after an
+    install, the WAL prefix below the snapshot slot is redundant and can be
+    dropped ({!Wal.truncate_below}). *)
+
+val install : ?keep:int -> dir:string -> slot:int -> string -> unit
+(** Write the payload for [slot], durably and atomically, then delete all
+    but the [keep] (default 2) newest snapshots and any stray [.tmp] files.
+    @raise Sys_error / [Unix.Unix_error] on filesystem failure. *)
+
+val load_latest : dir:string -> (int * string) option
+(** The newest snapshot whose checksum validates, with its slot. Corrupt or
+    torn snapshot files are skipped (the next-newest is tried), never
+    deleted — diagnosis beats tidiness on the recovery path. [None] when the
+    directory has no usable snapshot (or does not exist). *)

@@ -1,0 +1,412 @@
+(* Segmented checksummed write-ahead log. See the interface for the
+   contract; the notes here are about the on-disk format and crash cases.
+
+   Segment file [wal-<first-lsn>.seg]:
+     8-byte magic "DEXWAL1\n"
+     records: 4-byte BE payload length | 8-byte BE FNV-64 of payload | payload
+
+   Lsns are implicit (1-based, contiguous across segments): a segment's
+   records are numbered from the lsn in its filename, so recovery needs no
+   per-record header beyond the frame. A crash can leave (a) a partial
+   record at the tail of the newest segment (torn write), (b) a segment cut
+   short (lost tail), or (c) a flipped byte mid-segment (checksum mismatch).
+   All three truncate the log at the last valid record; anything after a cut
+   — including whole later segments — is unreachable by replay and is
+   deleted, so the surviving prefix is exactly what recovery replays. *)
+
+let magic = "DEXWAL1\n"
+
+let magic_len = String.length magic
+
+let max_record = 16 * 1024 * 1024
+
+let fnv64 s =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+  !h
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && dir <> "" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let seg_path dir first = Filename.concat dir (Printf.sprintf "wal-%012d.seg" first)
+
+let parse_seg name =
+  if String.length name = 20 && String.sub name 0 4 = "wal-" && Filename.check_suffix name ".seg"
+  then int_of_string_opt (String.sub name 4 12)
+  else None
+
+type stats = {
+  appends : int;
+  fsyncs : int;
+  synced_records : int;
+  max_group : int;
+  bytes : int;
+  segments : int;
+}
+
+type t = {
+  dir : string;
+  segment_bytes : int;
+  lock : Mutex.t;
+  mutable fd : Unix.file_descr;
+  mutable oc : out_channel;
+  mutable seg_size : int;  (* bytes in the active segment, header included *)
+  mutable segments : (int * string) list;  (* (first lsn, path), oldest first *)
+  mutable next_lsn : int;
+  mutable durable : int;
+  mutable closed : bool;
+  mutable appends : int;
+  mutable fsyncs : int;
+  mutable synced_records : int;
+  mutable max_group : int;
+  mutable bytes : int;
+}
+
+type opened = {
+  wal : t;
+  entries : string list;
+  next_lsn : int;
+  torn : bool;
+  replay_ms : float;
+}
+
+let write_record oc payload =
+  let buf = Buffer.create (12 + String.length payload) in
+  Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+  Buffer.add_int64_be buf (Int64.of_int (fnv64 payload));
+  Buffer.add_string buf payload;
+  Buffer.output_buffer oc buf
+
+(* The valid prefix of one segment: payloads in order, the byte offset just
+   past the last valid record, and whether the file ended cleanly. *)
+let scan_segment path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let header_ok =
+        size >= magic_len
+        &&
+        let hdr = really_input_string ic magic_len in
+        hdr = magic
+      in
+      if not header_ok then ([], 0, false)
+      else begin
+        let entries = ref [] in
+        let off = ref magic_len in
+        let clean = ref true in
+        let frame = Bytes.create 12 in
+        (try
+           while !off < size do
+             really_input ic frame 0 12;
+             let len = Int32.to_int (Bytes.get_int32_be frame 0) in
+             let sum = Int64.to_int (Bytes.get_int64_be frame 4) in
+             if len < 0 || len > max_record then raise Exit;
+             let payload = really_input_string ic len in
+             if fnv64 payload <> sum then raise Exit;
+             entries := payload :: !entries;
+             off := !off + 12 + len
+           done
+         with End_of_file | Exit -> clean := false);
+        (List.rev !entries, !off, !clean)
+      end)
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.ftruncate fd len;
+      Unix.fsync fd)
+
+let fresh_segment dir first =
+  let path = seg_path dir first in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc magic;
+  flush oc;
+  fsync_dir dir;
+  (fd, oc, path)
+
+let open_ ?(segment_bytes = 4 * 1024 * 1024) dir =
+  let t0 = Unix.gettimeofday () in
+  mkdir_p dir;
+  let on_disk =
+    Sys.readdir dir |> Array.to_list |> List.filter_map parse_seg |> List.sort compare
+  in
+  let first_lsn = match on_disk with [] -> 1 | f :: _ -> f in
+  let entries = ref [] in
+  let expected = ref first_lsn in
+  let torn = ref false in
+  let cut = ref false in
+  let kept = ref [] in  (* (first, path, valid size), newest first *)
+  List.iter
+    (fun first ->
+      let path = seg_path dir first in
+      if !cut || first <> !expected then begin
+        (* After a cut — or a hole in the lsn chain — later records are not
+           part of any replayable prefix: delete them. *)
+        cut := true;
+        torn := true;
+        Sys.remove path
+      end
+      else begin
+        let es, off, clean = scan_segment path in
+        entries := List.rev_append es !entries;
+        expected := !expected + List.length es;
+        if clean then kept := (first, path, off) :: !kept
+        else begin
+          cut := true;
+          torn := true;
+          if es = [] then Sys.remove path
+          else begin
+            truncate_file path off;
+            kept := (first, path, off) :: !kept
+          end
+        end
+      end)
+    on_disk;
+  let next_lsn = !expected in
+  let fd, oc, seg_size, segments =
+    match !kept with
+    | (_first, path, valid) :: _ ->
+      (* Reopen the newest surviving segment for appends, dropping any
+         trailing garbage past the valid prefix first. *)
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      Unix.ftruncate fd valid;
+      ignore (Unix.lseek fd 0 Unix.SEEK_END);
+      let oc = Unix.out_channel_of_descr fd in
+      (fd, oc, valid, List.rev_map (fun (f, p, _) -> (f, p)) !kept)
+    | [] ->
+      let fd, oc, path = fresh_segment dir next_lsn in
+      (fd, oc, magic_len, [ (next_lsn, path) ])
+  in
+  let wal =
+    {
+      dir;
+      segment_bytes;
+      lock = Mutex.create ();
+      fd;
+      oc;
+      seg_size;
+      segments;
+      next_lsn;
+      durable = next_lsn - 1;
+      closed = false;
+      appends = 0;
+      fsyncs = 0;
+      synced_records = 0;
+      max_group = 0;
+      bytes = 0;
+    }
+  in
+  {
+    wal;
+    entries = List.rev !entries;
+    next_lsn;
+    torn = !torn;
+    replay_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+  }
+
+let record_sync_locked (t : t) =
+  let group = t.next_lsn - 1 - t.durable in
+  if group > 0 then begin
+    t.fsyncs <- t.fsyncs + 1;
+    t.synced_records <- t.synced_records + group;
+    if group > t.max_group then t.max_group <- group;
+    t.durable <- t.next_lsn - 1
+  end
+
+let rotate_locked (t : t) =
+  (* Seal the active segment (its records become durable with the closing
+     fsync) and continue in a fresh file named by the next lsn. *)
+  flush t.oc;
+  Unix.fsync t.fd;
+  record_sync_locked t;
+  close_out_noerr t.oc;
+  let fd, oc, path = fresh_segment t.dir t.next_lsn in
+  t.fd <- fd;
+  t.oc <- oc;
+  t.seg_size <- magic_len;
+  t.segments <- t.segments @ [ (t.next_lsn, path) ]
+
+let append (t : t) payload =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Wal.append: closed"
+  end
+  else begin
+    if t.seg_size >= t.segment_bytes then rotate_locked t;
+    write_record t.oc payload;
+    let lsn = t.next_lsn in
+    t.next_lsn <- lsn + 1;
+    t.seg_size <- t.seg_size + 12 + String.length payload;
+    t.appends <- t.appends + 1;
+    t.bytes <- t.bytes + String.length payload;
+    Mutex.unlock t.lock;
+    lsn
+  end
+
+let sync (t : t) =
+  Mutex.lock t.lock;
+  if (not t.closed) && t.durable < t.next_lsn - 1 then begin
+    flush t.oc;
+    Unix.fsync t.fd;
+    record_sync_locked t
+  end;
+  let d = t.durable in
+  Mutex.unlock t.lock;
+  d
+
+let last_lsn (t : t) =
+  Mutex.lock t.lock;
+  let l = t.next_lsn - 1 in
+  Mutex.unlock t.lock;
+  l
+
+let durable_lsn (t : t) =
+  Mutex.lock t.lock;
+  let d = t.durable in
+  Mutex.unlock t.lock;
+  d
+
+let unsynced (t : t) =
+  Mutex.lock t.lock;
+  let u = t.next_lsn - 1 - t.durable in
+  Mutex.unlock t.lock;
+  u
+
+let truncate_below (t : t) ~lsn =
+  Mutex.lock t.lock;
+  (* A segment is removable when the next one starts at or below the cutoff
+     (so every record it holds is below it). The active segment always has a
+     successor of [None], hence survives. *)
+  let rec prune = function
+    | (_, path) :: ((next_first, _) :: _ as rest) when next_first <= lsn ->
+      (try Sys.remove path with Sys_error _ -> ());
+      prune rest
+    | segs -> segs
+  in
+  let pruned = prune t.segments in
+  if List.length pruned <> List.length t.segments then begin
+    t.segments <- pruned;
+    fsync_dir t.dir
+  end;
+  Mutex.unlock t.lock
+
+let close (t : t) =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    flush t.oc;
+    (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    record_sync_locked t;
+    close_out_noerr t.oc;
+    t.closed <- true
+  end;
+  Mutex.unlock t.lock
+
+let abandon (t : t) =
+  (* Crash simulation: drop buffered-but-unsynced data on the floor (no
+     flush, no fsync) and release the fd. Recovery must cope — that is the
+     point. *)
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock t.lock
+
+let stats (t : t) =
+  Mutex.lock t.lock;
+  let s =
+    {
+      appends = t.appends;
+      fsyncs = t.fsyncs;
+      synced_records = t.synced_records;
+      max_group = t.max_group;
+      bytes = t.bytes;
+      segments = List.length t.segments;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+(* ----------------------------- group commit ----------------------------- *)
+
+(* The syncer sleeps in [select] on a self-pipe: the latency cap is the
+   select timeout, the size cap is an appender writing a byte to the pipe.
+   [sync] and the durability callback both run on this thread, so callers
+   never pay an fsync inline. *)
+type syncer = {
+  s_wal : t;
+  delay : float;
+  cap : int;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  on_durable : int -> unit;
+  mutable running : bool;
+  mutable thread : Thread.t option;
+}
+
+let kick s = try ignore (Unix.write s.pipe_w (Bytes.make 1 'k') 0 1) with Unix.Unix_error _ -> ()
+
+let syncer_loop s () =
+  let buf = Bytes.create 64 in
+  while s.running do
+    (match Unix.select [ s.pipe_r ] [] [] s.delay with
+    | [], _, _ -> ()
+    | _ -> ( try ignore (Unix.read s.pipe_r buf 0 64) with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ());
+    if s.running && unsynced s.s_wal > 0 then s.on_durable (sync s.s_wal)
+  done
+
+let syncer ?(delay = 0.001) ?(cap = 64) wal ~on_durable =
+  if delay <= 0.0 then invalid_arg "Wal.syncer: delay must be > 0";
+  if cap < 1 then invalid_arg "Wal.syncer: cap must be >= 1";
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  let s =
+    { s_wal = wal; delay; cap; pipe_r; pipe_w; on_durable; running = true; thread = None }
+  in
+  s.thread <- Some (Thread.create (syncer_loop s) ());
+  s
+
+let syncer_append s payload =
+  let lsn = append s.s_wal payload in
+  if unsynced s.s_wal >= s.cap then kick s;
+  lsn
+
+let stop_syncer s =
+  if s.running then begin
+    s.running <- false;
+    kick s;
+    Option.iter Thread.join s.thread;
+    s.thread <- None;
+    if unsynced s.s_wal > 0 then s.on_durable (sync s.s_wal);
+    (try Unix.close s.pipe_r with Unix.Unix_error _ -> ());
+    try Unix.close s.pipe_w with Unix.Unix_error _ -> ()
+  end
+
+let abandon_syncer s =
+  (* Crash simulation: stop the thread without the final sync. *)
+  if s.running then begin
+    s.running <- false;
+    kick s;
+    Option.iter Thread.join s.thread;
+    s.thread <- None;
+    (try Unix.close s.pipe_r with Unix.Unix_error _ -> ());
+    try Unix.close s.pipe_w with Unix.Unix_error _ -> ()
+  end

@@ -88,6 +88,62 @@ let test_tcp_transport_many_messages () =
   Alcotest.(check (list int)) "in order" (List.init 100 Fun.id) (List.rev !received);
   tr.Transport.close ()
 
+let test_link_stats_counters () =
+  (* Two Tcp_codec meshes posing as two processes: A hosts pid 0, B hosts
+     pid 1, cross-wired through [remotes]. A healthy send moves no
+     link-health counter; killing B's endpoint makes A's sends burn the
+     bounded retry budget (backoffs) and then abandon (drops); an unknown
+     destination is abandoned immediately. *)
+  let codec = Dex_codec.Codec.string in
+  let port1 = ref 0 in
+  let b =
+    Transport.Tcp_codec.create ~codec
+      ~on_bind:(fun _ port -> port1 := port)
+      ~pids:[ 1 ] ()
+  in
+  let a = Transport.Tcp_codec.create ~codec ~remotes:[ (1, !port1) ] ~pids:[ 0 ] () in
+  a.Transport.send ~src:0 ~dst:1 "ping";
+  (match b.Transport.recv ~me:1 ~timeout:2.0 with
+  | Some (0, "ping") -> ()
+  | _ -> Alcotest.fail "healthy delivery failed");
+  let healthy = a.Transport.link_stats () in
+  Alcotest.(check int) "no backoffs while healthy" 0 healthy.Transport.backoffs;
+  Alcotest.(check int) "no drops while healthy" 0 healthy.Transport.drops;
+  b.Transport.close ();
+  (* Wait for the closed listener to actually refuse connections (the
+     accept thread needs a moment to wake and release the socket). *)
+  let refused = ref false in
+  let tries = ref 0 in
+  while (not !refused) && !tries < 100 do
+    incr tries;
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, !port1));
+       Thread.delay 0.01
+     with Unix.Unix_error _ -> refused := true);
+    try Unix.close s with Unix.Unix_error _ -> ()
+  done;
+  Alcotest.(check bool) "closed listener refuses connects" true !refused;
+  (* A fresh endpoint pointed at the dead listener: every connect is
+     refused, so each send burns the full retry budget and is abandoned. *)
+  let c = Transport.Tcp_codec.create ~codec ~remotes:[ (1, !port1) ] ~pids:[ 2 ] () in
+  c.Transport.send ~src:2 ~dst:1 "lost-1";
+  c.Transport.send ~src:2 ~dst:1 "lost-2";
+  let broken = c.Transport.link_stats () in
+  Alcotest.(check bool) "backoffs counted" true (broken.Transport.backoffs > 0);
+  Alcotest.(check int) "both messages dropped" 2 broken.Transport.drops;
+  Alcotest.(check int) "per-destination drop count" 2 (c.Transport.drop_count ~dst:1);
+  c.Transport.send ~src:2 ~dst:99 "nowhere";
+  Alcotest.(check int) "unknown dst dropped immediately" 1 (c.Transport.drop_count ~dst:99);
+  c.Transport.close ();
+  a.Transport.close ();
+  let mem = Transport.Mem.create ~pids:[ 0; 1 ] () in
+  mem.Transport.send ~src:0 ~dst:1 "m";
+  ignore (mem.Transport.recv ~me:1 ~timeout:0.5);
+  Alcotest.(check int) "mem reports no reconnects" 0
+    (mem.Transport.link_stats ()).Transport.reconnects;
+  mem.Transport.close ()
+
 let run_dex_cluster ~transport_kind ~proposals =
   let pair = Pair.freq ~n:7 ~t:1 in
   let cfg = D.config ~pair () in
@@ -207,6 +263,7 @@ let () =
           Alcotest.test_case "mem unknown dst" `Quick test_mem_transport_unknown_dst;
           Alcotest.test_case "tcp roundtrip" `Quick test_tcp_transport_roundtrip;
           Alcotest.test_case "tcp ordering" `Quick test_tcp_transport_many_messages;
+          Alcotest.test_case "link stats" `Quick test_link_stats_counters;
         ] );
       ( "cluster",
         [

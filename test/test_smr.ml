@@ -97,13 +97,13 @@ let test_empty_log () =
 (* Like [run_log] but exposing activation and an instance wrapper, for the
    on-demand and hostile-delivery edge cases below. *)
 let run_log_wrapped ?(discipline = Discipline.lockstep) ?(seed = 1) ?(window = 4)
-    ?(slots = 5) ?(policy = Runner.Fifo) ?activation ?(wrap = fun _p i -> i) ~workload ()
-    =
+    ?(slots = 5) ?(policy = Runner.Fifo) ?activation ?base ?(wrap = fun _p i -> i)
+    ~workload () =
   let cfg = L.config ~seed ~window ~pair:(fun _ -> freq7) ~slots ~n:7 ~t:1 () in
   let commits = Array.make 7 [] in
   let make p =
     wrap p
-      (L.replica ?activation cfg ~me:p
+      (L.replica ?activation ?base cfg ~me:p
          ~propose:(fun ~slot -> workload p ~slot)
          ~on_commit:(fun ~slot ~provenance:_ value ->
            commits.(p) <- (slot, value) :: commits.(p)))
@@ -147,6 +147,85 @@ let test_on_demand_release_prefix () =
     Alcotest.(check (list (pair int int)))
       (Printf.sprintf "replica %d commits the released prefix" p)
       (List.init released (fun s -> (s, 100 + s)))
+      commits.(p)
+  done
+
+let test_base_starts_frontier () =
+  (* Recovered replicas pass [base]: slots below it were persisted in a
+     previous life, so the log neither runs nor reports them. With every
+     replica based at 2 and the full log released, exactly slots [2..4]
+     commit, everywhere. *)
+  let wrap p (i : _ Dex_net.Protocol.instance) =
+    if p <> 0 then i
+    else
+      {
+        i with
+        Dex_net.Protocol.start =
+          (fun () -> Dex_net.Protocol.Send (0, L.release 5) :: i.start ());
+      }
+  in
+  let r, commits =
+    run_log_wrapped ~activation:`On_demand ~slots:5 ~base:2 ~wrap
+      ~workload:(fun _p ~slot -> 100 + slot)
+      ()
+  in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  for p = 0 to 6 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "replica %d commits only from the base" p)
+      [ (2, 102); (3, 103); (4, 104) ]
+      commits.(p)
+  done
+
+let test_skip_fast_forwards () =
+  (* Every replica skips itself past slots [0..1] (the crash-recovery move:
+     outcomes installed out of band, then the log fast-forwarded); replica 0
+     releases the full window. Only slots [2..4] run and report. *)
+  let wrap p (i : _ Dex_net.Protocol.instance) =
+    {
+      i with
+      Dex_net.Protocol.start =
+        (fun () ->
+          let skip = Dex_net.Protocol.Send (p, L.skip 2) in
+          let rest = if p = 0 then [ Dex_net.Protocol.Send (0, L.release 5) ] else [] in
+          (skip :: rest) @ i.start ());
+    }
+  in
+  let r, commits =
+    run_log_wrapped ~activation:`On_demand ~slots:5 ~wrap
+      ~workload:(fun _p ~slot -> 100 + slot)
+      ()
+  in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  for p = 0 to 6 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "replica %d skipped the installed prefix" p)
+      [ (2, 102); (3, 103); (4, 104) ]
+      commits.(p)
+  done
+
+let test_forged_skip_ignored () =
+  (* A skip arriving from a peer pid must be ignored — otherwise a Byzantine
+     replica could silence another replica's commits. Replica 1 forges
+     [skip 3] at replica 0; the full log must still commit everywhere. *)
+  let wrap p (i : _ Dex_net.Protocol.instance) =
+    let extra =
+      if p = 0 then [ Dex_net.Protocol.Send (0, L.release 5) ]
+      else if p = 1 then [ Dex_net.Protocol.Send (0, L.skip 3) ]
+      else []
+    in
+    { i with Dex_net.Protocol.start = (fun () -> extra @ i.start ()) }
+  in
+  let r, commits =
+    run_log_wrapped ~activation:`On_demand ~slots:5 ~wrap
+      ~workload:(fun _p ~slot -> 100 + slot)
+      ()
+  in
+  Alcotest.(check bool) "quiescent" true (r.Runner.stop = Dex_sim.Engine.Quiescent);
+  for p = 0 to 6 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "replica %d commits the full log" p)
+      (List.init 5 (fun s -> (s, 100 + s)))
       commits.(p)
   done
 
@@ -223,6 +302,9 @@ let () =
         [
           Alcotest.test_case "on-demand idle" `Quick test_on_demand_idle;
           Alcotest.test_case "on-demand release prefix" `Quick test_on_demand_release_prefix;
+          Alcotest.test_case "base starts the frontier" `Quick test_base_starts_frontier;
+          Alcotest.test_case "skip fast-forwards" `Quick test_skip_fast_forwards;
+          Alcotest.test_case "forged skip ignored" `Quick test_forged_skip_ignored;
           Alcotest.test_case "duplicate deliveries" `Quick test_duplicate_slot_messages;
           Alcotest.test_case "jittered commit order" `Quick test_jittered_commit_order;
         ] );
