@@ -182,6 +182,21 @@ let bench_stubborn =
               ~discipline:(Discipline.lossy ~p:0.3 Discipline.asynchronous)
               ~seed:3 ~extra ~n:7 make))))
 
+(* Registry hot path: the cost every pipeline stage pays per event. An
+   increment is one atomic fetch-and-add; an observation is a bit-length
+   bucket index plus two fetch-and-adds — both must stay cheap enough to
+   leave on in production paths. *)
+let bench_registry =
+  let reg = Dex_metrics.Registry.create () in
+  let c = Dex_metrics.Registry.counter reg "bench/ctr" in
+  let tm = Dex_metrics.Registry.timer reg "bench/lat" in
+  [
+    Test.make ~name:"metrics/registry-incr"
+      (Staged.stage (fun () -> Dex_metrics.Registry.incr c));
+    Test.make ~name:"metrics/registry-observe"
+      (Staged.stage (fun () -> Dex_metrics.Registry.observe_ns tm 12_345));
+  ]
+
 let bench_analysis =
   Test.make ~name:"analysis/p-one-step-n7" (Staged.stage (fun () ->
       ignore
@@ -330,7 +345,8 @@ let all_tests =
        bench_bracha;
        bench_smr;
      ]
-    @ bench_table1 @ bench_steps @ bench_uc @ bench_codec @ [ bench_stubborn; bench_analysis ])
+    @ bench_table1 @ bench_steps @ bench_uc @ bench_codec @ bench_registry
+    @ [ bench_stubborn; bench_analysis ])
 
 (* ----------------------- bechamel driver ----------------------- *)
 

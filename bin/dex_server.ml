@@ -22,7 +22,7 @@ open Cmdliner
 open Dex_condition
 open Dex_underlying
 module Sm = Dex_service.State_machine
-module Transport = Dex_runtime.Transport
+module R = Dex_metrics.Registry
 
 type opts = {
   n : int;
@@ -83,50 +83,65 @@ module Run (Uc : Uc_intf.S) = struct
       (fun (p, s) -> Format.printf "replica %d: %a@." p S.pp_stats (S.stats s))
       d.S.servers
 
-  (* The `--stats` heartbeat: service, WAL and transport-link counters
-     aggregated across the deployment's live replicas, one line per tick. *)
+  (* The `--stats` heartbeat, read entirely off the unified metrics
+     registries: every replica's registry (service/wal/durability families)
+     merged with the deployment's transport registry (net family), one line
+     per tick. Counters sum across replicas; [apply_lag] and the fsync
+     group-size high-water mark are reported as the per-replica maximum. *)
   let stats_line d =
-    let slots, applied, busy, lag =
-      List.fold_left
-        (fun (sl, ap, bu, lg) (_, s) ->
-          let st = S.stats s in
-          ( sl + st.S.committed_slots,
-            ap + st.S.applied,
-            bu + st.S.busy_rejections,
-            max lg st.S.apply_lag ))
-        (0, 0, 0, 0) d.S.servers
+    let replica_snaps = List.map (fun (_, s) -> R.snapshot (S.metrics s)) d.S.servers in
+    let merged = R.merge (R.snapshot d.S.net_metrics :: replica_snaps) in
+    let max_over name =
+      List.fold_left (fun acc snap -> max acc (R.get snap name)) 0 replica_snaps
     in
-    let wal =
-      List.fold_left
-        (fun acc (_, s) ->
-          match (S.wal_stats s, acc) with
-          | None, acc -> acc
-          | Some w, None -> Some w
-          | Some w, Some (a : Dex_store.Wal.stats) ->
-            Some
-              {
-                Dex_store.Wal.appends = a.Dex_store.Wal.appends + w.Dex_store.Wal.appends;
-                fsyncs = a.Dex_store.Wal.fsyncs + w.Dex_store.Wal.fsyncs;
-                synced_records =
-                  a.Dex_store.Wal.synced_records + w.Dex_store.Wal.synced_records;
-                max_group = max a.Dex_store.Wal.max_group w.Dex_store.Wal.max_group;
-                bytes = a.Dex_store.Wal.bytes + w.Dex_store.Wal.bytes;
-                segments = a.Dex_store.Wal.segments + w.Dex_store.Wal.segments;
-              })
-        None d.S.servers
-    in
-    let ls = d.S.transport.Transport.link_stats () in
     let wal_part =
-      match wal with
-      | None -> "wal off"
-      | Some w ->
-        Printf.sprintf "wal app=%d fsync=%d grp<=%d seg=%d %dKiB" w.Dex_store.Wal.appends
-          w.Dex_store.Wal.fsyncs w.Dex_store.Wal.max_group w.Dex_store.Wal.segments
-          (w.Dex_store.Wal.bytes / 1024)
+      if not (List.mem_assoc "wal/appends" merged) then "wal off"
+      else
+        Printf.sprintf "wal app=%d fsync=%d grp<=%d seg=%d %dKiB"
+          (R.get merged "wal/appends") (R.get merged "wal/fsyncs")
+          (max_over "wal/max_group") (R.get merged "wal/segments")
+          (R.get merged "wal/bytes" / 1024)
     in
-    Printf.printf "[stats] slots=%d applied=%d busy=%d lag=%d | %s | net reconn=%d backoff=%d drop=%d\n%!"
-      slots applied busy lag wal_part ls.Transport.reconnects ls.Transport.backoffs
-      ls.Transport.drops
+    (* Per-peer link counters ([net/<kind>/peer<pid>]), rendered only for
+       peers with any activity so a healthy mesh keeps the line short. *)
+    let peer_part =
+      let peers = Hashtbl.create 8 in
+      List.iter
+        (fun (name, _) ->
+          match String.split_on_char '/' name with
+          | [ "net"; kind; peer ]
+            when String.length peer > 4 && String.sub peer 0 4 = "peer" ->
+            let pid = int_of_string (String.sub peer 4 (String.length peer - 4)) in
+            let r, b, dr =
+              Option.value ~default:(0, 0, 0) (Hashtbl.find_opt peers pid)
+            in
+            let v = R.get merged name in
+            Hashtbl.replace peers pid
+              (match kind with
+              | "reconnects" -> (r + v, b, dr)
+              | "backoffs" -> (r, b + v, dr)
+              | "drops" -> (r, b, dr + v)
+              | _ -> (r, b, dr))
+          | _ -> ())
+        merged;
+      let rows =
+        Hashtbl.fold (fun pid counts acc -> (pid, counts) :: acc) peers []
+        |> List.sort compare
+        |> List.filter_map (fun (pid, (r, b, dr)) ->
+               if r + b + dr = 0 then None
+               else Some (Printf.sprintf "%d:r%d/b%d/d%d" pid r b dr))
+      in
+      if rows = [] then "" else " | peers " ^ String.concat " " rows
+    in
+    Printf.printf
+      "[stats] slots=%d applied=%d busy=%d lag=%d | %s | net reconn=%d backoff=%d drop=%d%s\n%!"
+      (R.get merged "service/committed_slots")
+      (R.get merged "service/applied")
+      (R.get merged "service/busy_rejections")
+      (max_over "service/apply_lag") wal_part
+      (R.get merged "net/reconnects")
+      (R.get merged "net/backoffs")
+      (R.get merged "net/drops") peer_part
 
   let serve opts =
     let d = launch opts in
@@ -260,9 +275,17 @@ module Run (Uc : Uc_intf.S) = struct
     List.iter (fun (_, s) -> S.stop s) d.S.servers;
     print_stats d;
     let rstats = S.stats restarted in
-    Printf.printf "recovery: replayed=%d catchup=%d state-transfers=%d snapshots=%d\n%!"
-      rstats.S.recovered_slots rstats.S.catchup_installed rstats.S.state_transfers
-      rstats.S.snapshots;
+    (* The gate's recovery report reads the unified registry: the restarted
+       replica's service/durability families plus the deployment-wide net
+       family (its reconnect shows up there). *)
+    let reg = R.merge [ R.snapshot (S.metrics restarted); R.snapshot d.S.net_metrics ] in
+    Printf.printf
+      "recovery: replayed=%d catchup=%d state-transfers=%d snapshots=%d | net reconn=%d\n%!"
+      (R.get reg "service/recovered_slots")
+      (R.get reg "service/catchup_installed")
+      (R.get reg "service/state_transfers")
+      (R.get reg "durability/snapshots")
+      (R.get reg "net/reconnects");
     let compared, violations = S.agreement_violations d in
     Printf.printf "agreement: %d multiply-committed slots compared, %d violations\n%!" compared
       (List.length violations);

@@ -1,0 +1,113 @@
+(** Typed cross-layer metrics registry.
+
+    One process-wide (or per-replica) home for operational counters, gauges
+    and latency distributions, replacing the ad-hoc counter blobs that used
+    to live separately in the service, WAL and transport layers. Three
+    metric kinds:
+
+    - {b counters}: monotone integers ({!incr}/{!add}), lock-free
+      ([Atomic]) — safe to bump from any thread, cheap enough for hot
+      paths (an increment is one atomic fetch-and-add);
+    - {b gauges}: instantaneous integers, either {e settable} cells
+      ({!gauge}, with {!set}/{!set_max}) or {e callback-backed}
+      ({!gauge_fn}, sampled at {!snapshot} time — e.g. a queue length read
+      straight from the owning structure);
+    - {b timers}: latency distributions over power-of-two nanosecond
+      buckets ({!observe_ns}) — fixed memory, no allocation per
+      observation, quantiles estimated from the bucket boundaries (upper
+      bound of the covering bucket, i.e. within 2x).
+
+    Registration is idempotent per (name, kind): asking for an existing
+    name returns the same underlying metric, so independent layers can
+    share a registry without coordination. Reading is done through
+    {!snapshot}, an immutable, mergeable record of every metric — the one
+    format the [--stats] reporter, the restart gate and the bench harness
+    all consume ({!to_text} / {!to_json}). *)
+
+type t
+
+type counter
+
+type gauge
+
+type timer
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Register (or retrieve) a counter.
+    @raise Invalid_argument if the name is held by a different kind. *)
+
+val gauge : t -> string -> gauge
+(** Register (or retrieve) a settable gauge cell. *)
+
+val gauge_fn : t -> string -> (unit -> int) -> unit
+(** Register a callback gauge, sampled at {!snapshot} time. Re-registering
+    the same name replaces the callback (the newest owner wins — a
+    restarted component re-binds its gauge).
+    @raise Invalid_argument if the name is held by a different kind. *)
+
+val timer : t -> string -> timer
+(** Register (or retrieve) a latency distribution. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val set : gauge -> int -> unit
+
+val set_max : gauge -> int -> unit
+(** Raise the gauge to [v] if larger (running maximum; e.g. the largest
+    fsync group observed). *)
+
+val gauge_value : gauge -> int
+
+val observe_ns : timer -> int -> unit
+(** Record one latency sample, in nanoseconds (non-positive samples land in
+    the smallest bucket). *)
+
+val observe_span : timer -> float -> unit
+(** Record one latency sample given in {e seconds} (converted to ns). *)
+
+(** {2 Snapshots} *)
+
+type dist = {
+  count : int;
+  sum_ns : float;
+  buckets : int array;  (** bucket [i] counts samples in [[2^(i-1), 2^i)] ns *)
+}
+
+val dist_mean_ns : dist -> float
+
+val dist_quantile_ns : dist -> float -> float
+(** [dist_quantile_ns d q] with [q ∈ [0,1]]: upper bound (ns) of the bucket
+    holding the [q]-quantile sample; 0 when empty. *)
+
+type value_kind = Counter of int | Gauge of int | Dist of dist
+
+type snapshot = (string * value_kind) list
+(** Sorted by name. *)
+
+val snapshot : t -> snapshot
+
+val merge : snapshot list -> snapshot
+(** Pointwise combination by name: counters and gauges sum, distributions
+    merge bucket-wise. Metrics appearing under the same name with different
+    kinds keep the first kind seen (a merge across layers that disagree on
+    a name's kind is a registration bug; the merge stays total). *)
+
+val get : snapshot -> string -> int
+(** Counter or gauge value by name ([Dist] answers its sample count);
+    0 when absent — reporters stay total on partial registries. *)
+
+val find_dist : snapshot -> string -> dist option
+
+val to_text : snapshot -> string
+(** One [name value] line per metric; distributions render as
+    [count/mean/p50/p99] in microseconds. *)
+
+val to_json : snapshot -> string
+(** One JSON object keyed by metric name; distributions as nested objects
+    with [count], [mean_ns], [p50_ns], [p99_ns]. *)

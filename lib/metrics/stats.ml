@@ -22,27 +22,33 @@ let stddev xs =
     sqrt (sq /. float_of_int (List.length xs))
 
 let percentile p xs =
-  if xs = [] then invalid_arg "Stats.percentile: empty sample";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
-  let sorted = List.sort compare xs in
-  let n = List.length sorted in
-  (* Nearest-rank: smallest index k with k/n >= p/100. *)
-  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-  let rank = max 1 (min n rank) in
-  List.nth sorted (rank - 1)
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    let sorted = List.sort compare xs in
+    let n = List.length sorted in
+    (* Nearest-rank: smallest index k with k/n >= p/100. *)
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    List.nth sorted (rank - 1)
 
-let summarize xs =
-  if xs = [] then invalid_arg "Stats.summarize: empty sample";
-  {
-    count = List.length xs;
-    mean = mean xs;
-    stddev = stddev xs;
-    min = List.fold_left min infinity xs;
-    max = List.fold_left max neg_infinity xs;
-    p50 = percentile 50.0 xs;
-    p90 = percentile 90.0 xs;
-    p99 = percentile 99.0 xs;
-  }
+let empty_summary =
+  { count = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p90 = 0.0; p99 = 0.0 }
+
+let summarize = function
+  | [] -> empty_summary
+  | xs ->
+    {
+      count = List.length xs;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = List.fold_left min infinity xs;
+      max = List.fold_left max neg_infinity xs;
+      p50 = percentile 50.0 xs;
+      p90 = percentile 90.0 xs;
+      p99 = percentile 99.0 xs;
+    }
 
 let of_ints = List.map float_of_int
 

@@ -19,10 +19,15 @@ val stddev : float list -> float
 
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p ∈ [0,100]], nearest-rank on the sorted sample.
-    @raise Invalid_argument on an empty list or [p] outside [0, 100]. *)
+    0 on the empty list (consistent with {!mean}, so an idle reporting
+    interval cannot crash a reporter).
+    @raise Invalid_argument on [p] outside [0, 100]. *)
+
+val empty_summary : summary
+(** The all-zero summary returned by {!summarize} on the empty list. *)
 
 val summarize : float list -> summary
-(** @raise Invalid_argument on an empty list. *)
+(** {!empty_summary} on the empty list. *)
 
 val of_ints : int list -> float list
 

@@ -10,37 +10,130 @@ type 'msg t = {
   close : unit -> unit;
   drop_count : dst:Pid.t -> int;
   link_stats : unit -> link_stats;
+  peer_links : unit -> (Pid.t * link_stats) list;
 }
 
-(* Per-destination counters of messages abandoned by [send]. *)
-module Drops = struct
-  type t = { mutex : Mutex.t; counts : (Pid.t, int) Hashtbl.t }
+(* Per-destination link-health accounting, optionally mirrored into a
+   metrics registry: per-peer counter handles are created once per
+   destination and cached here, so the send path never formats a metric
+   name. *)
+module Links = struct
+  open Dex_metrics
 
-  let create () = { mutex = Mutex.create (); counts = Hashtbl.create 8 }
+  type entry = {
+    mutable reconnects : int;
+    mutable backoffs : int;
+    mutable drops : int;
+    m_reconnects : Registry.counter option;
+    m_backoffs : Registry.counter option;
+    m_drops : Registry.counter option;
+  }
 
-  let record t dst =
+  type t = {
+    mutex : Mutex.t;
+    peers : (Pid.t, entry) Hashtbl.t;
+    metrics : Registry.t option;
+    t_reconnects : Registry.counter option;
+    t_backoffs : Registry.counter option;
+    t_drops : Registry.counter option;
+  }
+
+  let create ?metrics () =
+    let c name = Option.map (fun r -> Registry.counter r name) metrics in
+    {
+      mutex = Mutex.create ();
+      peers = Hashtbl.create 8;
+      metrics;
+      t_reconnects = c "net/reconnects";
+      t_backoffs = c "net/backoffs";
+      t_drops = c "net/drops";
+    }
+
+  let entry t dst =
+    match Hashtbl.find_opt t.peers dst with
+    | Some e -> e
+    | None ->
+      let c kind =
+        Option.map (fun r -> Registry.counter r (Printf.sprintf "net/%s/peer%d" kind dst)) t.metrics
+      in
+      let e =
+        {
+          reconnects = 0;
+          backoffs = 0;
+          drops = 0;
+          m_reconnects = c "reconnects";
+          m_backoffs = c "backoffs";
+          m_drops = c "drops";
+        }
+      in
+      Hashtbl.replace t.peers dst e;
+      e
+
+  let bump = Option.iter Registry.incr
+
+  let record_drop t dst =
     Mutex.lock t.mutex;
-    Hashtbl.replace t.counts dst (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts dst));
+    let e = entry t dst in
+    e.drops <- e.drops + 1;
+    bump e.m_drops;
+    bump t.t_drops;
     Mutex.unlock t.mutex
 
-  let count t dst =
+  let record_reconnect t dst =
     Mutex.lock t.mutex;
-    let n = Option.value ~default:0 (Hashtbl.find_opt t.counts dst) in
+    let e = entry t dst in
+    e.reconnects <- e.reconnects + 1;
+    bump e.m_reconnects;
+    bump t.t_reconnects;
+    Mutex.unlock t.mutex
+
+  let record_backoff t dst =
+    Mutex.lock t.mutex;
+    let e = entry t dst in
+    e.backoffs <- e.backoffs + 1;
+    bump e.m_backoffs;
+    bump t.t_backoffs;
+    Mutex.unlock t.mutex
+
+  let drop_count t dst =
+    Mutex.lock t.mutex;
+    let n = match Hashtbl.find_opt t.peers dst with Some e -> e.drops | None -> 0 in
     Mutex.unlock t.mutex;
     n
 
-  let total t =
+  let totals t =
     Mutex.lock t.mutex;
-    let n = Hashtbl.fold (fun _ c acc -> acc + c) t.counts 0 in
+    let s =
+      Hashtbl.fold
+        (fun _ e (acc : link_stats) ->
+          {
+            reconnects = acc.reconnects + e.reconnects;
+            backoffs = acc.backoffs + e.backoffs;
+            drops = acc.drops + e.drops;
+          })
+        t.peers
+        { reconnects = 0; backoffs = 0; drops = 0 }
+    in
     Mutex.unlock t.mutex;
-    n
+    s
+
+  let per_peer t =
+    Mutex.lock t.mutex;
+    let s =
+      Hashtbl.fold
+        (fun dst e acc ->
+          (dst, { reconnects = e.reconnects; backoffs = e.backoffs; drops = e.drops }) :: acc)
+        t.peers []
+    in
+    Mutex.unlock t.mutex;
+    List.sort compare s
 end
 
 module Mem = struct
-  let create ?(jitter = 0.0) ?(seed = 0) ~pids () =
+  let create ?metrics ?(jitter = 0.0) ?(seed = 0) ~pids () =
     let boxes = Hashtbl.create 16 in
     List.iter (fun p -> Hashtbl.replace boxes p (Mailbox.create ())) pids;
-    let drops = Drops.create () in
+    let links = Links.create ?metrics () in
     let rng = Prng.create ~seed in
     let rng_mutex = Mutex.create () in
     let draw_delay () =
@@ -51,7 +144,7 @@ module Mem = struct
     in
     let send ~src ~dst msg =
       match Hashtbl.find_opt boxes dst with
-      | None -> Drops.record drops dst
+      | None -> Links.record_drop links dst
       | Some box ->
         if jitter > 0.0 then
           (* A detached thread per delayed delivery: simple and adequate for
@@ -74,10 +167,10 @@ module Mem = struct
       send;
       recv;
       close;
-      drop_count = (fun ~dst -> Drops.count drops dst);
-      link_stats =
-        (* No connections to lose in-process: only drops are meaningful. *)
-        (fun () -> { reconnects = 0; backoffs = 0; drops = Drops.total drops });
+      drop_count = (fun ~dst -> Links.drop_count links dst);
+      (* No connections to lose in-process: only drops are meaningful. *)
+      link_stats = (fun () -> Links.totals links);
+      peer_links = (fun () -> Links.per_peer links);
     }
 end
 
@@ -89,7 +182,7 @@ module Tcp_generic = struct
      instead of silently severing the link forever. *)
   let retry_backoffs = [| 0.001; 0.005; 0.02 |]
 
-  let create ~write_frame ~read_frame ?(remotes = []) ?on_bind ~pids () =
+  let create ~write_frame ~read_frame ?metrics ?(remotes = []) ?on_bind ~pids () =
     (* Writing to a peer that vanished must surface as EPIPE, not kill the
        process. Idempotent; no-op on platforms without SIGPIPE. *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -100,13 +193,12 @@ module Tcp_generic = struct
     List.iter (fun (pid, port) -> Hashtbl.replace ports pid port) remotes;
     let conns : (Pid.t * Pid.t, out_channel * Mutex.t) Hashtbl.t = Hashtbl.create 16 in
     let conns_mutex = Mutex.create () in
-    let drops = Drops.create () in
+    (* Link-health accounting, per destination: connects beyond the first
+       per (src, dst) pair are reconnects; every retry sleep in [send] is a
+       backoff. *)
+    let links = Links.create ?metrics () in
     let closed = ref false in
-    (* Link-health counters: connects beyond the first per (src, dst) pair
-       are reconnects; every retry sleep in [send] is a backoff. *)
-    let stats_mutex = Mutex.create () in
-    let reconnects = ref 0 in
-    let backoffs = ref 0 in
+    let ever_mutex = Mutex.create () in
     let ever_connected : (Pid.t * Pid.t, unit) Hashtbl.t = Hashtbl.create 16 in
 
     (* Reader: one thread per accepted connection; frames carry the claimed
@@ -167,10 +259,11 @@ module Tcp_generic = struct
              let oc = Unix.out_channel_of_descr sock in
              let entry = (oc, Mutex.create ()) in
              Hashtbl.replace conns (src, dst) entry;
-             Mutex.lock stats_mutex;
-             if Hashtbl.mem ever_connected (src, dst) then incr reconnects
-             else Hashtbl.replace ever_connected (src, dst) ();
-             Mutex.unlock stats_mutex;
+             Mutex.lock ever_mutex;
+             let again = Hashtbl.mem ever_connected (src, dst) in
+             if not again then Hashtbl.replace ever_connected (src, dst) ();
+             Mutex.unlock ever_mutex;
+             if again then Links.record_reconnect links dst;
              Some entry
            with Unix.Unix_error _ ->
              (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -196,7 +289,7 @@ module Tcp_generic = struct
       match Hashtbl.find_opt ports dst with
       | None ->
         (* Destination was never part of the mesh: nothing to retry. *)
-        Drops.record drops dst
+        Links.record_drop links dst
       | Some port ->
         let rec attempt k =
           if !closed then ()
@@ -218,13 +311,11 @@ module Tcp_generic = struct
             in
             if not sent then
               if k < Array.length retry_backoffs then begin
-                Mutex.lock stats_mutex;
-                incr backoffs;
-                Mutex.unlock stats_mutex;
+                Links.record_backoff links dst;
                 Thread.delay retry_backoffs.(k);
                 attempt (k + 1)
               end
-              else Drops.record drops dst
+              else Links.record_drop links dst
         in
         if not !closed then attempt 0
     in
@@ -253,34 +344,35 @@ module Tcp_generic = struct
         Hashtbl.iter (fun _ box -> Mailbox.close box) boxes
       end
     in
-    let link_stats () =
-      Mutex.lock stats_mutex;
-      let r = !reconnects and b = !backoffs in
-      Mutex.unlock stats_mutex;
-      { reconnects = r; backoffs = b; drops = Drops.total drops }
-    in
-    { send; recv; close; drop_count = (fun ~dst -> Drops.count drops dst); link_stats }
+    {
+      send;
+      recv;
+      close;
+      drop_count = (fun ~dst -> Links.drop_count links dst);
+      link_stats = (fun () -> Links.totals links);
+      peer_links = (fun () -> Links.per_peer links);
+    }
 end
 
 module Tcp = struct
   (* Frames are [Marshal]ed (src, msg) pairs over persistent loopback
      connections — only type-safe between identical binaries; see the
      interface. *)
-  let create ~pids () =
+  let create ?metrics ~pids () =
     let write_frame oc (src, msg) =
       Marshal.to_channel oc (src, msg) [];
       flush oc
     in
     let read_frame ic = (Marshal.from_channel ic : Pid.t * _) in
-    Tcp_generic.create ~write_frame ~read_frame ~pids ()
+    Tcp_generic.create ~write_frame ~read_frame ?metrics ~pids ()
 end
 
 module Tcp_codec = struct
-  let create ~codec ?remotes ?on_bind ~pids () =
+  let create ~codec ?metrics ?remotes ?on_bind ~pids () =
     let frame_codec = Dex_codec.Codec.pair Dex_codec.Codec.int codec in
     let write_frame oc (src, msg) =
       Dex_codec.Codec.Frame.to_channel oc frame_codec (src, msg)
     in
     let read_frame ic = Dex_codec.Codec.Frame.from_channel ic frame_codec in
-    Tcp_generic.create ~write_frame ~read_frame ?remotes ?on_bind ~pids ()
+    Tcp_generic.create ~write_frame ~read_frame ?metrics ?remotes ?on_bind ~pids ()
 end

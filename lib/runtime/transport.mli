@@ -38,18 +38,35 @@ type 'msg t = {
           destinations) — exposed so tests and operators can observe silent
           loss *)
   link_stats : unit -> link_stats;
-      (** link-health counters since creation; {!Mem} reports zero
+      (** aggregate link-health counters since creation; {!Mem} reports zero
           reconnects/backoffs (there are no connections to lose) *)
+  peer_links : unit -> (Pid.t * link_stats) list;
+      (** the same counters broken down by destination, sorted by pid — a
+          single flapping link shows up as one hot row instead of vanishing
+          into the aggregate; only destinations with at least one recorded
+          event appear *)
 }
 
+(** Every constructor accepts an optional [?metrics] registry; when given,
+    the transport mirrors its counters into it as [net/reconnects],
+    [net/backoffs], [net/drops] plus per-destination
+    [net/<kind>/peer<pid>] counters. Handles are cached per destination, so
+    the send path never formats a metric name. *)
+
 module Mem : sig
-  val create : ?jitter:float -> ?seed:int -> pids:Pid.t list -> unit -> 'msg t
+  val create :
+    ?metrics:Dex_metrics.Registry.t ->
+    ?jitter:float ->
+    ?seed:int ->
+    pids:Pid.t list ->
+    unit ->
+    'msg t
   (** [jitter] (seconds, default 0) delays each delivery by a uniform random
       amount in [\[0, jitter)] — a cheap stand-in for network variance. *)
 end
 
 module Tcp : sig
-  val create : pids:Pid.t list -> unit -> 'msg t
+  val create : ?metrics:Dex_metrics.Registry.t -> pids:Pid.t list -> unit -> 'msg t
   (** Binds one loopback listener per pid on ephemeral ports and connects a
       full mesh lazily. @raise Unix.Unix_error when sockets are unavailable. *)
 end
@@ -57,6 +74,7 @@ end
 module Tcp_codec : sig
   val create :
     codec:'msg Dex_codec.Codec.t ->
+    ?metrics:Dex_metrics.Registry.t ->
     ?remotes:(Pid.t * int) list ->
     ?on_bind:(Pid.t -> int -> unit) ->
     pids:Pid.t list ->

@@ -1,0 +1,35 @@
+type verdict = Admitted | Duplicate | Overflow
+
+type t = {
+  cap : int;
+  pending : (int * int, Wire.request * float) Hashtbl.t;
+  mutable oldest : float;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Admission.create: cap must be >= 1";
+  { cap; pending = Hashtbl.create 256; oldest = Float.infinity }
+
+let admit t ~now (r : Wire.request) =
+  let key = (r.Wire.client, r.Wire.rid) in
+  if Hashtbl.mem t.pending key then Duplicate
+  else if Hashtbl.length t.pending >= t.cap then Overflow
+  else begin
+    t.oldest <- Float.min t.oldest now;
+    Hashtbl.replace t.pending key (r, now);
+    Admitted
+  end
+
+let remove t ~client ~rid = Hashtbl.remove t.pending (client, rid)
+
+let size t = Hashtbl.length t.pending
+
+let oldest t = t.oldest
+
+let set_oldest t v = t.oldest <- v
+
+let refresh_oldest t =
+  t.oldest <-
+    Hashtbl.fold (fun _ (_, admitted) acc -> Float.min acc admitted) t.pending Float.infinity
+
+let fold t f init = Hashtbl.fold (fun _ (r, admitted) acc -> f r ~admitted acc) t.pending init

@@ -1,0 +1,147 @@
+open Dex_net
+open Dex_store
+
+type t = {
+  n : int;
+  byz : int;  (* the fault bound t of the deployment *)
+  cap : int;
+  grace : float;
+  mutable active : bool;
+  mutable deadline : float;
+  votes : (int * int, (Pid.t, unit) Hashtbl.t) Hashtbl.t;  (* (slot, digest) -> voters *)
+  content : (int * int, Dex_core.Dex.provenance * Batch.t) Hashtbl.t;
+  frontiers : (Pid.t, int) Hashtbl.t;  (* peer -> newest reported frontier *)
+  snap_votes : (int * int, (Pid.t, unit) Hashtbl.t) Hashtbl.t;  (* (slot, hash) -> voters *)
+  snap_content : (int * int, string) Hashtbl.t;
+}
+
+let create ~n ~t ~cap ~grace =
+  {
+    n;
+    byz = t;
+    cap;
+    grace;
+    active = false;
+    deadline = 0.0;
+    votes = Hashtbl.create 16;
+    content = Hashtbl.create 16;
+    frontiers = Hashtbl.create 8;
+    snap_votes = Hashtbl.create 4;
+    snap_content = Hashtbl.create 4;
+  }
+
+let active t = t.active
+
+let clear t =
+  Hashtbl.reset t.votes;
+  Hashtbl.reset t.content;
+  Hashtbl.reset t.frontiers;
+  Hashtbl.reset t.snap_votes;
+  Hashtbl.reset t.snap_content
+
+let begin_ t ~now =
+  if t.active then false
+  else begin
+    t.active <- true;
+    t.deadline <- now +. t.grace;
+    true
+  end
+
+let restamp t ~now = t.deadline <- now +. t.grace
+
+let finish t =
+  t.active <- false;
+  clear t
+
+let note_frontier t ~peer frontier =
+  if t.active then begin
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.frontiers peer) in
+    Hashtbl.replace t.frontiers peer (max prev frontier)
+  end
+
+(* Catch-up completes when enough peers (everyone but ourselves and [byz]
+   possible Byzantine silents) report a frontier we have reached, or the
+   grace deadline passes (progress over liveness: we rejoin and let the
+   normal lanes fill any remaining gap). *)
+let satisfied t ~now ~frontier =
+  t.active
+  &&
+  let needed = t.n - 1 - t.byz in
+  let ready =
+    Hashtbl.fold (fun _ f acc -> if f <= frontier then acc + 1 else acc) t.frontiers 0
+  in
+  ready >= needed || now > t.deadline
+
+let record_slot_vote t ~from ~frontier ~slot ~digest ~provenance ~batch =
+  (* Window the vote tables so Byzantine chaff cannot grow them without
+     bound; never trust a claimed digest — recanonicalize and rehash. *)
+  if not (t.active && slot >= frontier && slot < frontier + (4 * t.cap)) then false
+  else begin
+    let valid =
+      if digest = Batch.empty_digest then batch = []
+      else
+        let canonical = Batch.canonical batch in
+        Batch.digest canonical = digest
+    in
+    if not valid then false
+    else begin
+      let key = (slot, digest) in
+      let voters =
+        match Hashtbl.find_opt t.votes key with
+        | Some v -> v
+        | None ->
+          let v = Hashtbl.create 4 in
+          Hashtbl.replace t.votes key v;
+          v
+      in
+      Hashtbl.replace voters from ();
+      if digest <> Batch.empty_digest && not (Hashtbl.mem t.content key) then
+        Hashtbl.replace t.content key (provenance, Batch.canonical batch);
+      true
+    end
+  end
+
+let installable t ~frontier =
+  if not t.active then None
+  else
+    let chosen =
+      Hashtbl.fold
+        (fun (s, d) voters acc ->
+          if s = frontier && Hashtbl.length voters >= t.byz + 1 then Some d else acc)
+        t.votes None
+    in
+    Option.map
+      (fun digest ->
+        if digest = Batch.empty_digest then (digest, Dex_core.Dex.Underlying, [])
+        else
+          let provenance, batch = Hashtbl.find t.content (frontier, digest) in
+          (digest, provenance, batch))
+      chosen
+
+let drop_below t ~frontier =
+  let stale =
+    Hashtbl.fold (fun (s, d) _ acc -> if s < frontier then (s, d) :: acc else acc) t.votes []
+  in
+  List.iter
+    (fun key ->
+      Hashtbl.remove t.votes key;
+      Hashtbl.remove t.content key)
+    stale
+
+let record_snap_vote t ~from ~frontier ~slot ~payload ~validate =
+  if t.active && slot > frontier && validate payload then begin
+    let key = (slot, Wal.fnv64 payload) in
+    let voters =
+      match Hashtbl.find_opt t.snap_votes key with
+      | Some v -> v
+      | None ->
+        let v = Hashtbl.create 4 in
+        Hashtbl.replace t.snap_votes key v;
+        v
+    in
+    Hashtbl.replace voters from ();
+    if not (Hashtbl.mem t.snap_content key) then Hashtbl.replace t.snap_content key payload;
+    if Hashtbl.length voters >= t.byz + 1 then Some (slot, Hashtbl.find t.snap_content key)
+    else None
+  end
+  else None

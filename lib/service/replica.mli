@@ -1,0 +1,223 @@
+(** The replica core: consensus callbacks, apply loop, catch-up driver and
+    request admission, assembled from the pipeline stages ({!Admission},
+    {!Batcher}, {!Durability_lane}, {!Catch_up}).
+
+    This module owns everything about a replica that does not touch a
+    socket: {!Server} layers the TCP service (listener, connection readers,
+    the batcher thread) and deployment helpers on top. The split line is
+    exactly the replica lock — all state here is driven under [t.lock],
+    while the server owns the threads that call in.
+
+    Every replica carries its own {!Dex_metrics.Registry} ({!metrics}):
+    the [service/*] counters and gauges below, the [wal/*] family from its
+    WAL, and [durability/snapshots]. Transport-level [net/*] counters live
+    in the deployment-wide registry owned by {!Server.launch}. *)
+
+open Dex_condition
+open Dex_net
+open Dex_runtime
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) : sig
+  module Log : module type of Dex_smr.Replicated_log.Make (Uc)
+
+  (** Wire messages between replicas: log traffic plus the content-fetch
+      and catch-up lanes. *)
+  type smsg =
+    | Log_msg of Log.msg
+    | Fetch of int * int  (** digest, stuck slot (the requester's apply frontier) *)
+    | Batch_payload of int * Batch.t
+    | Truncated of int
+        (** fetch/catch-up refusal: the peer retired that history; the int is
+            the newest slot it can serve a snapshot for *)
+    | Catch_up of int  (** from_slot; from ourselves it is the retry timer *)
+    | Slot_commit of {
+        slot : int;
+        digest : int;
+        provenance : Dex_core.Dex.provenance;
+        batch : Batch.t;
+      }
+    | Catch_up_done of int  (** the responder's apply frontier *)
+    | Snapshot_fetch of int  (** the requester's apply frontier *)
+    | Snapshot_payload of int * string  (** slot, encoded snapshot payload *)
+
+  val smsg_codec : smsg Dex_codec.Codec.t
+
+  val pp_smsg : Format.formatter -> smsg -> unit
+
+  type config = {
+    n : int;
+    t : int;
+    seed : int;
+    pair : int -> Pair.t;
+    window : int;
+    slots : int;
+    batch_cap : int;  (** max requests per proposed batch *)
+    batch_delay : float;  (** batcher tick period (seconds) *)
+    settle : float;  (** a request must be this old before it is batched *)
+    queue_cap : int;  (** admission bound on pending requests *)
+    fetch_retry : float;
+    retain : int;  (** keep batch content for this many slots behind the frontier *)
+    commit_log_cap : int;
+    data_dir : string option;  (** durable state root; [None] disables durability *)
+    wal_segment_bytes : int;
+    group_commit : bool;
+    sync_delay : float;
+    sync_cap : int;
+    snapshot_every : int;  (** snapshot cadence, in applied slots *)
+    catchup_cap : int;  (** slots per catch-up chunk *)
+    catchup_retry : float;
+    catchup_grace : float;  (** give up waiting on peers after this long *)
+  }
+
+  val config :
+    ?seed:int ->
+    ?window:int ->
+    ?slots:int ->
+    ?batch_cap:int ->
+    ?batch_delay:float ->
+    ?settle:float ->
+    ?queue_cap:int ->
+    ?fetch_retry:float ->
+    ?retain:int ->
+    ?commit_log_cap:int ->
+    ?data_dir:string ->
+    ?wal_segment_bytes:int ->
+    ?group_commit:bool ->
+    ?sync_delay:float ->
+    ?sync_cap:int ->
+    ?snapshot_every:int ->
+    ?catchup_cap:int ->
+    ?catchup_retry:float ->
+    ?catchup_grace:float ->
+    pair:(int -> Pair.t) ->
+    n:int ->
+    t:int ->
+    unit ->
+    config
+
+  val log_config : config -> Log.config
+
+  val replica_dir : config -> Pid.t -> string option
+  (** Each replica's durable state lives in [<data_dir>/replica-<me>]. *)
+
+  val snap_payload_codec : ((string * int) list * Wire.reply list) Dex_codec.Codec.t
+  (** Snapshot payload: state-machine snapshot + session table, both sorted,
+      so correct replicas snapshotting at the same slot produce
+      byte-identical payloads. *)
+
+  (** Counter snapshot for quick inspection; the same numbers (and more)
+      are available through {!metrics}. *)
+  type stats = {
+    committed_slots : int;
+    empty_slots : int;
+    one_step : int;  (** non-empty committed slots decided on the one-step path *)
+    two_step : int;
+    underlying : int;
+    applied : int;
+    suppressed_duplicates : int;
+    busy_rejections : int;
+    fetches : int;
+    backlog : int;
+    apply_lag : int;
+    recovered_slots : int;  (** slots replayed from snapshot+WAL at startup *)
+    catchup_installed : int;  (** slots installed over the peer catch-up lane *)
+    state_transfers : int;  (** snapshots installed from a peer *)
+    snapshots : int;  (** snapshots installed locally *)
+  }
+
+  (** Transparent so the {!Server} socket layer can drive the service
+      fields; everything consensus-side is reached through the functions
+      below and must only be touched under [lock]. *)
+  type t = {
+    cfg : config;
+    me : Pid.t;
+    transport : smsg Transport.t;
+    lock : Mutex.t;
+    admission : Admission.t;
+    lane : Durability_lane.t;
+    cu : Catch_up.t;
+    store : (int, Batch.t) Hashtbl.t;
+    last_use : (int, int) Hashtbl.t;
+    sessions : (int, int * Wire.outcome * int) Hashtbl.t;
+    conns : (int, out_channel) Hashtbl.t;
+    dirty : (out_channel, unit) Hashtbl.t;
+    commit_buf : (int, int * Dex_core.Dex.provenance) Hashtbl.t;
+    unresolved : (int, unit) Hashtbl.t;
+    outbox : smsg Protocol.action list ref;
+    mutable state : State_machine.t;
+    mutable commit_log : (int * int * Dex_core.Dex.provenance) list;
+    mutable commit_log_len : int;
+    mutable commit_log_floor : int;
+    mutable apply_next : int;
+    mutable next_slot : int;
+    mutable last_progress : float;
+    mutable last_watchdog : float;
+    metrics : Dex_metrics.Registry.t;
+    c_committed : Dex_metrics.Registry.counter;
+    c_empty : Dex_metrics.Registry.counter;
+    c_one_step : Dex_metrics.Registry.counter;
+    c_two_step : Dex_metrics.Registry.counter;
+    c_underlying : Dex_metrics.Registry.counter;
+    c_applied : Dex_metrics.Registry.counter;
+    c_suppressed : Dex_metrics.Registry.counter;
+    c_busy : Dex_metrics.Registry.counter;
+    c_fetches : Dex_metrics.Registry.counter;
+    c_recovered : Dex_metrics.Registry.counter;
+    c_catchup_installed : Dex_metrics.Registry.counter;
+    c_state_transfers : Dex_metrics.Registry.counter;
+    mutable running : bool;
+    mutable listener : Unix.file_descr option;
+    mutable service_port : int option;
+    mutable client_socks : Unix.file_descr list;
+    mutable threads : Thread.t list;
+  }
+
+  val replica :
+    ?catchup:bool ->
+    config ->
+    me:Pid.t ->
+    transport:smsg Transport.t ->
+    t * smsg Protocol.instance
+  (** Build the replica core: recovers durable state (when [data_dir] is
+      set), starts the group-commit syncer, and arms the catch-up gate when
+      [catchup] is true (default: whenever recovery found prior state).
+      The returned handlers plug into {!Dex_runtime.Cluster}. *)
+
+  val handle_request : t -> oc:out_channel -> Wire.request -> unit
+  (** A client request arrived on [oc]: session-cache retry, Busy while
+      catching up or over the admission cap, else admitted for batching. *)
+
+  val batcher_tick : t -> unit
+  (** One batcher-thread tick: cut/fire decision via {!Batcher.tick}, store
+      GC, and the stall watchdog. Called every [batch_delay] by the server's
+      batcher thread. *)
+
+  val install_pending_snapshot : t -> unit
+  (** Persist the outstanding snapshot capture, if any (the fsyncs run on
+      the calling — batcher — thread, off the apply path). *)
+
+  (** {2 Observation} *)
+
+  val stats : t -> stats
+
+  val metrics : t -> Dex_metrics.Registry.t
+  (** The replica's own registry: [service/*], [wal/*], [durability/*]. *)
+
+  val wal_stats : t -> Dex_store.Wal.stats option
+
+  val durable_lsn : t -> int
+
+  val catching_up : t -> bool
+
+  val apply_frontier : t -> int
+
+  val commit_log : t -> (int * int * Dex_core.Dex.provenance) list
+  (** Oldest first. *)
+
+  val state_snapshot : t -> (string * int) list
+
+  val state_digest : t -> int
+
+  val pp_stats : Format.formatter -> stats -> unit
+end

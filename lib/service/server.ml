@@ -1,1069 +1,19 @@
-open Dex_condition
 open Dex_net
-open Dex_underlying
 open Dex_runtime
-open Dex_smr
-open Dex_store
+open Dex_underlying
+
+module Registry = Dex_metrics.Registry
 
 type role = Correct | Mute | Equivocator
 
 module Make (Uc : Uc_intf.S) = struct
-  module Log = Replicated_log.Make (Uc)
+  (* The replica core — consensus callbacks, apply loop, catch-up,
+     admission — assembled from the pipeline stages. This module adds the
+     parts that touch sockets and threads: the client listener, the batcher
+     thread, and deployment orchestration. *)
+  include Replica.Make (Uc)
 
-  type smsg =
-    | Log_msg of Log.msg
-    | Fetch of int * int  (* digest, stuck slot (the requester's apply frontier) *)
-    | Batch_payload of int * Batch.t
-    | Truncated of int
-        (* fetch/catch-up refusal: the peer retired that history; the int is
-           the newest slot it can serve a snapshot for *)
-    | Catch_up of int  (* from_slot; from ourselves it is the retry timer *)
-    | Slot_commit of {
-        slot : int;
-        digest : int;
-        provenance : Dex_core.Dex.provenance;
-        batch : Batch.t;
-      }
-    | Catch_up_done of int  (* the responder's apply frontier *)
-    | Snapshot_fetch of int  (* the requester's apply frontier *)
-    | Snapshot_payload of int * string  (* slot, encoded snapshot payload *)
-
-  let smsg_codec =
-    let open Dex_codec.Codec in
-    variant ~name:"Server.smsg"
-      (function
-        | Log_msg m -> (0, fun buf -> Log.codec.write buf m)
-        | Fetch (d, slot) ->
-          ( 1,
-            fun buf ->
-              int.write buf d;
-              int.write buf slot )
-        | Batch_payload (d, b) ->
-          ( 2,
-            fun buf ->
-              int.write buf d;
-              Batch.codec.write buf b )
-        | Truncated slot -> (3, fun buf -> int.write buf slot)
-        | Catch_up from_slot -> (4, fun buf -> int.write buf from_slot)
-        | Slot_commit { slot; digest; provenance; batch } ->
-          ( 5,
-            fun buf ->
-              int.write buf slot;
-              int.write buf digest;
-              Wire.provenance_codec.write buf provenance;
-              Batch.codec.write buf batch )
-        | Catch_up_done frontier -> (6, fun buf -> int.write buf frontier)
-        | Snapshot_fetch from_slot -> (7, fun buf -> int.write buf from_slot)
-        | Snapshot_payload (slot, payload) ->
-          ( 8,
-            fun buf ->
-              int.write buf slot;
-              string.write buf payload ))
-      (fun tag r ->
-        match tag with
-        | 0 -> Log_msg (Log.codec.read r)
-        | 1 ->
-          let d = int.read r in
-          Fetch (d, int.read r)
-        | 2 ->
-          let d = int.read r in
-          Batch_payload (d, Batch.codec.read r)
-        | 3 -> Truncated (int.read r)
-        | 4 -> Catch_up (int.read r)
-        | 5 ->
-          let slot = int.read r in
-          let digest = int.read r in
-          let provenance = Wire.provenance_codec.read r in
-          Slot_commit { slot; digest; provenance; batch = Batch.codec.read r }
-        | 6 -> Catch_up_done (int.read r)
-        | 7 -> Snapshot_fetch (int.read r)
-        | 8 ->
-          let slot = int.read r in
-          Snapshot_payload (slot, string.read r)
-        | other -> bad_tag ~name:"Server.smsg" other)
-
-  let pp_smsg ppf = function
-    | Log_msg m -> Log.pp_msg ppf m
-    | Fetch (d, slot) -> Format.fprintf ppf "fetch %d@%d" d slot
-    | Batch_payload (d, b) -> Format.fprintf ppf "payload %d (%d reqs)" d (List.length b)
-    | Truncated slot -> Format.fprintf ppf "truncated (snap %d)" slot
-    | Catch_up from_slot -> Format.fprintf ppf "catch-up from %d" from_slot
-    | Slot_commit { slot; digest; _ } -> Format.fprintf ppf "slot-commit %d=%d" slot digest
-    | Catch_up_done frontier -> Format.fprintf ppf "catch-up-done @%d" frontier
-    | Snapshot_fetch from_slot -> Format.fprintf ppf "snapshot-fetch from %d" from_slot
-    | Snapshot_payload (slot, payload) ->
-      Format.fprintf ppf "snapshot @%d (%d bytes)" slot (String.length payload)
-
-  type config = {
-    n : int;
-    t : int;
-    seed : int;
-    pair : int -> Pair.t;
-    window : int;
-    slots : int;
-    batch_cap : int;
-    batch_delay : float;
-    settle : float;
-    queue_cap : int;
-    fetch_retry : float;
-    retain : int;
-    commit_log_cap : int;
-    data_dir : string option;
-    wal_segment_bytes : int;
-    group_commit : bool;
-    sync_delay : float;
-    sync_cap : int;
-    snapshot_every : int;
-    catchup_cap : int;
-    catchup_retry : float;
-    catchup_grace : float;
-  }
-
-  let config ?(seed = 0) ?(window = 8) ?(slots = 1 lsl 20) ?(batch_cap = 256)
-      ?(batch_delay = 0.004) ?(settle = 0.002) ?(queue_cap = 4096) ?(fetch_retry = 0.05)
-      ?(retain = 256) ?(commit_log_cap = 1 lsl 16) ?data_dir
-      ?(wal_segment_bytes = 4 * 1024 * 1024) ?(group_commit = true) ?(sync_delay = 0.001)
-      ?(sync_cap = 64) ?(snapshot_every = 4096) ?(catchup_cap = 256) ?(catchup_retry = 0.05)
-      ?(catchup_grace = 5.0) ~pair ~n ~t () =
-    if batch_cap < 1 then invalid_arg "Server.config: batch_cap must be >= 1";
-    if batch_delay <= 0.0 then invalid_arg "Server.config: batch_delay must be > 0";
-    if settle < 0.0 then invalid_arg "Server.config: settle must be >= 0";
-    if queue_cap < 1 then invalid_arg "Server.config: queue_cap must be >= 1";
-    if retain < 2 * window then invalid_arg "Server.config: retain must be >= 2*window";
-    if commit_log_cap < 1 then invalid_arg "Server.config: commit_log_cap must be >= 1";
-    if wal_segment_bytes < 4096 then
-      invalid_arg "Server.config: wal_segment_bytes must be >= 4096";
-    if sync_delay <= 0.0 then invalid_arg "Server.config: sync_delay must be > 0";
-    if sync_cap < 1 then invalid_arg "Server.config: sync_cap must be >= 1";
-    if snapshot_every < 1 then invalid_arg "Server.config: snapshot_every must be >= 1";
-    if catchup_cap < 1 then invalid_arg "Server.config: catchup_cap must be >= 1";
-    if catchup_retry <= 0.0 then invalid_arg "Server.config: catchup_retry must be > 0";
-    if catchup_grace <= 0.0 then invalid_arg "Server.config: catchup_grace must be > 0";
-    { n; t; seed; pair; window; slots; batch_cap; batch_delay; settle; queue_cap; fetch_retry;
-      retain; commit_log_cap; data_dir; wal_segment_bytes; group_commit; sync_delay; sync_cap;
-      snapshot_every; catchup_cap; catchup_retry; catchup_grace }
-
-  let log_config cfg =
-    Log.config ~seed:cfg.seed ~window:cfg.window ~pair:cfg.pair ~slots:cfg.slots ~n:cfg.n
-      ~t:cfg.t ()
-
-  (* Each replica's durable state lives in its own subdirectory of the
-     configured base, so one config serves a whole deployment. *)
-  let replica_dir cfg me =
-    Option.map (fun base -> Filename.concat base (Printf.sprintf "replica-%d" me)) cfg.data_dir
-
-  (* One WAL record per applied slot (empty slots included, so replay is
-     slot-contiguous): the commit plus the batch content, self-sufficient
-     for replay without the digest store. *)
-  let wal_record_codec =
-    let open Dex_codec.Codec in
-    conv
-      (fun (slot, digest, provenance, batch) -> (slot, (digest, (provenance, batch))))
-      (fun (slot, (digest, (provenance, batch))) -> (slot, digest, provenance, batch))
-      (pair int (pair int (pair Wire.provenance_codec Batch.codec)))
-
-  (* Snapshot payload: state-machine snapshot + session table (as replies,
-     sorted by client). Deterministic given the applied prefix, so correct
-     replicas snapshotting at the same slot produce byte-identical payloads —
-     which is what lets a catch-up install demand [t+1] matching votes. *)
-  let snap_payload_codec =
-    let open Dex_codec.Codec in
-    pair (list (pair string int)) (list Wire.reply_codec)
-
-  type stats = {
-    committed_slots : int;
-    empty_slots : int;
-    one_step : int;  (** non-empty committed slots decided on the one-step path *)
-    two_step : int;
-    underlying : int;
-    applied : int;
-    suppressed_duplicates : int;
-    busy_rejections : int;
-    fetches : int;
-    backlog : int;
-    apply_lag : int;
-    recovered_slots : int;  (** slots replayed from snapshot+WAL at startup *)
-    catchup_installed : int;  (** slots installed over the peer catch-up lane *)
-    state_transfers : int;  (** snapshots installed from a peer *)
-    snapshots : int;  (** snapshots installed locally *)
-  }
-
-  type t = {
-    cfg : config;
-    me : Pid.t;
-    transport : smsg Transport.t;
-    lock : Mutex.t;
-    (* Admission: requests accepted from clients, not yet applied. Bounded by
-       [queue_cap]; overflow is answered [Busy] (backpressure). *)
-    pending : (int * int, Wire.request * float) Hashtbl.t;  (* keyed request, admission time *)
-    mutable pending_oldest : float;  (* min admission time over [pending]; infinity if empty *)
-    (* Batch content by digest: own proposals, peer payloads, fetch results. *)
-    store : (int, Batch.t) Hashtbl.t;
-    last_use : (int, int) Hashtbl.t;  (* digest -> newest slot that referenced it *)
-    (* Per-client session: last applied rid, its cached outcome, and the WAL
-       lsn that makes it durable (0 when durable already / durability off) —
-       client retries are idempotent, and a reply never leaves before its
-       record is on disk. *)
-    sessions : (int, int * Wire.outcome * int) Hashtbl.t;
-    conns : (int, out_channel) Hashtbl.t;  (* client -> latest reply channel *)
-    dirty : (out_channel, unit) Hashtbl.t;  (* channels with unflushed replies *)
-    commit_buf : (int, int * Dex_core.Dex.provenance) Hashtbl.t;  (* slot -> commit *)
-    unresolved : (int, unit) Hashtbl.t;  (* digests being fetched *)
-    outbox : smsg Protocol.action list ref;  (* actions produced by callbacks *)
-    mutable state : State_machine.t;
-    (* Newest first; bounded by [commit_log_cap] (a long-lived server would
-       otherwise leak one entry per slot forever). Truncated lazily at twice
-       the cap, so the amortized append cost stays O(1). *)
-    mutable commit_log : (int * int * Dex_core.Dex.provenance) list;
-    mutable commit_log_len : int;
-    mutable commit_log_floor : int;  (* no commit-log coverage below this slot *)
-    mutable apply_next : int;
-    mutable next_slot : int;  (* one past the highest slot this replica has touched *)
-    mutable last_progress : float;  (* wall time of the last commit/apply/release *)
-    (* ------------------------------ durability ------------------------------ *)
-    mutable wal : Wal.t option;
-    mutable syncer : Wal.syncer option;
-    mutable wal_lsn : int;  (* lsn of the newest appended commit record *)
-    mutable released_lsn : int;  (* replies with lsn <= this may leave *)
-    wait_replies : (int, (int * int * Wire.outcome) list) Hashtbl.t;  (* lsn -> queued *)
-    mutable snapshot_slot : int;  (* newest snapshot boundary captured/installed *)
-    mutable pending_snapshot : (int * string * int) option;  (* slot, payload, covering lsn *)
-    (* ------------------------------- catch-up ------------------------------- *)
-    mutable catching_up : bool;
-    mutable cu_deadline : float;
-    cu_votes : (int * int, (Pid.t, unit) Hashtbl.t) Hashtbl.t;  (* (slot, digest) -> voters *)
-    cu_content : (int * int, Dex_core.Dex.provenance * Batch.t) Hashtbl.t;
-    cu_frontiers : (Pid.t, int) Hashtbl.t;  (* peer -> newest reported frontier *)
-    cu_snap_votes : (int * int, (Pid.t, unit) Hashtbl.t) Hashtbl.t;  (* (slot, hash) -> voters *)
-    cu_snap_content : (int * int, string) Hashtbl.t;
-    mutable last_watchdog : float;  (* last stall-watchdog firing *)
-    (* -------------------------------- counters ------------------------------ *)
-    mutable committed_slots : int;
-    mutable empty_slots : int;
-    mutable one_step : int;
-    mutable two_step : int;
-    mutable underlying : int;
-    mutable applied : int;
-    mutable suppressed : int;
-    mutable busy : int;
-    mutable fetches : int;
-    mutable recovered_slots : int;
-    mutable catchup_installed : int;
-    mutable state_transfers : int;
-    mutable snapshots : int;
-    mutable running : bool;
-    mutable listener : Unix.file_descr option;
-    mutable service_port : int option;
-    mutable client_socks : Unix.file_descr list;
-    mutable threads : Thread.t list;
-  }
-
-  let push_action t action = t.outbox := action :: !(t.outbox)
-
-  let drain t =
-    let actions = List.rev !(t.outbox) in
-    t.outbox := [];
-    actions
-
-  let lift actions = Protocol.map_actions (fun m -> Log_msg m) actions
-
-  let peers t = List.filter (fun p -> not (Pid.equal p t.me)) (Pid.all ~n:t.cfg.n)
-
-  (* ----------------------- consensus-side callbacks ----------------------- *)
-
-  (* The proposal for a slot: the digest of the canonical batch of everything
-     pending. Evaluated when the slot's instance materializes — on our own
-     release, or on first remote traffic (we join with what we have; under
-     submit-to-all the sets coincide and the slot is uncontended). *)
-  let propose t ~slot =
-    Mutex.lock t.lock;
-    if slot >= t.next_slot then t.next_slot <- slot + 1;
-    (* Propose only requests that have settled for a moment: replicas
-       activate a slot at slightly different instants, and a request whose
-       submit-to-all fan-out straddles that skew would make the proposals
-       diverge (costing the one-step path). Closed-loop traffic arrives in
-       waves, so a boundary pushed [settle] into the past falls in the quiet
-       gap between waves and every replica cuts the same batch. *)
-    let cutoff = Unix.gettimeofday () -. t.cfg.settle in
-    (* [pending_oldest] deliberately spans the whole pending set, proposed
-       requests included: a request stays pending until applied, and its
-       proposal can lose the slot (contention, an equivocator's chaff, cap
-       truncation), in which case it must keep the batcher armed for the
-       next slot. The batcher's [idle] gate keeps this from releasing slots
-       while the covering proposal is still in flight. *)
-    let requests, oldest =
-      Hashtbl.fold
-        (fun _ (r, admitted) (acc, oldest) ->
-          ((if admitted <= cutoff then r :: acc else acc), Float.min oldest admitted))
-        t.pending ([], Float.infinity)
-    in
-    t.pending_oldest <- oldest;
-    let batch = Batch.canonical ~cap:t.cfg.batch_cap requests in
-    let d = Batch.digest batch in
-    if d <> Batch.empty_digest then begin
-      Hashtbl.replace t.store d batch;
-      Hashtbl.replace t.last_use d slot
-    end;
-    Mutex.unlock t.lock;
-    d
-
-  (* All socket replies happen under [t.lock]; [conns] holds the most recent
-     channel a client spoke on. A dead client costs one failed write. *)
-  let reply_locked t ~client ~rid outcome =
-    match Hashtbl.find_opt t.conns client with
-    | None -> ()
-    | Some oc -> (
-      try
-        Wire.write_reply oc { Wire.client; rid; outcome };
-        Hashtbl.replace t.dirty oc ()
-      with Sys_error _ | Unix.Unix_error _ -> Hashtbl.remove t.conns client)
-
-  (* Persist-before-reply: a reply whose WAL record is not yet durable waits
-     in [wait_replies] until the group-commit watermark covers its lsn. *)
-  let reply_or_queue_locked t ~client ~rid ~lsn outcome =
-    if lsn <= t.released_lsn then reply_locked t ~client ~rid outcome
-    else
-      Hashtbl.replace t.wait_replies lsn
-        ((client, rid, outcome)
-        :: Option.value ~default:[] (Hashtbl.find_opt t.wait_replies lsn))
-
-  (* Reply writes are buffered; one flush per wave of replies (an applied
-     batch touches many clients over few channels). *)
-  let flush_dirty_locked t =
-    Hashtbl.iter (fun oc () -> try flush oc with Sys_error _ | Unix.Unix_error _ -> ()) t.dirty;
-    Hashtbl.reset t.dirty
-
-  (* Syncer callback (runs on the syncer thread): the watermark advanced, so
-     release every reply it now covers. *)
-  let on_durable t watermark =
-    Mutex.lock t.lock;
-    if watermark > t.released_lsn then begin
-      for lsn = t.released_lsn + 1 to watermark do
-        match Hashtbl.find_opt t.wait_replies lsn with
-        | None -> ()
-        | Some rs ->
-          Hashtbl.remove t.wait_replies lsn;
-          List.iter
-            (fun (client, rid, outcome) -> reply_locked t ~client ~rid outcome)
-            (List.rev rs)
-      done;
-      t.released_lsn <- watermark;
-      flush_dirty_locked t
-    end;
-    Mutex.unlock t.lock
-
-  (* Append the slot's commit record; returns the lsn gating its replies
-     (0 = already durable / durability off). Lock order: the server lock is
-     held here and the WAL takes its own lock inside — the syncer thread
-     takes them in the order wal-then-server but never nested, so there is
-     no cycle. *)
-  let wal_append_locked t ~slot ~digest ~provenance batch =
-    match t.wal with
-    | None -> 0
-    | Some wal ->
-      let record = Dex_codec.Codec.encode wal_record_codec (slot, digest, provenance, batch) in
-      let lsn =
-        match t.syncer with
-        | Some syncer -> Wal.syncer_append syncer record
-        | None ->
-          (* Group commit off: fsync inline; the record is durable before any
-             reply is even composed. *)
-          let lsn = Wal.append wal record in
-          let watermark = Wal.sync wal in
-          if watermark > t.released_lsn then t.released_lsn <- watermark;
-          lsn
-      in
-      t.wal_lsn <- lsn;
-      lsn
-
-  let commit_log_push_locked t ~slot ~digest ~provenance =
-    t.commit_log <- (slot, digest, provenance) :: t.commit_log;
-    t.commit_log_len <- t.commit_log_len + 1;
-    if t.commit_log_len > 2 * t.cfg.commit_log_cap then begin
-      t.commit_log <- List.filteri (fun i _ -> i < t.cfg.commit_log_cap) t.commit_log;
-      t.commit_log_len <- t.cfg.commit_log_cap;
-      (* Everything at or below the slot of the oldest survivor may be gone:
-         record the floor so the catch-up responder answers [Truncated]
-         instead of serving a hole. *)
-      match List.rev t.commit_log with
-      | (oldest, _, _) :: _ -> t.commit_log_floor <- max t.commit_log_floor oldest
-      | [] -> ()
-    end
-
-  let apply_batch_locked t ~slot ~provenance ~lsn batch =
-    List.iter
-      (fun (r : Wire.request) ->
-        Hashtbl.remove t.pending (r.Wire.client, r.Wire.rid);
-        let fresh =
-          match Hashtbl.find_opt t.sessions r.Wire.client with
-          | Some (last, _, _) -> r.Wire.rid > last
-          | None -> true
-        in
-        if fresh then begin
-          let output = State_machine.apply t.state r.Wire.command in
-          let outcome = Wire.Applied { output; slot; provenance } in
-          Hashtbl.replace t.sessions r.Wire.client (r.Wire.rid, outcome, lsn);
-          t.applied <- t.applied + 1;
-          reply_or_queue_locked t ~client:r.Wire.client ~rid:r.Wire.rid ~lsn outcome
-        end
-        else begin
-          (* The same request rode two batches (client retry, or concurrent
-             slots proposing overlapping pending sets): apply once, and
-             retransmit the cached outcome if this is the latest rid. *)
-          t.suppressed <- t.suppressed + 1;
-          match Hashtbl.find_opt t.sessions r.Wire.client with
-          | Some (last, cached, cached_lsn) when last = r.Wire.rid ->
-            reply_or_queue_locked t ~client:r.Wire.client ~rid:r.Wire.rid ~lsn:cached_lsn
-              cached
-          | _ -> ()
-        end)
-      batch;
-    (* Restore the [pending_oldest] invariant after the removals (resets to
-       infinity when the batch drained everything). Pending is bounded by
-       [queue_cap], so one fold per applied batch is cheap. *)
-    t.pending_oldest <-
-      Hashtbl.fold
-        (fun _ (_, admitted) acc -> Float.min acc admitted)
-        t.pending Float.infinity
-
-  (* Deterministic snapshot payload of the applied prefix: sorted state, plus
-     the session table as replies sorted by client. *)
-  let encode_snapshot_locked t =
-    let sessions =
-      Hashtbl.fold
-        (fun client (rid, outcome, _) acc -> { Wire.client; rid; outcome } :: acc)
-        t.sessions []
-      |> List.sort (fun (a : Wire.reply) (b : Wire.reply) -> compare a.Wire.client b.Wire.client)
-    in
-    Dex_codec.Codec.encode snap_payload_codec (State_machine.snapshot t.state, sessions)
-
-  (* Capture a snapshot at the current apply boundary when the cadence is
-     due. Capture (cheap, in-memory) happens here under the lock; the fsyncs
-     of the install run on the batcher thread. *)
-  let maybe_snapshot_locked t =
-    if
-      t.wal <> None && t.pending_snapshot = None
-      && t.apply_next - t.snapshot_slot >= t.cfg.snapshot_every
-    then begin
-      let slot = t.apply_next in
-      t.pending_snapshot <- Some (slot, encode_snapshot_locked t, t.wal_lsn);
-      t.snapshot_slot <- slot
-    end
-
-  let request_fetch_locked t digest =
-    if not (Hashtbl.mem t.unresolved digest) then begin
-      Hashtbl.replace t.unresolved digest ();
-      t.fetches <- t.fetches + 1;
-      List.iter
-        (fun peer -> push_action t (Protocol.Send (peer, Fetch (digest, t.apply_next))))
-        (peers t);
-      push_action t
-        (Protocol.Set_timer { delay = t.cfg.fetch_retry; msg = Fetch (digest, t.apply_next) })
-    end
-
-  (* Drain the committed prefix in slot order; stop (and fetch) at the first
-     digest whose content we do not hold. Every applied slot (empty ones
-     included) logs one WAL record first, so the durable log is
-     slot-contiguous. *)
-  let rec apply_ready_locked t =
-    match Hashtbl.find_opt t.commit_buf t.apply_next with
-    | None -> ()
-    | Some (digest, provenance) ->
-      if digest = Batch.empty_digest then begin
-        let slot = t.apply_next in
-        Hashtbl.remove t.commit_buf slot;
-        ignore (wal_append_locked t ~slot ~digest ~provenance []);
-        t.apply_next <- slot + 1;
-        maybe_snapshot_locked t;
-        apply_ready_locked t
-      end
-      else begin
-        match Hashtbl.find_opt t.store digest with
-        | Some batch ->
-          let slot = t.apply_next in
-          Hashtbl.remove t.commit_buf slot;
-          let lsn = wal_append_locked t ~slot ~digest ~provenance batch in
-          t.apply_next <- slot + 1;
-          apply_batch_locked t ~slot ~provenance ~lsn batch;
-          maybe_snapshot_locked t;
-          apply_ready_locked t
-        | None -> request_fetch_locked t digest
-      end
-
-  let on_commit t ~slot ~provenance digest =
-    Mutex.lock t.lock;
-    (* A slot the catch-up lane already installed can still flush out of the
-       log (it decided passively while we lagged): it is applied, logged and
-       counted — drop the duplicate. *)
-    if slot < t.apply_next then Mutex.unlock t.lock
-    else begin
-      t.last_progress <- Unix.gettimeofday ();
-      t.committed_slots <- t.committed_slots + 1;
-      commit_log_push_locked t ~slot ~digest ~provenance;
-      if digest = Batch.empty_digest then t.empty_slots <- t.empty_slots + 1
-      else begin
-        Hashtbl.replace t.last_use digest slot;
-        match provenance with
-        | Dex_core.Dex.One_step -> t.one_step <- t.one_step + 1
-        | Dex_core.Dex.Two_step -> t.two_step <- t.two_step + 1
-        | Dex_core.Dex.Underlying -> t.underlying <- t.underlying + 1
-      end;
-      Hashtbl.replace t.commit_buf slot (digest, provenance);
-      apply_ready_locked t;
-      flush_dirty_locked t;
-      Mutex.unlock t.lock
-    end
-
-  (* ------------------------------- catch-up ------------------------------- *)
-
-  (* The newest slot this replica can serve a snapshot for. With a data dir
-     the installed on-disk snapshot is preferred (cadence boundaries are
-     deterministic, so correct replicas hold byte-identical snapshots for the
-     same slot — [t+1] matching votes are achievable); otherwise the live
-     state is captured at the current frontier. *)
-  let snapshot_slot_locked t =
-    if t.wal <> None && t.snapshot_slot > 0 then t.snapshot_slot else t.apply_next
-
-  let clear_catchup_locked t =
-    Hashtbl.reset t.cu_votes;
-    Hashtbl.reset t.cu_content;
-    Hashtbl.reset t.cu_frontiers;
-    Hashtbl.reset t.cu_snap_votes;
-    Hashtbl.reset t.cu_snap_content
-
-  let finish_catchup_locked t =
-    if t.catching_up then begin
-      t.catching_up <- false;
-      clear_catchup_locked t;
-      (* Fast-forward the log's commit frontier past everything installed out
-         of band; slots that decided passively meanwhile flush on arrival. *)
-      push_action t (Protocol.Send (t.me, Log_msg (Log.skip t.apply_next)));
-      (* Then self-release a full window past the frontier: slots the peers
-         started while we were down had their traffic drained with our old
-         endpoint backlog, and the log layer never retransmits — without our
-         votes those in-flight slots (all within [window] of the commit
-         frontier, by pipelining) would wedge every quorum that needs us.
-         Activating them locally broadcasts our votes and unwedges them. *)
-      push_action t
-        (Protocol.Send
-           (t.me, Log_msg (Log.release (min (t.apply_next + t.cfg.window) t.cfg.slots))))
-    end
-
-  (* Catch-up completes when enough peers (everyone but ourselves and [t]
-     possible Byzantine silents) report a frontier we have reached, or the
-     grace deadline passes (progress over liveness: we rejoin and let the
-     normal lanes fill any remaining gap). *)
-  let check_catchup_done_locked t =
-    if t.catching_up then begin
-      let needed = t.cfg.n - 1 - t.cfg.t in
-      let ready =
-        Hashtbl.fold
-          (fun _ frontier acc -> if frontier <= t.apply_next then acc + 1 else acc)
-          t.cu_frontiers 0
-      in
-      if ready >= needed || Unix.gettimeofday () > t.cu_deadline then finish_catchup_locked t
-    end
-
-  let begin_catchup_locked t =
-    if not t.catching_up then begin
-      t.catching_up <- true;
-      t.cu_deadline <- Unix.gettimeofday () +. t.cfg.catchup_grace;
-      List.iter (fun peer -> push_action t (Protocol.Send (peer, Catch_up t.apply_next))) (peers t);
-      push_action t
-        (Protocol.Set_timer { delay = t.cfg.catchup_retry; msg = Catch_up t.apply_next })
-    end
-
-  (* Install every slot at the frontier that has [t+1] matching votes; each
-     install advances the frontier and may unlock the next. *)
-  let rec try_install_locked t =
-    if t.catching_up then begin
-      let slot = t.apply_next in
-      let chosen =
-        Hashtbl.fold
-          (fun (s, d) voters acc ->
-            if s = slot && Hashtbl.length voters >= t.cfg.t + 1 then Some d else acc)
-          t.cu_votes None
-      in
-      match chosen with
-      | None -> ()
-      | Some digest ->
-        let provenance, batch =
-          if digest = Batch.empty_digest then (Dex_core.Dex.Underlying, [])
-          else Hashtbl.find t.cu_content (slot, digest)
-        in
-        t.catchup_installed <- t.catchup_installed + 1;
-        t.last_progress <- Unix.gettimeofday ();
-        commit_log_push_locked t ~slot ~digest ~provenance;
-        if digest <> Batch.empty_digest then begin
-          Hashtbl.replace t.store digest batch;
-          Hashtbl.replace t.last_use digest slot
-        end;
-        Hashtbl.replace t.commit_buf slot (digest, provenance);
-        apply_ready_locked t;
-        (* Votes for slots now behind the frontier are spent. *)
-        let stale =
-          Hashtbl.fold
-            (fun (s, d) _ acc -> if s < t.apply_next then (s, d) :: acc else acc)
-            t.cu_votes []
-        in
-        List.iter
-          (fun key ->
-            Hashtbl.remove t.cu_votes key;
-            Hashtbl.remove t.cu_content key)
-          stale;
-        check_catchup_done_locked t;
-        try_install_locked t
-    end
-
-  let record_slot_vote_locked t ~from ~slot ~digest ~provenance ~batch =
-    (* Window the vote tables so Byzantine chaff cannot grow them without
-       bound. *)
-    if
-      t.catching_up && slot >= t.apply_next
-      && slot < t.apply_next + (4 * t.cfg.catchup_cap)
-    then begin
-      let valid =
-        if digest = Batch.empty_digest then batch = []
-        else
-          let canonical = Batch.canonical batch in
-          Batch.digest canonical = digest
-      in
-      if valid then begin
-        let key = (slot, digest) in
-        let voters =
-          match Hashtbl.find_opt t.cu_votes key with
-          | Some v -> v
-          | None ->
-            let v = Hashtbl.create 4 in
-            Hashtbl.replace t.cu_votes key v;
-            v
-        in
-        Hashtbl.replace voters from ();
-        if digest <> Batch.empty_digest && not (Hashtbl.mem t.cu_content key) then
-          Hashtbl.replace t.cu_content key (provenance, Batch.canonical batch);
-        try_install_locked t
-      end
-    end
-
-  (* Install a transferred snapshot: replaces state, sessions and frontier.
-     Persisted to disk (and the WAL truncated) {e before} anything after it
-     can be applied or acknowledged — otherwise a crash here would leave WAL
-     records unreachable behind a gap, losing acknowledged commits. *)
-  let install_snapshot_locked t ~slot payload =
-    match Dex_codec.Codec.decode snap_payload_codec payload with
-    | Error _ -> ()
-    | Ok (st, replies) ->
-      (match replica_dir t.cfg t.me with
-      | Some dir ->
-        Snapshot.install ~dir ~slot payload;
-        Option.iter (fun wal -> Wal.truncate_below wal ~lsn:(t.wal_lsn + 1)) t.wal
-      | None -> ());
-      t.state <- State_machine.of_snapshot st;
-      Hashtbl.reset t.sessions;
-      List.iter
-        (fun (r : Wire.reply) ->
-          Hashtbl.replace t.sessions r.Wire.client (r.Wire.rid, r.Wire.outcome, 0))
-        replies;
-      Hashtbl.iter
-        (fun s _ -> if s < slot then Hashtbl.remove t.commit_buf s)
-        (Hashtbl.copy t.commit_buf);
-      t.apply_next <- slot;
-      t.next_slot <- max t.next_slot slot;
-      t.snapshot_slot <- slot;
-      t.pending_snapshot <- None;
-      t.commit_log_floor <- max t.commit_log_floor slot;
-      t.state_transfers <- t.state_transfers + 1;
-      t.last_progress <- Unix.gettimeofday ();
-      (* Snapshot covers every session outcome; queued replies for the old
-         lsns are for clients that predate the crash anyway. *)
-      Hashtbl.reset t.wait_replies;
-      try_install_locked t;
-      check_catchup_done_locked t
-
-  let record_snap_vote_locked t ~from ~slot payload =
-    if t.catching_up && slot > t.apply_next then begin
-      match Dex_codec.Codec.decode snap_payload_codec payload with
-      | Error _ -> ()
-      | Ok _ ->
-        let key = (slot, Wal.fnv64 payload) in
-        let voters =
-          match Hashtbl.find_opt t.cu_snap_votes key with
-          | Some v -> v
-          | None ->
-            let v = Hashtbl.create 4 in
-            Hashtbl.replace t.cu_snap_votes key v;
-            v
-        in
-        Hashtbl.replace voters from ();
-        if not (Hashtbl.mem t.cu_snap_content key) then
-          Hashtbl.replace t.cu_snap_content key payload;
-        if Hashtbl.length voters >= t.cfg.t + 1 then install_snapshot_locked t ~slot payload
-    end
-
-  (* Serve a catch-up request: a chunk of [Slot_commit]s from the commit log
-     (content from the store), or [Truncated] if that history is retired. *)
-  let serve_catchup_locked t ~from ~from_slot =
-    if from_slot >= t.apply_next then
-      push_action t (Protocol.Send (from, Catch_up_done t.apply_next))
-    else if from_slot < t.commit_log_floor then
-      push_action t (Protocol.Send (from, Truncated (snapshot_slot_locked t)))
-    else begin
-      let upto = min t.apply_next (from_slot + t.cfg.catchup_cap) in
-      let by_slot = Hashtbl.create 64 in
-      List.iter
-        (fun (slot, digest, provenance) ->
-          if slot >= from_slot && slot < upto then
-            Hashtbl.replace by_slot slot (digest, provenance))
-        t.commit_log;
-      let complete = ref true in
-      let entries = ref [] in
-      for slot = upto - 1 downto from_slot do
-        match Hashtbl.find_opt by_slot slot with
-        | None -> complete := false
-        | Some (digest, provenance) ->
-          if digest = Batch.empty_digest then
-            entries := (slot, digest, provenance, []) :: !entries
-          else begin
-            match Hashtbl.find_opt t.store digest with
-            | Some batch -> entries := (slot, digest, provenance, batch) :: !entries
-            | None -> complete := false
-          end
-      done;
-      if not !complete then
-        push_action t (Protocol.Send (from, Truncated (snapshot_slot_locked t)))
-      else begin
-        List.iter
-          (fun (slot, digest, provenance, batch) ->
-            push_action t (Protocol.Send (from, Slot_commit { slot; digest; provenance; batch })))
-          !entries;
-        push_action t (Protocol.Send (from, Catch_up_done t.apply_next))
-      end
-    end
-
-  (* ------------------------------- recovery ------------------------------- *)
-
-  (* Rebuild from the newest valid snapshot plus the WAL's surviving prefix.
-     Replay stops at any slot gap (possible only after a mid-log corruption
-     cut) — everything before the gap is the recovered durable prefix. *)
-  let recover t dir =
-    let r = Recovery.run ~segment_bytes:t.cfg.wal_segment_bytes ~dir () in
-    (match r.Recovery.snapshot with
-    | Some (slot, payload) -> (
-      match Dex_codec.Codec.decode snap_payload_codec payload with
-      | Ok (st, replies) ->
-        t.state <- State_machine.of_snapshot st;
-        List.iter
-          (fun (rp : Wire.reply) ->
-            Hashtbl.replace t.sessions rp.Wire.client (rp.Wire.rid, rp.Wire.outcome, 0))
-          replies;
-        t.apply_next <- slot;
-        t.next_slot <- slot;
-        t.snapshot_slot <- slot;
-        t.commit_log_floor <- slot
-      | Error _ -> ())
-    | None -> ());
-    let stop = ref false in
-    List.iter
-      (fun entry ->
-        if not !stop then
-          match Dex_codec.Codec.decode wal_record_codec entry with
-          | Error _ -> stop := true
-          | Ok (slot, digest, provenance, batch) ->
-            if slot < t.apply_next then ()  (* covered by the snapshot *)
-            else if slot > t.apply_next then stop := true
-            else begin
-              commit_log_push_locked t ~slot ~digest ~provenance;
-              if digest <> Batch.empty_digest then
-                apply_batch_locked t ~slot ~provenance ~lsn:0 batch;
-              t.apply_next <- slot + 1;
-              t.next_slot <- t.apply_next;
-              t.recovered_slots <- t.recovered_slots + 1
-            end)
-      r.Recovery.entries;
-    t.wal <- Some r.Recovery.wal;
-    let last = Wal.last_lsn r.Recovery.wal in
-    t.wal_lsn <- last;
-    t.released_lsn <- last;
-    r.Recovery.snapshot <> None || r.Recovery.entries <> [] || r.Recovery.torn
-
-  (* ----------------------------- the replica ----------------------------- *)
-
-  let replica ?catchup cfg ~me ~transport =
-    let t =
-      {
-        cfg;
-        me;
-        transport;
-        lock = Mutex.create ();
-        pending = Hashtbl.create 256;
-        pending_oldest = Float.infinity;
-        store = Hashtbl.create 256;
-        last_use = Hashtbl.create 256;
-        sessions = Hashtbl.create 64;
-        conns = Hashtbl.create 64;
-        dirty = Hashtbl.create 8;
-        commit_buf = Hashtbl.create 64;
-        unresolved = Hashtbl.create 8;
-        outbox = ref [];
-        state = State_machine.create ();
-        commit_log = [];
-        commit_log_len = 0;
-        commit_log_floor = 0;
-        apply_next = 0;
-        next_slot = 0;
-        last_progress = Unix.gettimeofday ();
-        wal = None;
-        syncer = None;
-        wal_lsn = 0;
-        released_lsn = 0;
-        wait_replies = Hashtbl.create 16;
-        snapshot_slot = 0;
-        pending_snapshot = None;
-        catching_up = false;
-        cu_deadline = 0.0;
-        cu_votes = Hashtbl.create 16;
-        cu_content = Hashtbl.create 16;
-        cu_frontiers = Hashtbl.create 8;
-        cu_snap_votes = Hashtbl.create 4;
-        cu_snap_content = Hashtbl.create 4;
-        last_watchdog = Unix.gettimeofday ();
-        committed_slots = 0;
-        empty_slots = 0;
-        one_step = 0;
-        two_step = 0;
-        underlying = 0;
-        applied = 0;
-        suppressed = 0;
-        busy = 0;
-        fetches = 0;
-        recovered_slots = 0;
-        catchup_installed = 0;
-        state_transfers = 0;
-        snapshots = 0;
-        running = false;
-        listener = None;
-        service_port = None;
-        client_socks = [];
-        threads = [];
-      }
-    in
-    let had_state =
-      match replica_dir cfg me with Some dir -> recover t dir | None -> false
-    in
-    (match t.wal with
-    | Some wal when cfg.group_commit ->
-      t.syncer <-
-        Some (Wal.syncer ~delay:cfg.sync_delay ~cap:cfg.sync_cap wal ~on_durable:(on_durable t))
-    | _ -> ());
-    t.catching_up <- (match catchup with Some c -> c | None -> had_state);
-    let log_inst =
-      Log.replica ~activation:`On_demand ~retain:cfg.retain ~base:t.apply_next (log_config cfg)
-        ~me
-        ~propose:(fun ~slot -> propose t ~slot)
-        ~on_commit:(fun ~slot ~provenance v -> on_commit t ~slot ~provenance v)
-    in
-    let start () =
-      Mutex.lock t.lock;
-      if t.catching_up then begin
-        (* [begin_catchup_locked] is gated on the flag; reset it so the
-           deadline and the first broadcast are stamped here, at start. *)
-        t.catching_up <- false;
-        begin_catchup_locked t
-      end;
-      Mutex.unlock t.lock;
-      lift (log_inst.Protocol.start ()) @ drain t
-    in
-    let on_message ~now ~from m =
-      match m with
-      | Log_msg lm -> lift (log_inst.Protocol.on_message ~now ~from lm) @ drain t
-      | Fetch (digest, _) when Pid.equal from t.me ->
-        (* Our own retry timer: re-broadcast while still unresolved. *)
-        Mutex.lock t.lock;
-        if Hashtbl.mem t.unresolved digest then begin
-          List.iter
-            (fun peer -> push_action t (Protocol.Send (peer, Fetch (digest, t.apply_next))))
-            (peers t);
-          push_action t
-            (Protocol.Set_timer
-               { delay = t.cfg.fetch_retry; msg = Fetch (digest, t.apply_next) })
-        end;
-        Mutex.unlock t.lock;
-        drain t
-      | Fetch (digest, stuck_slot) ->
-        Mutex.lock t.lock;
-        let content = Hashtbl.find_opt t.store digest in
-        let answer =
-          match content with
-          | Some batch -> Some (Batch_payload (digest, batch))
-          | None ->
-            (* We are past that slot and have retired the content: point the
-               requester at snapshot transfer instead of letting its fetch
-               retry forever (commit_log_cap truncation closes this path). *)
-            if stuck_slot < t.apply_next then Some (Truncated (snapshot_slot_locked t))
-            else None
-        in
-        Mutex.unlock t.lock;
-        (match answer with Some reply -> [ Protocol.Send (from, reply) ] | None -> [])
-      | Batch_payload (digest, body) ->
-        (* Never trust the claimed digest: recanonicalize and rehash. *)
-        let batch = Batch.canonical body in
-        if digest <> Batch.empty_digest && Batch.digest batch = digest then begin
-          Mutex.lock t.lock;
-          if not (Hashtbl.mem t.store digest) then Hashtbl.replace t.store digest batch;
-          (* Pin the content for as long as a committed-but-unapplied slot
-             still references it: the newest such slot in [commit_buf]
-             (falling back to the apply frontier), never downgrading a newer
-             reference already recorded. *)
-          let newest_ref =
-            Hashtbl.fold
-              (fun slot (d, _) acc -> if d = digest then max acc slot else acc)
-              t.commit_buf t.apply_next
-          in
-          let prev = Option.value ~default:0 (Hashtbl.find_opt t.last_use digest) in
-          Hashtbl.replace t.last_use digest (max prev newest_ref);
-          Hashtbl.remove t.unresolved digest;
-          apply_ready_locked t;
-          flush_dirty_locked t;
-          Mutex.unlock t.lock;
-          drain t
-        end
-        else []
-      | Catch_up from_slot when Pid.equal from t.me ->
-        (* Our own control traffic: [-1] is the batcher's stall watchdog
-           ((re-)enter catch-up); otherwise it is the retry timer — while
-           catching up, re-ask from the current frontier (peers committed
-           more since the last round). *)
-        Mutex.lock t.lock;
-        if from_slot < 0 then begin
-          if
-            (not t.catching_up)
-            && (t.next_slot > t.apply_next || Hashtbl.length t.commit_buf > 0)
-          then begin_catchup_locked t
-        end
-        else if t.catching_up then begin
-          check_catchup_done_locked t;
-          if t.catching_up then begin
-            List.iter
-              (fun peer -> push_action t (Protocol.Send (peer, Catch_up t.apply_next)))
-              (peers t);
-            push_action t
-              (Protocol.Set_timer { delay = t.cfg.catchup_retry; msg = Catch_up from_slot })
-          end
-        end;
-        Mutex.unlock t.lock;
-        drain t
-      | Catch_up from_slot ->
-        Mutex.lock t.lock;
-        if from_slot >= 0 && from_slot <= t.cfg.slots then serve_catchup_locked t ~from ~from_slot;
-        Mutex.unlock t.lock;
-        drain t
-      | Slot_commit { slot; digest; provenance; batch } ->
-        if Pid.equal from t.me then []
-        else begin
-          Mutex.lock t.lock;
-          record_slot_vote_locked t ~from ~slot ~digest ~provenance ~batch;
-          flush_dirty_locked t;
-          Mutex.unlock t.lock;
-          drain t
-        end
-      | Catch_up_done frontier ->
-        if Pid.equal from t.me then []
-        else begin
-          Mutex.lock t.lock;
-          if t.catching_up then begin
-            let prev = Option.value ~default:0 (Hashtbl.find_opt t.cu_frontiers from) in
-            Hashtbl.replace t.cu_frontiers from (max prev frontier);
-            check_catchup_done_locked t
-          end;
-          Mutex.unlock t.lock;
-          drain t
-        end
-      | Truncated snap_slot ->
-        (* A peer retired the history we were fetching: switch to snapshot
-           transfer. Only honoured while actually stuck (an unresolved fetch
-           or an ongoing catch-up) — a lying peer cannot put an idle replica
-           into the catch-up gate. *)
-        Mutex.lock t.lock;
-        if
-          (not (Pid.equal from t.me))
-          && snap_slot > t.apply_next
-          && (t.catching_up || Hashtbl.length t.unresolved > 0)
-        then begin
-          begin_catchup_locked t;
-          List.iter
-            (fun peer -> push_action t (Protocol.Send (peer, Snapshot_fetch t.apply_next)))
-            (peers t)
-        end;
-        Mutex.unlock t.lock;
-        drain t
-      | Snapshot_fetch from_slot ->
-        if Pid.equal from t.me then []
-        else begin
-          (* Prefer the installed on-disk snapshot (stable and byte-identical
-             across correct replicas) when it is ahead of the requester;
-             otherwise capture the live state. *)
-          let disk =
-            match replica_dir t.cfg t.me with
-            | Some dir -> (
-              match Snapshot.load_latest ~dir with
-              | Some (slot, payload) when slot > from_slot -> Some (slot, payload)
-              | _ -> None)
-            | None -> None
-          in
-          match disk with
-          | Some (slot, payload) -> [ Protocol.Send (from, Snapshot_payload (slot, payload)) ]
-          | None ->
-            Mutex.lock t.lock;
-            let slot = t.apply_next in
-            let payload = encode_snapshot_locked t in
-            Mutex.unlock t.lock;
-            if slot > from_slot then [ Protocol.Send (from, Snapshot_payload (slot, payload)) ]
-            else []
-        end
-      | Snapshot_payload (slot, payload) ->
-        if Pid.equal from t.me then []
-        else begin
-          Mutex.lock t.lock;
-          record_snap_vote_locked t ~from ~slot payload;
-          flush_dirty_locked t;
-          Mutex.unlock t.lock;
-          drain t
-        end
-    in
-    (t, { Protocol.start; on_message })
-
-  (* ----------------------------- service side ----------------------------- *)
-
-  let handle_request t ~oc (r : Wire.request) =
-    Mutex.lock t.lock;
-    Hashtbl.replace t.conns r.Wire.client oc;
-    (match Hashtbl.find_opt t.sessions r.Wire.client with
-    | Some (last, cached, cached_lsn) when r.Wire.rid <= last ->
-      (* Idempotent retry: answer from the session cache (stale rids below
-         the cached one get nothing — the client has long moved on). The
-         cached outcome still waits for its WAL record if that has not
-         synced yet. *)
-      if r.Wire.rid = last then
-        reply_or_queue_locked t ~client:r.Wire.client ~rid:r.Wire.rid ~lsn:cached_lsn cached
-    | _ ->
-      if t.catching_up then begin
-        (* Not admitted until we have rejoined the present: we could neither
-           propose nor apply this request at the right slot yet. *)
-        t.busy <- t.busy + 1;
-        reply_locked t ~client:r.Wire.client ~rid:r.Wire.rid Wire.Busy
-      end
-      else if Hashtbl.mem t.pending (r.Wire.client, r.Wire.rid) then ()
-      else if Hashtbl.length t.pending >= t.cfg.queue_cap then begin
-        t.busy <- t.busy + 1;
-        reply_locked t ~client:r.Wire.client ~rid:r.Wire.rid Wire.Busy
-      end
-      else begin
-        let now = Unix.gettimeofday () in
-        t.pending_oldest <- Float.min t.pending_oldest now;
-        Hashtbl.replace t.pending (r.Wire.client, r.Wire.rid) (r, now)
-      end);
-    flush_dirty_locked t;
-    Mutex.unlock t.lock
+  (* ----------------------------- the service ----------------------------- *)
 
   let conn_reader t sock () =
     let ic = Unix.in_channel_of_descr sock in
@@ -1088,84 +38,11 @@ module Make (Uc : Uc_intf.S) = struct
       done
     with Unix.Unix_error _ | Sys_error _ -> ()
 
-  (* Retire batch content nobody can still ask for: digests whose newest
-     reference trails the apply frontier by more than [retain] slots. *)
-  let gc_store_locked t =
-    let floor = t.apply_next - t.cfg.retain in
-    let stale =
-      Hashtbl.fold
-        (fun digest last acc -> if last < floor then digest :: acc else acc)
-        t.last_use []
-    in
-    List.iter
-      (fun digest ->
-        Hashtbl.remove t.store digest;
-        Hashtbl.remove t.last_use digest)
-      stale
-
-  (* The fsyncs of a snapshot install (tmp write + rename + dir sync + WAL
-     truncation) run here, off the apply path; capture happened under the
-     lock at the slot boundary. *)
-  let install_pending_snapshot t =
-    let snap =
-      Mutex.lock t.lock;
-      let s = t.pending_snapshot in
-      t.pending_snapshot <- None;
-      Mutex.unlock t.lock;
-      s
-    in
-    match (snap, replica_dir t.cfg t.me) with
-    | Some (slot, payload, covering_lsn), Some dir ->
-      Snapshot.install ~dir ~slot payload;
-      Mutex.lock t.lock;
-      let wal = t.wal in
-      t.snapshots <- t.snapshots + 1;
-      Mutex.unlock t.lock;
-      Option.iter (fun wal -> Wal.truncate_below wal ~lsn:(covering_lsn + 1)) wal
-    | _ -> ()
-
   let batcher t () =
     while t.running do
       Thread.delay t.cfg.batch_delay;
       install_pending_snapshot t;
-      Mutex.lock t.lock;
-      let now = Unix.gettimeofday () in
-      let want =
-        (not t.catching_up)
-        && Hashtbl.length t.pending > 0
-        && now -. t.pending_oldest >= t.cfg.settle
-      in
-      (* Release a new slot only when the log is locally quiet (everything
-         touched has been applied) — if a slot is already in flight, our
-         pending rides it via propose-on-contact, and releasing more slots
-         here would just commit the same batch several times. The overdue
-         valve breaks stalls (slot gaps opened by a Byzantine initiator,
-         lost releases): after ~10 ticks without progress, release anyway —
-         [release upto] also starts every unstarted slot below [upto]. *)
-      let idle = t.next_slot = t.apply_next in
-      let overdue = now -. t.last_progress > 10.0 *. t.cfg.batch_delay in
-      let fire = want && (idle || overdue) in
-      if fire then t.last_progress <- now;
-      let upto = t.next_slot + 1 in
-      gc_store_locked t;
-      (* Stall watchdog: outstanding work (started-but-undecided slots, or
-         commits we cannot apply) with no progress for a while means some
-         quorum is wedged on traffic we never saw — a restarted replica's
-         endpoint was drained while it was down, and the log layer never
-         retransmits. (Re-)entering catch-up pulls the missing slots from
-         the peers' commit logs instead. Progress resets the clock, so a
-         healthy replica never fires this. *)
-      let stall_after = Float.max (5.0 *. t.cfg.catchup_retry) (25.0 *. t.cfg.batch_delay) in
-      let wedged =
-        (not t.catching_up)
-        && (t.next_slot > t.apply_next || Hashtbl.length t.commit_buf > 0)
-        && now -. t.last_progress > stall_after
-        && now -. t.last_watchdog > stall_after
-      in
-      if wedged then t.last_watchdog <- now;
-      Mutex.unlock t.lock;
-      if fire then t.transport.Transport.send ~src:t.me ~dst:t.me (Log_msg (Log.release upto));
-      if wedged then t.transport.Transport.send ~src:t.me ~dst:t.me (Catch_up (-1))
+      batcher_tick t
     done
 
   let start_service ?(port = 0) t =
@@ -1208,86 +85,11 @@ module Make (Uc : Uc_intf.S) = struct
 
   let stop t =
     stop_threads t;
-    Option.iter Wal.stop_syncer t.syncer;
-    Option.iter Wal.close t.wal
+    Durability_lane.stop t.lane
 
   let crash t =
     stop_threads t;
-    Option.iter Wal.abandon_syncer t.syncer;
-    Option.iter Wal.abandon t.wal
-
-  let stats t =
-    Mutex.lock t.lock;
-    let s =
-      {
-        committed_slots = t.committed_slots;
-        empty_slots = t.empty_slots;
-        one_step = t.one_step;
-        two_step = t.two_step;
-        underlying = t.underlying;
-        applied = t.applied;
-        suppressed_duplicates = t.suppressed;
-        busy_rejections = t.busy;
-        fetches = t.fetches;
-        backlog = Hashtbl.length t.pending;
-        apply_lag = Hashtbl.length t.commit_buf;
-        recovered_slots = t.recovered_slots;
-        catchup_installed = t.catchup_installed;
-        state_transfers = t.state_transfers;
-        snapshots = t.snapshots;
-      }
-    in
-    Mutex.unlock t.lock;
-    s
-
-  let wal_stats t =
-    Mutex.lock t.lock;
-    let s = Option.map Wal.stats t.wal in
-    Mutex.unlock t.lock;
-    s
-
-  let durable_lsn t =
-    Mutex.lock t.lock;
-    let d = match t.wal with Some wal -> Wal.durable_lsn wal | None -> 0 in
-    Mutex.unlock t.lock;
-    d
-
-  let catching_up t =
-    Mutex.lock t.lock;
-    let c = t.catching_up in
-    Mutex.unlock t.lock;
-    c
-
-  let apply_frontier t =
-    Mutex.lock t.lock;
-    let f = t.apply_next in
-    Mutex.unlock t.lock;
-    f
-
-  let commit_log t =
-    Mutex.lock t.lock;
-    let log = List.rev t.commit_log in
-    Mutex.unlock t.lock;
-    log
-
-  let state_snapshot t =
-    Mutex.lock t.lock;
-    let snap = State_machine.snapshot t.state in
-    Mutex.unlock t.lock;
-    snap
-
-  let state_digest t =
-    Mutex.lock t.lock;
-    let d = State_machine.digest t.state in
-    Mutex.unlock t.lock;
-    d
-
-  let pp_stats ppf (s : stats) =
-    Format.fprintf ppf
-      "slots %d (empty %d) | 1-step %d 2-step %d uc %d | applied %d dup %d busy %d fetch %d | backlog %d lag %d | recov %d catchup %d xfer %d snap %d"
-      s.committed_slots s.empty_slots s.one_step s.two_step s.underlying s.applied
-      s.suppressed_duplicates s.busy_rejections s.fetches s.backlog s.apply_lag
-      s.recovered_slots s.catchup_installed s.state_transfers s.snapshots
+    Durability_lane.crash t.lane
 
   (* ------------------------- Byzantine behaviours ------------------------- *)
 
@@ -1316,6 +118,7 @@ module Make (Uc : Uc_intf.S) = struct
     in
     let split ~slot dst = if dst land 1 = 0 then Batch.digest (chaff slot) else Batch.empty_digest in
     let log_inst = Log.equivocator (log_config cfg) ~me ~split in
+    let lift actions = Protocol.map_actions (fun m -> Log_msg m) actions in
     let start () = lift (log_inst.Protocol.start ()) in
     let on_message ~now ~from m =
       match m with
@@ -1336,6 +139,8 @@ module Make (Uc : Uc_intf.S) = struct
     dcfg : config;
     cluster : smsg Cluster.t;
     transport : smsg Transport.t;
+    net_metrics : Registry.t;
+        (* deployment-wide registry holding the transport's [net/*] counters *)
     mutable servers : (Pid.t * t) list;
     ports : (Pid.t * int) list;
     mutable dead : (Pid.t * t) list;
@@ -1354,7 +159,8 @@ module Make (Uc : Uc_intf.S) = struct
         (Log.extra lcfg)
     in
     let pids = Pid.all ~n:cfg.n @ List.map fst extra in
-    let transport = Transport.Tcp_codec.create ~codec:smsg_codec ~pids () in
+    let net_metrics = Registry.create () in
+    let transport = Transport.Tcp_codec.create ~codec:smsg_codec ~metrics:net_metrics ~pids () in
     let servers = ref [] in
     let make p =
       match roles p with
@@ -1374,7 +180,7 @@ module Make (Uc : Uc_intf.S) = struct
           (p, start_service ~port:(if port_base = 0 then 0 else port_base + i) s))
         servers
     in
-    { dcfg = cfg; cluster; transport; servers; ports; dead = [] }
+    { dcfg = cfg; cluster; transport; net_metrics; servers; ports; dead = [] }
 
   let kill_replica d pid =
     match List.assoc_opt pid d.servers with

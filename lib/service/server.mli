@@ -1,179 +1,31 @@
 (** The replicated service: client requests in, state-machine replies out.
 
-    Each replica couples four layers:
+    Each replica couples the staged pipeline assembled in {!Replica} —
+    admission ({!Admission}), batching ({!Batcher}), the consensus-side
+    apply loop, the persist-before-reply durability lane
+    ({!Durability_lane}) and the Byzantine-tolerant catch-up lane
+    ({!Catch_up}) — with the socket layer this module owns: the
+    client-facing TCP listener, per-connection reader threads, and the
+    batcher thread driving slot release, snapshot installs and the stall
+    watchdog.
 
-    - a {!Dex_smr.Replicated_log} replica (under [`On_demand] activation)
-      ordering {e batch digests} — the consensus side;
-    - a batching core: client requests accepted over TCP accumulate in a
-      bounded pending set; a batcher thread releases a fresh log slot
-      whenever work is pending (so batching latency is capped at roughly
-      [2 * batch_delay]); the slot's proposal is the digest of the canonical
-      batch of everything pending at activation. Because clients submit to
-      all replicas, uncontended slots carry the same digest everywhere and
-      decide on the paper's one-step path;
-    - an apply loop: committed digests are resolved to content (locally, or
-      over a peer fetch lane with retry), applied to the
-      {!State_machine} in slot order exactly once per [(client, rid)]
-      (session-table dedupe), and answered to the originating client with
-      the slot and decision provenance;
-    - a durability lane (enabled by [config.data_dir]): every applied slot
-      is logged to a checksummed {!Dex_store.Wal} {e before} its replies are
-      released (persist-before-reply, with group commit batching the
-      fsyncs), the state machine is snapshotted periodically
-      ({!Dex_store.Snapshot}), and a restarted replica recovers
-      snapshot+WAL, catches up missed slots over a peer lane, and only then
-      re-admits client traffic.
+    The full pipeline contract (one-step batching, fetch lane, [t+1]
+    catch-up votes, snapshot transfer, external-validity caveat) is
+    documented on {!Replica} and the stage interfaces; deployment-level
+    orchestration (loopback clusters, kill/restart, agreement checks)
+    lives here. *)
 
-    {b Catch-up lane:} a recovering replica broadcasts [Catch_up frontier];
-    peers answer with [Slot_commit] votes (slot, digest, provenance, and the
-    batch content) drawn from their commit logs. A slot installs once [t+1]
-    distinct peers vote for the same digest (and the content rehashes to
-    it), so no coalition of at most [t] Byzantine replicas can feed the
-    recovering replica a forged history. Peers that have retired the
-    requested history ([commit_log_cap] truncation, or batch content GC'd
-    past [retain]) answer [Truncated], steering the requester to snapshot
-    transfer: [Snapshot_fetch] / [Snapshot_payload], installed under the
-    same [t+1] matching-votes rule (snapshot cadence boundaries and payload
-    encoding are deterministic, so correct replicas hold byte-identical
-    snapshots for the same slot).
-
-    {b External validity caveat:} the log orders digests, and a committed
-    digest no correct replica can resolve stalls the apply loop behind it
-    (the fetch lane retries forever). DEX validity guarantees any committed
-    value was proposed by {e some} replica — for a Byzantine proposer the
-    deployment therefore assumes equivocators disclose batch content on the
-    fetch lane (the bundled {!equivocator} does). Enforcing external
-    validity cryptographically is future work; see ROADMAP. *)
-
-open Dex_condition
 open Dex_net
 open Dex_underlying
-open Dex_smr
 open Dex_runtime
-open Dex_store
 
 type role = Correct | Mute | Equivocator
 
 module Make (Uc : Uc_intf.S) : sig
-  module Log : module type of Replicated_log.Make (Uc)
-
-  type smsg
-  (** Replica-to-replica traffic: log messages, the batch fetch lane
-      ([Fetch] / [Batch_payload] / [Truncated]), and the catch-up lane
-      ([Catch_up] / [Slot_commit] / [Catch_up_done] / [Snapshot_fetch] /
-      [Snapshot_payload]). Payload content is rehashed on receipt — a forged
-      payload is dropped, never stored. *)
-
-  val smsg_codec : smsg Dex_codec.Codec.t
-
-  val pp_smsg : Format.formatter -> smsg -> unit
-
-  type config = {
-    n : int;
-    t : int;
-    seed : int;
-    pair : int -> Pair.t;
-    window : int;  (** log pipelining window *)
-    slots : int;  (** log length bound (default: over a million) *)
-    batch_cap : int;  (** max requests per batch *)
-    batch_delay : float;  (** batcher tick — the batching latency cap *)
-    settle : float;
-        (** min age before a pending request is proposed — absorbs
-            replica-to-replica admission skew so proposals stay unanimous
-            (the one-step condition); see the implementation note *)
-    queue_cap : int;  (** pending-set bound; overflow answers [Busy] *)
-    fetch_retry : float;  (** re-broadcast period for unresolved digests *)
-    retain : int;  (** log + batch-store retirement margin, in slots *)
-    commit_log_cap : int;
-        (** newest commit-log entries kept for {!commit_log} / agreement
-            checks / the catch-up lane; older entries are discarded so a
-            long-lived server does not grow without bound. A replica asked
-            to serve history below the truncation floor answers [Truncated]
-            and offers snapshot transfer instead. *)
-    data_dir : string option;
-        (** durability switch: [Some base] persists each replica under
-            [base/replica-<pid>] (WAL + snapshots) and enables
-            persist-before-reply and recovery; [None] (the default) runs the
-            service purely in memory, as before *)
-    wal_segment_bytes : int;  (** WAL segment rotation threshold *)
-    group_commit : bool;
-        (** batch WAL fsyncs on a background syncer ([true], the default);
-            [false] fsyncs inline on every applied slot *)
-    sync_delay : float;  (** group-commit latency cap (seconds) *)
-    sync_cap : int;  (** group-commit size cap (records per fsync group) *)
-    snapshot_every : int;  (** snapshot cadence, in applied slots *)
-    catchup_cap : int;  (** max slots served per catch-up round *)
-    catchup_retry : float;  (** catch-up re-broadcast period *)
-    catchup_grace : float;
-        (** catch-up gives up waiting for peer confirmations after this many
-            seconds and rejoins anyway (progress over completeness) *)
-  }
-
-  val config :
-    ?seed:int ->
-    ?window:int ->
-    ?slots:int ->
-    ?batch_cap:int ->
-    ?batch_delay:float ->
-    ?settle:float ->
-    ?queue_cap:int ->
-    ?fetch_retry:float ->
-    ?retain:int ->
-    ?commit_log_cap:int ->
-    ?data_dir:string ->
-    ?wal_segment_bytes:int ->
-    ?group_commit:bool ->
-    ?sync_delay:float ->
-    ?sync_cap:int ->
-    ?snapshot_every:int ->
-    ?catchup_cap:int ->
-    ?catchup_retry:float ->
-    ?catchup_grace:float ->
-    pair:(int -> Dex_condition.Pair.t) ->
-    n:int ->
-    t:int ->
-    unit ->
-    config
-  (** Defaults: [window 8], [slots 2^20], [batch_cap 256],
-      [batch_delay 4ms], [settle 2ms], [queue_cap 4096], [fetch_retry 50ms],
-      [retain 256], [commit_log_cap 2^16]; durability off ([data_dir None]),
-      and when on: [wal_segment_bytes 4MiB], [group_commit true],
-      [sync_delay 1ms], [sync_cap 64], [snapshot_every 4096],
-      [catchup_cap 256], [catchup_retry 50ms], [catchup_grace 5s].
-      @raise Invalid_argument on nonsensical values (see the checks). *)
-
-  type t
-  (** One replica's service state. *)
-
-  type stats = {
-    committed_slots : int;
-    empty_slots : int;  (** committed no-op slots (empty digest) *)
-    one_step : int;  (** non-empty committed slots decided in one step *)
-    two_step : int;
-    underlying : int;
-    applied : int;  (** requests executed (after dedupe) *)
-    suppressed_duplicates : int;  (** re-committed requests not re-executed *)
-    busy_rejections : int;
-    fetches : int;  (** distinct digests that needed the fetch lane *)
-    backlog : int;  (** pending requests right now *)
-    apply_lag : int;  (** committed slots not yet applied *)
-    recovered_slots : int;  (** slots replayed from snapshot+WAL at startup *)
-    catchup_installed : int;  (** slots installed over the peer catch-up lane *)
-    state_transfers : int;  (** peer snapshots installed *)
-    snapshots : int;  (** local snapshots installed *)
-  }
-
-  val replica :
-    ?catchup:bool -> config -> me:Pid.t -> transport:smsg Transport.t -> t * smsg Protocol.instance
-  (** The consensus-side node. Mount the instance in a {!Dex_runtime.Cluster}
-      (or drive it by hand in tests); the transport handle is used by the
-      service threads for self-addressed control messages.
-
-      With [config.data_dir] set, the replica first recovers from its data
-      directory (newest valid snapshot, then WAL replay). [catchup] forces
-      the peer catch-up phase on ([true]) or off ([false]); the default runs
-      it exactly when recovery found prior durable state. While catching up
-      the replica answers clients [Busy] and proposes nothing. *)
+  (** Everything consensus-side: [smsg] (+ codec), [config], the replica
+      constructor, request handling, stats and the per-replica metrics
+      registry. See {!Replica.Make}. *)
+  include module type of Replica.Make (Uc)
 
   val start_service : ?port:int -> t -> int
   (** Bind the client-facing listener on loopback ([port = 0] picks an
@@ -193,38 +45,13 @@ module Make (Uc : Uc_intf.S) : sig
       or fsync, exactly what a power cut leaves behind. Pair with a
       subsequent {!replica} over the same data dir to exercise recovery. *)
 
-  val stats : t -> stats
-
-  val wal_stats : t -> Wal.stats option
-  (** The durability lane's WAL counters ([None] when durability is off). *)
-
-  val durable_lsn : t -> int
-  (** The WAL durable watermark (0 when durability is off). *)
-
-  val catching_up : t -> bool
-
-  val apply_frontier : t -> int
-  (** First slot not yet applied. *)
-
-  val commit_log : t -> (int * int * Dex_core.Dex.provenance) list
-  (** [(slot, digest, provenance)] in commit order — the raw material for
-      agreement checks across replicas. Only the newest [commit_log_cap]
-      entries are retained; size the cap to the run when checking agreement
-      post hoc. *)
-
-  val state_snapshot : t -> (string * int) list
-
-  val state_digest : t -> int
-
-  val pp_stats : Format.formatter -> stats -> unit
-
   val equivocator : config -> me:Pid.t -> smsg Protocol.instance
   (** A Byzantine replica lifting {!Log.equivocator} to the service layer:
       per slot, half the peers see the digest of a synthetic chaff batch,
       the other half the empty digest, on both decision lanes. It answers
       fetches for its chaff, so slots it wins still resolve (the external
-      validity assumption above). It never answers the catch-up or snapshot
-      lanes — which the [t+1] vote rule absorbs. *)
+      validity assumption — see {!Replica}). It never answers the catch-up
+      or snapshot lanes — which the [t+1] vote rule absorbs. *)
 
   (** {2 Loopback deployments}
 
@@ -236,6 +63,10 @@ module Make (Uc : Uc_intf.S) : sig
     dcfg : config;
     cluster : smsg Cluster.t;
     transport : smsg Transport.t;
+    net_metrics : Dex_metrics.Registry.t;
+        (** deployment-wide registry holding the transport's [net/*]
+            counters (totals and per-peer); per-replica [service/*] and
+            [wal/*] families live in each replica's {!metrics} registry *)
     mutable servers : (Pid.t * t) list;  (** live correct replicas *)
     ports : (Pid.t * int) list;  (** their client-facing service ports *)
     mutable dead : (Pid.t * t) list;  (** replicas taken down by {!kill_replica} *)

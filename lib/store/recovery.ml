@@ -6,10 +6,10 @@ type t = {
   replay_ms : float;
 }
 
-let run ?segment_bytes ~dir () =
+let run ?metrics ?segment_bytes ~dir () =
   Wal.mkdir_p dir;
   let snapshot = Snapshot.load_latest ~dir in
-  let opened = Wal.open_ ?segment_bytes dir in
+  let opened = Wal.open_ ?metrics ?segment_bytes dir in
   {
     snapshot;
     wal = opened.Wal.wal;

@@ -15,7 +15,7 @@ type t = {
   replay_ms : float;  (** wall time spent scanning the WAL *)
 }
 
-val run : ?segment_bytes:int -> dir:string -> unit -> t
+val run : ?metrics:Dex_metrics.Registry.t -> ?segment_bytes:int -> dir:string -> unit -> t
 (** Load from [dir] (created if missing). Note the WAL [entries] may begin
     {e before} the snapshot slot — WAL truncation is segment-granular — so
     callers must skip records the snapshot already covers. *)

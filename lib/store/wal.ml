@@ -14,6 +14,8 @@
    — including whole later segments — is unreachable by replay and is
    deleted, so the surviving prefix is exactly what recovery replays. *)
 
+module Registry = Dex_metrics.Registry
+
 let magic = "DEXWAL1\n"
 
 let magic_len = String.length magic
@@ -65,11 +67,13 @@ type t = {
   mutable next_lsn : int;
   mutable durable : int;
   mutable closed : bool;
-  mutable appends : int;
-  mutable fsyncs : int;
-  mutable synced_records : int;
-  mutable max_group : int;
-  mutable bytes : int;
+  (* Operational counters live in a metrics registry (the caller's, or a
+     private one) under [wal/*]; the public [stats] record reads them back. *)
+  c_appends : Registry.counter;
+  c_fsyncs : Registry.counter;
+  c_synced_records : Registry.counter;
+  g_max_group : Registry.gauge;
+  c_bytes : Registry.counter;
 }
 
 type opened = {
@@ -139,8 +143,9 @@ let fresh_segment dir first =
   fsync_dir dir;
   (fd, oc, path)
 
-let open_ ?(segment_bytes = 4 * 1024 * 1024) dir =
+let open_ ?metrics ?(segment_bytes = 4 * 1024 * 1024) dir =
   let t0 = Unix.gettimeofday () in
+  let registry = match metrics with Some r -> r | None -> Registry.create () in
   mkdir_p dir;
   let on_disk =
     Sys.readdir dir |> Array.to_list |> List.filter_map parse_seg |> List.sort compare
@@ -204,13 +209,18 @@ let open_ ?(segment_bytes = 4 * 1024 * 1024) dir =
       next_lsn;
       durable = next_lsn - 1;
       closed = false;
-      appends = 0;
-      fsyncs = 0;
-      synced_records = 0;
-      max_group = 0;
-      bytes = 0;
+      c_appends = Registry.counter registry "wal/appends";
+      c_fsyncs = Registry.counter registry "wal/fsyncs";
+      c_synced_records = Registry.counter registry "wal/synced_records";
+      g_max_group = Registry.gauge registry "wal/max_group";
+      c_bytes = Registry.counter registry "wal/bytes";
     }
   in
+  Registry.gauge_fn registry "wal/segments" (fun () ->
+      Mutex.lock wal.lock;
+      let n = List.length wal.segments in
+      Mutex.unlock wal.lock;
+      n);
   {
     wal;
     entries = List.rev !entries;
@@ -222,9 +232,9 @@ let open_ ?(segment_bytes = 4 * 1024 * 1024) dir =
 let record_sync_locked (t : t) =
   let group = t.next_lsn - 1 - t.durable in
   if group > 0 then begin
-    t.fsyncs <- t.fsyncs + 1;
-    t.synced_records <- t.synced_records + group;
-    if group > t.max_group then t.max_group <- group;
+    Registry.incr t.c_fsyncs;
+    Registry.add t.c_synced_records group;
+    Registry.set_max t.g_max_group group;
     t.durable <- t.next_lsn - 1
   end
 
@@ -253,8 +263,8 @@ let append (t : t) payload =
     let lsn = t.next_lsn in
     t.next_lsn <- lsn + 1;
     t.seg_size <- t.seg_size + 12 + String.length payload;
-    t.appends <- t.appends + 1;
-    t.bytes <- t.bytes + String.length payload;
+    Registry.incr t.c_appends;
+    Registry.add t.c_bytes (String.length payload);
     Mutex.unlock t.lock;
     lsn
   end
@@ -330,18 +340,16 @@ let abandon (t : t) =
 
 let stats (t : t) =
   Mutex.lock t.lock;
-  let s =
-    {
-      appends = t.appends;
-      fsyncs = t.fsyncs;
-      synced_records = t.synced_records;
-      max_group = t.max_group;
-      bytes = t.bytes;
-      segments = List.length t.segments;
-    }
-  in
+  let segments = List.length t.segments in
   Mutex.unlock t.lock;
-  s
+  {
+    appends = Registry.value t.c_appends;
+    fsyncs = Registry.value t.c_fsyncs;
+    synced_records = Registry.value t.c_synced_records;
+    max_group = Registry.gauge_value t.g_max_group;
+    bytes = Registry.value t.c_bytes;
+    segments;
+  }
 
 (* ----------------------------- group commit ----------------------------- *)
 

@@ -47,10 +47,14 @@ type opened = {
   replay_ms : float;  (** wall time of the recovery scan *)
 }
 
-val open_ : ?segment_bytes:int -> string -> opened
+val open_ : ?metrics:Dex_metrics.Registry.t -> ?segment_bytes:int -> string -> opened
 (** Open (creating the directory if needed) and recover. [segment_bytes]
     (default 4 MiB) is the rotation threshold: a segment that reaches it is
-    fsynced and closed, and appends continue in a fresh file.
+    fsynced and closed, and appends continue in a fresh file. [metrics]
+    (default: a private registry) receives the operational counters as
+    [wal/appends], [wal/fsyncs], [wal/synced_records], [wal/bytes], the
+    [wal/max_group] gauge and a [wal/segments] callback gauge; {!stats}
+    reads the same registry back.
     @raise Sys_error / [Unix.Unix_error] on filesystem failure. *)
 
 val append : t -> string -> int

@@ -22,10 +22,21 @@ let test_percentile () =
   feq "p0 -> min" 1.0 (Stats.percentile 0.0 xs)
 
 let test_percentile_errors () =
-  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty sample") (fun () ->
-      ignore (Stats.percentile 50.0 []));
   Alcotest.check_raises "out of range" (Invalid_argument "Stats.percentile: p outside [0,100]")
     (fun () -> ignore (Stats.percentile 101.0 [ 1.0 ]))
+
+(* Regression: empty samples used to raise, crashing any reporter fed an
+   idle interval; they must now mirror [mean []] = 0. *)
+let test_empty_samples () =
+  feq "percentile empty" 0.0 (Stats.percentile 50.0 []);
+  let s = Stats.summarize [] in
+  Alcotest.(check int) "count" 0 s.Stats.count;
+  feq "mean" 0.0 s.Stats.mean;
+  feq "min" 0.0 s.Stats.min;
+  feq "max" 0.0 s.Stats.max;
+  feq "p50" 0.0 s.Stats.p50;
+  feq "p99" 0.0 s.Stats.p99;
+  Alcotest.(check bool) "equals empty_summary" true (s = Stats.empty_summary)
 
 let test_summary () =
   let s = Stats.summarize (Stats.of_ints [ 1; 2; 3; 4 ]) in
@@ -66,6 +77,83 @@ let test_histogram_empty_fraction () =
   let h = Histogram.create () in
   feq "empty fraction" 0.0 (Histogram.fraction h 1)
 
+let test_registry_counters () =
+  let r = Registry.create () in
+  let c = Registry.counter r "svc/commits" in
+  Registry.incr c;
+  Registry.add c 4;
+  Alcotest.(check int) "value" 5 (Registry.value c);
+  (* Idempotent registration: same handle state under the same name. *)
+  let c' = Registry.counter r "svc/commits" in
+  Registry.incr c';
+  Alcotest.(check int) "shared" 6 (Registry.value c);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Registry: \"svc/commits\" is already registered as a counter") (fun () ->
+      ignore (Registry.gauge r "svc/commits"))
+
+let test_registry_gauges () =
+  let r = Registry.create () in
+  let g = Registry.gauge r "wal/max_group" in
+  Registry.set_max g 3;
+  Registry.set_max g 7;
+  Registry.set_max g 5;
+  Alcotest.(check int) "max retained" 7 (Registry.gauge_value g);
+  Registry.set g 2;
+  Alcotest.(check int) "set" 2 (Registry.gauge_value g);
+  let backlog = ref 11 in
+  Registry.gauge_fn r "svc/backlog" (fun () -> !backlog);
+  let snap = Registry.snapshot r in
+  Alcotest.(check int) "fn gauge sampled" 11 (Registry.get snap "svc/backlog");
+  backlog := 3;
+  Alcotest.(check int) "fn gauge resampled" 3 (Registry.get (Registry.snapshot r) "svc/backlog")
+
+let test_registry_timer () =
+  let r = Registry.create () in
+  let tm = Registry.timer r "wal/fsync" in
+  Registry.observe_ns tm 1_000;
+  Registry.observe_ns tm 1_000;
+  Registry.observe_ns tm 1_000_000;
+  let snap = Registry.snapshot r in
+  (match Registry.find_dist snap "wal/fsync" with
+  | None -> Alcotest.fail "dist missing"
+  | Some d ->
+    Alcotest.(check int) "count" 3 d.Registry.count;
+    feq "mean" (1_002_000.0 /. 3.0) (Registry.dist_mean_ns d);
+    (* p50 lands in the bucket covering 1000 ns: upper bound 1024. *)
+    feq "p50 bucket bound" 1024.0 (Registry.dist_quantile_ns d 0.5);
+    Alcotest.(check bool) "p99 >= 1e6" true (Registry.dist_quantile_ns d 0.99 >= 1_000_000.0));
+  Alcotest.(check int) "get on dist = count" 3 (Registry.get snap "wal/fsync")
+
+let test_registry_snapshot_merge () =
+  let mk commits backlog =
+    let r = Registry.create () in
+    Registry.add (Registry.counter r "svc/commits") commits;
+    Registry.set (Registry.gauge r "svc/backlog") backlog;
+    Registry.observe_ns (Registry.timer r "svc/lat") 500;
+    Registry.snapshot r
+  in
+  let merged = Registry.merge [ mk 5 1; mk 7 2 ] in
+  Alcotest.(check int) "counters sum" 12 (Registry.get merged "svc/commits");
+  Alcotest.(check int) "gauges sum" 3 (Registry.get merged "svc/backlog");
+  (match Registry.find_dist merged "svc/lat" with
+  | Some d -> Alcotest.(check int) "dists merge" 2 d.Registry.count
+  | None -> Alcotest.fail "merged dist missing");
+  Alcotest.(check int) "absent name is 0" 0 (Registry.get merged "no/such");
+  (* Sorted, and both renderings mention every metric. *)
+  let names = List.map fst merged in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let text = Registry.to_text merged and json = Registry.to_json merged in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " in text") true (contains text n);
+      Alcotest.(check bool) (n ^ " in json") true (contains json n))
+    names
+
 let () =
   Alcotest.run "dex_metrics"
     [
@@ -75,7 +163,15 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+          Alcotest.test_case "empty samples" `Quick test_empty_samples;
           Alcotest.test_case "summary" `Quick test_summary;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_registry_counters;
+          Alcotest.test_case "gauges" `Quick test_registry_gauges;
+          Alcotest.test_case "timer" `Quick test_registry_timer;
+          Alcotest.test_case "snapshot merge" `Quick test_registry_snapshot_merge;
         ] );
       ( "histogram",
         [

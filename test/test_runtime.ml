@@ -135,13 +135,32 @@ let test_link_stats_counters () =
   Alcotest.(check int) "per-destination drop count" 2 (c.Transport.drop_count ~dst:1);
   c.Transport.send ~src:2 ~dst:99 "nowhere";
   Alcotest.(check int) "unknown dst dropped immediately" 1 (c.Transport.drop_count ~dst:99);
+  (* Per-peer breakdown: the dead listener's losses must be attributed to
+     pid 1 and the unknown destination's to pid 99, not blurred together. *)
+  (match List.assoc_opt 1 (c.Transport.peer_links ()) with
+  | Some s ->
+    Alcotest.(check int) "peer 1 drops" 2 s.Transport.drops;
+    Alcotest.(check bool) "peer 1 backoffs" true (s.Transport.backoffs > 0)
+  | None -> Alcotest.fail "peer 1 missing from peer_links");
+  (match List.assoc_opt 99 (c.Transport.peer_links ()) with
+  | Some s ->
+    Alcotest.(check int) "peer 99 drops" 1 s.Transport.drops;
+    Alcotest.(check int) "peer 99 backoffs" 0 s.Transport.backoffs
+  | None -> Alcotest.fail "peer 99 missing from peer_links");
   c.Transport.close ();
   a.Transport.close ();
-  let mem = Transport.Mem.create ~pids:[ 0; 1 ] () in
+  let registry = Dex_metrics.Registry.create () in
+  let mem = Transport.Mem.create ~metrics:registry ~pids:[ 0; 1 ] () in
   mem.Transport.send ~src:0 ~dst:1 "m";
   ignore (mem.Transport.recv ~me:1 ~timeout:0.5);
   Alcotest.(check int) "mem reports no reconnects" 0
     (mem.Transport.link_stats ()).Transport.reconnects;
+  mem.Transport.send ~src:0 ~dst:42 "void";
+  let snap = Dex_metrics.Registry.snapshot registry in
+  Alcotest.(check int) "registry mirrors total drops" 1
+    (Dex_metrics.Registry.get snap "net/drops");
+  Alcotest.(check int) "registry mirrors per-peer drops" 1
+    (Dex_metrics.Registry.get snap "net/drops/peer42");
   mem.Transport.close ()
 
 let run_dex_cluster ~transport_kind ~proposals =
