@@ -240,13 +240,13 @@ let fresh_dir tag =
   rm_rf dir;
   dir
 
-let service_throughput ?(durable = false) () =
+let service_throughput ?(durable = false) ?(io_mode = Dex_runtime.Transport.Reactor) () =
   let n = 4 and t = 0 in
   let pair = Pair.freq ~n ~t in
   let dir = if durable then Some (fresh_dir "svc") else None in
-  let cfg = Svc.config ?data_dir:dir ~pair:(fun _ -> pair) ~n ~t () in
+  let cfg = Svc.config ?data_dir:dir ~io_mode ~pair:(fun _ -> pair) ~n ~t () in
   let d = Svc.launch cfg in
-  let c = Dex_service.Client.connect ~client:1 (List.map snd d.Svc.ports) in
+  let c = Dex_service.Client.connect ~io_mode ~client:1 (List.map snd d.Svc.ports) in
   let r =
     Dex_service.Client.Load.run_many ~clients:64 ~duration:2.0 c (fun i ->
         Dex_service.State_machine.Set (Printf.sprintf "k%d" (i mod 64), i))
@@ -258,13 +258,54 @@ let service_throughput ?(durable = false) () =
   let open Dex_service.Client.Load in
   let committed = float_of_int r.committed in
   let p50 = match r.latency with Some s -> s.Dex_metrics.Stats.p50 | None -> 0.0 in
-  let tag name = if durable then "service/durable-" ^ name else "service/" ^ name in
+  let p99 = match r.latency with Some s -> s.Dex_metrics.Stats.p99 | None -> 0.0 in
+  let tag name =
+    (* The reactor path is the default, so its rows keep the names earlier
+       BENCH_*.json runs used; the threaded baseline gets its own prefix. *)
+    let mode = match io_mode with
+      | Dex_runtime.Transport.Reactor -> ""
+      | Dex_runtime.Transport.Threads -> "threads-"
+    in
+    if durable then "service/durable-" ^ mode ^ name else "service/" ^ mode ^ name
+  in
   [
     (tag "throughput-ops-s", r.throughput);
     ( tag "one-step-fraction",
       if r.committed = 0 then 0.0 else float_of_int r.one_step /. committed );
     (tag "latency-p50-ms", p50);
+    (tag "latency-p99-ms", p99);
   ]
+
+(* Reactor dispatch latency: post a closure from another thread, wait for the
+   loop to run it. Covers the self-pipe wake, one select round and the posted
+   queue drain — the fixed overhead every timer or cross-thread send pays. *)
+let reactor_tick_row () =
+  (* [Stdlib.Condition]: the open of {!Dex_condition} shadows the stdlib
+     module with the paper's input-vector conditions. *)
+  let r = Dex_runtime.Reactor.create ~name:"bench" () in
+  let mu = Mutex.create () and cv = Stdlib.Condition.create () in
+  let fired = ref false in
+  let samples =
+    List.init 2000 (fun _ ->
+        Mutex.lock mu;
+        fired := false;
+        Mutex.unlock mu;
+        let t0 = Unix.gettimeofday () in
+        Dex_runtime.Reactor.post r (fun () ->
+            Mutex.lock mu;
+            fired := true;
+            Stdlib.Condition.signal cv;
+            Mutex.unlock mu);
+        Mutex.lock mu;
+        while not !fired do
+          Stdlib.Condition.wait cv mu
+        done;
+        Mutex.unlock mu;
+        (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  Dex_runtime.Reactor.stop r;
+  let s = Dex_metrics.Stats.summarize samples in
+  [ ("reactor/tick-ns", s.Dex_metrics.Stats.p50) ]
 
 (* ----------------------- durability lane ----------------------- *)
 
@@ -329,6 +370,30 @@ let wal_latency_rows () =
     ("wal/append-fsync-p99-us", inline_p99);
     ("wal/group-commit-p50-us", group_p50);
     ("wal/group-commit-p99-us", group_p99);
+  ]
+
+(* Raw append (no fsync) tail latency with and without segment
+   preallocation. Preallocated segments never extend the file on the hot
+   path, so the p99 should be free of allocate-on-write stalls. *)
+let wal_prealloc_rows () =
+  let records = 4000 in
+  let payload = String.make 128 'w' in
+  let run ~preallocate tag =
+    let dir = fresh_dir tag in
+    let o = Dex_store.Wal.open_ ~preallocate dir in
+    let samples =
+      List.init records (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Dex_store.Wal.append o.Dex_store.Wal.wal payload);
+          (Unix.gettimeofday () -. t0) *. 1e6)
+    in
+    Dex_store.Wal.close o.Dex_store.Wal.wal;
+    rm_rf dir;
+    (Dex_metrics.Stats.summarize samples).Dex_metrics.Stats.p99
+  in
+  [
+    ("wal/preallocated-append-p99-us", run ~preallocate:true "wal-pre");
+    ("wal/growing-append-p99-us", run ~preallocate:false "wal-grow");
   ]
 
 let all_tests =
@@ -408,16 +473,64 @@ let write_json rows service_rows durability_rows =
   close_out oc;
   Printf.printf "wrote %s\n" file
 
+(* Run [f] in a forked child and marshal its result back. The service lanes
+   are sensitive to runtime state the microbenchmarks leave behind — bechamel
+   disables automatic compaction ([Gc.max_overhead] := 1e6) and its
+   stabilization loop compacts the major heap down to nothing, after which
+   the allocation-heavy loopback deployments measure the GC's re-expansion
+   pacing instead of the I/O stack (2-3x slower than the same code in a
+   fresh process). Forking gives every lane the process state it would have
+   standalone. Must be called while the process is single-threaded. *)
+let in_child (f : unit -> (string * float) list) : (string * float) list =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close rd;
+    let result = try Ok (f ()) with e -> Error (Printexc.to_string e) in
+    let oc = Unix.out_channel_of_descr wr in
+    Marshal.to_channel oc result [];
+    flush oc;
+    (* [_exit]: skip at_exit so the parent's buffered output is not
+       re-flushed from the child. *)
+    Unix._exit 0
+  | pid ->
+    Unix.close wr;
+    let ic = Unix.in_channel_of_descr rd in
+    let result : ((string * float) list, string) Result.t = Marshal.from_channel ic in
+    close_in ic;
+    ignore (Unix.waitpid [] pid);
+    (match result with Ok rows -> rows | Error e -> failwith e)
+
 let () =
-  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
+  let quick = arg = "quick" in
+  (* [service]: just the service+durable loopback runs, for quick A/B of
+     runtime changes without the microbenchmark preamble or JSON output. *)
+  if arg = "service" then begin
+    let rows =
+      service_throughput ()
+      @ service_throughput ~io_mode:Dex_runtime.Transport.Threads ()
+      @ service_throughput ~durable:true ()
+    in
+    List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) rows;
+    exit 0
+  end;
   print_endline "== Bechamel microbenchmarks ==";
-  let rows = collect_rows (benchmark ()) in
+  let rows = in_child (fun () -> collect_rows (benchmark ())) in
   print_results rows;
   print_endline "\n== Service lane (loopback n=4 t=0, 64 closed-loop clients) ==";
-  let service_rows = service_throughput () in
+  let service_rows =
+    in_child (fun () ->
+        service_throughput ()
+        @ service_throughput ~io_mode:Dex_runtime.Transport.Threads ()
+        @ reactor_tick_row ())
+  in
   List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) service_rows;
   print_endline "\n== Durability lane (WAL time-to-durable; durable service run) ==";
-  let durability_rows = wal_latency_rows () @ service_throughput ~durable:true () in
+  let durability_rows =
+    in_child (fun () ->
+        wal_latency_rows () @ wal_prealloc_rows () @ service_throughput ~durable:true ())
+  in
   List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) durability_rows;
   write_json rows service_rows durability_rows;
   if not quick then begin

@@ -23,11 +23,11 @@ let workload_of name client =
       | _ -> Sm.Nop)
   | other -> failwith (Printf.sprintf "unknown workload %S (use add, set or mixed)" other)
 
-let action ports_s client clients duration pace timeout attempts workload =
+let action ports_s client clients duration pace timeout attempts workload io_mode =
   match
     let ports = List.map int_of_string (String.split_on_char ',' ports_s) in
     let gen = workload_of workload client in
-    let c = Dex_service.Client.connect ~client ports in
+    let c = Dex_service.Client.connect ~io_mode ~client ports in
     let report =
       if clients > 1 then
         (* Throughput harness: many logical closed loops, one thread. *)
@@ -79,6 +79,24 @@ let attempts_t =
 let workload_t =
   Arg.(value & opt string "add" & info [ "workload" ] ~doc:"Workload: add, set or mixed.")
 
+let io_mode_t =
+  let conv_mode =
+    let parse s =
+      match Dex_runtime.Transport.io_mode_of_string s with
+      | Some m -> Ok m
+      | None -> Error (`Msg (Printf.sprintf "unknown io mode %S (use threads or reactor)" s))
+    in
+    Arg.conv
+      (parse, fun ppf m -> Format.pp_print_string ppf (Dex_runtime.Transport.io_mode_to_string m))
+  in
+  Arg.(
+    value
+    & opt conv_mode Dex_runtime.Transport.Reactor
+    & info [ "io-mode" ]
+        ~doc:
+          "Receive machinery: $(b,reactor) (one event loop, incremental frame reassembly, \
+           coalesced writes) or $(b,threads) (one blocking reader thread per connection).")
+
 let () =
   let info =
     Cmd.info "dex_client" ~version:"1.0.0"
@@ -88,6 +106,6 @@ let () =
     Term.(
       ret
         (const action $ ports_t $ client_t $ clients_t $ duration_t $ pace_t $ timeout_t
-        $ attempts_t $ workload_t))
+        $ attempts_t $ workload_t $ io_mode_t))
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -44,6 +44,7 @@ type opts = {
   snapshot_every : int;
   kill : int;
   down : float;
+  io_mode : Dex_runtime.Transport.io_mode;
 }
 
 let pair_of opts =
@@ -64,9 +65,9 @@ module Run (Uc : Uc_intf.S) = struct
   let launch opts =
     let pair = pair_of opts in
     let cfg =
-      S.config ~seed:opts.seed ~window:opts.window ~batch_delay:opts.batch_delay
-        ~settle:opts.settle ~batch_cap:opts.batch_cap ~queue_cap:opts.queue_cap
-        ?data_dir:opts.data_dir ~group_commit:opts.group_commit
+      S.config ~seed:opts.seed ~io_mode:opts.io_mode ~window:opts.window
+        ~batch_delay:opts.batch_delay ~settle:opts.settle ~batch_cap:opts.batch_cap
+        ~queue_cap:opts.queue_cap ?data_dir:opts.data_dir ~group_commit:opts.group_commit
         ~snapshot_every:opts.snapshot_every
         ~pair:(fun _ -> pair)
         ~n:opts.n ~t:opts.t ()
@@ -133,21 +134,35 @@ module Run (Uc : Uc_intf.S) = struct
       in
       if rows = [] then "" else " | peers " ^ String.concat " " rows
     in
+    (* Event-driven runtime health, present only under --io-mode reactor:
+       registered fds and timer-queue depth across all loops, loop
+       iterations, and the client write-buffer high-water mark. *)
+    let reactor_part =
+      if not (List.mem_assoc "reactor/loops" merged) then ""
+      else
+        Printf.sprintf " | reactor fds=%d timers=%d loops=%d errs=%d wbuf<=%dB"
+          (R.get merged "reactor/fds")
+          (R.get merged "reactor/timers")
+          (R.get merged "reactor/loops")
+          (R.get merged "reactor/handler_errors")
+          (max_over "service/client_wbuf_hwm")
+    in
     Printf.printf
-      "[stats] slots=%d applied=%d busy=%d lag=%d | %s | net reconn=%d backoff=%d drop=%d%s\n%!"
+      "[stats] slots=%d applied=%d busy=%d lag=%d | %s | net reconn=%d backoff=%d drop=%d%s%s\n%!"
       (R.get merged "service/committed_slots")
       (R.get merged "service/applied")
       (R.get merged "service/busy_rejections")
       (max_over "service/apply_lag") wal_part
       (R.get merged "net/reconnects")
       (R.get merged "net/backoffs")
-      (R.get merged "net/drops") peer_part
+      (R.get merged "net/drops") peer_part reactor_part
 
   let serve opts =
     let d = launch opts in
-    Printf.printf "service up: n=%d t=%d uc=%s pair=%s durability=%s\n" opts.n opts.t Uc.name
-      opts.pair_name
-      (match opts.data_dir with Some dir -> dir | None -> "off");
+    Printf.printf "service up: n=%d t=%d uc=%s pair=%s durability=%s io=%s\n" opts.n opts.t
+      Uc.name opts.pair_name
+      (match opts.data_dir with Some dir -> dir | None -> "off")
+      (Dex_runtime.Transport.io_mode_to_string opts.io_mode);
     print_ports d;
     let heartbeat = if opts.stats_every > 0.0 then opts.stats_every else 10.0 in
     let report () = if opts.stats_every > 0.0 then stats_line d else print_stats d in
@@ -180,7 +195,9 @@ module Run (Uc : Uc_intf.S) = struct
       opts.t Uc.name opts.pair_name
       (String.concat "," (List.map string_of_int opts.mute))
       (String.concat "," (List.map string_of_int opts.equivocate));
-    let client = Dex_service.Client.connect ~client:1 (List.map snd d.S.ports) in
+    let client =
+      Dex_service.Client.connect ~io_mode:opts.io_mode ~client:1 (List.map snd d.S.ports)
+    in
     let report =
       Dex_service.Client.Load.run ~duration:opts.duration client (fun _ -> Sm.Add ("k", 1))
     in
@@ -238,7 +255,9 @@ module Run (Uc : Uc_intf.S) = struct
     let loader =
       Thread.create
         (fun () ->
-          let client = Dex_service.Client.connect ~client:1 (List.map snd d.S.ports) in
+          let client =
+            Dex_service.Client.connect ~io_mode:opts.io_mode ~client:1 (List.map snd d.S.ports)
+          in
           report := Some (Dex_service.Client.Load.run ~duration:opts.duration client
                             (fun _ -> Sm.Add ("k", 1)));
           Dex_service.Client.close client)
@@ -432,8 +451,27 @@ let opts_t ~default_n ~default_t ~default_duration ~default_mute =
       value & opt float 1.0
       & info [ "down" ] ~doc:"Seconds the crashed replica stays down (restart command).")
   in
+  let io_mode_t =
+    let conv_mode =
+      let parse s =
+        match Dex_runtime.Transport.io_mode_of_string s with
+        | Some m -> Ok m
+        | None -> Error (`Msg (Printf.sprintf "unknown io mode %S (use threads or reactor)" s))
+      in
+      Arg.conv
+        (parse, fun ppf m -> Format.pp_print_string ppf (Dex_runtime.Transport.io_mode_to_string m))
+    in
+    Arg.(
+      value
+      & opt conv_mode Dex_runtime.Transport.Reactor
+      & info [ "io-mode" ]
+          ~doc:
+            "I/O runtime: $(b,reactor) (event loop per replica, nonblocking sockets, frame \
+             coalescing, timer-driven batching and group commit) or $(b,threads) \
+             (thread-per-connection with condvar mailboxes).")
+  in
   let make n t pair_name seed window batch_delay settle batch_cap queue_cap port_base duration
-      mute equivocate data_dir stats_every no_group_commit snapshot_every kill down =
+      mute equivocate data_dir stats_every no_group_commit snapshot_every kill down io_mode =
     let mute =
       match default_mute with
       | Some default when mute = [] && equivocate = [] -> default
@@ -441,12 +479,13 @@ let opts_t ~default_n ~default_t ~default_duration ~default_mute =
     in
     { n; t; pair_name; seed; window; batch_delay; settle; batch_cap; queue_cap; port_base;
       duration; mute; equivocate; data_dir; stats_every; group_commit = not no_group_commit;
-      snapshot_every; kill; down }
+      snapshot_every; kill; down; io_mode }
   in
   Term.(
     const make $ n_t $ t_t $ pair_t $ seed_t $ window_t $ batch_delay_t $ settle_t
     $ batch_cap_t $ queue_cap_t $ port_base_t $ duration_t $ mute_t $ equivocate_t
-    $ data_dir_t $ stats_every_t $ no_group_commit_t $ snapshot_every_t $ kill_t $ down_t)
+    $ data_dir_t $ stats_every_t $ no_group_commit_t $ snapshot_every_t $ kill_t $ down_t
+    $ io_mode_t)
 
 let uc_t =
   Arg.(value & opt string "oracle" & info [ "uc" ] ~doc:"Underlying consensus: oracle or leader.")

@@ -192,6 +192,11 @@ module Frame = struct
     Buffer.add_int32_be buf (Int32.of_int len);
     Buffer.add_string buf payload
 
+  let to_string codec v =
+    let buf = Buffer.create 128 in
+    write buf codec v;
+    Buffer.contents buf
+
   let to_channel_buffered oc codec v =
     let buf = Buffer.create 128 in
     write buf codec v;
@@ -207,4 +212,45 @@ module Frame = struct
     if len < 0 || len > max_frame then fail "bad frame length %d" len;
     let payload = really_input_string ic len in
     decode_exn codec payload
+
+  (* Incremental frame reassembly for nonblocking transports: bytes arrive
+     in arbitrary chunks, frames come out whole. Pending bytes accumulate in
+     a [Buffer]; a consumption cursor avoids re-copying on every feed, and
+     the buffer is compacted once the consumed prefix dominates. *)
+  module Reader = struct
+    type 'a reader = { codec : 'a t; buf : Buffer.t; mutable pos : int }
+
+    let create codec = { codec; buf = Buffer.create 4096; pos = 0 }
+
+    let pending t = Buffer.length t.buf - t.pos
+
+    let compact t =
+      if t.pos > 0 && (t.pos = Buffer.length t.buf || t.pos > 65536) then begin
+        let rest = Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos) in
+        Buffer.clear t.buf;
+        Buffer.add_string t.buf rest;
+        t.pos <- 0
+      end
+
+    let feed t bytes len =
+      Buffer.add_subbytes t.buf bytes 0 len;
+      let out = ref [] in
+      let continue = ref true in
+      while !continue do
+        let avail = Buffer.length t.buf - t.pos in
+        if avail < 4 then continue := false
+        else begin
+          let frame_len = Int32.to_int (String.get_int32_be (Buffer.sub t.buf t.pos 4) 0) in
+          if frame_len < 0 || frame_len > max_frame then fail "bad frame length %d" frame_len;
+          if avail < 4 + frame_len then continue := false
+          else begin
+            let payload = Buffer.sub t.buf (t.pos + 4) frame_len in
+            t.pos <- t.pos + 4 + frame_len;
+            out := decode_exn t.codec payload :: !out
+          end
+        end
+      done;
+      compact t;
+      List.rev !out
+  end
 end

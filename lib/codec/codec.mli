@@ -72,6 +72,10 @@ module Frame : sig
   val write : Buffer.t -> 'a t -> 'a -> unit
   (** 4-byte big-endian length prefix + payload. *)
 
+  val to_string : 'a t -> 'a -> string
+  (** One complete frame as a string — the unit an event-driven connection
+      ({!Dex_runtime.Reactor.Conn.send}) enqueues. *)
+
   val to_channel : out_channel -> 'a t -> 'a -> unit
   (** Write one frame and flush. *)
 
@@ -83,4 +87,23 @@ module Frame : sig
   (** Blocking read of one frame.
       @raise End_of_file on a closed channel.
       @raise Decode_error on a malformed frame (incl. frames over 64 MiB). *)
+
+  (** Incremental frame reassembly for nonblocking transports: feed byte
+      chunks as they arrive, receive whole decoded frames back. *)
+  module Reader : sig
+    type 'a reader
+
+    val create : 'a t -> 'a reader
+
+    val feed : 'a reader -> bytes -> int -> 'a list
+    (** [feed r buf len] appends [buf[0..len)] to the pending bytes and
+        returns every frame completed by them, in arrival order (possibly
+        none). The input buffer is copied and may be reused immediately.
+        @raise Decode_error on a malformed length prefix or payload — the
+        stream is unrecoverable past this point and the connection should
+        be torn down. *)
+
+    val pending : 'a reader -> int
+    (** Buffered bytes not yet forming a complete frame. *)
+  end
 end

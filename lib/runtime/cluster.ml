@@ -18,16 +18,23 @@ type 'msg t = {
   decisions_mutex : Mutex.t;
   decided_cond : Condition.t;  (** signalled under [decisions_mutex] on every new decision *)
   lifecycle_mutex : Mutex.t;  (** serializes start/stop/shutdown transitions *)
+  reactor : Reactor.t;  (** drives protocol timers and await deadlines *)
+  owns_reactor : bool;
   mutable running : bool;
   mutable started : bool;
   mutable epoch : float;
 }
 
-let create ~transport ~n ?(extra = []) make_instance =
+let create ~transport ~n ?(extra = []) ?reactor make_instance =
   let node pid instance = { pid; instance; alive = false; thread = None } in
   let nodes =
     List.map (fun p -> node p (make_instance p)) (Pid.all ~n)
     @ List.map (fun (pid, instance) -> node pid instance) extra
+  in
+  let owns_reactor, reactor =
+    match reactor with
+    | Some r -> (false, r)
+    | None -> (true, Reactor.create ~name:"cluster" ())
   in
   {
     transport;
@@ -37,6 +44,8 @@ let create ~transport ~n ?(extra = []) make_instance =
     decisions_mutex = Mutex.create ();
     decided_cond = Condition.create ();
     lifecycle_mutex = Mutex.create ();
+    reactor;
+    owns_reactor;
     running = false;
     started = false;
     epoch = 0.0;
@@ -61,16 +70,12 @@ let handler t =
         end);
     set_timer =
       (fun ~src ~depth:_ ~delay ~msg ->
-        (* A detached thread delivers the timer message back through the
+        (* A reactor timer delivers the timer message back through the
            node's own endpoint (as a self-send), so the node loop processes
-           it like any other message. *)
+           it like any other message — one shared loop thread instead of a
+           detached thread per timer that shutdown could never join. *)
         let send = t.transport.Transport.send in
-        ignore
-          (Thread.create
-             (fun () ->
-               Thread.delay delay;
-               send ~src ~dst:src msg)
-             ()));
+        ignore (Reactor.after t.reactor delay (fun () -> send ~src ~dst:src msg)));
   }
 
 let node_loop t node () =
@@ -143,10 +148,11 @@ let decisions t =
   snapshot
 
 (* Block on the decision condition variable instead of polling. The stdlib
-   [Condition] has no timed wait, so a detached watchdog thread broadcasts
+   [Condition] has no timed wait, so a cancellable reactor timer broadcasts
    once at the deadline; between decisions and that single wake-up the
-   waiter is fully asleep. (The watchdog outlives an early success by at
-   most the timeout; its lone broadcast is harmless.) *)
+   waiter is fully asleep. A cluster that shut down mid-wait can produce no
+   further decisions (and its deadline timer died with the reactor), so the
+   wait also ends when [running] goes false — {!shutdown} broadcasts. *)
 let await ?(timeout = 10.0) ?among t =
   let pids = match among with Some l -> l | None -> Pid.all ~n:t.n in
   let deadline = Unix.gettimeofday () +. timeout in
@@ -154,25 +160,19 @@ let await ?(timeout = 10.0) ?among t =
     List.for_all (fun p -> p >= 0 && p < t.n && t.decisions.(p) <> None) pids
   in
   Mutex.lock t.decisions_mutex;
-  if not (all_decided ()) then
-    ignore
-      (Thread.create
-         (fun () ->
-           let rec nap () =
-             let remaining = deadline -. Unix.gettimeofday () in
-             if remaining > 0.0 then begin
-               Thread.delay remaining;
-               nap ()
-             end
-           in
-           nap ();
-           Mutex.lock t.decisions_mutex;
-           Condition.broadcast t.decided_cond;
-           Mutex.unlock t.decisions_mutex)
-         ());
+  let watchdog =
+    if all_decided () then None
+    else
+      Some
+        (Reactor.after t.reactor timeout (fun () ->
+             Mutex.lock t.decisions_mutex;
+             Condition.broadcast t.decided_cond;
+             Mutex.unlock t.decisions_mutex))
+  in
   let rec wait () =
     if all_decided () then true
     else if Unix.gettimeofday () >= deadline then false
+    else if not t.running then false
     else begin
       Condition.wait t.decided_cond t.decisions_mutex;
       wait ()
@@ -180,6 +180,7 @@ let await ?(timeout = 10.0) ?among t =
   in
   let result = wait () in
   Mutex.unlock t.decisions_mutex;
+  Option.iter (Reactor.cancel t.reactor) watchdog;
   result
 
 let shutdown t =
@@ -199,5 +200,10 @@ let shutdown t =
             Option.iter Thread.join node.thread;
             node.thread <- None;
             node.alive <- false)
-          t.nodes
+          t.nodes;
+        if t.owns_reactor then Reactor.stop t.reactor;
+        (* Wake waiters in [await]: no further decision can arrive. *)
+        Mutex.lock t.decisions_mutex;
+        Condition.broadcast t.decided_cond;
+        Mutex.unlock t.decisions_mutex
       end)

@@ -19,10 +19,14 @@ val create :
   transport:'msg Transport.t ->
   n:int ->
   ?extra:(Pid.t * 'msg Protocol.instance) list ->
+  ?reactor:Reactor.t ->
   (Pid.t -> 'msg Protocol.instance) ->
   'msg t
 (** Build a cluster of [n] protocol processes (pids [0 .. n-1]) plus
-    auxiliary nodes. Nothing runs until {!start}. *)
+    auxiliary nodes. Nothing runs until {!start}. Protocol timers
+    ([set_timer]) and {!await} deadlines run on [reactor] when given (share
+    the transport's loop), else on a private reactor stopped by
+    {!shutdown} — either way no detached timer threads are spawned. *)
 
 val start : 'msg t -> unit
 (** Launch one thread per node and invoke every instance's [start]. *)

@@ -3,20 +3,22 @@ type 'a t = {
   nonempty : Condition.t;
   has_waiters : Condition.t;
   queue : 'a Queue.t;
+  use_watcher : bool;
   mutable closed : bool;
   mutable waiters : int;
-  mutable watcher : bool;
+  mutable watcher : Thread.t option;
 }
 
-let create () =
+let create ?(watcher = true) () =
   {
     mutex = Mutex.create ();
     nonempty = Condition.create ();
     has_waiters = Condition.create ();
     queue = Queue.create ();
+    use_watcher = watcher;
     closed = false;
     waiters = 0;
-    watcher = false;
+    watcher = None;
   }
 
 let push t x =
@@ -30,11 +32,13 @@ let push t x =
 (* The stdlib [Condition] has no timed wait, but only arrival latency needs
    to be sharp — timeouts fire when nothing is arriving, so their precision
    is unimportant. Poppers therefore block on [Condition.wait] (a push wakes
-   them immediately), and one lazily-spawned watcher thread per mailbox
-   broadcasts at a coarse tick, solely so blocked poppers re-check their
-   deadlines. The watcher itself sleeps on [has_waiters] while nobody is
-   blocked, so an idle or drained mailbox costs nothing. *)
-let tick = 0.005
+   them immediately), and blocked poppers re-check their deadlines at a
+   coarse tick: either from one lazily-spawned watcher thread per mailbox
+   (default), or from an external {!tick} caller — a reactor timer sweeping
+   every mailbox of a transport — when created with [~watcher:false]. The
+   watcher sleeps on [has_waiters] while nobody is blocked, so an idle or
+   drained mailbox costs nothing, and it is joined by {!close}. *)
+let tick_interval = 0.005
 
 let watcher_loop t () =
   let rec loop () =
@@ -45,7 +49,7 @@ let watcher_loop t () =
     let stop = t.closed in
     Mutex.unlock t.mutex;
     if not stop then begin
-      Thread.delay tick;
+      Thread.delay tick_interval;
       Mutex.lock t.mutex;
       Condition.broadcast t.nonempty;
       Mutex.unlock t.mutex;
@@ -57,10 +61,8 @@ let watcher_loop t () =
 let pop ~timeout t =
   let deadline = Unix.gettimeofday () +. timeout in
   Mutex.lock t.mutex;
-  if (not t.watcher) && not t.closed then begin
-    t.watcher <- true;
-    ignore (Thread.create (watcher_loop t) ())
-  end;
+  if t.use_watcher && t.watcher = None && not t.closed then
+    t.watcher <- Some (Thread.create (watcher_loop t) ());
   t.waiters <- t.waiters + 1;
   Condition.signal t.has_waiters;
   let rec wait () =
@@ -77,12 +79,22 @@ let pop ~timeout t =
   Mutex.unlock t.mutex;
   result
 
+let tick t =
+  Mutex.lock t.mutex;
+  if t.waiters > 0 then Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
 let close t =
   Mutex.lock t.mutex;
   t.closed <- true;
   Condition.broadcast t.nonempty;
   Condition.broadcast t.has_waiters;
-  Mutex.unlock t.mutex
+  let watcher = t.watcher in
+  t.watcher <- None;
+  Mutex.unlock t.mutex;
+  (* Join outside the lock: the watcher needs it to observe [closed], and
+     blocks at most one tick in [Thread.delay]. *)
+  Option.iter Thread.join watcher
 
 let length t =
   Mutex.lock t.mutex;

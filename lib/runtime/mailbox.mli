@@ -3,7 +3,12 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?watcher:bool -> unit -> 'a t
+(** [watcher] (default [true]) selects how blocked {!pop} deadlines are
+    re-checked: with a lazily-spawned per-mailbox watcher thread (joined by
+    {!close}), or — when [false] — only when an external owner calls
+    {!tick}, letting one reactor timer sweep many mailboxes instead of one
+    thread each. *)
 
 val push : 'a t -> 'a -> unit
 (** Never blocks (unbounded queue). Pushing to a closed mailbox is a no-op:
@@ -11,9 +16,15 @@ val push : 'a t -> 'a -> unit
 
 val pop : timeout:float -> 'a t -> 'a option
 (** Block up to [timeout] seconds for an element. [None] on timeout or when
-    the mailbox is closed and drained. *)
+    the mailbox is closed and drained. Deadline precision is one tick
+    (5 ms) — arrival latency is sharp, timeout latency is coarse. *)
+
+val tick : 'a t -> unit
+(** Wake blocked poppers so they re-check their deadlines — the external
+    analogue of the watcher thread's tick; a no-op when nobody waits. *)
 
 val close : 'a t -> unit
-(** Wake all blocked readers; subsequent pushes are dropped. *)
+(** Wake all blocked readers and join the watcher thread (if any);
+    subsequent pushes are dropped. *)
 
 val length : 'a t -> int

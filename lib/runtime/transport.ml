@@ -2,6 +2,15 @@ open Dex_net
 
 open Dex_stdext
 
+type io_mode = Threads | Reactor
+
+let io_mode_of_string = function
+  | "threads" -> Some Threads
+  | "reactor" -> Some Reactor
+  | _ -> None
+
+let io_mode_to_string = function Threads -> "threads" | Reactor -> "reactor"
+
 type link_stats = { reconnects : int; backoffs : int; drops : int }
 
 type 'msg t = {
@@ -130,6 +139,49 @@ module Links = struct
 end
 
 module Mem = struct
+  (* Jittered deliveries used to spawn one detached thread each; a single
+     joined scheduler thread with a delay queue delivers them instead, so
+     [close] leaves no threads behind. *)
+  type 'a delayed = {
+    dmutex : Mutex.t;
+    dcond : Condition.t;
+    dq : ('a Mailbox.t * 'a) Pqueue.t;
+    mutable dseq : int;
+    mutable dclosed : bool;
+    mutable dthread : Thread.t option;
+  }
+
+  let delayed_loop d () =
+    let rec loop () =
+      Mutex.lock d.dmutex;
+      while Pqueue.is_empty d.dq && not d.dclosed do
+        Condition.wait d.dcond d.dmutex
+      done;
+      if d.dclosed then Mutex.unlock d.dmutex
+      else begin
+        let now = Unix.gettimeofday () in
+        let rec due acc =
+          match Pqueue.peek d.dq with
+          | Some (at, _, _) when at <= now -> (
+            match Pqueue.pop d.dq with
+            | Some (_, _, x) -> due (x :: acc)
+            | None -> acc)
+          | _ -> acc
+        in
+        let ready = due [] in
+        let next = match Pqueue.peek d.dq with Some (at, _, _) -> Some at | None -> None in
+        Mutex.unlock d.dmutex;
+        List.iter (fun (box, env) -> Mailbox.push box env) (List.rev ready);
+        (match next with
+        | Some at ->
+          let nap = Float.min 0.001 (Float.max 0.0 (at -. Unix.gettimeofday ())) in
+          if nap > 0.0 then Thread.delay nap
+        | None -> ());
+        loop ()
+      end
+    in
+    loop ()
+
   let create ?metrics ?(jitter = 0.0) ?(seed = 0) ~pids () =
     let boxes = Hashtbl.create 16 in
     List.iter (fun p -> Hashtbl.replace boxes p (Mailbox.create ())) pids;
@@ -142,27 +194,57 @@ module Mem = struct
       Mutex.unlock rng_mutex;
       d
     in
+    let delayed =
+      if jitter > 0.0 then begin
+        let d =
+          {
+            dmutex = Mutex.create ();
+            dcond = Condition.create ();
+            dq = Pqueue.create ();
+            dseq = 0;
+            dclosed = false;
+            dthread = None;
+          }
+        in
+        d.dthread <- Some (Thread.create (delayed_loop d) ());
+        Some d
+      end
+      else None
+    in
     let send ~src ~dst msg =
       match Hashtbl.find_opt boxes dst with
       | None -> Links.record_drop links dst
-      | Some box ->
-        if jitter > 0.0 then
-          (* A detached thread per delayed delivery: simple and adequate for
-             loopback-scale experiments. *)
-          ignore
-            (Thread.create
-               (fun () ->
-                 Thread.delay (draw_delay ());
-                 Mailbox.push box (src, msg))
-               ())
-        else Mailbox.push box (src, msg)
+      | Some box -> (
+        match delayed with
+        | Some d ->
+          Mutex.lock d.dmutex;
+          if not d.dclosed then begin
+            let at = Unix.gettimeofday () +. draw_delay () in
+            Pqueue.push d.dq ~time:at ~seq:d.dseq (box, (src, msg));
+            d.dseq <- d.dseq + 1;
+            Condition.signal d.dcond
+          end;
+          Mutex.unlock d.dmutex
+        | None -> Mailbox.push box (src, msg))
     in
     let recv ~me ~timeout =
       match Hashtbl.find_opt boxes me with
       | None -> None
       | Some box -> Mailbox.pop ~timeout box
     in
-    let close () = Hashtbl.iter (fun _ box -> Mailbox.close box) boxes in
+    let close () =
+      (match delayed with
+      | Some d ->
+        Mutex.lock d.dmutex;
+        d.dclosed <- true;
+        Condition.broadcast d.dcond;
+        let th = d.dthread in
+        d.dthread <- None;
+        Mutex.unlock d.dmutex;
+        Option.iter Thread.join th
+      | None -> ());
+      Hashtbl.iter (fun _ box -> Mailbox.close box) boxes
+    in
     {
       send;
       recv;
@@ -200,6 +282,17 @@ module Tcp_generic = struct
     let closed = ref false in
     let ever_mutex = Mutex.create () in
     let ever_connected : (Pid.t * Pid.t, unit) Hashtbl.t = Hashtbl.create 16 in
+    (* Every spawned thread and accepted socket is tracked so [close] can
+       shut the sockets (waking blocked reads) and join every thread —
+       nothing is left running after close returns. *)
+    let track_mutex = Mutex.create () in
+    let threads : Thread.t list ref = ref [] in
+    let accepted : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 16 in
+    let track_thread th =
+      Mutex.lock track_mutex;
+      threads := th :: !threads;
+      Mutex.unlock track_mutex
+    in
 
     (* Reader: one thread per accepted connection; frames carry the claimed
        source pid. A malformed frame kills only this connection — the peer
@@ -215,7 +308,12 @@ module Tcp_generic = struct
       in
       (try loop () with
       | End_of_file | Sys_error _ | Unix.Unix_error _ | Dex_codec.Codec.Decode_error _ -> ());
-      try Unix.close sock with Unix.Unix_error _ -> ()
+      Mutex.lock track_mutex;
+      if Hashtbl.mem accepted sock then begin
+        Hashtbl.remove accepted sock;
+        try Unix.close sock with Unix.Unix_error _ -> ()
+      end;
+      Mutex.unlock track_mutex
     in
 
     (* One listener per pid on an ephemeral loopback port. *)
@@ -237,11 +335,14 @@ module Tcp_generic = struct
           try
             while not !closed do
               let conn, _ = Unix.accept sock in
-              ignore (Thread.create (fun () -> reader ~dst:pid conn) ())
+              Mutex.lock track_mutex;
+              Hashtbl.replace accepted conn ();
+              Mutex.unlock track_mutex;
+              track_thread (Thread.create (fun () -> reader ~dst:pid conn) ())
             done
           with Unix.Unix_error _ | Sys_error _ -> ()
         in
-        ignore (Thread.create accept_loop ()))
+        track_thread (Thread.create accept_loop ()))
       pids;
 
     let connect ~src ~dst ~port =
@@ -341,6 +442,21 @@ module Tcp_generic = struct
           (fun _ (oc, _) -> try close_out oc with Sys_error _ -> ())
           conns;
         Mutex.unlock conns_mutex;
+        (* Wake readers blocked on accepted sockets, then join everything:
+           acceptors exit on the dead listener, readers on the shutdown. *)
+        Mutex.lock track_mutex;
+        Hashtbl.iter
+          (fun sock () ->
+            try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+          accepted;
+        let to_join = !threads in
+        threads := [];
+        Mutex.unlock track_mutex;
+        List.iter Thread.join to_join;
+        Mutex.lock track_mutex;
+        Hashtbl.iter (fun sock () -> try Unix.close sock with Unix.Unix_error _ -> ()) accepted;
+        Hashtbl.reset accepted;
+        Mutex.unlock track_mutex;
         Hashtbl.iter (fun _ box -> Mailbox.close box) boxes
       end
     in
@@ -367,12 +483,335 @@ module Tcp = struct
     Tcp_generic.create ~write_frame ~read_frame ?metrics ~pids ()
 end
 
-module Tcp_codec = struct
-  let create ~codec ?metrics ?remotes ?on_bind ~pids () =
+(* Reactor-driven TCP with typed codec frames: every socket is nonblocking
+   and registered on one shared event loop — no thread per connection, no
+   thread per accept loop, no watcher thread per mailbox. Outbound frames
+   queue on buffered connections that coalesce multiple frames per [write];
+   inbound chunks reassemble through {!Dex_codec.Codec.Frame.Reader}.
+   Reconnects preserve frame boundaries: a dead connection's unsent frames
+   (including a partially-written head, resent whole — the peer discards
+   the partial tail with the dead connection) are replayed on the fresh
+   one. *)
+module Tcp_reactor = struct
+  type out_pending = {
+    mutable queued : string list;  (** newest first *)
+    mutable attempt : int;
+    mutable retry : Reactor.timer option;
+  }
+
+  type out_state = Up of Reactor.Conn.t | Down of out_pending
+
+  type out_link = { mutable state : out_state }
+
+  let max_down_queue = 4096
+
+  let create ~codec ?metrics ?(remotes = []) ?on_bind ~reactor ?reactor_for ~pids () =
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    (* I/O sharding: [reactor_for pid] is the loop that owns pid's inbound
+       listener and accepted connections (and the outbound connections pid
+       originates), so the read+decode work of n co-located endpoints spreads
+       over several loops instead of serializing on one. Timers (mailbox
+       tick, reconnect backoff) stay on the primary [reactor]. *)
+    let reactor_for = match reactor_for with Some f -> f | None -> fun _ -> reactor in
     let frame_codec = Dex_codec.Codec.pair Dex_codec.Codec.int codec in
-    let write_frame oc (src, msg) =
-      Dex_codec.Codec.Frame.to_channel oc frame_codec (src, msg)
+    let boxes = Hashtbl.create 16 in
+    List.iter (fun p -> Hashtbl.replace boxes p (Mailbox.create ~watcher:false ())) pids;
+    (* One periodic timer re-checks pop deadlines for every mailbox,
+       replacing one watcher thread per mailbox. *)
+    let tick_timer =
+      Reactor.every reactor 0.005 (fun () -> Hashtbl.iter (fun _ b -> Mailbox.tick b) boxes)
     in
-    let read_frame ic = Dex_codec.Codec.Frame.from_channel ic frame_codec in
-    Tcp_generic.create ~write_frame ~read_frame ?metrics ?remotes ?on_bind ~pids ()
+    let ports = Hashtbl.create 16 in
+    List.iter (fun (pid, port) -> Hashtbl.replace ports pid port) remotes;
+    let links = Links.create ?metrics () in
+    let closed = ref false in
+    (* One lock for connection state: outbound links, accepted connections,
+       reconnect bookkeeping, the shared frame-encode scratch. Lock order is
+       state_mutex -> Conn write lock -> reactor lock; connection callbacks
+       run with no lock held. *)
+    let state_mutex = Mutex.create () in
+    let out : (Pid.t * Pid.t, out_link) Hashtbl.t = Hashtbl.create 16 in
+    let accepted : (Unix.file_descr, Reactor.Conn.t) Hashtbl.t = Hashtbl.create 16 in
+    let ever_connected : (Pid.t * Pid.t, unit) Hashtbl.t = Hashtbl.create 16 in
+    let listeners = Hashtbl.create 16 in
+    let enc_buf = Buffer.create 1024 in
+    let wbuf_gauges : (Pid.t, Dex_metrics.Registry.gauge) Hashtbl.t = Hashtbl.create 8 in
+    (* Per-peer write-buffer high-water marks, visible in [--stats]. *)
+    let note_hwm dst conn =
+      match metrics with
+      | None -> ()
+      | Some reg ->
+        let g =
+          match Hashtbl.find_opt wbuf_gauges dst with
+          | Some g -> g
+          | None ->
+            let g =
+              Dex_metrics.Registry.gauge reg (Printf.sprintf "net/wbuf_hwm/peer%d" dst)
+            in
+            Hashtbl.replace wbuf_gauges dst g;
+            g
+        in
+        Dex_metrics.Registry.set_max g (Reactor.Conn.hwm conn)
+    in
+    let mark_connected ~src ~dst =
+      let again = Hashtbl.mem ever_connected (src, dst) in
+      if not again then Hashtbl.replace ever_connected (src, dst) ();
+      if again then Links.record_reconnect links dst
+    in
+
+    (* Outbound connection teardown -> buffered reconnect. Forward
+       declarations untangle the retry cycle. *)
+    let rec out_conn_closed ~src ~dst c =
+      Mutex.lock state_mutex;
+      (if not !closed then
+         match Hashtbl.find_opt out (src, dst) with
+         | Some ({ state = Up c' } as l) when c' == c ->
+           let pending =
+             { queued = List.rev (Reactor.Conn.unsent c); attempt = 0; retry = None }
+           in
+           l.state <- Down pending;
+           schedule_retry ~src ~dst pending
+         | _ -> ());
+      Mutex.unlock state_mutex
+
+    and schedule_retry ~src ~dst pending =
+      (* Caller holds state_mutex. Mirrors the threaded path's budget: every
+         scheduled wait is a recorded backoff; the budget exhausts into
+         drops. *)
+      Links.record_backoff links dst;
+      let delay = Tcp_generic.retry_backoffs.(pending.attempt) in
+      pending.retry <- Some (Reactor.after reactor delay (fun () -> retry ~src ~dst))
+
+    and retry ~src ~dst =
+      Mutex.lock state_mutex;
+      (if not !closed then
+         match Hashtbl.find_opt out (src, dst) with
+         | Some ({ state = Down pending } as l) -> (
+           pending.retry <- None;
+           match Hashtbl.find_opt ports dst with
+           | None -> Hashtbl.remove out (src, dst)
+           | Some port -> (
+             match try_connect ~src ~dst ~port with
+             | Some c ->
+               mark_connected ~src ~dst;
+               l.state <- Up c;
+               List.iter (Reactor.Conn.buffer c) (List.rev pending.queued);
+               Reactor.Conn.pump c;
+               note_hwm dst c
+             | None ->
+               pending.attempt <- pending.attempt + 1;
+               if pending.attempt >= Array.length Tcp_generic.retry_backoffs then begin
+                 List.iter (fun _ -> Links.record_drop links dst) pending.queued;
+                 Hashtbl.remove out (src, dst)
+               end
+               else schedule_retry ~src ~dst pending))
+         | _ -> ());
+      Mutex.unlock state_mutex
+
+    and try_connect ~src ~dst ~port =
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+      | () -> (
+        Unix.setsockopt sock Unix.TCP_NODELAY true;
+        (* The cell closes over the connection for the close callback; a
+           peer that dies before the cell is filled is caught by the
+           liveness re-check in [send]. *)
+        let cell = ref None in
+        match
+          Reactor.Conn.attach (reactor_for src) sock
+            ~on_bytes:(fun _ _ -> ())
+            ~on_close:(fun () ->
+              match !cell with Some c -> out_conn_closed ~src ~dst c | None -> ())
+        with
+        | c ->
+          cell := Some c;
+          Some c
+        | exception Invalid_argument msg ->
+          prerr_endline msg;
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          None)
+      | exception Unix.Unix_error _ ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        None
+    in
+
+    let encode_frame env =
+      Buffer.clear enc_buf;
+      Dex_codec.Codec.Frame.write enc_buf frame_codec env;
+      Buffer.contents enc_buf
+    in
+
+    let send ~src ~dst msg =
+      if not !closed then
+        match Hashtbl.find_opt ports dst with
+        | None -> Links.record_drop links dst
+        | Some port ->
+          (* Pump outside [state_mutex]: the write syscall must not serialize
+             every sender in the process on the transport's one lock. *)
+          let to_pump = ref None in
+          Mutex.lock state_mutex;
+          (if not !closed then begin
+             let frame = encode_frame (src, msg) in
+             match Hashtbl.find_opt out (src, dst) with
+             | Some { state = Up c } when Reactor.Conn.is_open c ->
+               Reactor.Conn.buffer c frame;
+               to_pump := Some c;
+               note_hwm dst c
+             | Some ({ state = Up c } as l) ->
+               (* The close callback lost a race; recover its work here. *)
+               let pending =
+                 {
+                   queued = frame :: List.rev (Reactor.Conn.unsent c);
+                   attempt = 0;
+                   retry = None;
+                 }
+               in
+               l.state <- Down pending;
+               schedule_retry ~src ~dst pending
+             | Some { state = Down pending } ->
+               if List.length pending.queued < max_down_queue then
+                 pending.queued <- frame :: pending.queued
+               else Links.record_drop links dst
+             | None -> (
+               match try_connect ~src ~dst ~port with
+               | Some c ->
+                 mark_connected ~src ~dst;
+                 Hashtbl.replace out (src, dst) { state = Up c };
+                 Reactor.Conn.buffer c frame;
+                 to_pump := Some c;
+                 note_hwm dst c
+               | None ->
+                 let pending = { queued = [ frame ]; attempt = 0; retry = None } in
+                 Hashtbl.replace out (src, dst) { state = Down pending };
+                 schedule_retry ~src ~dst pending)
+           end);
+          Mutex.unlock state_mutex;
+          Option.iter Reactor.Conn.pump !to_pump
+    in
+
+    (* Listeners: nonblocking accept driven by the reactor. Each accepted
+       connection gets an incremental frame reader feeding the destination
+       mailbox; a malformed frame raises out of [on_bytes], which tears down
+       exactly that connection (Byzantine peer). *)
+    let attach_inbound ~dst sock =
+      Unix.setsockopt sock Unix.TCP_NODELAY true;
+      let reader = Dex_codec.Codec.Frame.Reader.create frame_codec in
+      let box = Hashtbl.find_opt boxes dst in
+      let cell = ref None in
+      match
+        Reactor.Conn.attach (reactor_for dst) sock
+          ~on_bytes:(fun bytes len ->
+            let frames = Dex_codec.Codec.Frame.Reader.feed reader bytes len in
+            match box with
+            | Some bx -> List.iter (Mailbox.push bx) frames
+            | None -> ())
+          ~on_close:(fun () ->
+            Mutex.lock state_mutex;
+            (match !cell with
+            | Some c -> (
+              match Hashtbl.find_opt accepted (Reactor.Conn.fd c) with
+              | Some c' when c' == c -> Hashtbl.remove accepted (Reactor.Conn.fd c)
+              | _ -> ())
+            | None -> ());
+            Mutex.unlock state_mutex)
+      with
+      | c ->
+        cell := Some c;
+        Mutex.lock state_mutex;
+        if !closed then begin
+          Mutex.unlock state_mutex;
+          Reactor.Conn.close c
+        end
+        else begin
+          Hashtbl.replace accepted (Reactor.Conn.fd c) c;
+          Mutex.unlock state_mutex
+        end
+      | exception Invalid_argument msg ->
+        (* FD_SETSIZE exhausted: refuse the connection loudly. *)
+        prerr_endline msg;
+        (try Unix.close sock with Unix.Unix_error _ -> ())
+    in
+    List.iter
+      (fun pid ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.listen sock 64;
+        let port =
+          match Unix.getsockname sock with
+          | Unix.ADDR_INET (_, port) -> port
+          | _ -> assert false
+        in
+        Hashtbl.replace ports pid port;
+        Hashtbl.replace listeners pid sock;
+        Option.iter (fun f -> f pid port) on_bind;
+        Unix.set_nonblock sock;
+        Reactor.on_readable (reactor_for pid) sock (fun () ->
+            let rec accept_ready () =
+              match Unix.accept sock with
+              | conn, _ ->
+                attach_inbound ~dst:pid conn;
+                accept_ready ()
+              | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+              | exception Unix.Unix_error _ -> ()
+            in
+            accept_ready ()))
+      pids;
+
+    let recv ~me ~timeout =
+      match Hashtbl.find_opt boxes me with
+      | None -> None
+      | Some box -> Mailbox.pop ~timeout box
+    in
+    let close () =
+      Mutex.lock state_mutex;
+      if !closed then Mutex.unlock state_mutex
+      else begin
+        closed := true;
+        let conns =
+          Hashtbl.fold (fun _ c acc -> c :: acc) accepted []
+          @ Hashtbl.fold
+              (fun _ l acc ->
+                match l.state with
+                | Up c -> c :: acc
+                | Down pending ->
+                  Option.iter (Reactor.cancel reactor) pending.retry;
+                  acc)
+              out []
+        in
+        Hashtbl.reset accepted;
+        Hashtbl.reset out;
+        Mutex.unlock state_mutex;
+        Reactor.cancel reactor tick_timer;
+        Hashtbl.iter
+          (fun pid sock ->
+            Reactor.remove (reactor_for pid) sock;
+            try Unix.close sock with Unix.Unix_error _ -> ())
+          listeners;
+        List.iter Reactor.Conn.close conns;
+        Hashtbl.iter (fun _ box -> Mailbox.close box) boxes
+      end
+    in
+    {
+      send;
+      recv;
+      close;
+      drop_count = (fun ~dst -> Links.drop_count links dst);
+      link_stats = (fun () -> Links.totals links);
+      peer_links = (fun () -> Links.per_peer links);
+    }
+end
+
+module Tcp_codec = struct
+  let create ~codec ?metrics ?remotes ?on_bind ?reactor ?reactor_for ~pids () =
+    match reactor with
+    | Some r ->
+      Tcp_reactor.create ~codec ?metrics ?remotes ?on_bind ~reactor:r ?reactor_for ~pids ()
+    | None ->
+      let frame_codec = Dex_codec.Codec.pair Dex_codec.Codec.int codec in
+      let write_frame oc (src, msg) =
+        Dex_codec.Codec.Frame.to_channel oc frame_codec (src, msg)
+      in
+      let read_frame ic = Dex_codec.Codec.Frame.from_channel ic frame_codec in
+      Tcp_generic.create ~write_frame ~read_frame ?metrics ?remotes ?on_bind ~pids ()
 end

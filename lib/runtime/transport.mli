@@ -15,6 +15,18 @@ open Dex_net
     The runtime drives the same [Protocol.instance] values as the simulator:
     code under test is identical, only the scheduler differs. *)
 
+(** How the I/O of a component is driven: [Threads] is the classic
+    thread-per-connection runtime (blocking sockets, reader/acceptor
+    threads, condvar mailboxes); [Reactor] multiplexes the same traffic on
+    a {!Reactor} event loop (nonblocking sockets, frame coalescing, timer
+    wheel). The service layer and the CLI thread this choice through as
+    [--io-mode]. *)
+type io_mode = Threads | Reactor
+
+val io_mode_of_string : string -> io_mode option
+
+val io_mode_to_string : io_mode -> string
+
 type link_stats = {
   reconnects : int;
       (** TCP connects beyond the first per (src, dst) pair — each one means
@@ -77,6 +89,8 @@ module Tcp_codec : sig
     ?metrics:Dex_metrics.Registry.t ->
     ?remotes:(Pid.t * int) list ->
     ?on_bind:(Pid.t -> int -> unit) ->
+    ?reactor:Reactor.t ->
+    ?reactor_for:(Pid.t -> Reactor.t) ->
     pids:Pid.t list ->
     unit ->
     'msg t
@@ -91,5 +105,23 @@ module Tcp_codec : sig
       by another process to their listener ports, so a mesh can span
       processes: each process passes its own pids in [pids] and everyone
       else's in [remotes]. Every protocol module exports its codec
-      ([Dex.codec], [Bosco.codec], …). *)
+      ([Dex.codec], [Bosco.codec], …).
+
+      With [reactor], the transport runs event-driven on that loop instead
+      of thread-per-connection: nonblocking sockets, incremental frame
+      reassembly ({!Dex_codec.Codec.Frame.Reader}), outbound queues that
+      coalesce multiple frames per [write] syscall, reconnect backoffs as
+      reactor timers, and one shared timer replacing the per-mailbox watcher
+      threads. Per-peer write-buffer high-water marks are mirrored to
+      [metrics] as [net/wbuf_hwm/peer<pid>]. The reactor is borrowed, not
+      owned: [close] deregisters everything but leaves the loop running for
+      its owner to stop.
+
+      [reactor_for] (default: everything on [reactor]) shards the I/O of
+      co-located endpoints over several loops: [reactor_for pid] owns pid's
+      listener, its accepted connections and the outbound connections pid
+      originates, so one process hosting a whole mesh does not serialize
+      every endpoint's reads on a single thread. Timers (mailbox deadline
+      tick, reconnect backoff) stay on the primary [reactor]; the shard
+      loops are likewise borrowed, never stopped. *)
 end

@@ -1,51 +1,90 @@
 open Dex_runtime
 
-type conn = {
-  sock : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
-  mutable alive : bool;
-}
+(* One connection to one replica: a blocking channel pair fed by a reader
+   thread (threaded mode), or an event-driven connection on the client's own
+   reactor (frames reassembled incrementally, writes coalesced). *)
+type io =
+  | Chan of { sock : Unix.file_descr; ic : in_channel; oc : out_channel }
+  | Evc of Reactor.Conn.t
+
+type conn = { io : io; mutable alive : bool }
 
 type t = {
   client : int;
   conns : conn list;
   inbox : Wire.reply Mailbox.t;
+  reactor : Reactor.t option;  (* owned; [Some] iff io_mode = Reactor *)
+  mutable readers : Thread.t list;
   mutable next_rid : int;
   mutable closed : bool;
 }
 
-let reader t conn () =
+let conn_alive c =
+  match c.io with Chan _ -> c.alive | Evc e -> Reactor.Conn.is_open e
+
+let reader t conn ic () =
   (try
      while not t.closed do
-       Mailbox.push t.inbox (Wire.read_reply conn.ic)
+       Mailbox.push t.inbox (Wire.read_reply ic)
      done
    with
   | End_of_file | Sys_error _ | Unix.Unix_error _ | Dex_codec.Codec.Decode_error _ -> ());
   conn.alive <- false
 
-let connect ~client ports =
+let connect ?(io_mode = Transport.Reactor) ~client ports =
   if ports = [] then invalid_arg "Client.connect: no server ports";
+  let reactor =
+    match io_mode with
+    | Transport.Threads -> None
+    | Transport.Reactor -> Some (Reactor.create ~name:"client" ())
+  in
+  let inbox = Mailbox.create () in
   let conns =
     List.filter_map
       (fun port ->
         try
           let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-          Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-          Unix.setsockopt sock Unix.TCP_NODELAY true;
-          Some
-            {
-              sock;
-              ic = Unix.in_channel_of_descr sock;
-              oc = Unix.out_channel_of_descr sock;
-              alive = true;
-            }
-        with Unix.Unix_error _ -> None)
+          (try
+             Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+             Unix.setsockopt sock Unix.TCP_NODELAY true
+           with e ->
+             (try Unix.close sock with Unix.Unix_error _ -> ());
+             raise e);
+          match reactor with
+          | None ->
+            Some
+              {
+                io =
+                  Chan
+                    {
+                      sock;
+                      ic = Unix.in_channel_of_descr sock;
+                      oc = Unix.out_channel_of_descr sock;
+                    };
+                alive = true;
+              }
+          | Some r ->
+            let frames = Dex_codec.Codec.Frame.Reader.create Wire.reply_codec in
+            let on_bytes buf len =
+              List.iter (Mailbox.push inbox) (Dex_codec.Codec.Frame.Reader.feed frames buf len)
+            in
+            let e = Reactor.Conn.attach r sock ~on_bytes ~on_close:(fun () -> ()) in
+            Some { io = Evc e; alive = true }
+        with Unix.Unix_error _ | Invalid_argument _ -> None)
       ports
   in
-  if conns = [] then invalid_arg "Client.connect: no server reachable";
-  let t = { client; conns; inbox = Mailbox.create (); next_rid = 0; closed = false } in
-  List.iter (fun conn -> ignore (Thread.create (reader t conn) ())) conns;
+  if conns = [] then begin
+    Option.iter Reactor.stop reactor;
+    invalid_arg "Client.connect: no server reachable"
+  end;
+  let t = { client; conns; inbox; reactor; readers = []; next_rid = 0; closed = false } in
+  t.readers <-
+    List.filter_map
+      (fun conn ->
+        match conn.io with
+        | Chan { ic; _ } -> Some (Thread.create (reader t conn ic) ())
+        | Evc _ -> None)
+      t.conns;
   t
 
 let close t =
@@ -54,10 +93,21 @@ let close t =
     Mailbox.close t.inbox;
     List.iter
       (fun conn ->
-        try Unix.shutdown conn.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        match conn.io with
+        | Chan { sock; _ } -> (
+          try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        | Evc e -> Reactor.Conn.close e)
       t.conns;
-    (* Readers unblock on the shutdown; give them a beat, then close. *)
-    List.iter (fun conn -> try Unix.close conn.sock with Unix.Unix_error _ -> ()) t.conns
+    (* Readers unblock on the shutdown; join them, then close. *)
+    List.iter Thread.join t.readers;
+    t.readers <- [];
+    List.iter
+      (fun conn ->
+        match conn.io with
+        | Chan { sock; _ } -> ( try Unix.close sock with Unix.Unix_error _ -> ())
+        | Evc _ -> ())
+      t.conns;
+    Option.iter Reactor.stop t.reactor
   end
 
 type result = {
@@ -68,14 +118,28 @@ type result = {
   retries : int;
 }
 
+(* Buffered write of one request; pair with [flush_conn] once per wave. On
+   an event-driven connection the enqueue is the whole job and the flush
+   pumps the wave out coalesced, from this thread, in one [write]. *)
+let write_conn conn req =
+  match conn.io with
+  | Chan { oc; _ } -> (
+    try Wire.write_request oc req with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
+  | Evc e -> Reactor.Conn.buffer e (Dex_codec.Codec.Frame.to_string Wire.request_codec req)
+
+let flush_conn conn =
+  match conn.io with
+  | Chan { oc; _ } -> (
+    try flush oc with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
+  | Evc e -> Reactor.Conn.pump e
+
 let send_all t req =
   List.iter
     (fun conn ->
-      if conn.alive then
-        try
-          Wire.write_request conn.oc req;
-          flush conn.oc
-        with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
+      if conn_alive conn then begin
+        write_conn conn req;
+        flush_conn conn
+      end)
     t.conns
 
 (* Submit-to-all, first-commit-wins. Replies for older rids (every replica
@@ -219,19 +283,10 @@ module Load = struct
       Hashtbl.create (2 * clients)
     in
     let write_req req =
-      List.iter
-        (fun conn ->
-          if conn.alive then
-            try Wire.write_request conn.oc req
-            with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
-        t.conns
+      List.iter (fun conn -> if conn_alive conn then write_conn conn req) t.conns
     in
     let flush_all () =
-      List.iter
-        (fun conn ->
-          if conn.alive then
-            try flush conn.oc with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
-        t.conns
+      List.iter (fun conn -> if conn_alive conn then flush_conn conn) t.conns
     in
     let issue idx =
       rids.(idx) <- rids.(idx) + 1;

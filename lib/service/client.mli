@@ -12,9 +12,12 @@
 
 type t
 
-val connect : client:int -> int list -> t
+val connect : ?io_mode:Dex_runtime.Transport.io_mode -> client:int -> int list -> t
 (** [connect ~client ports] dials every port on loopback. [client] must be
-    unique per deployment (it keys the servers' session tables).
+    unique per deployment (it keys the servers' session tables). [io_mode]
+    (default [Reactor]) picks the receive machinery: one blocking reader
+    thread per connection, or the client's own event loop with incremental
+    frame reassembly and coalesced writes.
     @raise Invalid_argument if no port is reachable. *)
 
 val close : t -> unit

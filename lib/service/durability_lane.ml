@@ -58,9 +58,9 @@ let create ?dir ~segment_bytes ~metrics () =
 
 let enabled t = t.wal <> None
 
-let start_group_commit t ~delay ~cap ~on_durable =
+let start_group_commit ?reactor t ~delay ~cap ~on_durable =
   match t.wal with
-  | Some wal -> t.syncer <- Some (Wal.syncer ~delay ~cap wal ~on_durable)
+  | Some wal -> t.syncer <- Some (Wal.syncer ~delay ~cap ?reactor wal ~on_durable)
   | None -> ()
 
 let wal_lsn t = t.wal_lsn
@@ -94,6 +94,11 @@ let gate t ~client ~rid ~lsn outcome ~reply =
   else
     Hashtbl.replace t.wait_replies lsn
       ((client, rid, outcome) :: Option.value ~default:[] (Hashtbl.find_opt t.wait_replies lsn))
+
+let kick t =
+  (* Only when a reply is actually waiting on the watermark: an idle lane
+     keeps batching on the latency cap alone. *)
+  if Hashtbl.length t.wait_replies > 0 then Option.iter Wal.kick_syncer t.syncer
 
 let release_up_to t ~watermark ~reply =
   if watermark <= t.released_lsn then false

@@ -38,10 +38,19 @@ val create :
 
 val enabled : t -> bool
 
-val start_group_commit : t -> delay:float -> cap:int -> on_durable:(int -> unit) -> unit
-(** Start the WAL group-commit syncer; [on_durable] runs on the syncer
-    thread with each new watermark (take the replica lock there, then call
-    {!release_up_to}). No-op when the lane is inert. *)
+val start_group_commit :
+  ?reactor:Dex_runtime.Reactor.t ->
+  t ->
+  delay:float ->
+  cap:int ->
+  on_durable:(int -> unit) ->
+  unit
+(** Start the WAL group-commit syncer; [on_durable] runs with each new
+    watermark (take the replica lock there, then call {!release_up_to}) —
+    on the syncer's own thread, or, with [reactor], on that shared loop
+    (the fsync cadence becomes a reactor timer instead of a
+    select-on-pipe thread; see {!Dex_store.Wal.syncer}). No-op when the
+    lane is inert. *)
 
 val append : t -> string -> int
 (** Append one commit record, returning the lsn that gates its replies
@@ -59,6 +68,13 @@ val gate :
   unit
 (** Deliver the outcome now if [lsn] is covered by the released watermark,
     else queue it. *)
+
+val kick : t -> unit
+(** Ask the group-commit syncer for an immediate sync if any reply is queued
+    behind the watermark ({!Wal.kick_syncer}) — call after an apply wave has
+    gated its replies, so they pay one prompt fsync instead of the rest of
+    the latency window. No-op when durability or group commit is off, or
+    nothing is queued. *)
 
 val release_up_to :
   t -> watermark:int -> reply:(client:int -> rid:int -> Wire.outcome -> unit) -> bool

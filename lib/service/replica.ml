@@ -98,6 +98,7 @@ module Make (Uc : Uc_intf.S) = struct
     t : int;
     seed : int;
     pair : int -> Pair.t;
+    io_mode : Transport.io_mode;
     window : int;
     slots : int;
     batch_cap : int;
@@ -118,8 +119,8 @@ module Make (Uc : Uc_intf.S) = struct
     catchup_grace : float;
   }
 
-  let config ?(seed = 0) ?(window = 8) ?(slots = 1 lsl 20) ?(batch_cap = 256)
-      ?(batch_delay = 0.004) ?(settle = 0.002) ?(queue_cap = 4096) ?(fetch_retry = 0.05)
+  let config ?(seed = 0) ?(io_mode = Transport.Reactor) ?(window = 8) ?(slots = 1 lsl 20) ?(batch_cap = 256)
+      ?(batch_delay = 0.002) ?(settle = 0.0001) ?(queue_cap = 4096) ?(fetch_retry = 0.05)
       ?(retain = 256) ?(commit_log_cap = 1 lsl 16) ?data_dir
       ?(wal_segment_bytes = 4 * 1024 * 1024) ?(group_commit = true) ?(sync_delay = 0.001)
       ?(sync_cap = 64) ?(snapshot_every = 4096) ?(catchup_cap = 256) ?(catchup_retry = 0.05)
@@ -138,7 +139,7 @@ module Make (Uc : Uc_intf.S) = struct
     if catchup_cap < 1 then invalid_arg "Server.config: catchup_cap must be >= 1";
     if catchup_retry <= 0.0 then invalid_arg "Server.config: catchup_retry must be > 0";
     if catchup_grace <= 0.0 then invalid_arg "Server.config: catchup_grace must be > 0";
-    { n; t; seed; pair; window; slots; batch_cap; batch_delay; settle; queue_cap; fetch_retry;
+    { n; t; seed; pair; io_mode; window; slots; batch_cap; batch_delay; settle; queue_cap; fetch_retry;
       retain; commit_log_cap; data_dir; wal_segment_bytes; group_commit; sync_delay; sync_cap;
       snapshot_every; catchup_cap; catchup_retry; catchup_grace }
 
@@ -187,6 +188,12 @@ module Make (Uc : Uc_intf.S) = struct
     snapshots : int;  (** snapshots installed locally *)
   }
 
+  (* Where a client's replies go: a buffered [out_channel] owned by a
+     reader thread (threaded service, flushed per wave via [dirty]), or an
+     event-driven connection (flushed per wave via [dirty_ev]: one pumped,
+     coalesced [write] instead of a reactor loop turn). *)
+  type sink = Chan of out_channel | Evc of Reactor.Conn.t
+
   type t = {
     cfg : config;
     me : Pid.t;
@@ -207,8 +214,10 @@ module Make (Uc : Uc_intf.S) = struct
        client retries are idempotent, and a reply never leaves before its
        record is on disk. *)
     sessions : (int, int * Wire.outcome * int) Hashtbl.t;
-    conns : (int, out_channel) Hashtbl.t;  (* client -> latest reply channel *)
+    conns : (int, sink) Hashtbl.t;  (* client -> latest reply sink *)
     dirty : (out_channel, unit) Hashtbl.t;  (* channels with unflushed replies *)
+    dirty_ev : (Unix.file_descr, Reactor.Conn.t) Hashtbl.t;
+        (* event-driven conns with unpumped replies *)
     commit_buf : (int, int * Dex_core.Dex.provenance) Hashtbl.t;  (* slot -> commit *)
     unresolved : (int, unit) Hashtbl.t;  (* digests being fetched *)
     outbox : smsg Protocol.action list ref;  (* actions produced by callbacks *)
@@ -244,6 +253,28 @@ module Make (Uc : Uc_intf.S) = struct
     mutable service_port : int option;
     mutable client_socks : Unix.file_descr list;
     mutable threads : Thread.t list;
+    (* Event-driven service (io_mode = Reactor): the replica's own loop —
+       client I/O, batcher cadence and the WAL group-commit timer all run
+       on it. [None] in threaded mode. *)
+    service_reactor : Reactor.t option;
+    mutable client_conns : Reactor.Conn.t list;
+    mutable batch_timer : Reactor.timer option;
+    mutable cut_armed : bool;  (* a one-shot cut timer is outstanding *)
+    (* Extra delay added to the one-shot cut timer beyond settle-eligibility.
+       Adaptive: every underlying-provenance commit is evidence the replicas
+       cut divergent batches (some loop proposed before its client reads
+       drained), so the margin widens multiplicatively; one-step commits
+       decay it back toward the floor. In-process waves keep it at the floor
+       (~0.1 ms); cross-process saturation finds the knee where cuts land in
+       wave gaps again. Threaded mode never reads it. *)
+    mutable cut_margin : float;
+    (* Installed by the server's event-driven service: arm a one-shot batch
+       cut for the moment the pending set becomes settle-eligible. Called
+       under [lock]; a no-op in threaded mode (the periodic batcher tick
+       does the cutting there). *)
+    mutable schedule_cut : t -> unit;
+    g_client_hwm : Registry.gauge;
+        (* high-water mark of client-connection write buffers (bytes) *)
   }
 
   let push_action t action = t.outbox := action :: !(t.outbox)
@@ -280,15 +311,23 @@ module Make (Uc : Uc_intf.S) = struct
     d
 
   (* All socket replies happen under [t.lock]; [conns] holds the most recent
-     channel a client spoke on. A dead client costs one failed write. *)
+     sink a client spoke on. A dead client costs one failed write (threaded)
+     or a silent drop (event-driven). *)
   let reply_locked t ~client ~rid outcome =
     match Hashtbl.find_opt t.conns client with
     | None -> ()
-    | Some oc -> (
+    | Some (Chan oc) -> (
       try
         Wire.write_reply oc { Wire.client; rid; outcome };
         Hashtbl.replace t.dirty oc ()
       with Sys_error _ | Unix.Unix_error _ -> Hashtbl.remove t.conns client)
+    | Some (Evc c) ->
+      if Reactor.Conn.is_open c then begin
+        Reactor.Conn.buffer c
+          (Dex_codec.Codec.Frame.to_string Wire.reply_codec { Wire.client; rid; outcome });
+        Hashtbl.replace t.dirty_ev (Reactor.Conn.fd c) c
+      end
+      else Hashtbl.remove t.conns client
 
   (* Persist-before-reply: route through the durability lane, which queues
      the reply until the group-commit watermark covers its lsn. *)
@@ -300,7 +339,9 @@ module Make (Uc : Uc_intf.S) = struct
      batch touches many clients over few channels). *)
   let flush_dirty_locked t =
     Hashtbl.iter (fun oc () -> try flush oc with Sys_error _ | Unix.Unix_error _ -> ()) t.dirty;
-    Hashtbl.reset t.dirty
+    Hashtbl.reset t.dirty;
+    Hashtbl.iter (fun _ c -> Reactor.Conn.pump c) t.dirty_ev;
+    Hashtbl.reset t.dirty_ev
 
   (* Syncer callback (runs on the syncer thread): the watermark advanced, so
      release every reply it now covers. Lock order: the server lock is taken
@@ -367,7 +408,10 @@ module Make (Uc : Uc_intf.S) = struct
       batch;
     (* Restore the admission [oldest] invariant after the removals (resets
        to infinity when the batch drained everything). *)
-    Admission.refresh_oldest t.admission
+    Admission.refresh_oldest t.admission;
+    (* The wave's replies are gated on this slot's WAL record: sync it now
+       rather than at the latency cap. *)
+    Durability_lane.kick t.lane
 
   (* Deterministic snapshot payload of the applied prefix: sorted state, plus
      the session table as replies sorted by client. *)
@@ -441,13 +485,21 @@ module Make (Uc : Uc_intf.S) = struct
       else begin
         Hashtbl.replace t.last_use digest slot;
         match provenance with
-        | Dex_core.Dex.One_step -> Registry.incr t.c_one_step
+        | Dex_core.Dex.One_step ->
+          Registry.incr t.c_one_step;
+          t.cut_margin <- Float.max 0.0001 (t.cut_margin *. 0.95)
         | Dex_core.Dex.Two_step -> Registry.incr t.c_two_step
-        | Dex_core.Dex.Underlying -> Registry.incr t.c_underlying
+        | Dex_core.Dex.Underlying ->
+          Registry.incr t.c_underlying;
+          t.cut_margin <- Float.min 0.002 ((t.cut_margin *. 1.5) +. 0.00005)
       end;
       Hashtbl.replace t.commit_buf slot (digest, provenance);
       apply_ready_locked t;
       flush_dirty_locked t;
+      (* Requests admitted while this slot was in flight were held back by
+         the batcher's [idle] gate: re-arm the cut now that the log is
+         locally quiet again. *)
+      if Admission.size t.admission > 0 then t.schedule_cut t;
       Mutex.unlock t.lock
     end
 
@@ -638,6 +690,15 @@ module Make (Uc : Uc_intf.S) = struct
       Durability_lane.create ?dir:(replica_dir cfg me) ~segment_bytes:cfg.wal_segment_bytes
         ~metrics ()
     in
+    (* In event-driven mode the replica owns one reactor: client I/O, the
+       batcher cadence and the WAL group-commit timer all run on it (its
+       [reactor/*] gauges land in this replica's registry). *)
+    let service_reactor =
+      match cfg.io_mode with
+      | Transport.Threads -> None
+      | Transport.Reactor ->
+        Some (Reactor.create ~metrics ~name:(Printf.sprintf "replica-%d" me) ())
+    in
     let t =
       {
         cfg;
@@ -652,6 +713,7 @@ module Make (Uc : Uc_intf.S) = struct
         sessions = Hashtbl.create 64;
         conns = Hashtbl.create 64;
         dirty = Hashtbl.create 8;
+        dirty_ev = Hashtbl.create 8;
         commit_buf = Hashtbl.create 64;
         unresolved = Hashtbl.create 8;
         outbox = ref [];
@@ -681,14 +743,21 @@ module Make (Uc : Uc_intf.S) = struct
         service_port = None;
         client_socks = [];
         threads = [];
+        service_reactor;
+        client_conns = [];
+        batch_timer = None;
+        cut_armed = false;
+        cut_margin = 0.0001;
+        schedule_cut = (fun _ -> ());
+        g_client_hwm = Registry.gauge metrics "service/client_wbuf_hwm";
       }
     in
     Registry.gauge_fn metrics "service/backlog" (fun () -> Admission.size t.admission);
     Registry.gauge_fn metrics "service/apply_lag" (fun () -> Hashtbl.length t.commit_buf);
     replay t recovered;
     if cfg.group_commit then
-      Durability_lane.start_group_commit lane ~delay:cfg.sync_delay ~cap:cfg.sync_cap
-        ~on_durable:(on_durable t);
+      Durability_lane.start_group_commit ?reactor:service_reactor lane ~delay:cfg.sync_delay
+        ~cap:cfg.sync_cap ~on_durable:(on_durable t);
     let want_catchup =
       match catchup with Some c -> c | None -> recovered.Durability_lane.had_state
     in
@@ -863,9 +932,9 @@ module Make (Uc : Uc_intf.S) = struct
 
   (* --------------------------- service hooks ----------------------------- *)
 
-  let handle_request t ~oc (r : Wire.request) =
+  let handle_request t ~sink (r : Wire.request) =
     Mutex.lock t.lock;
-    Hashtbl.replace t.conns r.Wire.client oc;
+    Hashtbl.replace t.conns r.Wire.client sink;
     (match Hashtbl.find_opt t.sessions r.Wire.client with
     | Some (last, cached, cached_lsn) when r.Wire.rid <= last ->
       (* Idempotent retry: answer from the session cache (stale rids below
@@ -883,7 +952,11 @@ module Make (Uc : Uc_intf.S) = struct
       end
       else begin
         match Admission.admit t.admission ~now:(Unix.gettimeofday ()) r with
-        | Admission.Admitted | Admission.Duplicate -> ()
+        | Admission.Admitted ->
+          (* Event-driven cut: fire when this request turns settle-eligible
+             instead of waiting for the next periodic tick. *)
+          t.schedule_cut t
+        | Admission.Duplicate -> ()
         | Admission.Overflow ->
           Registry.incr t.c_busy;
           reply_locked t ~client:r.Wire.client ~rid:r.Wire.rid Wire.Busy

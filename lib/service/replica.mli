@@ -50,6 +50,9 @@ module Make (Uc : Uc_intf.S) : sig
     t : int;
     seed : int;
     pair : int -> Pair.t;
+    io_mode : Transport.io_mode;
+        (** how the service and durability cadences are driven: dedicated
+            threads, or one reactor per replica (the default) *)
     window : int;
     slots : int;
     batch_cap : int;  (** max requests per proposed batch *)
@@ -72,6 +75,7 @@ module Make (Uc : Uc_intf.S) : sig
 
   val config :
     ?seed:int ->
+    ?io_mode:Transport.io_mode ->
     ?window:int ->
     ?slots:int ->
     ?batch_cap:int ->
@@ -126,6 +130,11 @@ module Make (Uc : Uc_intf.S) : sig
     snapshots : int;  (** snapshots installed locally *)
   }
 
+  (** Where a client's replies go: a buffered [out_channel] owned by a
+      reader thread (threaded service), or an event-driven connection whose
+      frames the reactor coalesces ({!Dex_runtime.Reactor.Conn}). *)
+  type sink = Chan of out_channel | Evc of Dex_runtime.Reactor.Conn.t
+
   (** Transparent so the {!Server} socket layer can drive the service
       fields; everything consensus-side is reached through the functions
       below and must only be touched under [lock]. *)
@@ -140,8 +149,9 @@ module Make (Uc : Uc_intf.S) : sig
     store : (int, Batch.t) Hashtbl.t;
     last_use : (int, int) Hashtbl.t;
     sessions : (int, int * Wire.outcome * int) Hashtbl.t;
-    conns : (int, out_channel) Hashtbl.t;
+    conns : (int, sink) Hashtbl.t;
     dirty : (out_channel, unit) Hashtbl.t;
+    dirty_ev : (Unix.file_descr, Dex_runtime.Reactor.Conn.t) Hashtbl.t;
     commit_buf : (int, int * Dex_core.Dex.provenance) Hashtbl.t;
     unresolved : (int, unit) Hashtbl.t;
     outbox : smsg Protocol.action list ref;
@@ -171,6 +181,19 @@ module Make (Uc : Uc_intf.S) : sig
     mutable service_port : int option;
     mutable client_socks : Unix.file_descr list;
     mutable threads : Thread.t list;
+    service_reactor : Dex_runtime.Reactor.t option;
+        (** the replica-owned event loop; [None] in threaded mode *)
+    mutable client_conns : Dex_runtime.Reactor.Conn.t list;
+    mutable batch_timer : Dex_runtime.Reactor.timer option;
+    mutable cut_armed : bool;
+    mutable cut_margin : float;
+        (** adaptive extra delay on the one-shot cut timer: widened on
+            underlying-provenance commits (divergent cuts), decayed on
+            one-step commits; bounded [0.1 ms, 2 ms] *)
+    mutable schedule_cut : t -> unit;
+        (** event-driven batch-cut hook, installed by the server's reactor
+            service; called under [lock]; no-op in threaded mode *)
+    g_client_hwm : Dex_metrics.Registry.gauge;
   }
 
   val replica :
@@ -184,9 +207,10 @@ module Make (Uc : Uc_intf.S) : sig
       [catchup] is true (default: whenever recovery found prior state).
       The returned handlers plug into {!Dex_runtime.Cluster}. *)
 
-  val handle_request : t -> oc:out_channel -> Wire.request -> unit
-  (** A client request arrived on [oc]: session-cache retry, Busy while
-      catching up or over the admission cap, else admitted for batching. *)
+  val handle_request : t -> sink:sink -> Wire.request -> unit
+  (** A client request arrived on [sink]: session-cache retry, Busy while
+      catching up or over the admission cap, else admitted for batching
+      (which arms the event-driven cut when one is installed). *)
 
   val batcher_tick : t -> unit
   (** One batcher-thread tick: cut/fire decision via {!Batcher.tick}, store

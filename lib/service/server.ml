@@ -15,12 +15,19 @@ module Make (Uc : Uc_intf.S) = struct
 
   (* ----------------------------- the service ----------------------------- *)
 
+  (* --- threaded service (io_mode = Threads) --- *)
+
+  let track_thread t th =
+    Mutex.lock t.lock;
+    t.threads <- th :: t.threads;
+    Mutex.unlock t.lock
+
   let conn_reader t sock () =
     let ic = Unix.in_channel_of_descr sock in
     let oc = Unix.out_channel_of_descr sock in
     (try
        while t.running do
-         handle_request t ~oc (Wire.read_request ic)
+         handle_request t ~sink:(Chan oc) (Wire.read_request ic)
        done
      with
     | End_of_file | Sys_error _ | Unix.Unix_error _ | Dex_codec.Codec.Decode_error _ -> ());
@@ -33,8 +40,12 @@ module Make (Uc : Uc_intf.S) = struct
         (try Unix.setsockopt conn Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
         Mutex.lock t.lock;
         t.client_socks <- conn :: t.client_socks;
+        let live = t.running in
         Mutex.unlock t.lock;
-        ignore (Thread.create (conn_reader t conn) ())
+        (* Lost race with [stop_threads]'s shutdown sweep: fail the reader
+           out ourselves, or its join would wait on a blocked read forever. *)
+        if not live then (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        track_thread t (Thread.create (conn_reader t conn) ())
       done
     with Unix.Unix_error _ | Sys_error _ -> ()
 
@@ -44,6 +55,82 @@ module Make (Uc : Uc_intf.S) = struct
       install_pending_snapshot t;
       batcher_tick t
     done
+
+  (* --- event-driven service (io_mode = Reactor) --- *)
+
+  (* One-shot cut timer, armed under [t.lock]: fire when the just-admitted
+     request (or the oldest pending one) turns settle-eligible, with a small
+     margin so the tick lands on the eligible side of the cutoff. The
+     periodic [batch_timer] remains the safety net (watchdog, GC, missed
+     edges), so a timer that fires fractionally early costs one cadence. *)
+  let arm_cut r t =
+    if t.running && not t.cut_armed then begin
+      t.cut_armed <- true;
+      let oldest = Admission.oldest t.admission in
+      let margin = t.cut_margin in
+      let delay =
+        if oldest = Float.infinity then t.cfg.settle +. margin
+        else Float.max margin (t.cfg.settle -. (Unix.gettimeofday () -. oldest) +. margin)
+      in
+      ignore
+        (Reactor.after r delay (fun () ->
+             Mutex.lock t.lock;
+             t.cut_armed <- false;
+             Mutex.unlock t.lock;
+             batcher_tick t))
+    end
+
+  let ev_conn_closed t conn =
+    Mutex.lock t.lock;
+    t.client_conns <- List.filter (fun c -> c != conn) t.client_conns;
+    Mutex.unlock t.lock
+
+  (* Accepted client connection: incremental request reassembly straight
+     into [handle_request], replies through the connection's coalescing
+     write queue. A malformed frame raises out of [feed], and the reactor
+     tears down exactly this client. *)
+  let attach_client t r sock =
+    (try Unix.setsockopt sock Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    let reader = Dex_codec.Codec.Frame.Reader.create Wire.request_codec in
+    let cell = ref None in
+    let on_bytes buf len =
+      let reqs = Dex_codec.Codec.Frame.Reader.feed reader buf len in
+      match !cell with
+      | None -> ()
+      | Some c -> List.iter (fun req -> handle_request t ~sink:(Evc c) req) reqs
+    in
+    let on_close () = match !cell with Some c -> ev_conn_closed t c | None -> () in
+    match Reactor.Conn.attach r sock ~on_bytes ~on_close with
+    | c ->
+      cell := Some c;
+      Mutex.lock t.lock;
+      t.client_conns <- c :: t.client_conns;
+      Mutex.unlock t.lock
+    | exception Invalid_argument msg ->
+      prerr_endline msg;
+      (try Unix.close sock with Unix.Unix_error _ -> ())
+
+  let accept_ready t r sock () =
+    let rec loop () =
+      match Unix.accept sock with
+      | conn, _ ->
+        attach_client t r conn;
+        loop ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    loop ()
+
+  let reactor_tick t =
+    install_pending_snapshot t;
+    batcher_tick t;
+    Mutex.lock t.lock;
+    List.iter
+      (fun c -> Dex_metrics.Registry.set_max t.g_client_hwm (Reactor.Conn.hwm c))
+      t.client_conns;
+    Mutex.unlock t.lock
+
+  (* --- lifecycle --- *)
 
   let start_service ?(port = 0) t =
     if t.running then invalid_arg "Server.start_service: already running";
@@ -59,29 +146,75 @@ module Make (Uc : Uc_intf.S) = struct
     in
     t.listener <- Some sock;
     t.service_port <- Some bound;
-    t.threads <- [ Thread.create (acceptor t sock) (); Thread.create (batcher t) () ];
+    (match t.service_reactor with
+    | None ->
+      t.threads <- [ Thread.create (acceptor t sock) (); Thread.create (batcher t) () ]
+    | Some r ->
+      Unix.set_nonblock sock;
+      t.schedule_cut <- arm_cut r;
+      t.batch_timer <- Some (Reactor.every r t.cfg.batch_delay (fun () -> reactor_tick t));
+      Reactor.on_readable r sock (accept_ready t r sock));
     bound
 
   let service_port t = t.service_port
 
+  (* Join every service thread. The list is re-read until it drains: the
+     acceptor registers reader threads concurrently, and it is itself on the
+     list, so once it is joined no new entries can appear. *)
+  let rec join_service_threads t =
+    Mutex.lock t.lock;
+    let ths = t.threads in
+    t.threads <- [];
+    Mutex.unlock t.lock;
+    match ths with
+    | [] -> ()
+    | _ ->
+      List.iter Thread.join ths;
+      join_service_threads t
+
   let stop_threads t =
-    if t.running then begin
-      t.running <- false;
-      (match t.listener with
-      | Some sock ->
-        (* shutdown, not just close: close alone leaves the acceptor thread
-           parked in [accept] on Linux; shutdown fails it out with EINVAL. *)
-        (try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-        (try Unix.close sock with Unix.Unix_error _ -> ())
-      | None -> ());
-      Mutex.lock t.lock;
-      let socks = t.client_socks in
-      t.client_socks <- [];
-      Mutex.unlock t.lock;
-      List.iter (fun s -> try Unix.shutdown s Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()) socks;
-      List.iter Thread.join t.threads;
-      t.threads <- []
-    end
+    (if t.running then begin
+       Mutex.lock t.lock;
+       t.running <- false;
+       Mutex.unlock t.lock;
+       match t.service_reactor with
+       | None ->
+         (match t.listener with
+         | Some sock ->
+           (* shutdown, not just close: close alone leaves the acceptor
+              thread parked in [accept] on Linux; shutdown fails it out with
+              EINVAL. *)
+           (try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+           (try Unix.close sock with Unix.Unix_error _ -> ())
+         | None -> ());
+         Mutex.lock t.lock;
+         let socks = t.client_socks in
+         t.client_socks <- [];
+         Mutex.unlock t.lock;
+         List.iter
+           (fun s -> try Unix.shutdown s Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+           socks;
+         join_service_threads t
+       | Some r ->
+         (match t.batch_timer with
+         | Some timer ->
+           Reactor.cancel r timer;
+           t.batch_timer <- None
+         | None -> ());
+         (match t.listener with
+         | Some sock ->
+           Reactor.remove r sock;
+           (try Unix.close sock with Unix.Unix_error _ -> ())
+         | None -> ());
+         Mutex.lock t.lock;
+         let conns = t.client_conns in
+         t.client_conns <- [];
+         Mutex.unlock t.lock;
+         List.iter Reactor.Conn.close conns
+     end);
+    (* The reactor exists from [replica] on (it also drives the WAL syncer),
+       so it is stopped even if the service was never started. *)
+    Option.iter Reactor.stop t.service_reactor
 
   let stop t =
     stop_threads t;
@@ -141,6 +274,14 @@ module Make (Uc : Uc_intf.S) = struct
     transport : smsg Transport.t;
     net_metrics : Registry.t;
         (* deployment-wide registry holding the transport's [net/*] counters *)
+    net_reactor : Reactor.t option;
+        (* event-driven mesh: the primary loop, shared by the transport's
+           timers and the cluster's protocol timers; [None] when the
+           deployment runs thread-per-connection *)
+    mesh_shards : Reactor.t array;
+        (* extra mesh loops: per-endpoint I/O is sharded across
+           [net_reactor :: shards] so co-located replicas' reads do not
+           serialize on one thread (empty in threaded mode) *)
     mutable servers : (Pid.t * t) list;
     ports : (Pid.t * int) list;
     mutable dead : (Pid.t * t) list;
@@ -160,7 +301,35 @@ module Make (Uc : Uc_intf.S) = struct
     in
     let pids = Pid.all ~n:cfg.n @ List.map fst extra in
     let net_metrics = Registry.create () in
-    let transport = Transport.Tcp_codec.create ~codec:smsg_codec ~metrics:net_metrics ~pids () in
+    let net_reactor =
+      match cfg.io_mode with
+      | Transport.Threads -> None
+      | Transport.Reactor -> Some (Reactor.create ~metrics:net_metrics ~name:"mesh" ())
+    in
+    (* Shard the mesh I/O over up to four loops — but only when the machine
+       can actually run them in parallel: on few cores extra loops are pure
+       context-switch overhead. The gauges live on the primary loop only
+       (shards would collide on the metric names). *)
+    let mesh_shards =
+      match net_reactor with
+      | None -> [||]
+      | Some _ ->
+        let cores = Domain.recommended_domain_count () in
+        Array.init
+          (min 3 (max 0 (min (cfg.n - 1) (cores - 1))))
+          (fun i -> Reactor.create ~name:(Printf.sprintf "mesh-%d" (i + 1)) ())
+    in
+    let reactor_for =
+      match net_reactor with
+      | Some primary when Array.length mesh_shards > 0 ->
+        let pool = Array.append [| primary |] mesh_shards in
+        Some (fun pid -> pool.(pid mod Array.length pool))
+      | _ -> None
+    in
+    let transport =
+      Transport.Tcp_codec.create ~codec:smsg_codec ~metrics:net_metrics ?reactor:net_reactor
+        ?reactor_for ~pids ()
+    in
     let servers = ref [] in
     let make p =
       match roles p with
@@ -171,7 +340,7 @@ module Make (Uc : Uc_intf.S) = struct
       | Mute -> Adversary.silent ()
       | Equivocator -> equivocator cfg ~me:p
     in
-    let cluster = Cluster.create ~transport ~n:cfg.n ~extra make in
+    let cluster = Cluster.create ~transport ~n:cfg.n ~extra ?reactor:net_reactor make in
     let servers = List.rev !servers in
     Cluster.start cluster;
     let ports =
@@ -180,7 +349,8 @@ module Make (Uc : Uc_intf.S) = struct
           (p, start_service ~port:(if port_base = 0 then 0 else port_base + i) s))
         servers
     in
-    { dcfg = cfg; cluster; transport; net_metrics; servers; ports; dead = [] }
+    { dcfg = cfg; cluster; transport; net_metrics; net_reactor; mesh_shards; servers; ports;
+      dead = [] }
 
   let kill_replica d pid =
     match List.assoc_opt pid d.servers with
@@ -210,7 +380,11 @@ module Make (Uc : Uc_intf.S) = struct
 
   let shutdown d =
     List.iter (fun (_, s) -> stop s) d.servers;
-    Cluster.shutdown d.cluster
+    Cluster.shutdown d.cluster;
+    (* The mesh loops are borrowed by transport and cluster alike; the
+       deployment owns them. *)
+    Option.iter Reactor.stop d.net_reactor;
+    Array.iter Reactor.stop d.mesh_shards
 
   (* Agreement check across the correct replicas of a deployment — killed
      replicas' pre-crash (and recovered) commit logs included: a slot a

@@ -30,7 +30,11 @@ module Make (Uc : Uc_intf.S) : sig
   val start_service : ?port:int -> t -> int
   (** Bind the client-facing listener on loopback ([port = 0] picks an
       ephemeral port — the return value is the bound port) and start the
-      acceptor and batcher threads.
+      service machinery: acceptor and batcher threads with
+      [io_mode = Threads], or — with [io_mode = Reactor] — a nonblocking
+      listener, per-connection event-driven framing and the batcher cadence
+      as timers on the replica's own reactor (which also hosts the WAL
+      group-commit timer and the event-driven settle cut).
       @raise Invalid_argument if already running. *)
 
   val service_port : t -> int option
@@ -67,6 +71,16 @@ module Make (Uc : Uc_intf.S) : sig
         (** deployment-wide registry holding the transport's [net/*]
             counters (totals and per-peer); per-replica [service/*] and
             [wal/*] families live in each replica's {!metrics} registry *)
+    net_reactor : Reactor.t option;
+        (** with [io_mode = Reactor]: the primary mesh loop, shared by the
+            transport's timers and the cluster's protocol timers (its
+            [reactor/*] gauges land in [net_metrics]); each replica's client
+            I/O runs on its own loop in its own registry *)
+    mesh_shards : Reactor.t array;
+        (** extra mesh loops the per-endpoint I/O is sharded across (see
+            {!Transport.Tcp_codec.create}'s [reactor_for]) — co-located
+            replicas' reads must not serialize on one thread; empty in
+            threaded mode *)
     mutable servers : (Pid.t * t) list;  (** live correct replicas *)
     ports : (Pid.t * int) list;  (** their client-facing service ports *)
     mutable dead : (Pid.t * t) list;  (** replicas taken down by {!kill_replica} *)

@@ -12,9 +12,21 @@
    short (lost tail), or (c) a flipped byte mid-segment (checksum mismatch).
    All three truncate the log at the last valid record; anything after a cut
    — including whole later segments — is unreachable by replay and is
-   deleted, so the surviving prefix is exactly what recovery replays. *)
+   deleted, so the surviving prefix is exactly what recovery replays.
+
+   Preallocation (default on): segments are ftruncate'd ahead to the full
+   segment size at creation, so the group-commit fsync never pays a file
+   extension (inode size update + block allocation) on the latency path;
+   rotation and clean close trim the file back to its logical size. The
+   zero-filled tail is distinguishable from a torn record because an
+   all-zero frame header is unforgeable — a length-0 record carries the
+   nonzero FNV-64 basis as its checksum — so recovery treats "first zero
+   header" as the logical end of a healthy preallocated segment, not a torn
+   write. *)
 
 module Registry = Dex_metrics.Registry
+
+external fd_int : Unix.file_descr -> int = "%identity"
 
 let magic = "DEXWAL1\n"
 
@@ -59,6 +71,7 @@ type stats = {
 type t = {
   dir : string;
   segment_bytes : int;
+  preallocate : bool;
   lock : Mutex.t;
   mutable fd : Unix.file_descr;
   mutable oc : out_channel;
@@ -91,9 +104,20 @@ let write_record oc payload =
   Buffer.add_string buf payload;
   Buffer.output_buffer oc buf
 
+(* How a segment scan ended: [`Clean] — the last record reached exactly the
+   file size; [`Zeros] — an all-zero frame header, i.e. the untouched tail
+   of a preallocated segment (a length-0 record is unforgeable as zeros:
+   its checksum is the nonzero FNV-64 basis); [`Torn] — a partial,
+   corrupted or checksum-failed record. *)
+type scan_end = [ `Clean | `Zeros | `Torn ]
+
+exception Bad_record
+
+let zero_header frame = Bytes.for_all (fun c -> c = '\000') frame
+
 (* The valid prefix of one segment: payloads in order, the byte offset just
-   past the last valid record, and whether the file ended cleanly. *)
-let scan_segment path =
+   past the last valid record, and how the scan ended. *)
+let scan_segment path : string list * int * scan_end =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -105,25 +129,31 @@ let scan_segment path =
         let hdr = really_input_string ic magic_len in
         hdr = magic
       in
-      if not header_ok then ([], 0, false)
+      if not header_ok then ([], 0, `Torn)
       else begin
         let entries = ref [] in
         let off = ref magic_len in
-        let clean = ref true in
+        let ending = ref `Clean in
         let frame = Bytes.create 12 in
         (try
            while !off < size do
              really_input ic frame 0 12;
+             if zero_header frame then begin
+               ending := `Zeros;
+               raise Exit
+             end;
              let len = Int32.to_int (Bytes.get_int32_be frame 0) in
              let sum = Int64.to_int (Bytes.get_int64_be frame 4) in
-             if len < 0 || len > max_record then raise Exit;
+             if len < 0 || len > max_record then raise Bad_record;
              let payload = really_input_string ic len in
-             if fnv64 payload <> sum then raise Exit;
+             if fnv64 payload <> sum then raise Bad_record;
              entries := payload :: !entries;
              off := !off + 12 + len
            done
-         with End_of_file | Exit -> clean := false);
-        (List.rev !entries, !off, !clean)
+         with
+        | Exit -> ()
+        | End_of_file | Bad_record -> ending := `Torn);
+        (List.rev !entries, !off, !ending)
       end)
 
 let truncate_file path len =
@@ -134,16 +164,21 @@ let truncate_file path len =
       Unix.ftruncate fd len;
       Unix.fsync fd)
 
-let fresh_segment dir first =
+let fresh_segment ~preallocate ~segment_bytes dir first =
   let path = seg_path dir first in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   let oc = Unix.out_channel_of_descr fd in
   output_string oc magic;
   flush oc;
+  (* Extend to the full rotation size now, while off the latency path, so
+     appends + group-commit fsyncs never pay block allocation or an inode
+     size update. The zero tail is trimmed at rotation/close and is
+     recognized by recovery after a crash. *)
+  if preallocate && segment_bytes > magic_len then Unix.ftruncate fd segment_bytes;
   fsync_dir dir;
   (fd, oc, path)
 
-let open_ ?metrics ?(segment_bytes = 4 * 1024 * 1024) dir =
+let open_ ?metrics ?(segment_bytes = 4 * 1024 * 1024) ?(preallocate = true) dir =
   let t0 = Unix.gettimeofday () in
   let registry = match metrics with Some r -> r | None -> Registry.create () in
   mkdir_p dir;
@@ -167,11 +202,18 @@ let open_ ?metrics ?(segment_bytes = 4 * 1024 * 1024) dir =
         Sys.remove path
       end
       else begin
-        let es, off, clean = scan_segment path in
+        let es, off, ending = scan_segment path in
         entries := List.rev_append es !entries;
         expected := !expected + List.length es;
-        if clean then kept := (first, path, off) :: !kept
-        else begin
+        match ending with
+        | `Clean -> kept := (first, path, off) :: !kept
+        | `Zeros ->
+          (* The untouched preallocated tail of a healthy segment (the trim
+             at rotation/close didn't happen — e.g. a crash with every
+             record synced): not torn, nothing to cut, the tail stays for
+             the reopened append head to fill. *)
+          kept := (first, path, off) :: !kept
+        | `Torn ->
           cut := true;
           torn := true;
           if es = [] then Sys.remove path
@@ -179,28 +221,34 @@ let open_ ?metrics ?(segment_bytes = 4 * 1024 * 1024) dir =
             truncate_file path off;
             kept := (first, path, off) :: !kept
           end
-        end
       end)
     on_disk;
   let next_lsn = !expected in
   let fd, oc, seg_size, segments =
     match !kept with
     | (_first, path, valid) :: _ ->
-      (* Reopen the newest surviving segment for appends, dropping any
-         trailing garbage past the valid prefix first. *)
+      (* Reopen the newest surviving segment for appends. Torn tails were
+         already truncated away above; with preallocation the file is
+         re-extended (ftruncate zero-fills) and the append head seeks to
+         the valid prefix instead of the physical end. *)
       let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
-      Unix.ftruncate fd valid;
-      ignore (Unix.lseek fd 0 Unix.SEEK_END);
+      let phys = (Unix.fstat fd).Unix.st_size in
+      if preallocate then begin
+        if phys < segment_bytes && valid < segment_bytes then Unix.ftruncate fd segment_bytes
+      end
+      else if phys > valid then Unix.ftruncate fd valid;
+      ignore (Unix.lseek fd valid Unix.SEEK_SET);
       let oc = Unix.out_channel_of_descr fd in
       (fd, oc, valid, List.rev_map (fun (f, p, _) -> (f, p)) !kept)
     | [] ->
-      let fd, oc, path = fresh_segment dir next_lsn in
+      let fd, oc, path = fresh_segment ~preallocate ~segment_bytes dir next_lsn in
       (fd, oc, magic_len, [ (next_lsn, path) ])
   in
   let wal =
     {
       dir;
       segment_bytes;
+      preallocate;
       lock = Mutex.create ();
       fd;
       oc;
@@ -240,12 +288,16 @@ let record_sync_locked (t : t) =
 
 let rotate_locked (t : t) =
   (* Seal the active segment (its records become durable with the closing
-     fsync) and continue in a fresh file named by the next lsn. *)
+     fsync, and the preallocated tail is trimmed to the logical size) and
+     continue in a fresh file named by the next lsn. *)
   flush t.oc;
+  if t.preallocate then (try Unix.ftruncate t.fd t.seg_size with Unix.Unix_error _ -> ());
   Unix.fsync t.fd;
   record_sync_locked t;
   close_out_noerr t.oc;
-  let fd, oc, path = fresh_segment t.dir t.next_lsn in
+  let fd, oc, path =
+    fresh_segment ~preallocate:t.preallocate ~segment_bytes:t.segment_bytes t.dir t.next_lsn
+  in
   t.fd <- fd;
   t.oc <- oc;
   t.seg_size <- magic_len;
@@ -320,6 +372,9 @@ let close (t : t) =
   Mutex.lock t.lock;
   if not t.closed then begin
     flush t.oc;
+    (* Trim the preallocated tail so a cleanly closed log holds exactly its
+       records — directories stay copyable/inspectable at logical size. *)
+    if t.preallocate then (try Unix.ftruncate t.fd t.seg_size with Unix.Unix_error _ -> ());
     (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
     record_sync_locked t;
     close_out_noerr t.oc;
@@ -353,68 +408,131 @@ let stats (t : t) =
 
 (* ----------------------------- group commit ----------------------------- *)
 
-(* The syncer sleeps in [select] on a self-pipe: the latency cap is the
-   select timeout, the size cap is an appender writing a byte to the pipe.
-   [sync] and the durability callback both run on this thread, so callers
-   never pay an fsync inline. *)
+(* Two drivers for the fsync cadence. The classic one sleeps in [select] on
+   a self-pipe: the latency cap is the select timeout, the size cap is an
+   appender writing a byte to the pipe. The reactor driver replaces that
+   thread with a periodic timer on a shared event loop (the size cap posts
+   an immediate sync), so a process with many replicas runs one loop thread
+   instead of one syncer thread each. Either way [sync] and the durability
+   callback run off the appender's thread. *)
+type driver =
+  | Pipe of {
+      pipe_r : Unix.file_descr;
+      pipe_w : Unix.file_descr;
+      mutable thread : Thread.t option;
+    }
+  | On_reactor of { r : Dex_runtime.Reactor.t; mutable timer : Dex_runtime.Reactor.timer option }
+
 type syncer = {
   s_wal : t;
   delay : float;
   cap : int;
-  pipe_r : Unix.file_descr;
-  pipe_w : Unix.file_descr;
   on_durable : int -> unit;
   mutable running : bool;
-  mutable thread : Thread.t option;
+  driver : driver;
 }
 
-let kick s = try ignore (Unix.write s.pipe_w (Bytes.make 1 'k') 0 1) with Unix.Unix_error _ -> ()
+let sync_pending s = if s.running && unsynced s.s_wal > 0 then s.on_durable (sync s.s_wal)
 
-let syncer_loop s () =
+let kick s =
+  match s.driver with
+  | Pipe p -> (
+    try ignore (Unix.write p.pipe_w (Bytes.make 1 'k') 0 1) with Unix.Unix_error _ -> ())
+  | On_reactor { r; _ } -> Dex_runtime.Reactor.post r (fun () -> sync_pending s)
+
+let syncer_loop s (p_r : Unix.file_descr) () =
   let buf = Bytes.create 64 in
   while s.running do
-    (match Unix.select [ s.pipe_r ] [] [] s.delay with
+    (match Unix.select [ p_r ] [] [] s.delay with
     | [], _, _ -> ()
-    | _ -> ( try ignore (Unix.read s.pipe_r buf 0 64) with Unix.Unix_error _ -> ())
+    | _ -> ( try ignore (Unix.read p_r buf 0 64) with Unix.Unix_error _ -> ())
     | exception Unix.Unix_error _ -> ());
-    if s.running && unsynced s.s_wal > 0 then s.on_durable (sync s.s_wal)
+    sync_pending s
   done
 
-let syncer ?(delay = 0.001) ?(cap = 64) wal ~on_durable =
+let syncer ?(delay = 0.001) ?(cap = 64) ?reactor wal ~on_durable =
   if delay <= 0.0 then invalid_arg "Wal.syncer: delay must be > 0";
   if cap < 1 then invalid_arg "Wal.syncer: cap must be >= 1";
-  let pipe_r, pipe_w = Unix.pipe () in
-  Unix.set_nonblock pipe_r;
-  Unix.set_nonblock pipe_w;
-  let s =
-    { s_wal = wal; delay; cap; pipe_r; pipe_w; on_durable; running = true; thread = None }
-  in
-  s.thread <- Some (Thread.create (syncer_loop s) ());
-  s
+  match reactor with
+  | Some r ->
+    let s =
+      {
+        s_wal = wal;
+        delay;
+        cap;
+        on_durable;
+        running = true;
+        driver = On_reactor { r; timer = None };
+      }
+    in
+    (match s.driver with
+    | On_reactor d -> d.timer <- Some (Dex_runtime.Reactor.every r delay (fun () -> sync_pending s))
+    | Pipe _ -> assert false);
+    s
+  | None ->
+    let pipe_r, pipe_w = Unix.pipe () in
+    (* [select] cannot watch descriptors past FD_SETSIZE: refuse now with a
+       clear error instead of failing with EINVAL on the first sleep. *)
+    (try
+       let check fd who =
+         let n = fd_int fd in
+         if n < 0 || n >= Dex_runtime.Reactor.max_fds then
+           invalid_arg
+             (Printf.sprintf "%s: fd %d exceeds the select FD_SETSIZE limit (%d)" who n
+                Dex_runtime.Reactor.max_fds)
+       in
+       check pipe_r "Wal.syncer (self-pipe)";
+       check pipe_w "Wal.syncer (self-pipe)"
+     with e ->
+       (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+       (try Unix.close pipe_w with Unix.Unix_error _ -> ());
+       raise e);
+    Unix.set_nonblock pipe_r;
+    Unix.set_nonblock pipe_w;
+    let s =
+      {
+        s_wal = wal;
+        delay;
+        cap;
+        on_durable;
+        running = true;
+        driver = Pipe { pipe_r; pipe_w; thread = None };
+      }
+    in
+    (match s.driver with
+    | Pipe p -> p.thread <- Some (Thread.create (syncer_loop s pipe_r) ())
+    | On_reactor _ -> assert false);
+    s
 
 let syncer_append s payload =
   let lsn = append s.s_wal payload in
   if unsynced s.s_wal >= s.cap then kick s;
   lsn
 
+let kick_syncer s = if s.running then kick s
+
+let halt_driver s =
+  match s.driver with
+  | Pipe p ->
+    (try ignore (Unix.write p.pipe_w (Bytes.make 1 'k') 0 1) with Unix.Unix_error _ -> ());
+    Option.iter Thread.join p.thread;
+    p.thread <- None;
+    (try Unix.close p.pipe_r with Unix.Unix_error _ -> ());
+    (try Unix.close p.pipe_w with Unix.Unix_error _ -> ())
+  | On_reactor d ->
+    Option.iter (Dex_runtime.Reactor.cancel d.r) d.timer;
+    d.timer <- None
+
 let stop_syncer s =
   if s.running then begin
     s.running <- false;
-    kick s;
-    Option.iter Thread.join s.thread;
-    s.thread <- None;
-    if unsynced s.s_wal > 0 then s.on_durable (sync s.s_wal);
-    (try Unix.close s.pipe_r with Unix.Unix_error _ -> ());
-    try Unix.close s.pipe_w with Unix.Unix_error _ -> ()
+    halt_driver s;
+    if unsynced s.s_wal > 0 then s.on_durable (sync s.s_wal)
   end
 
 let abandon_syncer s =
-  (* Crash simulation: stop the thread without the final sync. *)
+  (* Crash simulation: stop the driver without the final sync. *)
   if s.running then begin
     s.running <- false;
-    kick s;
-    Option.iter Thread.join s.thread;
-    s.thread <- None;
-    (try Unix.close s.pipe_r with Unix.Unix_error _ -> ());
-    try Unix.close s.pipe_w with Unix.Unix_error _ -> ()
+    halt_driver s
   end

@@ -47,7 +47,8 @@ type opened = {
   replay_ms : float;  (** wall time of the recovery scan *)
 }
 
-val open_ : ?metrics:Dex_metrics.Registry.t -> ?segment_bytes:int -> string -> opened
+val open_ :
+  ?metrics:Dex_metrics.Registry.t -> ?segment_bytes:int -> ?preallocate:bool -> string -> opened
 (** Open (creating the directory if needed) and recover. [segment_bytes]
     (default 4 MiB) is the rotation threshold: a segment that reaches it is
     fsynced and closed, and appends continue in a fresh file. [metrics]
@@ -55,6 +56,14 @@ val open_ : ?metrics:Dex_metrics.Registry.t -> ?segment_bytes:int -> string -> o
     [wal/appends], [wal/fsyncs], [wal/synced_records], [wal/bytes], the
     [wal/max_group] gauge and a [wal/segments] callback gauge; {!stats}
     reads the same registry back.
+
+    [preallocate] (default [true]) extends each segment to [segment_bytes]
+    at creation (ftruncate-ahead) so the group-commit fsync never pays block
+    allocation or an inode size extension on the latency path; rotation and
+    {!close} trim the file back to its logical size. Recovery tells the
+    zero-filled preallocated tail apart from a torn record (an all-zero
+    frame header is unforgeable — a length-0 record checksums to the
+    nonzero FNV-64 basis) and does not report it as [torn].
     @raise Sys_error / [Unix.Unix_error] on filesystem failure. *)
 
 val append : t -> string -> int
@@ -93,24 +102,45 @@ val stats : t -> stats
 
 type syncer
 
-val syncer : ?delay:float -> ?cap:int -> t -> on_durable:(int -> unit) -> syncer
+val syncer :
+  ?delay:float ->
+  ?cap:int ->
+  ?reactor:Dex_runtime.Reactor.t ->
+  t ->
+  on_durable:(int -> unit) ->
+  syncer
 (** Start the background fsync batcher: while records are pending, {!sync}
     runs at least every [delay] seconds (default 1 ms); an {!syncer_append}
     that finds [cap] (default 64) records unsynced wakes it immediately.
-    [on_durable] is called from the syncer thread with each new watermark —
-    release acknowledgements there. *)
+    [on_durable] is called with each new watermark — release
+    acknowledgements there.
+
+    Without [reactor] the cadence runs on a dedicated thread sleeping in
+    [select] on a self-pipe (whose descriptors are checked against
+    FD_SETSIZE up front — a clear [Invalid_argument] instead of [EINVAL]
+    at high descriptor counts). With [reactor] it runs as a periodic timer
+    on that shared loop — fsync and [on_durable] execute on the reactor
+    thread — and the size cap posts an immediate sync instead of writing to
+    a pipe. *)
 
 val syncer_append : syncer -> string -> int
 (** {!append} through the group-commit path (kicks the syncer at the size
     cap). *)
 
+val kick_syncer : syncer -> unit
+(** Request an immediate sync of everything pending, without waiting for the
+    latency cap — the fsync analogue of an explicit flush. Persist-before-
+    reply callers kick as soon as a reply is gated on the durable watermark,
+    so the reply pays one prompt fsync (covering its whole group) instead of
+    the remainder of the [delay] window. No-op when nothing is pending. *)
+
 val stop_syncer : syncer -> unit
-(** Final sync (with its [on_durable]), then stop and join the thread.
-    Idempotent. *)
+(** Final sync (with its [on_durable]), then stop the driver (joining the
+    thread, or cancelling the reactor timer). Idempotent. *)
 
 val abandon_syncer : syncer -> unit
-(** Crash simulation: stop and join the thread {e without} the final sync
-    (pair with {!abandon}). Idempotent. *)
+(** Crash simulation: stop the driver {e without} the final sync (pair with
+    {!abandon}). Idempotent. *)
 
 (** {2 Shared helpers} *)
 

@@ -262,6 +262,50 @@ let test_frame_roundtrip_via_pipe () =
   | _ -> Alcotest.fail "expected EOF");
   close_in ic
 
+let test_frame_to_string_matches_channel () =
+  (* Frame.to_string is the event-driven send unit; it must be byte-identical
+     to what the blocking writer puts on the wire. *)
+  let c = Codec.(pair int string) in
+  let v = (42, "framed") in
+  let buf = Buffer.create 32 in
+  Codec.Frame.write buf c v;
+  Alcotest.(check string) "same bytes" (Buffer.contents buf) (Codec.Frame.to_string c v)
+
+let test_frame_reader_incremental () =
+  let c = Codec.string in
+  let r = Codec.Frame.Reader.create c in
+  let feed_str r s =
+    let b = Bytes.of_string s in
+    Codec.Frame.Reader.feed r b (Bytes.length b)
+  in
+  let f1 = Codec.Frame.to_string c "alpha" and f2 = Codec.Frame.to_string c "" in
+  (* Split mid-length-prefix and mid-payload. *)
+  let whole = f1 ^ f2 in
+  Alcotest.(check (list string)) "nothing on 2 bytes" []
+    (feed_str r (String.sub whole 0 2));
+  Alcotest.(check int) "pending tracks buffered bytes" 2 (Codec.Frame.Reader.pending r);
+  Alcotest.(check (list string)) "nothing mid-payload" []
+    (feed_str r (String.sub whole 2 4));
+  let rest = String.sub whole 6 (String.length whole - 6) in
+  Alcotest.(check (list string)) "both frames complete, in order" [ "alpha"; "" ]
+    (feed_str r rest);
+  Alcotest.(check int) "drained" 0 (Codec.Frame.Reader.pending r);
+  (* Many frames in one feed. *)
+  let burst = String.concat "" (List.init 5 (fun i -> Codec.Frame.to_string c (string_of_int i))) in
+  Alcotest.(check (list string)) "burst decodes whole"
+    [ "0"; "1"; "2"; "3"; "4" ] (feed_str r burst)
+
+let test_frame_reader_rejects_huge_length () =
+  let c = Codec.string in
+  let r = Codec.Frame.Reader.create c in
+  (* A length prefix past the 64 MiB cap must fail as soon as the header is
+     complete — the stream is unrecoverable, so the caller tears down. *)
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 0x7fff_ffffl;
+  (match Codec.Frame.Reader.feed r b 4 with
+  | exception Codec.Decode_error _ -> ()
+  | _ -> Alcotest.fail "oversized frame accepted")
+
 (* ------------------------- codec TCP cluster ------------------------- *)
 
 let test_dex_over_codec_tcp () =
@@ -365,7 +409,15 @@ let () =
           Alcotest.test_case "bosco" `Quick test_bosco_codec;
           Alcotest.test_case "actions incl. boundaries" `Quick test_action_codec_boundaries;
         ] );
-      ("frames", [ Alcotest.test_case "pipe roundtrip" `Quick test_frame_roundtrip_via_pipe ]);
+      ( "frames",
+        [
+          Alcotest.test_case "pipe roundtrip" `Quick test_frame_roundtrip_via_pipe;
+          Alcotest.test_case "to_string = channel bytes" `Quick
+            test_frame_to_string_matches_channel;
+          Alcotest.test_case "incremental reader" `Quick test_frame_reader_incremental;
+          Alcotest.test_case "reader rejects huge length" `Quick
+            test_frame_reader_rejects_huge_length;
+        ] );
       ( "cluster",
         [ Alcotest.test_case "DEX over codec TCP" `Quick test_dex_over_codec_tcp ] );
       ("properties", props);

@@ -255,6 +255,283 @@ let test_cluster_leader_uc_on_threads () =
       Alcotest.(check int) "seven decisions" 7 (List.length values);
       Alcotest.(check int) "agreement" 1 (List.length (List.sort_uniq compare values)))
 
+(* ----------------------- reactor ----------------------- *)
+
+(* A descriptor number past FD_SETSIZE without opening 1024 files: the
+   registration guard must reject it before select ever sees it. *)
+external fd_of_int : int -> Unix.file_descr = "%identity"
+
+let await ?(timeout = 5.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.002;
+      go ()
+    end
+  in
+  go ()
+
+let test_reactor_timer_ordering () =
+  let r = Reactor.create () in
+  let mu = Mutex.create () in
+  let fired = ref [] in
+  let note tag () =
+    Mutex.lock mu;
+    fired := tag :: !fired;
+    Mutex.unlock mu
+  in
+  (* Out-of-order scheduling must fire in deadline order; equal deadlines
+     fire in scheduling order. *)
+  ignore (Reactor.after r 0.03 (note "c"));
+  ignore (Reactor.after r 0.01 (note "a"));
+  ignore (Reactor.after r 0.02 (note "b"));
+  ignore (Reactor.after r 0.05 (note "tie1"));
+  ignore (Reactor.after r 0.05 (note "tie2"));
+  Alcotest.(check bool) "all timers fired" true
+    (await (fun () -> List.length !fired = 5));
+  Alcotest.(check (list string)) "deadline order, ties in scheduling order"
+    [ "a"; "b"; "c"; "tie1"; "tie2" ]
+    (List.rev !fired);
+  Reactor.stop r
+
+let test_reactor_periodic_cancel () =
+  let r = Reactor.create () in
+  let n = ref 0 in
+  let tm = Reactor.every r 0.005 (fun () -> incr n) in
+  Alcotest.(check bool) "fires repeatedly" true (await (fun () -> !n >= 3));
+  Reactor.cancel r tm;
+  (* One firing may already be in flight when cancel lands; after it the
+     count must freeze. *)
+  Thread.delay 0.05;
+  let frozen = !n in
+  Thread.delay 0.05;
+  Alcotest.(check int) "no firings after cancel" frozen !n;
+  Reactor.cancel r tm;
+  (* double cancel is a no-op *)
+  ignore (Reactor.after r 0.01 (fun () -> ()));
+  Alcotest.(check bool) "loop still alive" true (await (fun () -> Reactor.timer_count r <= 1));
+  Reactor.stop r;
+  Alcotest.(check bool) "stopped" true (Reactor.stopped r)
+
+let test_reactor_deregister_during_dispatch () =
+  (* Two descriptors readable in the same select round; whichever handler
+     runs first deregisters both. The dispatcher re-checks registration
+     before each callback, so exactly one handler may fire. *)
+  let r = Reactor.create () in
+  let a_r, a_w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let b_r, b_w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let mu = Mutex.create () in
+  let fired = ref 0 in
+  let handler self other () =
+    Mutex.lock mu;
+    incr fired;
+    Mutex.unlock mu;
+    ignore (Unix.read self (Bytes.create 8) 0 8);
+    Reactor.remove r self;
+    Reactor.remove r other
+  in
+  (* Register both before making either readable: if a byte landed first,
+     the loop could dispatch one handler before the other fd is registered —
+     its remove would be a no-op and the late registration would fire. *)
+  Reactor.on_readable r a_r (handler a_r b_r);
+  Reactor.on_readable r b_r (handler b_r a_r);
+  ignore (Unix.write a_w (Bytes.of_string "x") 0 1);
+  ignore (Unix.write b_w (Bytes.of_string "x") 0 1);
+  Alcotest.(check bool) "one handler ran" true (await (fun () -> !fired >= 1));
+  Thread.delay 0.05;
+  Alcotest.(check int) "removed handler never fired" 1 !fired;
+  Alcotest.(check int) "no descriptors left" 0 (Reactor.fd_count r);
+  Reactor.stop r;
+  List.iter Unix.close [ a_r; a_w; b_r; b_w ]
+
+let test_reactor_fd_setsize_guard () =
+  let r = Reactor.create () in
+  let too_big = fd_of_int (Reactor.max_fds + 7) in
+  let rejected f =
+    match f () with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "on_readable rejects" true
+    (rejected (fun () -> Reactor.on_readable r too_big (fun () -> ())));
+  Alcotest.(check bool) "on_writable rejects" true
+    (rejected (fun () -> Reactor.on_writable r too_big (fun () -> ())));
+  Alcotest.(check int) "nothing registered" 0 (Reactor.fd_count r);
+  Reactor.stop r
+
+let test_reactor_conn_partial_frames () =
+  (* Frames arriving byte-dribbled and coalesced must reassemble equally;
+     EOF fires on_close exactly once. *)
+  let r = Reactor.create () in
+  let near, far = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let codec = Dex_codec.Codec.string in
+  let reader = Dex_codec.Codec.Frame.Reader.create codec in
+  let box = Mailbox.create () in
+  let closes = ref 0 in
+  let conn =
+    Reactor.Conn.attach r near
+      ~on_bytes:(fun buf len ->
+        List.iter (Mailbox.push box) (Dex_codec.Codec.Frame.Reader.feed reader buf len))
+      ~on_close:(fun () -> incr closes)
+  in
+  (* One frame, one byte at a time. *)
+  let f1 = Dex_codec.Codec.Frame.to_string codec "dribble" in
+  String.iter
+    (fun ch ->
+      ignore (Unix.write far (Bytes.make 1 ch) 0 1);
+      Thread.delay 0.001)
+    f1;
+  Alcotest.(check (option string)) "dribbled frame" (Some "dribble")
+    (Mailbox.pop ~timeout:2.0 box);
+  (* Two frames in a single write. *)
+  let pair =
+    Dex_codec.Codec.Frame.to_string codec "first" ^ Dex_codec.Codec.Frame.to_string codec "second"
+  in
+  let b = Bytes.of_string pair in
+  ignore (Unix.write far b 0 (Bytes.length b));
+  Alcotest.(check (option string)) "coalesced 1" (Some "first") (Mailbox.pop ~timeout:2.0 box);
+  Alcotest.(check (option string)) "coalesced 2" (Some "second") (Mailbox.pop ~timeout:2.0 box);
+  Unix.close far;
+  Alcotest.(check bool) "eof close" true (await (fun () -> !closes = 1));
+  Alcotest.(check bool) "conn reports closed" true (not (Reactor.Conn.is_open conn));
+  Reactor.stop r
+
+let test_reactor_conn_write_backpressure () =
+  (* 200 x 8 KiB frames overflow the socket buffer, forcing partial writes
+     and queue growth; a slow reader on the far end must still see every
+     frame whole and in order. *)
+  let r = Reactor.create () in
+  let near, far = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let codec = Dex_codec.Codec.string in
+  let conn =
+    Reactor.Conn.attach r near ~on_bytes:(fun _ _ -> ()) ~on_close:(fun () -> ())
+  in
+  let frames = 200 in
+  let payload i = Printf.sprintf "%04d:%s" i (String.make 8192 (Char.chr (97 + (i mod 26)))) in
+  for i = 0 to frames - 1 do
+    Reactor.Conn.send conn (Dex_codec.Codec.Frame.to_string codec (payload i))
+  done;
+  let reader = Dex_codec.Codec.Frame.Reader.create codec in
+  let got = ref [] in
+  let buf = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while List.length !got < frames && Unix.gettimeofday () < deadline do
+    match Unix.select [ far ] [] [] 1.0 with
+    | [], _, _ -> ()
+    | _ ->
+      let n = Unix.read far buf 0 (Bytes.length buf) in
+      if n > 0 then
+        List.iter
+          (fun s -> got := s :: !got)
+          (Dex_codec.Codec.Frame.Reader.feed reader buf n);
+      Thread.delay 0.001 (* keep the reader slower than the writer *)
+  done;
+  let got = List.rev !got in
+  Alcotest.(check int) "every frame arrived" frames (List.length got);
+  List.iteri
+    (fun i s -> if s <> payload i then Alcotest.failf "frame %d corrupted" i)
+    got;
+  Alcotest.(check bool) "backpressure was observed" true
+    (Reactor.Conn.hwm conn > 8192);
+  Alcotest.(check int) "queue fully drained" 0 (Reactor.Conn.pending_bytes conn);
+  Reactor.Conn.close conn;
+  Reactor.stop r;
+  Unix.close far
+
+let test_tcp_reactor_roundtrip () =
+  let r = Reactor.create () in
+  let codec = Dex_codec.Codec.string in
+  let port = ref 0 in
+  let b =
+    Transport.Tcp_codec.create ~codec ~reactor:r
+      ~on_bind:(fun _ p -> port := p)
+      ~pids:[ 1 ] ()
+  in
+  let a =
+    Transport.Tcp_codec.create ~codec ~reactor:r ~remotes:[ (1, !port) ] ~pids:[ 0 ] ()
+  in
+  for i = 0 to 49 do
+    a.Transport.send ~src:0 ~dst:1 (Printf.sprintf "m%d" i)
+  done;
+  let received = ref [] in
+  let rec drain () =
+    if List.length !received < 50 then
+      match b.Transport.recv ~me:1 ~timeout:2.0 with
+      | Some (0, m) ->
+        received := m :: !received;
+        drain ()
+      | Some (src, _) -> Alcotest.failf "wrong src %d" src
+      | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "all arrived in order"
+    (List.init 50 (Printf.sprintf "m%d"))
+    (List.rev !received);
+  a.Transport.close ();
+  b.Transport.close ();
+  Reactor.stop r
+
+let test_tcp_reactor_reconnect_while_writable () =
+  (* Kill the peer endpoint, keep sending into the (possibly still armed)
+     write path, then resurrect a listener on the same port: the frames
+     buffered across the teardown must come out whole and in order on the
+     fresh connection — the reconnect-while-writable race. *)
+  let r = Reactor.create () in
+  let codec = Dex_codec.Codec.string in
+  let frame_codec = Dex_codec.Codec.pair Dex_codec.Codec.int codec in
+  let port = ref 0 in
+  let b =
+    Transport.Tcp_codec.create ~codec ~reactor:r
+      ~on_bind:(fun _ p -> port := p)
+      ~pids:[ 1 ] ()
+  in
+  let a =
+    Transport.Tcp_codec.create ~codec ~reactor:r ~remotes:[ (1, !port) ] ~pids:[ 0 ] ()
+  in
+  a.Transport.send ~src:0 ~dst:1 "before";
+  (match b.Transport.recv ~me:1 ~timeout:2.0 with
+  | Some (0, "before") -> ()
+  | _ -> Alcotest.fail "healthy delivery failed");
+  b.Transport.close ();
+  (* Re-bind the freed port ourselves, then send while A's link is somewhere
+     between armed-writable, torn down and retrying. *)
+  let lst = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lst Unix.SO_REUSEADDR true;
+  Unix.bind lst (Unix.ADDR_INET (Unix.inet_addr_loopback, !port));
+  Unix.listen lst 4;
+  a.Transport.send ~src:0 ~dst:1 "during-1";
+  a.Transport.send ~src:0 ~dst:1 "during-2";
+  let reader = Dex_codec.Codec.Frame.Reader.create frame_codec in
+  let got = ref [] in
+  let buf = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let conns = ref [] in
+  while List.length !got < 2 && Unix.gettimeofday () < deadline do
+    match Unix.select (lst :: !conns) [] [] 0.2 with
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = lst then begin
+            let c, _ = Unix.accept lst in
+            conns := c :: !conns
+          end
+          else
+            let n = Unix.read fd buf 0 (Bytes.length buf) in
+            if n > 0 then
+              List.iter
+                (fun f -> got := f :: !got)
+                (Dex_codec.Codec.Frame.Reader.feed reader buf n))
+        ready
+  done;
+  Alcotest.(check (list (pair int string))) "buffered frames replayed in order"
+    [ (0, "during-1"); (0, "during-2") ]
+    (List.rev !got);
+  a.Transport.close ();
+  List.iter Unix.close (lst :: !conns);
+  Reactor.stop r
+
 let test_cluster_double_start_rejected () =
   let transport = Transport.Mem.create ~pids:[ 0 ] () in
   let cluster =
@@ -283,6 +560,20 @@ let () =
           Alcotest.test_case "tcp roundtrip" `Quick test_tcp_transport_roundtrip;
           Alcotest.test_case "tcp ordering" `Quick test_tcp_transport_many_messages;
           Alcotest.test_case "link stats" `Quick test_link_stats_counters;
+        ] );
+      ( "reactor",
+        [
+          Alcotest.test_case "timer ordering" `Quick test_reactor_timer_ordering;
+          Alcotest.test_case "periodic cancel" `Quick test_reactor_periodic_cancel;
+          Alcotest.test_case "deregister during dispatch" `Quick
+            test_reactor_deregister_during_dispatch;
+          Alcotest.test_case "FD_SETSIZE guard" `Quick test_reactor_fd_setsize_guard;
+          Alcotest.test_case "conn partial frames" `Quick test_reactor_conn_partial_frames;
+          Alcotest.test_case "conn write backpressure" `Quick
+            test_reactor_conn_write_backpressure;
+          Alcotest.test_case "tcp_codec on reactor" `Quick test_tcp_reactor_roundtrip;
+          Alcotest.test_case "reconnect while writable" `Quick
+            test_tcp_reactor_reconnect_while_writable;
         ] );
       ( "cluster",
         [

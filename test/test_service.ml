@@ -340,6 +340,83 @@ let test_durable_restart_recovers () =
             (cnt <= r.Client.Load.issued))
         d.S.servers)
 
+let test_threads_io_mode_parity () =
+  (* The reactor is the default and carries the rest of this suite; the
+     legacy thread-per-connection runtime must keep the same service
+     semantics, and the two runtimes must interoperate on the wire. *)
+  let io_mode = Dex_runtime.Transport.Threads in
+  let cfg = S.config ~io_mode ~pair:(fun _ -> freq4) ~n:4 ~t:0 () in
+  with_deployment cfg (fun d ->
+      let ports = List.map snd d.S.ports in
+      let c = Client.connect ~io_mode ~client:1 ports in
+      let r =
+        Client.Load.run_many ~clients:8 ~duration:1.0 c (fun i ->
+            Sm.Set (Printf.sprintf "k%d" (i mod 8), i))
+      in
+      Client.close c;
+      (* Cross-mode: a reactor client against the threaded deployment. *)
+      let c2 = Client.connect ~io_mode:Dex_runtime.Transport.Reactor ~client:99 ports in
+      (match Client.submit c2 (Sm.Add ("cross", 1)) with
+      | Some res -> Alcotest.(check bool) "cross-mode applied" true (res.Client.output = Sm.Count 1)
+      | None -> Alcotest.fail "cross-mode submit failed");
+      Client.close c2;
+      Thread.delay 0.3;
+      Alcotest.(check bool) "committed work" true (r.Client.Load.committed > 100);
+      let compared, violations = S.agreement_violations d in
+      Alcotest.(check bool) "slots compared" true (compared > 0);
+      Alcotest.(check int) "no agreement violations" 0 (List.length violations);
+      let digests =
+        List.sort_uniq compare (List.map (fun (_, s) -> S.state_digest s) d.S.servers)
+      in
+      Alcotest.(check int) "replica states converged" 1 (List.length digests))
+
+let thread_count () =
+  (* Linux: one entry per live thread. *)
+  Array.length (Sys.readdir "/proc/self/task")
+
+let test_shutdown_joins_threads () =
+  if not (Sys.file_exists "/proc/self/task") then ()
+  else begin
+    let baseline = thread_count () in
+    let run io_mode =
+      let cfg = S.config ~io_mode ~pair:(fun _ -> freq4) ~n:4 ~t:0 () in
+      let d = S.launch cfg in
+      let c = Client.connect ~io_mode ~client:1 (List.map snd d.S.ports) in
+      let stop = ref false in
+      let loader =
+        Thread.create
+          (fun () ->
+            while not !stop do
+              try ignore (Client.submit ~timeout:0.2 ~attempts:1 c (Sm.Add ("k", 1)))
+              with _ -> Thread.delay 0.01
+            done)
+          ()
+      in
+      Thread.delay 0.4;
+      (* Tear the deployment down while the loader is mid-flight. *)
+      S.shutdown d;
+      stop := true;
+      Thread.join loader;
+      Client.close c
+    in
+    run Dex_runtime.Transport.Threads;
+    run Dex_runtime.Transport.Reactor;
+    (* Every acceptor, reader, batcher, syncer and loop thread must have been
+       joined: the process returns to its pre-deployment thread count. *)
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    let rec settle () =
+      if thread_count () <= baseline then ()
+      else if Unix.gettimeofday () > deadline then
+        Alcotest.failf "leaked threads: %d before the deployments, %d after" baseline
+          (thread_count ())
+      else begin
+        Thread.delay 0.05;
+        settle ()
+      end
+    in
+    settle ()
+  end
+
 let test_config_validation () =
   Alcotest.check_raises "bad batch_cap"
     (Invalid_argument "Server.config: batch_cap must be >= 1") (fun () ->
@@ -383,6 +460,8 @@ let () =
           Alcotest.test_case "equivocator tolerated" `Quick test_equivocator_deployment;
           Alcotest.test_case "commit log bounded" `Quick test_commit_log_bounded;
           Alcotest.test_case "durable restart recovers" `Quick test_durable_restart_recovers;
+          Alcotest.test_case "threads io-mode parity" `Quick test_threads_io_mode_parity;
+          Alcotest.test_case "shutdown joins threads" `Quick test_shutdown_joins_threads;
           Alcotest.test_case "config validation" `Quick test_config_validation;
         ] );
     ]

@@ -243,6 +243,80 @@ let test_wal_abandon_syncer () =
   Alcotest.(check (list string)) "unsynced group lost" [] o2.Wal.entries;
   Wal.close o2.Wal.wal
 
+let file_size path = (Unix.stat path).Unix.st_size
+
+let test_wal_preallocation_sizes () =
+  (* Preallocated segments hold their full physical size while open (so the
+     append path never extends the file) and are trimmed back to the logical
+     size on clean close; rotation trims each retired segment the same way. *)
+  let dir = fresh_dir () in
+  let o = Wal.open_ ~segment_bytes:4096 dir in
+  fill o.Wal.wal 3;
+  ignore (Wal.sync o.Wal.wal);
+  let seg = Filename.concat dir (List.hd (seg_files dir)) in
+  Alcotest.(check int) "open segment is extended ahead" 4096 (file_size seg);
+  Wal.close o.Wal.wal;
+  Alcotest.(check bool) "close trims to logical size" true (file_size seg < 4096);
+  let trimmed = file_size seg in
+  let o2 = Wal.open_ ~segment_bytes:4096 dir in
+  Alcotest.(check (list string)) "replay after trim" (List.init 3 payload) o2.Wal.entries;
+  Alcotest.(check bool) "not torn" false o2.Wal.torn;
+  Wal.close o2.Wal.wal;
+  (* Without preallocation the file only ever holds the logical bytes. *)
+  let dir2 = fresh_dir () in
+  let p = Wal.open_ ~segment_bytes:4096 ~preallocate:false dir2 in
+  fill p.Wal.wal 3;
+  ignore (Wal.sync p.Wal.wal);
+  let seg2 = Filename.concat dir2 (List.hd (seg_files dir2)) in
+  Alcotest.(check int) "unpreallocated = logical bytes" trimmed (file_size seg2);
+  Wal.close p.Wal.wal;
+  (* Rotation under preallocation: every retired segment is trimmed, and the
+     full log replays. *)
+  let dir3 = fresh_dir () in
+  let r = Wal.open_ ~segment_bytes:512 dir3 in
+  fill r.Wal.wal 30;
+  ignore (Wal.sync r.Wal.wal);
+  Wal.close r.Wal.wal;
+  List.iter
+    (fun n ->
+      let sz = file_size (Filename.concat dir3 n) in
+      if sz > 512 + 128 then Alcotest.failf "segment %s not trimmed (%d bytes)" n sz)
+    (seg_files dir3);
+  let r2 = Wal.open_ ~segment_bytes:512 dir3 in
+  Alcotest.(check (list string)) "rotated log replays" (List.init 30 payload) r2.Wal.entries;
+  Alcotest.(check bool) "rotation leaves no tear" false r2.Wal.torn;
+  Wal.close r2.Wal.wal
+
+let test_wal_preallocated_crash_tail () =
+  (* A crash leaves the zero-filled preallocated tail in place. Recovery must
+     read the zeros as healthy free space (an all-zero frame header is
+     unforgeable), but a garbage frame in that tail is still a tear. *)
+  let dir = fresh_dir () in
+  let o = Wal.open_ ~segment_bytes:4096 dir in
+  fill o.Wal.wal 5;
+  ignore (Wal.sync o.Wal.wal);
+  Wal.abandon o.Wal.wal;
+  let seg = Filename.concat dir (List.hd (seg_files dir)) in
+  Alcotest.(check int) "crash leaves the preallocated size" 4096 (file_size seg);
+  let o2 = Wal.open_ ~segment_bytes:4096 dir in
+  Alcotest.(check (list string)) "records recovered" (List.init 5 payload) o2.Wal.entries;
+  Alcotest.(check bool) "zero tail is not a tear" false o2.Wal.torn;
+  Wal.close o2.Wal.wal;
+  let logical = file_size seg in
+  (* Now plant a torn record where the zeros were: re-extend the file and
+     write a partial frame at the logical end. *)
+  truncate_to seg 4096;
+  let fd = Unix.openfile seg [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd logical Unix.SEEK_SET);
+  let junk = Bytes.of_string "\x00\x00\x00\x30half-a-record" in
+  ignore (Unix.write fd junk 0 (Bytes.length junk));
+  Unix.close fd;
+  let o3 = Wal.open_ ~segment_bytes:4096 dir in
+  Alcotest.(check (list string)) "prefix still recovered" (List.init 5 payload) o3.Wal.entries;
+  Alcotest.(check bool) "garbage tail is a tear" true o3.Wal.torn;
+  Alcotest.(check int) "appends continue past the repair" 6 (Wal.append o3.Wal.wal "six");
+  Wal.close o3.Wal.wal
+
 (* ----------------------------- snapshots ----------------------------- *)
 
 let test_snapshot_roundtrip () =
@@ -338,6 +412,8 @@ let () =
           Alcotest.test_case "truncate below" `Quick test_wal_truncate_below;
           Alcotest.test_case "group commit" `Quick test_wal_group_commit;
           Alcotest.test_case "abandoned syncer loses group" `Quick test_wal_abandon_syncer;
+          Alcotest.test_case "preallocation sizes" `Quick test_wal_preallocation_sizes;
+          Alcotest.test_case "preallocated crash tail" `Quick test_wal_preallocated_crash_tail;
         ] );
       ( "snapshot",
         [
