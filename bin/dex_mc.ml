@@ -20,6 +20,8 @@ open Dex_mcheck
 type options = {
   mutable smoke : bool;
   mutable mutate : string option;
+  mutable worst_case : bool;
+  mutable plan_out : string option;
   mutable replay : string option;
   mutable pair : string;
   mutable n : int;
@@ -41,6 +43,8 @@ let options =
   {
     smoke = false;
     mutate = None;
+    worst_case = false;
+    plan_out = None;
     replay = None;
     pair = "";
     n = 0;
@@ -60,7 +64,8 @@ let options =
 
 let usage () =
   prerr_endline
-    "dex_mc [--smoke] [--mutate NAME] [--replay FILE] [--pair freq|prv] [--n N] [-t T]\n\
+    "dex_mc [--smoke] [--mutate NAME] [--worst-case] [--plan-out FILE] [--replay FILE]\n\
+    \       [--pair freq|prv] [--n N] [-t T]\n\
     \       [--m V] [--budget D] [--width W] [--max-schedules K] [--max-steps K]\n\
     \       [--max-scenarios K] [--seed S] [--samples K] [--cex FILE]\n\
     \       [--input v,v,..] [--no-faults]";
@@ -73,6 +78,12 @@ let parse_args () =
       go rest
     | "--mutate" :: v :: rest ->
       options.mutate <- Some v;
+      go rest
+    | "--worst-case" :: rest ->
+      options.worst_case <- true;
+      go rest
+    | "--plan-out" :: v :: rest ->
+      options.plan_out <- Some v;
       go rest
     | "--replay" :: v :: rest ->
       options.replay <- Some v;
@@ -318,6 +329,139 @@ let run_replay file =
     Printf.printf "no violation on replay\n";
     1
 
+(* ------------------------- worst-case search ------------------------- *)
+
+(* Default target for --worst-case: P_freq at its smallest t=1
+   configuration (n=7), near-unanimous input — the FIFO run one-step
+   decides almost everywhere, so there is an expedited path for an
+   adversarial schedule to destroy — plus a churn slot that starts mute and
+   heals after a few steps (the dynamic adversary both lanes share). *)
+let default_worst_case_target () =
+  let n = 7 and t = 1 in
+  let proposals = [ 1; 0; 0; 0; 0; 0; 0 ] in
+  let faults =
+    [
+      ( 0,
+        Dex_model.Churn_sched
+          [ (0, Dex_net.Adversary.Churn_mute); (6, Dex_net.Adversary.Churn_honest) ] );
+    ]
+  in
+  (Dex_model.Freq, n, t, proposals, faults)
+
+(* Compile a worst-case schedule into a replayable chaos plan: rank mesh
+   links by the mean normalized position of their deliveries in the
+   schedule (late links are the ones the adversary starves), give the
+   latest third delay+reorder rules scaled by their lateness, and carry the
+   scenario's churn schedule over as timed churn events. The result is an
+   approximation — a live network has no delivery-order oracle — but it
+   reproduces the schedule's shape: the same links lag, the same replica
+   churns. *)
+let schedule_to_plan ~seed scenario schedule =
+  let n = scenario.Dex_model.n in
+  let total = List.length schedule in
+  let tbl : (Dex_net.Pid.t * Dex_net.Pid.t, float * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun i k ->
+      let src = k.Exec.src and dst = k.Exec.dst in
+      if src <> dst && src < n && dst < n then begin
+        let pos = float_of_int i /. float_of_int (max 1 (total - 1)) in
+        let s, c = Option.value ~default:(0.0, 0) (Hashtbl.find_opt tbl (src, dst)) in
+        Hashtbl.replace tbl (src, dst) (s +. pos, c + 1)
+      end)
+    schedule;
+  let links =
+    Hashtbl.fold (fun k (s, c) acc -> ((k, s /. float_of_int c), c) :: acc) tbl []
+    |> List.map fst
+    |> List.sort (fun ((la, lb), a) ((ra, rb), b) ->
+           match Float.compare b a with 0 -> compare (la, lb) (ra, rb) | cmp -> cmp)
+  in
+  let latest = List.filteri (fun i _ -> i < max 1 (List.length links / 3)) links in
+  let rules =
+    List.map
+      (fun ((src, dst), lateness) ->
+        ( Dex_runtime.Fault_plan.Link (src, dst),
+          {
+            Dex_runtime.Fault_plan.clean_rule with
+            Dex_runtime.Fault_plan.delay = 0.01 +. (0.04 *. lateness);
+            reorder = 0.5;
+            jitter = 0.005;
+          } ))
+      latest
+  in
+  (* Step-indexed churn becomes timed churn: half a second per entry is
+     slow enough for a live deployment to commit traffic in every mode
+     window and fast enough for a short gauntlet. *)
+  let churn =
+    List.concat_map
+      (fun (pid, fault) ->
+        match fault with
+        | Dex_model.Churn_sched sched ->
+          List.mapi
+            (fun i (_, mode) ->
+              {
+                Dex_runtime.Fault_plan.c_at = 0.5 *. float_of_int i;
+                c_pid = pid;
+                c_mode = mode;
+              })
+            sched
+        | _ -> [])
+      scenario.Dex_model.faults
+  in
+  { Dex_runtime.Fault_plan.empty_spec with Dex_runtime.Fault_plan.seed; rules; churn }
+
+let run_worst_case () =
+  let kind, n, t, proposals, faults =
+    if options.pair <> "" && options.n > 0 then begin
+      let kind = kind_of_pair options.pair in
+      let n = options.n and t = max options.t 0 in
+      let proposals =
+        match options.input with
+        | Some spec -> List.filter_map int_of_string_opt (String.split_on_char ',' spec)
+        | None -> 1 :: List.init (n - 1) (fun _ -> 0)
+      in
+      let _, _, _, _, faults = default_worst_case_target () in
+      (kind, n, t, proposals, if options.faults then faults else [])
+    end
+    else default_worst_case_target ()
+  in
+  let scenario = { (base_scenario kind ~n ~t) with Dex_model.proposals; faults } in
+  let sys = Dex_model.system scenario in
+  let score sum = Dex_model.one_step_loss scenario sum in
+  let fifo_loss =
+    let t0 = Exec.create sys in
+    ignore (Exec.run_fifo t0);
+    score (Exec.summary t0)
+  in
+  Printf.printf "worst-case search: %s n=%d t=%d proposals=[%s] faults=%d budget=%d\n"
+    (Format.asprintf "%a" pp_kind kind)
+    n t
+    (String.concat ";" (List.map string_of_int proposals))
+    (List.length faults) options.budget;
+  let outcome = Checker.search ~sys ~bounds:(bounds ()) ~score () in
+  let st = outcome.Checker.search_stats in
+  Printf.printf "  %d schedules scored, %d transitions, %d+%d pruned%s\n"
+    st.Checker.schedules st.Checker.transitions st.Checker.fp_prunes st.Checker.sleep_prunes
+    (if st.Checker.exhausted then ", exhaustive" else ", bounded");
+  match outcome.Checker.best with
+  | None ->
+    Printf.printf "  no complete schedule within bounds\n";
+    1
+  | Some (best_loss, schedule) ->
+    Printf.printf "  FIFO one-step loss %d, worst schedule loss %d (%d steps)%s\n" fifo_loss
+      best_loss (List.length schedule)
+      (if best_loss > fifo_loss then " — strictly worse than FIFO" else "");
+    (match options.plan_out with
+    | None -> ()
+    | Some file ->
+      let spec = schedule_to_plan ~seed:options.seed scenario schedule in
+      (match Dex_runtime.Fault_plan.validate ~n ~t spec with
+      | Ok () ->
+        Dex_runtime.Fault_plan.save ~file spec;
+        Printf.printf "  chaos plan written to %s (replay with dex_server gauntlet --chaos-plan)\n"
+          file
+      | Error e -> Printf.printf "  NOT writing plan: validation failed: %s\n" e));
+    if best_loss >= fifo_loss then 0 else 1
+
 let run_smoke () =
   Printf.printf "dex_mc --smoke: exhaustive n=4,t=0 + planted-mutation check\n";
   let saved_budget = options.budget in
@@ -374,6 +518,7 @@ let () =
   parse_args ();
   let code =
     match (options.replay, options.mutate, options.smoke) with
+    | _ when options.worst_case -> run_worst_case ()
     | Some file, _, _ -> run_replay file
     | None, Some mutation, _ ->
       let kind, n, t, proposals =

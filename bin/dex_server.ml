@@ -23,6 +23,7 @@ open Dex_condition
 open Dex_underlying
 module Sm = Dex_service.State_machine
 module R = Dex_metrics.Registry
+module FP = Dex_runtime.Fault_plan
 
 type opts = {
   n : int;
@@ -45,6 +46,7 @@ type opts = {
   kill : int;
   down : float;
   io_mode : Dex_runtime.Transport.io_mode;
+  chaos_plan : string option;
 }
 
 let pair_of opts =
@@ -62,7 +64,7 @@ let roles_of opts p =
 module Run (Uc : Uc_intf.S) = struct
   module S = Dex_service.Server.Make (Uc)
 
-  let launch opts =
+  let launch ?roles ?chaos opts =
     let pair = pair_of opts in
     let cfg =
       S.config ~seed:opts.seed ~io_mode:opts.io_mode ~window:opts.window
@@ -72,7 +74,8 @@ module Run (Uc : Uc_intf.S) = struct
         ~pair:(fun _ -> pair)
         ~n:opts.n ~t:opts.t ()
     in
-    S.launch ~roles:(roles_of opts) ~port_base:opts.port_base cfg
+    let roles = match roles with Some r -> r | None -> roles_of opts in
+    S.launch ~roles ?chaos ~port_base:opts.port_base cfg
 
   let print_ports d =
     List.iter
@@ -357,6 +360,202 @@ module Run (Uc : Uc_intf.S) = struct
         rstats.S.state_transfers;
       `Ok ()
     end
+
+  (* ------------------------------ gauntlet ------------------------------ *)
+
+  (* The built-in chaos gauntlet for an n-replica run of [d] seconds: mild
+     noise on every link throughout, a symmetric partition that heals, a
+     kill/restart storm on one replica, then a Byzantine churn burst
+     (mute -> honest -> equivocate -> honest) on another. Storm and churn
+     phases do not overlap, so at most one replica is crashed or Byzantine
+     at any instant — the t >= 1 envelope the service promises to absorb. *)
+  let builtin_gauntlet_spec opts =
+    let d = opts.duration in
+    let cut_a = if opts.n >= 5 then [ 0; 1 ] else [ 0 ] in
+    let cut_b = List.filter (fun p -> not (List.mem p cut_a)) (List.init opts.n Fun.id) in
+    let storm_pid = opts.kill in
+    let churn_pid = opts.n - 2 in
+    {
+      FP.seed = opts.seed;
+      rules =
+        [
+          ( FP.All,
+            { FP.drop = 0.02; dup = 0.02; reorder = 0.05; delay = 0.001; jitter = 0.002 } );
+        ];
+      cuts =
+        [
+          {
+            FP.cut_a;
+            cut_b;
+            symmetric = true;
+            from_s = 0.20 *. d;
+            until_s = 0.32 *. d;
+          };
+        ];
+      storm =
+        [
+          { FP.s_at = 0.40 *. d; s_pid = storm_pid; s_action = FP.Kill };
+          { FP.s_at = 0.55 *. d; s_pid = storm_pid; s_action = FP.Restart };
+        ];
+      churn =
+        [
+          { FP.c_at = 0.65 *. d; c_pid = churn_pid; c_mode = FP.Churn_mute };
+          { FP.c_at = 0.74 *. d; c_pid = churn_pid; c_mode = FP.Churn_honest };
+          { FP.c_at = 0.80 *. d; c_pid = churn_pid; c_mode = FP.Churn_equiv };
+          { FP.c_at = 0.90 *. d; c_pid = churn_pid; c_mode = FP.Churn_honest };
+        ];
+    }
+
+  let one_step_fraction (r : Dex_service.Client.Load.report) =
+    let decided = r.Dex_service.Client.Load.one_step + r.two_step + r.underlying in
+    if decided = 0 then 0.0
+    else float_of_int r.Dex_service.Client.Load.one_step /. float_of_int decided
+
+  let pp_phase label (r : Dex_service.Client.Load.report) =
+    let lat =
+      match r.Dex_service.Client.Load.latency with
+      | Some s -> Printf.sprintf " p50=%.2fms p99=%.2fms" s.Dex_metrics.Stats.p50 s.p99
+      | None -> ""
+    in
+    Printf.printf
+      "[%s] committed=%d failed=%d one-step=%.1f%% (1s=%d 2s=%d und=%d)%s thrpt=%.0f/s\n%!"
+      label r.Dex_service.Client.Load.committed r.failed
+      (100.0 *. one_step_fraction r)
+      r.Dex_service.Client.Load.one_step r.two_step r.underlying lat r.throughput
+
+  (* One load phase: launch (optionally chaos-wrapped), drive a closed-loop
+     client for the full duration while the plan's storm/churn schedule is
+     executed on a side thread, then stop, audit (agreement + duplicate
+     applies) and tear down. *)
+  let drive_phase opts ~roles ~chaos ~data_dir =
+    let opts = { opts with data_dir } in
+    let d = launch ~roles ?chaos opts in
+    let sched_err = ref None in
+    let scheduler =
+      match chaos with
+      | None -> None
+      | Some _ ->
+        Some
+          (Thread.create
+             (fun () ->
+               try S.run_chaos_schedule d
+               with e -> sched_err := Some (Printexc.to_string e))
+             ())
+    in
+    let client =
+      Dex_service.Client.connect ~io_mode:opts.io_mode ~client:1 (List.map snd d.S.ports)
+    in
+    let report =
+      Dex_service.Client.Load.run ~duration:opts.duration client (fun _ -> Sm.Add ("k", 1))
+    in
+    Dex_service.Client.close client;
+    Option.iter Thread.join scheduler;
+    (* Stragglers settle under honest behaviour: a plan may end mid-churn. *)
+    List.iter (fun (_, cell) -> cell := Dex_net.Adversary.Churn_honest) d.S.churn_cells;
+    Thread.delay 0.5;
+    List.iter (fun (_, s) -> S.stop s) d.S.servers;
+    let compared, violations = S.agreement_violations d in
+    let counter_of s =
+      match List.assoc_opt "k" (S.state_snapshot s) with Some v -> v | None -> 0
+    in
+    let overshoot =
+      List.filter
+        (fun (_, s) -> counter_of s > report.Dex_service.Client.Load.issued)
+        d.S.servers
+    in
+    Dex_runtime.Cluster.shutdown d.S.cluster;
+    (report, compared, violations, overshoot, !sched_err)
+
+  let gauntlet opts =
+    let spec =
+      match opts.chaos_plan with
+      | Some file -> FP.load ~file
+      | None -> builtin_gauntlet_spec opts
+    in
+    (match FP.validate ~n:opts.n ~t:opts.t spec with
+    | Ok () -> ()
+    | Error e -> failwith (Printf.sprintf "gauntlet: invalid fault plan: %s" e));
+    let churn_pids =
+      List.sort_uniq compare (List.map (fun e -> e.FP.c_pid) spec.FP.churn)
+    in
+    let storm_pids =
+      List.sort_uniq compare (List.map (fun e -> e.FP.s_pid) spec.FP.storm)
+    in
+    (match List.filter (fun p -> List.mem p churn_pids) storm_pids with
+    | [] -> ()
+    | clash ->
+      failwith
+        (Printf.sprintf
+           "gauntlet: pids %s appear in both storm and churn schedules — a restarted \
+            replica loses its churn wrapper"
+           (String.concat "," (List.map string_of_int clash))));
+    let roles p = if List.mem p churn_pids then Dex_service.Server.Churn else roles_of opts p in
+    (* Crash-restart recovers from disk: default to a scratch data dir. *)
+    let base_dir =
+      match opts.data_dir with
+      | Some dir -> dir
+      | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "dex-gauntlet-%d" (Unix.getpid ()))
+    in
+    Printf.printf
+      "gauntlet: n=%d t=%d uc=%s pair=%s io=%s duration=%.1fs plan=%s (%d rules, %d cuts, %d \
+       storm, %d churn; seed %d)\n%!"
+      opts.n opts.t Uc.name opts.pair_name
+      (Dex_runtime.Transport.io_mode_to_string opts.io_mode)
+      opts.duration
+      (match opts.chaos_plan with Some f -> f | None -> "builtin")
+      (List.length spec.FP.rules) (List.length spec.FP.cuts) (List.length spec.FP.storm)
+      (List.length spec.FP.churn) spec.FP.seed;
+    (* Clean baseline first: same config, same load, no faults — the
+       reference one-step fraction and latency profile. *)
+    let base_report, base_compared, base_viol, base_over, _ =
+      drive_phase opts
+        ~roles:(fun _ -> Dex_service.Server.Correct)
+        ~chaos:None
+        ~data_dir:(Some (Filename.concat base_dir "baseline"))
+    in
+    pp_phase "baseline" base_report;
+    let chaos_reg = R.create () in
+    let plan = FP.make ~metrics:chaos_reg spec in
+    let report, compared, violations, overshoot, sched_err =
+      drive_phase opts ~roles ~chaos:(Some plan)
+        ~data_dir:(Some (Filename.concat base_dir "chaos"))
+    in
+    pp_phase "chaos" report;
+    Printf.printf "[chaos] injected: %s\n%!"
+      (Format.asprintf "%a" FP.pp_counts (FP.counts plan));
+    Printf.printf
+      "agreement: baseline %d slots compared (%d violations), chaos %d slots compared (%d \
+       violations)\n%!"
+      base_compared (List.length base_viol) compared (List.length violations);
+    let base_frac = one_step_fraction base_report and chaos_frac = one_step_fraction report in
+    Printf.printf "one-step fraction: baseline %.1f%% -> chaos %.1f%%\n%!"
+      (100.0 *. base_frac) (100.0 *. chaos_frac);
+    let committed = report.Dex_service.Client.Load.committed in
+    if base_report.Dex_service.Client.Load.committed = 0 then
+      `Error (false, "gauntlet failed: baseline committed nothing")
+    else if committed = 0 then `Error (false, "gauntlet failed: no commits under chaos")
+    else if base_viol <> [] || violations <> [] then
+      `Error
+        ( false,
+          Printf.sprintf "gauntlet failed: %d agreement violations"
+            (List.length base_viol + List.length violations) )
+    else if base_over <> [] || overshoot <> [] then
+      `Error
+        ( false,
+          Printf.sprintf "gauntlet failed: %d replicas overshot issued ops (duplicate apply)"
+            (List.length base_over + List.length overshoot) )
+    else if sched_err <> None then
+      `Error
+        (false, Printf.sprintf "gauntlet failed: schedule driver: %s" (Option.get sched_err))
+    else begin
+      Printf.printf
+        "gauntlet OK: survived %d committed ops under chaos, agreement clean, no duplicate \
+         applies\n"
+        committed;
+      `Ok ()
+    end
 end
 
 module Run_oracle = Run (Uc_oracle)
@@ -470,8 +669,18 @@ let opts_t ~default_n ~default_t ~default_duration ~default_mute =
              coalescing, timer-driven batching and group commit) or $(b,threads) \
              (thread-per-connection with condvar mailboxes).")
   in
+  let chaos_plan_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos-plan" ]
+          ~doc:
+            "Fault plan file to replay (gauntlet command) instead of the built-in chaos \
+             script — e.g. one emitted by dex_mc --worst-case --plan-out.")
+  in
   let make n t pair_name seed window batch_delay settle batch_cap queue_cap port_base duration
-      mute equivocate data_dir stats_every no_group_commit snapshot_every kill down io_mode =
+      mute equivocate data_dir stats_every no_group_commit snapshot_every kill down io_mode
+      chaos_plan =
     let mute =
       match default_mute with
       | Some default when mute = [] && equivocate = [] -> default
@@ -479,13 +688,13 @@ let opts_t ~default_n ~default_t ~default_duration ~default_mute =
     in
     { n; t; pair_name; seed; window; batch_delay; settle; batch_cap; queue_cap; port_base;
       duration; mute; equivocate; data_dir; stats_every; group_commit = not no_group_commit;
-      snapshot_every; kill; down; io_mode }
+      snapshot_every; kill; down; io_mode; chaos_plan }
   in
   Term.(
     const make $ n_t $ t_t $ pair_t $ seed_t $ window_t $ batch_delay_t $ settle_t
     $ batch_cap_t $ queue_cap_t $ port_base_t $ duration_t $ mute_t $ equivocate_t
     $ data_dir_t $ stats_every_t $ no_group_commit_t $ snapshot_every_t $ kill_t $ down_t
-    $ io_mode_t)
+    $ io_mode_t $ chaos_plan_t)
 
 let uc_t =
   Arg.(value & opt string "oracle" & info [ "uc" ] ~doc:"Underlying consensus: oracle or leader.")
@@ -540,9 +749,29 @@ let restart_cmd =
           applies.")
     term
 
+let gauntlet_cmd =
+  let action uc opts = dispatch (guard Run_oracle.gauntlet) (guard Run_leader.gauntlet) uc opts in
+  let term =
+    Term.(
+      ret
+        (const action
+        $ uc_t
+        $ opts_t ~default_n:7 ~default_t:1 ~default_duration:12.0 ~default_mute:None))
+  in
+  Cmd.v
+    (Cmd.info "gauntlet"
+       ~doc:
+         "Chaos gate: run a clean baseline, then replay a deterministic fault plan — link \
+          noise, a healing partition, a kill/restart storm and a Byzantine churn burst \
+          (built-in script, or --chaos-plan FILE) — against a live deployment under \
+          closed-loop load. Reports the one-step fraction and latency against the \
+          baseline; fails on zero commits, agreement violations, duplicate applies, or a \
+          schedule that cannot be driven.")
+    term
+
 let () =
   let info =
     Cmd.info "dex_server" ~version:"1.0.0"
       ~doc:"Replicated key-value service over the DEX log — server and CI smoke."
   in
-  exit (Cmd.eval (Cmd.group info [ serve_cmd; smoke_cmd; restart_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; smoke_cmd; restart_cmd; gauntlet_cmd ]))

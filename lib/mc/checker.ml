@@ -37,13 +37,16 @@ type counters = {
   mutable c_capped : bool;
 }
 
-exception Found_violation
+exception Stop_search
 
-let explore (type a) ~sys ~bounds ~check () : a outcome =
+(* The delay-bounded DFS shared by {!explore} (stop at the first violating
+   complete schedule) and {!search} (visit every complete schedule, keep the
+   best). [on_complete] receives each quiescent run's summary and schedule;
+   raising {!Stop_search} aborts the walk. Returns the filled counters. *)
+let dfs ~sys ~bounds ~on_complete =
   let c =
     { c_schedules = 0; c_transitions = 0; c_fp = 0; c_sleep = 0; c_capped = false }
   in
-  let found : (a * Exec.key list) option ref = ref None in
   (* fingerprint -> visits (remaining budget, sleep set); a revisit is
      subsumed when some stored visit had at least as much budget and a sleep
      set no larger — it already explored a superset of continuations. *)
@@ -71,11 +74,7 @@ let explore (type a) ~sys ~bounds ~check () : a outcome =
     if c.c_schedules >= bounds.max_schedules then c.c_capped <- true
     else if Exec.quiescent t then begin
       c.c_schedules <- c.c_schedules + 1;
-      match check (Exec.summary t) with
-      | Some v ->
-        found := Some (v, List.rev prefix);
-        raise Found_violation
-      | None -> ()
+      on_complete (Exec.summary t) (List.rev prefix)
     end
     else if Exec.steps t >= bounds.max_steps then c.c_capped <- true
     else begin
@@ -127,7 +126,19 @@ let explore (type a) ~sys ~bounds ~check () : a outcome =
     end
   in
   let t0 = Exec.create sys in
-  (try go t0 [] bounds.delay_budget Kset.empty with Found_violation -> ());
+  (try go t0 [] bounds.delay_budget Kset.empty with Stop_search -> ());
+  c
+
+let explore (type a) ~sys ~bounds ~check () : a outcome =
+  let found : (a * Exec.key list) option ref = ref None in
+  let on_complete summary schedule =
+    match check summary with
+    | Some v ->
+      found := Some (v, schedule);
+      raise Stop_search
+    | None -> ()
+  in
+  let c = dfs ~sys ~bounds ~on_complete in
   {
     stats =
       {
@@ -138,6 +149,32 @@ let explore (type a) ~sys ~bounds ~check () : a outcome =
         exhausted = (not c.c_capped) && !found = None;
       };
     violation = !found;
+  }
+
+type search_outcome = {
+  search_stats : stats;
+  best : (int * Exec.key list) option;
+}
+
+let search ~sys ~bounds ~score () =
+  let best = ref None in
+  let on_complete summary schedule =
+    let sc = score summary in
+    match !best with
+    | Some (b, _) when b >= sc -> ()
+    | _ -> best := Some (sc, schedule)
+  in
+  let c = dfs ~sys ~bounds ~on_complete in
+  {
+    search_stats =
+      {
+        schedules = c.c_schedules;
+        transitions = c.c_transitions;
+        fp_prunes = c.c_fp;
+        sleep_prunes = c.c_sleep;
+        exhausted = not c.c_capped;
+      };
+    best = !best;
   }
 
 let sample ~sys ~seed ~schedules ~max_steps ~check () =

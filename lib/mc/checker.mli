@@ -72,6 +72,34 @@ val explore :
 (** DFS as described above. [check] runs on each complete (quiescent)
     schedule; the first violation aborts the search. *)
 
+type search_outcome = {
+  search_stats : stats;
+  best : (int * Exec.key list) option;
+      (** highest score seen and the schedule that reached it; [None] only
+          when no schedule completed within the caps *)
+}
+
+val search :
+  sys:'msg Exec.system ->
+  bounds:bounds ->
+  score:(Exec.summary -> int) ->
+  unit ->
+  search_outcome
+(** Worst-case-schedule {e search}: the same delay-bounded DFS, but instead
+    of stopping at a violation it visits every complete schedule in budget
+    and returns the one maximizing [score] (ties keep the first — which is
+    the more FIFO-like schedule, i.e. the cheaper adversary).
+
+    Soundness constraint: both prunes compare {e states}
+    ({!Exec.fingerprint}), so maximization is exact only when [score] is a
+    function of the reached state — e.g. decision tags, values, causal
+    [depth]s, per-pid delivery sequences. A score reading the {e global}
+    interleaving (such as [decision.step], the global schedule index) can
+    differ between two fingerprint-equal runs, and a pruned revisit could
+    then hide the optimum. Use fingerprint-invariant objectives.
+    [search_stats.exhausted] means the whole in-budget space was scored, so
+    [best] is the true in-budget worst case. *)
+
 val sample :
   sys:'msg Exec.system ->
   seed:int ->

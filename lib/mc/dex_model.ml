@@ -12,6 +12,12 @@ type fault =
   | Mute_towards of Pid.t list
   | Replay of int
   | Equivocate of { v1 : Value.t; v2 : Value.t; cut : int }
+  | Churn_sched of (int * Adversary.churn_mode) list
+      (* dynamic churn (Bracha–Toueg [BecomeByzantine]/[BecomeHonest]): the
+         process behaves correctly except that from local step [s_k] on its
+         emissions run in [mode_k] — the same {!Adversary.churn} modes the
+         live chaos lane flips at runtime, here indexed by the process's own
+         message count so schedules are deterministic under exploration *)
 
 let fault_of_choice = function
   | Adversary.Choice_correct -> None
@@ -76,6 +82,13 @@ let system s =
     | Some (Replay copies) -> Adversary.replayer ~copies (correct ())
     | Some (Equivocate { v1; v2; cut }) ->
       D.equivocator cfg ~me:p ~split:(fun dst -> if dst < cut then v1 else v2)
+    | Some (Churn_sched sched) ->
+      let mode ~step =
+        List.fold_left
+          (fun acc (from, m) -> if step >= from then m else acc)
+          Adversary.Churn_honest sched
+      in
+      Adversary.churn ~mode (correct ())
   in
   { Exec.n = s.n; make_instance; make_extra = (fun () -> D.extra cfg) }
 
@@ -93,10 +106,40 @@ let expectation s =
 
 let check s summary = Oracles.check (expectation s) summary
 
+(* Worst-case objective for {!Checker.search}: how badly the schedule hurts
+   the expedited path. Every correct pid contributes a large constant when
+   it missed the one-step lane (larger still when it never decided), plus
+   its decision's causal depth as latency tie-break. All components are
+   functions of the reached state — tags, decision presence and causal
+   depth are determined by the per-receiver delivery sequences — so the
+   score is fingerprint-invariant and the search's pruning stays exact.
+   (The global [decision.step] index is deliberately not used: it differs
+   between fingerprint-equal interleavings.) *)
+let one_step_loss s (summary : Exec.summary) =
+  let correct = List.filter (fun p -> fault_at s p = None) (Pid.all ~n:s.n) in
+  List.fold_left
+    (fun acc p ->
+      match summary.Exec.decisions.(p) with
+      | Some d when d.Exec.tag = "one-step" -> acc + d.Exec.depth
+      | Some d -> acc + 10_000 + d.Exec.depth
+      | None -> acc + 20_000)
+    0 correct
+
 let trace s schedule = Exec.to_trace ~pp_msg (system s) schedule
 
 (* Counterexample files: a line-oriented text format, one header per line
    then one schedule key per line. *)
+
+let churn_mode_name = function
+  | Adversary.Churn_honest -> "honest"
+  | Adversary.Churn_mute -> "mute"
+  | Adversary.Churn_equiv -> "equiv"
+
+let churn_mode_of_name = function
+  | "honest" -> Some Adversary.Churn_honest
+  | "mute" -> Some Adversary.Churn_mute
+  | "equiv" -> Some Adversary.Churn_equiv
+  | _ -> None
 
 let string_of_fault = function
   | Silent -> "silent"
@@ -105,6 +148,10 @@ let string_of_fault = function
     Printf.sprintf "mute:%s" (String.concat "," (List.map string_of_int victims))
   | Replay copies -> Printf.sprintf "replay:%d" copies
   | Equivocate { v1; v2; cut } -> Printf.sprintf "equiv:%d:%d:%d" v1 v2 cut
+  | Churn_sched sched ->
+    Printf.sprintf "churn:%s"
+      (String.concat ","
+         (List.map (fun (s, m) -> Printf.sprintf "%d=%s" s (churn_mode_name m)) sched))
 
 let fault_of_string str =
   match String.split_on_char ':' str with
@@ -116,6 +163,17 @@ let fault_of_string str =
   | [ "replay"; c ] -> Replay (int_of_string c)
   | [ "equiv"; v1; v2; cut ] ->
     Equivocate { v1 = int_of_string v1; v2 = int_of_string v2; cut = int_of_string cut }
+  | [ "churn"; sched ] ->
+    Churn_sched
+      (List.map
+         (fun entry ->
+           match String.split_on_char '=' entry with
+           | [ s; m ] -> (
+             match (int_of_string_opt s, churn_mode_of_name m) with
+             | Some s, Some m -> (s, m)
+             | _ -> failwith (Printf.sprintf "dex-mc counterexample: bad churn entry %S" entry))
+           | _ -> failwith (Printf.sprintf "dex-mc counterexample: bad churn entry %S" entry))
+         (String.split_on_char ',' sched))
   | _ -> failwith (Printf.sprintf "dex-mc counterexample: bad fault %S" str)
 
 let save_counterexample ~file s schedule violation =

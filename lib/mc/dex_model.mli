@@ -23,6 +23,14 @@ type fault =
   | Replay of int  (** send every message this many times *)
   | Equivocate of { v1 : Value.t; v2 : Value.t; cut : int }
       (** proposal [v1] to pids [< cut], [v2] to the rest, on both lanes *)
+  | Churn_sched of (int * Adversary.churn_mode) list
+      (** dynamic churn: from local step [s_k] on, emissions run in
+          [mode_k] ({!Adversary.churn}, the Bracha–Toueg
+          [BecomeByzantine]/[BecomeHonest] transitions) — the same adversary
+          vocabulary the live chaos lane flips at runtime, step-indexed here
+          so exploration is deterministic. Entries apply in list order;
+          before the first entry the process is honest. Value-faithful: it
+          only suppresses or stale-replays its own authentic messages. *)
 
 val fault_of_choice : Adversary.choice -> fault option
 (** Embed a generic enumerable adversary choice; [None] for
@@ -70,6 +78,13 @@ val expectation : scenario -> Oracles.expectation
 
 val check : scenario -> Exec.summary -> Oracles.violation option
 (** [Oracles.check (expectation s)]. *)
+
+val one_step_loss : scenario -> Exec.summary -> int
+(** Worst-case objective for {!Checker.search}: per correct pid, [10_000]
+    if its decision missed the one-step lane ([20_000] if it never
+    decided), plus the decision's causal depth as a latency tie-break.
+    Fingerprint-invariant (reads tags and causal depths, never the global
+    schedule index), as the search's pruning requires. *)
 
 val trace : scenario -> Exec.key list -> Dex_sim.Trace.t
 (** Replay a schedule (loose + FIFO completion) into a printable trace. *)

@@ -63,6 +63,58 @@ let reorderer rng inner =
     on_message = (fun ~now ~from m -> shuffle (inner.Protocol.on_message ~now ~from m));
   }
 
+type churn_mode = Churn_honest | Churn_mute | Churn_equiv
+
+let churn ?(history_cap = 64) ~mode inner =
+  (* Dynamic churn in the Bracha–Toueg style: the wrapped process keeps
+     consuming messages (so its state stays current and a [BecomeHonest]
+     transition resumes correct behaviour from live state), but its
+     emissions are filtered by the current mode. [mode] is consulted with
+     the number of messages the instance has processed so far — schedules
+     indexed by local step (the model checker) and by wall clock (the live
+     runtime, via a mutable cell that ignores [step]) both fit. *)
+  let steps = ref 0 in
+  let history = Queue.create () in
+  let remember m =
+    Queue.push m history;
+    if Queue.length history > history_cap then ignore (Queue.pop history)
+  in
+  let transform actions =
+    match mode ~step:!steps with
+    | Churn_honest ->
+      List.iter (function Protocol.Send (_, m) -> remember m | _ -> ()) actions;
+      actions
+    | Churn_mute ->
+      (* Byzantine-silent: internal behaviour (timers, decisions) continues,
+         nothing reaches the network. *)
+      List.filter
+        (function Protocol.Send _ -> false | Protocol.Decide _ | Protocol.Set_timer _ -> true)
+        actions
+    | Churn_equiv ->
+      (* Equivocation by stale replay: odd-pid peers receive a previously
+         sent (authentic, but outdated) message in place of the truth, so
+         different halves of the system see conflicting claims — without
+         forging values (the behaviour stays value-faithful for the
+         obligation oracles). *)
+      List.filter_map
+        (function
+          | Protocol.Send (dst, m) when dst land 1 = 0 ->
+            remember m;
+            Some (Protocol.Send (dst, m))
+          | Protocol.Send (dst, _) ->
+            if Queue.is_empty history then None
+            else Some (Protocol.Send (dst, Queue.peek history))
+          | (Protocol.Decide _ | Protocol.Set_timer _) as other -> Some other)
+        actions
+  in
+  {
+    Protocol.start = (fun () -> transform (inner.Protocol.start ()));
+    on_message =
+      (fun ~now ~from m ->
+        incr steps;
+        transform (inner.Protocol.on_message ~now ~from m));
+  }
+
 type choice =
   | Choice_correct
   | Choice_silent

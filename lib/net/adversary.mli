@@ -34,6 +34,35 @@ val reorderer : Prng.t -> 'msg Protocol.instance -> 'msg Protocol.instance
     asynchronous network, so this is a sanity adversary: behaviour must not
     depend on emission order). *)
 
+(** {2 Dynamic churn}
+
+    The Bracha–Toueg membership model ([BecomeByzantine]/[BecomeHonest]):
+    a process flips between honest and Byzantine behaviour mid-run, with
+    the schedule keeping at most [t] processes Byzantine at any instant
+    (the invariant is validated by [Fault_plan.validate] in the runtime and
+    by scenario construction in the model checker). *)
+
+type churn_mode =
+  | Churn_honest  (** emissions pass through unchanged *)
+  | Churn_mute  (** Byzantine-silent: every send is suppressed *)
+  | Churn_equiv
+      (** equivocation by stale replay: even-pid peers get the truth,
+          odd-pid peers a previously sent (authentic but outdated) message —
+          conflicting claims without value forgery *)
+
+val churn :
+  ?history_cap:int ->
+  mode:(step:int -> churn_mode) ->
+  'msg Protocol.instance ->
+  'msg Protocol.instance
+(** Wrap an instance with a mode-dependent emission filter. The inner
+    instance keeps consuming messages in every mode, so state stays current
+    and a [Churn_honest] flip resumes correct behaviour immediately. [mode]
+    receives the count of messages processed so far: step-indexed schedules
+    (model checker) read it, wall-clock schedules (live runtime) close over
+    a mutable cell and ignore it. [history_cap] bounds the stale-replay
+    buffer (default 64). *)
+
 (** {2 Enumerable fault branches}
 
     The model checker treats the adversary's behaviour for a faulty process

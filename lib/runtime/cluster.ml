@@ -8,6 +8,10 @@ type 'msg node = {
   mutable instance : 'msg Protocol.instance;
   mutable alive : bool;  (** the node loop exits when this goes false *)
   mutable thread : Thread.t option;
+  mutable gen : int;
+      (** incarnation counter: bumped on every stop, captured by pending
+          timers so a killed incarnation's timers become tombstones instead
+          of firing into the restarted instance *)
 }
 
 type 'msg t = {
@@ -26,7 +30,7 @@ type 'msg t = {
 }
 
 let create ~transport ~n ?(extra = []) ?reactor make_instance =
-  let node pid instance = { pid; instance; alive = false; thread = None } in
+  let node pid instance = { pid; instance; alive = false; thread = None; gen = 0 } in
   let nodes =
     List.map (fun p -> node p (make_instance p)) (Pid.all ~n)
     @ List.map (fun (pid, instance) -> node pid instance) extra
@@ -73,9 +77,22 @@ let handler t =
         (* A reactor timer delivers the timer message back through the
            node's own endpoint (as a self-send), so the node loop processes
            it like any other message — one shared loop thread instead of a
-           detached thread per timer that shutdown could never join. *)
+           detached thread per timer that shutdown could never join.
+
+           The reactor is shared by every node and outlives crash/restart
+           cycles, so the callback captures the arming incarnation's
+           generation: if the node was stopped (and possibly restarted)
+           before the timer fires, the generations disagree and the timer is
+           a tombstone — the self-send is suppressed instead of leaking a
+           dead incarnation's protocol timer into the fresh instance. *)
         let send = t.transport.Transport.send in
-        ignore (Reactor.after t.reactor delay (fun () -> send ~src ~dst:src msg)));
+        match List.find_opt (fun node -> Pid.equal node.pid src) t.nodes with
+        | None -> ()
+        | Some node ->
+          let armed_gen = node.gen in
+          ignore
+            (Reactor.after t.reactor delay (fun () ->
+                 if node.gen = armed_gen && node.alive then send ~src ~dst:src msg)));
   }
 
 let node_loop t node () =
@@ -117,6 +134,9 @@ let stop_node t pid =
       let node = find_node t pid in
       if node.alive then begin
         node.alive <- false;
+        (* Tombstone every timer the dying incarnation armed: the shared
+           reactor keeps running, but their generation check now fails. *)
+        node.gen <- node.gen + 1;
         Option.iter Thread.join node.thread;
         node.thread <- None
       end)

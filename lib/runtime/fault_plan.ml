@@ -1,0 +1,569 @@
+open Dex_net
+open Dex_stdext
+module Registry = Dex_metrics.Registry
+
+type churn_mode = Adversary.churn_mode =
+  | Churn_honest
+  | Churn_mute
+  | Churn_equiv
+
+let churn_mode_to_string = function
+  | Churn_honest -> "honest"
+  | Churn_mute -> "mute"
+  | Churn_equiv -> "equiv"
+
+let churn_mode_of_string = function
+  | "honest" -> Some Churn_honest
+  | "mute" -> Some Churn_mute
+  | "equiv" -> Some Churn_equiv
+  | _ -> None
+
+type link_rule = {
+  drop : float;
+  dup : float;
+  reorder : float;
+  delay : float;
+  jitter : float;
+}
+
+let clean_rule = { drop = 0.0; dup = 0.0; reorder = 0.0; delay = 0.0; jitter = 0.0 }
+
+type scope = All | Link of Pid.t * Pid.t | From of Pid.t | To of Pid.t
+
+type cut = {
+  cut_a : Pid.t list;
+  cut_b : Pid.t list;
+  symmetric : bool;
+  from_s : float;
+  until_s : float;
+}
+
+type storm_action = Kill | Restart
+
+type storm_event = { s_at : float; s_pid : Pid.t; s_action : storm_action }
+
+type churn_event = { c_at : float; c_pid : Pid.t; c_mode : churn_mode }
+
+type spec = {
+  seed : int;
+  rules : (scope * link_rule) list;
+  cuts : cut list;
+  storm : storm_event list;
+  churn : churn_event list;
+}
+
+let empty_spec = { seed = 0; rules = []; cuts = []; storm = []; churn = [] }
+
+(* ------------------------------ validation ------------------------------ *)
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let check_pid ~n ~what p =
+  if p < 0 || p >= n then err "%s: pid %d outside [0, %d)" what p n else Ok ()
+
+let rec check_all = function
+  | [] -> Ok ()
+  | x :: rest -> ( match x with Ok () -> check_all rest | Error _ as e -> e)
+
+let check_prob ~what v =
+  if v < 0.0 || v > 1.0 then err "%s: probability %g outside [0, 1]" what v else Ok ()
+
+let check_nonneg ~what v =
+  if v < 0.0 then err "%s: %g must be >= 0" what v else Ok ()
+
+let validate_rule ~n (scope, r) =
+  check_all
+    ([
+       check_prob ~what:"rule drop" r.drop;
+       check_prob ~what:"rule dup" r.dup;
+       check_prob ~what:"rule reorder" r.reorder;
+       check_nonneg ~what:"rule delay" r.delay;
+       check_nonneg ~what:"rule jitter" r.jitter;
+     ]
+    @
+    match scope with
+    | All -> []
+    | Link (s, d) -> [ check_pid ~n ~what:"rule link" s; check_pid ~n ~what:"rule link" d ]
+    | From p -> [ check_pid ~n ~what:"rule from" p ]
+    | To p -> [ check_pid ~n ~what:"rule to" p ])
+
+let validate_cut ~n c =
+  check_all
+    (List.map (check_pid ~n ~what:"cut") (c.cut_a @ c.cut_b)
+    @ [
+        (if c.cut_a = [] || c.cut_b = [] then err "cut: both sides must be nonempty"
+         else Ok ());
+        (if c.from_s < 0.0 then err "cut: window start %g must be >= 0" c.from_s else Ok ());
+        (if c.until_s < c.from_s then
+           err "cut: heal time %g before start %g" c.until_s c.from_s
+         else Ok ());
+      ])
+
+(* The storm is a crash-restart script driven by the deployment: per pid the
+   events must alternate kill / restart starting with a kill. *)
+let validate_storm ~n storm =
+  let by_pid = Hashtbl.create 8 in
+  let ordered = List.stable_sort (fun a b -> compare a.s_at b.s_at) storm in
+  check_all
+    (List.map
+       (fun e ->
+         match check_pid ~n ~what:"storm" e.s_pid with
+         | Error _ as err -> err
+         | Ok () ->
+           let down =
+             Option.value ~default:false (Hashtbl.find_opt by_pid e.s_pid)
+           in
+           (match (e.s_action, down) with
+           | Kill, true -> err "storm: pid %d killed at %gs while already down" e.s_pid e.s_at
+           | Restart, false ->
+             err "storm: pid %d restarted at %gs but was never killed" e.s_pid e.s_at
+           | Kill, false ->
+             Hashtbl.replace by_pid e.s_pid true;
+             Ok ()
+           | Restart, true ->
+             Hashtbl.replace by_pid e.s_pid false;
+             Ok ()))
+       ordered)
+
+(* The Bracha–Toueg churn invariant: replicas may become Byzantine and
+   honest again ([BecomeByzantine] / [BecomeHonest]), but at every instant
+   at most [t] of them are Byzantine. The sweep walks the schedule in time
+   order tracking each replica's mode. *)
+let validate_churn ~n ~t churn =
+  let ordered = List.stable_sort (fun a b -> compare a.c_at b.c_at) churn in
+  let modes : (Pid.t, churn_mode) Hashtbl.t = Hashtbl.create 8 in
+  let byzantine () =
+    Hashtbl.fold (fun p m acc -> if m <> Churn_honest then p :: acc else acc) modes []
+  in
+  check_all
+    (List.map
+       (fun e ->
+         match check_pid ~n ~what:"churn" e.c_pid with
+         | Error _ as err -> err
+         | Ok () ->
+           Hashtbl.replace modes e.c_pid e.c_mode;
+           let byz = List.sort compare (byzantine ()) in
+           if List.length byz > t then
+             err
+               "churn schedule exceeds t=%d: %d replicas Byzantine at %gs (pids %s) — \
+                the ≤t invariant requires a BecomeHonest transition first"
+               t (List.length byz) e.c_at
+               (String.concat "," (List.map string_of_int byz))
+           else Ok ())
+       ordered)
+
+let validate ~n ~t spec =
+  check_all
+    (List.map (validate_rule ~n) spec.rules
+    @ List.map (validate_cut ~n) spec.cuts
+    @ [ validate_storm ~n spec.storm; validate_churn ~n ~t spec.churn ])
+
+(* ------------------------------- runtime -------------------------------- *)
+
+type event_kind = Dropped | Duplicated | Delayed | Reordered | Cut_drop
+
+let event_kind_to_string = function
+  | Dropped -> "drop"
+  | Duplicated -> "dup"
+  | Delayed -> "delay"
+  | Reordered -> "reorder"
+  | Cut_drop -> "cut"
+
+type event = { seq : int; e_src : Pid.t; e_dst : Pid.t; e_kind : event_kind }
+
+type t = {
+  spec : spec;
+  mutex : Mutex.t;
+  streams : (Pid.t * Pid.t, Prng.t) Hashtbl.t;
+  rules_cache : (Pid.t * Pid.t, link_rule option) Hashtbl.t;
+  mutable seq : int;
+  mutable trace : event list;  (* newest first *)
+  trace_cap : int;
+  mutable epoch : float;
+  mutable n_sent : int;
+  mutable n_dropped : int;
+  mutable n_duplicated : int;
+  mutable n_delayed : int;
+  mutable n_reordered : int;
+  mutable n_cut : int;
+  c_sent : Registry.counter option;
+  c_dropped : Registry.counter option;
+  c_duplicated : Registry.counter option;
+  c_delayed : Registry.counter option;
+  c_reordered : Registry.counter option;
+  c_cut : Registry.counter option;
+}
+
+let make ?metrics ?(trace_cap = 65_536) spec =
+  let c name = Option.map (fun r -> Registry.counter r name) metrics in
+  {
+    spec;
+    mutex = Mutex.create ();
+    streams = Hashtbl.create 64;
+    rules_cache = Hashtbl.create 64;
+    seq = 0;
+    trace = [];
+    trace_cap;
+    epoch = Unix.gettimeofday ();
+    n_sent = 0;
+    n_dropped = 0;
+    n_duplicated = 0;
+    n_delayed = 0;
+    n_reordered = 0;
+    n_cut = 0;
+    c_sent = c "chaos/sent";
+    c_dropped = c "chaos/drops";
+    c_duplicated = c "chaos/dups";
+    c_delayed = c "chaos/delays";
+    c_reordered = c "chaos/reorders";
+    c_cut = c "chaos/cut_drops";
+  }
+
+let spec t = t.spec
+
+let reset_clock t = t.epoch <- Unix.gettimeofday ()
+
+let elapsed t = Unix.gettimeofday () -. t.epoch
+
+(* Per-link PRNG streams, derived deterministically from the plan seed and
+   the link endpoints: the decision sequence on a link is a function of the
+   seed and that link's send count alone, never of cross-link interleaving —
+   which is what makes chaos runs replayable per link. *)
+let stream t src dst =
+  match Hashtbl.find_opt t.streams (src, dst) with
+  | Some g -> g
+  | None ->
+    let mixed = t.spec.seed lxor (src * 0x9e3779b1) lxor (dst * 0x85ebca77) lxor 0x2545f491 in
+    let g = Prng.create ~seed:mixed in
+    Hashtbl.replace t.streams (src, dst) g;
+    g
+
+(* Most-specific matching rule wins: Link > From > To > All; first listed
+   breaks ties. The lookup is cached per link — the send path never rescans
+   the rule list. *)
+let rule_for t src dst =
+  match Hashtbl.find_opt t.rules_cache (src, dst) with
+  | Some r -> r
+  | None ->
+    let specificity = function Link _ -> 3 | From _ -> 2 | To _ -> 1 | All -> 0 in
+    let matches = function
+      | All -> true
+      | Link (s, d) -> s = src && d = dst
+      | From p -> p = src
+      | To p -> p = dst
+    in
+    let best =
+      List.fold_left
+        (fun acc (scope, r) ->
+          if not (matches scope) then acc
+          else
+            match acc with
+            | Some (sp, _) when sp >= specificity scope -> acc
+            | _ -> Some (specificity scope, r))
+        None t.spec.rules
+    in
+    let r = Option.map snd best in
+    Hashtbl.replace t.rules_cache (src, dst) r;
+    r
+
+let cut_active t ~now src dst =
+  List.exists
+    (fun c ->
+      now >= c.from_s && now < c.until_s
+      && (List.mem src c.cut_a && List.mem dst c.cut_b
+         || (c.symmetric && List.mem src c.cut_b && List.mem dst c.cut_a)))
+    t.spec.cuts
+
+let bump = Option.iter Registry.incr
+
+let record t src dst kind =
+  (* Caller holds t.mutex. *)
+  let ev = { seq = t.seq; e_src = src; e_dst = dst; e_kind = kind } in
+  t.seq <- t.seq + 1;
+  if t.seq <= t.trace_cap then t.trace <- ev :: t.trace;
+  match kind with
+  | Dropped ->
+    t.n_dropped <- t.n_dropped + 1;
+    bump t.c_dropped
+  | Duplicated ->
+    t.n_duplicated <- t.n_duplicated + 1;
+    bump t.c_duplicated
+  | Delayed ->
+    t.n_delayed <- t.n_delayed + 1;
+    bump t.c_delayed
+  | Reordered ->
+    t.n_reordered <- t.n_reordered + 1;
+    bump t.c_reordered
+  | Cut_drop ->
+    t.n_cut <- t.n_cut + 1;
+    bump t.c_cut
+
+let decide t ~now ~src ~dst =
+  Mutex.lock t.mutex;
+  t.n_sent <- t.n_sent + 1;
+  bump t.c_sent;
+  let verdict =
+    if cut_active t ~now src dst then begin
+      record t src dst Cut_drop;
+      []
+    end
+    else
+      match rule_for t src dst with
+      | None -> [ 0.0 ]
+      | Some r ->
+        let g = stream t src dst in
+        (* Fixed draw count per decision, whatever the outcome: decision [k]
+           on a link depends only on (seed, link, k), so traces replay. *)
+        let u_drop = Prng.float g 1.0 in
+        let u_dup = Prng.float g 1.0 in
+        let u_reorder = Prng.float g 1.0 in
+        let u_jitter = Prng.float g 1.0 in
+        if u_drop < r.drop then begin
+          record t src dst Dropped;
+          []
+        end
+        else begin
+          let base = r.delay +. (u_jitter *. r.jitter) in
+          let d =
+            if u_reorder < r.reorder then begin
+              (* Hold the message long enough for later sends on the link to
+                 overtake it. *)
+              record t src dst Reordered;
+              base +. (2.0 *. (r.delay +. r.jitter)) +. 0.002
+            end
+            else base
+          in
+          if d > 0.0 && u_reorder >= r.reorder then record t src dst Delayed;
+          if u_dup < r.dup then begin
+            record t src dst Duplicated;
+            [ d; d ]
+          end
+          else [ d ]
+        end
+  in
+  Mutex.unlock t.mutex;
+  verdict
+
+(* ----------------------------- observation ------------------------------ *)
+
+type counts = {
+  sent : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  reordered : int;
+  cut_dropped : int;
+}
+
+let counts t =
+  Mutex.lock t.mutex;
+  let c =
+    {
+      sent = t.n_sent;
+      dropped = t.n_dropped;
+      duplicated = t.n_duplicated;
+      delayed = t.n_delayed;
+      reordered = t.n_reordered;
+      cut_dropped = t.n_cut;
+    }
+  in
+  Mutex.unlock t.mutex;
+  c
+
+let trace t =
+  Mutex.lock t.mutex;
+  let tr = List.rev t.trace in
+  Mutex.unlock t.mutex;
+  tr
+
+let trace_by_link t =
+  let per : (Pid.t * Pid.t, event_kind list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let k = (ev.e_src, ev.e_dst) in
+      Hashtbl.replace per k
+        (ev.e_kind :: Option.value ~default:[] (Hashtbl.find_opt per k)))
+    (List.rev (trace t));
+  List.sort compare (Hashtbl.fold (fun k evs acc -> (k, evs) :: acc) per [])
+
+let pp_counts ppf c =
+  Format.fprintf ppf "sent=%d drop=%d dup=%d delay=%d reorder=%d cut=%d" c.sent c.dropped
+    c.duplicated c.delayed c.reordered c.cut_dropped
+
+(* ----------------------------- file format ------------------------------ *)
+
+let header = "dex chaos plan v1"
+
+let scope_to_string = function
+  | All -> "all"
+  | Link (s, d) -> Printf.sprintf "link %d>%d" s d
+  | From p -> Printf.sprintf "from %d" p
+  | To p -> Printf.sprintf "to %d" p
+
+let rule_fields r =
+  let f name v base acc = if v <> base then Printf.sprintf "%s=%g" name v :: acc else acc in
+  let fields =
+    f "drop" r.drop 0.0
+      (f "dup" r.dup 0.0
+         (f "reorder" r.reorder 0.0 (f "delay" r.delay 0.0 (f "jitter" r.jitter 0.0 []))))
+  in
+  if fields = [] then [ "drop=0" ] else fields
+
+let pids_to_string ps = String.concat "," (List.map string_of_int ps)
+
+let to_string spec =
+  let buf = Buffer.create 256 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "%s\n" header;
+  p "seed %d\n" spec.seed;
+  List.iter
+    (fun (scope, r) ->
+      p "rule %s %s\n" (scope_to_string scope) (String.concat " " (rule_fields r)))
+    spec.rules;
+  List.iter
+    (fun c ->
+      p "cut %s %s|%s @ %g..%g\n"
+        (if c.symmetric then "sym" else "oneway")
+        (pids_to_string c.cut_a) (pids_to_string c.cut_b) c.from_s c.until_s)
+    spec.cuts;
+  List.iter
+    (fun e ->
+      p "storm %s %d @ %g\n"
+        (match e.s_action with Kill -> "kill" | Restart -> "restart")
+        e.s_pid e.s_at)
+    spec.storm;
+  List.iter
+    (fun e -> p "churn %d %s @ %g\n" e.c_pid (churn_mode_to_string e.c_mode) e.c_at)
+    spec.churn;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let parse_fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let parse_pids s =
+  List.map
+    (fun x ->
+      match int_of_string_opt (String.trim x) with
+      | Some p -> p
+      | None -> parse_fail "bad pid %S" x)
+    (String.split_on_char ',' s)
+
+let parse_float s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> f
+  | None -> parse_fail "bad number %S" s
+
+let parse_int s =
+  match int_of_string_opt (String.trim s) with
+  | Some i -> i
+  | None -> parse_fail "bad integer %S" s
+
+let parse_rule_fields fields =
+  List.fold_left
+    (fun r field ->
+      match String.split_on_char '=' field with
+      | [ "drop"; v ] -> { r with drop = parse_float v }
+      | [ "dup"; v ] -> { r with dup = parse_float v }
+      | [ "reorder"; v ] -> { r with reorder = parse_float v }
+      | [ "delay"; v ] -> { r with delay = parse_float v }
+      | [ "jitter"; v ] -> { r with jitter = parse_float v }
+      | _ -> parse_fail "bad rule field %S" field)
+    clean_rule fields
+
+(* "1.0..2.5" — split on the first "..". *)
+let parse_window s =
+  let len = String.length s in
+  let rec find i =
+    if i + 1 >= len then None
+    else if s.[i] = '.' && s.[i + 1] = '.' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> (parse_float (String.sub s 0 i), parse_float (String.sub s (i + 2) (len - i - 2)))
+  | None -> parse_fail "bad time window %S (want FROM..UNTIL)" s
+
+let of_string text =
+  let spec = ref empty_spec in
+  let add f = spec := f !spec in
+  let lines = String.split_on_char '\n' text in
+  (match lines with
+  | first :: _ when String.trim first = header -> ()
+  | _ -> parse_fail "bad header (want %S)" header);
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if i = 0 || line = "" || line.[0] = '#' then ()
+      else
+        let words = List.filter (fun w -> w <> "") (String.split_on_char ' ' line) in
+        match words with
+        | [ "seed"; v ] -> add (fun s -> { s with seed = parse_int v })
+        | "rule" :: "all" :: fields ->
+          add (fun s -> { s with rules = s.rules @ [ (All, parse_rule_fields fields) ] })
+        | "rule" :: "link" :: link :: fields -> (
+          match String.split_on_char '>' link with
+          | [ a; b ] ->
+            add (fun s ->
+                { s with
+                  rules = s.rules @ [ (Link (parse_int a, parse_int b), parse_rule_fields fields) ]
+                })
+          | _ -> parse_fail "bad link %S (want SRC>DST)" link)
+        | "rule" :: "from" :: p :: fields ->
+          add (fun s ->
+              { s with rules = s.rules @ [ (From (parse_int p), parse_rule_fields fields) ] })
+        | "rule" :: "to" :: p :: fields ->
+          add (fun s ->
+              { s with rules = s.rules @ [ (To (parse_int p), parse_rule_fields fields) ] })
+        | [ "cut"; kind; groups; "@"; window ] -> (
+          let symmetric =
+            match kind with
+            | "sym" -> true
+            | "oneway" -> false
+            | _ -> parse_fail "bad cut kind %S (want sym or oneway)" kind
+          in
+          match String.split_on_char '|' groups with
+          | [ a; b ] ->
+            let from_s, until_s = parse_window window in
+            add (fun s ->
+                { s with
+                  cuts =
+                    s.cuts
+                    @ [ { cut_a = parse_pids a; cut_b = parse_pids b; symmetric; from_s; until_s } ]
+                })
+          | _ -> parse_fail "bad cut groups %S (want A|B)" groups)
+        | [ "storm"; action; pid; "@"; at ] ->
+          let s_action =
+            match action with
+            | "kill" -> Kill
+            | "restart" -> Restart
+            | _ -> parse_fail "bad storm action %S" action
+          in
+          add (fun s ->
+              { s with
+                storm = s.storm @ [ { s_at = parse_float at; s_pid = parse_int pid; s_action } ]
+              })
+        | [ "churn"; pid; mode; "@"; at ] -> (
+          match churn_mode_of_string mode with
+          | Some c_mode ->
+            add (fun s ->
+                { s with
+                  churn = s.churn @ [ { c_at = parse_float at; c_pid = parse_int pid; c_mode } ]
+                })
+          | None -> parse_fail "bad churn mode %S (want honest, mute or equiv)" mode)
+        | _ -> parse_fail "bad line %S" line)
+    lines;
+  !spec
+
+let save ~file spec =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string spec))
+
+let load ~file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,176 @@
+open Dex_net
+
+(** Deterministic, seedable network fault injection.
+
+    A {!spec} describes an adversarial network as data: per-link
+    drop/duplicate/reorder/delay distributions ({!link_rule}, scoped to one
+    link, one sender, one receiver, or everything), symmetric and asymmetric
+    partitions with a timed heal ({!cut}), a crash-restart storm script
+    ({!storm_event}, executed by the deployment), and a Byzantine churn
+    schedule ({!churn_event}, executed by the service roles). Specs
+    round-trip through a line-oriented text format ({!to_string} /
+    {!of_string}), so a worst-case schedule found by the model checker can
+    be emitted as a plan file and replayed against a live deployment.
+
+    {!make} instantiates a spec into a runtime decision engine. Every
+    injected event is recorded in an ordered trace and counted (optionally
+    into a metrics registry as [chaos/*]), and all randomness flows through
+    per-link splitmix64 streams derived from the plan seed — decision [k]
+    on a link depends only on [(seed, src, dst, k)] and the cut windows, so
+    the same seed yields the same injected-event trace per link, making
+    chaos failures replayable.
+
+    The transport applies rules and cuts via {!decide}
+    ({!Transport.with_faults}); storms and churn are schedules for the
+    layers that own those effects (deployment kill/restart, service role
+    flips). {!validate} rejects malformed specs — in particular churn
+    schedules that would put more than [t] replicas in a Byzantine mode at
+    once. *)
+
+(** Re-exported from {!Adversary} so offline (model checker) and live
+    (service) lanes share one adversary vocabulary. *)
+type churn_mode = Adversary.churn_mode =
+  | Churn_honest
+  | Churn_mute
+  | Churn_equiv
+
+val churn_mode_to_string : churn_mode -> string
+
+val churn_mode_of_string : string -> churn_mode option
+
+type link_rule = {
+  drop : float;  (** per-message drop probability *)
+  dup : float;  (** probability a message is delivered twice *)
+  reorder : float;
+      (** probability a message is held back long enough for later sends on
+          the link to overtake it *)
+  delay : float;  (** base added latency, seconds *)
+  jitter : float;  (** plus uniform [\[0, jitter)] seconds *)
+}
+
+val clean_rule : link_rule
+(** All-zero: pass-through. *)
+
+type scope =
+  | All
+  | Link of Pid.t * Pid.t  (** exactly src -> dst *)
+  | From of Pid.t  (** everything this pid sends *)
+  | To of Pid.t  (** everything addressed to this pid *)
+
+type cut = {
+  cut_a : Pid.t list;
+  cut_b : Pid.t list;
+  symmetric : bool;  (** [false]: only a -> b traffic is dropped *)
+  from_s : float;  (** window start, seconds from plan start *)
+  until_s : float;  (** heal time; [infinity] never heals *)
+}
+
+type storm_action = Kill | Restart
+
+type storm_event = { s_at : float; s_pid : Pid.t; s_action : storm_action }
+
+type churn_event = { c_at : float; c_pid : Pid.t; c_mode : churn_mode }
+
+type spec = {
+  seed : int;
+  rules : (scope * link_rule) list;
+      (** most specific match wins: [Link] > [From] > [To] > [All] *)
+  cuts : cut list;
+  storm : storm_event list;  (** must alternate kill/restart per pid *)
+  churn : churn_event list;  (** at most [t] non-honest at any instant *)
+}
+
+val empty_spec : spec
+(** Seed 0, no rules, cuts, storm or churn: a clean network. *)
+
+val validate : n:int -> t:int -> spec -> (unit, string) result
+(** Well-formedness: pids in range, probabilities in [\[0,1\]], non-negative
+    delays, ordered cut windows, alternating storm scripts, and the churn
+    ≤t invariant (swept over the schedule in time order). The error message
+    names the first violated constraint. *)
+
+(** {2 Runtime decision engine} *)
+
+type t
+
+val make : ?metrics:Dex_metrics.Registry.t -> ?trace_cap:int -> spec -> t
+(** Instantiate a spec. [metrics] receives [chaos/sent], [chaos/drops],
+    [chaos/dups], [chaos/delays], [chaos/reorders] and [chaos/cut_drops]
+    counters. The injected-event trace is capped at [trace_cap] events
+    (default 65536); counters keep counting past the cap. The plan clock
+    starts now ({!reset_clock} re-arms it). *)
+
+val spec : t -> spec
+
+val reset_clock : t -> unit
+(** Restart the plan clock (cut windows and schedules are relative to it).
+    Call when the deployment the plan drives actually starts. *)
+
+val elapsed : t -> float
+(** Seconds since {!make} or the last {!reset_clock}. *)
+
+val decide : t -> now:float -> src:Pid.t -> dst:Pid.t -> float list
+(** The per-send verdict: a list of delivery delays in seconds, one per
+    copy to deliver — [[]] means drop, [[0.]] pass through unchanged,
+    [[d]] delay by [d], [[d; d]] deliver twice. [now] is plan-relative time
+    (callers inside the transport pass {!elapsed}; tests may script it).
+    Thread-safe; draws a fixed number of PRNG values per call from the
+    per-link stream. *)
+
+(** {2 Observation} *)
+
+type event_kind = Dropped | Duplicated | Delayed | Reordered | Cut_drop
+
+val event_kind_to_string : event_kind -> string
+
+type event = { seq : int; e_src : Pid.t; e_dst : Pid.t; e_kind : event_kind }
+
+val trace : t -> event list
+(** Injected events in injection order (pass-through sends are not
+    recorded), bounded by [trace_cap]. *)
+
+val trace_by_link : t -> ((Pid.t * Pid.t) * event_kind list) list
+(** The same trace grouped per link, links sorted, events in injection
+    order — the unit a determinism check compares. *)
+
+type counts = {
+  sent : int;  (** every send consulted, injected or not *)
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  reordered : int;
+  cut_dropped : int;
+}
+
+val counts : t -> counts
+
+val pp_counts : Format.formatter -> counts -> unit
+
+(** {2 Plan files}
+
+    Line-oriented text, one directive per line ([#] comments allowed):
+    {v
+dex chaos plan v1
+seed 42
+rule all drop=0.05 dup=0.02 reorder=0.1 delay=0.001 jitter=0.002
+rule link 0>3 delay=0.005
+rule from 2 drop=0.2
+cut sym 0,1|2,3,4,5,6 @ 1.0..2.0
+cut oneway 0|3 @ 2.5..3.0
+storm kill 2 @ 1.0
+storm restart 2 @ 2.0
+churn 3 mute @ 1.0
+churn 3 honest @ 2.0
+    v} *)
+
+exception Parse_error of string
+
+val to_string : spec -> string
+
+val of_string : string -> spec
+(** @raise Parse_error on malformed input. *)
+
+val save : file:string -> spec -> unit
+
+val load : file:string -> spec
+(** @raise Parse_error on malformed input. @raise Sys_error on I/O. *)

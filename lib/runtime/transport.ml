@@ -138,6 +138,105 @@ module Links = struct
     List.sort compare s
 end
 
+(* A joined scheduler thread executing thunks at deadlines — the delayed
+   half of fault injection ({!with_faults}). Same shape as {!Mem}'s jitter
+   queue, but over closures so it can front any transport. *)
+module Delay_queue = struct
+  type t = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    q : (unit -> unit) Pqueue.t;
+    mutable seq : int;
+    mutable closed : bool;
+    mutable thread : Thread.t option;
+  }
+
+  let loop d () =
+    let rec go () =
+      Mutex.lock d.mutex;
+      while Pqueue.is_empty d.q && not d.closed do
+        Condition.wait d.cond d.mutex
+      done;
+      if d.closed then Mutex.unlock d.mutex
+      else begin
+        let now = Unix.gettimeofday () in
+        let rec due acc =
+          match Pqueue.peek d.q with
+          | Some (at, _, _) when at <= now -> (
+            match Pqueue.pop d.q with
+            | Some (_, _, f) -> due (f :: acc)
+            | None -> acc)
+          | _ -> acc
+        in
+        let ready = due [] in
+        let next = match Pqueue.peek d.q with Some (at, _, _) -> Some at | None -> None in
+        Mutex.unlock d.mutex;
+        List.iter (fun f -> f ()) (List.rev ready);
+        (match next with
+        | Some at ->
+          let nap = Float.min 0.001 (Float.max 0.0 (at -. Unix.gettimeofday ())) in
+          if nap > 0.0 then Thread.delay nap
+        | None -> ());
+        go ()
+      end
+    in
+    go ()
+
+  let create () =
+    let d =
+      {
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        q = Pqueue.create ();
+        seq = 0;
+        closed = false;
+        thread = None;
+      }
+    in
+    d.thread <- Some (Thread.create (loop d) ());
+    d
+
+  let push d ~delay f =
+    Mutex.lock d.mutex;
+    if not d.closed then begin
+      Pqueue.push d.q ~time:(Unix.gettimeofday () +. delay) ~seq:d.seq f;
+      d.seq <- d.seq + 1;
+      Condition.signal d.cond
+    end;
+    Mutex.unlock d.mutex
+
+  let close d =
+    Mutex.lock d.mutex;
+    d.closed <- true;
+    Condition.broadcast d.cond;
+    let th = d.thread in
+    d.thread <- None;
+    Mutex.unlock d.mutex;
+    Option.iter Thread.join th
+end
+
+(* Fault injection wraps the abstract transport, so every implementation —
+   in-memory, threaded TCP, reactor TCP — faces the same adversarial
+   network. The plan decides per send; delayed copies are delivered by one
+   joined scheduler thread. *)
+let with_faults plan inner =
+  let dq = lazy (Delay_queue.create ()) in
+  let send ~src ~dst msg =
+    match Fault_plan.decide plan ~now:(Fault_plan.elapsed plan) ~src ~dst with
+    | [] -> ()
+    | delays ->
+      List.iter
+        (fun d ->
+          if d <= 0.0 then inner.send ~src ~dst msg
+          else Delay_queue.push (Lazy.force dq) ~delay:d (fun () -> inner.send ~src ~dst msg))
+        delays
+  in
+  let close () =
+    if Lazy.is_val dq then Delay_queue.close (Lazy.force dq);
+    inner.close ()
+  in
+  { inner with send; close }
+
 module Mem = struct
   (* Jittered deliveries used to spawn one detached thread each; a single
      joined scheduler thread with a delay queue delivers them instead, so
@@ -182,7 +281,7 @@ module Mem = struct
     in
     loop ()
 
-  let create ?metrics ?(jitter = 0.0) ?(seed = 0) ~pids () =
+  let create ?metrics ?faults ?(jitter = 0.0) ?(seed = 0) ~pids () =
     let boxes = Hashtbl.create 16 in
     List.iter (fun p -> Hashtbl.replace boxes p (Mailbox.create ())) pids;
     let links = Links.create ?metrics () in
@@ -245,15 +344,18 @@ module Mem = struct
       | None -> ());
       Hashtbl.iter (fun _ box -> Mailbox.close box) boxes
     in
-    {
-      send;
-      recv;
-      close;
-      drop_count = (fun ~dst -> Links.drop_count links dst);
-      (* No connections to lose in-process: only drops are meaningful. *)
-      link_stats = (fun () -> Links.totals links);
-      peer_links = (fun () -> Links.per_peer links);
-    }
+    let t =
+      {
+        send;
+        recv;
+        close;
+        drop_count = (fun ~dst -> Links.drop_count links dst);
+        (* No connections to lose in-process: only drops are meaningful. *)
+        link_stats = (fun () -> Links.totals links);
+        peer_links = (fun () -> Links.per_peer links);
+      }
+    in
+    match faults with None -> t | Some plan -> with_faults plan t
 end
 
 (* Shared TCP machinery, parameterized by the frame format. *)
@@ -803,15 +905,18 @@ module Tcp_reactor = struct
 end
 
 module Tcp_codec = struct
-  let create ~codec ?metrics ?remotes ?on_bind ?reactor ?reactor_for ~pids () =
-    match reactor with
-    | Some r ->
-      Tcp_reactor.create ~codec ?metrics ?remotes ?on_bind ~reactor:r ?reactor_for ~pids ()
-    | None ->
-      let frame_codec = Dex_codec.Codec.pair Dex_codec.Codec.int codec in
-      let write_frame oc (src, msg) =
-        Dex_codec.Codec.Frame.to_channel oc frame_codec (src, msg)
-      in
-      let read_frame ic = Dex_codec.Codec.Frame.from_channel ic frame_codec in
-      Tcp_generic.create ~write_frame ~read_frame ?metrics ?remotes ?on_bind ~pids ()
+  let create ~codec ?metrics ?faults ?remotes ?on_bind ?reactor ?reactor_for ~pids () =
+    let t =
+      match reactor with
+      | Some r ->
+        Tcp_reactor.create ~codec ?metrics ?remotes ?on_bind ~reactor:r ?reactor_for ~pids ()
+      | None ->
+        let frame_codec = Dex_codec.Codec.pair Dex_codec.Codec.int codec in
+        let write_frame oc (src, msg) =
+          Dex_codec.Codec.Frame.to_channel oc frame_codec (src, msg)
+        in
+        let read_frame ic = Dex_codec.Codec.Frame.from_channel ic frame_codec in
+        Tcp_generic.create ~write_frame ~read_frame ?metrics ?remotes ?on_bind ~pids ()
+    in
+    match faults with None -> t | Some plan -> with_faults plan t
 end

@@ -65,16 +65,28 @@ type 'msg t = {
     [net/<kind>/peer<pid>] counters. Handles are cached per destination, so
     the send path never formats a metric name. *)
 
+val with_faults : Fault_plan.t -> 'msg t -> 'msg t
+(** Front a transport with deterministic fault injection: every [send]
+    consults the plan ({!Fault_plan.decide}), which may drop it, duplicate
+    it, or defer copies — deferred copies are delivered by one joined
+    scheduler thread, torn down by [close] (pending copies are discarded).
+    [recv] and the link-stats surface pass through; injected events are
+    visible through the plan's own trace, counts and [chaos/*] metrics. The
+    [?faults] parameter on the constructors below is shorthand for wrapping
+    with this function. *)
+
 module Mem : sig
   val create :
     ?metrics:Dex_metrics.Registry.t ->
+    ?faults:Fault_plan.t ->
     ?jitter:float ->
     ?seed:int ->
     pids:Pid.t list ->
     unit ->
     'msg t
   (** [jitter] (seconds, default 0) delays each delivery by a uniform random
-      amount in [\[0, jitter)] — a cheap stand-in for network variance. *)
+      amount in [\[0, jitter)] — a cheap stand-in for network variance.
+      [faults] layers a fault plan over the mailboxes ({!with_faults}). *)
 end
 
 module Tcp : sig
@@ -87,6 +99,7 @@ module Tcp_codec : sig
   val create :
     codec:'msg Dex_codec.Codec.t ->
     ?metrics:Dex_metrics.Registry.t ->
+    ?faults:Fault_plan.t ->
     ?remotes:(Pid.t * int) list ->
     ?on_bind:(Pid.t -> int -> unit) ->
     ?reactor:Reactor.t ->

@@ -260,6 +260,11 @@ module Make (Uc : Uc_intf.S) = struct
     mutable client_conns : Reactor.Conn.t list;
     mutable batch_timer : Reactor.timer option;
     mutable cut_armed : bool;  (* a one-shot cut timer is outstanding *)
+    (* The outstanding one-shot cut timer itself, so [stop_threads] can
+       cancel it: the reactor may outlive this replica incarnation
+       (crash/restart under a shared loop), and an orphaned cut timer must
+       not tick a dead — or worse, restarted — instance's batcher. *)
+    mutable cut_timer : Reactor.timer option;
     (* Extra delay added to the one-shot cut timer beyond settle-eligibility.
        Adaptive: every underlying-provenance commit is evidence the replicas
        cut divergent batches (some loop proposed before its client reads
@@ -747,6 +752,7 @@ module Make (Uc : Uc_intf.S) = struct
         client_conns = [];
         batch_timer = None;
         cut_armed = false;
+        cut_timer = None;
         cut_margin = 0.0001;
         schedule_cut = (fun _ -> ());
         g_client_hwm = Registry.gauge metrics "service/client_wbuf_hwm";

@@ -186,6 +186,9 @@ module Make (Uc : Uc_intf.S) : sig
     mutable client_conns : Dex_runtime.Reactor.Conn.t list;
     mutable batch_timer : Dex_runtime.Reactor.timer option;
     mutable cut_armed : bool;
+    mutable cut_timer : Dex_runtime.Reactor.timer option;
+        (** the outstanding one-shot cut timer, cancelled on stop so a
+            crashed incarnation's cut cannot fire into its successor *)
     mutable cut_margin : float;
         (** adaptive extra delay on the one-shot cut timer: widened on
             underlying-provenance commits (divergent cuts), decayed on

@@ -4,7 +4,7 @@ open Dex_underlying
 
 module Registry = Dex_metrics.Registry
 
-type role = Correct | Mute | Equivocator
+type role = Correct | Mute | Equivocator | Churn
 
 module Make (Uc : Uc_intf.S) = struct
   (* The replica core — consensus callbacks, apply loop, catch-up,
@@ -72,12 +72,19 @@ module Make (Uc : Uc_intf.S) = struct
         if oldest = Float.infinity then t.cfg.settle +. margin
         else Float.max margin (t.cfg.settle -. (Unix.gettimeofday () -. oldest) +. margin)
       in
-      ignore
-        (Reactor.after r delay (fun () ->
-             Mutex.lock t.lock;
-             t.cut_armed <- false;
-             Mutex.unlock t.lock;
-             batcher_tick t))
+      (* Tracked (in [t.cut_timer]) so [stop_threads] can cancel it, and the
+         callback re-checks [running]: the reactor can outlive this replica
+         incarnation under crash/restart, and an orphaned one-shot must not
+         tick a stopped instance's batcher. Called under [t.lock]. *)
+      t.cut_timer <-
+        Some
+          (Reactor.after r delay (fun () ->
+               Mutex.lock t.lock;
+               t.cut_armed <- false;
+               t.cut_timer <- None;
+               let live = t.running in
+               Mutex.unlock t.lock;
+               if live then batcher_tick t))
     end
 
   let ev_conn_closed t conn =
@@ -201,6 +208,14 @@ module Make (Uc : Uc_intf.S) = struct
            Reactor.cancel r timer;
            t.batch_timer <- None
          | None -> ());
+         Mutex.lock t.lock;
+         (match t.cut_timer with
+         | Some timer ->
+           Reactor.cancel r timer;
+           t.cut_timer <- None;
+           t.cut_armed <- false
+         | None -> ());
+         Mutex.unlock t.lock;
          (match t.listener with
          | Some sock ->
            Reactor.remove r sock;
@@ -285,9 +300,14 @@ module Make (Uc : Uc_intf.S) = struct
     mutable servers : (Pid.t * t) list;
     ports : (Pid.t * int) list;
     mutable dead : (Pid.t * t) list;
+    chaos : Fault_plan.t option;
+        (* the plan the mesh transport is wrapped with; clock re-armed at
+           cluster start so cut windows are deployment-relative *)
+    churn_cells : (Pid.t * Adversary.churn_mode ref) list;
+        (* live mode cell per [Churn]-role replica *)
   }
 
-  let launch ?(roles = fun _ -> Correct) ?(port_base = 0) cfg =
+  let launch ?(roles = fun _ -> Correct) ?chaos ?(port_base = 0) cfg =
     let lcfg = log_config cfg in
     let extra =
       List.map
@@ -327,10 +347,11 @@ module Make (Uc : Uc_intf.S) = struct
       | _ -> None
     in
     let transport =
-      Transport.Tcp_codec.create ~codec:smsg_codec ~metrics:net_metrics ?reactor:net_reactor
-        ?reactor_for ~pids ()
+      Transport.Tcp_codec.create ~codec:smsg_codec ~metrics:net_metrics ?faults:chaos
+        ?reactor:net_reactor ?reactor_for ~pids ()
     in
     let servers = ref [] in
+    let churn_cells = ref [] in
     let make p =
       match roles p with
       | Correct ->
@@ -339,9 +360,21 @@ module Make (Uc : Uc_intf.S) = struct
         inst
       | Mute -> Adversary.silent ()
       | Equivocator -> equivocator cfg ~me:p
+      | Churn ->
+        (* A full correct replica whose emissions pass through a
+           runtime-flippable churn filter. It serves clients and keeps an
+           honest commit log in every mode (churn only suppresses or
+           stale-replays its own sends), so it stays in [servers] and in
+           the agreement check. *)
+        let t, inst = replica cfg ~me:p ~transport in
+        servers := (p, t) :: !servers;
+        let cell = ref Adversary.Churn_honest in
+        churn_cells := (p, cell) :: !churn_cells;
+        Adversary.churn ~mode:(fun ~step:_ -> !cell) inst
     in
     let cluster = Cluster.create ~transport ~n:cfg.n ~extra ?reactor:net_reactor make in
     let servers = List.rev !servers in
+    Option.iter Fault_plan.reset_clock chaos;
     Cluster.start cluster;
     let ports =
       List.mapi
@@ -350,7 +383,12 @@ module Make (Uc : Uc_intf.S) = struct
         servers
     in
     { dcfg = cfg; cluster; transport; net_metrics; net_reactor; mesh_shards; servers; ports;
-      dead = [] }
+      dead = []; chaos; churn_cells = List.rev !churn_cells }
+
+  let set_churn_mode d pid mode =
+    match List.assoc_opt pid d.churn_cells with
+    | Some cell -> cell := mode
+    | None -> invalid_arg "Server.set_churn_mode: pid was not launched with role Churn"
 
   let kill_replica d pid =
     match List.assoc_opt pid d.servers with
@@ -377,6 +415,34 @@ module Make (Uc : Uc_intf.S) = struct
     ignore (start_service ~port t);
     d.servers <- d.servers @ [ (pid, t) ];
     t
+
+  (* Merge the plan's storm and churn schedules and execute them in time
+     order against the live deployment, sleeping on the caller's thread
+     between events. Plan times are relative to the plan clock, which
+     [launch] re-armed as the cluster started. *)
+  let run_chaos_schedule d =
+    match d.chaos with
+    | None -> ()
+    | Some plan ->
+      let spec = Fault_plan.spec plan in
+      let events =
+        List.map
+          (fun e -> (e.Fault_plan.s_at, `Storm (e.Fault_plan.s_pid, e.Fault_plan.s_action)))
+          spec.Fault_plan.storm
+        @ List.map
+            (fun e -> (e.Fault_plan.c_at, `Churn (e.Fault_plan.c_pid, e.Fault_plan.c_mode)))
+            spec.Fault_plan.churn
+      in
+      let events = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) events in
+      List.iter
+        (fun (at, ev) ->
+          let wait = at -. Fault_plan.elapsed plan in
+          if wait > 0.0 then Thread.delay wait;
+          match ev with
+          | `Storm (pid, Fault_plan.Kill) -> kill_replica d pid
+          | `Storm (pid, Fault_plan.Restart) -> ignore (restart_replica d pid)
+          | `Churn (pid, mode) -> set_churn_mode d pid mode)
+        events
 
   let shutdown d =
     List.iter (fun (_, s) -> stop s) d.servers;

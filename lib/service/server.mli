@@ -19,7 +19,17 @@ open Dex_net
 open Dex_underlying
 open Dex_runtime
 
-type role = Correct | Mute | Equivocator
+type role =
+  | Correct
+  | Mute
+  | Equivocator
+  | Churn
+      (** a {e dynamic} Byzantine slot: a full correct replica whose
+          emissions are filtered by a runtime-flippable {!Adversary.churn}
+          mode (initially honest). Flip it with [set_churn_mode], or let a
+          fault plan's churn schedule drive it ([run_chaos_schedule]). Its
+          commit log stays honest (it only suppresses or stale-replays its
+          own sends), so agreement checks include it. *)
 
 module Make (Uc : Uc_intf.S) : sig
   (** Everything consensus-side: [smsg] (+ codec), [config], the replica
@@ -84,13 +94,43 @@ module Make (Uc : Uc_intf.S) : sig
     mutable servers : (Pid.t * t) list;  (** live correct replicas *)
     ports : (Pid.t * int) list;  (** their client-facing service ports *)
     mutable dead : (Pid.t * t) list;  (** replicas taken down by {!kill_replica} *)
+    chaos : Fault_plan.t option;
+        (** the fault plan the mesh transport was wrapped with, if any; its
+            clock is re-armed when the cluster starts, so cut windows and
+            schedules are deployment-relative *)
+    churn_cells : (Pid.t * Adversary.churn_mode ref) list;
+        (** the live mode cell of every [Churn]-role replica *)
   }
 
-  val launch : ?roles:(Pid.t -> role) -> ?port_base:int -> config -> deployment
+  val launch :
+    ?roles:(Pid.t -> role) ->
+    ?chaos:Fault_plan.t ->
+    ?port_base:int ->
+    config ->
+    deployment
   (** Start the full deployment. [roles] (default: everyone [Correct])
       assigns Byzantine behaviours to replica pids; at most [t] of them,
-      naturally. [port_base > 0] gives the [i]-th correct replica service
+      naturally. [chaos] fronts the whole mesh with a fault plan
+      ({!Transport.with_faults}) whose clock is re-armed as the cluster
+      starts. [port_base > 0] gives the [i]-th correct replica service
       port [port_base + i]; the default (0) picks ephemeral ports. *)
+
+  val set_churn_mode : deployment -> Pid.t -> Adversary.churn_mode -> unit
+  (** Flip a [Churn]-role replica's behaviour mid-run. Keeping at most [t]
+      replicas non-honest at any instant is the caller's obligation
+      ({!Fault_plan.validate} checks it for plan-driven churn).
+      @raise Invalid_argument if [pid] was not launched with role [Churn]. *)
+
+  val run_chaos_schedule : deployment -> unit
+  (** Execute the deployment's fault plan's storm and churn schedules in
+      time order against the live deployment — {!kill_replica} /
+      {!restart_replica} for storm events, {!set_churn_mode} for churn
+      events — sleeping between events on the {e caller's} thread (drive
+      client load from other threads). Times are relative to the plan
+      clock, i.e. to cluster start. Returns once the last event has been
+      applied; a no-op without [chaos] or with an empty schedule. Link
+      rules and cuts need no driver — the wrapped transport applies them
+      on every send. *)
 
   val kill_replica : deployment -> Pid.t -> unit
   (** Crash one correct replica: its consensus loop stops, its service
