@@ -276,6 +276,50 @@ let service_throughput ?(durable = false) ?(io_mode = Dex_runtime.Transport.Reac
     (tag "latency-p99-ms", p99);
   ]
 
+(* Sharded service scaling: the same loopback box, the keyspace split over
+   k = 1, 2, 4, 8 consensus groups behind one shared runtime and a shard
+   router, 64 closed-loop clients per shard. On a multi-core host the groups
+   commit in parallel and the aggregate should scale until the cores run
+   out; on a single core the family measures the sharding overhead instead
+   (see EXPERIMENTS.md E18). *)
+module GSet = Dex_shard.Group_set.Make (Uc_oracle)
+
+let shard_scaling_rows () =
+  let run shards =
+    let n = 4 and t = 0 in
+    let pair = Pair.freq ~n ~t in
+    let cfg = GSet.S.config ~pair:(fun _ -> pair) ~n ~t () in
+    let map = Dex_shard.Shard_map.create ~shards () in
+    let g = GSet.launch ~map cfg in
+    let r =
+      let router =
+        Dex_shard.Router.connect ~map ~client:1 (Array.to_list (GSet.ports g))
+      in
+      let r =
+        Dex_shard.Router.Load.run_many ~clients:(64 * shards) ~duration:2.0 router
+          (fun i -> Dex_service.State_machine.Set (Printf.sprintf "k%d" (i mod 64), i))
+      in
+      Dex_shard.Router.close router;
+      r
+    in
+    Thread.delay 0.2;
+    GSet.shutdown g;
+    let open Dex_service.Client.Load in
+    let agg = r.Dex_shard.Router.Load.agg in
+    let committed = float_of_int agg.committed in
+    let p50 = match agg.latency with Some s -> s.Dex_metrics.Stats.p50 | None -> 0.0 in
+    let p99 = match agg.latency with Some s -> s.Dex_metrics.Stats.p99 | None -> 0.0 in
+    let tag name = Printf.sprintf "service/shards-%d-%s" shards name in
+    [
+      (tag "ops-s", agg.throughput);
+      ( tag "one-step-fraction",
+        if agg.committed = 0 then 0.0 else float_of_int agg.one_step /. committed );
+      (tag "latency-p50-ms", p50);
+      (tag "latency-p99-ms", p99);
+    ]
+  in
+  List.concat_map run [ 1; 2; 4; 8 ]
+
 (* Reactor dispatch latency: post a closure from another thread, wait for the
    loop to run it. Covers the self-pipe wake, one select round and the posted
    queue drain — the fixed overhead every timer or cross-thread send pays. *)
@@ -374,7 +418,11 @@ let wal_latency_rows () =
 
 (* Raw append (no fsync) tail latency with and without segment
    preallocation. Preallocated segments never extend the file on the hot
-   path, so the p99 should be free of allocate-on-write stalls. *)
+   path, so the p99 should be free of allocate-on-write stalls. Each append
+   is flushed to the file before the stop watch reads: [append] alone only
+   copies into the out_channel's 64 KiB buffer, so without the flush both
+   lanes time memcpy and report the same p99 — the extend-on-write cost only
+   shows up when the bytes actually reach the segment. *)
 let wal_prealloc_rows () =
   let records = 4000 in
   let payload = String.make 128 'w' in
@@ -385,6 +433,7 @@ let wal_prealloc_rows () =
       List.init records (fun _ ->
           let t0 = Unix.gettimeofday () in
           ignore (Dex_store.Wal.append o.Dex_store.Wal.wal payload);
+          Dex_store.Wal.flush o.Dex_store.Wal.wal;
           (Unix.gettimeofday () -. t0) *. 1e6)
     in
     Dex_store.Wal.close o.Dex_store.Wal.wal;
@@ -515,6 +564,13 @@ let () =
     List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) rows;
     exit 0
   end;
+  (* [shards]: just the sharded scaling family, for quick A/B of the
+     shared-runtime / router stack. *)
+  if arg = "shards" then begin
+    let rows = shard_scaling_rows () in
+    List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) rows;
+    exit 0
+  end;
   print_endline "== Bechamel microbenchmarks ==";
   let rows = in_child (fun () -> collect_rows (benchmark ())) in
   print_results rows;
@@ -526,6 +582,10 @@ let () =
         @ reactor_tick_row ())
   in
   List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) service_rows;
+  print_endline "\n== Sharding lane (k groups, shared runtime, 64 clients/shard) ==";
+  let shard_rows = in_child shard_scaling_rows in
+  List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) shard_rows;
+  let service_rows = service_rows @ shard_rows in
   print_endline "\n== Durability lane (WAL time-to-durable; durable service run) ==";
   let durability_rows =
     in_child (fun () ->

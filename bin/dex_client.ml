@@ -5,10 +5,17 @@
 
    Submits to all replicas (leader-less, first-commit-wins) and reports
    throughput, latency percentiles, and the fraction of requests whose log
-   slot decided on the paper's one-step path. *)
+   slot decided on the paper's one-step path.
+
+   Against a sharded deployment (dex_server serve --shards K), pass the same
+   --shards K: --ports is then split into K consecutive equal groups (the
+   order `serve` prints them in), every request is routed to its owning
+   group through the same deterministic shard map the server uses, and the
+   report aggregates across shards with a per-shard breakdown. *)
 
 open Cmdliner
 module Sm = Dex_service.State_machine
+module Router = Dex_shard.Router
 
 let workload_of name client =
   match name with
@@ -23,34 +30,68 @@ let workload_of name client =
       | _ -> Sm.Nop)
   | other -> failwith (Printf.sprintf "unknown workload %S (use add, set or mixed)" other)
 
-let action ports_s client clients duration pace timeout attempts workload io_mode =
+let print_agg (report : Dex_service.Client.Load.report) =
+  Format.printf "%a@." Dex_service.Client.Load.pp_report report;
+  let total = float_of_int (max 1 report.Dex_service.Client.Load.committed) in
+  Format.printf "one-step fraction: %.1f%%@."
+    (100.0 *. float_of_int report.Dex_service.Client.Load.one_step /. total)
+
+(* Sharded aggregate-throughput mode: one router over K port groups, the
+   whole client population multiplexed through it. *)
+let sharded_action ports shards client clients duration timeout workload io_mode =
+  if List.length ports mod shards <> 0 then
+    failwith
+      (Printf.sprintf "--ports lists %d ports, not divisible into %d equal shard groups"
+         (List.length ports) shards);
+  let per = List.length ports / shards in
+  let groups =
+    List.init shards (fun i -> List.filteri (fun j _ -> j / per = i) ports)
+  in
+  let map = Dex_shard.Shard_map.create ~shards () in
+  let r = Router.connect ~io_mode ~map ~client groups in
+  let report =
+    Router.Load.run_many ~clients:(max 1 clients) ~timeout ~duration r
+      (workload_of workload client)
+  in
+  Router.close r;
+  Format.printf "%a@." Router.Load.pp_report report;
+  print_agg report.Router.Load.agg
+
+let action ports_s shards client clients duration pace timeout attempts workload io_mode =
   match
     let ports = List.map int_of_string (String.split_on_char ',' ports_s) in
-    let gen = workload_of workload client in
-    let c = Dex_service.Client.connect ~io_mode ~client ports in
-    let report =
-      if clients > 1 then
-        (* Throughput harness: many logical closed loops, one thread. *)
-        Dex_service.Client.Load.run_many ~clients ~timeout ~duration c gen
-      else Dex_service.Client.Load.run ~pace ~timeout ~attempts ~duration c gen
-    in
-    Dex_service.Client.close c;
-    report
+    if shards > 1 then sharded_action ports shards client clients duration timeout workload io_mode
+    else begin
+      let gen = workload_of workload client in
+      let c = Dex_service.Client.connect ~io_mode ~client ports in
+      let report =
+        if clients > 1 then
+          (* Throughput harness: many logical closed loops, one thread. *)
+          Dex_service.Client.Load.run_many ~clients ~timeout ~duration c gen
+        else Dex_service.Client.Load.run ~pace ~timeout ~attempts ~duration c gen
+      in
+      Dex_service.Client.close c;
+      print_agg report
+    end
   with
   | exception Failure m -> `Error (false, m)
   | exception Invalid_argument m -> `Error (false, m)
-  | report ->
-    Format.printf "%a@." Dex_service.Client.Load.pp_report report;
-    let total = float_of_int (max 1 report.Dex_service.Client.Load.committed) in
-    Format.printf "one-step fraction: %.1f%%@."
-      (100.0 *. float_of_int report.Dex_service.Client.Load.one_step /. total);
-    `Ok ()
+  | () -> `Ok ()
 
 let ports_t =
   Arg.(
     required
     & opt (some string) None
     & info [ "ports" ] ~doc:"Comma-separated replica service ports (loopback).")
+
+let shards_t =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ]
+        ~doc:
+          "Target a sharded deployment: split --ports into $(docv) consecutive equal \
+           groups (shard order), route every request to its owning group through the \
+           deterministic shard map, and report the cross-shard aggregate.")
 
 let client_t = Arg.(value & opt int 1 & info [ "client" ] ~doc:"Client id (unique per deployment).")
 
@@ -105,7 +146,7 @@ let () =
   let term =
     Term.(
       ret
-        (const action $ ports_t $ client_t $ clients_t $ duration_t $ pace_t $ timeout_t
-        $ attempts_t $ workload_t $ io_mode_t))
+        (const action $ ports_t $ shards_t $ client_t $ clients_t $ duration_t $ pace_t
+        $ timeout_t $ attempts_t $ workload_t $ io_mode_t))
   in
   exit (Cmd.eval (Cmd.v info term))

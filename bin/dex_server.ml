@@ -47,6 +47,7 @@ type opts = {
   down : float;
   io_mode : Dex_runtime.Transport.io_mode;
   chaos_plan : string option;
+  shards : int;
 }
 
 let pair_of opts =
@@ -63,19 +64,30 @@ let roles_of opts p =
 
 module Run (Uc : Uc_intf.S) = struct
   module S = Dex_service.Server.Make (Uc)
+  module G = Dex_shard.Group_set.Make (Uc)
+  module Router = Dex_shard.Router
+
+  let config_of opts =
+    let pair = pair_of opts in
+    S.config ~seed:opts.seed ~io_mode:opts.io_mode ~window:opts.window
+      ~batch_delay:opts.batch_delay ~settle:opts.settle ~batch_cap:opts.batch_cap
+      ~queue_cap:opts.queue_cap ?data_dir:opts.data_dir ~group_commit:opts.group_commit
+      ~snapshot_every:opts.snapshot_every
+      ~pair:(fun _ -> pair)
+      ~n:opts.n ~t:opts.t ()
 
   let launch ?roles ?chaos opts =
-    let pair = pair_of opts in
-    let cfg =
-      S.config ~seed:opts.seed ~io_mode:opts.io_mode ~window:opts.window
-        ~batch_delay:opts.batch_delay ~settle:opts.settle ~batch_cap:opts.batch_cap
-        ~queue_cap:opts.queue_cap ?data_dir:opts.data_dir ~group_commit:opts.group_commit
-        ~snapshot_every:opts.snapshot_every
-        ~pair:(fun _ -> pair)
-        ~n:opts.n ~t:opts.t ()
-    in
     let roles = match roles with Some r -> r | None -> roles_of opts in
-    S.launch ~roles ?chaos ~port_base:opts.port_base cfg
+    S.launch ~roles ?chaos ~port_base:opts.port_base (config_of opts)
+
+  (* A sharded deployment: [opts.shards] groups behind one shared runtime,
+     every group getting the same role assignment unless overridden. *)
+  let launch_set ?roles ?chaos opts =
+    let map = Dex_shard.Shard_map.create ~shards:opts.shards () in
+    let roles =
+      match roles with Some r -> r | None -> fun ~shard:_ p -> roles_of opts p
+    in
+    G.launch ~roles ?chaos ~port_base:opts.port_base ~map (config_of opts)
 
   let print_ports d =
     List.iter
@@ -160,7 +172,7 @@ module Run (Uc : Uc_intf.S) = struct
       (R.get merged "net/backoffs")
       (R.get merged "net/drops") peer_part reactor_part
 
-  let serve opts =
+  let serve_one opts =
     let d = launch opts in
     Printf.printf "service up: n=%d t=%d uc=%s pair=%s durability=%s io=%s\n" opts.n opts.t
       Uc.name opts.pair_name
@@ -192,7 +204,7 @@ module Run (Uc : Uc_intf.S) = struct
       `Ok ()
     end
 
-  let smoke opts =
+  let smoke_one opts =
     let d = launch opts in
     Printf.printf "smoke: n=%d t=%d uc=%s pair=%s mute=[%s] equivocate=[%s]\n%!" opts.n
       opts.t Uc.name opts.pair_name
@@ -238,7 +250,7 @@ module Run (Uc : Uc_intf.S) = struct
       `Ok ()
     end
 
-  let restart opts =
+  let restart_one opts =
     let data_dir =
       match opts.data_dir with
       | Some dir -> dir
@@ -466,7 +478,7 @@ module Run (Uc : Uc_intf.S) = struct
     Dex_runtime.Cluster.shutdown d.S.cluster;
     (report, compared, violations, overshoot, !sched_err)
 
-  let gauntlet opts =
+  let gauntlet_one opts =
     let spec =
       match opts.chaos_plan with
       | Some file -> FP.load ~file
@@ -556,6 +568,447 @@ module Run (Uc : Uc_intf.S) = struct
         committed;
       `Ok ()
     end
+
+  (* --------------------------- sharded variants --------------------------- *)
+
+  (* `--shards N` (N > 1) lifts every command over a {!G.t} group set: the
+     same gates as the single-group lane, applied per shard, plus the
+     router's own invariants (zero misroutes, every shard takes work). *)
+
+  let print_ports_set g =
+    Array.iteri
+      (fun i d ->
+        List.iter
+          (fun (p, port) -> Printf.printf "shard %d replica %d: 127.0.0.1:%d\n%!" i p port)
+          d.S.ports)
+      (G.deployments g)
+
+  let print_stats_set g =
+    Array.iteri
+      (fun i d ->
+        List.iter
+          (fun (p, s) -> Format.printf "shard %d replica %d: %a@." i p S.pp_stats (S.stats s))
+          d.S.servers)
+      (G.deployments g)
+
+  (* The sharded `--stats` heartbeat off {!G.snapshot}: per-shard service
+     totals under their [shard<i>/] prefixes, then the shared mesh's
+     unprefixed [net/*] family. *)
+  let stats_line_set g =
+    let snap = G.snapshot g in
+    let shard_part i =
+      let get name = R.get snap (Printf.sprintf "shard%d/%s" i name) in
+      let wal =
+        if not (List.mem_assoc (Printf.sprintf "shard%d/wal/appends" i) snap) then ""
+        else Printf.sprintf " wal=%d" (get "wal/appends")
+      in
+      Printf.sprintf "s%d slots=%d applied=%d busy=%d%s" i
+        (get "service/committed_slots")
+        (get "service/applied")
+        (get "service/busy_rejections")
+        wal
+    in
+    let parts = List.init (G.shard_count g) shard_part in
+    Printf.printf "[stats] %s | net reconn=%d backoff=%d drop=%d\n%!"
+      (String.concat " | " parts) (R.get snap "net/reconnects") (R.get snap "net/backoffs")
+      (R.get snap "net/drops")
+
+  let counter_of_s s =
+    match List.assoc_opt "k" (S.state_snapshot s) with Some v -> v | None -> 0
+
+  (* Per-shard audit: each group's agreement invariant, and no replica of
+     shard [i] applying more Adds than the router routed to shard [i]. *)
+  let audit_set g (report : Router.Load.report) =
+    let viols = G.agreement_violations g in
+    let overshoot = ref [] in
+    Array.iteri
+      (fun i d ->
+        let issued = report.Router.Load.per_shard.(i).Router.Load.s_issued in
+        List.iter
+          (fun (p, s) ->
+            if counter_of_s s > issued then
+              overshoot := (i, p, counter_of_s s, issued) :: !overshoot)
+          d.S.servers)
+      (G.deployments g);
+    (viols, List.rev !overshoot)
+
+  let total_viol vs = Array.fold_left (fun acc (_, v) -> acc + List.length v) 0 vs
+
+  let print_agreement_set ?(tag = "") viols =
+    Array.iteri
+      (fun i (compared, violations) ->
+        Printf.printf
+          "%sshard %d agreement: %d multiply-committed slots compared, %d violations\n%!" tag i
+          compared (List.length violations))
+      viols
+
+  let pp_overshoot_set tag overshoot =
+    String.concat ", "
+      (List.map
+         (fun (i, p, got, issued) ->
+           Printf.sprintf "%s: shard %d replica %d applied %d > issued %d (duplicate apply)"
+             tag i p got issued)
+         overshoot)
+
+  let serve_set opts =
+    let g = launch_set opts in
+    Printf.printf "service up: n=%d t=%d shards=%d map=%s uc=%s pair=%s durability=%s io=%s\n"
+      opts.n opts.t opts.shards
+      (Dex_shard.Shard_map.to_string (G.map g))
+      Uc.name opts.pair_name
+      (match opts.data_dir with
+      | Some dir -> Filename.concat dir "shard-<i>"
+      | None -> "off")
+      (Dex_runtime.Transport.io_mode_to_string opts.io_mode);
+    print_ports_set g;
+    let heartbeat = if opts.stats_every > 0.0 then opts.stats_every else 10.0 in
+    let report () = if opts.stats_every > 0.0 then stats_line_set g else print_stats_set g in
+    if opts.duration > 0.0 then begin
+      let rec wait left =
+        if left > 0.0 then begin
+          let step = Float.min heartbeat left in
+          Thread.delay step;
+          if left -. step > 0.0 then report ();
+          wait (left -. step)
+        end
+      in
+      wait opts.duration;
+      print_stats_set g;
+      G.shutdown g;
+      `Ok ()
+    end
+    else begin
+      while true do
+        Thread.delay heartbeat;
+        report ()
+      done;
+      `Ok ()
+    end
+
+  let smoke_set opts =
+    let g = launch_set opts in
+    Printf.printf "smoke: n=%d t=%d shards=%d map=%s uc=%s pair=%s mute=[%s] equivocate=[%s]\n%!"
+      opts.n opts.t opts.shards
+      (Dex_shard.Shard_map.to_string (G.map g))
+      Uc.name opts.pair_name
+      (String.concat "," (List.map string_of_int opts.mute))
+      (String.concat "," (List.map string_of_int opts.equivocate));
+    let router =
+      Router.connect ~io_mode:opts.io_mode ~map:(G.map g) ~client:1
+        (Array.to_list (G.ports g))
+    in
+    let report =
+      Router.Load.run_many ~clients:(16 * opts.shards) ~duration:opts.duration router
+        (fun _ -> Sm.Add ("k", 1))
+    in
+    Format.printf "%a@." Router.Load.pp_report report;
+    (* Let stragglers apply before inspecting replica state. *)
+    Thread.delay 0.5;
+    Router.close router;
+    Array.iter (fun d -> List.iter (fun (_, s) -> S.stop s) d.S.servers) (G.deployments g);
+    let viols, overshoot = audit_set g report in
+    let empty_shards =
+      List.filter
+        (fun i -> report.Router.Load.per_shard.(i).Router.Load.s_committed = 0)
+        (List.init opts.shards Fun.id)
+    in
+    G.shutdown g;
+    print_agreement_set viols;
+    let committed = report.Router.Load.agg.Dex_service.Client.Load.committed in
+    if committed = 0 then `Error (false, "smoke failed: no commits")
+    else if report.Router.Load.misroutes > 0 then
+      `Error
+        (false, Printf.sprintf "smoke failed: %d misrouted replies" report.Router.Load.misroutes)
+    else if empty_shards <> [] then
+      `Error
+        ( false,
+          Printf.sprintf "smoke failed: shards [%s] committed nothing"
+            (String.concat "," (List.map string_of_int empty_shards)) )
+    else if total_viol viols > 0 then
+      `Error (false, Printf.sprintf "smoke failed: %d agreement violations" (total_viol viols))
+    else if overshoot <> [] then `Error (false, pp_overshoot_set "smoke failed" overshoot)
+    else begin
+      Printf.printf
+        "smoke OK: %d ops committed across %d shards, 0 misroutes, agreement clean on every \
+         shard, no duplicate applies\n"
+        committed opts.shards;
+      `Ok ()
+    end
+
+  let restart_set opts =
+    let data_dir =
+      match opts.data_dir with
+      | Some dir -> dir
+      | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "dex-restart-shards-%d" (Unix.getpid ()))
+    in
+    let opts = { opts with data_dir = Some data_dir } in
+    if opts.kill < 0 || opts.kill >= opts.n then failwith "restart: --kill pid out of range";
+    if List.mem opts.kill opts.mute || List.mem opts.kill opts.equivocate then
+      failwith "restart: --kill must name a correct replica";
+    let g = launch_set opts in
+    Printf.printf
+      "restart smoke: n=%d t=%d shards=%d uc=%s pair=%s data-dir=%s kill=shard0/%d \
+       down=%.1fs duration=%.1fs\n%!"
+      opts.n opts.t opts.shards Uc.name opts.pair_name data_dir opts.kill opts.down
+      opts.duration;
+    let report = ref None in
+    let loader =
+      Thread.create
+        (fun () ->
+          let router =
+            Router.connect ~io_mode:opts.io_mode ~map:(G.map g) ~client:1
+              (Array.to_list (G.ports g))
+          in
+          report :=
+            Some
+              (Router.Load.run_many ~clients:(16 * opts.shards) ~duration:opts.duration
+                 router
+                 (fun _ -> Sm.Add ("k", 1)));
+          Router.close router)
+        ()
+    in
+    (* Crash shard 0's replica mid-load: the crash and its recovery traffic
+       must stay inside shard 0 — every other group keeps its own WAL root
+       and keeps committing untouched. *)
+    Thread.delay (opts.duration /. 3.0);
+    G.kill_replica g ~shard:0 opts.kill;
+    Printf.printf "killed shard 0 replica %d (WAL abandoned mid-flight)\n%!" opts.kill;
+    Thread.delay opts.down;
+    let restarted = G.restart_replica g ~shard:0 opts.kill in
+    let at_restart = S.stats restarted in
+    Printf.printf
+      "restarted shard 0 replica %d: replayed %d slots from disk, catching up from slot %d\n%!"
+      opts.kill at_restart.S.recovered_slots (S.apply_frontier restarted);
+    Thread.join loader;
+    let report =
+      match !report with Some r -> r | None -> failwith "restart: load thread died"
+    in
+    Format.printf "%a@." Router.Load.pp_report report;
+    let d0 = G.deployment g 0 in
+    let deadline = Unix.gettimeofday () +. 20.0 in
+    let converged () =
+      (not (S.catching_up restarted))
+      &&
+      match List.map (fun (_, s) -> S.state_digest s) d0.S.servers with
+      | [] -> false
+      | digest :: rest -> List.for_all (fun dx -> dx = digest) rest
+    in
+    while (not (converged ())) && Unix.gettimeofday () < deadline do
+      Thread.delay 0.1
+    done;
+    let did_converge = converged () in
+    Array.iter (fun d -> List.iter (fun (_, s) -> S.stop s) d.S.servers) (G.deployments g);
+    let reg = R.merge [ R.snapshot (S.metrics restarted); R.snapshot d0.S.net_metrics ] in
+    Printf.printf
+      "recovery: replayed=%d catchup=%d state-transfers=%d snapshots=%d | net reconn=%d\n%!"
+      (R.get reg "service/recovered_slots")
+      (R.get reg "service/catchup_installed")
+      (R.get reg "service/state_transfers")
+      (R.get reg "durability/snapshots")
+      (R.get reg "net/reconnects");
+    let viols, overshoot = audit_set g report in
+    (* Shard 0's acked commits must survive the crash on every shard-0
+       replica, the restarted one included. *)
+    let committed0 = report.Router.Load.per_shard.(0).Router.Load.s_committed in
+    let lost = List.filter (fun (_, s) -> counter_of_s s < committed0) d0.S.servers in
+    G.shutdown g;
+    print_agreement_set viols;
+    let committed = report.Router.Load.agg.Dex_service.Client.Load.committed in
+    if committed = 0 then `Error (false, "restart smoke failed: no commits")
+    else if report.Router.Load.misroutes > 0 then
+      `Error
+        ( false,
+          Printf.sprintf "restart smoke failed: %d misrouted replies"
+            report.Router.Load.misroutes )
+    else if total_viol viols > 0 then
+      `Error
+        ( false,
+          Printf.sprintf "restart smoke failed: %d agreement violations" (total_viol viols) )
+    else if not did_converge then
+      `Error
+        ( false,
+          Printf.sprintf "restart smoke failed: shard 0 replica %d did not converge within 20s"
+            opts.kill )
+    else if lost <> [] then
+      `Error
+        ( false,
+          String.concat ", "
+            (List.map
+               (fun (p, s) ->
+                 Printf.sprintf
+                   "restart smoke failed: shard 0 replica %d applied %d < %d acked commits \
+                    (lost acks)"
+                   p (counter_of_s s) committed0)
+               lost) )
+    else if overshoot <> [] then
+      `Error (false, pp_overshoot_set "restart smoke failed" overshoot)
+    else begin
+      let rstats = S.stats restarted in
+      Printf.printf
+        "restart smoke OK: %d ops committed across %d shards, shard 0 replica %d recovered \
+         (replay %d + catchup %d + xfer %d), digests converged, no lost acks, no duplicate \
+         applies\n"
+        committed opts.shards opts.kill rstats.S.recovered_slots rstats.S.catchup_installed
+        rstats.S.state_transfers;
+      `Ok ()
+    end
+
+  (* One sharded load phase: the fault plan (if any) fronts shard 0's
+     transport view only; the load covers every shard through the router. *)
+  let drive_phase_set opts ~roles ~chaos ~data_dir =
+    let opts = { opts with data_dir } in
+    let g = launch_set ~roles ?chaos:(Option.map (fun p -> (0, p)) chaos) opts in
+    let sched_err = ref None in
+    let scheduler =
+      match chaos with
+      | None -> None
+      | Some _ ->
+        Some
+          (Thread.create
+             (fun () ->
+               try G.run_chaos_schedule g
+               with e -> sched_err := Some (Printexc.to_string e))
+             ())
+    in
+    let router =
+      Router.connect ~io_mode:opts.io_mode ~map:(G.map g) ~client:1
+        (Array.to_list (G.ports g))
+    in
+    let report =
+      Router.Load.run_many ~clients:(16 * opts.shards) ~duration:opts.duration router
+        (fun _ -> Sm.Add ("k", 1))
+    in
+    Router.close router;
+    Option.iter Thread.join scheduler;
+    Array.iter
+      (fun d ->
+        List.iter (fun (_, cell) -> cell := Dex_net.Adversary.Churn_honest) d.S.churn_cells)
+      (G.deployments g);
+    Thread.delay 0.5;
+    Array.iter (fun d -> List.iter (fun (_, s) -> S.stop s) d.S.servers) (G.deployments g);
+    let viols, overshoot = audit_set g report in
+    G.shutdown g;
+    (report, viols, overshoot, !sched_err)
+
+  let gauntlet_set opts =
+    let spec =
+      match opts.chaos_plan with
+      | Some file -> FP.load ~file
+      | None -> builtin_gauntlet_spec opts
+    in
+    (match FP.validate ~n:opts.n ~t:opts.t spec with
+    | Ok () -> ()
+    | Error e -> failwith (Printf.sprintf "gauntlet: invalid fault plan: %s" e));
+    let churn_pids = List.sort_uniq compare (List.map (fun e -> e.FP.c_pid) spec.FP.churn) in
+    let storm_pids = List.sort_uniq compare (List.map (fun e -> e.FP.s_pid) spec.FP.storm) in
+    (match List.filter (fun p -> List.mem p churn_pids) storm_pids with
+    | [] -> ()
+    | clash ->
+      failwith
+        (Printf.sprintf
+           "gauntlet: pids %s appear in both storm and churn schedules — a restarted \
+            replica loses its churn wrapper"
+           (String.concat "," (List.map string_of_int clash))));
+    (* The whole plan lands on shard 0 — its links, its storm, its churn.
+       Shards 1..k-1 run clean, and the blast-radius gate below holds them
+       to keep committing throughout. *)
+    let roles ~shard p =
+      if shard = 0 && List.mem p churn_pids then Dex_service.Server.Churn else roles_of opts p
+    in
+    let base_dir =
+      match opts.data_dir with
+      | Some dir -> dir
+      | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "dex-gauntlet-shards-%d" (Unix.getpid ()))
+    in
+    Printf.printf
+      "gauntlet: n=%d t=%d shards=%d (chaos confined to shard 0) uc=%s pair=%s io=%s \
+       duration=%.1fs plan=%s (%d rules, %d cuts, %d storm, %d churn; seed %d)\n%!"
+      opts.n opts.t opts.shards Uc.name opts.pair_name
+      (Dex_runtime.Transport.io_mode_to_string opts.io_mode)
+      opts.duration
+      (match opts.chaos_plan with Some f -> f | None -> "builtin")
+      (List.length spec.FP.rules) (List.length spec.FP.cuts) (List.length spec.FP.storm)
+      (List.length spec.FP.churn) spec.FP.seed;
+    let base_report, base_viols, base_over, _ =
+      drive_phase_set opts
+        ~roles:(fun ~shard:_ _ -> Dex_service.Server.Correct)
+        ~chaos:None
+        ~data_dir:(Some (Filename.concat base_dir "baseline"))
+    in
+    pp_phase "baseline" base_report.Router.Load.agg;
+    let chaos_reg = R.create () in
+    let plan = FP.make ~metrics:chaos_reg spec in
+    let report, viols, overshoot, sched_err =
+      drive_phase_set opts ~roles ~chaos:(Some plan)
+        ~data_dir:(Some (Filename.concat base_dir "chaos"))
+    in
+    pp_phase "chaos" report.Router.Load.agg;
+    Printf.printf "[chaos] injected: %s\n%!"
+      (Format.asprintf "%a" FP.pp_counts (FP.counts plan));
+    Array.iteri
+      (fun i st ->
+        Printf.printf "shard %d under chaos: issued=%d committed=%d%s\n%!" i
+          st.Router.Load.s_issued st.Router.Load.s_committed
+          (if i = 0 then " (chaos target)" else ""))
+      report.Router.Load.per_shard;
+    print_agreement_set ~tag:"[baseline] " base_viols;
+    print_agreement_set ~tag:"[chaos] " viols;
+    let base_frac = one_step_fraction base_report.Router.Load.agg in
+    let chaos_frac = one_step_fraction report.Router.Load.agg in
+    Printf.printf "one-step fraction: baseline %.1f%% -> chaos %.1f%%\n%!"
+      (100.0 *. base_frac) (100.0 *. chaos_frac);
+    (* Blast radius: chaos was injected into shard 0 only, so every healthy
+       shard must have kept committing for the whole phase. *)
+    let dead_healthy =
+      List.filter
+        (fun i -> report.Router.Load.per_shard.(i).Router.Load.s_committed = 0)
+        (List.tl (List.init opts.shards Fun.id))
+    in
+    let committed = report.Router.Load.agg.Dex_service.Client.Load.committed in
+    if base_report.Router.Load.agg.Dex_service.Client.Load.committed = 0 then
+      `Error (false, "gauntlet failed: baseline committed nothing")
+    else if committed = 0 then `Error (false, "gauntlet failed: no commits under chaos")
+    else if base_report.Router.Load.misroutes > 0 || report.Router.Load.misroutes > 0 then
+      `Error
+        ( false,
+          Printf.sprintf "gauntlet failed: %d misrouted replies"
+            (base_report.Router.Load.misroutes + report.Router.Load.misroutes) )
+    else if total_viol base_viols > 0 || total_viol viols > 0 then
+      `Error
+        ( false,
+          Printf.sprintf "gauntlet failed: %d agreement violations"
+            (total_viol base_viols + total_viol viols) )
+    else if base_over <> [] || overshoot <> [] then
+      `Error
+        ( false,
+          Printf.sprintf "gauntlet failed: %d replicas overshot issued ops (duplicate apply)"
+            (List.length base_over + List.length overshoot) )
+    else if dead_healthy <> [] then
+      `Error
+        ( false,
+          Printf.sprintf
+            "gauntlet failed: healthy shards [%s] committed nothing while shard 0 took the \
+             chaos (blast radius escaped)"
+            (String.concat "," (List.map string_of_int dead_healthy)) )
+    else if sched_err <> None then
+      `Error
+        (false, Printf.sprintf "gauntlet failed: schedule driver: %s" (Option.get sched_err))
+    else begin
+      Printf.printf
+        "gauntlet OK: %d ops committed with chaos confined to shard 0; every healthy shard \
+         kept committing, agreement clean on all shards, no duplicate applies\n"
+        committed;
+      `Ok ()
+    end
+
+  let serve opts = if opts.shards > 1 then serve_set opts else serve_one opts
+  let smoke opts = if opts.shards > 1 then smoke_set opts else smoke_one opts
+  let restart opts = if opts.shards > 1 then restart_set opts else restart_one opts
+  let gauntlet opts = if opts.shards > 1 then gauntlet_set opts else gauntlet_one opts
 end
 
 module Run_oracle = Run (Uc_oracle)
@@ -678,23 +1131,34 @@ let opts_t ~default_n ~default_t ~default_duration ~default_mute =
             "Fault plan file to replay (gauntlet command) instead of the built-in chaos \
              script — e.g. one emitted by dex_mc --worst-case --plan-out.")
   in
+  let shards_t =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Partition the keyspace over $(docv) independent consensus groups of n replicas \
+             each, all tenants of one shared runtime (one TCP mesh, shared event loops), \
+             fronted by a shard router. Roles (--mute/--equivocate) apply within every \
+             group; gauntlet chaos is confined to shard 0.")
+  in
   let make n t pair_name seed window batch_delay settle batch_cap queue_cap port_base duration
       mute equivocate data_dir stats_every no_group_commit snapshot_every kill down io_mode
-      chaos_plan =
+      chaos_plan shards =
     let mute =
       match default_mute with
       | Some default when mute = [] && equivocate = [] -> default
       | _ -> mute
     in
+    let shards = max 1 shards in
     { n; t; pair_name; seed; window; batch_delay; settle; batch_cap; queue_cap; port_base;
       duration; mute; equivocate; data_dir; stats_every; group_commit = not no_group_commit;
-      snapshot_every; kill; down; io_mode; chaos_plan }
+      snapshot_every; kill; down; io_mode; chaos_plan; shards }
   in
   Term.(
     const make $ n_t $ t_t $ pair_t $ seed_t $ window_t $ batch_delay_t $ settle_t
     $ batch_cap_t $ queue_cap_t $ port_base_t $ duration_t $ mute_t $ equivocate_t
     $ data_dir_t $ stats_every_t $ no_group_commit_t $ snapshot_every_t $ kill_t $ down_t
-    $ io_mode_t $ chaos_plan_t)
+    $ io_mode_t $ chaos_plan_t $ shards_t)
 
 let uc_t =
   Arg.(value & opt string "oracle" & info [ "uc" ] ~doc:"Underlying consensus: oracle or leader.")

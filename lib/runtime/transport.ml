@@ -237,6 +237,31 @@ let with_faults plan inner =
   in
   { inner with send; close }
 
+(* A pid-namespaced window onto a larger mesh: local pids [0 .. count-1]
+   map to global pids [base .. base+count-1]. Several consensus groups can
+   then share one transport (one listener set, one reactor set, one metrics
+   registry) while each sees a private, zero-based pid space — the stream
+   namespacing the sharded service is built on. Close is a no-op: the view
+   is borrowed, the mesh owner tears the real transport down. *)
+let offset ~base ~count inner =
+  if base < 0 || count < 1 then invalid_arg "Transport.offset: base >= 0, count >= 1";
+  {
+    send = (fun ~src ~dst msg -> inner.send ~src:(src + base) ~dst:(dst + base) msg);
+    recv =
+      (fun ~me ~timeout ->
+        match inner.recv ~me:(me + base) ~timeout with
+        | Some (src, msg) -> Some (src - base, msg)
+        | None -> None);
+    close = (fun () -> ());
+    drop_count = (fun ~dst -> inner.drop_count ~dst:(dst + base));
+    link_stats = inner.link_stats;
+    peer_links =
+      (fun () ->
+        List.filter_map
+          (fun (p, s) -> if p >= base && p < base + count then Some (p - base, s) else None)
+          (inner.peer_links ()));
+  }
+
 module Mem = struct
   (* Jittered deliveries used to spawn one detached thread each; a single
      joined scheduler thread with a delay queue delivers them instead, so

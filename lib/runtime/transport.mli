@@ -65,6 +65,17 @@ type 'msg t = {
     [net/<kind>/peer<pid>] counters. Handles are cached per destination, so
     the send path never formats a metric name. *)
 
+val offset : base:Pid.t -> count:int -> 'msg t -> 'msg t
+(** A pid-namespaced view onto a larger mesh: the view's local pids
+    [0 .. count-1] are the underlying transport's [base .. base+count-1].
+    [send]/[recv]/[drop_count] translate both directions; [peer_links]
+    reports only peers inside the window (re-based); [link_stats] is the
+    whole underlying transport's aggregate. The view is {e borrowed}: its
+    [close] is a no-op — the owner of the underlying mesh closes it once
+    every group sharing it is down. This is how several consensus groups
+    (shards) share one listener/reactor set while each runs over a private
+    zero-based pid space. *)
+
 val with_faults : Fault_plan.t -> 'msg t -> 'msg t
 (** Front a transport with deterministic fault injection: every [send]
     consults the plan ({!Fault_plan.decide}), which may drop it, duplicate

@@ -257,6 +257,9 @@ module Make (Uc : Uc_intf.S) = struct
        client I/O, batcher cadence and the WAL group-commit timer all run
        on it. [None] in threaded mode. *)
     service_reactor : Reactor.t option;
+    (* Whether this replica created [service_reactor] (and so must stop it)
+       or borrowed a shared loop from the deployment (which stops it). *)
+    owns_reactor : bool;
     mutable client_conns : Reactor.Conn.t list;
     mutable batch_timer : Reactor.timer option;
     mutable cut_armed : bool;  (* a one-shot cut timer is outstanding *)
@@ -689,20 +692,24 @@ module Make (Uc : Uc_intf.S) = struct
 
   (* ----------------------------- the replica ----------------------------- *)
 
-  let replica ?catchup cfg ~me ~transport =
+  let replica ?catchup ?service_reactor:shared_loop cfg ~me ~transport =
     let metrics = Registry.create () in
     let lane, recovered =
       Durability_lane.create ?dir:(replica_dir cfg me) ~segment_bytes:cfg.wal_segment_bytes
         ~metrics ()
     in
-    (* In event-driven mode the replica owns one reactor: client I/O, the
-       batcher cadence and the WAL group-commit timer all run on it (its
-       [reactor/*] gauges land in this replica's registry). *)
-    let service_reactor =
-      match cfg.io_mode with
-      | Transport.Threads -> None
-      | Transport.Reactor ->
-        Some (Reactor.create ~metrics ~name:(Printf.sprintf "replica-%d" me) ())
+    (* In event-driven mode the replica runs on one reactor: client I/O, the
+       batcher cadence and the WAL group-commit timer all land on it. By
+       default it owns a private loop (whose [reactor/*] gauges land in this
+       replica's registry); a sharded deployment passes [service_reactor] to
+       share loops across co-located replicas — borrowed, never stopped by
+       this replica. *)
+    let owns_reactor, service_reactor =
+      match (cfg.io_mode, shared_loop) with
+      | Transport.Threads, _ -> (false, None)
+      | Transport.Reactor, Some r -> (false, Some r)
+      | Transport.Reactor, None ->
+        (true, Some (Reactor.create ~metrics ~name:(Printf.sprintf "replica-%d" me) ()))
     in
     let t =
       {
@@ -749,6 +756,7 @@ module Make (Uc : Uc_intf.S) = struct
         client_socks = [];
         threads = [];
         service_reactor;
+        owns_reactor;
         client_conns = [];
         batch_timer = None;
         cut_armed = false;

@@ -182,7 +182,10 @@ module Make (Uc : Uc_intf.S) : sig
     mutable client_socks : Unix.file_descr list;
     mutable threads : Thread.t list;
     service_reactor : Dex_runtime.Reactor.t option;
-        (** the replica-owned event loop; [None] in threaded mode *)
+        (** the replica's event loop; [None] in threaded mode *)
+    owns_reactor : bool;
+        (** whether the replica created [service_reactor] (private loop, the
+            server stops it) or borrowed a shared one (its owner stops it) *)
     mutable client_conns : Dex_runtime.Reactor.Conn.t list;
     mutable batch_timer : Dex_runtime.Reactor.timer option;
     mutable cut_armed : bool;
@@ -201,6 +204,7 @@ module Make (Uc : Uc_intf.S) : sig
 
   val replica :
     ?catchup:bool ->
+    ?service_reactor:Dex_runtime.Reactor.t ->
     config ->
     me:Pid.t ->
     transport:smsg Transport.t ->
@@ -208,7 +212,10 @@ module Make (Uc : Uc_intf.S) : sig
   (** Build the replica core: recovers durable state (when [data_dir] is
       set), starts the group-commit syncer, and arms the catch-up gate when
       [catchup] is true (default: whenever recovery found prior state).
-      The returned handlers plug into {!Dex_runtime.Cluster}. *)
+      [service_reactor] (reactor mode only) runs this replica on a shared,
+      borrowed loop instead of a private one — sharded deployments use it to
+      keep the loop count bounded by replica index, not shard count. The
+      returned handlers plug into {!Dex_runtime.Cluster}. *)
 
   val handle_request : t -> sink:sink -> Wire.request -> unit
   (** A client request arrived on [sink]: session-cache retry, Busy while

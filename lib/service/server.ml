@@ -227,9 +227,11 @@ module Make (Uc : Uc_intf.S) = struct
          Mutex.unlock t.lock;
          List.iter Reactor.Conn.close conns
      end);
-    (* The reactor exists from [replica] on (it also drives the WAL syncer),
-       so it is stopped even if the service was never started. *)
-    Option.iter Reactor.stop t.service_reactor
+    (* A private reactor exists from [replica] on (it also drives the WAL
+       syncer), so it is stopped even if the service was never started. A
+       borrowed (shared-runtime) loop is left running for its owner — the
+       WAL syncer timer is cancelled separately by [Durability_lane.stop]. *)
+    if t.owns_reactor then Option.iter Reactor.stop t.service_reactor
 
   let stop t =
     stop_threads t;
@@ -283,6 +285,20 @@ module Make (Uc : Uc_intf.S) = struct
 
   (* ------------------------------ deployment ------------------------------ *)
 
+  (* A runtime lent to a deployment instead of letting [launch] build its
+     own: a pid-namespaced transport view onto a bigger shared mesh
+     ({!Transport.offset}), the registry that mesh reports into, the mesh
+     loops, and (reactor mode) a selector giving each replica index a shared
+     service loop. Everything here is borrowed — the lender (a sharded
+     group set) stops loops and closes the real mesh after every borrowing
+     deployment is down. *)
+  type shared_runtime = {
+    sr_transport : smsg Transport.t;
+    sr_net_metrics : Registry.t;
+    sr_net_reactor : Reactor.t option;
+    sr_service_loop_for : (Pid.t -> Reactor.t) option;
+  }
+
   type deployment = {
     dcfg : config;
     cluster : smsg Cluster.t;
@@ -305,9 +321,15 @@ module Make (Uc : Uc_intf.S) = struct
            cluster start so cut windows are deployment-relative *)
     churn_cells : (Pid.t * Adversary.churn_mode ref) list;
         (* live mode cell per [Churn]-role replica *)
+    owns_runtime : bool;
+        (* whether [launch] built the mesh/loops above (shut them down with
+           the deployment) or borrowed them from a shared runtime *)
+    service_loop_for : (Pid.t -> Reactor.t) option;
+        (* shared service loop per replica pid (borrowed); restarts must
+           land on the same loop as the original incarnation *)
   }
 
-  let launch ?(roles = fun _ -> Correct) ?chaos ?(port_base = 0) cfg =
+  let launch ?(roles = fun _ -> Correct) ?chaos ?(port_base = 0) ?runtime cfg =
     let lcfg = log_config cfg in
     let extra =
       List.map
@@ -320,42 +342,58 @@ module Make (Uc : Uc_intf.S) = struct
         (Log.extra lcfg)
     in
     let pids = Pid.all ~n:cfg.n @ List.map fst extra in
-    let net_metrics = Registry.create () in
-    let net_reactor =
-      match cfg.io_mode with
-      | Transport.Threads -> None
-      | Transport.Reactor -> Some (Reactor.create ~metrics:net_metrics ~name:"mesh" ())
+    let owns_runtime, net_metrics, net_reactor, mesh_shards, transport, service_loop_for =
+      match runtime with
+      | Some rt ->
+        (* Borrowed mesh: wrap only this deployment's pid-namespaced view
+           with the fault plan, so chaos on one shard never touches the
+           links of the groups sharing the mesh (blast-radius isolation). *)
+        let transport =
+          match chaos with
+          | Some plan -> Transport.with_faults plan rt.sr_transport
+          | None -> rt.sr_transport
+        in
+        (false, rt.sr_net_metrics, rt.sr_net_reactor, [||], transport, rt.sr_service_loop_for)
+      | None ->
+        let net_metrics = Registry.create () in
+        let net_reactor =
+          match cfg.io_mode with
+          | Transport.Threads -> None
+          | Transport.Reactor -> Some (Reactor.create ~metrics:net_metrics ~name:"mesh" ())
+        in
+        (* Shard the mesh I/O over up to four loops — but only when the
+           machine can actually run them in parallel: on few cores extra
+           loops are pure context-switch overhead. The gauges live on the
+           primary loop only (shards would collide on the metric names). *)
+        let mesh_shards =
+          match net_reactor with
+          | None -> [||]
+          | Some _ ->
+            let cores = Domain.recommended_domain_count () in
+            Array.init
+              (min 3 (max 0 (min (cfg.n - 1) (cores - 1))))
+              (fun i -> Reactor.create ~name:(Printf.sprintf "mesh-%d" (i + 1)) ())
+        in
+        let reactor_for =
+          match net_reactor with
+          | Some primary when Array.length mesh_shards > 0 ->
+            let pool = Array.append [| primary |] mesh_shards in
+            Some (fun pid -> pool.(pid mod Array.length pool))
+          | _ -> None
+        in
+        let transport =
+          Transport.Tcp_codec.create ~codec:smsg_codec ~metrics:net_metrics ?faults:chaos
+            ?reactor:net_reactor ?reactor_for ~pids ()
+        in
+        (true, net_metrics, net_reactor, mesh_shards, transport, None)
     in
-    (* Shard the mesh I/O over up to four loops — but only when the machine
-       can actually run them in parallel: on few cores extra loops are pure
-       context-switch overhead. The gauges live on the primary loop only
-       (shards would collide on the metric names). *)
-    let mesh_shards =
-      match net_reactor with
-      | None -> [||]
-      | Some _ ->
-        let cores = Domain.recommended_domain_count () in
-        Array.init
-          (min 3 (max 0 (min (cfg.n - 1) (cores - 1))))
-          (fun i -> Reactor.create ~name:(Printf.sprintf "mesh-%d" (i + 1)) ())
-    in
-    let reactor_for =
-      match net_reactor with
-      | Some primary when Array.length mesh_shards > 0 ->
-        let pool = Array.append [| primary |] mesh_shards in
-        Some (fun pid -> pool.(pid mod Array.length pool))
-      | _ -> None
-    in
-    let transport =
-      Transport.Tcp_codec.create ~codec:smsg_codec ~metrics:net_metrics ?faults:chaos
-        ?reactor:net_reactor ?reactor_for ~pids ()
-    in
+    let svc_loop p = Option.map (fun f -> f p) service_loop_for in
     let servers = ref [] in
     let churn_cells = ref [] in
     let make p =
       match roles p with
       | Correct ->
-        let t, inst = replica cfg ~me:p ~transport in
+        let t, inst = replica ?service_reactor:(svc_loop p) cfg ~me:p ~transport in
         servers := (p, t) :: !servers;
         inst
       | Mute -> Adversary.silent ()
@@ -366,7 +404,7 @@ module Make (Uc : Uc_intf.S) = struct
            honest commit log in every mode (churn only suppresses or
            stale-replays its own sends), so it stays in [servers] and in
            the agreement check. *)
-        let t, inst = replica cfg ~me:p ~transport in
+        let t, inst = replica ?service_reactor:(svc_loop p) cfg ~me:p ~transport in
         servers := (p, t) :: !servers;
         let cell = ref Adversary.Churn_honest in
         churn_cells := (p, cell) :: !churn_cells;
@@ -383,7 +421,7 @@ module Make (Uc : Uc_intf.S) = struct
         servers
     in
     { dcfg = cfg; cluster; transport; net_metrics; net_reactor; mesh_shards; servers; ports;
-      dead = []; chaos; churn_cells = List.rev !churn_cells }
+      dead = []; chaos; churn_cells = List.rev !churn_cells; owns_runtime; service_loop_for }
 
   let set_churn_mode d pid mode =
     match List.assoc_opt pid d.churn_cells with
@@ -409,7 +447,11 @@ module Make (Uc : Uc_intf.S) = struct
       invalid_arg "Server.restart_replica: already running";
     (* [catchup:true]: even a replica that lost its whole data dir must ask
        the peers where the log stands before taking client traffic. *)
-    let t, inst = replica ~catchup:true d.dcfg ~me:pid ~transport:d.transport in
+    let t, inst =
+      replica ~catchup:true
+        ?service_reactor:(Option.map (fun f -> f pid) d.service_loop_for)
+        d.dcfg ~me:pid ~transport:d.transport
+    in
     Cluster.start_node d.cluster pid inst;
     let port = List.assoc pid d.ports in
     ignore (start_service ~port t);
@@ -446,11 +488,16 @@ module Make (Uc : Uc_intf.S) = struct
 
   let shutdown d =
     List.iter (fun (_, s) -> stop s) d.servers;
+    (* With a borrowed runtime this closes only the pid-namespaced view
+       (a no-op) — the real mesh stays up for the other groups sharing it,
+       and the lender closes it after the last of them shuts down. *)
     Cluster.shutdown d.cluster;
-    (* The mesh loops are borrowed by transport and cluster alike; the
-       deployment owns them. *)
-    Option.iter Reactor.stop d.net_reactor;
-    Array.iter Reactor.stop d.mesh_shards
+    if d.owns_runtime then begin
+      (* The mesh loops are borrowed by transport and cluster alike; the
+         deployment owns them. *)
+      Option.iter Reactor.stop d.net_reactor;
+      Array.iter Reactor.stop d.mesh_shards
+    end
 
   (* Agreement check across the correct replicas of a deployment — killed
      replicas' pre-crash (and recovered) commit logs included: a slot a

@@ -73,6 +73,27 @@ module Make (Uc : Uc_intf.S) : sig
       over {!Transport.Tcp_codec}, each correct replica serving clients on
       its own loopback port. *)
 
+  type shared_runtime = {
+    sr_transport : smsg Transport.t;
+        (** this deployment's pid-namespaced view onto the shared mesh
+            ({!Transport.offset}); its [close] is a no-op — the lender
+            closes the real mesh *)
+    sr_net_metrics : Dex_metrics.Registry.t;
+        (** the registry the shared mesh reports its [net/*] counters into *)
+    sr_net_reactor : Reactor.t option;
+        (** the mesh's primary loop (reactor mode), hosting this
+            deployment's protocol timers too; borrowed, never stopped here *)
+    sr_service_loop_for : (Pid.t -> Reactor.t) option;
+        (** reactor mode: the shared service loop each replica pid runs its
+            client I/O, batch cadence and WAL group commit on — so loop
+            count is bounded by replica index, not by group count *)
+  }
+  (** A runtime lent to {!launch} instead of letting it build one: how
+      several consensus groups (shards) share one mesh, one set of event
+      loops and one [net/*] registry. Everything is borrowed; the lender
+      (see [Dex_shard.Group_set]) tears it down after every borrowing
+      deployment has shut down. *)
+
   type deployment = {
     dcfg : config;
     cluster : smsg Cluster.t;
@@ -100,20 +121,31 @@ module Make (Uc : Uc_intf.S) : sig
             schedules are deployment-relative *)
     churn_cells : (Pid.t * Adversary.churn_mode ref) list;
         (** the live mode cell of every [Churn]-role replica *)
+    owns_runtime : bool;
+        (** whether {!launch} built the mesh and loops (so {!shutdown} stops
+            them) or borrowed a {!shared_runtime} (the lender stops them) *)
+    service_loop_for : (Pid.t -> Reactor.t) option;
+        (** the shared-runtime service-loop selector, kept so
+            {!restart_replica} lands the new incarnation on the same loop *)
   }
 
   val launch :
     ?roles:(Pid.t -> role) ->
     ?chaos:Fault_plan.t ->
     ?port_base:int ->
+    ?runtime:shared_runtime ->
     config ->
     deployment
   (** Start the full deployment. [roles] (default: everyone [Correct])
       assigns Byzantine behaviours to replica pids; at most [t] of them,
-      naturally. [chaos] fronts the whole mesh with a fault plan
+      naturally. [chaos] fronts the deployment's transport with a fault plan
       ({!Transport.with_faults}) whose clock is re-armed as the cluster
-      starts. [port_base > 0] gives the [i]-th correct replica service
-      port [port_base + i]; the default (0) picks ephemeral ports. *)
+      starts — under a shared runtime only this deployment's view is
+      wrapped, so one shard's chaos never touches its neighbours' links.
+      [port_base > 0] gives the [i]-th correct replica service port
+      [port_base + i]; the default (0) picks ephemeral ports. [runtime]
+      makes this deployment a tenant of a shared mesh instead of building
+      its own (see {!shared_runtime}). *)
 
   val set_churn_mode : deployment -> Pid.t -> Adversary.churn_mode -> unit
   (** Flip a [Churn]-role replica's behaviour mid-run. Keeping at most [t]

@@ -1,0 +1,68 @@
+open Dex_service
+
+type policy = By_client | By_digest
+
+type t = { version : int; shards : int; policy : policy }
+
+let current_version = 1
+
+let create ?(policy = By_client) ~shards () =
+  if shards < 1 then invalid_arg "Shard_map.create: shards must be >= 1";
+  { version = current_version; shards; policy }
+
+let shards t = t.shards
+
+let version t = t.version
+
+let policy t = t.policy
+
+(* FNV-1a over the request encoding, then a splitmix64 finalizer: FNV alone
+   concentrates its entropy in the low bits' recent history, and sequential
+   client ids would stripe rather than spread; the finalizer avalanches both
+   into every bit, so [mod shards] is uniform for any small shard count. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let mix64 z =
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  let z = Int64.mul z 0xff51afd7ed558ccdL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  let z = Int64.mul z 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let bucket h shards = Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int shards))
+
+let shard_of_client t client = bucket (mix64 (Int64.of_int client)) t.shards
+
+let shard_of t (req : Wire.request) =
+  match t.policy with
+  | By_client -> shard_of_client t req.Wire.client
+  | By_digest -> bucket (mix64 (fnv64 (Dex_codec.Codec.encode Wire.request_codec req))) t.shards
+
+let policy_to_string = function By_client -> "client" | By_digest -> "digest"
+
+let policy_of_string = function
+  | "client" -> Some By_client
+  | "digest" -> Some By_digest
+  | _ -> None
+
+let to_string t =
+  Printf.sprintf "v%d:%d:%s" t.version t.shards (policy_to_string t.policy)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ v; k; p ] when v = Printf.sprintf "v%d" current_version -> (
+    match (int_of_string_opt k, policy_of_string p) with
+    | Some shards, Some policy when shards >= 1 ->
+      Some { version = current_version; shards; policy }
+    | _ -> None)
+  | _ -> None

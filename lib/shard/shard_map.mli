@@ -1,0 +1,53 @@
+(** Deterministic keyspace partitioning for the sharded service.
+
+    A shard map assigns every client request to exactly one of [shards]
+    consensus groups, as a pure function of the request — no coordination,
+    no lookup table, the same answer in every process and across restarts.
+    That stability is what makes per-[(client, rid)] session dedupe sound
+    under sharding: a retransmitted request lands on the same group that saw
+    (and deduped) the original.
+
+    Two policies:
+    - {!By_client} (default): route on the client id. A client's whole
+      session lives on one shard, so cross-request ordering per client is
+      preserved and the router can pin sessions.
+    - {!By_digest}: route on a digest of the full request encoding.
+      Spreads a single hot client across groups; retries still route
+      identically (same request, same bytes, same digest).
+
+    Maps carry a version so the wire/CLI representation ({!to_string}) can
+    grow richer schemes (weighted shards, split maps, migrations) without
+    ambiguity: {!of_string} rejects versions it does not understand. *)
+
+open Dex_service
+
+type policy = By_client | By_digest
+
+type t
+
+val create : ?policy:policy -> shards:int -> unit -> t
+(** @raise Invalid_argument when [shards < 1]. *)
+
+val shards : t -> int
+
+val version : t -> int
+
+val policy : t -> policy
+
+val shard_of : t -> Wire.request -> int
+(** The owning shard, in [0 .. shards-1]. Deterministic: equal requests
+    (retransmits included) always map to the same shard. *)
+
+val shard_of_client : t -> int -> int
+(** Where a client's session lives under {!By_client} — exposed so load
+    drivers can partition client populations without building requests.
+    (Under {!By_digest} this is {e not} the routing function; use
+    {!shard_of}.) *)
+
+val to_string : t -> string
+(** Canonical textual form, e.g. ["v1:4:client"] — version, shard count,
+    policy. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] on malformed input or an unknown
+    version. *)

@@ -321,10 +321,15 @@ let append (t : t) payload =
     lsn
   end
 
+let flush (t : t) =
+  Mutex.lock t.lock;
+  if not t.closed then Stdlib.flush t.oc;
+  Mutex.unlock t.lock
+
 let sync (t : t) =
   Mutex.lock t.lock;
   if (not t.closed) && t.durable < t.next_lsn - 1 then begin
-    flush t.oc;
+    Stdlib.flush t.oc;
     Unix.fsync t.fd;
     record_sync_locked t
   end;
@@ -371,7 +376,7 @@ let truncate_below (t : t) ~lsn =
 let close (t : t) =
   Mutex.lock t.lock;
   if not t.closed then begin
-    flush t.oc;
+    Stdlib.flush t.oc;
     (* Trim the preallocated tail so a cleanly closed log holds exactly its
        records — directories stay copyable/inspectable at logical size. *)
     if t.preallocate then (try Unix.ftruncate t.fd t.seg_size with Unix.Unix_error _ -> ());

@@ -70,6 +70,14 @@ val append : t -> string -> int
 (** Append one record, returning its lsn. Buffered — not durable until the
     covering {!sync}. Thread-safe. *)
 
+val flush : t -> unit
+(** Push buffered appends to the OS ([write], no [fsync]) — records become
+    visible to the filesystem but are {e not} durable. This is where a
+    non-preallocated segment pays file extension (inode size update + block
+    reservation), so benchmarks that want to see the allocate+extend path
+    per record flush per append instead of riding the channel's 64 KiB
+    buffer. Thread-safe; a no-op on a closed log. *)
+
 val sync : t -> int
 (** Flush and fsync everything appended; returns the new durable watermark.
     A no-op (returning the current watermark) when nothing is pending. *)
