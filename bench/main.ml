@@ -276,6 +276,58 @@ let service_throughput ?(durable = false) ?(io_mode = Dex_runtime.Transport.Reac
     (tag "latency-p99-ms", p99);
   ]
 
+(* Large-value dissemination economics (E19): n=4 t=0 with the client
+   submitting to three of the four replicas, so the fourth misses every
+   batch and must pull its content — the workload the coded lane exists
+   for. Per payload size, full vs coded: ops/s, p50, and the starved
+   replica's fetch ingress per non-empty committed slot. In full mode every
+   holder answers the fetch broadcast with the whole blob (n-1 = 3 copies);
+   in coded mode the resolution ingresses ~one blob of fragments. *)
+let large_value_rows () =
+  let run mode bytes tag_size =
+    let n = 4 and t = 0 in
+    let pair = Pair.freq ~n ~t in
+    let cfg = Svc.config ~dissemination:mode ~pair:(fun _ -> pair) ~n ~t () in
+    let d = Svc.launch cfg in
+    let ports = List.map snd d.Svc.ports in
+    let starved_ports = List.filteri (fun i _ -> i < 3) ports in
+    let payload = String.make bytes 'x' in
+    let c = Dex_service.Client.connect ~client:1 starved_ports in
+    let r =
+      Dex_service.Client.Load.run_many ~clients:4 ~duration:2.0 c (fun i ->
+          Dex_service.State_machine.Blob (Printf.sprintf "b%d" (i mod 16), payload))
+    in
+    Dex_service.Client.close c;
+    Thread.delay 0.5;
+    let starved = List.assoc 3 d.Svc.servers in
+    let snap = Dex_metrics.Registry.snapshot (Svc.metrics starved) in
+    let stats = Svc.stats starved in
+    Svc.shutdown d;
+    let ingress =
+      Dex_metrics.Registry.get snap "service/fetch_bytes"
+      + Dex_metrics.Registry.get snap "erasure/frag_bytes_in"
+    in
+    let batches = max 1 (stats.Svc.committed_slots - stats.Svc.empty_slots) in
+    let open Dex_service.Client.Load in
+    let p50 = match r.latency with Some s -> s.Dex_metrics.Stats.p50 | None -> 0.0 in
+    let tag name =
+      Printf.sprintf "service/large-value-%s-%s-%s" tag_size
+        (Dex_erasure.Dissemination.to_string mode)
+        name
+    in
+    [
+      (tag "ops-s", r.throughput);
+      (tag "latency-p50-ms", p50);
+      ( tag "starved-fetch-KiB-per-commit",
+        float_of_int ingress /. 1024.0 /. float_of_int batches );
+    ]
+  in
+  List.concat_map
+    (fun (bytes, tag_size) ->
+      run Dex_erasure.Dissemination.Full bytes tag_size
+      @ run Dex_erasure.Dissemination.Coded bytes tag_size)
+    [ (1024, "1KiB"); (65536, "64KiB"); (524288, "512KiB") ]
+
 (* Sharded service scaling: the same loopback box, the keyspace split over
    k = 1, 2, 4, 8 consensus groups behind one shared runtime and a shard
    router, 64 closed-loop clients per shard. On a multi-core host the groups
@@ -571,6 +623,13 @@ let () =
     List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) rows;
     exit 0
   end;
+  (* [large]: just the large-value dissemination family (E19), for quick
+     A/B of the full vs coded fetch economics. *)
+  if arg = "large" then begin
+    let rows = large_value_rows () in
+    List.iter (fun (name, v) -> Printf.printf "%-48s %16.2f\n" name v) rows;
+    exit 0
+  end;
   print_endline "== Bechamel microbenchmarks ==";
   let rows = in_child (fun () -> collect_rows (benchmark ())) in
   print_results rows;
@@ -585,7 +644,10 @@ let () =
   print_endline "\n== Sharding lane (k groups, shared runtime, 64 clients/shard) ==";
   let shard_rows = in_child shard_scaling_rows in
   List.iter (fun (name, v) -> Printf.printf "%-36s %16.2f\n" name v) shard_rows;
-  let service_rows = service_rows @ shard_rows in
+  print_endline "\n== Large-value lane (starved replica, full vs coded dissemination) ==";
+  let large_rows = in_child large_value_rows in
+  List.iter (fun (name, v) -> Printf.printf "%-48s %16.2f\n" name v) large_rows;
+  let service_rows = service_rows @ shard_rows @ large_rows in
   print_endline "\n== Durability lane (WAL time-to-durable; durable service run) ==";
   let durability_rows =
     in_child (fun () ->

@@ -17,18 +17,25 @@ open Cmdliner
 module Sm = Dex_service.State_machine
 module Router = Dex_shard.Router
 
-let workload_of name client =
-  match name with
-  | "add" -> fun i -> ignore i; Sm.Add ("k", 1)
-  | "set" -> fun i -> Sm.Set (Printf.sprintf "c%d-k%d" client (i mod 16), i)
-  | "mixed" ->
-    fun i ->
-      (match i mod 4 with
-      | 0 -> Sm.Set (Printf.sprintf "k%d" (i mod 8), i)
-      | 1 -> Sm.Add ("total", 1)
-      | 2 -> Sm.Get (Printf.sprintf "k%d" (i mod 8))
-      | _ -> Sm.Nop)
-  | other -> failwith (Printf.sprintf "unknown workload %S (use add, set or mixed)" other)
+let workload_of ?(value_bytes = 0) name client =
+  if value_bytes > 0 then begin
+    (* Large-value mode: every op writes a [value_bytes]-byte opaque blob,
+       spread over 16 keys, exercising the batch dissemination lane. *)
+    let payload = String.make value_bytes 'x' in
+    fun i -> Sm.Blob (Printf.sprintf "b%d" (i mod 16), payload)
+  end
+  else
+    match name with
+    | "add" -> fun i -> ignore i; Sm.Add ("k", 1)
+    | "set" -> fun i -> Sm.Set (Printf.sprintf "c%d-k%d" client (i mod 16), i)
+    | "mixed" ->
+      fun i ->
+        (match i mod 4 with
+        | 0 -> Sm.Set (Printf.sprintf "k%d" (i mod 8), i)
+        | 1 -> Sm.Add ("total", 1)
+        | 2 -> Sm.Get (Printf.sprintf "k%d" (i mod 8))
+        | _ -> Sm.Nop)
+    | other -> failwith (Printf.sprintf "unknown workload %S (use add, set or mixed)" other)
 
 let print_agg (report : Dex_service.Client.Load.report) =
   Format.printf "%a@." Dex_service.Client.Load.pp_report report;
@@ -38,7 +45,7 @@ let print_agg (report : Dex_service.Client.Load.report) =
 
 (* Sharded aggregate-throughput mode: one router over K port groups, the
    whole client population multiplexed through it. *)
-let sharded_action ports shards client clients duration timeout workload io_mode =
+let sharded_action ports shards client clients duration timeout workload value_bytes io_mode =
   if List.length ports mod shards <> 0 then
     failwith
       (Printf.sprintf "--ports lists %d ports, not divisible into %d equal shard groups"
@@ -51,18 +58,20 @@ let sharded_action ports shards client clients duration timeout workload io_mode
   let r = Router.connect ~io_mode ~map ~client groups in
   let report =
     Router.Load.run_many ~clients:(max 1 clients) ~timeout ~duration r
-      (workload_of workload client)
+      (workload_of ~value_bytes workload client)
   in
   Router.close r;
   Format.printf "%a@." Router.Load.pp_report report;
   print_agg report.Router.Load.agg
 
-let action ports_s shards client clients duration pace timeout attempts workload io_mode =
+let action ports_s shards client clients duration pace timeout attempts workload value_bytes
+    io_mode =
   match
     let ports = List.map int_of_string (String.split_on_char ',' ports_s) in
-    if shards > 1 then sharded_action ports shards client clients duration timeout workload io_mode
+    if shards > 1 then
+      sharded_action ports shards client clients duration timeout workload value_bytes io_mode
     else begin
-      let gen = workload_of workload client in
+      let gen = workload_of ~value_bytes workload client in
       let c = Dex_service.Client.connect ~io_mode ~client ports in
       let report =
         if clients > 1 then
@@ -120,6 +129,15 @@ let attempts_t =
 let workload_t =
   Arg.(value & opt string "add" & info [ "workload" ] ~doc:"Workload: add, set or mixed.")
 
+let value_bytes_t =
+  Arg.(
+    value & opt int 0
+    & info [ "value-bytes" ]
+        ~doc:
+          "Write $(docv)-byte opaque blob values instead of the named workload (0 = off). \
+           Exercises the large-value dissemination path (see dex_server \
+           --dissemination).")
+
 let io_mode_t =
   let conv_mode =
     let parse s =
@@ -147,6 +165,6 @@ let () =
     Term.(
       ret
         (const action $ ports_t $ shards_t $ client_t $ clients_t $ duration_t $ pace_t
-        $ timeout_t $ attempts_t $ workload_t $ io_mode_t))
+        $ timeout_t $ attempts_t $ workload_t $ value_bytes_t $ io_mode_t))
   in
   exit (Cmd.eval (Cmd.v info term))

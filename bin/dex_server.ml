@@ -48,7 +48,27 @@ type opts = {
   io_mode : Dex_runtime.Transport.io_mode;
   chaos_plan : string option;
   shards : int;
+  dissemination : Dex_erasure.Dissemination.mode;
+  value_bytes : int;
+  submit_to : int;
 }
+
+(* The smoke/restart/gauntlet workload: plain counter Adds, or — under
+   --value-bytes N — Blob writes carrying an N-byte opaque payload that
+   still apply as an increment of "k", so the duplicate-apply (overshoot)
+   audit keeps reading the same counter. *)
+let workload_of opts =
+  if opts.value_bytes <= 0 then fun _ -> Sm.Add ("k", 1)
+  else
+    let payload = String.make opts.value_bytes 'x' in
+    fun _ -> Sm.Blob ("k", payload)
+
+(* Client port subset: --submit-to K connects the driving client to the
+   first K replicas only, starving the rest of direct submissions so their
+   content arrives over the dissemination lane (fetch or fragments). *)
+let submit_ports opts ports =
+  if opts.submit_to <= 0 || opts.submit_to >= List.length ports then ports
+  else List.filteri (fun i _ -> i < opts.submit_to) ports
 
 let pair_of opts =
   match String.split_on_char ':' opts.pair_name with
@@ -72,7 +92,7 @@ module Run (Uc : Uc_intf.S) = struct
     S.config ~seed:opts.seed ~io_mode:opts.io_mode ~window:opts.window
       ~batch_delay:opts.batch_delay ~settle:opts.settle ~batch_cap:opts.batch_cap
       ~queue_cap:opts.queue_cap ?data_dir:opts.data_dir ~group_commit:opts.group_commit
-      ~snapshot_every:opts.snapshot_every
+      ~snapshot_every:opts.snapshot_every ~dissemination:opts.dissemination
       ~pair:(fun _ -> pair)
       ~n:opts.n ~t:opts.t ()
 
@@ -174,10 +194,11 @@ module Run (Uc : Uc_intf.S) = struct
 
   let serve_one opts =
     let d = launch opts in
-    Printf.printf "service up: n=%d t=%d uc=%s pair=%s durability=%s io=%s\n" opts.n opts.t
-      Uc.name opts.pair_name
+    Printf.printf "service up: n=%d t=%d uc=%s pair=%s durability=%s io=%s dissemination=%s\n"
+      opts.n opts.t Uc.name opts.pair_name
       (match opts.data_dir with Some dir -> dir | None -> "off")
-      (Dex_runtime.Transport.io_mode_to_string opts.io_mode);
+      (Dex_runtime.Transport.io_mode_to_string opts.io_mode)
+      (Dex_erasure.Dissemination.to_string opts.dissemination);
     print_ports d;
     let heartbeat = if opts.stats_every > 0.0 then opts.stats_every else 10.0 in
     let report () = if opts.stats_every > 0.0 then stats_line d else print_stats d in
@@ -206,15 +227,20 @@ module Run (Uc : Uc_intf.S) = struct
 
   let smoke_one opts =
     let d = launch opts in
-    Printf.printf "smoke: n=%d t=%d uc=%s pair=%s mute=[%s] equivocate=[%s]\n%!" opts.n
-      opts.t Uc.name opts.pair_name
+    Printf.printf
+      "smoke: n=%d t=%d uc=%s pair=%s dissemination=%s value-bytes=%d mute=[%s] \
+       equivocate=[%s]\n%!"
+      opts.n opts.t Uc.name opts.pair_name
+      (Dex_erasure.Dissemination.to_string opts.dissemination)
+      opts.value_bytes
       (String.concat "," (List.map string_of_int opts.mute))
       (String.concat "," (List.map string_of_int opts.equivocate));
     let client =
-      Dex_service.Client.connect ~io_mode:opts.io_mode ~client:1 (List.map snd d.S.ports)
+      Dex_service.Client.connect ~io_mode:opts.io_mode ~client:1
+        (submit_ports opts (List.map snd d.S.ports))
     in
     let report =
-      Dex_service.Client.Load.run ~duration:opts.duration client (fun _ -> Sm.Add ("k", 1))
+      Dex_service.Client.Load.run ~duration:opts.duration client (workload_of opts)
     in
     Format.printf "%a@." Dex_service.Client.Load.pp_report report;
     (* Let stragglers apply before inspecting replica state. *)
@@ -229,12 +255,36 @@ module Run (Uc : Uc_intf.S) = struct
       List.filter (fun (_, s) -> counter_of s > report.Dex_service.Client.Load.issued) d.S.servers
     in
     let committed = report.Dex_service.Client.Load.committed in
+    (* Dissemination-lane counters, summed over replicas. In coded mode the
+       decode-fallback count is gated: a bounded number is legal (races
+       where a batch commits before its fragments land), but a fallback per
+       slot means the lane never decodes and the mode is lying. *)
+    let merged = R.merge (List.map (fun (_, s) -> R.snapshot (S.metrics s)) d.S.servers) in
+    let fallbacks = R.get merged "erasure/decode_fallbacks" in
+    Printf.printf
+      "dissemination: fetch_rtts=%d fetch_bytes=%d frag_recv=%d decodes=%d \
+       decode_failures=%d fallbacks=%d bytes_saved=%d\n%!"
+      (R.get merged "service/fetch_rtts")
+      (R.get merged "service/fetch_bytes")
+      (R.get merged "erasure/frag_recv")
+      (R.get merged "erasure/decodes")
+      (R.get merged "erasure/decode_failures")
+      fallbacks
+      (R.get merged "erasure/bytes_saved");
+    let fallback_bound = max 20 (committed / 10) in
+    let coded = Dex_erasure.Dissemination.(equal opts.dissemination Coded) in
     Dex_runtime.Cluster.shutdown d.S.cluster;
     Printf.printf "agreement: %d multiply-committed slots compared, %d violations\n" compared
       (List.length violations);
     if committed = 0 then `Error (false, "smoke failed: no commits")
     else if violations <> [] then
       `Error (false, Printf.sprintf "smoke failed: %d agreement violations" (List.length violations))
+    else if coded && fallbacks > fallback_bound then
+      `Error
+        ( false,
+          Printf.sprintf
+            "smoke failed: %d decode fallbacks > bound %d (coded lane not decoding)"
+            fallbacks fallback_bound )
     else if overshoot <> [] then
       `Error
         ( false,
@@ -274,7 +324,7 @@ module Run (Uc : Uc_intf.S) = struct
             Dex_service.Client.connect ~io_mode:opts.io_mode ~client:1 (List.map snd d.S.ports)
           in
           report := Some (Dex_service.Client.Load.run ~duration:opts.duration client
-                            (fun _ -> Sm.Add ("k", 1)));
+                            (workload_of opts));
           Dex_service.Client.close client)
         ()
     in
@@ -458,7 +508,7 @@ module Run (Uc : Uc_intf.S) = struct
       Dex_service.Client.connect ~io_mode:opts.io_mode ~client:1 (List.map snd d.S.ports)
     in
     let report =
-      Dex_service.Client.Load.run ~duration:opts.duration client (fun _ -> Sm.Add ("k", 1))
+      Dex_service.Client.Load.run ~duration:opts.duration client (workload_of opts)
     in
     Dex_service.Client.close client;
     Option.iter Thread.join scheduler;
@@ -511,10 +561,11 @@ module Run (Uc : Uc_intf.S) = struct
           (Printf.sprintf "dex-gauntlet-%d" (Unix.getpid ()))
     in
     Printf.printf
-      "gauntlet: n=%d t=%d uc=%s pair=%s io=%s duration=%.1fs plan=%s (%d rules, %d cuts, %d \
-       storm, %d churn; seed %d)\n%!"
+      "gauntlet: n=%d t=%d uc=%s pair=%s io=%s dissemination=%s duration=%.1fs plan=%s (%d \
+       rules, %d cuts, %d storm, %d churn; seed %d)\n%!"
       opts.n opts.t Uc.name opts.pair_name
       (Dex_runtime.Transport.io_mode_to_string opts.io_mode)
+      (Dex_erasure.Dissemination.to_string opts.dissemination)
       opts.duration
       (match opts.chaos_plan with Some f -> f | None -> "builtin")
       (List.length spec.FP.rules) (List.length spec.FP.cuts) (List.length spec.FP.storm)
@@ -1141,9 +1192,47 @@ let opts_t ~default_n ~default_t ~default_duration ~default_mute =
              fronted by a shard router. Roles (--mute/--equivocate) apply within every \
              group; gauntlet chaos is confined to shard 0.")
   in
+  let dissemination_t =
+    let conv_mode =
+      let parse s =
+        match Dex_erasure.Dissemination.of_string s with
+        | Ok m -> Ok m
+        | Error e -> Error (`Msg e)
+      in
+      Arg.conv (parse, Dex_erasure.Dissemination.pp)
+    in
+    Arg.(
+      value
+      & opt conv_mode Dex_erasure.Dissemination.Full
+      & info [ "dissemination" ]
+          ~doc:
+            "Batch content dissemination: $(b,full) — replicas that miss a batch fetch the \
+             whole blob from a peer; $(b,coded) — proposers push one systematic \
+             Reed-Solomon fragment per replica and missing content is reconstructed from \
+             any n-t distinct fragments, falling back to the full lane on timeout or \
+             decode failure.")
+  in
+  let value_bytes_t =
+    Arg.(
+      value & opt int 0
+      & info [ "value-bytes" ]
+          ~doc:
+            "Drive the load with $(docv)-byte opaque blob writes instead of counter \
+             increments (0 = plain increments). Exercises the large-value dissemination \
+             path.")
+  in
+  let submit_to_t =
+    Arg.(
+      value & opt int 0
+      & info [ "submit-to" ]
+          ~doc:
+            "Connect the driving client to the first $(docv) replicas only (0 or >= n: \
+             all), starving the rest of direct submissions so their content arrives over \
+             the dissemination lane.")
+  in
   let make n t pair_name seed window batch_delay settle batch_cap queue_cap port_base duration
       mute equivocate data_dir stats_every no_group_commit snapshot_every kill down io_mode
-      chaos_plan shards =
+      chaos_plan shards dissemination value_bytes submit_to =
     let mute =
       match default_mute with
       | Some default when mute = [] && equivocate = [] -> default
@@ -1152,13 +1241,14 @@ let opts_t ~default_n ~default_t ~default_duration ~default_mute =
     let shards = max 1 shards in
     { n; t; pair_name; seed; window; batch_delay; settle; batch_cap; queue_cap; port_base;
       duration; mute; equivocate; data_dir; stats_every; group_commit = not no_group_commit;
-      snapshot_every; kill; down; io_mode; chaos_plan; shards }
+      snapshot_every; kill; down; io_mode; chaos_plan; shards; dissemination; value_bytes;
+      submit_to }
   in
   Term.(
     const make $ n_t $ t_t $ pair_t $ seed_t $ window_t $ batch_delay_t $ settle_t
     $ batch_cap_t $ queue_cap_t $ port_base_t $ duration_t $ mute_t $ equivocate_t
     $ data_dir_t $ stats_every_t $ no_group_commit_t $ snapshot_every_t $ kill_t $ down_t
-    $ io_mode_t $ chaos_plan_t $ shards_t)
+    $ io_mode_t $ chaos_plan_t $ shards_t $ dissemination_t $ value_bytes_t $ submit_to_t)
 
 let uc_t =
   Arg.(value & opt string "oracle" & info [ "uc" ] ~doc:"Underlying consensus: oracle or leader.")

@@ -1,0 +1,10 @@
+type mode = Full | Coded
+
+let of_string = function
+  | "full" -> Ok Full
+  | "coded" -> Ok Coded
+  | s -> Error (Printf.sprintf "unknown dissemination mode %S (full|coded)" s)
+
+let to_string = function Full -> "full" | Coded -> "coded"
+let equal a b = a = b
+let pp ppf m = Format.pp_print_string ppf (to_string m)

@@ -1,0 +1,9 @@
+(** Dissemination mode for batch payloads: classic full-blob fetch, or
+    erasure-coded fragments reconstructed from any k of n peers. *)
+
+type mode = Full | Coded
+
+val of_string : string -> (mode, string) result
+val to_string : mode -> string
+val equal : mode -> mode -> bool
+val pp : Format.formatter -> mode -> unit

@@ -1,0 +1,37 @@
+type t = {
+  digest : int;
+  index : int;
+  total : int;
+  data : int;
+  len : int;
+  body : string;
+  checksum : int;
+}
+
+(* Same FNV-1a shape as Batch.digest / Wal.fnv64: masked positive so it
+   round-trips the zigzag int codec compactly. *)
+let fnv64 s =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+  !h land max_int
+
+let make ~digest ~index ~total ~data ~len body =
+  { digest; index; total; data; len; body; checksum = fnv64 body }
+
+let valid t =
+  t.total >= 1 && t.total <= 255 && t.data >= 1 && t.data <= t.total
+  && t.index >= 0 && t.index < t.total && t.len >= 0
+  && String.length t.body = Rs.shard_size ~k:t.data t.len
+  && t.checksum = fnv64 t.body
+
+let codec =
+  let open Dex_codec.Codec in
+  conv
+    (fun t -> ((t.digest, t.index, t.total), ((t.data, t.len, t.checksum), t.body)))
+    (fun ((digest, index, total), ((data, len, checksum), body)) ->
+      { digest; index; total; data; len; body; checksum })
+    (pair (triple int int int) (pair (triple int int int) string))
+
+let pp ppf t =
+  Format.fprintf ppf "frag[%d/%d] digest=%d k=%d len=%d body=%dB" t.index
+    t.total t.digest t.data t.len (String.length t.body)

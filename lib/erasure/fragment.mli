@@ -1,0 +1,32 @@
+(** Wire framing for one erasure-coded fragment of a disseminated blob.
+
+    A fragment carries enough metadata to be useful in isolation: the
+    digest of the blob it belongs to, its index and the code geometry
+    ([data] = k shards out of [total] = n fragments), the original blob
+    length, and a per-fragment checksum so a corrupted or equivocated
+    body is dropped before it can poison a decode. *)
+
+type t = {
+  digest : int;  (** digest of the whole blob (batch digest or snapshot hash) *)
+  index : int;  (** fragment index in [0, total) *)
+  total : int;  (** n: total fragments the blob was coded into *)
+  data : int;  (** k: data shards needed to reconstruct *)
+  len : int;  (** original blob length in bytes *)
+  body : string;  (** this fragment's shard, [Rs.shard_size ~k len] bytes *)
+  checksum : int;  (** FNV-1a of [body], set by {!make} *)
+}
+
+val make : digest:int -> index:int -> total:int -> data:int -> len:int -> string -> t
+(** Build a fragment, computing the body checksum. *)
+
+val valid : t -> bool
+(** Structural + checksum validation: geometry in range, body length
+    matching [Rs.shard_size], checksum matching the body. Invalid or
+    corrupted fragments must be discarded, not decoded. *)
+
+val fnv64 : string -> int
+(** The checksum function (FNV-1a folded to a non-negative int), exposed
+    so callers can hash snapshot payloads into fragment digests. *)
+
+val codec : t Dex_codec.Codec.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+(* GF(256) over 0x11d with generator 2: log/antilog tables built once at
+   module init. [exp_t] is doubled (510 entries) so [mul] can skip the
+   mod-255 reduction on the summed logs. *)
+
+let poly = 0x11d
+
+let exp_t, log_t =
+  let exp_t = Array.make 510 0 and log_t = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_t.(i) <- !x;
+    exp_t.(i + 255) <- !x;
+    log_t.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor poly
+  done;
+  (exp_t, log_t)
+
+let exp i = exp_t.(i mod 255)
+
+let log a = if a = 0 then raise Division_by_zero else log_t.(a)
+
+let mul a b = if a = 0 || b = 0 then 0 else exp_t.(log_t.(a) + log_t.(b))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_t.(log_t.(a) - log_t.(b) + 255)
+
+let inv a = div 1 a
+
+let pow a e =
+  if e = 0 then 1
+  else if a = 0 then 0
+  else exp_t.(log_t.(a) * e mod 255)

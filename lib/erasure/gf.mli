@@ -1,0 +1,25 @@
+(** Arithmetic over GF(256), the field used by the Reed–Solomon codec.
+
+    Elements are ints in [0, 255]. The field is built over the primitive
+    polynomial [x^8 + x^4 + x^3 + x^2 + 1] (0x11d) with generator 2, the
+    conventional choice for storage erasure codes. Multiplication and
+    division go through precomputed log/antilog tables, so each costs one
+    add and two lookups. *)
+
+val mul : int -> int -> int
+(** Field product. [mul a b] with either operand 0 is 0. *)
+
+val div : int -> int -> int
+(** Field quotient. [div a 0] raises [Division_by_zero]. *)
+
+val inv : int -> int
+(** Multiplicative inverse. [inv 0] raises [Division_by_zero]. *)
+
+val pow : int -> int -> int
+(** [pow a e] is [a] raised to [e >= 0] in the field. *)
+
+val exp : int -> int
+(** [exp i] is generator^i, for [i >= 0] (reduced mod 255). *)
+
+val log : int -> int
+(** Discrete log base the generator. [log 0] raises [Division_by_zero]. *)

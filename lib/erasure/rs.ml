@@ -1,0 +1,222 @@
+(* Systematic Vandermonde construction: V is the n x k matrix with
+   V[i][j] = i^j in GF(256); any k rows of V pick k distinct evaluation
+   points, so every k x k minor is invertible. The encoding matrix is
+   M = V * inv(V[0..k-1]), whose top k x k block is the identity —
+   fragments 0..k-1 are the data shards themselves. *)
+
+let data_count ~n ~t = max 1 (n - max t 1)
+
+let shard_size ~k len = if len = 0 then 0 else (len + k - 1) / k
+
+let check ~k ~n =
+  if k < 1 || n < k || n > 255 then
+    invalid_arg (Printf.sprintf "Rs: bad geometry k=%d n=%d" k n)
+
+(* --- small dense matrices over GF(256) ------------------------------- *)
+
+let vandermonde ~k ~n =
+  Array.init n (fun i -> Array.init k (fun j -> Gf.pow i j))
+
+let matmul a b =
+  let rows = Array.length a and inner = Array.length b in
+  let cols = Array.length b.(0) in
+  Array.init rows (fun i ->
+      Array.init cols (fun j ->
+          let acc = ref 0 in
+          for x = 0 to inner - 1 do
+            acc := !acc lxor Gf.mul a.(i).(x) b.(x).(j)
+          done;
+          !acc))
+
+(* Gauss–Jordan over GF(256); [None] on a singular matrix. *)
+let invert m =
+  let k = Array.length m in
+  let a = Array.map Array.copy m in
+  let inv = Array.init k (fun i -> Array.init k (fun j -> if i = j then 1 else 0)) in
+  let ok = ref true in
+  (try
+     for col = 0 to k - 1 do
+       (* find a pivot row *)
+       let piv = ref (-1) in
+       for r = col to k - 1 do
+         if !piv < 0 && a.(r).(col) <> 0 then piv := r
+       done;
+       if !piv < 0 then begin
+         ok := false;
+         raise Exit
+       end;
+       if !piv <> col then begin
+         let t = a.(col) in
+         a.(col) <- a.(!piv);
+         a.(!piv) <- t;
+         let t = inv.(col) in
+         inv.(col) <- inv.(!piv);
+         inv.(!piv) <- t
+       end;
+       let p = Gf.inv a.(col).(col) in
+       for j = 0 to k - 1 do
+         a.(col).(j) <- Gf.mul a.(col).(j) p;
+         inv.(col).(j) <- Gf.mul inv.(col).(j) p
+       done;
+       for r = 0 to k - 1 do
+         if r <> col && a.(r).(col) <> 0 then begin
+           let f = a.(r).(col) in
+           for j = 0 to k - 1 do
+             a.(r).(j) <- a.(r).(j) lxor Gf.mul f a.(col).(j);
+             inv.(r).(j) <- inv.(r).(j) lxor Gf.mul f inv.(col).(j)
+           done
+         end
+       done
+     done
+   with Exit -> ());
+  if !ok then Some inv else None
+
+(* Encoding matrices are tiny (n <= 255) and geometry repeats across
+   batches, so memoise per (k, n). *)
+let enc_matrix : (int * int, int array array) Hashtbl.t = Hashtbl.create 7
+
+let matrix ~k ~n =
+  match Hashtbl.find_opt enc_matrix (k, n) with
+  | Some m -> m
+  | None ->
+      let v = vandermonde ~k ~n in
+      let top = Array.sub v 0 k in
+      let m =
+        match invert top with
+        | Some ti -> matmul v ti
+        | None -> assert false (* Vandermonde minors are invertible *)
+      in
+      Hashtbl.replace enc_matrix (k, n) m;
+      m
+
+(* --- shard plumbing --------------------------------------------------- *)
+
+let shards ~k blob =
+  let len = String.length blob in
+  let sz = shard_size ~k len in
+  Array.init k (fun i ->
+      let off = i * sz in
+      if off >= len then String.make sz '\000'
+      else if off + sz <= len then String.sub blob off sz
+      else String.sub blob off (len - off) ^ String.make (off + sz - len) '\000')
+
+let xor_into dst src =
+  for b = 0 to Bytes.length dst - 1 do
+    Bytes.unsafe_set dst b
+      (Char.chr
+         (Char.code (Bytes.unsafe_get dst b)
+         lxor Char.code (String.unsafe_get src b)))
+  done
+
+let encode ~k ~n blob =
+  check ~k ~n;
+  let data = shards ~k blob in
+  let sz = shard_size ~k (String.length blob) in
+  if n = k then data
+  else if n = k + 1 then begin
+    (* XOR fast path: the single parity fragment is the plain XOR of the
+       data shards (an MDS code for one erasure). *)
+    let p = Bytes.make sz '\000' in
+    Array.iter (xor_into p) data;
+    Array.append data [| Bytes.unsafe_to_string p |]
+  end
+  else
+    let m = matrix ~k ~n in
+    Array.init n (fun i ->
+        if i < k then data.(i)
+        else begin
+          let row = m.(i) in
+          let out = Bytes.make sz '\000' in
+          for j = 0 to k - 1 do
+            let c = row.(j) in
+            if c <> 0 then begin
+              let s = data.(j) in
+              for b = 0 to sz - 1 do
+                Bytes.unsafe_set out b
+                  (Char.chr
+                     (Char.code (Bytes.unsafe_get out b)
+                     lxor Gf.mul c (Char.code (String.unsafe_get s b))))
+              done
+            end
+          done;
+          Bytes.unsafe_to_string out
+        end)
+
+let concat_truncate data len =
+  let buf = Buffer.create len in
+  Array.iter (Buffer.add_string buf) data;
+  let s = Buffer.contents buf in
+  if String.length s < len then None else Some (String.sub s 0 len)
+
+let decode ~k ~n ~len frags =
+  if k < 1 || n < k || n > 255 || len < 0 then None
+  else begin
+    let sz = shard_size ~k len in
+    (* keep the first body seen per valid index, preferring systematic
+       rows (sorted order puts them first, which keeps the identity rows
+       of the decode matrix and speeds elimination) *)
+    let tbl = Hashtbl.create (2 * k) in
+    List.iter
+      (fun (i, body) ->
+        if i >= 0 && i < n && String.length body = sz
+           && not (Hashtbl.mem tbl i) then
+          Hashtbl.add tbl i body)
+      frags;
+    let idx = Hashtbl.fold (fun i _ acc -> i :: acc) tbl [] in
+    let idx = List.sort compare idx in
+    if List.length idx < k then None
+    else begin
+      let idx = Array.of_list idx in
+      let have = Array.sub idx 0 k in
+      let body i = Hashtbl.find tbl i in
+      if Array.for_all (fun i -> i < k) have then
+        (* all-systematic: the shards are the data *)
+        concat_truncate (Array.map body have) len
+      else if n = k + 1 then begin
+        (* XOR fast path: exactly one data shard is missing; recover it
+           by XOR-ing the parity fragment with the present data shards. *)
+        let missing = ref (-1) in
+        for j = 0 to k - 1 do
+          if not (Hashtbl.mem tbl j) then missing := j
+        done;
+        let m = !missing in
+        if m < 0 || not (Hashtbl.mem tbl k) then None
+        else begin
+          let rec_ = Bytes.of_string (body k) in
+          for j = 0 to k - 1 do
+            if j <> m then xor_into rec_ (body j)
+          done;
+          let data =
+            Array.init k (fun j ->
+                if j = m then Bytes.unsafe_to_string rec_ else body j)
+          in
+          concat_truncate data len
+        end
+      end
+      else begin
+        let m = matrix ~k ~n in
+        let sub = Array.map (fun i -> m.(i)) have in
+        match invert sub with
+        | None -> None
+        | Some di ->
+            let data =
+              Array.init k (fun j ->
+                  let out = Bytes.make sz '\000' in
+                  for r = 0 to k - 1 do
+                    let c = di.(j).(r) in
+                    if c <> 0 then begin
+                      let s = body have.(r) in
+                      for b = 0 to sz - 1 do
+                        Bytes.unsafe_set out b
+                          (Char.chr
+                             (Char.code (Bytes.unsafe_get out b)
+                             lxor Gf.mul c (Char.code (String.unsafe_get s b))))
+                      done
+                    end
+                  done;
+                  Bytes.unsafe_to_string out)
+            in
+            concat_truncate data len
+      end
+    end
+  end

@@ -1,0 +1,32 @@
+(** Systematic Reed–Solomon-lite erasure codec over {!Gf}.
+
+    A blob is split into [k] equal data shards (zero-padded) and expanded
+    to [n] fragments: fragments [0..k-1] are the data shards verbatim
+    (systematic), fragments [k..n-1] are parity rows of a Vandermonde
+    matrix normalised so the top [k x k] block is the identity — any [k]
+    of the [n] fragments reconstruct the blob. When there is a single
+    parity fragment ([n - k = 1]) encode and decode take a pure-XOR fast
+    path with no field multiplies. *)
+
+val data_count : n:int -> t:int -> int
+(** Data-shard count for an [n]-replica group tolerating [t] faults:
+    [max 1 (n - max t 1)]. Using [max t 1] keeps at least one parity
+    fragment even at [t = 0], so a replica missing a batch can always
+    decode from its [n - 1] peers without its own (absent) fragment. *)
+
+val shard_size : k:int -> int -> int
+(** [shard_size ~k len] is the per-fragment byte size for a [len]-byte
+    blob split [k] ways: [ceil(len / k)] (0 when [len = 0]). *)
+
+val encode : k:int -> n:int -> string -> string array
+(** [encode ~k ~n blob] returns the [n] fragment bodies, each of length
+    [shard_size ~k (String.length blob)]. Raises [Invalid_argument] unless
+    [1 <= k <= n <= 255]. *)
+
+val decode :
+  k:int -> n:int -> len:int -> (int * string) list -> string option
+(** [decode ~k ~n ~len frags] reconstructs the original [len]-byte blob
+    from any [>= k] fragments given as [(index, body)] pairs. Returns
+    [None] when fewer than [k] distinct valid indices are present, when a
+    body has the wrong length, or when the parameters are inconsistent —
+    corruption beyond that is the caller's to detect via checksums. *)

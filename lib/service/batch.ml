@@ -27,6 +27,13 @@ let digest = function
     let d = !h land max_int in
     if d = empty_digest then 1 else d
 
+(* The blob form a batch is erasure-coded over: its canonical encoding —
+   the same bytes the digest runs over, so a reconstructed blob is verified
+   by recanonicalize + rehash exactly like a fetched payload. *)
+let to_blob batch = Dex_codec.Codec.encode codec batch
+
+let of_blob blob = Dex_codec.Codec.decode codec blob
+
 let pp ppf batch =
   Format.fprintf ppf "@[<v>batch (%d requests, digest %d):@,%a@]" (List.length batch)
     (digest batch)

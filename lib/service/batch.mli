@@ -30,6 +30,14 @@ val empty_digest : int
 
 val codec : t Dex_codec.Codec.t
 
+val to_blob : t -> string
+(** The batch's canonical encoding — the byte string the erasure lane codes
+    into fragments (and the same bytes {!digest} hashes). *)
+
+val of_blob : string -> (t, string) result
+(** Decode a (reconstructed) blob. Callers must still recanonicalize and
+    rehash before trusting it against a claimed digest. *)
+
 val compare_requests : Wire.request -> Wire.request -> int
 (** The canonical order: by [(client, rid)]. *)
 

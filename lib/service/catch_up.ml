@@ -9,10 +9,15 @@ type t = {
   mutable active : bool;
   mutable deadline : float;
   votes : (int * int, (Pid.t, unit) Hashtbl.t) Hashtbl.t;  (* (slot, digest) -> voters *)
-  content : (int * int, Dex_core.Dex.provenance * Batch.t) Hashtbl.t;
+  content : (int * int, Dex_core.Dex.provenance * Batch.t option) Hashtbl.t;
   frontiers : (Pid.t, int) Hashtbl.t;  (* peer -> newest reported frontier *)
   snap_votes : (int * int, (Pid.t, unit) Hashtbl.t) Hashtbl.t;  (* (slot, hash) -> voters *)
   snap_content : (int * int, string) Hashtbl.t;
+  (* Coded snapshot transfer: per (slot, payload hash), the voters seen and
+     the fragment bodies collected by index, plus the (k, len) geometry the
+     first fragment of the group fixed. *)
+  snap_frags :
+    (int * int, (Pid.t, unit) Hashtbl.t * (int, string) Hashtbl.t * (int * int)) Hashtbl.t;
 }
 
 let create ~n ~t ~cap ~grace =
@@ -28,6 +33,7 @@ let create ~n ~t ~cap ~grace =
     frontiers = Hashtbl.create 8;
     snap_votes = Hashtbl.create 4;
     snap_content = Hashtbl.create 4;
+    snap_frags = Hashtbl.create 4;
   }
 
 let active t = t.active
@@ -37,7 +43,8 @@ let clear t =
   Hashtbl.reset t.content;
   Hashtbl.reset t.frontiers;
   Hashtbl.reset t.snap_votes;
-  Hashtbl.reset t.snap_content
+  Hashtbl.reset t.snap_content;
+  Hashtbl.reset t.snap_frags
 
 let begin_ t ~now =
   if t.active then false
@@ -77,9 +84,15 @@ let record_slot_vote t ~from ~frontier ~slot ~digest ~provenance ~batch =
      bound; never trust a claimed digest — recanonicalize and rehash. *)
   if not (t.active && slot >= frontier && slot < frontier + (4 * t.cap)) then false
   else begin
+    (* An empty batch with a non-empty digest is a {e contentless} vote
+       (coded dissemination serves catch-up chunks digest-only; the content
+       arrives over the fragment lane, verified against this digest). *)
+    let contentless = digest <> Batch.empty_digest && batch = [] in
     let valid =
       if digest = Batch.empty_digest then batch = []
       else
+        contentless
+        ||
         let canonical = Batch.canonical batch in
         Batch.digest canonical = digest
     in
@@ -95,8 +108,14 @@ let record_slot_vote t ~from ~frontier ~slot ~digest ~provenance ~batch =
           v
       in
       Hashtbl.replace voters from ();
-      if digest <> Batch.empty_digest && not (Hashtbl.mem t.content key) then
-        Hashtbl.replace t.content key (provenance, Batch.canonical batch);
+      if digest <> Batch.empty_digest then begin
+        match Hashtbl.find_opt t.content key with
+        | Some (_, Some _) -> ()  (* already have real content *)
+        | Some (_, None) when contentless -> ()
+        | _ ->
+          let body = if contentless then None else Some (Batch.canonical batch) in
+          Hashtbl.replace t.content key (provenance, body)
+      end;
       true
     end
   end
@@ -112,7 +131,7 @@ let installable t ~frontier =
     in
     Option.map
       (fun digest ->
-        if digest = Batch.empty_digest then (digest, Dex_core.Dex.Underlying, [])
+        if digest = Batch.empty_digest then (digest, Dex_core.Dex.Underlying, Some [])
         else
           let provenance, batch = Hashtbl.find t.content (frontier, digest) in
           (digest, provenance, batch))
@@ -145,3 +164,30 @@ let record_snap_vote t ~from ~frontier ~slot ~payload ~validate =
     else None
   end
   else None
+
+let record_snap_frag t ~from ~frontier ~slot ~hash ~index ~body ~data ~len =
+  if not (t.active && slot > frontier && data >= 1 && len >= 0) then None
+  else begin
+    let key = (slot, hash) in
+    let voters, bodies, (k, blen) =
+      match Hashtbl.find_opt t.snap_frags key with
+      | Some g -> g
+      | None ->
+        let g = (Hashtbl.create 4, Hashtbl.create 8, (data, len)) in
+        Hashtbl.replace t.snap_frags key g;
+        g
+    in
+    (* The first fragment of the group fixes the geometry; a mismatching
+       later fragment is chaff (or a different snapshot round) — drop it. *)
+    if data <> k || len <> blen then None
+    else begin
+      Hashtbl.replace voters from ();
+      if not (Hashtbl.mem bodies index) then Hashtbl.replace bodies index body;
+      if Hashtbl.length voters >= t.byz + 1 && Hashtbl.length bodies >= k then
+        let frags = Hashtbl.fold (fun i b acc -> (i, b) :: acc) bodies [] in
+        Some (slot, hash, frags, len)
+      else None
+    end
+  end
+
+let drop_snap_group t ~slot ~hash = Hashtbl.remove t.snap_frags (slot, hash)

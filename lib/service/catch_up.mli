@@ -60,14 +60,21 @@ val record_slot_vote :
 (** Accept a Slot_commit vote if active, the slot is inside the window
     [\[frontier, frontier + 4*cap)] (so Byzantine chaff cannot grow the
     tables without bound), and the batch actually hashes to the claimed
-    digest (the empty digest requires the empty batch). Returns whether the
-    vote was accepted — the caller then polls {!installable}. *)
+    digest (the empty digest requires the empty batch). An {e empty} batch
+    with a non-empty digest is a contentless vote — it counts toward the
+    threshold but carries no content (coded dissemination serves catch-up
+    digest-only; the fragment lane delivers the content, verified against
+    the digest). Returns whether the vote was accepted — the caller then
+    polls {!installable}. *)
 
-val installable : t -> frontier:int -> (int * Dex_core.Dex.provenance * Batch.t) option
-(** The (digest, provenance, batch) installable {e at the frontier slot} —
+val installable :
+  t -> frontier:int -> (int * Dex_core.Dex.provenance * Batch.t option) option
+(** The (digest, provenance, content) installable {e at the frontier slot} —
     i.e. one with [t+1] votes — if any. The empty digest yields
-    [(empty, Underlying, \[\])]. Each install advances the frontier and may
-    unlock the next; call {!drop_below} after installing. *)
+    [(empty, Underlying, Some \[\])]; [None] content means every vote was
+    contentless and the caller must pull the batch over the fetch lane.
+    Each install advances the frontier and may unlock the next; call
+    {!drop_below} after installing. *)
 
 val drop_below : t -> frontier:int -> unit
 (** Votes for slots now behind the frontier are spent; drop them. *)
@@ -85,3 +92,27 @@ val record_snap_vote :
     frontier, and [validate] accepts the payload (the replica checks it
     decodes). Returns [Some (slot, payload)] exactly when this vote reaches
     the [t+1] threshold — install it. *)
+
+val record_snap_frag :
+  t ->
+  from:Pid.t ->
+  frontier:int ->
+  slot:int ->
+  hash:int ->
+  index:int ->
+  body:string ->
+  data:int ->
+  len:int ->
+  (int * int * (int * string) list * int) option
+(** Accept one erasure-coded snapshot fragment (coded dissemination).
+    Groups are keyed by (slot, payload hash): only fragments claiming the
+    same reconstruction target pool together, and the first fragment fixes
+    the (k = [data], [len]) geometry — mismatching chaff is dropped.
+    Returns [Some (slot, hash, (index, body) list, len)] once the group has
+    both [t+1] distinct voters (at least one correct replica vouches for
+    the hash) and [>= k] distinct indices (reconstruction is possible). The
+    caller decodes, verifies the payload hashes to [hash], and installs —
+    calling {!drop_snap_group} if verification fails (some fragment lied). *)
+
+val drop_snap_group : t -> slot:int -> hash:int -> unit
+(** Discard a fragment group whose reconstruction failed verification. *)

@@ -5,6 +5,8 @@ open Dex_runtime
 open Dex_smr
 
 module Registry = Dex_metrics.Registry
+module Rs = Dex_erasure.Rs
+module Fragment = Dex_erasure.Fragment
 
 module Make (Uc : Uc_intf.S) = struct
   module Log = Replicated_log.Make (Uc)
@@ -26,6 +28,16 @@ module Make (Uc : Uc_intf.S) = struct
     | Catch_up_done of int  (* the responder's apply frontier *)
     | Snapshot_fetch of int  (* the requester's apply frontier *)
     | Snapshot_payload of int * string  (* slot, encoded snapshot payload *)
+    | Frag_request of int * int * int
+        (* digest, wanted-index bitmask, stuck slot; from ourselves with
+           mask 0 it is the coded-fetch fallback timer *)
+    | Frag_payload of Dex_erasure.Fragment.t
+    | Snapshot_frag of { slot : int; frag : Dex_erasure.Fragment.t }
+        (* one erasure-coded fragment of the snapshot payload at [slot];
+           [frag.digest] is the FNV-64 of the whole payload *)
+    | Snapshot_fetch_full of int
+        (* requester's apply frontier; always answered with a full
+           [Snapshot_payload] — the coded lane's alignment fallback *)
 
   let smsg_codec =
     let open Dex_codec.Codec in
@@ -57,7 +69,20 @@ module Make (Uc : Uc_intf.S) = struct
           ( 8,
             fun buf ->
               int.write buf slot;
-              string.write buf payload ))
+              string.write buf payload )
+        | Frag_request (d, mask, slot) ->
+          ( 9,
+            fun buf ->
+              int.write buf d;
+              int.write buf mask;
+              int.write buf slot )
+        | Frag_payload frag -> (10, fun buf -> Dex_erasure.Fragment.codec.write buf frag)
+        | Snapshot_frag { slot; frag } ->
+          ( 11,
+            fun buf ->
+              int.write buf slot;
+              Dex_erasure.Fragment.codec.write buf frag )
+        | Snapshot_fetch_full from_slot -> (12, fun buf -> int.write buf from_slot))
       (fun tag r ->
         match tag with
         | 0 -> Log_msg (Log.codec.read r)
@@ -79,6 +104,15 @@ module Make (Uc : Uc_intf.S) = struct
         | 8 ->
           let slot = int.read r in
           Snapshot_payload (slot, string.read r)
+        | 9 ->
+          let d = int.read r in
+          let mask = int.read r in
+          Frag_request (d, mask, int.read r)
+        | 10 -> Frag_payload (Dex_erasure.Fragment.codec.read r)
+        | 11 ->
+          let slot = int.read r in
+          Snapshot_frag { slot; frag = Dex_erasure.Fragment.codec.read r }
+        | 12 -> Snapshot_fetch_full (int.read r)
         | other -> bad_tag ~name:"Server.smsg" other)
 
   let pp_smsg ppf = function
@@ -92,6 +126,13 @@ module Make (Uc : Uc_intf.S) = struct
     | Snapshot_fetch from_slot -> Format.fprintf ppf "snapshot-fetch from %d" from_slot
     | Snapshot_payload (slot, payload) ->
       Format.fprintf ppf "snapshot @%d (%d bytes)" slot (String.length payload)
+    | Frag_request (d, mask, slot) ->
+      Format.fprintf ppf "frag-request %d mask=%#x@%d" d mask slot
+    | Frag_payload frag -> Format.fprintf ppf "frag-payload %a" Dex_erasure.Fragment.pp frag
+    | Snapshot_frag { slot; frag } ->
+      Format.fprintf ppf "snapshot-frag @%d %a" slot Dex_erasure.Fragment.pp frag
+    | Snapshot_fetch_full from_slot ->
+      Format.fprintf ppf "snapshot-fetch-full from %d" from_slot
 
   type config = {
     n : int;
@@ -117,6 +158,7 @@ module Make (Uc : Uc_intf.S) = struct
     catchup_cap : int;
     catchup_retry : float;
     catchup_grace : float;
+    dissemination : Dex_erasure.Dissemination.mode;
   }
 
   let config ?(seed = 0) ?(io_mode = Transport.Reactor) ?(window = 8) ?(slots = 1 lsl 20) ?(batch_cap = 256)
@@ -124,7 +166,7 @@ module Make (Uc : Uc_intf.S) = struct
       ?(retain = 256) ?(commit_log_cap = 1 lsl 16) ?data_dir
       ?(wal_segment_bytes = 4 * 1024 * 1024) ?(group_commit = true) ?(sync_delay = 0.001)
       ?(sync_cap = 64) ?(snapshot_every = 4096) ?(catchup_cap = 256) ?(catchup_retry = 0.05)
-      ?(catchup_grace = 5.0) ~pair ~n ~t () =
+      ?(catchup_grace = 5.0) ?(dissemination = Dex_erasure.Dissemination.Full) ~pair ~n ~t () =
     if batch_cap < 1 then invalid_arg "Server.config: batch_cap must be >= 1";
     if batch_delay <= 0.0 then invalid_arg "Server.config: batch_delay must be > 0";
     if settle < 0.0 then invalid_arg "Server.config: settle must be >= 0";
@@ -141,7 +183,7 @@ module Make (Uc : Uc_intf.S) = struct
     if catchup_grace <= 0.0 then invalid_arg "Server.config: catchup_grace must be > 0";
     { n; t; seed; pair; io_mode; window; slots; batch_cap; batch_delay; settle; queue_cap; fetch_retry;
       retain; commit_log_cap; data_dir; wal_segment_bytes; group_commit; sync_delay; sync_cap;
-      snapshot_every; catchup_cap; catchup_retry; catchup_grace }
+      snapshot_every; catchup_cap; catchup_retry; catchup_grace; dissemination }
 
   let log_config cfg =
     Log.config ~seed:cfg.seed ~window:cfg.window ~pair:cfg.pair ~slots:cfg.slots ~n:cfg.n
@@ -194,6 +236,39 @@ module Make (Uc : Uc_intf.S) = struct
      coalesced [write] instead of a reactor loop turn). *)
   type sink = Chan of out_channel | Evc of Reactor.Conn.t
 
+  (* State and counters of the dissemination lane. In coded mode the fetch
+     path pulls distinct fragments from distinct peers and reconstructs;
+     these tables hold the partial reconstructions ([frags]: digest ->
+     index -> body, [frag_len]: the claimed blob length), a responder-side
+     cache of encoded fragment bodies ([enc_cache]: digest -> blob length *
+     bodies), and the set of digests already failed over to the full lane
+     ([fb], so the fallback timer and a decode failure don't double-fire).
+     All driven under the replica lock. *)
+  type dissem_lane = {
+    k : int;  (* data-shard count: Rs.data_count over the deployment geometry *)
+    frags : (int, (int, string) Hashtbl.t) Hashtbl.t;
+    frag_len : (int, int) Hashtbl.t;
+    enc_cache : (int, int * string array) Hashtbl.t;
+    fb : (int, unit) Hashtbl.t;
+    rounds : (int, int) Hashtbl.t;
+        (* coded-fetch rounds already spent per digest: the fallback timer
+           re-requests the (recomputed) missing mask a few times before
+           failing over — the full lane retries forever, so the coded lane
+           deserves more than one 50 ms round under load *)
+    mutable snap_rounds : int;  (* coded snapshot-fetch rounds without an install *)
+    c_fetch_rtts : Registry.counter;
+    c_fetch_bytes : Registry.counter;
+    c_frag_sent : Registry.counter;
+    c_frag_recv : Registry.counter;
+    c_frag_bytes_out : Registry.counter;
+    c_frag_bytes_in : Registry.counter;
+    c_pushes : Registry.counter;
+    c_decodes : Registry.counter;
+    c_decode_failures : Registry.counter;
+    c_decode_fallbacks : Registry.counter;
+    c_bytes_saved : Registry.counter;
+  }
+
   type t = {
     cfg : config;
     me : Pid.t;
@@ -206,6 +281,7 @@ module Make (Uc : Uc_intf.S) = struct
     admission : Admission.t;
     lane : Durability_lane.t;
     cu : Catch_up.t;
+    dl : dissem_lane;
     (* Batch content by digest: own proposals, peer payloads, fetch results. *)
     store : (int, Batch.t) Hashtbl.t;
     last_use : (int, int) Hashtbl.t;  (* digest -> newest slot that referenced it *)
@@ -296,6 +372,51 @@ module Make (Uc : Uc_intf.S) = struct
 
   let peers t = List.filter (fun p -> not (Pid.equal p t.me)) (Pid.all ~n:t.cfg.n)
 
+  let coded t =
+    Dex_erasure.Dissemination.equal t.cfg.dissemination Dex_erasure.Dissemination.Coded
+
+  (* Encode (and cache) the fragment bodies of a batch we hold. The cache
+     is keyed by digest and GC'd with the content store, so a responder
+     encodes each batch once no matter how many peers pull fragments. *)
+  let fragments_locked t digest batch =
+    match Hashtbl.find_opt t.dl.enc_cache digest with
+    | Some entry -> entry
+    | None ->
+      let blob = Batch.to_blob batch in
+      let entry = (String.length blob, Rs.encode ~k:t.dl.k ~n:t.cfg.n blob) in
+      Hashtbl.replace t.dl.enc_cache digest entry;
+      entry
+
+  let frag_of_locked t digest ~index (len, bodies) =
+    Dex_erasure.Fragment.make ~digest ~index ~total:t.cfg.n ~data:t.dl.k ~len bodies.(index)
+
+  let send_frag_locked t ~to_ frag =
+    Registry.incr t.dl.c_frag_sent;
+    Registry.add t.dl.c_frag_bytes_out (String.length frag.Dex_erasure.Fragment.body);
+    push_action t (Protocol.Send (to_, Frag_payload frag))
+
+  (* Coded proposer push: instead of every replica re-deriving the batch
+     from its own admission queue (the common case under submit-to-all) or
+     fetching the whole blob, the batch's {e home} replica (digest mod n)
+     sends each peer its own systematic fragment — one blob's worth of
+     egress spread over the mesh, not n-1 copies. Purely an optimization:
+     replicas that already hold the content ignore the fragment, and ones
+     that miss it still have the request lane. *)
+  let push_fragments_locked t digest batch =
+    if digest mod t.cfg.n = t.me then begin
+      let entry = fragments_locked t digest batch in
+      Registry.incr t.dl.c_pushes;
+      List.iter
+        (fun peer -> send_frag_locked t ~to_:peer (frag_of_locked t digest ~index:peer entry))
+        (peers t)
+    end
+
+  let clear_frag_state_locked t digest =
+    Hashtbl.remove t.dl.frags digest;
+    Hashtbl.remove t.dl.frag_len digest;
+    Hashtbl.remove t.dl.fb digest;
+    Hashtbl.remove t.dl.rounds digest
+
   (* ----------------------- consensus-side callbacks ----------------------- *)
 
   (* The proposal for a slot: the digest of the canonical batch of everything
@@ -313,7 +434,8 @@ module Make (Uc : Uc_intf.S) = struct
     let d = Batch.digest batch in
     if d <> Batch.empty_digest then begin
       Hashtbl.replace t.store d batch;
-      Hashtbl.replace t.last_use d slot
+      Hashtbl.replace t.last_use d slot;
+      if coded t then push_fragments_locked t d batch
     end;
     Mutex.unlock t.lock;
     d
@@ -439,15 +561,49 @@ module Make (Uc : Uc_intf.S) = struct
     Durability_lane.maybe_capture t.lane ~apply_next:t.apply_next ~every:t.cfg.snapshot_every
       ~encode:(fun () -> encode_snapshot_locked t)
 
+  (* The classic full-blob fetch round: broadcast, every holder answers
+     with the whole batch, self-timer retries. Also the coded lane's
+     fallback (timeout or decode failure). *)
+  let full_fetch_locked t digest =
+    List.iter
+      (fun peer -> push_action t (Protocol.Send (peer, Fetch (digest, t.apply_next))))
+      (peers t);
+    push_action t
+      (Protocol.Set_timer { delay = t.cfg.fetch_retry; msg = Fetch (digest, t.apply_next) })
+
+  (* Coded fetch round: ask every peer for the fragment indices we still
+     miss — each holder answers with only its own systematic fragment, so
+     a resolution ingresses ~one blob spread over n-1 links instead of
+     n-1 full copies. The self [Frag_request] with mask 0 is the fallback
+     timer: if the decode has not landed by then, fail over to the full
+     lane (which has its own retry). *)
+  let coded_fetch_locked t digest =
+    let held =
+      match Hashtbl.find_opt t.dl.frags digest with
+      | Some m -> m
+      | None -> Hashtbl.create 0
+    in
+    let mask = ref 0 in
+    for i = 0 to t.cfg.n - 1 do
+      if not (Hashtbl.mem held i) then mask := !mask lor (1 lsl i)
+    done;
+    (* Retry rounds set the desperate bit (bit n): fewer than k peers hold
+       this batch, so home fragments alone cannot complete the decode — ask
+       holders to encode every missing index. The mask lists only what is
+       missing, so the duplicate cost is bounded by holders x missing. *)
+    if Option.value ~default:0 (Hashtbl.find_opt t.dl.rounds digest) > 0 then
+      mask := !mask lor (1 lsl t.cfg.n);
+    List.iter
+      (fun peer -> push_action t (Protocol.Send (peer, Frag_request (digest, !mask, t.apply_next))))
+      (peers t);
+    push_action t
+      (Protocol.Set_timer { delay = t.cfg.fetch_retry; msg = Frag_request (digest, 0, t.apply_next) })
+
   let request_fetch_locked t digest =
     if not (Hashtbl.mem t.unresolved digest) then begin
       Hashtbl.replace t.unresolved digest ();
       Registry.incr t.c_fetches;
-      List.iter
-        (fun peer -> push_action t (Protocol.Send (peer, Fetch (digest, t.apply_next))))
-        (peers t);
-      push_action t
-        (Protocol.Set_timer { delay = t.cfg.fetch_retry; msg = Fetch (digest, t.apply_next) })
+      if coded t then coded_fetch_locked t digest else full_fetch_locked t digest
     end
 
   (* Drain the committed prefix in slot order; stop (and fetch) at the first
@@ -502,6 +658,12 @@ module Make (Uc : Uc_intf.S) = struct
           t.cut_margin <- Float.min 0.002 ((t.cut_margin *. 1.5) +. 0.00005)
       end;
       Hashtbl.replace t.commit_buf slot (digest, provenance);
+      (* Prefetch: start resolving this slot's content now even when the
+         apply frontier is stuck further back — otherwise a backlog of
+         missing digests resolves strictly one round-trip at a time (and in
+         coded mode each pays the full fragment-round patience serially). *)
+      if digest <> Batch.empty_digest && not (Hashtbl.mem t.store digest) then
+        request_fetch_locked t digest;
       apply_ready_locked t;
       flush_dirty_locked t;
       (* Requests admitted while this slot was in flight were held back by
@@ -531,6 +693,7 @@ module Make (Uc : Uc_intf.S) = struct
   let finish_catchup_locked t =
     if Catch_up.active t.cu then begin
       Catch_up.finish t.cu;
+      t.dl.snap_rounds <- 0;
       (* Fast-forward the log's commit frontier past everything installed out
          of band; slots that decided passively meanwhile flush on arrival. *)
       push_action t (Protocol.Send (t.me, Log_msg (Log.skip t.apply_next)));
@@ -550,24 +713,32 @@ module Make (Uc : Uc_intf.S) = struct
       finish_catchup_locked t
 
   (* Install every slot at the frontier that has [t+1] matching votes; each
-     install advances the frontier and may unlock the next. *)
+     install advances the frontier and may unlock the next. A contentless
+     install (coded catch-up: digest-only votes) parks the commit in
+     [commit_buf] and lets the apply loop pull the content over the
+     fragment lane — the [commit_buf] guard keeps us from re-installing
+     the same slot while that fetch is in flight. *)
   let rec try_install_locked t =
-    match Catch_up.installable t.cu ~frontier:t.apply_next with
-    | None -> ()
-    | Some (digest, provenance, batch) ->
-      let slot = t.apply_next in
-      Registry.incr t.c_catchup_installed;
-      t.last_progress <- Unix.gettimeofday ();
-      commit_log_push_locked t ~slot ~digest ~provenance;
-      if digest <> Batch.empty_digest then begin
-        Hashtbl.replace t.store digest batch;
-        Hashtbl.replace t.last_use digest slot
-      end;
-      Hashtbl.replace t.commit_buf slot (digest, provenance);
-      apply_ready_locked t;
-      Catch_up.drop_below t.cu ~frontier:t.apply_next;
-      check_catchup_done_locked t;
-      try_install_locked t
+    if Hashtbl.mem t.commit_buf t.apply_next then ()
+    else
+      match Catch_up.installable t.cu ~frontier:t.apply_next with
+      | None -> ()
+      | Some (digest, provenance, content) ->
+        let slot = t.apply_next in
+        Registry.incr t.c_catchup_installed;
+        t.last_progress <- Unix.gettimeofday ();
+        commit_log_push_locked t ~slot ~digest ~provenance;
+        if digest <> Batch.empty_digest then begin
+          (match content with
+          | Some batch -> Hashtbl.replace t.store digest batch
+          | None -> ());
+          Hashtbl.replace t.last_use digest slot
+        end;
+        Hashtbl.replace t.commit_buf slot (digest, provenance);
+        apply_ready_locked t;
+        Catch_up.drop_below t.cu ~frontier:t.apply_next;
+        check_catchup_done_locked t;
+        try_install_locked t
 
   let record_slot_vote_locked t ~from ~slot ~digest ~provenance ~batch =
     if
@@ -595,6 +766,7 @@ module Make (Uc : Uc_intf.S) = struct
       t.apply_next <- slot;
       t.next_slot <- max t.next_slot slot;
       t.commit_log_floor <- max t.commit_log_floor slot;
+      t.dl.snap_rounds <- 0;
       Registry.incr t.c_state_transfers;
       t.last_progress <- Unix.gettimeofday ();
       (* Snapshot covers every session outcome; queued replies for the old
@@ -608,6 +780,196 @@ module Make (Uc : Uc_intf.S) = struct
     match Catch_up.record_snap_vote t.cu ~from ~frontier:t.apply_next ~slot ~payload ~validate with
     | Some (slot, payload) -> install_snapshot_locked t ~slot payload
     | None -> ()
+
+  (* One coded snapshot fragment arrived: pool it under (slot, payload
+     hash); once [t+1] peers vouch for the hash and [k] indices are in,
+     reconstruct and verify against the hash before installing. A failed
+     verification (some fragment lied) drops the group — the hash had
+     [t+1] voters, so honest refills can still assemble it. *)
+  let record_snap_frag_locked t ~from ~slot frag =
+    if Fragment.valid frag && frag.Fragment.total = t.cfg.n && frag.Fragment.data = t.dl.k
+    then begin
+      Registry.incr t.dl.c_frag_recv;
+      Registry.add t.dl.c_frag_bytes_in (String.length frag.Fragment.body);
+      match
+        Catch_up.record_snap_frag t.cu ~from ~frontier:t.apply_next ~slot
+          ~hash:frag.Fragment.digest ~index:frag.Fragment.index ~body:frag.Fragment.body
+          ~data:frag.Fragment.data ~len:frag.Fragment.len
+      with
+      | None -> ()
+      | Some (slot, hash, bodies, len) -> (
+        match Rs.decode ~k:t.dl.k ~n:t.cfg.n ~len bodies with
+        | Some payload
+          when Fragment.fnv64 payload = hash
+               && Result.is_ok (Dex_codec.Codec.decode snap_payload_codec payload) ->
+          Registry.incr t.dl.c_decodes;
+          install_snapshot_locked t ~slot payload
+        | _ ->
+          Registry.incr t.dl.c_decode_failures;
+          Catch_up.drop_snap_group t.cu ~slot ~hash)
+    end
+
+  (* Serve a full snapshot payload: the preferred on-disk snapshot when it
+     is ahead of the requester (stable and byte-identical across correct
+     replicas), else a live capture. *)
+  let serve_snapshot_full t ~from ~from_slot =
+    match Durability_lane.load_disk_snapshot t.lane with
+    | Some (slot, payload) when slot > from_slot ->
+      [ Protocol.Send (from, Snapshot_payload (slot, payload)) ]
+    | _ ->
+      Mutex.lock t.lock;
+      let slot = t.apply_next in
+      let payload = encode_snapshot_locked t in
+      Mutex.unlock t.lock;
+      if slot > from_slot then [ Protocol.Send (from, Snapshot_payload (slot, payload)) ]
+      else []
+
+  (* Coded variant: same snapshot choice, but ship only our own systematic
+     fragment of it — the requester assembles k fragments from k peers.
+     Works when peers answer for the same (slot, payload); the requester
+     falls back to {!serve_snapshot_full} via [Snapshot_fetch_full] after
+     a couple of fruitless rounds (e.g. misaligned live frontiers). *)
+  let serve_snapshot_coded t ~from ~from_slot =
+    let chosen =
+      match Durability_lane.load_disk_snapshot t.lane with
+      | Some (slot, payload) when slot > from_slot -> Some (slot, payload)
+      | _ ->
+        Mutex.lock t.lock;
+        let slot = t.apply_next in
+        let payload = encode_snapshot_locked t in
+        Mutex.unlock t.lock;
+        if slot > from_slot then Some (slot, payload) else None
+    in
+    match chosen with
+    | None -> []
+    | Some (slot, payload) ->
+      let hash = Fragment.fnv64 payload in
+      let len = String.length payload in
+      let bodies = Rs.encode ~k:t.dl.k ~n:t.cfg.n payload in
+      let frag =
+        Fragment.make ~digest:hash ~index:t.me ~total:t.cfg.n ~data:t.dl.k ~len bodies.(t.me)
+      in
+      Mutex.lock t.lock;
+      Registry.incr t.dl.c_frag_sent;
+      Registry.add t.dl.c_frag_bytes_out (String.length frag.Fragment.body);
+      Mutex.unlock t.lock;
+      [ Protocol.Send (from, Snapshot_frag { slot; frag }) ]
+
+  (* ------------------------- content resolution ------------------------- *)
+
+  (* Verified batch content for [digest] is in hand (peer payload or a
+     fragment decode): store it, pin it for as long as a committed slot
+     references it, clear the fetch state, and drain whatever it unblocks. *)
+  let accept_content_locked t digest batch =
+    if not (Hashtbl.mem t.store digest) then Hashtbl.replace t.store digest batch;
+    (* Pin the content for as long as a committed-but-unapplied slot still
+       references it: the newest such slot in [commit_buf] (falling back to
+       the apply frontier), never downgrading a newer reference already
+       recorded. *)
+    let newest_ref =
+      Hashtbl.fold
+        (fun slot (d, _) acc -> if d = digest then max acc slot else acc)
+        t.commit_buf t.apply_next
+    in
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.last_use digest) in
+    Hashtbl.replace t.last_use digest (max prev newest_ref);
+    Hashtbl.remove t.unresolved digest;
+    clear_frag_state_locked t digest;
+    apply_ready_locked t;
+    (* A contentless catch-up install may have been waiting on exactly this
+       digest; with the frontier advanced, further voted slots can land. *)
+    if Catch_up.active t.cu then try_install_locked t
+
+  (* Fail an unresolved coded fetch over to the full lane — once: the
+     fallback timer and a decode failure can both get here. *)
+  let fallback_to_full_locked t digest =
+    if Hashtbl.mem t.unresolved digest && not (Hashtbl.mem t.dl.fb digest) then begin
+      Hashtbl.replace t.dl.fb digest ();
+      Registry.incr t.dl.c_decode_fallbacks;
+      full_fetch_locked t digest
+    end
+
+  (* Enough fragments pooled: reconstruct, decode, recanonicalize, rehash.
+     Only a digest match lets the content in — a Byzantine fragment with a
+     self-consistent checksum can corrupt the reconstruction but cannot
+     forge the batch digest. *)
+  let try_decode_locked t digest =
+    match (Hashtbl.find_opt t.dl.frags digest, Hashtbl.find_opt t.dl.frag_len digest) with
+    | Some pool, Some len when Hashtbl.length pool >= t.dl.k ->
+      let picks = Hashtbl.fold (fun i b acc -> (i, b) :: acc) pool [] in
+      let ingress = List.fold_left (fun acc (_, b) -> acc + String.length b) 0 picks in
+      let reconstructed =
+        match Rs.decode ~k:t.dl.k ~n:t.cfg.n ~len picks with
+        | None -> None
+        | Some blob -> (
+          match Batch.of_blob blob with
+          | Error _ -> None
+          | Ok body ->
+            let batch = Batch.canonical body in
+            if Batch.digest batch = digest then Some batch else None)
+      in
+      (match reconstructed with
+      | Some batch ->
+        Registry.incr t.dl.c_decodes;
+        (* Versus the full lane, where every holder answers the broadcast
+           with the whole blob: (n-1) full copies vs what we ingressed. *)
+        Registry.add t.dl.c_bytes_saved (max 0 (((t.cfg.n - 1) * len) - ingress));
+        accept_content_locked t digest batch
+      | None ->
+        (* Some fragment lied (or pools mixed): drop the pool and fail
+           over to the full lane, whose rehash gate is per-payload. *)
+        Registry.incr t.dl.c_decode_failures;
+        Hashtbl.remove t.dl.frags digest;
+        Hashtbl.remove t.dl.frag_len digest;
+        fallback_to_full_locked t digest)
+    | _ -> ()
+
+  (* One batch fragment arrived. Solicited fragments (the digest is being
+     fetched) are accepted from anyone; unsolicited ones (the proposer
+     push) only from their home replica (index = sender), and only while
+     the pool table has room — a Byzantine sender cannot grow the tables. *)
+  let handle_frag_locked t ~from frag =
+    let digest = frag.Fragment.digest in
+    if
+      Fragment.valid frag && frag.Fragment.total = t.cfg.n && frag.Fragment.data = t.dl.k
+      && digest <> Batch.empty_digest
+      && not (Hashtbl.mem t.store digest)
+    then begin
+      let wanted = Hashtbl.mem t.unresolved digest in
+      (* Unsolicited acceptance, two bounded shapes: a peer relaying its
+         home fragment ([index = from]) and the proposer push assigning us
+         ours ([index = me]) — one fragment per digest either way. *)
+      let solicited_ok =
+        wanted || frag.Fragment.index = from || frag.Fragment.index = t.me
+      in
+      let room = Hashtbl.mem t.dl.frags digest || Hashtbl.length t.dl.frags < 4096 in
+      if solicited_ok && room then begin
+        Registry.incr t.dl.c_frag_recv;
+        Registry.add t.dl.c_frag_bytes_in (String.length frag.Fragment.body);
+        let pool =
+          match Hashtbl.find_opt t.dl.frags digest with
+          | Some m -> m
+          | None ->
+            let m = Hashtbl.create 8 in
+            Hashtbl.replace t.dl.frags digest m;
+            (* Pin fresh pools at the current frontier so the store GC
+               keeps them for [retain] slots, like any other content. *)
+            if not (Hashtbl.mem t.last_use digest) then
+              Hashtbl.replace t.last_use digest t.apply_next;
+            m
+        in
+        let len_ok =
+          match Hashtbl.find_opt t.dl.frag_len digest with
+          | Some l -> l = frag.Fragment.len
+          | None ->
+            Hashtbl.replace t.dl.frag_len digest frag.Fragment.len;
+            true
+        in
+        if len_ok && not (Hashtbl.mem pool frag.Fragment.index) then
+          Hashtbl.replace pool frag.Fragment.index frag.Fragment.body;
+        if wanted then try_decode_locked t digest
+      end
+    end
 
   (* Serve a catch-up request: a chunk of [Slot_commit]s from the commit log
      (content from the store), or [Truncated] if that history is retired. *)
@@ -634,7 +996,13 @@ module Make (Uc : Uc_intf.S) = struct
             entries := (slot, digest, provenance, []) :: !entries
           else begin
             match Hashtbl.find_opt t.store digest with
-            | Some batch -> entries := (slot, digest, provenance, batch) :: !entries
+            | Some batch ->
+              (* Coded mode serves the vote digest-only (an empty batch
+                 with a non-empty digest): the requester pulls the content
+                 over the fragment lane, which this responder can answer
+                 since it holds the batch. *)
+              let body = if coded t then [] else batch in
+              entries := (slot, digest, provenance, body) :: !entries
             | None -> complete := false
           end
       done;
@@ -720,6 +1088,27 @@ module Make (Uc : Uc_intf.S) = struct
         admission = Admission.create ~cap:cfg.queue_cap;
         lane;
         cu = Catch_up.create ~n:cfg.n ~t:cfg.t ~cap:cfg.catchup_cap ~grace:cfg.catchup_grace;
+        dl =
+          {
+            k = Rs.data_count ~n:cfg.n ~t:cfg.t;
+            frags = Hashtbl.create 16;
+            frag_len = Hashtbl.create 16;
+            enc_cache = Hashtbl.create 16;
+            fb = Hashtbl.create 8;
+            rounds = Hashtbl.create 8;
+            snap_rounds = 0;
+            c_fetch_rtts = Registry.counter metrics "service/fetch_rtts";
+            c_fetch_bytes = Registry.counter metrics "service/fetch_bytes";
+            c_frag_sent = Registry.counter metrics "erasure/frag_sent";
+            c_frag_recv = Registry.counter metrics "erasure/frag_recv";
+            c_frag_bytes_out = Registry.counter metrics "erasure/frag_bytes_out";
+            c_frag_bytes_in = Registry.counter metrics "erasure/frag_bytes_in";
+            c_pushes = Registry.counter metrics "erasure/pushes";
+            c_decodes = Registry.counter metrics "erasure/decodes";
+            c_decode_failures = Registry.counter metrics "erasure/decode_failures";
+            c_decode_fallbacks = Registry.counter metrics "erasure/decode_fallbacks";
+            c_bytes_saved = Registry.counter metrics "erasure/bytes_saved";
+          };
         store = Hashtbl.create 256;
         last_use = Hashtbl.create 256;
         sessions = Hashtbl.create 64;
@@ -829,20 +1218,11 @@ module Make (Uc : Uc_intf.S) = struct
         let batch = Batch.canonical body in
         if digest <> Batch.empty_digest && Batch.digest batch = digest then begin
           Mutex.lock t.lock;
-          if not (Hashtbl.mem t.store digest) then Hashtbl.replace t.store digest batch;
-          (* Pin the content for as long as a committed-but-unapplied slot
-             still references it: the newest such slot in [commit_buf]
-             (falling back to the apply frontier), never downgrading a newer
-             reference already recorded. *)
-          let newest_ref =
-            Hashtbl.fold
-              (fun slot (d, _) acc -> if d = digest then max acc slot else acc)
-              t.commit_buf t.apply_next
-          in
-          let prev = Option.value ~default:0 (Hashtbl.find_opt t.last_use digest) in
-          Hashtbl.replace t.last_use digest (max prev newest_ref);
-          Hashtbl.remove t.unresolved digest;
-          apply_ready_locked t;
+          (* Full-lane ingress accounting: every holder answers the fetch
+             broadcast, so redundant copies are real fetched bytes too. *)
+          Registry.add t.dl.c_fetch_bytes (String.length (Batch.to_blob batch));
+          if Hashtbl.mem t.unresolved digest then Registry.incr t.dl.c_fetch_rtts;
+          accept_content_locked t digest batch;
           flush_dirty_locked t;
           Mutex.unlock t.lock;
           drain t
@@ -909,34 +1289,107 @@ module Make (Uc : Uc_intf.S) = struct
           && (Catch_up.active t.cu || Hashtbl.length t.unresolved > 0)
         then begin
           begin_catchup_locked t;
-          List.iter
-            (fun peer -> push_action t (Protocol.Send (peer, Snapshot_fetch t.apply_next)))
-            (peers t)
+          (* Coded transfer needs k peers aligned on one (slot, payload);
+             after a couple of fruitless rounds (misaligned live
+             frontiers, churn) demand the full payload instead. *)
+          let msg =
+            if coded t && t.dl.snap_rounds >= 2 then Snapshot_fetch_full t.apply_next
+            else begin
+              if coded t then t.dl.snap_rounds <- t.dl.snap_rounds + 1;
+              Snapshot_fetch t.apply_next
+            end
+          in
+          List.iter (fun peer -> push_action t (Protocol.Send (peer, msg))) (peers t)
         end;
         Mutex.unlock t.lock;
         drain t
       | Snapshot_fetch from_slot ->
         if Pid.equal from t.me then []
-        else begin
-          (* Prefer the installed on-disk snapshot (stable and byte-identical
-             across correct replicas) when it is ahead of the requester;
-             otherwise capture the live state. *)
-          match Durability_lane.load_disk_snapshot t.lane with
-          | Some (slot, payload) when slot > from_slot ->
-            [ Protocol.Send (from, Snapshot_payload (slot, payload)) ]
-          | _ ->
-            Mutex.lock t.lock;
-            let slot = t.apply_next in
-            let payload = encode_snapshot_locked t in
-            Mutex.unlock t.lock;
-            if slot > from_slot then [ Protocol.Send (from, Snapshot_payload (slot, payload)) ]
-            else []
-        end
+        else if coded t then serve_snapshot_coded t ~from ~from_slot
+        else serve_snapshot_full t ~from ~from_slot
+      | Snapshot_fetch_full from_slot ->
+        if Pid.equal from t.me then [] else serve_snapshot_full t ~from ~from_slot
       | Snapshot_payload (slot, payload) ->
         if Pid.equal from t.me then []
         else begin
           Mutex.lock t.lock;
           record_snap_vote_locked t ~from ~slot payload;
+          flush_dirty_locked t;
+          Mutex.unlock t.lock;
+          drain t
+        end
+      | Frag_request (digest, _, _) when Pid.equal from t.me ->
+        (* Coded-fetch round timer. The pool may already hold enough
+           fragments (pushed before the fetch began) without anything
+           having triggered a decode, so try that first; otherwise
+           re-request the still-missing indices for a few rounds — the
+           full lane retries forever, so one 50 ms round is not a fair
+           trial — and only then fail over. *)
+        Mutex.lock t.lock;
+        if Hashtbl.mem t.unresolved digest then begin
+          try_decode_locked t digest;
+          if Hashtbl.mem t.unresolved digest && not (Hashtbl.mem t.dl.fb digest) then begin
+            let r = 1 + Option.value ~default:0 (Hashtbl.find_opt t.dl.rounds digest) in
+            if r <= 3 then begin
+              Hashtbl.replace t.dl.rounds digest r;
+              coded_fetch_locked t digest
+            end
+            else fallback_to_full_locked t digest
+          end
+        end;
+        Mutex.unlock t.lock;
+        drain t
+      | Frag_request (digest, mask, stuck_slot) ->
+        Mutex.lock t.lock;
+        (match Hashtbl.find_opt t.store digest with
+        | Some batch ->
+          if mask land (1 lsl t.cfg.n) <> 0 then begin
+            (* Desperate round: serve every missing index we can encode. *)
+            let entry = fragments_locked t digest batch in
+            for i = 0 to t.cfg.n - 1 do
+              if mask land (1 lsl i) <> 0 then
+                send_frag_locked t ~to_:from (frag_of_locked t digest ~index:i entry)
+            done
+          end
+          else if mask land (1 lsl t.me) <> 0 then begin
+            let entry = fragments_locked t digest batch in
+            send_frag_locked t ~to_:from (frag_of_locked t digest ~index:t.me entry)
+          end
+        | None -> (
+          (* No full content, but the proposer push may have seeded us with
+             our home fragment — relay it, turning every pushed-to replica
+             into a server for its own index. *)
+          match
+            ( Hashtbl.find_opt t.dl.frags digest,
+              Hashtbl.find_opt t.dl.frag_len digest )
+          with
+          | Some pool, Some len
+            when mask land (1 lsl t.me) <> 0 && Hashtbl.mem pool t.me ->
+            send_frag_locked t ~to_:from
+              (Fragment.make ~digest ~index:t.me ~total:t.cfg.n ~data:t.dl.k ~len
+                 (Hashtbl.find pool t.me))
+          | _ ->
+            (* Same refusal as the full lane: if we are past the requester's
+               stuck slot and retired the content, point it at snapshot
+               transfer rather than letting it retry forever. *)
+            if stuck_slot < t.apply_next then
+              push_action t (Protocol.Send (from, Truncated (snapshot_slot_locked t)))));
+        Mutex.unlock t.lock;
+        drain t
+      | Frag_payload frag ->
+        if Pid.equal from t.me then []
+        else begin
+          Mutex.lock t.lock;
+          handle_frag_locked t ~from frag;
+          flush_dirty_locked t;
+          Mutex.unlock t.lock;
+          drain t
+        end
+      | Snapshot_frag { slot; frag } ->
+        if Pid.equal from t.me then []
+        else begin
+          Mutex.lock t.lock;
+          record_snap_frag_locked t ~from ~slot frag;
           flush_dirty_locked t;
           Mutex.unlock t.lock;
           drain t
@@ -979,7 +1432,9 @@ module Make (Uc : Uc_intf.S) = struct
     Mutex.unlock t.lock
 
   (* Retire batch content nobody can still ask for: digests whose newest
-     reference trails the apply frontier by more than [retain] slots. *)
+     reference trails the apply frontier by more than [retain] slots. The
+     coded lane's tables (fragment pools, encode cache) ride the same
+     horizon — except pools still being fetched, which stay pinned. *)
   let gc_store_locked t =
     let floor = t.apply_next - t.cfg.retain in
     let stale =
@@ -991,7 +1446,19 @@ module Make (Uc : Uc_intf.S) = struct
       (fun digest ->
         Hashtbl.remove t.store digest;
         Hashtbl.remove t.last_use digest)
-      stale
+      stale;
+    let dead tbl =
+      Hashtbl.fold
+        (fun digest _ acc ->
+          if
+            (not (Hashtbl.mem t.unresolved digest))
+            && not (Hashtbl.mem t.last_use digest)
+          then digest :: acc
+          else acc)
+        tbl []
+    in
+    List.iter (clear_frag_state_locked t) (dead t.dl.frags);
+    List.iter (fun digest -> Hashtbl.remove t.dl.enc_cache digest) (dead t.dl.enc_cache)
 
   (* The fsyncs of a snapshot install (tmp write + rename + dir sync + WAL
      truncation) run here, off the apply path; capture happened under the

@@ -40,6 +40,17 @@ module Make (Uc : Uc_intf.S) : sig
     | Catch_up_done of int  (** the responder's apply frontier *)
     | Snapshot_fetch of int  (** the requester's apply frontier *)
     | Snapshot_payload of int * string  (** slot, encoded snapshot payload *)
+    | Frag_request of int * int * int
+        (** digest, wanted-index bitmask, stuck slot; from ourselves with
+            mask 0 it is the coded-fetch fallback timer *)
+    | Frag_payload of Dex_erasure.Fragment.t
+        (** one erasure-coded fragment of a batch blob (coded dissemination) *)
+    | Snapshot_frag of { slot : int; frag : Dex_erasure.Fragment.t }
+        (** one erasure-coded fragment of the snapshot payload at [slot];
+            [frag.digest] is the FNV-64 of the whole payload *)
+    | Snapshot_fetch_full of int
+        (** requester's apply frontier; always answered with a full
+            [Snapshot_payload] — the coded lane's alignment fallback *)
 
   val smsg_codec : smsg Dex_codec.Codec.t
 
@@ -71,6 +82,11 @@ module Make (Uc : Uc_intf.S) : sig
     catchup_cap : int;  (** slots per catch-up chunk *)
     catchup_retry : float;
     catchup_grace : float;  (** give up waiting on peers after this long *)
+    dissemination : Dex_erasure.Dissemination.mode;
+        (** how batch content reaches replicas that miss it: [Full] — the
+            classic whole-blob fetch; [Coded] — proposers push systematic
+            fragments and the fetch path reconstructs from any k of n
+            (falling back to the full lane on timeout or decode failure) *)
   }
 
   val config :
@@ -94,6 +110,7 @@ module Make (Uc : Uc_intf.S) : sig
     ?catchup_cap:int ->
     ?catchup_retry:float ->
     ?catchup_grace:float ->
+    ?dissemination:Dex_erasure.Dissemination.mode ->
     pair:(int -> Pair.t) ->
     n:int ->
     t:int ->
@@ -135,6 +152,12 @@ module Make (Uc : Uc_intf.S) : sig
       frames the reactor coalesces ({!Dex_runtime.Reactor.Conn}). *)
   type sink = Chan of out_channel | Evc of Dex_runtime.Reactor.Conn.t
 
+  type dissem_lane
+  (** State and counters of the dissemination lane (fragment pools, encode
+      cache, fallback bookkeeping). Opaque: driven entirely by the replica
+      under [lock]; observe it through the [service/fetch_*] and
+      [erasure/*] counters in {!metrics}. *)
+
   (** Transparent so the {!Server} socket layer can drive the service
       fields; everything consensus-side is reached through the functions
       below and must only be touched under [lock]. *)
@@ -146,6 +169,7 @@ module Make (Uc : Uc_intf.S) : sig
     admission : Admission.t;
     lane : Durability_lane.t;
     cu : Catch_up.t;
+    dl : dissem_lane;
     store : (int, Batch.t) Hashtbl.t;
     last_use : (int, int) Hashtbl.t;
     sessions : (int, int * Wire.outcome * int) Hashtbl.t;

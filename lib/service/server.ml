@@ -278,7 +278,11 @@ module Make (Uc : Uc_intf.S) = struct
         | Some batch -> [ Protocol.Send (from, Batch_payload (digest, batch)) ]
         | None -> [])
       | Batch_payload _ | Truncated _ | Catch_up _ | Slot_commit _ | Catch_up_done _
-      | Snapshot_fetch _ | Snapshot_payload _ ->
+      | Snapshot_fetch _ | Snapshot_payload _ | Frag_request _ | Frag_payload _
+      | Snapshot_frag _ | Snapshot_fetch_full _ ->
+        (* The equivocator never serves fragments: its chaff resolves over
+           the full-fetch lane it does answer, exercising the coded lane's
+           fallback path under Byzantine load. *)
         []
     in
     { Protocol.start; on_message }

@@ -4,6 +4,11 @@ type command =
   | Set of string * int
   | Add of string * int
   | Del of string
+  | Blob of string * string
+      (* key, opaque payload: the large-value workload. The payload rides
+         the batch for its bandwidth cost only; applying counts it, so the
+         state (and snapshots) stay small and the load harness's
+         counter-based overshoot gates keep working. *)
 
 type output =
   | Done
@@ -29,6 +34,11 @@ let apply t = function
     let present = Hashtbl.mem t k in
     if present then Hashtbl.remove t k;
     Removed present
+  | Blob (k, payload) ->
+    ignore (String.length payload);
+    let v = 1 + Option.value ~default:0 (Hashtbl.find_opt t k) in
+    Hashtbl.replace t k v;
+    Count v
 
 let snapshot t =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
@@ -69,7 +79,12 @@ let command_codec =
           fun buf ->
             string.write buf k;
             int.write buf d )
-      | Del k -> (4, fun buf -> string.write buf k))
+      | Del k -> (4, fun buf -> string.write buf k)
+      | Blob (k, payload) ->
+        ( 5,
+          fun buf ->
+            string.write buf k;
+            string.write buf payload ))
     (fun tag r ->
       match tag with
       | 0 -> Nop
@@ -81,6 +96,9 @@ let command_codec =
         let k = string.read r in
         Add (k, int.read r)
       | 4 -> Del (string.read r)
+      | 5 ->
+        let k = string.read r in
+        Blob (k, string.read r)
       | other -> bad_tag ~name:"State_machine.command" other)
 
 let output_codec =
@@ -105,6 +123,7 @@ let pp_command ppf = function
   | Set (k, v) -> Format.fprintf ppf "SET %s := %d" k v
   | Add (k, d) -> Format.fprintf ppf "ADD %s += %d" k d
   | Del k -> Format.fprintf ppf "DEL %s" k
+  | Blob (k, payload) -> Format.fprintf ppf "BLOB %s (%d bytes)" k (String.length payload)
 
 let pp_output ppf = function
   | Done -> Format.pp_print_string ppf "ok"

@@ -16,11 +16,16 @@ type command =
   | Set of string * int
   | Add of string * int  (** add to the key's value (missing keys read 0) *)
   | Del of string
+  | Blob of string * string
+      (** [key, payload]: the large-value workload command. The opaque
+          payload rides the batch for its bandwidth cost; applying
+          increments the key's counter (like [Add (key, 1)]), so state and
+          snapshots stay small and counter-based load gates keep working. *)
 
 type output =
   | Done  (** [Nop], [Set] *)
   | Found of int option  (** [Get] *)
-  | Count of int  (** the value after an [Add] *)
+  | Count of int  (** the value after an [Add] or [Blob] *)
   | Removed of bool  (** whether [Del] found the key *)
 
 type t

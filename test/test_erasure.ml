@@ -1,0 +1,256 @@
+(* Tests for lib/erasure: GF(256) field laws, systematic Reed–Solomon
+   round-trips from every k-subset of fragments, the XOR fast path,
+   corruption detection via fragment checksums and blob digests, and
+   wire-codec boundary fuzz for the fragment framing. *)
+
+open Dex_erasure
+
+(* ------------------------- GF(256) ------------------------- *)
+
+let test_gf_tables () =
+  Alcotest.(check int) "exp 0" 1 (Gf.exp 0);
+  Alcotest.(check int) "exp 1 = generator" 2 (Gf.exp 1);
+  Alcotest.(check int) "exp wraps at 255" (Gf.exp 0) (Gf.exp 255);
+  Alcotest.(check int) "log generator" 1 (Gf.log 2)
+
+let test_gf_field_laws () =
+  (* exhaustive over the whole field: mul/div/inv consistency *)
+  for a = 0 to 255 do
+    Alcotest.(check int) "a*0" 0 (Gf.mul a 0);
+    Alcotest.(check int) "0*a" 0 (Gf.mul 0 a);
+    Alcotest.(check int) "a*1" a (Gf.mul a 1);
+    if a <> 0 then begin
+      Alcotest.(check int) "a * inv a" 1 (Gf.mul a (Gf.inv a));
+      Alcotest.(check int) "pow a 1" a (Gf.pow a 1);
+      Alcotest.(check int) "pow a 2" (Gf.mul a a) (Gf.pow a 2)
+    end
+  done;
+  for a = 0 to 255 do
+    for b = 1 to 255 do
+      let q = Gf.div a b in
+      Alcotest.(check int) "div inverts mul" a (Gf.mul q b)
+    done
+  done
+
+let test_gf_mul_commutes_qcheck () =
+  QCheck.Test.make ~name:"gf mul commutative+associative" ~count:500
+    QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (a, b, c) ->
+      Gf.mul a b = Gf.mul b a
+      && Gf.mul a (Gf.mul b c) = Gf.mul (Gf.mul a b) c
+      && Gf.mul a (b lxor c) = Gf.mul a b lxor Gf.mul a c)
+
+(* ------------------------- RS codec ------------------------- *)
+
+let blob_of_size seed len =
+  String.init len (fun i -> Char.chr ((i * 131 + seed * 7 + i / 253) land 0xff))
+
+(* all k-subsets of [0..n-1] *)
+let rec subsets k lst =
+  if k = 0 then [ [] ]
+  else
+    match lst with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+
+let check_all_subsets ~k ~n blob =
+  let len = String.length blob in
+  let frags = Rs.encode ~k ~n blob in
+  Alcotest.(check int) "fragment count" n (Array.length frags);
+  let sz = Rs.shard_size ~k len in
+  Array.iter (fun f -> Alcotest.(check int) "shard size" sz (String.length f)) frags;
+  (* systematic prefix: data shards concatenated re-form the blob *)
+  let sys = String.concat "" (Array.to_list (Array.sub frags 0 k)) in
+  Alcotest.(check string) "systematic prefix" blob
+    (String.sub sys 0 len);
+  let all = List.init n (fun i -> i) in
+  List.iter
+    (fun subset ->
+      let picks = List.map (fun i -> (i, frags.(i))) subset in
+      match Rs.decode ~k ~n ~len picks with
+      | Some got -> Alcotest.(check string) "subset round-trip" blob got
+      | None ->
+          Alcotest.failf "decode failed for k=%d n=%d subset [%s]" k n
+            (String.concat ";" (List.map string_of_int subset)))
+    (subsets k all)
+
+let test_rs_all_subsets () =
+  List.iter
+    (fun (k, n) ->
+      List.iter
+        (fun len -> check_all_subsets ~k ~n (blob_of_size (k + n) len))
+        [ 0; 1; 7; 64; 257 ])
+    [ (1, 2); (2, 3); (3, 4); (3, 5); (4, 6); (5, 9); (6, 7) ]
+
+let test_rs_undersupplied () =
+  let blob = blob_of_size 3 100 in
+  let frags = Rs.encode ~k:3 ~n:5 blob in
+  let picks = [ (0, frags.(0)); (4, frags.(4)) ] in
+  Alcotest.(check bool) "k-1 fragments can't decode" true
+    (Rs.decode ~k:3 ~n:5 ~len:100 picks = None);
+  (* duplicates of the same index don't count twice *)
+  let dup = [ (0, frags.(0)); (0, frags.(0)); (4, frags.(4)) ] in
+  Alcotest.(check bool) "duplicate index rejected" true
+    (Rs.decode ~k:3 ~n:5 ~len:100 dup = None)
+
+let test_rs_bad_geometry () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Rs: bad geometry k=0 n=4")
+    (fun () -> ignore (Rs.encode ~k:0 ~n:4 "x"));
+  Alcotest.(check bool) "decode bad geometry is None" true
+    (Rs.decode ~k:0 ~n:4 ~len:1 [] = None);
+  Alcotest.(check bool) "wrong body length is skipped" true
+    (Rs.decode ~k:2 ~n:3 ~len:10 [ (0, "short"); (1, "also") ] = None)
+
+let test_rs_data_count () =
+  Alcotest.(check int) "n=4 t=1" 3 (Rs.data_count ~n:4 ~t:1);
+  Alcotest.(check int) "n=4 t=0 keeps parity" 3 (Rs.data_count ~n:4 ~t:0);
+  Alcotest.(check int) "n=7 t=1" 6 (Rs.data_count ~n:7 ~t:1);
+  Alcotest.(check int) "n=2 t=1" 1 (Rs.data_count ~n:2 ~t:1)
+
+let test_rs_xor_fast_path_matches () =
+  (* n = k+1: the parity fragment must equal the XOR of the data shards *)
+  let blob = blob_of_size 9 500 in
+  let k = 3 in
+  let frags = Rs.encode ~k ~n:4 blob in
+  let sz = Rs.shard_size ~k 500 in
+  let expect =
+    String.init sz (fun b ->
+        Char.chr
+          (Char.code frags.(0).[b] lxor Char.code frags.(1).[b]
+          lxor Char.code frags.(2).[b]))
+  in
+  Alcotest.(check string) "parity = xor of shards" expect frags.(3)
+
+let test_rs_qcheck_roundtrip () =
+  QCheck.Test.make ~name:"rs random subset round-trip" ~count:200
+    QCheck.(triple (int_range 1 8) (int_range 0 3) (string_of_size Gen.(0 -- 2000)))
+    (fun (k, extra, blob) ->
+      let n = k + 1 + extra in
+      if n > 255 then true
+      else begin
+        let len = String.length blob in
+        let frags = Rs.encode ~k ~n blob in
+        (* drop the first n-k fragments: decode from the tail subset *)
+        let picks =
+          List.init k (fun j ->
+              let i = n - 1 - j in
+              (i, frags.(i)))
+        in
+        Rs.decode ~k ~n ~len picks = Some blob
+      end)
+
+(* ------------------------- fragments ------------------------- *)
+
+let mk_frag ?(digest = 42) ?(index = 1) ?(total = 4) ?(data = 3) body =
+  let len = String.length body * data in
+  let frags = Rs.encode ~k:data ~n:total (blob_of_size 1 len) in
+  ignore frags;
+  Fragment.make ~digest ~index ~total ~data ~len body
+
+let test_fragment_valid () =
+  let blob = blob_of_size 5 300 in
+  let frags = Rs.encode ~k:3 ~n:4 blob in
+  Array.iteri
+    (fun i body ->
+      let f = Fragment.make ~digest:7 ~index:i ~total:4 ~data:3 ~len:300 body in
+      Alcotest.(check bool) "fragment valid" true (Fragment.valid f))
+    frags
+
+let test_fragment_corruption_detected () =
+  let blob = blob_of_size 6 300 in
+  let frags = Rs.encode ~k:3 ~n:4 blob in
+  let f = Fragment.make ~digest:7 ~index:0 ~total:4 ~data:3 ~len:300 frags.(0) in
+  (* flip one byte of the body: checksum must catch it *)
+  let bad_body = Bytes.of_string f.Fragment.body in
+  Bytes.set bad_body 10 (Char.chr (Char.code (Bytes.get bad_body 10) lxor 1));
+  let bad = { f with Fragment.body = Bytes.to_string bad_body } in
+  Alcotest.(check bool) "corrupted body rejected" true (not (Fragment.valid bad));
+  (* out-of-range metadata rejected *)
+  Alcotest.(check bool) "index out of range" true
+    (not (Fragment.valid { f with Fragment.index = 4 }));
+  Alcotest.(check bool) "k > n" true
+    (not (Fragment.valid { f with Fragment.data = 5 }));
+  Alcotest.(check bool) "body length mismatch" true
+    (not (Fragment.valid { f with Fragment.body = f.Fragment.body ^ "x" }))
+
+let test_digest_catches_consistent_lie () =
+  (* a Byzantine peer can send a fragment that is internally valid
+     (checksum matches its corrupted body) — the blob digest computed
+     after reconstruction is the detector of record *)
+  let blob = blob_of_size 8 300 in
+  let frags = Rs.encode ~k:3 ~n:4 blob in
+  let lie = String.map (fun c -> Char.chr (Char.code c lxor 0xff)) frags.(1) in
+  let f = Fragment.make ~digest:7 ~index:1 ~total:4 ~data:3 ~len:300 lie in
+  Alcotest.(check bool) "lie passes per-fragment checks" true (Fragment.valid f);
+  let picks = [ (0, frags.(0)); (1, lie); (2, frags.(2)) ] in
+  (match Rs.decode ~k:3 ~n:4 ~len:300 picks with
+  | None -> Alcotest.fail "decode should structurally succeed"
+  | Some got ->
+      Alcotest.(check bool) "reconstruction differs from blob" true (got <> blob);
+      Alcotest.(check bool) "digest mismatch detected" true
+        (Fragment.fnv64 got <> Fragment.fnv64 blob))
+
+let test_fragment_codec_roundtrip () =
+  let blob = blob_of_size 2 1000 in
+  let frags = Rs.encode ~k:3 ~n:5 blob in
+  Array.iteri
+    (fun i body ->
+      let f = Fragment.make ~digest:991 ~index:i ~total:5 ~data:3 ~len:1000 body in
+      let got =
+        Dex_codec.Codec.decode_exn Fragment.codec
+          (Dex_codec.Codec.encode Fragment.codec f)
+      in
+      Alcotest.(check bool) "codec round-trip" true (f = got);
+      Alcotest.(check bool) "still valid after round-trip" true (Fragment.valid got))
+    frags
+
+let test_fragment_codec_fuzz () =
+  (* hostile bytes must produce Error or a well-typed fragment, never an
+     unexpected exception; truncations of a valid encoding must not decode *)
+  let f = mk_frag (String.make 34 'q') in
+  let enc = Dex_codec.Codec.encode Fragment.codec f in
+  for cut = 0 to String.length enc - 1 do
+    match Dex_codec.Codec.decode Fragment.codec (String.sub enc 0 cut) with
+    | Ok _ -> Alcotest.failf "truncation at %d decoded" cut
+    | Error _ -> ()
+  done;
+  let rand = Random.State.make [| 0xe5a5 |] in
+  for _ = 1 to 2000 do
+    let len = Random.State.int rand 80 in
+    let s = String.init len (fun _ -> Char.chr (Random.State.int rand 256)) in
+    match Dex_codec.Codec.decode Fragment.codec s with
+    | Ok g -> ignore (Fragment.valid g)
+    | Error _ -> ()
+  done
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "erasure"
+    [
+      ( "gf",
+        [
+          Alcotest.test_case "tables" `Quick test_gf_tables;
+          Alcotest.test_case "field laws (exhaustive)" `Quick test_gf_field_laws;
+        ] );
+      qsuite "gf-props" [ test_gf_mul_commutes_qcheck () ];
+      ( "rs",
+        [
+          Alcotest.test_case "all k-subsets round-trip" `Quick test_rs_all_subsets;
+          Alcotest.test_case "undersupplied/duplicates" `Quick test_rs_undersupplied;
+          Alcotest.test_case "bad geometry" `Quick test_rs_bad_geometry;
+          Alcotest.test_case "data_count" `Quick test_rs_data_count;
+          Alcotest.test_case "xor fast path" `Quick test_rs_xor_fast_path_matches;
+        ] );
+      qsuite "rs-props" [ test_rs_qcheck_roundtrip () ];
+      ( "fragment",
+        [
+          Alcotest.test_case "valid" `Quick test_fragment_valid;
+          Alcotest.test_case "corruption detected" `Quick test_fragment_corruption_detected;
+          Alcotest.test_case "digest catches consistent lie" `Quick
+            test_digest_catches_consistent_lie;
+          Alcotest.test_case "codec round-trip" `Quick test_fragment_codec_roundtrip;
+          Alcotest.test_case "codec boundary fuzz" `Quick test_fragment_codec_fuzz;
+        ] );
+    ]

@@ -218,7 +218,7 @@ let test_catchup_votes () =
   | Some (digest, provenance, batch) ->
     Alcotest.(check bool) "digest" true (digest = d);
     Alcotest.(check bool) "provenance" true (provenance = Dex_core.Dex.One_step);
-    Alcotest.(check bool) "content" true (batch = b)
+    Alcotest.(check bool) "content" true (batch = Some b)
   | None -> Alcotest.fail "t+1 votes must install");
   Catch_up.drop_below cu ~frontier:1;
   Alcotest.(check bool) "spent votes dropped" true (Catch_up.installable cu ~frontier:0 = None)
@@ -252,7 +252,7 @@ let test_catchup_vote_hygiene () =
   (match Catch_up.installable cu ~frontier:0 with
   | Some (digest, _, batch) ->
     Alcotest.(check bool) "empty installs empty" true
-      (digest = Batch.empty_digest && batch = [])
+      (digest = Batch.empty_digest && batch = Some [])
   | None -> Alcotest.fail "empty slot must install");
   Catch_up.finish cu;
   Alcotest.(check bool) "finish disarms" false (Catch_up.active cu);

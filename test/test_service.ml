@@ -59,6 +59,54 @@ let test_batch_roundtrip () =
   in
   Alcotest.(check bool) "batch" true (roundtrip Batch.codec batch = batch)
 
+(* Wire round-trips for the dissemination-lane messages (smsg tags 9-12),
+   plus boundary fuzz: no truncation of a fragment-bearing frame may decode
+   into a different valid message. *)
+let test_smsg_dissemination_roundtrip () =
+  let frag =
+    Dex_erasure.Fragment.make ~digest:0x5ca1ab1e ~index:2 ~total:4 ~data:3 ~len:11
+      "abcd"
+  in
+  let msgs =
+    [
+      S.Frag_request (12345, 0b1011, 7);
+      S.Frag_request (1, 0, 0);
+      S.Frag_payload frag;
+      S.Snapshot_frag { slot = 99; frag };
+      S.Snapshot_fetch_full 42;
+    ]
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "smsg roundtrip" true (roundtrip S.smsg_codec m = m))
+    msgs
+
+let test_smsg_fragment_boundary_fuzz () =
+  let frag =
+    Dex_erasure.Fragment.make ~digest:max_int ~index:3 ~total:4 ~data:3 ~len:300
+      (String.init 100 (fun i -> Char.chr (i mod 256)))
+  in
+  let check_msg m =
+    let bytes = Codec.encode S.smsg_codec m in
+    (* Every strict prefix must fail to decode or decode to something else —
+       never silently round-trip to the original. *)
+    for cut = 0 to String.length bytes - 1 do
+      match Codec.decode S.smsg_codec (String.sub bytes 0 cut) with
+      | Error _ -> ()
+      | Ok m' -> Alcotest.(check bool) "truncated frame is not the original" true (m' <> m)
+    done
+  in
+  check_msg (S.Frag_payload frag);
+  check_msg (S.Snapshot_frag { slot = 12; frag });
+  (* Random byte soup must never crash the decoder. *)
+  let rng = Random.State.make [| 0xd15ea5e |] in
+  for _ = 1 to 2000 do
+    let s =
+      String.init (Random.State.int rng 64) (fun _ -> Char.chr (Random.State.int rng 256))
+    in
+    ignore (Codec.decode S.smsg_codec s)
+  done
+
 (* ------------------------ batch properties ------------------------ *)
 
 let req client rid = { Wire.client; rid; command = Sm.Set ("k", rid) }
@@ -340,6 +388,52 @@ let test_durable_restart_recovers () =
             (cnt <= r.Client.Load.issued))
         d.S.servers)
 
+let test_coded_dissemination_deployment () =
+  (* Coded mode end to end: n=4 t=0 with the client submitting to three of
+     the four replicas only — the starved replica misses every batch and
+     must reconstruct content from peer fragments. The run must stay
+     agreement-clean, converge, and actually exercise the decode path. *)
+  let cfg =
+    S.config ~dissemination:Dex_erasure.Dissemination.Coded
+      ~pair:(fun _ -> freq4)
+      ~n:4 ~t:0 ()
+  in
+  with_deployment cfg (fun d ->
+      let ports = List.map snd d.S.ports in
+      let starved = List.filteri (fun i _ -> i < 3) ports in
+      let payload = String.make 4096 'x' in
+      let c = Client.connect ~client:1 starved in
+      let r =
+        Client.Load.run_many ~clients:4 ~duration:1.5 c (fun i ->
+            Sm.Blob (Printf.sprintf "b%d" (i mod 8), payload))
+      in
+      Client.close c;
+      Thread.delay 0.5;
+      Alcotest.(check bool) "committed work" true (r.Client.Load.committed > 20);
+      let compared, violations = S.agreement_violations d in
+      Alcotest.(check bool) "slots compared" true (compared > 0);
+      Alcotest.(check int) "no agreement violations" 0 (List.length violations);
+      let merged =
+        Dex_metrics.Registry.merge
+          (List.map (fun (_, s) -> Dex_metrics.Registry.snapshot (S.metrics s)) d.S.servers)
+      in
+      Alcotest.(check bool) "coded lane decoded batches" true
+        (Dex_metrics.Registry.get merged "erasure/decodes" > 0);
+      Alcotest.(check bool) "no decode failures" true
+        (Dex_metrics.Registry.get merged "erasure/decode_failures" = 0);
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let converged () =
+        match
+          List.sort_uniq compare (List.map (fun (_, s) -> S.state_digest s) d.S.servers)
+        with
+        | [ _ ] -> true
+        | _ -> false
+      in
+      while (not (converged ())) && Unix.gettimeofday () < deadline do
+        Thread.delay 0.1
+      done;
+      Alcotest.(check bool) "replica states converged" true (converged ()))
+
 let test_threads_io_mode_parity () =
   (* The reactor is the default and carries the rest of this suite; the
      legacy thread-per-connection runtime must keep the same service
@@ -436,6 +530,10 @@ let () =
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
           Alcotest.test_case "batch roundtrip" `Quick test_batch_roundtrip;
+          Alcotest.test_case "smsg dissemination roundtrip" `Quick
+            test_smsg_dissemination_roundtrip;
+          Alcotest.test_case "smsg fragment boundary fuzz" `Quick
+            test_smsg_fragment_boundary_fuzz;
         ] );
       ( "batches",
         [
@@ -460,6 +558,8 @@ let () =
           Alcotest.test_case "equivocator tolerated" `Quick test_equivocator_deployment;
           Alcotest.test_case "commit log bounded" `Quick test_commit_log_bounded;
           Alcotest.test_case "durable restart recovers" `Quick test_durable_restart_recovers;
+          Alcotest.test_case "coded dissemination, starved replica" `Quick
+            test_coded_dissemination_deployment;
           Alcotest.test_case "threads io-mode parity" `Quick test_threads_io_mode_parity;
           Alcotest.test_case "shutdown joins threads" `Quick test_shutdown_joins_threads;
           Alcotest.test_case "config validation" `Quick test_config_validation;
