@@ -203,7 +203,7 @@ let bench_analysis =
         (Dex_analysis.Feasibility.p_dex_one_step ~n:7 ~t:1
            { Dex_analysis.Feasibility.bias = 0.8; alternatives = 2 })))
 
-module Log = Dex_smr.Replicated_log.Make (Uc_oracle)
+module Log = Dex_smr.Replicated_log.Make (Dex_core.Dex.Lane (Uc_oracle))
 
 let bench_smr =
   Test.make ~name:"smr/log-5-slots-n7" (Staged.stage (fun () ->
@@ -221,7 +221,7 @@ let bench_smr =
 (* Not a bechamel subject: one closed-loop run against a live loopback
    deployment (real sockets, real threads), reported as ops/s rather than
    ns/run. The numbers land in their own section of the JSON. *)
-module Svc = Dex_service.Server.Make (Uc_oracle)
+module Svc = Dex_service.Server.Make (Dex_core.Dex.Lane (Uc_oracle))
 
 let rec rm_rf path =
   if Sys.file_exists path then
@@ -328,13 +328,50 @@ let large_value_rows () =
       @ run Dex_erasure.Dissemination.Coded bytes tag_size)
     [ (1024, "1KiB"); (65536, "64KiB"); (524288, "512KiB") ]
 
+(* Protocol-lane head-to-head (E20): the same loopback deployment run once
+   per lane — dex, Kuo-Chen two-step, speculative hbft — same shape, same
+   client population, so the rows compare the lanes and nothing else. The
+   fast path differs per lane: dex expedites to one step, the other two to
+   two, so the fraction row reads the matching provenance counter. *)
+let proto_rows () =
+  let run tag fast (module L : Dex_core.Protocol_lane.LANE) =
+    let module S = Dex_service.Server.Make (L) in
+    let n = 4 and t = 0 in
+    let pair = Pair.freq ~n ~t in
+    let cfg = S.config ~pair:(fun _ -> pair) ~n ~t () in
+    let d = S.launch cfg in
+    let c = Dex_service.Client.connect ~client:1 (List.map snd d.S.ports) in
+    let r =
+      Dex_service.Client.Load.run_many ~clients:64 ~duration:2.0 c (fun i ->
+          Dex_service.State_machine.Set (Printf.sprintf "k%d" (i mod 64), i))
+    in
+    Dex_service.Client.close c;
+    Thread.delay 0.2;
+    S.shutdown d;
+    let open Dex_service.Client.Load in
+    let committed = float_of_int (max 1 r.committed) in
+    let hits = match fast with `One -> r.one_step | `Two -> r.two_step in
+    let p50 = match r.latency with Some s -> s.Dex_metrics.Stats.p50 | None -> 0.0 in
+    let p99 = match r.latency with Some s -> s.Dex_metrics.Stats.p99 | None -> 0.0 in
+    let row name = Printf.sprintf "service/proto-%s-%s" tag name in
+    [
+      (row "ops-s", r.throughput);
+      (row "fast-path-fraction", float_of_int hits /. committed);
+      (row "latency-p50-ms", p50);
+      (row "latency-p99-ms", p99);
+    ]
+  in
+  run "dex" `One (module Dex_core.Dex.Lane (Uc_oracle))
+  @ run "two-step" `Two (module Dex_baselines.Kuo_chen.Lane (Uc_oracle))
+  @ run "hbft" `Two (module Dex_baselines.Hbft.Lane (Uc_oracle))
+
 (* Sharded service scaling: the same loopback box, the keyspace split over
    k = 1, 2, 4, 8 consensus groups behind one shared runtime and a shard
    router, 64 closed-loop clients per shard. On a multi-core host the groups
    commit in parallel and the aggregate should scale until the cores run
    out; on a single core the family measures the sharding overhead instead
    (see EXPERIMENTS.md E18). *)
-module GSet = Dex_shard.Group_set.Make (Uc_oracle)
+module GSet = Dex_shard.Group_set.Make (Dex_core.Dex.Lane (Uc_oracle))
 
 let shard_scaling_rows () =
   let run shards =
@@ -547,12 +584,13 @@ let print_results rows =
 (* Machine-readable companion to the human tables: microbench subjects in
    ns/run plus the service-lane throughput and durability figures, stamped
    with the run date, so successive runs can be diffed by tooling. *)
-let write_json rows service_rows durability_rows =
+let bench_date () =
   let tm = Unix.localtime (Unix.time ()) in
-  let date =
-    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
-      tm.Unix.tm_mday
-  in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let write_json rows service_rows durability_rows =
+  let date = bench_date () in
   let file = Printf.sprintf "BENCH_%s.json" date in
   let oc = open_out file in
   Printf.fprintf oc "{\n  \"date\": %S,\n  \"unit\": \"ns/run\",\n  \"subjects\": {" date;
@@ -573,6 +611,51 @@ let write_json rows service_rows durability_rows =
   Printf.fprintf oc "\n  }\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n" file
+
+(* Splice fresh [service/proto-*] rows into today's BENCH_<date>.json,
+   keeping everything else, so `bench/main.exe -- proto` can re-measure the
+   protocol-lane family without redoing the whole run. The scanner only
+   understands the exact shape [write_json] emits — which is this file's
+   only producer; a missing file yields a service-only JSON. *)
+let reread_section body name =
+  let tag = Printf.sprintf "%S: {" name in
+  let n = String.length body and m = String.length tag in
+  let rec find i =
+    if i + m > n then None else if String.sub body i m = tag then Some (i + m) else find (i + 1)
+  in
+  match find 0 with
+  | None -> []
+  | Some start ->
+    let stop =
+      match String.index_from_opt body start '}' with Some j -> j | None -> n
+    in
+    String.sub body start (stop - start)
+    |> String.split_on_char ','
+    |> List.filter_map (fun e ->
+           match Scanf.sscanf (String.trim e) "%S: %f" (fun k v -> (k, v)) with
+           | kv -> Some kv
+           | exception _ -> None)
+
+let merge_proto_rows rows =
+  let file = Printf.sprintf "BENCH_%s.json" (bench_date ()) in
+  let subjects, service, durability =
+    if Sys.file_exists file then begin
+      let ic = open_in file in
+      let body = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      ( reread_section body "subjects",
+        reread_section body "service",
+        reread_section body "durability" )
+    end
+    else ([], [], [])
+  in
+  let service =
+    List.filter
+      (fun (k, _) -> not (String.starts_with ~prefix:"service/proto-" k))
+      service
+    @ rows
+  in
+  write_json subjects service durability
 
 (* Run [f] in a forked child and marshal its result back. The service lanes
    are sensitive to runtime state the microbenchmarks leave behind — bechamel
@@ -630,6 +713,14 @@ let () =
     List.iter (fun (name, v) -> Printf.printf "%-48s %16.2f\n" name v) rows;
     exit 0
   end;
+  (* [proto]: the protocol-lane head-to-head (E20), merged into today's
+     BENCH_<date>.json in place. *)
+  if arg = "proto" then begin
+    let rows = proto_rows () in
+    List.iter (fun (name, v) -> Printf.printf "%-48s %16.2f\n" name v) rows;
+    merge_proto_rows rows;
+    exit 0
+  end;
   print_endline "== Bechamel microbenchmarks ==";
   let rows = in_child (fun () -> collect_rows (benchmark ())) in
   print_results rows;
@@ -647,7 +738,10 @@ let () =
   print_endline "\n== Large-value lane (starved replica, full vs coded dissemination) ==";
   let large_rows = in_child large_value_rows in
   List.iter (fun (name, v) -> Printf.printf "%-48s %16.2f\n" name v) large_rows;
-  let service_rows = service_rows @ shard_rows @ large_rows in
+  print_endline "\n== Protocol lanes (dex vs two-step vs hbft, loopback n=4 t=0) ==";
+  let proto = in_child proto_rows in
+  List.iter (fun (name, v) -> Printf.printf "%-48s %16.2f\n" name v) proto;
+  let service_rows = service_rows @ shard_rows @ large_rows @ proto in
   print_endline "\n== Durability lane (WAL time-to-durable; durable service run) ==";
   let durability_rows =
     in_child (fun () ->

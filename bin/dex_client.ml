@@ -37,15 +37,46 @@ let workload_of ?(value_bytes = 0) name client =
         | _ -> Sm.Nop)
     | other -> failwith (Printf.sprintf "unknown workload %S (use add, set or mixed)" other)
 
-let print_agg (report : Dex_service.Client.Load.report) =
+(* The client is protocol-agnostic on the wire — replies carry commit
+   provenance whatever lane the servers run — but which provenance is the
+   lane's fast path differs: dex expedites to one step, the two-step and
+   hbft lanes to two. [--protocol] picks the lane so the headline fraction
+   matches the servers'. *)
+let fast_path_of protocol =
+  match Dex_core.Protocol_lane.id_of_string protocol with
+  | None ->
+    failwith (Printf.sprintf "unknown protocol %S (use dex, two-step or hbft)" protocol)
+  | Some id ->
+    let module PL = Dex_core.Protocol_lane in
+    let fast p =
+      match (id, p) with
+      | PL.Dex, PL.One_step -> true
+      | (PL.Kuo_chen | PL.Hbft), PL.Two_step -> true
+      | _ -> false
+    in
+    let name =
+      List.find fast PL.all_provenances |> PL.metric_of_provenance
+    in
+    (name, fast)
+
+let print_agg ~protocol (report : Dex_service.Client.Load.report) =
   Format.printf "%a@." Dex_service.Client.Load.pp_report report;
+  let fast_name, fast = fast_path_of protocol in
+  let count p n = if fast p then n else 0 in
+  let module PL = Dex_core.Protocol_lane in
+  let hits =
+    count PL.One_step report.Dex_service.Client.Load.one_step
+    + count PL.Two_step report.Dex_service.Client.Load.two_step
+  in
   let total = float_of_int (max 1 report.Dex_service.Client.Load.committed) in
-  Format.printf "one-step fraction: %.1f%%@."
-    (100.0 *. float_of_int report.Dex_service.Client.Load.one_step /. total)
+  Format.printf "%s fraction (fast path): %.1f%%@."
+    fast_name
+    (100.0 *. float_of_int hits /. total)
 
 (* Sharded aggregate-throughput mode: one router over K port groups, the
    whole client population multiplexed through it. *)
-let sharded_action ports shards client clients duration timeout workload value_bytes io_mode =
+let sharded_action ~protocol ports shards client clients duration timeout workload value_bytes
+    io_mode =
   if List.length ports mod shards <> 0 then
     failwith
       (Printf.sprintf "--ports lists %d ports, not divisible into %d equal shard groups"
@@ -62,14 +93,15 @@ let sharded_action ports shards client clients duration timeout workload value_b
   in
   Router.close r;
   Format.printf "%a@." Router.Load.pp_report report;
-  print_agg report.Router.Load.agg
+  print_agg ~protocol report.Router.Load.agg
 
 let action ports_s shards client clients duration pace timeout attempts workload value_bytes
-    io_mode =
+    io_mode protocol =
   match
     let ports = List.map int_of_string (String.split_on_char ',' ports_s) in
     if shards > 1 then
-      sharded_action ports shards client clients duration timeout workload value_bytes io_mode
+      sharded_action ~protocol ports shards client clients duration timeout workload
+        value_bytes io_mode
     else begin
       let gen = workload_of ~value_bytes workload client in
       let c = Dex_service.Client.connect ~io_mode ~client ports in
@@ -80,7 +112,7 @@ let action ports_s shards client clients duration pace timeout attempts workload
         else Dex_service.Client.Load.run ~pace ~timeout ~attempts ~duration c gen
       in
       Dex_service.Client.close c;
-      print_agg report
+      print_agg ~protocol report
     end
   with
   | exception Failure m -> `Error (false, m)
@@ -138,6 +170,16 @@ let value_bytes_t =
            Exercises the large-value dissemination path (see dex_server \
            --dissemination).")
 
+let protocol_t =
+  Arg.(
+    value & opt string "dex"
+    & info [ "protocol" ]
+        ~doc:
+          "Protocol lane the servers run: $(b,dex), $(b,two-step) or $(b,hbft). The wire \
+           format is lane-independent; this only selects which commit provenance counts \
+           as the fast path in the headline fraction (one-step for dex, two-step for the \
+           others).")
+
 let io_mode_t =
   let conv_mode =
     let parse s =
@@ -165,6 +207,6 @@ let () =
     Term.(
       ret
         (const action $ ports_t $ shards_t $ client_t $ clients_t $ duration_t $ pace_t
-        $ timeout_t $ attempts_t $ workload_t $ value_bytes_t $ io_mode_t))
+        $ timeout_t $ attempts_t $ workload_t $ value_bytes_t $ io_mode_t $ protocol_t))
   in
   exit (Cmd.eval (Cmd.v info term))

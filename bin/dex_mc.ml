@@ -16,8 +16,10 @@
 
 open Dex_vector
 open Dex_mcheck
+module PL = Dex_core.Protocol_lane
 
 type options = {
+  mutable protocol : string;
   mutable smoke : bool;
   mutable mutate : string option;
   mutable worst_case : bool;
@@ -41,6 +43,7 @@ type options = {
 
 let options =
   {
+    protocol = "dex";
     smoke = false;
     mutate = None;
     worst_case = false;
@@ -64,8 +67,8 @@ let options =
 
 let usage () =
   prerr_endline
-    "dex_mc [--smoke] [--mutate NAME] [--worst-case] [--plan-out FILE] [--replay FILE]\n\
-    \       [--pair freq|prv] [--n N] [-t T]\n\
+    "dex_mc [--protocol dex|two-step|hbft] [--smoke] [--mutate NAME] [--worst-case]\n\
+    \       [--plan-out FILE] [--replay FILE] [--pair freq|prv] [--n N] [-t T]\n\
     \       [--m V] [--budget D] [--width W] [--max-schedules K] [--max-steps K]\n\
     \       [--max-scenarios K] [--seed S] [--samples K] [--cex FILE]\n\
     \       [--input v,v,..] [--no-faults]";
@@ -73,6 +76,9 @@ let usage () =
 
 let parse_args () =
   let rec go = function
+    | "--protocol" :: v :: rest ->
+      options.protocol <- v;
+      go rest
     | "--smoke" :: rest ->
       options.smoke <- true;
       go rest
@@ -137,6 +143,13 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv))
 
+let lane () =
+  match PL.id_of_string options.protocol with
+  | Some id -> id
+  | None ->
+    Printf.eprintf "unknown protocol %s (dex | two-step | hbft)\n" options.protocol;
+    usage ()
+
 let bounds () =
   {
     Checker.delay_budget = options.budget;
@@ -158,7 +171,8 @@ let pp_kind ppf = function
 
 let base_scenario kind ~n ~t =
   {
-    Dex_model.kind;
+    Dex_model.lane = lane ();
+    kind;
     n;
     t;
     proposals = List.init n (fun _ -> 0);
@@ -253,17 +267,28 @@ let sweep ~label scenarios =
       (if !exhausted then ", exhaustive" else ", bounded");
     (true, !exhausted)
 
-let find_mutant_counterexample ~mutation ~kind ~n ~t ~proposals =
+let find_mutant_counterexample ?(faults = []) ~mutation ~kind ~n ~t ~proposals () =
   let scenario =
-    { (base_scenario kind ~n ~t) with Dex_model.proposals; mutation = Some mutation }
+    {
+      (base_scenario kind ~n ~t) with
+      Dex_model.proposals;
+      faults;
+      mutation = Some mutation;
+    }
   in
-  (* A mutated pair must fail the legality checker — the static oracle. *)
-  let universe =
-    match kind with Dex_model.Prv m -> List.sort_uniq compare [ 0; 1; m ] | Freq -> [ 0; 1 ]
-  in
-  (match Oracles.legal_pair ~universe (Dex_model.pair_of_scenario scenario) with
-  | Error reason -> Printf.printf "mutation %-12s breaks legality: %s\n" mutation reason
-  | Ok _ -> Printf.printf "mutation %-12s WARNING: still passes the legality checker\n" mutation);
+  (* A mutated dex pair must fail the legality checker — the static oracle.
+     Non-dex mutations live in the lane's own config; their pair stays
+     legal and only the dynamic oracles can catch them. *)
+  (if lane () = PL.Dex then
+     let universe =
+       match kind with
+       | Dex_model.Prv m -> List.sort_uniq compare [ 0; 1; m ]
+       | Freq -> [ 0; 1 ]
+     in
+     match Oracles.legal_pair ~universe (Dex_model.pair_of_scenario scenario) with
+     | Error reason -> Printf.printf "mutation %-12s breaks legality: %s\n" mutation reason
+     | Ok _ ->
+       Printf.printf "mutation %-12s WARNING: still passes the legality checker\n" mutation);
   let sys = Dex_model.system scenario in
   let check sum = Dex_model.check scenario sum in
   match
@@ -300,18 +325,38 @@ let find_mutant_counterexample ~mutation ~kind ~n ~t ~proposals =
     if deterministic then Some (scenario, shrunk, v) else None
 
 let default_mutation_target () =
-  (* P_prv at n = 5t + 1 with the two-step threshold lowered to > t: a view
-     with t+1 occurrences of m two-step-decides m while the underlying
-     consensus settles on the majority value. *)
+  (* All three at n = 6, t = 1 (P_prv dimensions; the non-dex lanes only
+     need n > 5t from the pair):
+     - dex/p2-gt-t: a view with t+1 occurrences of m two-step-decides m
+       while the underlying consensus settles on the majority value;
+     - two-step/decide-low: split adopt samples leave mixed second-round
+       votes, and 2c > n-t fires on a minority-supported value;
+     - hbft/spec-low: give-up timeouts split the accepts, and n-2t
+       matching accepts speculatively decide against the UC outcome. *)
   let n = 6 and t = 1 in
-  let proposals = [ 1; 1; 0; 0; 0; 0 ] in
-  (Dex_model.Prv 1, n, t, proposals)
+  match lane () with
+  | PL.Dex -> ("p2-gt-t", Dex_model.Prv 1, n, t, [ 1; 1; 0; 0; 0; 0 ], [])
+  | PL.Kuo_chen -> ("decide-low", Dex_model.Prv 1, n, t, [ 1; 1; 1; 0; 0; 0 ], [])
+  | PL.Hbft ->
+    (* spec-low alone is still safe here — four matching accepts drag the
+       UC majority along — so the planted bug needs the lane's Byzantine
+       coordinator: the equivocator splits VAL/ORDER/ACCEPT at pid 0 (the
+       coordinator for seed 0), give-up timeouts split the correct
+       accepts 3/2, and a spec-decide on the 3-side disagrees with the
+       UC outcome on the 2-side. *)
+    ( "spec-low",
+      Dex_model.Prv 1,
+      n,
+      t,
+      [ 0; 1; 0; 0; 0; 0 ],
+      [ (0, Dex_model.Equivocate { v1 = 0; v2 = 1; cut = 3 }) ] )
 
 let run_replay file =
   let scenario, schedule = Dex_model.load_counterexample ~file in
   let sys = Dex_model.system scenario in
   let check sum = Dex_model.check scenario sum in
-  Printf.printf "replaying %s: %s n=%d t=%d mutation=%s, %d schedule entries\n" file
+  Printf.printf "replaying %s: %s %s n=%d t=%d mutation=%s, %d schedule entries\n" file
+    (PL.id_to_string scenario.Dex_model.lane)
     (Format.asprintf "%a" pp_kind scenario.Dex_model.kind)
     scenario.Dex_model.n scenario.Dex_model.t
     (Option.value ~default:"none" scenario.Dex_model.mutation)
@@ -432,7 +477,8 @@ let run_worst_case () =
     ignore (Exec.run_fifo t0);
     score (Exec.summary t0)
   in
-  Printf.printf "worst-case search: %s n=%d t=%d proposals=[%s] faults=%d budget=%d\n"
+  Printf.printf "worst-case search: %s %s n=%d t=%d proposals=[%s] faults=%d budget=%d\n"
+    (PL.id_to_string (lane ()))
     (Format.asprintf "%a" pp_kind kind)
     n t
     (String.concat ";" (List.map string_of_int proposals))
@@ -463,17 +509,25 @@ let run_worst_case () =
     if best_loss >= fifo_loss then 0 else 1
 
 let run_smoke () =
-  Printf.printf "dex_mc --smoke: exhaustive n=4,t=0 + planted-mutation check\n";
+  Printf.printf "dex_mc --smoke (%s): exhaustive n=4,t=0 + planted-mutation check\n"
+    (PL.id_to_string (lane ()));
   let saved_budget = options.budget in
   options.budget <- min options.budget 1;
-  let ok1, ex1 = sweep ~label:"P_freq n=4 t=0" (scenarios_for Dex_model.Freq ~n:4 ~t:0) in
+  let tag = PL.id_to_string (lane ()) in
+  let ok1, ex1 =
+    sweep
+      ~label:(Printf.sprintf "%s P_freq n=4 t=0" tag)
+      (scenarios_for Dex_model.Freq ~n:4 ~t:0)
+  in
   let ok2, ex2 =
-    sweep ~label:"P_prv(m=1) n=4 t=0" (scenarios_for (Dex_model.Prv 1) ~n:4 ~t:0)
+    sweep
+      ~label:(Printf.sprintf "%s P_prv(m=1) n=4 t=0" tag)
+      (scenarios_for (Dex_model.Prv 1) ~n:4 ~t:0)
   in
   options.budget <- saved_budget;
-  let kind, n, t, proposals = default_mutation_target () in
+  let mutation, kind, n, t, proposals, faults = default_mutation_target () in
   let found =
-    find_mutant_counterexample ~mutation:"p2-gt-t" ~kind ~n ~t ~proposals <> None
+    find_mutant_counterexample ~faults ~mutation ~kind ~n ~t ~proposals () <> None
   in
   if ok1 && ok2 && ex1 && ex2 && found then begin
     Printf.printf "smoke: PASS\n";
@@ -493,12 +547,21 @@ let run_sweep () =
   let targets =
     if options.pair <> "" && options.n > 0 then
       [ (kind_of_pair options.pair, options.n, max options.t 0, options.budget) ]
-    else
+    else if lane () = PL.Dex then
       [
         (Dex_model.Freq, 4, 0, options.budget);
         (Dex_model.Prv 1, 4, 0, options.budget);
         (Dex_model.Prv 1, 6, 1, min options.budget 1);
         (Dex_model.Freq, 7, 1, min options.budget 1);
+      ]
+    else
+      (* The non-dex lanes only take the pair's dimensions, so one kind per
+         shape suffices; P_prv covers both the exhaustive t=0 floor and the
+         smallest Byzantine-capable shape n=5t+1. *)
+      [
+        (Dex_model.Freq, 4, 0, options.budget);
+        (Dex_model.Prv 1, 4, 0, options.budget);
+        (Dex_model.Prv 1, 6, 1, min options.budget 1);
       ]
   in
   let saved_budget = options.budget in
@@ -506,7 +569,11 @@ let run_sweep () =
     List.for_all
       (fun (kind, n, t, budget) ->
         options.budget <- budget;
-        let label = Format.asprintf "%a n=%d t=%d b=%d" pp_kind kind n t budget in
+        let label =
+          Format.asprintf "%s %a n=%d t=%d b=%d"
+            (PL.id_to_string (lane ()))
+            pp_kind kind n t budget
+        in
         let ok = fst (sweep ~label (scenarios_for kind ~n ~t)) in
         options.budget <- saved_budget;
         ok)
@@ -521,23 +588,26 @@ let () =
     | _ when options.worst_case -> run_worst_case ()
     | Some file, _, _ -> run_replay file
     | None, Some mutation, _ ->
-      let kind, n, t, proposals =
+      let kind, n, t, proposals, faults =
         if options.pair <> "" && options.n > 0 then begin
           let kind = kind_of_pair options.pair in
           let n = options.n and t = max options.t 0 in
+          let _, _, dn, _, dp, df = default_mutation_target () in
           let proposals =
             match options.input with
             | Some spec ->
               List.filter_map int_of_string_opt (String.split_on_char ',' spec)
-            | None ->
-              let _, _, _, p = default_mutation_target () in
-              p
+            | None -> dp
           in
-          (kind, n, t, proposals)
+          (kind, n, t, proposals, if n = dn then df else [])
         end
-        else default_mutation_target ()
+        else
+          let _, kind, n, t, proposals, faults = default_mutation_target () in
+          (kind, n, t, proposals, faults)
       in
-      if find_mutant_counterexample ~mutation ~kind ~n ~t ~proposals <> None then 0 else 1
+      if find_mutant_counterexample ~faults ~mutation ~kind ~n ~t ~proposals () <> None
+      then 0
+      else 1
     | None, None, true -> run_smoke ()
     | None, None, false -> run_sweep ()
   in

@@ -27,6 +27,8 @@ open Dex_workload
 let algo_of_string = function
   | "dex-freq" -> Ok Scenario.Dex_freq
   | "dex-freq-snapshot" -> Ok Scenario.Dex_freq_snapshot
+  | "two-step" | "kuo-chen" -> Ok Scenario.Kuo_chen
+  | "hbft" -> Ok Scenario.Hbft
   | "bosco" -> Ok Scenario.Bosco
   | "friedman" -> Ok Scenario.Friedman
   | "brasileiro" -> Ok Scenario.Brasileiro
@@ -94,8 +96,8 @@ let algo_t =
     & opt algo_conv Scenario.Dex_freq
     & info [ "algo" ]
         ~doc:
-          "Algorithm: dex-freq, dex-freq-snapshot, dex-prv[:M], bosco, friedman, brasileiro, \
-           izumi, sync-flood, plain.")
+          "Algorithm: dex-freq, dex-freq-snapshot, dex-prv[:M], two-step, hbft, bosco, \
+           friedman, brasileiro, izumi, sync-flood, plain.")
 
 let n_t = Arg.(value & opt int 7 & info [ "n"; "procs" ] ~doc:"Number of processes.")
 
@@ -275,7 +277,7 @@ let log_cmd =
     Arg.(value & opt int 25 & info [ "contention" ] ~doc:"Percent of contended slots.")
   in
   let action n t slots contention seed =
-    let module L = Dex_smr.Replicated_log.Make (Dex_underlying.Uc_oracle) in
+    let module L = Dex_smr.Replicated_log.Make (Dex_core.Dex.Lane (Dex_underlying.Uc_oracle)) in
     match Pair.freq ~n ~t with
     | exception Pair.Assumption_violated m -> `Error (false, m)
     | pair ->

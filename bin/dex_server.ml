@@ -21,6 +21,7 @@
 open Cmdliner
 open Dex_condition
 open Dex_underlying
+module PL = Dex_core.Protocol_lane
 module Sm = Dex_service.State_machine
 module R = Dex_metrics.Registry
 module FP = Dex_runtime.Fault_plan
@@ -82,9 +83,9 @@ let roles_of opts p =
   else if List.mem p opts.equivocate then Dex_service.Server.Equivocator
   else Dex_service.Server.Correct
 
-module Run (Uc : Uc_intf.S) = struct
-  module S = Dex_service.Server.Make (Uc)
-  module G = Dex_shard.Group_set.Make (Uc)
+module Run (L : PL.LANE) = struct
+  module S = Dex_service.Server.Make (L)
+  module G = Dex_shard.Group_set.Make (L)
   module Router = Dex_shard.Router
 
   let config_of opts =
@@ -182,20 +183,32 @@ module Run (Uc : Uc_intf.S) = struct
           (R.get merged "reactor/handler_errors")
           (max_over "service/client_wbuf_hwm")
     in
+    (* Decision-path counters, named through the one shared provenance
+       mapping (a new provenance variant shows up here automatically). *)
+    let prov_part =
+      String.concat " "
+        (List.map
+           (fun p ->
+             let name = PL.metric_of_provenance p in
+             Printf.sprintf "%s=%d" name (R.get merged ("service/" ^ name)))
+           PL.all_provenances)
+    in
     Printf.printf
-      "[stats] slots=%d applied=%d busy=%d lag=%d | %s | net reconn=%d backoff=%d drop=%d%s%s\n%!"
+      "[stats] slots=%d applied=%d busy=%d lag=%d | %s | %s | net reconn=%d backoff=%d \
+       drop=%d%s%s\n%!"
       (R.get merged "service/committed_slots")
       (R.get merged "service/applied")
       (R.get merged "service/busy_rejections")
-      (max_over "service/apply_lag") wal_part
+      (max_over "service/apply_lag") prov_part wal_part
       (R.get merged "net/reconnects")
       (R.get merged "net/backoffs")
       (R.get merged "net/drops") peer_part reactor_part
 
   let serve_one opts =
     let d = launch opts in
-    Printf.printf "service up: n=%d t=%d uc=%s pair=%s durability=%s io=%s dissemination=%s\n"
-      opts.n opts.t Uc.name opts.pair_name
+    Printf.printf
+      "service up: n=%d t=%d protocol=%s pair=%s durability=%s io=%s dissemination=%s\n"
+      opts.n opts.t L.name opts.pair_name
       (match opts.data_dir with Some dir -> dir | None -> "off")
       (Dex_runtime.Transport.io_mode_to_string opts.io_mode)
       (Dex_erasure.Dissemination.to_string opts.dissemination);
@@ -228,9 +241,9 @@ module Run (Uc : Uc_intf.S) = struct
   let smoke_one opts =
     let d = launch opts in
     Printf.printf
-      "smoke: n=%d t=%d uc=%s pair=%s dissemination=%s value-bytes=%d mute=[%s] \
+      "smoke: n=%d t=%d protocol=%s pair=%s dissemination=%s value-bytes=%d mute=[%s] \
        equivocate=[%s]\n%!"
-      opts.n opts.t Uc.name opts.pair_name
+      opts.n opts.t L.name opts.pair_name
       (Dex_erasure.Dissemination.to_string opts.dissemination)
       opts.value_bytes
       (String.concat "," (List.map string_of_int opts.mute))
@@ -314,8 +327,8 @@ module Run (Uc : Uc_intf.S) = struct
       failwith "restart: --kill must name a correct replica";
     let d = launch opts in
     Printf.printf
-      "restart smoke: n=%d t=%d uc=%s pair=%s data-dir=%s kill=%d down=%.1fs duration=%.1fs\n%!"
-      opts.n opts.t Uc.name opts.pair_name data_dir opts.kill opts.down opts.duration;
+      "restart smoke: n=%d t=%d protocol=%s pair=%s data-dir=%s kill=%d down=%.1fs duration=%.1fs\n%!"
+      opts.n opts.t L.name opts.pair_name data_dir opts.kill opts.down opts.duration;
     let report = ref None in
     let loader =
       Thread.create
@@ -468,10 +481,23 @@ module Run (Uc : Uc_intf.S) = struct
         ];
     }
 
-  let one_step_fraction (r : Dex_service.Client.Load.report) =
-    let decided = r.Dex_service.Client.Load.one_step + r.two_step + r.underlying in
-    if decided = 0 then 0.0
-    else float_of_int r.Dex_service.Client.Load.one_step /. float_of_int decided
+  (* The lane's expedited-path fraction of decided commits: [L.fast_path]
+     selects which provenance counters count as fast (one-step for dex,
+     two-step for the two-step and hbft lanes). *)
+  let fast_fraction (r : Dex_service.Client.Load.report) =
+    let count p =
+      match p with
+      | PL.One_step -> r.Dex_service.Client.Load.one_step
+      | PL.Two_step -> r.Dex_service.Client.Load.two_step
+      | PL.Underlying -> r.Dex_service.Client.Load.underlying
+    in
+    let decided = List.fold_left (fun acc p -> acc + count p) 0 PL.all_provenances in
+    let fast =
+      List.fold_left
+        (fun acc p -> if L.fast_path p then acc + count p else acc)
+        0 PL.all_provenances
+    in
+    if decided = 0 then 0.0 else float_of_int fast /. float_of_int decided
 
   let pp_phase label (r : Dex_service.Client.Load.report) =
     let lat =
@@ -480,9 +506,9 @@ module Run (Uc : Uc_intf.S) = struct
       | None -> ""
     in
     Printf.printf
-      "[%s] committed=%d failed=%d one-step=%.1f%% (1s=%d 2s=%d und=%d)%s thrpt=%.0f/s\n%!"
+      "[%s] committed=%d failed=%d fast-path=%.1f%% (1s=%d 2s=%d und=%d)%s thrpt=%.0f/s\n%!"
       label r.Dex_service.Client.Load.committed r.failed
-      (100.0 *. one_step_fraction r)
+      (100.0 *. fast_fraction r)
       r.Dex_service.Client.Load.one_step r.two_step r.underlying lat r.throughput
 
   (* One load phase: launch (optionally chaos-wrapped), drive a closed-loop
@@ -561,9 +587,9 @@ module Run (Uc : Uc_intf.S) = struct
           (Printf.sprintf "dex-gauntlet-%d" (Unix.getpid ()))
     in
     Printf.printf
-      "gauntlet: n=%d t=%d uc=%s pair=%s io=%s dissemination=%s duration=%.1fs plan=%s (%d \
+      "gauntlet: n=%d t=%d protocol=%s pair=%s io=%s dissemination=%s duration=%.1fs plan=%s (%d \
        rules, %d cuts, %d storm, %d churn; seed %d)\n%!"
-      opts.n opts.t Uc.name opts.pair_name
+      opts.n opts.t L.name opts.pair_name
       (Dex_runtime.Transport.io_mode_to_string opts.io_mode)
       (Dex_erasure.Dissemination.to_string opts.dissemination)
       opts.duration
@@ -592,8 +618,8 @@ module Run (Uc : Uc_intf.S) = struct
       "agreement: baseline %d slots compared (%d violations), chaos %d slots compared (%d \
        violations)\n%!"
       base_compared (List.length base_viol) compared (List.length violations);
-    let base_frac = one_step_fraction base_report and chaos_frac = one_step_fraction report in
-    Printf.printf "one-step fraction: baseline %.1f%% -> chaos %.1f%%\n%!"
+    let base_frac = fast_fraction base_report and chaos_frac = fast_fraction report in
+    Printf.printf "fast-path fraction: baseline %.1f%% -> chaos %.1f%%\n%!"
       (100.0 *. base_frac) (100.0 *. chaos_frac);
     let committed = report.Dex_service.Client.Load.committed in
     if base_report.Dex_service.Client.Load.committed = 0 then
@@ -703,10 +729,10 @@ module Run (Uc : Uc_intf.S) = struct
 
   let serve_set opts =
     let g = launch_set opts in
-    Printf.printf "service up: n=%d t=%d shards=%d map=%s uc=%s pair=%s durability=%s io=%s\n"
+    Printf.printf "service up: n=%d t=%d shards=%d map=%s protocol=%s pair=%s durability=%s io=%s\n"
       opts.n opts.t opts.shards
       (Dex_shard.Shard_map.to_string (G.map g))
-      Uc.name opts.pair_name
+      L.name opts.pair_name
       (match opts.data_dir with
       | Some dir -> Filename.concat dir "shard-<i>"
       | None -> "off")
@@ -738,10 +764,10 @@ module Run (Uc : Uc_intf.S) = struct
 
   let smoke_set opts =
     let g = launch_set opts in
-    Printf.printf "smoke: n=%d t=%d shards=%d map=%s uc=%s pair=%s mute=[%s] equivocate=[%s]\n%!"
+    Printf.printf "smoke: n=%d t=%d shards=%d map=%s protocol=%s pair=%s mute=[%s] equivocate=[%s]\n%!"
       opts.n opts.t opts.shards
       (Dex_shard.Shard_map.to_string (G.map g))
-      Uc.name opts.pair_name
+      L.name opts.pair_name
       (String.concat "," (List.map string_of_int opts.mute))
       (String.concat "," (List.map string_of_int opts.equivocate));
     let router =
@@ -800,9 +826,9 @@ module Run (Uc : Uc_intf.S) = struct
       failwith "restart: --kill must name a correct replica";
     let g = launch_set opts in
     Printf.printf
-      "restart smoke: n=%d t=%d shards=%d uc=%s pair=%s data-dir=%s kill=shard0/%d \
+      "restart smoke: n=%d t=%d shards=%d protocol=%s pair=%s data-dir=%s kill=shard0/%d \
        down=%.1fs duration=%.1fs\n%!"
-      opts.n opts.t opts.shards Uc.name opts.pair_name data_dir opts.kill opts.down
+      opts.n opts.t opts.shards L.name opts.pair_name data_dir opts.kill opts.down
       opts.duration;
     let report = ref None in
     let loader =
@@ -976,9 +1002,9 @@ module Run (Uc : Uc_intf.S) = struct
           (Printf.sprintf "dex-gauntlet-shards-%d" (Unix.getpid ()))
     in
     Printf.printf
-      "gauntlet: n=%d t=%d shards=%d (chaos confined to shard 0) uc=%s pair=%s io=%s \
+      "gauntlet: n=%d t=%d shards=%d (chaos confined to shard 0) protocol=%s pair=%s io=%s \
        duration=%.1fs plan=%s (%d rules, %d cuts, %d storm, %d churn; seed %d)\n%!"
-      opts.n opts.t opts.shards Uc.name opts.pair_name
+      opts.n opts.t opts.shards L.name opts.pair_name
       (Dex_runtime.Transport.io_mode_to_string opts.io_mode)
       opts.duration
       (match opts.chaos_plan with Some f -> f | None -> "builtin")
@@ -1008,9 +1034,9 @@ module Run (Uc : Uc_intf.S) = struct
       report.Router.Load.per_shard;
     print_agreement_set ~tag:"[baseline] " base_viols;
     print_agreement_set ~tag:"[chaos] " viols;
-    let base_frac = one_step_fraction base_report.Router.Load.agg in
-    let chaos_frac = one_step_fraction report.Router.Load.agg in
-    Printf.printf "one-step fraction: baseline %.1f%% -> chaos %.1f%%\n%!"
+    let base_frac = fast_fraction base_report.Router.Load.agg in
+    let chaos_frac = fast_fraction report.Router.Load.agg in
+    Printf.printf "fast-path fraction: baseline %.1f%% -> chaos %.1f%%\n%!"
       (100.0 *. base_frac) (100.0 *. chaos_frac);
     (* Blast radius: chaos was injected into shard 0 only, so every healthy
        shard must have kept committing for the whole phase. *)
@@ -1062,17 +1088,74 @@ module Run (Uc : Uc_intf.S) = struct
   let gauntlet opts = if opts.shards > 1 then gauntlet_set opts else gauntlet_one opts
 end
 
-module Run_oracle = Run (Uc_oracle)
-module Run_leader = Run (Uc_leader)
+module Run_dex_oracle = Run (Dex_core.Dex.Lane (Uc_oracle))
+module Run_dex_leader = Run (Dex_core.Dex.Lane (Uc_leader))
+module Run_kc_oracle = Run (Dex_baselines.Kuo_chen.Lane (Uc_oracle))
+module Run_kc_leader = Run (Dex_baselines.Kuo_chen.Lane (Uc_leader))
+module Run_hbft_oracle = Run (Dex_baselines.Hbft.Lane (Uc_oracle))
+module Run_hbft_leader = Run (Dex_baselines.Hbft.Lane (Uc_leader))
 
-let dispatch f_oracle f_leader uc opts =
-  match uc with
-  | "oracle" -> f_oracle opts
-  | "leader" ->
-    (* Round timeouts in seconds on the thread runtime. *)
-    Uc_leader.timeout_base := 0.25;
-    f_leader opts
-  | other -> `Error (false, Printf.sprintf "unknown uc %S (use oracle or leader)" other)
+type outcome = [ `Ok of unit | `Error of bool * string ]
+
+(* One record of entry points per lane x uc instantiation, so subcommand
+   dispatch is a value-level lookup over the six functor applications. *)
+type runner = {
+  r_serve : opts -> outcome;
+  r_smoke : opts -> outcome;
+  r_restart : opts -> outcome;
+  r_gauntlet : opts -> outcome;
+}
+
+let guard f opts : outcome =
+  try f opts with
+  | Pair.Assumption_violated m -> `Error (false, m)
+  | Failure m -> `Error (false, m)
+  | Invalid_argument m -> `Error (false, m)
+
+let runner_dex_oracle =
+  { r_serve = guard Run_dex_oracle.serve; r_smoke = guard Run_dex_oracle.smoke;
+    r_restart = guard Run_dex_oracle.restart; r_gauntlet = guard Run_dex_oracle.gauntlet }
+
+let runner_dex_leader =
+  { r_serve = guard Run_dex_leader.serve; r_smoke = guard Run_dex_leader.smoke;
+    r_restart = guard Run_dex_leader.restart; r_gauntlet = guard Run_dex_leader.gauntlet }
+
+let runner_kc_oracle =
+  { r_serve = guard Run_kc_oracle.serve; r_smoke = guard Run_kc_oracle.smoke;
+    r_restart = guard Run_kc_oracle.restart; r_gauntlet = guard Run_kc_oracle.gauntlet }
+
+let runner_kc_leader =
+  { r_serve = guard Run_kc_leader.serve; r_smoke = guard Run_kc_leader.smoke;
+    r_restart = guard Run_kc_leader.restart; r_gauntlet = guard Run_kc_leader.gauntlet }
+
+let runner_hbft_oracle =
+  { r_serve = guard Run_hbft_oracle.serve; r_smoke = guard Run_hbft_oracle.smoke;
+    r_restart = guard Run_hbft_oracle.restart; r_gauntlet = guard Run_hbft_oracle.gauntlet }
+
+let runner_hbft_leader =
+  { r_serve = guard Run_hbft_leader.serve; r_smoke = guard Run_hbft_leader.smoke;
+    r_restart = guard Run_hbft_leader.restart; r_gauntlet = guard Run_hbft_leader.gauntlet }
+
+let dispatch sel uc protocol opts : unit Term.ret =
+  match (PL.id_of_string protocol, uc) with
+  | None, _ ->
+    `Error
+      (false, Printf.sprintf "unknown protocol %S (use dex, two-step or hbft)" protocol)
+  | Some id, ("oracle" | "leader") ->
+    if String.equal uc "leader" then
+      (* Round timeouts in seconds on the thread runtime. *)
+      Uc_leader.timeout_base := 0.25;
+    let r =
+      match (id, uc) with
+      | PL.Dex, "oracle" -> runner_dex_oracle
+      | PL.Dex, _ -> runner_dex_leader
+      | PL.Kuo_chen, "oracle" -> runner_kc_oracle
+      | PL.Kuo_chen, _ -> runner_kc_leader
+      | PL.Hbft, "oracle" -> runner_hbft_oracle
+      | PL.Hbft, _ -> runner_hbft_leader
+    in
+    (sel r opts :> unit Term.ret)
+  | _, other -> `Error (false, Printf.sprintf "unknown uc %S (use oracle or leader)" other)
 
 (* ----------------------------- options ----------------------------- *)
 
@@ -1253,31 +1336,73 @@ let opts_t ~default_n ~default_t ~default_duration ~default_mute =
 let uc_t =
   Arg.(value & opt string "oracle" & info [ "uc" ] ~doc:"Underlying consensus: oracle or leader.")
 
-let guard f opts =
-  try f opts with
-  | Pair.Assumption_violated m -> `Error (false, m)
-  | Failure m -> `Error (false, m)
-  | Invalid_argument m -> `Error (false, m)
+let protocol_t =
+  Arg.(
+    value & opt string "dex"
+    & info [ "protocol" ]
+        ~doc:
+          "Protocol lane: $(b,dex) (the paper's doubly-expedited one-step pair), \
+           $(b,two-step) (Kuo-Chen two-step without recovery), or $(b,hbft) (speculative \
+           coordinator ordering). All lanes run over the same log, service and \
+           underlying consensus.")
+
+(* Per-subcommand manual: every flag the shared option set accepts, grouped
+   by concern, so each subcommand's --help lists the full surface. *)
+let flags_man =
+  [
+    `S Manpage.s_options;
+    `P
+      "Deployment shape: $(b,-n)/$(b,--replicas) replica count; \
+       $(b,-t)/$(b,--faults-bound) failure bound; $(b,--shards) independent consensus \
+       groups of n replicas behind a shard router (one shared runtime); $(b,--protocol) \
+       protocol lane ($(b,dex), $(b,two-step) or $(b,hbft)); $(b,--uc) underlying \
+       consensus ($(b,oracle) or $(b,leader)); $(b,--pair) condition pair ($(b,freq) or \
+       $(b,prv[:M])); $(b,--io-mode) I/O runtime ($(b,reactor) or $(b,threads)).";
+    `P
+      "Batching and admission: $(b,--window) log pipelining window; $(b,--batch-delay) \
+       batcher tick; $(b,--settle) minimum request age before proposal; \
+       $(b,--batch-cap) max requests per batch; $(b,--queue-cap) admission queue bound.";
+    `P
+      "Durability: $(b,--data-dir) WAL + snapshots + persist-before-reply; \
+       $(b,--no-group-commit) inline fsync per applied slot; $(b,--snapshot-every) \
+       snapshot cadence in applied slots.";
+    `P
+      "Dissemination and load shape: $(b,--dissemination) batch content lane ($(b,full) \
+       or $(b,coded) Reed-Solomon fragments); $(b,--value-bytes) opaque blob payload \
+       size for the driving load; $(b,--submit-to) restrict client submissions to the \
+       first K replicas.";
+    `P
+      "Faults: $(b,--mute) crashed pids; $(b,--equivocate) equivocating pids; \
+       $(b,--kill)/$(b,--down) crash target and downtime (restart); $(b,--chaos-plan) \
+       fault plan file to replay (gauntlet).";
+    `P
+      "Misc: $(b,--seed) PRNG seed; $(b,--port-base) service port base; \
+       $(b,--duration) run time; $(b,--stats) counter report cadence.";
+  ]
 
 let serve_cmd =
-  let action uc opts = dispatch (guard Run_oracle.serve) (guard Run_leader.serve) uc opts in
-  let term =
-    Term.(
-      ret (const action $ uc_t $ opts_t ~default_n:4 ~default_t:0 ~default_duration:0.0 ~default_mute:None))
-  in
-  Cmd.v (Cmd.info "serve" ~doc:"Boot an n-replica loopback KV service and print client ports.") term
-
-let smoke_cmd =
-  let action uc opts = dispatch (guard Run_oracle.smoke) (guard Run_leader.smoke) uc opts in
+  let action uc protocol opts = dispatch (fun r -> r.r_serve) uc protocol opts in
   let term =
     Term.(
       ret
-        (const action
-        $ uc_t
+        (const action $ uc_t $ protocol_t
+        $ opts_t ~default_n:4 ~default_t:0 ~default_duration:0.0 ~default_mute:None))
+  in
+  Cmd.v
+    (Cmd.info "serve" ~man:flags_man
+       ~doc:"Boot an n-replica loopback KV service and print client ports.")
+    term
+
+let smoke_cmd =
+  let action uc protocol opts = dispatch (fun r -> r.r_smoke) uc protocol opts in
+  let term =
+    Term.(
+      ret
+        (const action $ uc_t $ protocol_t
         $ opts_t ~default_n:7 ~default_t:1 ~default_duration:5.0 ~default_mute:(Some [ 6 ])))
   in
   Cmd.v
-    (Cmd.info "smoke"
+    (Cmd.info "smoke" ~man:flags_man
        ~doc:
          "CI gate: boot a deployment (default: n=7 t=1, replica 6 mute), drive it with a \
           closed-loop client, and fail on zero commits, agreement violations, or duplicate \
@@ -1285,16 +1410,15 @@ let smoke_cmd =
     term
 
 let restart_cmd =
-  let action uc opts = dispatch (guard Run_oracle.restart) (guard Run_leader.restart) uc opts in
+  let action uc protocol opts = dispatch (fun r -> r.r_restart) uc protocol opts in
   let term =
     Term.(
       ret
-        (const action
-        $ uc_t
+        (const action $ uc_t $ protocol_t
         $ opts_t ~default_n:4 ~default_t:0 ~default_duration:9.0 ~default_mute:None))
   in
   Cmd.v
-    (Cmd.info "restart"
+    (Cmd.info "restart" ~man:flags_man
        ~doc:
          "Durability gate: boot a durable deployment (default n=4 t=0), crash replica \
           --kill mid-load (WAL abandoned), restart it after --down seconds, and fail \
@@ -1304,16 +1428,15 @@ let restart_cmd =
     term
 
 let gauntlet_cmd =
-  let action uc opts = dispatch (guard Run_oracle.gauntlet) (guard Run_leader.gauntlet) uc opts in
+  let action uc protocol opts = dispatch (fun r -> r.r_gauntlet) uc protocol opts in
   let term =
     Term.(
       ret
-        (const action
-        $ uc_t
+        (const action $ uc_t $ protocol_t
         $ opts_t ~default_n:7 ~default_t:1 ~default_duration:12.0 ~default_mute:None))
   in
   Cmd.v
-    (Cmd.info "gauntlet"
+    (Cmd.info "gauntlet" ~man:flags_man
        ~doc:
          "Chaos gate: run a clean baseline, then replay a deterministic fault plan — link \
           noise, a healing partition, a kill/restart storm and a Byzantine churn burst \

@@ -24,7 +24,7 @@ open Dex_underlying
 open Dex_smr
 module Sm = Dex_service.State_machine
 
-module Log = Replicated_log.Make (Uc_oracle)
+module Log = Replicated_log.Make (Dex_core.Dex.Lane (Uc_oracle))
 
 (* Command id c = SET key[c mod 3] := 10*c, as a real service command. *)
 let command_of_id c = Sm.Set ([| "x"; "y"; "z" |].(c mod 3), 10 * c)

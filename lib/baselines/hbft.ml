@@ -1,0 +1,242 @@
+open Dex_vector
+open Dex_condition
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) = struct
+  type msg =
+    | Val of Value.t
+    | Order of Value.t
+    | Accept of Value.t
+    | Timeout
+    | Uc of Uc.msg
+
+  let pp_msg ppf = function
+    | Val v -> Format.fprintf ppf "VAL(%a)" Value.pp v
+    | Order v -> Format.fprintf ppf "ORDER(%a)" Value.pp v
+    | Accept v -> Format.fprintf ppf "ACCEPT(%a)" Value.pp v
+    | Timeout -> Format.pp_print_string ppf "TIMEOUT"
+    | Uc _ -> Format.pp_print_string ppf "UC(..)"
+
+  let classify = function
+    | Val _ -> "VAL"
+    | Order _ -> "ORD"
+    | Accept _ -> "ACC"
+    | Timeout -> "TMO"
+    | Uc _ -> "UC"
+
+  let codec =
+    let open Dex_codec.Codec in
+    variant ~name:"Hbft.msg"
+      (function
+        | Val v -> (0, fun buf -> int.write buf v)
+        | Order v -> (1, fun buf -> int.write buf v)
+        | Accept v -> (2, fun buf -> int.write buf v)
+        | Timeout -> (3, fun _ -> ())
+        | Uc m -> (4, fun buf -> Uc.codec.write buf m))
+      (fun tag r ->
+        match tag with
+        | 0 -> Val (int.read r)
+        | 1 -> Order (int.read r)
+        | 2 -> Accept (int.read r)
+        | 3 -> Timeout
+        | 4 -> Uc (Uc.codec.read r)
+        | other -> bad_tag ~name:"Hbft.msg" other)
+
+  type config = {
+    n : int;
+    t : int;
+    seed : int;
+    give_up : float;  (** delay before accepting our own value sans order *)
+    support : int;  (** matching [Val]s required to accept an order *)
+    spec : int;  (** matching [Accept]s required to decide speculatively *)
+  }
+
+  let config ?(seed = 0) ?mutation ?(give_up = 0.05) ~n ~t () =
+    if t < 0 || n <= 5 * t then invalid_arg "Hbft.config: requires n > 5t and t >= 0";
+    let support, spec =
+      match mutation with
+      | None -> (t + 1, n - t)
+      | Some "support-zero" ->
+        (* Oracle-breakage variant: accept the coordinator's order without
+           any first-round support — a Byzantine coordinator can steer
+           correct processes away from a unanimous proposal. *)
+        (0, n - t)
+      | Some "spec-low" ->
+        (* Oracle-breakage variant: decide speculatively on n - 2t accepts —
+           too few to force the underlying-consensus proposals, so the
+           fallback can contradict the speculative decision. *)
+        (t + 1, n - (2 * t))
+      | Some m -> invalid_arg ("Hbft.config: unknown mutation " ^ m)
+    in
+    { n; t; seed; give_up; support; spec }
+
+  (* The speculation coordinator for this instance, rotated by the
+     per-instance seed (the log stamps a distinct seed per slot). *)
+  let coordinator cfg = ((cfg.seed mod cfg.n) + cfg.n) mod cfg.n
+
+  let instance cfg ~me ~proposal =
+    let coord = coordinator cfg in
+    let vals = View.bottom cfg.n in
+    let accepts = View.bottom cfg.n in
+    let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
+    let order = ref None in
+    let accepted = ref false in
+    let proposed = ref false in
+    let decided = ref false in
+    let uc_actions = Uc_intf.to_actions ~inject:(fun m -> Uc m) ~decided in
+    (* Accept the coordinator's order once [support] first-round values
+       vouch for it — with support t + 1, at least one correct process
+       proposed the ordered value, so a Byzantine coordinator cannot pull
+       the system off a unanimous proposal. Exactly one accept per correct
+       process ([accepted] also covers the give-up path). *)
+    let try_accept () =
+      if not !accepted then begin
+        match !order with
+        | Some v when View.occurrences vals v >= cfg.support ->
+          accepted := true;
+          Protocol.broadcast ~n:cfg.n (Accept v)
+        | _ -> []
+      end
+      else []
+    in
+    (* The UC proposal, once, at n - t accepts: the sample's strict
+       majority value, else our own proposal. A speculative decision for
+       [v] has n - 2t correct accepters behind it, so every correct sample
+       of n - t holds more than (n-t)/2 of them (needs n > 5t) — the
+       decision forces the UC unanimously. *)
+    let try_propose () =
+      if (not !proposed) && View.filled accepts >= cfg.n - cfg.t then begin
+        proposed := true;
+        let w =
+          match View_stats.first (View.stats accepts) with
+          | Some (v, c) when 2 * c > cfg.n - cfg.t -> v
+          | _ -> proposal
+        in
+        uc_actions (Uc.propose uc w)
+      end
+      else []
+    in
+    (* Re-evaluated on every accept: decide [v] speculatively at [spec]
+       matching accepts — tag "two-step" (value + accept = two steps). *)
+    let try_decide () =
+      if not !decided then begin
+        match View_stats.first (View.stats accepts) with
+        | Some (v, c) when c >= cfg.spec ->
+          decided := true;
+          [ Protocol.decide ~tag:"two-step" v ]
+        | _ -> []
+      end
+      else []
+    in
+    let start () =
+      View.set vals me proposal;
+      Protocol.broadcast ~n:cfg.n (Val proposal)
+      @ (if Pid.equal me coord then Protocol.broadcast ~n:cfg.n (Order proposal) else [])
+      @ [ Protocol.Set_timer { delay = cfg.give_up; msg = Timeout } ]
+    in
+    let on_message ~now:_ ~from msg =
+      match msg with
+      | Val v ->
+        (* First value per sender counts. *)
+        if from >= 0 && from < cfg.n && View.get vals from = None then begin
+          View.set vals from v;
+          try_accept ()
+        end
+        else []
+      | Order v ->
+        if Pid.equal from coord && !order = None then begin
+          order := Some v;
+          try_accept ()
+        end
+        else []
+      | Timeout ->
+        (* Give-up: no acceptable order arrived in time — fall back to our
+           own value so the accept round always completes. Timers are local
+           (self-addressed), so a peer cannot forge one. *)
+        if Pid.equal from me && not !accepted then begin
+          accepted := true;
+          Protocol.broadcast ~n:cfg.n (Accept proposal)
+        end
+        else []
+      | Accept v ->
+        if from >= 0 && from < cfg.n && View.get accepts from = None then begin
+          View.set accepts from v;
+          try_propose () @ try_decide ()
+        end
+        else []
+      | Uc m -> uc_actions (Uc.on_message uc ~from m)
+    in
+    { Protocol.start; on_message }
+
+  let extra cfg =
+    List.map
+      (fun (pid, inst) ->
+        ( pid,
+          Protocol.embed
+            ~inject:(fun m -> Uc m)
+            ~project:(function
+              | Uc m -> Some m
+              | Val _ | Order _ | Accept _ | Timeout -> None)
+            inst ))
+      (Uc.extra_nodes ~n:cfg.n ~t:cfg.t ~seed:cfg.seed)
+
+  let equivocator cfg ~me ~split =
+    let coord = coordinator cfg in
+    {
+      Protocol.start =
+        (fun () ->
+          List.concat_map
+            (fun dst ->
+              Protocol.send dst (Val (split dst))
+              :: Protocol.send dst (Accept (split dst))
+              ::
+              (if Pid.equal me coord then [ Protocol.send dst (Order (split dst)) ]
+               else []))
+            (Pid.all ~n:cfg.n));
+      on_message = (fun ~now:_ ~from:_ _ -> []);
+    }
+end
+
+module Lane (Uc : Uc_intf.S) :
+  Dex_core.Protocol_lane.LANE with type msg = Make(Uc).msg = struct
+  module M = Make (Uc)
+
+  let name = "hbft"
+
+  type msg = M.msg
+
+  let pp_msg = M.pp_msg
+
+  let classify = M.classify
+
+  let codec = M.codec
+
+  type config = M.config
+
+  let config ?seed ?mutation ~pair () =
+    M.config ?seed ?mutation ~n:pair.Pair.n ~t:pair.Pair.t ()
+
+  let instance = M.instance
+
+  let extra = M.extra
+
+  let equivocator = M.equivocator
+
+  let fast_path = function
+    | Dex_core.Protocol_lane.Two_step -> true
+    | Dex_core.Protocol_lane.One_step | Dex_core.Protocol_lane.Underlying -> false
+
+  (* With a unanimous (value-faithful) input, every accept — ordered or
+     give-up — carries the common value: the t + 1 support guard filters any
+     foreign order, so the n - f >= n - t accepts agree and the speculative
+     decision lands within two asynchronous rounds. *)
+  let obligation (cfg : config) ~f input =
+    if f < 0 || f > cfg.M.t then invalid_arg "Hbft.obligation: f outside 0..t";
+    let v0 = Input_vector.get input 0 in
+    let unanimous = ref true in
+    for i = 1 to Input_vector.dim input - 1 do
+      if not (Value.equal (Input_vector.get input i) v0) then unanimous := false
+    done;
+    if !unanimous then `Two_step else `None
+end

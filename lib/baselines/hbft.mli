@@ -1,0 +1,68 @@
+(** Speculative coordinator-ordered consensus in the style of hBFT / FaB
+    (after arXiv:1902.08505, "Revisiting hBFT").
+
+    A rotating coordinator speculatively orders its own value; processes
+    accept an order only when [t + 1] first-round values vouch for it (or
+    fall back to their own value on a give-up timer), and decide at [n - t]
+    matching accepts — tag ["two-step"]. The underlying consensus absorbs
+    every run the speculation does not settle; accepting is mandatory for
+    every correct process, and the underlying-consensus proposal is gated
+    on [n - t] accepts, so a speculative decision forces every correct
+    proposal to its value. Requires [n > 5t]. Timers model local waiting
+    only — safety never depends on them (the model checker delivers them
+    adversarially). *)
+
+open Dex_vector
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) : sig
+  type msg =
+    | Val of Value.t  (** first-round value broadcast *)
+    | Order of Value.t  (** the coordinator's speculative order *)
+    | Accept of Value.t  (** second-round accept *)
+    | Timeout  (** self-addressed give-up timer *)
+    | Uc of Uc.msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val classify : msg -> string
+  (** ["VAL"], ["ORD"], ["ACC"], ["TMO"] or ["UC"]. *)
+
+  val codec : msg Dex_codec.Codec.t
+
+  type config = {
+    n : int;
+    t : int;
+    seed : int;
+    give_up : float;  (** delay before accepting our own value sans order *)
+    support : int;  (** matching [Val]s required to accept an order *)
+    spec : int;  (** matching [Accept]s required to decide speculatively *)
+  }
+
+  val config :
+    ?seed:int -> ?mutation:string -> ?give_up:float -> n:int -> t:int -> unit -> config
+  (** [mutation] is for oracle-breakage tests: ["support-zero"] drops the
+      [t + 1] support guard (a Byzantine coordinator can violate
+      unanimity); ["spec-low"] decides at [n - 2t] accepts (too few to
+      force the underlying consensus — agreement breaks).
+      @raise Invalid_argument unless [n > 5t] and [t >= 0], or on an
+      unknown mutation. *)
+
+  val coordinator : config -> Pid.t
+  (** The instance's speculation coordinator: [seed mod n] (the log stamps
+      a distinct seed per slot, rotating the coordinator). *)
+
+  val instance : config -> me:Pid.t -> proposal:Value.t -> msg Protocol.instance
+
+  val extra : config -> (Pid.t * msg Protocol.instance) list
+
+  val equivocator : config -> me:Pid.t -> split:(Pid.t -> Value.t) -> msg Protocol.instance
+  (** Sends [split dst] to each destination as value and accept — and, when
+      it holds the coordinator role, as per-destination orders. *)
+end
+
+module Lane (Uc : Uc_intf.S) : Dex_core.Protocol_lane.LANE with type msg = Make(Uc).msg
+(** The lane packaging (name ["hbft"]): [n], [t] from the pair's
+    dimensions; the fast path is [Two_step]; the oracle obligation is
+    [`Two_step] exactly on unanimous inputs. *)

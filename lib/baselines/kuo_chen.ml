@@ -1,0 +1,190 @@
+open Dex_vector
+open Dex_condition
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) = struct
+  type msg = V1 of Value.t | V2 of Value.t | Uc of Uc.msg
+
+  let pp_msg ppf = function
+    | V1 v -> Format.fprintf ppf "V1(%a)" Value.pp v
+    | V2 v -> Format.fprintf ppf "V2(%a)" Value.pp v
+    | Uc _ -> Format.pp_print_string ppf "UC(..)"
+
+  let classify = function V1 _ -> "V1" | V2 _ -> "V2" | Uc _ -> "UC"
+
+  let codec =
+    let open Dex_codec.Codec in
+    variant ~name:"Kuo_chen.msg"
+      (function
+        | V1 v -> (0, fun buf -> int.write buf v)
+        | V2 v -> (1, fun buf -> int.write buf v)
+        | Uc m -> (2, fun buf -> Uc.codec.write buf m))
+      (fun tag r ->
+        match tag with
+        | 0 -> V1 (int.read r)
+        | 1 -> V2 (int.read r)
+        | 2 -> Uc (Uc.codec.read r)
+        | other -> bad_tag ~name:"Kuo_chen.msg" other)
+
+  type config = {
+    n : int;
+    t : int;
+    seed : int;
+    decide2 : int;  (** doubled decide threshold: decide [v] when [2·#v > decide2] *)
+  }
+
+  let config ?(seed = 0) ?mutation ~n ~t () =
+    if t < 0 || n <= 5 * t then
+      invalid_arg "Kuo_chen.config: requires n > 5t and t >= 0";
+    let decide2 =
+      match mutation with
+      | None -> n + (3 * t)
+      | Some "decide-low" ->
+        (* Oracle-breakage variant: decide on a bare strict majority of the
+           first n - t second-round votes — two deciders' supports no longer
+           intersect in a correct process. *)
+        n - t
+      | Some m -> invalid_arg ("Kuo_chen.config: unknown mutation " ^ m)
+    in
+    { n; t; seed; decide2 }
+
+  let instance cfg ~me ~proposal =
+    let v1 = View.bottom cfg.n in
+    let v2 = View.bottom cfg.n in
+    let uc = Uc.create ~n:cfg.n ~t:cfg.t ~me ~seed:cfg.seed in
+    let sent_v2 = ref false in
+    let proposed = ref false in
+    let decided = ref false in
+    let uc_actions = Uc_intf.to_actions ~inject:(fun m -> Uc m) ~decided in
+    (* Round 2 entry, evaluated once when the (n-t)-th first-round vote
+       lands: re-broadcast the strict majority value of the sample, or our
+       own proposal when no value holds one. *)
+    let send_v2 () =
+      if (not !sent_v2) && View.filled v1 >= cfg.n - cfg.t then begin
+        sent_v2 := true;
+        let w =
+          match View_stats.first (View.stats v1) with
+          | Some (v, c) when 2 * c > cfg.n - cfg.t -> v
+          | _ -> proposal
+        in
+        Protocol.broadcast ~n:cfg.n (V2 w)
+      end
+      else []
+    in
+    (* The UC proposal, once, at n - t second-round votes: the strict
+       majority value of the sample, else our own proposal. A two-step
+       decision for [v] puts more than (n+t)/2 correct V2(v) senders on the
+       wire, so every correct sample of n - t holds a strict majority for
+       [v] — the decision forces the UC unanimously (needs n > 5t). *)
+    let try_propose () =
+      if (not !proposed) && View.filled v2 >= cfg.n - cfg.t then begin
+        proposed := true;
+        let w =
+          match View_stats.first (View.stats v2) with
+          | Some (v, c) when 2 * c > cfg.n - cfg.t -> v
+          | _ -> proposal
+        in
+        uc_actions (Uc.propose uc w)
+      end
+      else []
+    in
+    (* Re-evaluated on every second-round vote (the dex discipline): decide
+       [v] when 2·#v(V2) > n + 3t. Two such supports intersect in more than
+       t senders, hence in a correct process — which sent one V2. *)
+    let try_decide () =
+      if not !decided then begin
+        match View_stats.first (View.stats v2) with
+        | Some (v, c) when 2 * c > cfg.decide2 ->
+          decided := true;
+          [ Protocol.decide ~tag:"two-step" v ]
+        | _ -> []
+      end
+      else []
+    in
+    let start () =
+      View.set v1 me proposal;
+      Protocol.broadcast ~n:cfg.n (V1 proposal)
+    in
+    let on_message ~now:_ ~from msg =
+      match msg with
+      | V1 v ->
+        (* First vote per sender counts — the algorithm reads one
+           first-round vote per process. *)
+        if from >= 0 && from < cfg.n && View.get v1 from = None then begin
+          View.set v1 from v;
+          send_v2 ()
+        end
+        else []
+      | V2 v ->
+        if from >= 0 && from < cfg.n && View.get v2 from = None then begin
+          View.set v2 from v;
+          try_propose () @ try_decide ()
+        end
+        else []
+      | Uc m -> uc_actions (Uc.on_message uc ~from m)
+    in
+    { Protocol.start; on_message }
+
+  let extra cfg =
+    List.map
+      (fun (pid, inst) ->
+        ( pid,
+          Protocol.embed
+            ~inject:(fun m -> Uc m)
+            ~project:(function Uc m -> Some m | V1 _ | V2 _ -> None)
+            inst ))
+      (Uc.extra_nodes ~n:cfg.n ~t:cfg.t ~seed:cfg.seed)
+
+  let equivocator cfg ~me:_ ~split =
+    {
+      Protocol.start =
+        (fun () ->
+          List.concat_map
+            (fun dst -> [ Protocol.send dst (V1 (split dst)); Protocol.send dst (V2 (split dst)) ])
+            (Pid.all ~n:cfg.n));
+      on_message = (fun ~now:_ ~from:_ _ -> []);
+    }
+end
+
+module Lane (Uc : Uc_intf.S) :
+  Dex_core.Protocol_lane.LANE with type msg = Make(Uc).msg = struct
+  module M = Make (Uc)
+
+  let name = "two-step"
+
+  type msg = M.msg
+
+  let pp_msg = M.pp_msg
+
+  let classify = M.classify
+
+  let codec = M.codec
+
+  type config = M.config
+
+  let config ?seed ?mutation ~pair () =
+    M.config ?seed ?mutation ~n:pair.Pair.n ~t:pair.Pair.t ()
+
+  let instance = M.instance
+
+  let extra = M.extra
+
+  let equivocator = M.equivocator
+
+  let fast_path = function
+    | Dex_core.Protocol_lane.Two_step -> true
+    | Dex_core.Protocol_lane.One_step | Dex_core.Protocol_lane.Underlying -> false
+
+  (* With a unanimous (value-faithful) input every vote on the wire carries
+     the common value, so the decide threshold 2(n-f) > n + 3t holds for any
+     f <= t whenever n > 5t: a round-2 decision is guaranteed. *)
+  let obligation (cfg : config) ~f input =
+    if f < 0 || f > cfg.M.t then invalid_arg "Kuo_chen.obligation: f outside 0..t";
+    let v0 = Input_vector.get input 0 in
+    let unanimous = ref true in
+    for i = 1 to Input_vector.dim input - 1 do
+      if not (Value.equal (Input_vector.get input i) v0) then unanimous := false
+    done;
+    if !unanimous then `Two_step else `None
+end

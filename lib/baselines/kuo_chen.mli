@@ -1,0 +1,63 @@
+(** Kuo–Chen-style two-step consensus without recovery (after
+    arXiv:1911.10361, "No Need for Recovery").
+
+    Two all-to-all vote rounds over the same expedition structure as the
+    dex two-step scheme, with no one-step path and no dedicated recovery
+    protocol: the underlying consensus absorbs every contended run.
+
+    - Round 1: broadcast the proposal; at [n - t] first-round votes adopt
+      the strict-majority value of the sample (else keep the proposal) and
+      broadcast it as the second-round vote.
+    - Round 2 (re-evaluated on every vote): decide [v] once
+      [2·#v > n + 3t] — tag ["two-step"]; independently, at [n - t]
+      second-round votes propose the sample's strict-majority value (else
+      the proposal) to the underlying consensus.
+
+    Requires [n > 5t]. Two deciding supports intersect in a correct
+    process (agreement), and a decision leaves more than [(n+t)/2] correct
+    second-round votes for its value on the wire, forcing every correct
+    underlying-consensus proposal (so the fallback cannot contradict a
+    two-step decision). *)
+
+open Dex_vector
+open Dex_net
+open Dex_underlying
+
+module Make (Uc : Uc_intf.S) : sig
+  type msg = V1 of Value.t | V2 of Value.t | Uc of Uc.msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val classify : msg -> string
+  (** ["V1"], ["V2"] or ["UC"]. *)
+
+  val codec : msg Dex_codec.Codec.t
+
+  type config = {
+    n : int;
+    t : int;
+    seed : int;
+    decide2 : int;  (** doubled decide threshold: decide [v] when [2·#v > decide2] *)
+  }
+
+  val config : ?seed:int -> ?mutation:string -> n:int -> t:int -> unit -> config
+  (** [mutation] is for oracle-breakage tests: ["decide-low"] lowers the
+      decide threshold to a bare strict majority of [n - t], which breaks
+      agreement under equivocation.
+      @raise Invalid_argument unless [n > 5t] and [t >= 0], or on an
+      unknown mutation. *)
+
+  val instance : config -> me:Pid.t -> proposal:Value.t -> msg Protocol.instance
+
+  val extra : config -> (Pid.t * msg Protocol.instance) list
+
+  val equivocator : config -> me:Pid.t -> split:(Pid.t -> Value.t) -> msg Protocol.instance
+  (** Sends [split dst] to each destination on both vote rounds and
+      abstains from the underlying consensus. *)
+end
+
+module Lane (Uc : Uc_intf.S) : Dex_core.Protocol_lane.LANE with type msg = Make(Uc).msg
+(** The lane packaging (name ["two-step"]): [n], [t] are taken from the
+    pair's dimensions (any legal pair implies [n > 5t]); the fast path is
+    [Two_step]; the oracle obligation is [`Two_step] exactly on unanimous
+    inputs. *)

@@ -5,28 +5,22 @@ open Dex_broadcast
 open Dex_underlying
 
 (* Decision provenance: the three decision paths of Figure 1, recoverable
-   from the tag a [Decide] action carries. Oracles and experiment tables key
-   on these rather than on raw strings. *)
-type provenance = One_step | Two_step | Underlying
+   from the tag a [Decide] action carries. The type (and its string/wire
+   mappings) now lives in [Protocol_lane], shared by every lane; the alias
+   keeps [Dex.One_step] etc. valid for the existing tooling. *)
+type provenance = Protocol_lane.provenance = One_step | Two_step | Underlying
 
-let tag_one_step = "one-step"
+let tag_one_step = Protocol_lane.tag_one_step
 
-let tag_two_step = "two-step"
+let tag_two_step = Protocol_lane.tag_two_step
 
-let tag_underlying = "underlying"
+let tag_underlying = Protocol_lane.tag_underlying
 
-let provenance_of_tag tag =
-  if String.equal tag tag_one_step then Some One_step
-  else if String.equal tag tag_two_step then Some Two_step
-  else if String.equal tag tag_underlying then Some Underlying
-  else None
+let provenance_of_tag = Protocol_lane.provenance_of_tag
 
-let tag_of_provenance = function
-  | One_step -> tag_one_step
-  | Two_step -> tag_two_step
-  | Underlying -> tag_underlying
+let tag_of_provenance = Protocol_lane.tag_of_provenance
 
-let pp_provenance ppf p = Format.pp_print_string ppf (tag_of_provenance p)
+let pp_provenance = Protocol_lane.pp_provenance
 
 module Make (Uc : Uc_intf.S) = struct
   type msg = Prop of Value.t | Idb of Value.t Idb.msg | Uc of Uc.msg
@@ -249,4 +243,45 @@ module Make (Uc : Uc_intf.S) = struct
     in
     let on_message ~now:_ ~from:_ _ = burst () in
     { Protocol.start; on_message }
+end
+
+(* The dex pair expressed through the lane contract. Everything delegates to
+   [Make]: same state machine, same codec (byte-identical wire frames), same
+   default [`Reevaluate] mode — the ablation's [`Snapshot] mode stays
+   reachable through [Make] directly. *)
+module Lane (Uc : Uc_intf.S) :
+  Protocol_lane.LANE with type msg = Make(Uc).msg = struct
+  module D = Make (Uc)
+
+  let name = "dex"
+
+  type msg = D.msg
+
+  let pp_msg = D.pp_msg
+
+  let classify = D.classify
+
+  let codec = D.codec
+
+  type config = D.config
+
+  let config ?seed ?mutation ~pair () =
+    (* Dex oracle-breakage mutations ride in the pair itself (a mutated
+       [Pair.t] with weakened predicates); there is nothing else to break. *)
+    (match mutation with
+    | Some m -> invalid_arg ("Dex.Lane.config: unknown mutation " ^ m)
+    | None -> ());
+    D.config ?seed ~pair ()
+
+  let instance cfg ~me ~proposal = D.instance cfg ~me ~proposal
+
+  let extra = D.extra
+
+  let equivocator = D.equivocator
+
+  let fast_path = function
+    | Protocol_lane.One_step -> true
+    | Protocol_lane.Two_step | Protocol_lane.Underlying -> false
+
+  let obligation (cfg : config) ~f input = Pair.obligation cfg.D.pair ~f input
 end

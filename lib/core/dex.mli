@@ -31,11 +31,11 @@ open Dex_underlying
 
 (** {2 Decision provenance}
 
-    The decision path is carried as the [tag] of the [Decide] action. These
-    helpers give tooling (experiment tables, model-checker oracles) a typed
-    handle instead of string matching. *)
+    The decision path is carried as the [tag] of the [Decide] action. The
+    type itself lives in {!Protocol_lane} (shared by every lane); the alias
+    and the re-exported helpers keep existing tooling source-compatible. *)
 
-type provenance =
+type provenance = Protocol_lane.provenance =
   | One_step  (** P1 fired on [J1] — 1 communication step *)
   | Two_step  (** P2 fired on [J2] — 2 steps (one IDB step) *)
   | Underlying  (** adopted from the underlying consensus *)
@@ -108,3 +108,10 @@ module Make (Uc : Uc_intf.S) : sig
       well-typed [Prop]/[Idb] messages at random processes on every
       activation — a chaff generator for robustness tests. *)
 end
+
+module Lane (Uc : Uc_intf.S) : Protocol_lane.LANE with type msg = Make(Uc).msg
+(** The dex pair through the {!Protocol_lane.LANE} contract: delegates to
+    {!Make} (default [`Reevaluate] mode, byte-identical wire frames). Its
+    fast path is [One_step]; its oracle obligation is [Pair.obligation] on
+    the config's pair. Rejects every [mutation] name — dex oracle-breakage
+    mutations ride in the pair itself. *)

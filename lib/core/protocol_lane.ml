@@ -1,0 +1,127 @@
+open Dex_vector
+open Dex_condition
+open Dex_net
+
+(* Decision provenance: the three decision paths of the paper's Figure 1,
+   generalized across lanes. A lane that has no literal one-step path (the
+   two-step and speculative lanes) simply never emits [One_step]; its fast
+   path is whatever {!LANE.fast_path} says. This is the single authority for
+   the tag strings, the metric slugs and the wire encoding — the three
+   mappings that used to be hand-rolled separately in [wire.ml],
+   [replica.ml] and the server stats report. *)
+type provenance = One_step | Two_step | Underlying
+
+let all_provenances = [ One_step; Two_step; Underlying ]
+
+let tag_one_step = "one-step"
+
+let tag_two_step = "two-step"
+
+let tag_underlying = "underlying"
+
+(* Decision-path tag carried by [Protocol.Decide] actions. *)
+let tag_of_provenance = function
+  | One_step -> tag_one_step
+  | Two_step -> tag_two_step
+  | Underlying -> tag_underlying
+
+let provenance_of_tag tag =
+  if String.equal tag tag_one_step then Some One_step
+  else if String.equal tag tag_two_step then Some Two_step
+  else if String.equal tag tag_underlying then Some Underlying
+  else None
+
+(* Metric-name slug ("service/one_step" etc.); distinct from the tag only in
+   the separator, but keeping them separate preserves historical metric and
+   stats-report names byte-for-byte. *)
+let metric_of_provenance = function
+  | One_step -> "one_step"
+  | Two_step -> "two_step"
+  | Underlying -> "underlying"
+
+let pp_provenance ppf p = Format.pp_print_string ppf (tag_of_provenance p)
+
+(* Wire encoding (0/1/2), byte-identical to the historical
+   [Wire.provenance_codec]. *)
+let provenance_codec =
+  let open Dex_codec.Codec in
+  conv
+    (function One_step -> 0 | Two_step -> 1 | Underlying -> 2)
+    (function
+      | 0 -> One_step
+      | 1 -> Two_step
+      | 2 -> Underlying
+      | other -> bad_tag ~name:"Wire.provenance" other)
+    int
+
+(* Lane identifiers, as spelled on the command lines ([--protocol]). *)
+type id = Dex | Kuo_chen | Hbft
+
+let all_ids = [ Dex; Kuo_chen; Hbft ]
+
+let id_to_string = function Dex -> "dex" | Kuo_chen -> "two-step" | Hbft -> "hbft"
+
+let id_of_string = function
+  | "dex" -> Some Dex
+  | "two-step" | "kuo-chen" -> Some Kuo_chen
+  | "hbft" -> Some Hbft
+  | _ -> None
+
+let pp_id ppf id = Format.pp_print_string ppf (id_to_string id)
+
+(* The protocol-lane contract: everything the replicated log, the live
+   service, the model checker and the chaos gauntlet need from a consensus
+   protocol, with the dex pair as just one implementation. One [config]
+   describes one single-shot instance (the log stamps a fresh one per slot);
+   [instance] is the per-process state machine over the lane's own message
+   type. *)
+module type LANE = sig
+  val name : string
+  (** Lane identifier as spelled on command lines (["dex"], ["two-step"],
+      ["hbft"]). *)
+
+  type msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val classify : msg -> string
+  (** Coarse message class for schedule keys and traces (e.g. ["P"],
+      ["IDB"], ["UC"]). *)
+
+  val codec : msg Dex_codec.Codec.t
+
+  type config
+
+  val config : ?seed:int -> ?mutation:string -> pair:Pair.t -> unit -> config
+  (** One instance's parameters. [n], [t] and the per-instance [seed] come
+      from (or alongside) the condition pair; lanes that do not evaluate
+      pair predicates still take the pair for its dimensions and for
+      {!obligation} bookkeeping. [mutation] names a deliberately broken
+      variant for oracle-breakage tests; lanes reject names they do not
+      implement.
+      @raise Invalid_argument on dimensions the lane's resilience assumption
+      rejects, or on an unknown [mutation]. *)
+
+  val instance : config -> me:Pid.t -> proposal:Value.t -> msg Protocol.instance
+
+  val extra : config -> (Pid.t * msg Protocol.instance) list
+  (** Auxiliary simulation nodes (the UC oracle); [[]] for real stacks. *)
+
+  val equivocator :
+    config -> me:Pid.t -> split:(Pid.t -> Value.t) -> msg Protocol.instance
+  (** The lane's canonical Byzantine behaviour: per-destination value
+      splits on the lane's first-step traffic. *)
+
+  val fast_path : provenance -> bool
+  (** Which provenance counts as this lane's expedited path — drives the
+      service's batch-cut adaptation and the bench fast-path fraction.
+      [Underlying] is never fast. *)
+
+  val obligation :
+    config -> f:int -> Input_vector.t -> [ `One_step | `Two_step | `None ]
+  (** The strongest timeliness guarantee the lane makes for a complete,
+      value-faithful input when exactly [f] processes actually fail — the
+      per-lane generalization of [Pair.obligation], consumed by the model
+      checker's legality oracles.
+      @raise Invalid_argument when [f] is outside [0..t]. *)
+end

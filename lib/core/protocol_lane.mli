@@ -1,0 +1,108 @@
+(** The pluggable protocol-lane contract.
+
+    The paper's core contribution is a comparison between expedited
+    consensus protocols; this interface is the seam that lets the
+    replicated log, the live service, the model checker and the chaos
+    gauntlet run any of them. The dex pair ({!Dex.Lane}) is one
+    implementation; the Kuo–Chen two-step lane and the speculative
+    hBFT-style lane (in [Dex_baselines]) are the others.
+
+    It also owns decision {!provenance} outright — the variant, the tag
+    strings, the metric slugs and the wire encoding that used to be
+    hand-rolled in three separate places ([wire.ml], [replica.ml], the
+    server stats report). *)
+
+open Dex_vector
+open Dex_condition
+open Dex_net
+
+(** {1 Decision provenance} *)
+
+type provenance = One_step | Two_step | Underlying
+(** Which decision path produced a commit. Lanes without a literal one-step
+    path simply never emit [One_step]. *)
+
+val all_provenances : provenance list
+
+val tag_one_step : string
+
+val tag_two_step : string
+
+val tag_underlying : string
+
+val tag_of_provenance : provenance -> string
+(** The [Protocol.Decide] tag string: ["one-step"] / ["two-step"] /
+    ["underlying"]. *)
+
+val provenance_of_tag : string -> provenance option
+
+val metric_of_provenance : provenance -> string
+(** Metric/stats slug: ["one_step"] / ["two_step"] / ["underlying"]. *)
+
+val pp_provenance : Format.formatter -> provenance -> unit
+
+val provenance_codec : provenance Dex_codec.Codec.t
+(** Wire encoding (ints 0/1/2) — byte-identical to the historical
+    [Wire.provenance_codec]. *)
+
+(** {1 Lane identifiers} *)
+
+type id = Dex | Kuo_chen | Hbft
+
+val all_ids : id list
+
+val id_to_string : id -> string
+(** ["dex"] / ["two-step"] / ["hbft"], the [--protocol] spellings. *)
+
+val id_of_string : string -> id option
+(** Accepts the {!id_to_string} spellings plus ["kuo-chen"] for
+    {!Kuo_chen}. *)
+
+val pp_id : Format.formatter -> id -> unit
+
+(** {1 The lane contract} *)
+
+module type LANE = sig
+  val name : string
+  (** Lane identifier as spelled on command lines. *)
+
+  type msg
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val classify : msg -> string
+  (** Coarse message class for schedule keys and traces. *)
+
+  val codec : msg Dex_codec.Codec.t
+
+  type config
+
+  val config : ?seed:int -> ?mutation:string -> pair:Pair.t -> unit -> config
+  (** One single-shot instance's parameters; [n] and [t] come from the
+      pair. [mutation] names a deliberately broken variant for
+      oracle-breakage tests.
+      @raise Invalid_argument on dimensions the lane rejects or an unknown
+      [mutation]. *)
+
+  val instance : config -> me:Pid.t -> proposal:Value.t -> msg Protocol.instance
+
+  val extra : config -> (Pid.t * msg Protocol.instance) list
+  (** Auxiliary simulation nodes (the UC oracle); [[]] for real stacks. *)
+
+  val equivocator :
+    config -> me:Pid.t -> split:(Pid.t -> Value.t) -> msg Protocol.instance
+  (** The lane's canonical Byzantine behaviour: per-destination value
+      splits on first-step traffic. *)
+
+  val fast_path : provenance -> bool
+  (** Which provenance counts as this lane's expedited path ([Underlying]
+      never is) — drives batch-cut adaptation and bench fast-path
+      fractions. *)
+
+  val obligation :
+    config -> f:int -> Input_vector.t -> [ `One_step | `Two_step | `None ]
+  (** Strongest timeliness guarantee for a complete, value-faithful input
+      when exactly [f] processes actually fail; the per-lane generalization
+      of [Pair.obligation] consumed by the MC legality oracles.
+      @raise Invalid_argument when [f] is outside [0..t]. *)
+end

@@ -526,7 +526,7 @@ let e8 () =
 (* ------------------------------------------------------------------ *)
 (* E9: replicated-log throughput — the introduction's workload at scale. *)
 
-module Smr_log = Dex_smr.Replicated_log.Make (Dex_underlying.Uc_oracle)
+module Smr_log = Dex_smr.Replicated_log.Make (Dex_core.Dex.Lane (Dex_underlying.Uc_oracle))
 
 let e9 () =
   section "E9: Replicated log — makespan vs contention and pipelining (n=7, t=1, lockstep)";

@@ -1,8 +1,10 @@
 open Dex_vector
 open Dex_net
 open Dex_condition
-
-module D = Dex_core.Dex.Make (Dex_underlying.Uc_oracle)
+module PL = Dex_core.Protocol_lane
+module DL = Dex_core.Dex.Lane (Dex_underlying.Uc_oracle)
+module KL = Dex_baselines.Kuo_chen.Lane (Dex_underlying.Uc_oracle)
+module HL = Dex_baselines.Hbft.Lane (Dex_underlying.Uc_oracle)
 
 type pair_kind = Freq | Prv of Value.t
 
@@ -27,6 +29,7 @@ let fault_of_choice = function
   | Adversary.Choice_replayer copies -> Some (Replay copies)
 
 type scenario = {
+  lane : PL.id;
   kind : pair_kind;
   n : int;
   t : int;
@@ -35,12 +38,20 @@ type scenario = {
   mutation : string option;
 }
 
-let mutations =
-  [
-    ("p2-gt-t", "two-step threshold lowered to > t");
-    ("p1-gt-2t", "one-step threshold lowered to the two-step one");
-    ("swap-p1-p2", "P1 and P2 exchanged");
-  ]
+let mutations = function
+  | PL.Dex ->
+    [
+      ("p2-gt-t", "two-step threshold lowered to > t");
+      ("p1-gt-2t", "one-step threshold lowered to the two-step one");
+      ("swap-p1-p2", "P1 and P2 exchanged");
+    ]
+  | PL.Kuo_chen ->
+    [ ("decide-low", "two-step decide threshold lowered to 2c > n - t") ]
+  | PL.Hbft ->
+    [
+      ("support-zero", "orders accepted without any matching VAL support");
+      ("spec-low", "speculative decide threshold lowered to n - 2t accepts");
+    ]
 
 let mutate name (pair : Pair.t) kind =
   let fb = pair.Pair.t in
@@ -60,20 +71,32 @@ let pair_of_scenario s =
     | Freq -> Pair.freq ~n:s.n ~t:s.t
     | Prv m -> Pair.privileged ~n:s.n ~t:s.t ~m
   in
-  match s.mutation with None -> base | Some name -> mutate name base s.kind
+  (* Dex mutations deform the condition pair itself; the other lanes carry
+     their mutations in their native configs (see [lane_config]). *)
+  match s.mutation with
+  | Some name when s.lane = PL.Dex -> mutate name base s.kind
+  | _ -> base
 
-type msg = D.msg
+type msg = M_dex of DL.msg | M_kc of KL.msg | M_hbft of HL.msg
 
-let pp_msg = D.pp_msg
+let pp_msg ppf = function
+  | M_dex m -> DL.pp_msg ppf m
+  | M_kc m -> KL.pp_msg ppf m
+  | M_hbft m -> HL.pp_msg ppf m
 
 let fault_at s p = List.assoc_opt p s.faults
 
-let system s =
+(* Build the system through the lane contract: every lane provides
+   instance / extra / equivocator, so one builder covers all three; only
+   the embedding into the summed [msg] type differs. *)
+let system_of (type m) (module L : PL.LANE with type msg = m) ~inject ~project s =
   let pair = pair_of_scenario s in
-  let cfg = D.config ~pair () in
+  let mutation = if s.lane = PL.Dex then None else s.mutation in
+  let cfg = L.config ?mutation ~pair () in
+  let emb i = Protocol.embed ~inject ~project i in
   let make_instance p =
     let proposal = List.nth s.proposals p in
-    let correct () = D.instance cfg ~me:p ~proposal in
+    let correct () = emb (L.instance cfg ~me:p ~proposal) in
     match fault_at s p with
     | None -> correct ()
     | Some Silent -> Adversary.silent ()
@@ -81,7 +104,7 @@ let system s =
     | Some (Mute_towards victims) -> Adversary.mute_towards victims (correct ())
     | Some (Replay copies) -> Adversary.replayer ~copies (correct ())
     | Some (Equivocate { v1; v2; cut }) ->
-      D.equivocator cfg ~me:p ~split:(fun dst -> if dst < cut then v1 else v2)
+      emb (L.equivocator cfg ~me:p ~split:(fun dst -> if dst < cut then v1 else v2))
     | Some (Churn_sched sched) ->
       let mode ~step =
         List.fold_left
@@ -90,7 +113,32 @@ let system s =
       in
       Adversary.churn ~mode (correct ())
   in
-  { Exec.n = s.n; make_instance; make_extra = (fun () -> D.extra cfg) }
+  {
+    Exec.n = s.n;
+    make_instance;
+    make_extra = (fun () -> List.map (fun (p, i) -> (p, emb i)) (L.extra cfg));
+  }
+
+let system s =
+  match s.lane with
+  | PL.Dex ->
+    system_of
+      (module DL)
+      ~inject:(fun m -> M_dex m)
+      ~project:(function M_dex m -> Some m | _ -> None)
+      s
+  | PL.Kuo_chen ->
+    system_of
+      (module KL)
+      ~inject:(fun m -> M_kc m)
+      ~project:(function M_kc m -> Some m | _ -> None)
+      s
+  | PL.Hbft ->
+    system_of
+      (module HL)
+      ~inject:(fun m -> M_hbft m)
+      ~project:(function M_hbft m -> Some m | _ -> None)
+      s
 
 let expectation s =
   let pair = pair_of_scenario s in
@@ -100,7 +148,18 @@ let expectation s =
   let value_faithful =
     List.for_all (function _, Equivocate _ -> false | _ -> true) s.faults
   in
-  Oracles.expectation ~value_faithful ~pair
+  let obligation =
+    let mutation = if s.lane = PL.Dex then None else s.mutation in
+    match s.lane with
+    | PL.Dex -> fun ~f input -> Pair.obligation pair ~f input
+    | PL.Kuo_chen ->
+      let cfg = KL.config ?mutation ~pair () in
+      fun ~f input -> KL.obligation cfg ~f input
+    | PL.Hbft ->
+      let cfg = HL.config ?mutation ~pair () in
+      fun ~f input -> HL.obligation cfg ~f input
+  in
+  Oracles.expectation ~value_faithful ~t:s.t ~obligation
     ~input:(Input_vector.of_list s.proposals)
     ~correct ()
 
@@ -116,11 +175,20 @@ let check s summary = Oracles.check (expectation s) summary
    (The global [decision.step] index is deliberately not used: it differs
    between fingerprint-equal interleavings.) *)
 let one_step_loss s (summary : Exec.summary) =
+  let fast tag =
+    match PL.provenance_of_tag tag with
+    | None -> false
+    | Some p -> (
+      match s.lane with
+      | PL.Dex -> DL.fast_path p
+      | PL.Kuo_chen -> KL.fast_path p
+      | PL.Hbft -> HL.fast_path p)
+  in
   let correct = List.filter (fun p -> fault_at s p = None) (Pid.all ~n:s.n) in
   List.fold_left
     (fun acc p ->
       match summary.Exec.decisions.(p) with
-      | Some d when d.Exec.tag = "one-step" -> acc + d.Exec.depth
+      | Some d when fast d.Exec.tag -> acc + d.Exec.depth
       | Some d -> acc + 10_000 + d.Exec.depth
       | None -> acc + 20_000)
     0 correct
@@ -183,6 +251,7 @@ let save_counterexample ~file s schedule violation =
     (fun () ->
       let p fmt = Printf.fprintf oc fmt in
       p "dex-mc counterexample v1\n";
+      p "protocol %s\n" (PL.id_to_string s.lane);
       (match s.kind with
       | Freq -> p "pair freq\n"
       | Prv m -> p "pair prv:%d\n" m);
@@ -211,7 +280,8 @@ let load_counterexample ~file =
       (match lines with
       | "dex-mc counterexample v1" :: _ -> ()
       | _ -> fail "bad header");
-      let kind = ref None
+      let lane = ref PL.Dex
+      and kind = ref None
       and n = ref None
       and t = ref None
       and mutation = ref None
@@ -230,6 +300,11 @@ let load_counterexample ~file =
           else
             match String.split_on_char ' ' line with
             | [ "schedule" ] -> in_schedule := true
+            | [ "protocol"; p ] -> begin
+              match PL.id_of_string p with
+              | Some id -> lane := id
+              | None -> fail "bad protocol %S" p
+            end
             | [ "pair"; "freq" ] -> kind := Some Freq
             | [ "pair"; p ] -> begin
               match String.split_on_char ':' p with
@@ -249,6 +324,7 @@ let load_counterexample ~file =
       match (!kind, !n, !t) with
       | Some kind, Some n, Some t ->
         ( {
+            lane = !lane;
             kind;
             n;
             t;

@@ -1,11 +1,12 @@
-(** DEX instantiated for model checking.
+(** Protocol lanes instantiated for model checking.
 
     Builds replayable {!Exec.system}s from declarative scenarios — a
-    condition pair, an input vector, a fault assignment, and optionally a
-    {e mutation} that deliberately breaks the pair so the checker has a
-    planted bug to find. The underlying consensus is {!Dex_underlying.Uc_oracle}
-    (the paper's abstraction taken literally), so explored state spaces stay
-    small and every run terminates.
+    protocol lane ({!Dex_core.Protocol_lane.id}), a condition pair, an
+    input vector, a fault assignment, and optionally a {e mutation} that
+    deliberately breaks the lane so the checker has a planted bug to find.
+    The underlying consensus is {!Dex_underlying.Uc_oracle} (the paper's
+    abstraction taken literally), so explored state spaces stay small and
+    every run terminates.
 
     Note the dimension constraints: [P_freq] needs [n > 6t] (so n=6, t=1 is
     {e not} constructible — use n=7), [P_prv] needs [n > 5t]. *)
@@ -37,6 +38,11 @@ val fault_of_choice : Adversary.choice -> fault option
     [Choice_correct]. *)
 
 type scenario = {
+  lane : Dex_core.Protocol_lane.id;
+      (** which protocol runs: the dex pair, the Kuo–Chen two-step lane,
+          or the speculative hBFT-style lane. The pair supplies [n], [t]
+          and (for dex) the expedited conditions; the non-dex lanes only
+          need its dimensions. *)
   kind : pair_kind;
   n : int;
   t : int;
@@ -46,31 +52,36 @@ type scenario = {
   mutation : string option;  (** a name from {!mutations} *)
 }
 
-val mutations : (string * string) list
-(** [(name, description)] of the supported pair mutations:
+val mutations : Dex_core.Protocol_lane.id -> (string * string) list
+(** [(name, description)] of each lane's supported mutations. For dex they
+    deform the condition pair:
     - ["p2-gt-t"] — the two-step threshold lowered to [> t] (the paper
       requires [> 2t] for P_prv, margin [> 2t] for P_freq): two-step
       decisions fire on views where the underlying consensus can settle on
-      a different value — an agreement bug.
+      a different value — an agreement bug. A mutated pair fails
+      {!Oracles.legal_pair}.
     - ["p1-gt-2t"] — the one-step threshold lowered to the two-step one.
     - ["swap-p1-p2"] — P1 and P2 exchanged.
-    A mutated pair fails {!Oracles.legal_pair}. *)
+    The other lanes carry mutations in their own configs (the pair stays
+    legal): ["decide-low"] for two-step, ["support-zero"] and ["spec-low"]
+    for hbft. *)
 
 val pair_of_scenario : scenario -> Pair.t
-(** The (possibly mutated) pair. @raise Pair.Assumption_violated on
-    dimension mismatch, [Invalid_argument] on an unknown mutation name or a
-    proposals list of the wrong length. *)
+(** The (possibly mutated, dex lane only) pair.
+    @raise Pair.Assumption_violated on dimension mismatch,
+    [Invalid_argument] on an unknown mutation name or a proposals list of
+    the wrong length. *)
 
 type msg
-(** DEX-over-oracle message type (abstract — schedules only name events by
-    {!Exec.key}). *)
+(** Lane-over-oracle message type, summed over the three lanes (abstract —
+    schedules only name events by {!Exec.key}). *)
 
 val pp_msg : Format.formatter -> msg -> unit
 
 val system : scenario -> msg Exec.system
-(** Fresh-instantiating system: correct slots run [Dex.instance], faulty
-    slots the corresponding adversary, plus the UC-oracle node at pid
-    [n]. *)
+(** Fresh-instantiating system: correct slots run the scenario lane's
+    [instance], faulty slots the corresponding adversary (equivocators use
+    the lane's own [equivocator]), plus the UC-oracle node at pid [n]. *)
 
 val expectation : scenario -> Oracles.expectation
 (** Oracle inputs derived from the scenario ([value_faithful] is false iff
@@ -81,7 +92,7 @@ val check : scenario -> Exec.summary -> Oracles.violation option
 
 val one_step_loss : scenario -> Exec.summary -> int
 (** Worst-case objective for {!Checker.search}: per correct pid, [10_000]
-    if its decision missed the one-step lane ([20_000] if it never
+    if its decision missed the lane's fast path ([20_000] if it never
     decided), plus the decision's causal depth as a latency tie-break.
     Fingerprint-invariant (reads tags and causal depths, never the global
     schedule index), as the search's pruning requires. *)

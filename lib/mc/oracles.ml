@@ -3,14 +3,20 @@ open Dex_net
 open Dex_condition
 
 type expectation = {
-  pair : Pair.t;
+  t : int;
+  obligation : f:int -> Input_vector.t -> [ `One_step | `Two_step | `None ];
   input : Input_vector.t;
   correct : Pid.t list;
   value_faithful : bool;
 }
 
-let expectation ?(value_faithful = true) ~pair ~input ~correct () =
-  { pair; input; correct; value_faithful }
+let expectation ?(value_faithful = true) ~t ~obligation ~input ~correct () =
+  { t; obligation; input; correct; value_faithful }
+
+let of_pair ?value_faithful ~pair ~input ~correct () =
+  expectation ?value_faithful ~t:pair.Pair.t
+    ~obligation:(fun ~f input -> Pair.obligation pair ~f input)
+    ~input ~correct ()
 
 type violation =
   | Termination of { pid : Pid.t }
@@ -75,7 +81,7 @@ let check_all e (s : Exec.summary) =
   let f = s.sys_n - List.length correct in
   (* Nothing is guaranteed beyond the resilience bound: with more than t
      actual failures the oracles would report phantom violations. *)
-  if f > e.pair.Pair.t then []
+  if f > e.t then []
   else begin
   (* Termination *)
   if s.complete then
@@ -123,7 +129,7 @@ let check_all e (s : Exec.summary) =
   List.iter (fun (p, _) -> if List.mem p correct then add (Double_decide { pid = p })) s.late;
   (* Decision obligations, in asynchronous-round terms *)
   if s.complete && e.value_faithful then begin
-    let obligation = Pair.obligation e.pair ~f e.input in
+    let obligation = e.obligation ~f e.input in
     let check_round ~depth make =
       List.iter
         (fun p ->

@@ -23,7 +23,13 @@ open Dex_net
 open Dex_condition
 
 type expectation = {
-  pair : Pair.t;
+  t : int;  (** the resilience bound: with more than [t] actual failures
+                every oracle is vacuous *)
+  obligation : f:int -> Input_vector.t -> [ `One_step | `Two_step | `None ];
+      (** the lane's strongest timeliness promise for this input when
+          exactly [f] processes actually fail
+          ({!Dex_core.Protocol_lane.LANE.obligation}; [Pair.obligation]
+          partially applied, for the dex lane) *)
   input : Input_vector.t;
       (** proposals by slot; faulty slots hold the value the process would
           have proposed if correct *)
@@ -36,9 +42,20 @@ type expectation = {
 }
 
 val expectation :
+  ?value_faithful:bool ->
+  t:int ->
+  obligation:(f:int -> Input_vector.t -> [ `One_step | `Two_step | `None ]) ->
+  input:Input_vector.t ->
+  correct:Pid.t list ->
+  unit ->
+  expectation
+(** [value_faithful] defaults to [true]. *)
+
+val of_pair :
   ?value_faithful:bool -> pair:Pair.t -> input:Input_vector.t -> correct:Pid.t list ->
   unit -> expectation
-(** [value_faithful] defaults to [true]. *)
+(** The dex-lane expectation: [t] and the obligation taken from the
+    condition pair ({!Dex_condition.Pair.obligation}). *)
 
 type violation =
   | Termination of { pid : Pid.t }

@@ -1,15 +1,15 @@
 open Dex_condition
 open Dex_net
-open Dex_underlying
 open Dex_runtime
 open Dex_smr
 
 module Registry = Dex_metrics.Registry
 module Rs = Dex_erasure.Rs
 module Fragment = Dex_erasure.Fragment
+module PL = Dex_core.Protocol_lane
 
-module Make (Uc : Uc_intf.S) = struct
-  module Log = Replicated_log.Make (Uc)
+module Make (L : PL.LANE) = struct
+  module Log = Replicated_log.Make (L)
 
   type smsg =
     | Log_msg of Log.msg
@@ -313,9 +313,10 @@ module Make (Uc : Uc_intf.S) = struct
     metrics : Registry.t;
     c_committed : Registry.counter;
     c_empty : Registry.counter;
-    c_one_step : Registry.counter;
-    c_two_step : Registry.counter;
-    c_underlying : Registry.counter;
+    (* One counter per decision provenance, named
+       ["service/" ^ Protocol_lane.metric_of_provenance p] — the single
+       mapping the stats report and the server's registry dump both read. *)
+    c_provenance : (PL.provenance * Registry.counter) list;
     c_applied : Registry.counter;
     c_suppressed : Registry.counter;
     c_busy : Registry.counter;
@@ -648,13 +649,14 @@ module Make (Uc : Uc_intf.S) = struct
       if digest = Batch.empty_digest then Registry.incr t.c_empty
       else begin
         Hashtbl.replace t.last_use digest slot;
-        match provenance with
-        | Dex_core.Dex.One_step ->
-          Registry.incr t.c_one_step;
+        Registry.incr (List.assoc provenance t.c_provenance);
+        (* Cut-margin adaptation keys on the lane's own fast path: an
+           expedited commit is evidence the batch cuts converge (decay the
+           margin); an underlying-provenance commit is evidence they
+           diverged (widen it). *)
+        if L.fast_path provenance then
           t.cut_margin <- Float.max 0.0001 (t.cut_margin *. 0.95)
-        | Dex_core.Dex.Two_step -> Registry.incr t.c_two_step
-        | Dex_core.Dex.Underlying ->
-          Registry.incr t.c_underlying;
+        else if provenance = PL.Underlying then
           t.cut_margin <- Float.min 0.002 ((t.cut_margin *. 1.5) +. 0.00005)
       end;
       Hashtbl.replace t.commit_buf slot (digest, provenance);
@@ -1129,9 +1131,11 @@ module Make (Uc : Uc_intf.S) = struct
         metrics;
         c_committed = Registry.counter metrics "service/committed_slots";
         c_empty = Registry.counter metrics "service/empty_slots";
-        c_one_step = Registry.counter metrics "service/one_step";
-        c_two_step = Registry.counter metrics "service/two_step";
-        c_underlying = Registry.counter metrics "service/underlying";
+        c_provenance =
+          List.map
+            (fun p ->
+              (p, Registry.counter metrics ("service/" ^ PL.metric_of_provenance p)))
+            PL.all_provenances;
         c_applied = Registry.counter metrics "service/applied";
         c_suppressed = Registry.counter metrics "service/suppressed_duplicates";
         c_busy = Registry.counter metrics "service/busy_rejections";
@@ -1508,9 +1512,9 @@ module Make (Uc : Uc_intf.S) = struct
     {
       committed_slots = Registry.value t.c_committed;
       empty_slots = Registry.value t.c_empty;
-      one_step = Registry.value t.c_one_step;
-      two_step = Registry.value t.c_two_step;
-      underlying = Registry.value t.c_underlying;
+      one_step = Registry.value (List.assoc PL.One_step t.c_provenance);
+      two_step = Registry.value (List.assoc PL.Two_step t.c_provenance);
+      underlying = Registry.value (List.assoc PL.Underlying t.c_provenance);
       applied = Registry.value t.c_applied;
       suppressed_duplicates = Registry.value t.c_suppressed;
       busy_rejections = Registry.value t.c_busy;

@@ -16,10 +16,9 @@
 open Dex_condition
 open Dex_net
 open Dex_runtime
-open Dex_underlying
 
-module Make (Uc : Uc_intf.S) : sig
-  module Log : module type of Dex_smr.Replicated_log.Make (Uc)
+module Make (L : Dex_core.Protocol_lane.LANE) : sig
+  module Log : module type of Dex_smr.Replicated_log.Make (L)
 
   (** Wire messages between replicas: log traffic plus the content-fetch
       and catch-up lanes. *)
@@ -190,9 +189,7 @@ module Make (Uc : Uc_intf.S) : sig
     metrics : Dex_metrics.Registry.t;
     c_committed : Dex_metrics.Registry.counter;
     c_empty : Dex_metrics.Registry.counter;
-    c_one_step : Dex_metrics.Registry.counter;
-    c_two_step : Dex_metrics.Registry.counter;
-    c_underlying : Dex_metrics.Registry.counter;
+    c_provenance : (Dex_core.Protocol_lane.provenance * Dex_metrics.Registry.counter) list;
     c_applied : Dex_metrics.Registry.counter;
     c_suppressed : Dex_metrics.Registry.counter;
     c_busy : Dex_metrics.Registry.counter;

@@ -1,17 +1,16 @@
 open Dex_net
 open Dex_runtime
-open Dex_underlying
 
 module Registry = Dex_metrics.Registry
 
 type role = Correct | Mute | Equivocator | Churn
 
-module Make (Uc : Uc_intf.S) = struct
+module Make (L : Dex_core.Protocol_lane.LANE) = struct
   (* The replica core — consensus callbacks, apply loop, catch-up,
      admission — assembled from the pipeline stages. This module adds the
      parts that touch sockets and threads: the client listener, the batcher
      thread, and deployment orchestration. *)
-  include Replica.Make (Uc)
+  include Replica.Make (L)
 
   (* ----------------------------- the service ----------------------------- *)
 

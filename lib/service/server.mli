@@ -16,7 +16,6 @@
     lives here. *)
 
 open Dex_net
-open Dex_underlying
 open Dex_runtime
 
 type role =
@@ -31,11 +30,11 @@ type role =
           commit log stays honest (it only suppresses or stale-replays its
           own sends), so agreement checks include it. *)
 
-module Make (Uc : Uc_intf.S) : sig
+module Make (L : Dex_core.Protocol_lane.LANE) : sig
   (** Everything consensus-side: [smsg] (+ codec), [config], the replica
       constructor, request handling, stats and the per-replica metrics
       registry. See {!Replica.Make}. *)
-  include module type of Replica.Make (Uc)
+  include module type of Replica.Make (L)
 
   val start_service : ?port:int -> t -> int
   (** Bind the client-facing listener on loopback ([port = 0] picks an

@@ -17,16 +17,9 @@ let request_codec =
     (fun (client, rid, command) -> { client; rid; command })
     (triple int int State_machine.command_codec)
 
-let provenance_codec =
-  let open Dex_codec.Codec in
-  conv
-    (function Dex_core.Dex.One_step -> 0 | Two_step -> 1 | Underlying -> 2)
-    (function
-      | 0 -> Dex_core.Dex.One_step
-      | 1 -> Two_step
-      | 2 -> Underlying
-      | other -> bad_tag ~name:"Wire.provenance" other)
-    int
+(* The single provenance wire mapping now lives with the provenance type
+   itself; this alias keeps the historical name (and bytes). *)
+let provenance_codec = Dex_core.Protocol_lane.provenance_codec
 
 let outcome_codec =
   let open Dex_codec.Codec in

@@ -3,8 +3,8 @@ open Dex_service
 
 module Registry = Dex_metrics.Registry
 
-module Make (Uc : Dex_underlying.Uc_intf.S) = struct
-  module S = Server.Make (Uc)
+module Make (L : Dex_core.Protocol_lane.LANE) = struct
+  module S = Server.Make (L)
 
   type t = {
     map : Shard_map.t;

@@ -23,8 +23,8 @@
 
 open Dex_net
 
-module Make (Uc : Dex_underlying.Uc_intf.S) : sig
-  module S : module type of Dex_service.Server.Make (Uc)
+module Make (L : Dex_core.Protocol_lane.LANE) : sig
+  module S : module type of Dex_service.Server.Make (L)
 
   type t
 

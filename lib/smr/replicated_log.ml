@@ -1,10 +1,8 @@
 open Dex_vector
 open Dex_condition
 open Dex_net
-open Dex_underlying
 
-module Make (Uc : Uc_intf.S) = struct
-  module D = Dex_core.Dex.Make (Uc)
+module Make (D : Dex_core.Protocol_lane.LANE) = struct
 
   type msg =
     | Slot of { slot : int; payload : D.msg }
@@ -57,8 +55,7 @@ module Make (Uc : Uc_intf.S) = struct
   (* Per-slot seeds keep the per-instance coins independent. *)
   let slot_seed cfg slot = cfg.seed + (1_000_003 * slot)
 
-  let slot_cfg cfg slot =
-    { D.n = cfg.n; t = cfg.t; seed = slot_seed cfg slot; pair = cfg.pair slot }
+  let slot_cfg cfg slot = D.config ~seed:(slot_seed cfg slot) ~pair:(cfg.pair slot) ()
 
   let wrap_payload slot actions =
     Protocol.map_actions (fun payload -> Slot { slot; payload }) actions

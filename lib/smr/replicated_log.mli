@@ -7,8 +7,9 @@
     carry unanimous or near-unanimous inputs, exactly where DEX decides in
     one step.
 
-    Each log slot runs an independent DEX instance; messages are tagged with
-    their slot. Slots are pipelined with a bounded window: slot [s + window]
+    Each log slot runs an independent instance of a protocol lane
+    ({!Dex_core.Protocol_lane.LANE} — the dex pair, or any other lane);
+    messages are tagged with their slot. Slots are pipelined with a bounded window: slot [s + window]
     starts once slot [s] commits locally, so a burst of commands keeps
     several instances in flight without unbounded fan-out.
 
@@ -33,11 +34,11 @@
 open Dex_vector
 open Dex_condition
 open Dex_net
-open Dex_underlying
 
-module Make (Uc : Uc_intf.S) : sig
+module Make (D : Dex_core.Protocol_lane.LANE) : sig
   type msg
-  (** Slot-tagged DEX traffic, plus a local control lane (see {!release}). *)
+  (** Slot-tagged lane traffic, plus a local control lane (see
+      {!release}). *)
 
   val pp_msg : Format.formatter -> msg -> unit
 
@@ -118,8 +119,7 @@ module Make (Uc : Uc_intf.S) : sig
   val equivocator :
     config -> me:Pid.t -> split:(slot:int -> Pid.t -> Value.t) -> msg Protocol.instance
   (** A Byzantine replica that, for every slot it sees traffic for, runs the
-      core equivocator ([Dex.equivocator]): proposal [split ~slot dst] to
-      each destination on both the P and IDB lanes, honest IDB echoing, no
-      underlying-consensus participation. Purely reactive — it never
-      initiates a slot. *)
+      lane's equivocator (e.g. [Dex.equivocator]): proposal [split ~slot dst]
+      to each destination on the lane's first-step traffic. Purely
+      reactive — it never initiates a slot. *)
 end

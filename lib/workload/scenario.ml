@@ -9,6 +9,8 @@ type algo =
   | Dex_freq
   | Dex_freq_snapshot
   | Dex_prv of Value.t
+  | Kuo_chen
+  | Hbft
   | Bosco
   | Friedman
   | Brasileiro
@@ -20,6 +22,8 @@ let algo_name = function
   | Dex_freq -> "DEX-freq"
   | Dex_freq_snapshot -> "DEX-freq-snapshot"
   | Dex_prv m -> Printf.sprintf "DEX-prv(%s)" (Value.to_string m)
+  | Kuo_chen -> "Two-step"
+  | Hbft -> "hBFT"
   | Bosco -> "Bosco"
   | Friedman -> "Friedman"
   | Brasileiro -> "Brasileiro"
@@ -119,6 +123,46 @@ module Run_dex (U : Uc_intf.S) = struct
     Runner.run
       (Runner.config ~discipline:spec.discipline ~seed:spec.seed ~extra:(D.extra cfg)
          ~classify:D.classify ~n:spec.n make)
+end
+
+module Run_kuo_chen (U : Uc_intf.S) = struct
+  module K = Dex_baselines.Kuo_chen.Make (U)
+
+  let go spec =
+    let cfg = K.config ~seed:spec.seed ~n:spec.n ~t:spec.t () in
+    let make p =
+      match spec.faults p with
+      | Fault_spec.Correct ->
+        K.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p)
+      | Fault_spec.Crash_mid ->
+        Adversary.crash_after_actions (spec.n / 2)
+          (K.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p))
+      | Fault_spec.Equivocate split -> K.equivocator cfg ~me:p ~split
+      | Fault_spec.Silent | Fault_spec.Noisy -> Adversary.silent ()
+    in
+    Runner.run
+      (Runner.config ~discipline:spec.discipline ~seed:spec.seed ~extra:(K.extra cfg)
+         ~classify:K.classify ~n:spec.n make)
+end
+
+module Run_hbft (U : Uc_intf.S) = struct
+  module H = Dex_baselines.Hbft.Make (U)
+
+  let go spec =
+    let cfg = H.config ~seed:spec.seed ~n:spec.n ~t:spec.t () in
+    let make p =
+      match spec.faults p with
+      | Fault_spec.Correct ->
+        H.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p)
+      | Fault_spec.Crash_mid ->
+        Adversary.crash_after_actions (spec.n / 2)
+          (H.instance cfg ~me:p ~proposal:(Input_vector.get spec.proposals p))
+      | Fault_spec.Equivocate split -> H.equivocator cfg ~me:p ~split
+      | Fault_spec.Silent | Fault_spec.Noisy -> Adversary.silent ()
+    in
+    Runner.run
+      (Runner.config ~discipline:spec.discipline ~seed:spec.seed ~extra:(H.extra cfg)
+         ~classify:H.classify ~n:spec.n make)
 end
 
 module Run_bosco (U : Uc_intf.S) = struct
@@ -255,6 +299,12 @@ end
 module Dex_oracle = Run_dex (Uc_oracle)
 module Dex_real = Run_dex (Multivalued)
 module Dex_leader = Run_dex (Uc_leader)
+module Kc_oracle = Run_kuo_chen (Uc_oracle)
+module Kc_real = Run_kuo_chen (Multivalued)
+module Kc_leader = Run_kuo_chen (Uc_leader)
+module Hbft_oracle = Run_hbft (Uc_oracle)
+module Hbft_real = Run_hbft (Multivalued)
+module Hbft_leader = Run_hbft (Uc_leader)
 module Bosco_oracle = Run_bosco (Uc_oracle)
 module Bosco_real = Run_bosco (Multivalued)
 module Bosco_leader = Run_bosco (Uc_leader)
@@ -282,6 +332,12 @@ let run spec =
     | Dex_freq_snapshot, Leader ->
       Dex_leader.go ~mode:`Snapshot spec (Pair.freq ~n:spec.n ~t:spec.t)
     | Dex_prv m, Leader -> Dex_leader.go spec (Pair.privileged ~n:spec.n ~t:spec.t ~m)
+    | Kuo_chen, Oracle -> Kc_oracle.go spec
+    | Kuo_chen, Real -> Kc_real.go spec
+    | Kuo_chen, Leader -> Kc_leader.go spec
+    | Hbft, Oracle -> Hbft_oracle.go spec
+    | Hbft, Real -> Hbft_real.go spec
+    | Hbft, Leader -> Hbft_leader.go spec
     | Bosco, Leader -> Bosco_leader.go spec
     | Brasileiro, Leader -> Brasileiro_leader.go spec
     | Plain, Leader -> Plain_leader.go spec

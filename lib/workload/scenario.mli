@@ -16,6 +16,8 @@ type algo =
       (** ablation: DEX-freq with single-shot predicate evaluation at the
           first [n − t] messages (see [Dex_core.Dex.mode]); experiment E8 *)
   | Dex_prv of Value.t  (** DEX with the privileged-value pair; [n > 5t] *)
+  | Kuo_chen  (** the Kuo–Chen two-step lane (arXiv:1911.10361), n > 5t *)
+  | Hbft  (** the speculative hBFT-style coordinator lane, n > 5t *)
   | Bosco  (** weakly one-step at [n > 5t], strongly at [n > 7t] *)
   | Friedman  (** weak one-step reconstruction, unanimous-snapshot rule; [n > 5t] *)
   | Brasileiro  (** crash-model baseline; [n > 3t] *)

@@ -10,7 +10,7 @@
 open Dex_service
 module FP = Dex_runtime.Fault_plan
 module R = Dex_metrics.Registry
-module S = Server.Make (Dex_underlying.Uc_oracle)
+module S = Server.Make (Dex_core.Dex.Lane (Dex_underlying.Uc_oracle))
 module Sm = State_machine
 module Model = Dex_mcheck.Dex_model
 module Checker = Dex_mcheck.Checker
@@ -409,7 +409,8 @@ let test_timer_tombstones () =
 
 let churn_scenario =
   {
-    Model.kind = Model.Freq;
+    Model.lane = Dex_core.Protocol_lane.Dex;
+    kind = Model.Freq;
     n = 7;
     t = 1;
     proposals = [ 1; 0; 0; 0; 0; 0; 0 ];

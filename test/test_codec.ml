@@ -87,6 +87,8 @@ module D = Dex_core.Dex.Make (Uc_oracle)
 module Dl = Dex_core.Dex.Make (Uc_leader)
 module Dmv = Dex_core.Dex.Make (Multivalued)
 module B = Dex_baselines.Bosco.Make (Uc_oracle)
+module K = Dex_baselines.Kuo_chen.Make (Uc_oracle)
+module H = Dex_baselines.Hbft.Make (Uc_oracle)
 
 let test_idb_codec () =
   let c = Idb.codec Codec.int in
@@ -144,6 +146,31 @@ let test_bosco_codec () =
     (check_rt "bosco" B.codec B.pp_msg)
     [ B.Vote 5; B.Uc (Uc_oracle.Propose 1) ]
 
+let test_kuo_chen_codec () =
+  List.iter
+    (check_rt "kuo-chen" K.codec K.pp_msg)
+    [
+      K.V1 5;
+      K.V1 (-3);
+      K.V2 0;
+      K.V2 max_int;
+      K.Uc (Uc_oracle.Propose 4);
+      K.Uc (Uc_oracle.Decision 8);
+    ]
+
+let test_hbft_codec () =
+  List.iter
+    (check_rt "hbft" H.codec H.pp_msg)
+    [
+      H.Val 7;
+      H.Val min_int;
+      H.Order 1;
+      H.Accept (-9);
+      H.Timeout;
+      H.Uc (Uc_oracle.Propose 0);
+      H.Uc (Uc_oracle.Decision 2);
+    ]
+
 (* Property: random DEX-leader messages roundtrip. *)
 let gen_leader_msg =
   QCheck.Gen.(
@@ -162,6 +189,40 @@ let gen_leader_msg =
           (fun o v -> Uc_leader.Val (Bracha.Echo { origin = o; payload = v }))
           (int_bound 20) value;
       ])
+
+let gen_kuo_chen_msg =
+  QCheck.Gen.(
+    let value = int_range (-1000) 1000 in
+    oneof
+      [
+        map (fun v -> K.V1 v) value;
+        map (fun v -> K.V2 v) value;
+        map (fun v -> K.Uc (Uc_oracle.Propose v)) value;
+        map (fun v -> K.Uc (Uc_oracle.Decision v)) value;
+      ])
+
+let gen_hbft_msg =
+  QCheck.Gen.(
+    let value = int_range (-1000) 1000 in
+    oneof
+      [
+        map (fun v -> H.Val v) value;
+        map (fun v -> H.Order v) value;
+        map (fun v -> H.Accept v) value;
+        return H.Timeout;
+        map (fun v -> H.Uc (Uc_oracle.Propose v)) value;
+        map (fun v -> H.Uc (Uc_oracle.Decision v)) value;
+      ])
+
+let prop_kuo_chen_roundtrip =
+  QCheck.Test.make ~name:"Kuo-Chen codec roundtrip" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" K.pp_msg) gen_kuo_chen_msg)
+    (fun m -> roundtrip K.codec m = m)
+
+let prop_hbft_roundtrip =
+  QCheck.Test.make ~name:"hBFT codec roundtrip" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" H.pp_msg) gen_hbft_msg)
+    (fun m -> roundtrip H.codec m = m)
 
 let prop_leader_roundtrip =
   QCheck.Test.make ~name:"Uc_leader codec roundtrip" ~count:500
@@ -347,21 +408,32 @@ let prop_decode_never_crashes =
       && try_codec Codec.(list (pair int bool))
       && try_codec (Idb.codec Codec.int)
       && try_codec Uc_leader.codec
-      && try_codec D.codec)
+      && try_codec D.codec && try_codec K.codec && try_codec H.codec)
 
 (* Mutation fuzz: flip one byte of a valid encoding; decode must yield
    either an error or some well-formed value — never an exception escape. *)
+let mutate_one_byte (type a) (c : a Codec.t) m pos byte =
+  let encoded = Bytes.of_string (Codec.encode c m) in
+  if Bytes.length encoded = 0 then true
+  else begin
+    Bytes.set encoded (pos mod Bytes.length encoded) (Char.chr byte);
+    match Codec.decode c (Bytes.to_string encoded) with Ok _ | Error _ -> true
+  end
+
 let prop_mutated_encoding_safe =
   QCheck.Test.make ~name:"mutated encodings decode safely" ~count:1000
     QCheck.(pair (QCheck.make gen_leader_msg) (pair small_nat (int_bound 255)))
-    (fun (m, (pos, byte)) ->
-      let encoded = Bytes.of_string (Codec.encode Uc_leader.codec m) in
-      if Bytes.length encoded = 0 then true
-      else begin
-        Bytes.set encoded (pos mod Bytes.length encoded) (Char.chr byte);
-        match Codec.decode Uc_leader.codec (Bytes.to_string encoded) with
-        | Ok _ | Error _ -> true
-      end)
+    (fun (m, (pos, byte)) -> mutate_one_byte Uc_leader.codec m pos byte)
+
+let prop_kuo_chen_mutated_safe =
+  QCheck.Test.make ~name:"mutated Kuo-Chen encodings decode safely" ~count:1000
+    QCheck.(pair (QCheck.make gen_kuo_chen_msg) (pair small_nat (int_bound 255)))
+    (fun (m, (pos, byte)) -> mutate_one_byte K.codec m pos byte)
+
+let prop_hbft_mutated_safe =
+  QCheck.Test.make ~name:"mutated hBFT encodings decode safely" ~count:1000
+    QCheck.(pair (QCheck.make gen_hbft_msg) (pair small_nat (int_bound 255)))
+    (fun (m, (pos, byte)) -> mutate_one_byte H.codec m pos byte)
 
 let props =
   List.map QCheck_alcotest.to_alcotest
@@ -369,8 +441,12 @@ let props =
       prop_int_roundtrip;
       prop_string_roundtrip;
       prop_leader_roundtrip;
+      prop_kuo_chen_roundtrip;
+      prop_hbft_roundtrip;
       prop_decode_never_crashes;
       prop_mutated_encoding_safe;
+      prop_kuo_chen_mutated_safe;
+      prop_hbft_mutated_safe;
       prop_action_roundtrip;
       prop_action_decode_never_crashes;
     ]
@@ -407,6 +483,8 @@ let () =
           Alcotest.test_case "dex(oracle)" `Quick test_dex_codec;
           Alcotest.test_case "dex(multivalued)" `Quick test_dex_mv_codec;
           Alcotest.test_case "bosco" `Quick test_bosco_codec;
+          Alcotest.test_case "kuo-chen" `Quick test_kuo_chen_codec;
+          Alcotest.test_case "hbft" `Quick test_hbft_codec;
           Alcotest.test_case "actions incl. boundaries" `Quick test_action_codec_boundaries;
         ] );
       ( "frames",

@@ -4,8 +4,9 @@
 
 open Dex_mcheck
 
-let scenario ?(mutation = None) ?(faults = []) kind ~n ~t proposals =
-  { Dex_model.kind; n; t; proposals; faults; mutation }
+let scenario ?(lane = Dex_core.Protocol_lane.Dex) ?(mutation = None) ?(faults = [])
+    kind ~n ~t proposals =
+  { Dex_model.lane; kind; n; t; proposals; faults; mutation }
 
 let freq4 proposals = scenario Dex_model.Freq ~n:4 ~t:0 proposals
 
@@ -130,6 +131,83 @@ let test_oracle_rejects_disagreement () =
       | None -> "none"
       | Some v -> Format.asprintf "%a" Oracles.pp_violation v)
 
+(* {2 Non-dex lanes} *)
+
+(* The new lanes through the same exec/checker/oracle pipeline: exhaustive
+   small shapes stay clean, and each lane's planted mutation is caught by
+   the dynamic oracles (its pair stays legal — only the lane config is
+   broken). *)
+
+let test_lanes_exhaustive_clean () =
+  List.iter
+    (fun lane ->
+      List.iter
+        (fun proposals ->
+          let s = scenario ~lane Dex_model.Freq ~n:4 ~t:0 proposals in
+          let outcome = explore ~budget:2 s in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s no violation" (Dex_core.Protocol_lane.id_to_string lane))
+            true
+            (outcome.Checker.violation = None);
+          Alcotest.(check bool) "exhausted" true outcome.Checker.stats.Checker.exhausted)
+        [ [ 0; 0; 0; 0 ]; [ 1; 0; 1; 0 ] ])
+    [ Dex_core.Protocol_lane.Kuo_chen; Dex_core.Protocol_lane.Hbft ]
+
+let test_lanes_prv_with_fault () =
+  List.iter
+    (fun lane ->
+      let s =
+        scenario ~lane ~faults:[ (0, Dex_model.Silent) ] (Dex_model.Prv 1) ~n:6 ~t:1
+          [ 1; 1; 0; 0; 0; 0 ]
+      in
+      let outcome = explore ~budget:1 s in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s no violation" (Dex_core.Protocol_lane.id_to_string lane))
+        true
+        (outcome.Checker.violation = None);
+      Alcotest.(check bool) "exhausted" true outcome.Checker.stats.Checker.exhausted)
+    [ Dex_core.Protocol_lane.Kuo_chen; Dex_core.Protocol_lane.Hbft ]
+
+let sample_violation ~what s =
+  let sys = Dex_model.system s in
+  let check sum = Dex_model.check s sum in
+  match Checker.sample ~sys ~seed:7 ~schedules:50_000 ~max_steps:10_000 ~check () with
+  | None -> Alcotest.failf "seeded sampling no longer finds %s" what
+  | Some (v, schedule) -> (sys, check, v, schedule)
+
+let test_kuo_chen_mutation_caught () =
+  (* decide-low (2c > n-t): split adopt samples leave mixed second-round
+     votes and a minority-supported decide disagrees with the UC outcome —
+     no Byzantine fault needed. *)
+  let s =
+    scenario ~lane:Dex_core.Protocol_lane.Kuo_chen ~mutation:(Some "decide-low")
+      (Dex_model.Prv 1) ~n:6 ~t:1 [ 1; 1; 1; 0; 0; 0 ]
+  in
+  let sys, check, v, schedule = sample_violation ~what:"the Kuo-Chen planted bug" s in
+  (match v with
+  | Oracles.Agreement _ -> ()
+  | other -> Alcotest.failf "expected agreement, got %a" Oracles.pp_violation other);
+  let shrunk = Checker.shrink ~sys ~check schedule in
+  Alcotest.(check bool) "shrunk still violates" true
+    (Checker.replay_check ~sys ~check shrunk <> None)
+
+let test_hbft_mutation_caught () =
+  (* spec-low (n-2t accepts) alone is still safe — four matching accepts
+     drag the UC majority along — so the planted bug needs the lane's
+     Byzantine coordinator splitting VAL/ORDER/ACCEPT. *)
+  let s =
+    scenario ~lane:Dex_core.Protocol_lane.Hbft ~mutation:(Some "spec-low")
+      ~faults:[ (0, Dex_model.Equivocate { v1 = 0; v2 = 1; cut = 3 }) ]
+      (Dex_model.Prv 1) ~n:6 ~t:1 [ 0; 1; 0; 0; 0; 0 ]
+  in
+  let sys, check, v, schedule = sample_violation ~what:"the hBFT planted bug" s in
+  (match v with
+  | Oracles.Agreement _ -> ()
+  | other -> Alcotest.failf "expected agreement, got %a" Oracles.pp_violation other);
+  let shrunk = Checker.shrink ~sys ~check schedule in
+  Alcotest.(check bool) "shrunk still violates" true
+    (Checker.replay_check ~sys ~check shrunk <> None)
+
 let mutant =
   scenario ~mutation:(Some "p2-gt-t") (Dex_model.Prv 1) ~n:6 ~t:1 [ 1; 1; 0; 0; 0; 0 ]
 
@@ -198,6 +276,16 @@ let () =
           Alcotest.test_case "prv with silent fault" `Quick test_explore_prv_with_fault;
           Alcotest.test_case "oracle rejects disagreement" `Quick
             test_oracle_rejects_disagreement;
+        ] );
+      ( "lanes",
+        [
+          Alcotest.test_case "exhaustive clean (two-step, hbft)" `Quick
+            test_lanes_exhaustive_clean;
+          Alcotest.test_case "prv with silent fault (two-step, hbft)" `Quick
+            test_lanes_prv_with_fault;
+          Alcotest.test_case "two-step decide-low caught" `Quick
+            test_kuo_chen_mutation_caught;
+          Alcotest.test_case "hbft spec-low caught" `Quick test_hbft_mutation_caught;
         ] );
       ( "mutation",
         [

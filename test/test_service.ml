@@ -5,7 +5,7 @@
 
 open Dex_service
 module Codec = Dex_codec.Codec
-module S = Server.Make (Dex_underlying.Uc_oracle)
+module S = Server.Make (Dex_core.Dex.Lane (Dex_underlying.Uc_oracle))
 module Sm = State_machine
 
 let roundtrip codec v = Codec.decode_exn codec (Codec.encode codec v)

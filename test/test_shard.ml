@@ -6,7 +6,7 @@
 open Dex_service
 module Shard_map = Dex_shard.Shard_map
 module Router = Dex_shard.Router
-module G = Dex_shard.Group_set.Make (Dex_underlying.Uc_oracle)
+module G = Dex_shard.Group_set.Make (Dex_core.Dex.Lane (Dex_underlying.Uc_oracle))
 module S = G.S
 module Sm = State_machine
 

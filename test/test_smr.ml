@@ -5,7 +5,7 @@ open Dex_net
 open Dex_underlying
 open Dex_smr
 
-module L = Replicated_log.Make (Uc_oracle)
+module L = Replicated_log.Make (Dex_core.Dex.Lane (Uc_oracle))
 
 let freq7 = Pair.freq ~n:7 ~t:1
 

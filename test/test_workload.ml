@@ -226,7 +226,9 @@ let prop_swarm_safety =
         let base =
           match algo with
           | Scenario.Dex_freq | Scenario.Dex_freq_snapshot -> (6 * t) + 1
-          | Scenario.Dex_prv _ | Scenario.Bosco | Scenario.Friedman -> (5 * t) + 1
+          | Scenario.Dex_prv _ | Scenario.Bosco | Scenario.Friedman
+          | Scenario.Kuo_chen | Scenario.Hbft ->
+            (5 * t) + 1
           | Scenario.Brasileiro | Scenario.Izumi -> (4 * t) + 1 (* > 4t for Real UC *)
           | Scenario.Sync_flood | Scenario.Plain -> (4 * t) + 1
         in
